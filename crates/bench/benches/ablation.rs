@@ -1,0 +1,55 @@
+//! Ablation benches: how sketch size and sketching strategy affect the
+//! end-to-end (join + estimate) query cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use joinmi_bench::trinomial_workload;
+use joinmi_sketch::{SketchConfig, SketchKind};
+use joinmi_synth::KeyDistribution;
+
+fn bench_sketch_size_sweep(c: &mut Criterion) {
+    let workload = trinomial_workload(20_000, KeyDistribution::KeyDep, 13);
+    let pair = &workload.pair;
+
+    let mut group = c.benchmark_group("ablation_sketch_size_sweep");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [64usize, 256, 1024, 4096] {
+        let cfg = SketchConfig::new(n, 3);
+        group.bench_with_input(BenchmarkId::new("tupsk_query", n), &n, |b, _| {
+            let left = SketchKind::Tupsk.build_left(&pair.train, "key", "y", &cfg).expect("left");
+            let right = SketchKind::Tupsk
+                .build_right(&pair.cand, "key", "x", pair.aggregation, &cfg)
+                .expect("right");
+            b.iter(|| {
+                let joined = left.join(&right);
+                black_box(joined.estimate_mi().map(|e| e.mi).unwrap_or(f64::NAN))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_strategy_query_cost");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let cfg = SketchConfig::new(1024, 3);
+    for kind in SketchKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let left = kind.build_left(&pair.train, "key", "y", &cfg).expect("left");
+            let right =
+                kind.build_right(&pair.cand, "key", "x", pair.aggregation, &cfg).expect("right");
+            b.iter(|| {
+                let joined = left.join(&right);
+                black_box(joined.estimate_mi().map(|e| e.mi).unwrap_or(f64::NAN))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketch_size_sweep);
+criterion_main!(benches);

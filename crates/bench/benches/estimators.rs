@@ -1,0 +1,40 @@
+//! MI-estimator throughput at sketch-sized and full-join-sized samples
+//! (complements the §V-D estimation-time numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use joinmi_estimators::{dc_ksg_mi, discretize, mixed_ksg_mi, mle_mi};
+use joinmi_synth::TrinomialConfig;
+use joinmi_table::Value;
+
+fn bench_estimators(c: &mut Criterion) {
+    let gen = TrinomialConfig::new(256, 0.4, 0.35);
+    let mut group = c.benchmark_group("estimators");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+
+    for n in [256usize, 1024, 4096, 10_000] {
+        let data = gen.generate(n, 5);
+        let x_codes = discretize(&data.xs);
+        let y_codes = discretize(&data.ys);
+        let xf: Vec<f64> = data.xs.iter().map(|v| v.as_f64().unwrap()).collect();
+        let yf: Vec<f64> = data.ys.iter().map(Value::as_f64).map(Option::unwrap).collect();
+
+        group.bench_with_input(BenchmarkId::new("MLE", n), &n, |b, _| {
+            b.iter(|| black_box(mle_mi(&x_codes, &y_codes).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("MixedKSG", n), &n, |b, _| {
+            b.iter(|| black_box(mixed_ksg_mi(&xf, &yf, 3).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("DC-KSG", n), &n, |b, _| {
+            b.iter(|| black_box(dc_ksg_mi(&x_codes, &yf, 3).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

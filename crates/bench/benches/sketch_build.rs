@@ -1,0 +1,50 @@
+//! Sketch-construction throughput for every sketching strategy
+//! (supports the §V-D discussion: sketches are built offline in one pass).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use joinmi_bench::trinomial_workload;
+use joinmi_sketch::{SketchConfig, SketchKind};
+use joinmi_synth::KeyDistribution;
+
+fn bench_sketch_build(c: &mut Criterion) {
+    let workload = trinomial_workload(20_000, KeyDistribution::KeyDep, 1);
+    let cfg = SketchConfig::new(256, 7);
+
+    let mut group = c.benchmark_group("sketch_build_left_20k_rows");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for kind in SketchKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let sketch = kind
+                    .build_left(&workload.pair.train, "key", "y", &cfg)
+                    .expect("sketch build");
+                black_box(sketch.len())
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sketch_build_right_20k_rows");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for kind in SketchKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let sketch = kind
+                    .build_right(&workload.pair.cand, "key", "x", workload.pair.aggregation, &cfg)
+                    .expect("sketch build");
+                black_box(sketch.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketch_build);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Sketch-join and sketch-estimation latency (the online, per-candidate cost
+//! of a discovery query).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use joinmi_bench::trinomial_workload;
+use joinmi_sketch::{SketchConfig, SketchKind};
+use joinmi_synth::KeyDistribution;
+
+fn bench_sketch_join(c: &mut Criterion) {
+    let workload = trinomial_workload(20_000, KeyDistribution::KeyInd, 3);
+
+    let mut group = c.benchmark_group("sketch_join_and_estimate");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [256usize, 1024, 4096] {
+        let cfg = SketchConfig::new(n, 11);
+        let left = SketchKind::Tupsk
+            .build_left(&workload.pair.train, "key", "y", &cfg)
+            .expect("left sketch");
+        let right = SketchKind::Tupsk
+            .build_right(&workload.pair.cand, "key", "x", workload.pair.aggregation, &cfg)
+            .expect("right sketch");
+
+        group.bench_with_input(BenchmarkId::new("join_only", n), &n, |b, _| {
+            b.iter(|| black_box(left.join(&right).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("join_and_mle_estimate", n), &n, |b, _| {
+            b.iter(|| {
+                let joined = left.join(&right);
+                black_box(joined.estimate_mi().map(|e| e.mi).unwrap_or(f64::NAN))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketch_join);
+criterion_main!(benches);

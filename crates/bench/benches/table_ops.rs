@@ -1,0 +1,47 @@
+//! Relational-substrate throughput: group-by aggregation and the left-outer
+//! join (the costs the sketches avoid paying per candidate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use joinmi_bench::trinomial_workload;
+use joinmi_synth::KeyDistribution;
+use joinmi_table::{group_by_aggregate, left_outer_join, Aggregation};
+
+fn bench_table_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_ops");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+
+    for rows in [5_000usize, 20_000] {
+        let workload = trinomial_workload(rows, KeyDistribution::KeyDep, 2);
+        let aggregated =
+            group_by_aggregate(&workload.pair.cand, "key", "x", Aggregation::Avg).expect("group by");
+
+        group.bench_with_input(BenchmarkId::new("group_by_avg", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(
+                    group_by_aggregate(&workload.pair.cand, "key", "x", Aggregation::Avg)
+                        .expect("group by")
+                        .num_rows(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("left_outer_join", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(
+                    left_outer_join(&workload.pair.train, "key", &aggregated, "key")
+                        .expect("join")
+                        .table
+                        .num_rows(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_ops);
+criterion_main!(benches);

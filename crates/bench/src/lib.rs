@@ -1,0 +1,50 @@
+//! Shared data-generation helpers for the criterion benchmarks.
+//!
+//! Every bench uses the same deterministic workloads so results are
+//! comparable run-to-run: a Trinomial-derived pair of joinable tables (the
+//! synthetic benchmark of the paper) at several sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use joinmi_synth::{decompose, DecomposedPair, KeyDistribution, TrinomialConfig};
+use joinmi_table::Value;
+
+/// A benchmark workload: the generated pairs plus the decomposed tables.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Feature values of the (virtual) join result.
+    pub xs: Vec<Value>,
+    /// Target values of the (virtual) join result.
+    pub ys: Vec<Value>,
+    /// The decomposed joinable tables.
+    pub pair: DecomposedPair,
+    /// The analytic MI of the generating distribution.
+    pub true_mi: f64,
+}
+
+/// Builds a workload with `rows` rows, Trinomial(m = 256), under the given
+/// key regime.
+#[must_use]
+pub fn trinomial_workload(rows: usize, key_dist: KeyDistribution, seed: u64) -> Workload {
+    let gen = TrinomialConfig::new(256, 0.4, 0.35);
+    let data = gen.generate(rows, seed);
+    let pair = decompose(&data.xs, &data.ys, key_dist);
+    Workload { xs: data.xs, ys: data.ys, pair, true_mi: data.true_mi }
+}
+
+/// The table sizes used by the §V-D performance comparison.
+pub const PERF_SIZES: [usize; 3] = [5_000, 10_000, 20_000];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shapes() {
+        let w = trinomial_workload(500, KeyDistribution::KeyInd, 1);
+        assert_eq!(w.xs.len(), 500);
+        assert_eq!(w.pair.train.num_rows(), 500);
+        assert!(w.true_mi > 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Sketch configuration.
+
+use joinmi_hash::{KeyHasher, UnitHasher};
+
+/// Which side of the augmentation join a sketch was built for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The base / training table (`Ttrain[K_Y, Y]`): repeated keys are
+    /// *sampled*, never aggregated.
+    Left,
+    /// The candidate / augmentation table (`Tcand[K_Z, Z]`): repeated keys
+    /// are aggregated with the featurization function before sampling.
+    Right,
+}
+
+/// Configuration shared by all sketching strategies.
+///
+/// The single tuning parameter of the paper's method is the maximum sketch
+/// size `n`; the seed exists so experiments can repeat trials with
+/// independent hash functions while remaining reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchConfig {
+    /// Maximum number of sampled rows kept in the sketch (`n`).
+    pub size: usize,
+    /// Seed for the hash functions and any auxiliary randomness.
+    pub seed: u64,
+}
+
+impl SketchConfig {
+    /// Creates a configuration with the given sketch size and seed.
+    #[must_use]
+    pub fn new(size: usize, seed: u64) -> Self {
+        Self { size, seed }
+    }
+
+    /// The key hasher (`h` in the paper): 64-bit MurmurHash3 digests of key
+    /// values. The same hasher must be used for both tables of a pair, which
+    /// is guaranteed because it only depends on the seed.
+    #[must_use]
+    pub fn key_hasher(&self) -> KeyHasher {
+        // The key hasher is deliberately *not* salted with the seed: sketches
+        // built at different times (and by different parties) must agree on
+        // key digests to stay coordinated. The seed only affects the
+        // unit-range hash below.
+        KeyHasher::default_64()
+    }
+
+    /// The unit-range hasher (`h_u` in the paper), salted with the seed.
+    #[must_use]
+    pub fn unit_hasher(&self) -> UnitHasher {
+        UnitHasher::new(self.seed)
+    }
+}
+
+impl Default for SketchConfig {
+    fn default() -> Self {
+        Self { size: 256, seed: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_experiments() {
+        let cfg = SketchConfig::default();
+        assert_eq!(cfg.size, 256);
+        assert_eq!(cfg.seed, 0);
+    }
+
+    #[test]
+    fn key_hasher_is_seed_independent_but_unit_hasher_is_not() {
+        let a = SketchConfig::new(64, 1);
+        let b = SketchConfig::new(64, 2);
+        let key = a.key_hasher().hash_str("x");
+        assert_eq!(key, b.key_hasher().hash_str("x"));
+        assert_ne!(a.unit_hasher().unit(key.raw()), b.unit_hasher().unit(key.raw()));
+    }
+}

@@ -1,0 +1,263 @@
+//! Sketch joins and MI estimation over the recovered sample.
+//!
+//! Joining two column sketches on their hashed keys recovers a subset of the
+//! full join's `(x, y)` pairs (Section IV, "Approach Overview"). The paired
+//! sample is then handed to one of the estimators of `joinmi-estimators`,
+//! selected from the value data types exactly as in the paper's experiments.
+
+use std::collections::HashMap;
+
+use joinmi_estimators::{
+    estimate_mi as est_estimate_mi, pearson, select_estimator, spearman, EstimatorError,
+    EstimatorKind, MiEstimate, Variable, DEFAULT_K,
+};
+use joinmi_table::{DataType, Value};
+
+use crate::row::ColumnSketch;
+
+/// The paired sample recovered by joining a left sketch with a right sketch.
+#[derive(Debug, Clone)]
+pub struct JoinedSketch {
+    /// Feature values (from the right / augmentation sketch), aligned with `ys`.
+    xs: Vec<Value>,
+    /// Target values (from the left / training sketch), aligned with `xs`.
+    ys: Vec<Value>,
+    x_dtype: DataType,
+    y_dtype: DataType,
+}
+
+impl JoinedSketch {
+    /// Joins a left sketch with a right sketch on the hashed join keys.
+    #[must_use]
+    pub fn from_sketches(left: &ColumnSketch, right: &ColumnSketch) -> Self {
+        // Right side: unique keys (first row wins if the builder somehow kept
+        // duplicates, mirroring many-to-one semantics).
+        let mut right_map: HashMap<u64, &Value> = HashMap::with_capacity(right.len());
+        for row in right.rows() {
+            right_map.entry(row.key.raw()).or_insert(&row.value);
+        }
+
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for row in left.rows() {
+            if let Some(&x) = right_map.get(&row.key.raw()) {
+                if row.value.is_null() || x.is_null() {
+                    continue;
+                }
+                xs.push(x.clone());
+                ys.push(row.value.clone());
+            }
+        }
+        Self { xs, ys, x_dtype: right.value_dtype(), y_dtype: left.value_dtype() }
+    }
+
+    /// Builds a joined sample directly from paired value columns (used for
+    /// the full-join baseline, which shares the estimation path with the
+    /// sketches).
+    #[must_use]
+    pub fn from_pairs(
+        xs: Vec<Value>,
+        ys: Vec<Value>,
+        x_dtype: DataType,
+        y_dtype: DataType,
+    ) -> Self {
+        // Keep only pairs where both sides are non-NULL.
+        let (xs, ys): (Vec<Value>, Vec<Value>) = xs
+            .into_iter()
+            .zip(ys)
+            .filter(|(x, y)| !x.is_null() && !y.is_null())
+            .unzip();
+        Self { xs, ys, x_dtype, y_dtype }
+    }
+
+    /// Number of recovered pairs (the paper's "sketch join size").
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Returns `true` if no pairs were recovered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The feature values.
+    #[must_use]
+    pub fn xs(&self) -> &[Value] {
+        &self.xs
+    }
+
+    /// The target values.
+    #[must_use]
+    pub fn ys(&self) -> &[Value] {
+        &self.ys
+    }
+
+    /// Data type of the feature values.
+    #[must_use]
+    pub fn x_dtype(&self) -> DataType {
+        self.x_dtype
+    }
+
+    /// Data type of the target values.
+    #[must_use]
+    pub fn y_dtype(&self) -> DataType {
+        self.y_dtype
+    }
+
+    /// Converts both sides to estimator variables (strings → discrete codes,
+    /// numerics → continuous coordinates).
+    pub fn variables(&self) -> Result<(Variable, Variable), EstimatorError> {
+        let x = Variable::from_values(&self.xs, self.x_dtype)?;
+        let y = Variable::from_values(&self.ys, self.y_dtype)?;
+        Ok((x, y))
+    }
+
+    /// The estimator that the data-type rule would select for this sample.
+    pub fn selected_estimator(&self) -> Result<EstimatorKind, EstimatorError> {
+        let (x, y) = self.variables()?;
+        Ok(select_estimator(&x, &y))
+    }
+
+    /// Estimates `I(X; Y)` from the recovered pairs with the automatically
+    /// selected estimator and the default `k`.
+    pub fn estimate_mi(&self) -> Result<MiEstimate, EstimatorError> {
+        self.estimate_mi_with_k(DEFAULT_K)
+    }
+
+    /// Estimates MI with the automatically selected estimator and a custom
+    /// neighbour count `k` for the KSG-family estimators.
+    pub fn estimate_mi_with_k(&self, k: usize) -> Result<MiEstimate, EstimatorError> {
+        let (x, y) = self.variables()?;
+        est_estimate_mi(&x, &y, k)
+    }
+
+    /// Estimates MI with an explicitly chosen estimator.
+    pub fn estimate_mi_with(
+        &self,
+        kind: EstimatorKind,
+        k: usize,
+    ) -> Result<MiEstimate, EstimatorError> {
+        let (x, y) = self.variables()?;
+        joinmi_estimators::select::estimate_mi_with(&x, &y, kind, k)
+    }
+
+    /// Pearson correlation of the recovered pairs (what the CSK baseline
+    /// estimates); `None` when either side is non-numeric or degenerate.
+    #[must_use]
+    pub fn estimate_pearson(&self) -> Option<f64> {
+        let xs: Option<Vec<f64>> = self.xs.iter().map(Value::as_f64).collect();
+        let ys: Option<Vec<f64>> = self.ys.iter().map(Value::as_f64).collect();
+        pearson(&xs?, &ys?)
+    }
+
+    /// Spearman rank correlation of the recovered pairs; `None` when either
+    /// side is non-numeric or degenerate.
+    #[must_use]
+    pub fn estimate_spearman(&self) -> Option<f64> {
+        let xs: Option<Vec<f64>> = self.xs.iter().map(Value::as_f64).collect();
+        let ys: Option<Vec<f64>> = self.ys.iter().map(Value::as_f64).collect();
+        spearman(&xs?, &ys?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Side, SketchConfig};
+    use crate::kind::SketchKind;
+    use crate::row::SketchRow;
+    use joinmi_hash::KeyHash;
+
+    fn sketch(side: Side, dtype: DataType, rows: Vec<(u64, Value)>) -> ColumnSketch {
+        ColumnSketch::new(
+            SketchKind::Tupsk,
+            side,
+            rows.into_iter().map(|(k, v)| SketchRow::new(KeyHash(k), v)).collect(),
+            dtype,
+            100,
+            10,
+            SketchConfig::default(),
+        )
+    }
+
+    #[test]
+    fn join_pairs_by_key_hash() {
+        let left = sketch(
+            Side::Left,
+            DataType::Int,
+            vec![(1, Value::Int(10)), (1, Value::Int(11)), (2, Value::Int(20)), (9, Value::Int(90))],
+        );
+        let right = sketch(
+            Side::Right,
+            DataType::Float,
+            vec![(1, Value::Float(0.5)), (2, Value::Float(0.7)), (3, Value::Float(0.9))],
+        );
+        let joined = left.join(&right);
+        assert_eq!(joined.len(), 3);
+        assert_eq!(joined.ys(), &[Value::Int(10), Value::Int(11), Value::Int(20)]);
+        assert_eq!(joined.xs(), &[Value::Float(0.5), Value::Float(0.5), Value::Float(0.7)]);
+    }
+
+    #[test]
+    fn null_values_are_dropped_from_pairs() {
+        let left = sketch(Side::Left, DataType::Int, vec![(1, Value::Null), (2, Value::Int(2))]);
+        let right =
+            sketch(Side::Right, DataType::Float, vec![(1, Value::Float(1.0)), (2, Value::Float(2.0))]);
+        let joined = left.join(&right);
+        assert_eq!(joined.len(), 1);
+    }
+
+    #[test]
+    fn estimate_mi_selects_by_type() {
+        // Numeric-numeric → MixedKSG; string-string → MLE.
+        let n = 64u64;
+        let left_rows: Vec<(u64, Value)> = (0..n).map(|i| (i, Value::Int((i % 8) as i64))).collect();
+        let right_rows: Vec<(u64, Value)> =
+            (0..n).map(|i| (i, Value::Float((i % 8) as f64 * 2.0))).collect();
+        let joined = sketch(Side::Left, DataType::Int, left_rows.clone())
+            .join(&sketch(Side::Right, DataType::Float, right_rows));
+        assert_eq!(joined.selected_estimator().unwrap(), EstimatorKind::MixedKsg);
+        assert!(joined.estimate_mi().unwrap().mi > 0.5);
+
+        let right_str: Vec<(u64, Value)> =
+            (0..n).map(|i| (i, Value::from(format!("cat{}", i % 8)))).collect();
+        let left_str: Vec<(u64, Value)> =
+            (0..n).map(|i| (i, Value::from(format!("tag{}", i % 8)))).collect();
+        let joined = sketch(Side::Left, DataType::Str, left_str)
+            .join(&sketch(Side::Right, DataType::Str, right_str));
+        assert_eq!(joined.selected_estimator().unwrap(), EstimatorKind::Mle);
+        let est = joined.estimate_mi().unwrap();
+        assert_eq!(est.estimator, EstimatorKind::Mle);
+        assert!((est.mi - 8.0_f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_pairs_filters_nulls_and_estimates() {
+        let xs = vec![Value::Float(1.0), Value::Null, Value::Float(3.0), Value::Float(4.0), Value::Float(5.0)];
+        let ys = vec![Value::Int(1), Value::Int(2), Value::Int(3), Value::Null, Value::Int(5)];
+        let j = JoinedSketch::from_pairs(xs, ys, DataType::Float, DataType::Int);
+        assert_eq!(j.len(), 3);
+        assert!(j.estimate_pearson().unwrap() > 0.99);
+        assert!(j.estimate_spearman().unwrap() > 0.99);
+    }
+
+    #[test]
+    fn correlations_are_none_for_string_data() {
+        let j = JoinedSketch::from_pairs(
+            vec![Value::from("a")],
+            vec![Value::Int(1)],
+            DataType::Str,
+            DataType::Int,
+        );
+        assert!(j.estimate_pearson().is_none());
+    }
+
+    #[test]
+    fn empty_join_estimation_errors() {
+        let j = JoinedSketch::from_pairs(vec![], vec![], DataType::Int, DataType::Int);
+        assert!(j.is_empty());
+        assert!(j.estimate_mi().is_err());
+    }
+}

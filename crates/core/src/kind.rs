@@ -1,0 +1,151 @@
+//! Dynamic dispatch over the sketching strategies.
+
+use std::fmt;
+use std::str::FromStr;
+
+use joinmi_table::{Aggregation, Table};
+
+use crate::config::SketchConfig;
+use crate::row::ColumnSketch;
+use crate::Result;
+use crate::{csk, indsk, lv2sk, prisk, tupsk};
+
+/// The sketching strategies evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SketchKind {
+    /// Tuple-based sampling — the proposed method (Section IV-B).
+    Tupsk,
+    /// Two-level sampling baseline (Section IV-A).
+    Lv2sk,
+    /// Two-level sampling with a priority-sampling first level.
+    Prisk,
+    /// Independent Bernoulli sampling (no coordination).
+    Indsk,
+    /// Correlation Sketches extended to MI estimation.
+    Csk,
+}
+
+impl SketchKind {
+    /// All strategies, in the order used by the paper's tables.
+    pub const ALL: [Self; 5] = [Self::Csk, Self::Indsk, Self::Lv2sk, Self::Prisk, Self::Tupsk];
+
+    /// The strategies compared on real data in Table II.
+    pub const TABLE2: [Self; 3] = [Self::Lv2sk, Self::Prisk, Self::Tupsk];
+
+    /// Upper-case name as used in the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Tupsk => "TUPSK",
+            Self::Lv2sk => "LV2SK",
+            Self::Prisk => "PRISK",
+            Self::Indsk => "INDSK",
+            Self::Csk => "CSK",
+        }
+    }
+
+    /// Builds a sketch of the base (training) table's `(key, target)` pair.
+    pub fn build_left(
+        self,
+        table: &Table,
+        key: &str,
+        value: &str,
+        cfg: &SketchConfig,
+    ) -> Result<ColumnSketch> {
+        match self {
+            Self::Tupsk => tupsk::build_left(table, key, value, cfg),
+            Self::Lv2sk => lv2sk::build_left(table, key, value, cfg),
+            Self::Prisk => prisk::build_left(table, key, value, cfg),
+            Self::Indsk => indsk::build_left(table, key, value, cfg),
+            Self::Csk => csk::build_left(table, key, value, cfg),
+        }
+    }
+
+    /// Builds a sketch of the candidate table's `(key, feature)` pair,
+    /// aggregating repeated keys with `agg` (except CSK, which keeps the
+    /// first value per key by construction).
+    pub fn build_right(
+        self,
+        table: &Table,
+        key: &str,
+        value: &str,
+        agg: Aggregation,
+        cfg: &SketchConfig,
+    ) -> Result<ColumnSketch> {
+        match self {
+            Self::Tupsk => tupsk::build_right(table, key, value, agg, cfg),
+            Self::Lv2sk => lv2sk::build_right(table, key, value, agg, cfg),
+            Self::Prisk => prisk::build_right(table, key, value, agg, cfg),
+            Self::Indsk => indsk::build_right(table, key, value, agg, cfg),
+            Self::Csk => csk::build_right(table, key, value, agg, cfg),
+        }
+    }
+}
+
+impl fmt::Display for SketchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SketchKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "TUPSK" => Ok(Self::Tupsk),
+            "LV2SK" => Ok(Self::Lv2sk),
+            "PRISK" => Ok(Self::Prisk),
+            "INDSK" => Ok(Self::Indsk),
+            "CSK" => Ok(Self::Csk),
+            other => Err(format!("unknown sketch kind `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_tables() -> (Table, Table) {
+        let train = Table::builder("train")
+            .push_str_column("k", vec!["a", "a", "b", "c", "d", "e"])
+            .push_int_column("y", vec![1, 2, 3, 4, 5, 6])
+            .build()
+            .unwrap();
+        let cand = Table::builder("cand")
+            .push_str_column("k", vec!["a", "b", "b", "c", "d", "e", "e"])
+            .push_float_column("z", vec![1.0, 2.0, 4.0, 3.0, 4.0, 5.0, 7.0])
+            .build()
+            .unwrap();
+        (train, cand)
+    }
+
+    #[test]
+    fn every_kind_builds_and_joins() {
+        let (train, cand) = tiny_tables();
+        let cfg = SketchConfig::new(8, 1);
+        for kind in SketchKind::ALL {
+            let left = kind.build_left(&train, "k", "y", &cfg).unwrap();
+            let right = kind.build_right(&cand, "k", "z", Aggregation::Avg, &cfg).unwrap();
+            assert_eq!(left.kind(), kind);
+            assert_eq!(right.kind(), kind);
+            let joined = left.join(&right);
+            assert!(joined.len() <= 6, "{kind}: {}", joined.len());
+            if kind != SketchKind::Indsk {
+                assert!(joined.len() >= 5, "{kind}: join too small ({})", joined.len());
+            }
+        }
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for kind in SketchKind::ALL {
+            let parsed: SketchKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+            let parsed_lower: SketchKind = kind.name().to_lowercase().parse().unwrap();
+            assert_eq!(parsed_lower, kind);
+        }
+        assert!("BOGUS".parse::<SketchKind>().is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Bounded "keep the n smallest digests" selection (KMV-style).
+//!
+//! All coordinated sketches select items whose (unit-range) hash values are
+//! among the `n` minimum values seen. [`BoundedMinSet`] maintains that set in
+//! one pass with a max-heap, so sketch construction is `O(N log n)` and never
+//! holds more than `n` candidate items.
+
+use std::collections::BinaryHeap;
+
+/// An item tracked by a [`BoundedMinSet`]: a digest used for ordering plus an
+/// opaque payload.
+#[derive(Debug, Clone)]
+struct HeapItem<T> {
+    digest: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for HeapItem<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.digest == other.digest
+    }
+}
+impl<T> Eq for HeapItem<T> {}
+impl<T> PartialOrd for HeapItem<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapItem<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.digest.cmp(&other.digest)
+    }
+}
+
+/// Keeps the `capacity` items with the smallest digests seen so far.
+///
+/// Digest ties are resolved by keeping whichever item was offered first
+/// (subsequent equal digests are rejected only if the set is full and the tie
+/// is with the current maximum — for 64-bit salted digests ties are
+/// vanishingly rare and never matter statistically).
+#[derive(Debug, Clone)]
+pub struct BoundedMinSet<T> {
+    capacity: usize,
+    heap: BinaryHeap<HeapItem<T>>,
+}
+
+impl<T> BoundedMinSet<T> {
+    /// Creates a set that keeps at most `capacity` items.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, heap: BinaryHeap::with_capacity(capacity + 1) }
+    }
+
+    /// Offers an item; it is kept if the set is not full or if its digest is
+    /// smaller than the current maximum. Returns `true` if the item was kept.
+    pub fn offer(&mut self, digest: u64, payload: T) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if self.heap.len() < self.capacity {
+            self.heap.push(HeapItem { digest, payload });
+            true
+        } else if let Some(top) = self.heap.peek() {
+            if digest < top.digest {
+                self.heap.pop();
+                self.heap.push(HeapItem { digest, payload });
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        }
+    }
+
+    /// Current number of kept items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no items are kept.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Largest digest currently kept (the selection threshold once full).
+    #[must_use]
+    pub fn threshold(&self) -> Option<u64> {
+        self.heap.peek().map(|i| i.digest)
+    }
+
+    /// Consumes the set and returns the kept items sorted by digest
+    /// (ascending).
+    #[must_use]
+    pub fn into_sorted(self) -> Vec<(u64, T)> {
+        let mut items: Vec<(u64, T)> =
+            self.heap.into_iter().map(|i| (i.digest, i.payload)).collect();
+        items.sort_by_key(|(d, _)| *d);
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_n_smallest() {
+        let mut set = BoundedMinSet::new(3);
+        for d in [50u64, 10, 40, 20, 30, 5] {
+            set.offer(d, d * 100);
+        }
+        let kept = set.into_sorted();
+        assert_eq!(kept.iter().map(|(d, _)| *d).collect::<Vec<_>>(), vec![5, 10, 20]);
+        assert_eq!(kept[0].1, 500);
+    }
+
+    #[test]
+    fn capacity_zero_keeps_nothing() {
+        let mut set = BoundedMinSet::new(0);
+        assert!(!set.offer(1, ()));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut set = BoundedMinSet::new(10);
+        for d in 0..5u64 {
+            assert!(set.offer(d, ()));
+        }
+        assert_eq!(set.len(), 5);
+        assert_eq!(set.threshold(), Some(4));
+    }
+
+    #[test]
+    fn offer_reports_rejections() {
+        let mut set = BoundedMinSet::new(1);
+        assert!(set.offer(10, ()));
+        assert!(!set.offer(20, ()));
+        assert!(set.offer(5, ()));
+        assert_eq!(set.threshold(), Some(5));
+    }
+
+    #[test]
+    fn selection_is_insertion_order_independent() {
+        let digests: Vec<u64> = (0..1000).map(|i| (i * 2_654_435_761u64) % 10_000).collect();
+        let mut a = BoundedMinSet::new(50);
+        let mut b = BoundedMinSet::new(50);
+        for &d in &digests {
+            a.offer(d, ());
+        }
+        for &d in digests.iter().rev() {
+            b.offer(d, ());
+        }
+        let da: Vec<u64> = a.into_sorted().into_iter().map(|(d, _)| d).collect();
+        let db: Vec<u64> = b.into_sorted().into_iter().map(|(d, _)| d).collect();
+        assert_eq!(da, db);
+    }
+}

@@ -1,0 +1,77 @@
+//! Fixed-size coordinated-sampling sketches for join-free mutual-information
+//! estimation — the primary contribution of the paper (Section IV).
+//!
+//! # The problem
+//!
+//! Given a base table `Ttrain[K_Y, Y]` and a candidate table `Tcand[K_Z, Z]`,
+//! estimate `I(X; Y)` where `X = AGG(Z) GROUP BY K_Z` joined back onto
+//! `Ttrain` with a left-outer many-to-one join — *without* materializing the
+//! join. Sketches are built per column offline; at query time two sketches
+//! are joined on their hashed keys and the recovered paired sample is fed to
+//! an off-the-shelf MI estimator.
+//!
+//! # The sketches
+//!
+//! | Kind | Sampling frame | Coordination | Size bound | Notes |
+//! |---|---|---|---|---|
+//! | [`SketchKind::Tupsk`] | individual rows `⟨k, j⟩` | on `⟨k, 1⟩` | `n` | **proposed method** — uniform inclusion probability `1/N`, i.i.d.-like samples |
+//! | [`SketchKind::Lv2sk`] | distinct keys, then rows | on `k` | `2n` | two-level baseline; inclusion probability depends on the key-frequency distribution |
+//! | [`SketchKind::Prisk`] | distinct keys (priority sampling), then rows | on `k` | `2n` | weighted first level; behaves like LV2SK in practice |
+//! | [`SketchKind::Indsk`] | rows, independent Bernoulli | none | expected `n` | no coordination → tiny sketch-join sizes |
+//! | [`SketchKind::Csk`] | distinct keys (KMV), first value per key | on `k` | `n` | Correlation-Sketches extension; ignores key multiplicity |
+//!
+//! # Quick example
+//!
+//! ```
+//! use joinmi_table::{Aggregation, Table};
+//! use joinmi_sketch::{SketchConfig, SketchKind};
+//!
+//! let train = Table::builder("train")
+//!     .push_str_column("k", vec!["a", "a", "b", "c"])
+//!     .push_int_column("y", vec![1, 2, 3, 4])
+//!     .build()
+//!     .unwrap();
+//! let cand = Table::builder("cand")
+//!     .push_str_column("k", vec!["a", "b", "b", "c"])
+//!     .push_float_column("z", vec![0.5, 1.0, 2.0, 3.0])
+//!     .build()
+//!     .unwrap();
+//!
+//! let cfg = SketchConfig::new(128, 7);
+//! let left = SketchKind::Tupsk.build_left(&train, "k", "y", &cfg).unwrap();
+//! let right = SketchKind::Tupsk
+//!     .build_right(&cand, "k", "z", Aggregation::Avg, &cfg)
+//!     .unwrap();
+//! let joined = left.join(&right);
+//! assert_eq!(joined.len(), 4); // small tables: the sketch recovers the full join
+//! let est = joined.estimate_mi().unwrap();
+//! assert!(est.mi >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod csk;
+pub mod indsk;
+pub mod join;
+pub mod kind;
+pub mod kmv;
+pub mod lv2sk;
+pub mod prep;
+pub mod prisk;
+pub mod row;
+pub mod tupsk;
+
+pub use config::{Side, SketchConfig};
+pub use join::JoinedSketch;
+pub use kind::SketchKind;
+pub use kmv::BoundedMinSet;
+pub use row::{ColumnSketch, SketchRow};
+
+// Re-exported so sketch users do not need a direct dependency on the table
+// crate for the common case.
+pub use joinmi_table::Aggregation;
+
+/// Result alias using the table error type (sketches operate on tables).
+pub type Result<T> = std::result::Result<T, joinmi_table::TableError>;

@@ -1,0 +1,164 @@
+//! Shared preparation helpers for the sketch builders.
+//!
+//! Every builder starts the same way: hash the join-key column, drop NULL
+//! keys, and (for the right-hand side) aggregate repeated keys with the
+//! featurization function. These helpers centralize that logic so the
+//! builders only differ in their *sampling strategy*, mirroring the way the
+//! paper presents them.
+
+use std::collections::HashMap;
+
+use joinmi_hash::{KeyHash, KeyHasher};
+use joinmi_table::{group_by_aggregate, Aggregation, DataType, Table, Value};
+
+use crate::Result;
+
+/// The key/value rows of a table prepared for sketching (left side: one entry
+/// per row with a non-NULL key, in table order).
+#[derive(Debug, Clone)]
+pub struct PreparedRows {
+    /// Hashed key and value for each usable row, in table order.
+    pub rows: Vec<(KeyHash, Value)>,
+    /// Data type of the value column.
+    pub value_dtype: DataType,
+    /// Number of usable rows (`N` in the paper's analysis).
+    pub n_rows: usize,
+    /// Number of distinct key digests (`m_K`).
+    pub distinct_keys: usize,
+    /// Frequency of each key digest (`N_k`).
+    pub key_counts: HashMap<u64, usize>,
+}
+
+/// Prepares the left (training) side: hash keys, keep values as-is.
+pub fn prepare_left(
+    table: &Table,
+    key: &str,
+    value: &str,
+    hasher: &KeyHasher,
+) -> Result<PreparedRows> {
+    let key_col = table.column(key)?;
+    let value_col = table.column(value)?;
+
+    let mut rows = Vec::with_capacity(table.num_rows());
+    let mut key_counts: HashMap<u64, usize> = HashMap::new();
+    for i in 0..table.num_rows() {
+        let k = key_col.value(i);
+        if k.is_null() {
+            continue;
+        }
+        let digest = k.key_hash(hasher);
+        *key_counts.entry(digest.raw()).or_default() += 1;
+        rows.push((digest, value_col.value(i)));
+    }
+
+    Ok(PreparedRows {
+        n_rows: rows.len(),
+        distinct_keys: key_counts.len(),
+        value_dtype: value_col.dtype(),
+        rows,
+        key_counts,
+    })
+}
+
+/// Prepares the right (candidate) side: aggregate repeated keys with the
+/// featurization function, then hash the now-unique keys.
+///
+/// Returns the prepared (unique-key) rows; `n_rows` is the number of rows of
+/// the *original* candidate table with a non-NULL key, so sketch metadata
+/// reflects the true source size.
+pub fn prepare_right(
+    table: &Table,
+    key: &str,
+    value: &str,
+    agg: Aggregation,
+    hasher: &KeyHasher,
+) -> Result<PreparedRows> {
+    let aggregated = group_by_aggregate(table, key, value, agg)?;
+    let agg_value_name = format!("{}({value})", agg.name());
+    let key_col = aggregated.column(key)?;
+    let value_col = aggregated.column(&agg_value_name)?;
+
+    let mut rows = Vec::with_capacity(aggregated.num_rows());
+    let mut key_counts: HashMap<u64, usize> = HashMap::new();
+    for i in 0..aggregated.num_rows() {
+        let k = key_col.value(i);
+        if k.is_null() {
+            continue;
+        }
+        let digest = k.key_hash(hasher);
+        *key_counts.entry(digest.raw()).or_default() += 1;
+        rows.push((digest, value_col.value(i)));
+    }
+
+    // Count non-NULL-key rows of the original table for metadata.
+    let original_key_col = table.column(key)?;
+    let source_rows = (0..table.num_rows()).filter(|&i| !original_key_col.value(i).is_null()).count();
+
+    Ok(PreparedRows {
+        n_rows: source_rows,
+        distinct_keys: rows.len(),
+        value_dtype: value_col.dtype(),
+        rows,
+        key_counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand() -> Table {
+        Table::builder("cand")
+            .push_str_column("k", vec!["a", "b", "b", "b", "c", "c", "c"])
+            .push_int_column("z", vec![1, 2, 2, 5, 0, 3, 3])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn prepare_left_counts_keys() {
+        let hasher = KeyHasher::default_64();
+        let prep = prepare_left(&cand(), "k", "z", &hasher).unwrap();
+        assert_eq!(prep.n_rows, 7);
+        assert_eq!(prep.distinct_keys, 3);
+        assert_eq!(prep.rows.len(), 7);
+        let a_digest = Value::from("a").key_hash(&hasher).raw();
+        let b_digest = Value::from("b").key_hash(&hasher).raw();
+        assert_eq!(prep.key_counts[&a_digest], 1);
+        assert_eq!(prep.key_counts[&b_digest], 3);
+    }
+
+    #[test]
+    fn prepare_right_aggregates_to_unique_keys() {
+        let hasher = KeyHasher::default_64();
+        let prep = prepare_right(&cand(), "k", "z", Aggregation::Avg, &hasher).unwrap();
+        assert_eq!(prep.rows.len(), 3);
+        assert_eq!(prep.distinct_keys, 3);
+        assert_eq!(prep.n_rows, 7);
+        assert_eq!(prep.value_dtype, DataType::Float);
+        // Aggregated values are {a:1, b:3, c:2}.
+        let b_digest = Value::from("b").key_hash(&hasher).raw();
+        let b_value = prep.rows.iter().find(|(k, _)| k.raw() == b_digest).unwrap().1.clone();
+        assert_eq!(b_value, Value::Float(3.0));
+    }
+
+    #[test]
+    fn null_keys_are_dropped() {
+        let t = Table::builder("t")
+            .push_value_column(
+                "k",
+                DataType::Str,
+                &[Value::from("a"), Value::Null, Value::from("b")],
+            )
+            .unwrap()
+            .push_int_column("z", vec![1, 2, 3])
+            .build()
+            .unwrap();
+        let hasher = KeyHasher::default_64();
+        let prep = prepare_left(&t, "k", "z", &hasher).unwrap();
+        assert_eq!(prep.n_rows, 2);
+        let prep_r = prepare_right(&t, "k", "z", Aggregation::Count, &hasher).unwrap();
+        assert_eq!(prep_r.rows.len(), 2);
+        assert_eq!(prep_r.n_rows, 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Sketch rows and per-column sketches.
+
+use joinmi_hash::KeyHash;
+use joinmi_table::{DataType, Value};
+
+use crate::config::{Side, SketchConfig};
+use crate::join::JoinedSketch;
+use crate::kind::SketchKind;
+
+/// One sampled tuple `⟨h(k), value⟩` stored in a sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchRow {
+    /// Hash digest of the join-key value.
+    pub key: KeyHash,
+    /// The sampled target / feature value associated with the key occurrence.
+    pub value: Value,
+}
+
+impl SketchRow {
+    /// Creates a sketch row.
+    #[must_use]
+    pub fn new(key: KeyHash, value: Value) -> Self {
+        Self { key, value }
+    }
+}
+
+/// A sketch of one `(join key, value column)` pair of a table.
+///
+/// Built offline with one of the [`SketchKind`](crate::SketchKind)
+/// strategies; joined with another column's sketch at query time to recover a
+/// sample of the (never materialized) join.
+#[derive(Debug, Clone)]
+pub struct ColumnSketch {
+    kind: SketchKind,
+    side: Side,
+    rows: Vec<SketchRow>,
+    value_dtype: DataType,
+    source_rows: usize,
+    source_distinct_keys: usize,
+    config: SketchConfig,
+}
+
+impl ColumnSketch {
+    /// Assembles a sketch from its parts (used by the builder modules).
+    #[must_use]
+    pub fn new(
+        kind: SketchKind,
+        side: Side,
+        rows: Vec<SketchRow>,
+        value_dtype: DataType,
+        source_rows: usize,
+        source_distinct_keys: usize,
+        config: SketchConfig,
+    ) -> Self {
+        Self { kind, side, rows, value_dtype, source_rows, source_distinct_keys, config }
+    }
+
+    /// The sketching strategy that produced this sketch.
+    #[must_use]
+    pub fn kind(&self) -> SketchKind {
+        self.kind
+    }
+
+    /// Which side of the join this sketch represents.
+    #[must_use]
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// The sampled rows.
+    #[must_use]
+    pub fn rows(&self) -> &[SketchRow] {
+        &self.rows
+    }
+
+    /// Number of sampled rows actually stored (the paper's "storage size").
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the sketch holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Data type of the sampled values.
+    #[must_use]
+    pub fn value_dtype(&self) -> DataType {
+        self.value_dtype
+    }
+
+    /// Number of rows in the source table at build time.
+    #[must_use]
+    pub fn source_rows(&self) -> usize {
+        self.source_rows
+    }
+
+    /// Number of distinct non-NULL join-key values in the source table.
+    #[must_use]
+    pub fn source_distinct_keys(&self) -> usize {
+        self.source_distinct_keys
+    }
+
+    /// The configuration the sketch was built with.
+    #[must_use]
+    pub fn config(&self) -> &SketchConfig {
+        &self.config
+    }
+
+    /// Number of distinct key digests stored in the sketch.
+    #[must_use]
+    pub fn distinct_keys(&self) -> usize {
+        let mut keys: Vec<u64> = self.rows.iter().map(|r| r.key.raw()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+
+    /// Joins this (left) sketch with a right-side sketch on the hashed keys,
+    /// recovering paired `(y, x)` samples of the join result.
+    ///
+    /// The right sketch is expected to have unique keys (aggregated side);
+    /// if it does not, the first row per key wins, mirroring the behaviour of
+    /// a many-to-one join.
+    #[must_use]
+    pub fn join(&self, right: &ColumnSketch) -> JoinedSketch {
+        JoinedSketch::from_sketches(self, right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sketch(values: Vec<(u64, Value)>) -> ColumnSketch {
+        let rows = values.into_iter().map(|(k, v)| SketchRow::new(KeyHash(k), v)).collect();
+        ColumnSketch::new(
+            SketchKind::Tupsk,
+            Side::Left,
+            rows,
+            DataType::Int,
+            100,
+            10,
+            SketchConfig::default(),
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let s = sample_sketch(vec![(1, Value::Int(5)), (2, Value::Int(6)), (1, Value::Int(7))]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.distinct_keys(), 2);
+        assert_eq!(s.value_dtype(), DataType::Int);
+        assert_eq!(s.source_rows(), 100);
+        assert_eq!(s.source_distinct_keys(), 10);
+        assert_eq!(s.kind(), SketchKind::Tupsk);
+        assert_eq!(s.side(), Side::Left);
+        assert_eq!(s.config().size, 256);
+    }
+}

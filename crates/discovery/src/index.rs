@@ -1,0 +1,134 @@
+//! Joinability index.
+//!
+//! Before estimating MI, the discovery system prunes candidates whose join
+//! key does not overlap the query key at all (the role played by inverted
+//! indexes / LSH ensembles in the systems the paper cites). Because every
+//! candidate already carries a KMV-style sketch of its key column, the index
+//! simply keeps, per candidate, the set of sampled key digests; overlap with
+//! the query sketch's digests gives a containment estimate that is cheap and
+//! join-free.
+
+use std::collections::{HashMap, HashSet};
+
+use joinmi_sketch::ColumnSketch;
+
+/// An inverted index from sampled key digests to candidate identifiers.
+#[derive(Debug, Default)]
+pub struct JoinabilityIndex {
+    /// digest → candidate indices whose sketch contains that digest.
+    postings: HashMap<u64, Vec<usize>>,
+    /// candidate index → number of distinct digests in its sketch.
+    candidate_sizes: HashMap<usize, usize>,
+}
+
+impl JoinabilityIndex {
+    /// Builds an index over the given candidate sketches (indexed by their
+    /// position in the slice).
+    #[must_use]
+    pub fn build(candidates: &[&ColumnSketch]) -> Self {
+        let mut index = Self::default();
+        for (i, sketch) in candidates.iter().enumerate() {
+            index.insert(i, sketch);
+        }
+        index
+    }
+
+    /// Adds one candidate sketch under the given identifier.
+    pub fn insert(&mut self, id: usize, sketch: &ColumnSketch) {
+        let digests: HashSet<u64> = sketch.rows().iter().map(|r| r.key.raw()).collect();
+        self.candidate_sizes.insert(id, digests.len());
+        for d in digests {
+            self.postings.entry(d).or_default().push(id);
+        }
+    }
+
+    /// Number of indexed candidates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.candidate_sizes.len()
+    }
+
+    /// Returns `true` if no candidates are indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.candidate_sizes.is_empty()
+    }
+
+    /// Returns `(candidate id, number of overlapping sampled keys)` for every
+    /// candidate that shares at least `min_overlap` sampled key digests with
+    /// the query sketch, sorted by overlap (descending).
+    #[must_use]
+    pub fn query(&self, query: &ColumnSketch, min_overlap: usize) -> Vec<(usize, usize)> {
+        let query_digests: HashSet<u64> = query.rows().iter().map(|r| r.key.raw()).collect();
+        let mut overlap: HashMap<usize, usize> = HashMap::new();
+        for d in &query_digests {
+            if let Some(ids) = self.postings.get(d) {
+                for &id in ids {
+                    *overlap.entry(id).or_default() += 1;
+                }
+            }
+        }
+        let mut hits: Vec<(usize, usize)> =
+            overlap.into_iter().filter(|&(_, c)| c >= min_overlap).collect();
+        hits.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinmi_sketch::{SketchConfig, SketchKind};
+    use joinmi_table::{Aggregation, Table};
+
+    fn keyed_table(name: &str, keys: Vec<&str>) -> Table {
+        let values: Vec<i64> = (0..keys.len() as i64).collect();
+        Table::builder(name)
+            .push_str_column("k", keys)
+            .push_int_column("v", values)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn overlapping_candidates_are_found_and_ranked() {
+        let cfg = SketchConfig::new(64, 1);
+        let query_table = keyed_table("q", vec!["a", "b", "c", "d"]);
+        let query = SketchKind::Tupsk.build_left(&query_table, "k", "v", &cfg).unwrap();
+
+        let full = SketchKind::Tupsk
+            .build_right(&keyed_table("full", vec!["a", "b", "c", "d"]), "k", "v", Aggregation::Avg, &cfg)
+            .unwrap();
+        let partial = SketchKind::Tupsk
+            .build_right(&keyed_table("partial", vec!["a", "b", "x", "y"]), "k", "v", Aggregation::Avg, &cfg)
+            .unwrap();
+        let disjoint = SketchKind::Tupsk
+            .build_right(&keyed_table("disjoint", vec!["p", "q", "r"]), "k", "v", Aggregation::Avg, &cfg)
+            .unwrap();
+
+        let index = JoinabilityIndex::build(&[&full, &partial, &disjoint]);
+        assert_eq!(index.len(), 3);
+
+        let hits = index.query(&query, 1);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, 0); // full overlap ranks first
+        assert_eq!(hits[0].1, 4);
+        assert_eq!(hits[1].0, 1);
+        assert_eq!(hits[1].1, 2);
+
+        // Raising the threshold drops the partial match.
+        let strict = index.query(&query, 3);
+        assert_eq!(strict.len(), 1);
+    }
+
+    #[test]
+    fn empty_index_returns_no_hits() {
+        let index = JoinabilityIndex::default();
+        assert!(index.is_empty());
+        let cfg = SketchConfig::new(16, 0);
+        let q = SketchKind::Tupsk
+            .build_left(&keyed_table("q", vec!["a"]), "k", "v", &cfg)
+            .unwrap();
+        assert!(index.query(&q, 1).is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! MI-based data discovery: the downstream system the sketches exist to
+//! serve (Sections I and III of the paper).
+//!
+//! A [`TableRepository`] ingests candidate tables offline, profiles their
+//! columns, and builds one right-side sketch per `(join key, value column)`
+//! pair. At query time a [`RelationshipQuery`] sketches the user's base table
+//! once, uses the [`JoinabilityIndex`] to prune candidates with no key
+//! overlap, joins the remaining sketches, estimates MI on each recovered
+//! sample, and returns a ranking of candidate augmentations — all without
+//! materializing a single join. The chosen augmentation can then be
+//! materialized exactly with [`AugmentationPlan`].
+//!
+//! ```
+//! use joinmi_discovery::{RelationshipQuery, RepositoryConfig, TableRepository};
+//! use joinmi_synth::TaxiScenario;
+//!
+//! let scenario = TaxiScenario::generate(30, 10, 7);
+//! let mut repo = TableRepository::new(RepositoryConfig::default());
+//! repo.add_table(scenario.weather.clone()).unwrap();
+//! repo.add_table(scenario.demographics.clone()).unwrap();
+//! repo.add_table(scenario.inspections.clone()).unwrap();
+//!
+//! let query = RelationshipQuery::new(scenario.taxi.clone(), "zipcode", "num_trips");
+//! let ranking = query.execute(&repo).unwrap();
+//! assert!(!ranking.is_empty());
+//! // Results are sorted by estimated MI, highest first.
+//! assert!(ranking.windows(2).all(|w| w[0].mi >= w[1].mi));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod index;
+pub mod profile;
+pub mod query;
+pub mod repository;
+
+pub use augment::AugmentationPlan;
+pub use index::JoinabilityIndex;
+pub use profile::{ColumnProfile, TableProfile};
+pub use query::{RankedCandidate, RelationshipQuery};
+pub use repository::{CandidateColumn, RepositoryConfig, TableRepository};
+
+/// Result alias reusing the table error type.
+pub type Result<T> = std::result::Result<T, joinmi_table::TableError>;

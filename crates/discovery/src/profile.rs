@@ -1,0 +1,144 @@
+//! Column and table profiling.
+//!
+//! Profiling decides which columns can act as join keys (string columns, as
+//! in the paper's real-data setup) and which can act as features, and records
+//! the statistics (distinct counts, null counts) that the repository uses to
+//! skip degenerate candidates.
+
+use joinmi_table::{DataType, Table};
+
+use crate::Result;
+
+/// Summary statistics of one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnProfile {
+    /// Column name.
+    pub name: String,
+    /// Physical data type.
+    pub dtype: DataType,
+    /// Number of distinct non-NULL values.
+    pub distinct: usize,
+    /// Number of NULL entries.
+    pub nulls: usize,
+    /// Total number of rows.
+    pub rows: usize,
+}
+
+impl ColumnProfile {
+    /// Fraction of rows that are non-NULL.
+    #[must_use]
+    pub fn completeness(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            (self.rows - self.nulls) as f64 / self.rows as f64
+        }
+    }
+
+    /// Whether the column is usable as a join key: string-typed, mostly
+    /// non-NULL, and not constant.
+    #[must_use]
+    pub fn is_key_candidate(&self) -> bool {
+        self.dtype == DataType::Str && self.distinct > 1 && self.completeness() > 0.5
+    }
+
+    /// Whether the column is usable as a feature: not constant and mostly
+    /// non-NULL (any type — the estimator is chosen from the type later).
+    #[must_use]
+    pub fn is_feature_candidate(&self) -> bool {
+        self.distinct > 1 && self.completeness() > 0.5
+    }
+}
+
+/// Profiles of all columns of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableProfile {
+    /// Table name.
+    pub table: String,
+    /// Number of rows.
+    pub rows: usize,
+    /// Per-column profiles, in schema order.
+    pub columns: Vec<ColumnProfile>,
+}
+
+impl TableProfile {
+    /// Profiles every column of a table.
+    pub fn profile(table: &Table) -> Result<Self> {
+        let mut columns = Vec::with_capacity(table.num_columns());
+        for field in table.schema().fields() {
+            let col = table.column(&field.name)?;
+            columns.push(ColumnProfile {
+                name: field.name.clone(),
+                dtype: field.dtype,
+                distinct: col.distinct_count(),
+                nulls: col.null_count(),
+                rows: table.num_rows(),
+            });
+        }
+        Ok(Self { table: table.name().to_owned(), rows: table.num_rows(), columns })
+    }
+
+    /// Columns usable as join keys.
+    #[must_use]
+    pub fn key_candidates(&self) -> Vec<&ColumnProfile> {
+        self.columns.iter().filter(|c| c.is_key_candidate()).collect()
+    }
+
+    /// Columns usable as features.
+    #[must_use]
+    pub fn feature_candidates(&self) -> Vec<&ColumnProfile> {
+        self.columns.iter().filter(|c| c.is_feature_candidate()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::builder("demo")
+            .push_str_column("zip", vec!["a", "b", "c", "a"])
+            .push_str_column("constant", vec!["x", "x", "x", "x"])
+            .push_int_column("pop", vec![1, 2, 3, 4])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn profiles_counts_and_types() {
+        let p = TableProfile::profile(&table()).unwrap();
+        assert_eq!(p.rows, 4);
+        assert_eq!(p.columns.len(), 3);
+        let zip = &p.columns[0];
+        assert_eq!(zip.distinct, 3);
+        assert_eq!(zip.nulls, 0);
+        assert!((zip.completeness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn key_candidates_are_non_constant_strings() {
+        let p = TableProfile::profile(&table()).unwrap();
+        let keys: Vec<&str> = p.key_candidates().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(keys, vec!["zip"]);
+    }
+
+    #[test]
+    fn feature_candidates_exclude_constants() {
+        let p = TableProfile::profile(&table()).unwrap();
+        let feats: Vec<&str> = p.feature_candidates().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(feats, vec!["zip", "pop"]);
+    }
+
+    #[test]
+    fn empty_column_completeness() {
+        let profile = ColumnProfile {
+            name: "x".into(),
+            dtype: DataType::Int,
+            distinct: 0,
+            nulls: 0,
+            rows: 0,
+        };
+        assert_eq!(profile.completeness(), 0.0);
+        assert!(!profile.is_feature_candidate());
+    }
+}

@@ -1,0 +1,270 @@
+//! Relationship-discovery queries: rank candidate augmentations by estimated
+//! MI with the query table's target column, without materializing any join.
+
+use std::collections::HashMap;
+
+use joinmi_estimators::EstimatorKind;
+use joinmi_sketch::{Aggregation, ColumnSketch, SketchConfig, SketchKind};
+use joinmi_table::Table;
+
+use crate::index::JoinabilityIndex;
+use crate::repository::TableRepository;
+use crate::Result;
+
+/// One ranked candidate augmentation.
+#[derive(Debug, Clone)]
+pub struct RankedCandidate {
+    /// Index of the candidate inside the repository's candidate list.
+    pub candidate_index: usize,
+    /// Index of the owning table inside the repository.
+    pub table_index: usize,
+    /// Owning table name.
+    pub table_name: String,
+    /// Join-key column of the candidate table.
+    pub key_column: String,
+    /// Feature column of the candidate table.
+    pub feature_column: String,
+    /// Featurization function used for the candidate.
+    pub aggregation: Aggregation,
+    /// Estimated mutual information (nats).
+    pub mi: f64,
+    /// Estimator that produced the estimate.
+    pub estimator: EstimatorKind,
+    /// Number of paired samples recovered by the sketch join.
+    pub sketch_join_size: usize,
+    /// Number of overlapping sampled keys found by the joinability index.
+    pub key_overlap: usize,
+}
+
+impl RankedCandidate {
+    /// A short human-readable description of the candidate.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{}.{}({}) on {}",
+            self.table_name,
+            self.aggregation.name(),
+            self.feature_column,
+            self.key_column
+        )
+    }
+}
+
+/// A relationship-discovery query over a repository.
+#[derive(Debug, Clone)]
+pub struct RelationshipQuery {
+    /// The user's base table.
+    pub train: Table,
+    /// Join-key column of the base table.
+    pub key_column: String,
+    /// Target column of the base table.
+    pub target_column: String,
+    /// Maximum number of results to return (`0` = unlimited).
+    pub top_k: usize,
+    /// Minimum sketch-join size for an estimate to be considered meaningful
+    /// (the paper discards estimates with join size ≤ 100 on real data).
+    pub min_join_size: usize,
+    /// Minimum key overlap (in sampled keys) required by the joinability
+    /// pre-filter.
+    pub min_key_overlap: usize,
+    /// Sketching strategy for the query table (should match the repository's).
+    pub sketch_kind: SketchKind,
+    /// Sketch configuration for the query table (should match the repository's).
+    pub sketch: SketchConfig,
+}
+
+impl RelationshipQuery {
+    /// Creates a query with default parameters (top 10, minimum join size 20,
+    /// TUPSK sketches of size 1024).
+    #[must_use]
+    pub fn new(train: Table, key_column: &str, target_column: &str) -> Self {
+        Self {
+            train,
+            key_column: key_column.to_owned(),
+            target_column: target_column.to_owned(),
+            top_k: 10,
+            min_join_size: 20,
+            min_key_overlap: 1,
+            sketch_kind: SketchKind::Tupsk,
+            sketch: SketchConfig::new(1024, 0),
+        }
+    }
+
+    /// Sets the number of results to return.
+    #[must_use]
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Sets the minimum sketch-join size.
+    #[must_use]
+    pub fn with_min_join_size(mut self, n: usize) -> Self {
+        self.min_join_size = n;
+        self
+    }
+
+    /// Sets the sketch strategy and configuration.
+    #[must_use]
+    pub fn with_sketch(mut self, kind: SketchKind, cfg: SketchConfig) -> Self {
+        self.sketch_kind = kind;
+        self.sketch = cfg;
+        self
+    }
+
+    /// Builds the query-side sketch.
+    pub fn build_query_sketch(&self) -> Result<ColumnSketch> {
+        self.sketch_kind.build_left(&self.train, &self.key_column, &self.target_column, &self.sketch)
+    }
+
+    /// Executes the query: prune by key overlap, join sketches, estimate MI,
+    /// rank. Candidates whose estimate fails (e.g. degenerate samples) are
+    /// skipped rather than failing the whole query.
+    pub fn execute(&self, repository: &TableRepository) -> Result<Vec<RankedCandidate>> {
+        let query_sketch = self.build_query_sketch()?;
+
+        let candidate_sketches: Vec<&ColumnSketch> =
+            repository.candidates().iter().map(|c| &c.sketch).collect();
+        let index = JoinabilityIndex::build(&candidate_sketches);
+        let hits = index.query(&query_sketch, self.min_key_overlap.max(1));
+
+        let mut results = Vec::new();
+        for (candidate_index, key_overlap) in hits {
+            let candidate = &repository.candidates()[candidate_index];
+            let joined = query_sketch.join(&candidate.sketch);
+            if joined.len() < self.min_join_size {
+                continue;
+            }
+            let Ok(estimate) = joined.estimate_mi() else { continue };
+            results.push(RankedCandidate {
+                candidate_index,
+                table_index: candidate.table_index,
+                table_name: candidate.table_name.clone(),
+                key_column: candidate.key_column.clone(),
+                feature_column: candidate.feature_column.clone(),
+                aggregation: candidate.aggregation,
+                mi: estimate.mi,
+                estimator: estimate.estimator,
+                sketch_join_size: joined.len(),
+                key_overlap,
+            });
+        }
+
+        results.sort_by(|a, b| b.mi.partial_cmp(&a.mi).expect("MI estimates are finite"));
+        if self.top_k > 0 {
+            results.truncate(self.top_k);
+        }
+        Ok(results)
+    }
+
+    /// Executes the query and groups the ranking by estimator, reflecting the
+    /// paper's observation (Section V-C3) that MI magnitudes produced by
+    /// different estimators are not directly comparable and should be ranked
+    /// separately.
+    pub fn execute_grouped(
+        &self,
+        repository: &TableRepository,
+    ) -> Result<HashMap<EstimatorKind, Vec<RankedCandidate>>> {
+        let all = self.with_unlimited_k().execute(repository)?;
+        let mut grouped: HashMap<EstimatorKind, Vec<RankedCandidate>> = HashMap::new();
+        for candidate in all {
+            grouped.entry(candidate.estimator).or_default().push(candidate);
+        }
+        for ranking in grouped.values_mut() {
+            ranking.sort_by(|a, b| b.mi.partial_cmp(&a.mi).expect("finite"));
+            if self.top_k > 0 {
+                ranking.truncate(self.top_k);
+            }
+        }
+        Ok(grouped)
+    }
+
+    fn with_unlimited_k(&self) -> Self {
+        let mut q = self.clone();
+        q.top_k = 0;
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repository::RepositoryConfig;
+    use joinmi_synth::TaxiScenario;
+
+    fn repo_and_query() -> (TableRepository, RelationshipQuery) {
+        let scenario = TaxiScenario::generate(40, 15, 3);
+        let config = RepositoryConfig {
+            sketch: SketchConfig::new(512, 3),
+            ..RepositoryConfig::default()
+        };
+        let mut repo = TableRepository::new(config);
+        repo.add_table(scenario.weather.clone()).unwrap();
+        repo.add_table(scenario.demographics.clone()).unwrap();
+        repo.add_table(scenario.inspections.clone()).unwrap();
+        let query = RelationshipQuery::new(scenario.taxi, "zipcode", "num_trips")
+            .with_sketch(SketchKind::Tupsk, SketchConfig::new(512, 3))
+            .with_min_join_size(10);
+        (repo, query)
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_respects_top_k() {
+        let (repo, query) = repo_and_query();
+        let results = query.clone().with_top_k(3).execute(&repo).unwrap();
+        assert!(!results.is_empty());
+        assert!(results.len() <= 3);
+        assert!(results.windows(2).all(|w| w[0].mi >= w[1].mi));
+        for r in &results {
+            assert!(r.sketch_join_size >= 10);
+            assert!(r.mi >= 0.0);
+            assert!(!r.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn zipcode_query_only_matches_zipcode_keyed_candidates() {
+        let (repo, query) = repo_and_query();
+        let results = query.with_top_k(0).execute(&repo).unwrap();
+        // Weather is keyed on date / hour, which do not overlap zip codes.
+        assert!(results.iter().all(|r| r.key_column == "zipcode"));
+        // Both demographics and inspections should appear.
+        assert!(results.iter().any(|r| r.table_name == "demographics"));
+        assert!(results.iter().any(|r| r.table_name == "inspections"));
+    }
+
+    #[test]
+    fn demographics_population_is_a_strong_candidate() {
+        // Population drives the planted per-ZIP demand signal, so its
+        // sketch-estimated MI must be clearly non-zero. (Comparisons against
+        // candidates scored by *different* estimators are deliberately not
+        // asserted — the paper's Section V-C3 explains why such magnitudes
+        // are not comparable.)
+        let (repo, query) = repo_and_query();
+        let results = query.with_top_k(0).execute(&repo).unwrap();
+        let pop = results
+            .iter()
+            .find(|r| r.table_name == "demographics" && r.feature_column == "population")
+            .expect("population candidate missing from ranking");
+        assert!(pop.mi > 0.2, "population MI suspiciously low: {}", pop.mi);
+    }
+
+    #[test]
+    fn grouped_ranking_separates_estimators() {
+        let (repo, query) = repo_and_query();
+        let grouped = query.execute_grouped(&repo).unwrap();
+        assert!(!grouped.is_empty());
+        for (kind, ranking) in &grouped {
+            assert!(ranking.iter().all(|r| r.estimator == *kind));
+            assert!(ranking.windows(2).all(|w| w[0].mi >= w[1].mi));
+        }
+    }
+
+    #[test]
+    fn missing_query_columns_error() {
+        let (repo, query) = repo_and_query();
+        let mut bad = query;
+        bad.key_column = "nope".to_owned();
+        assert!(bad.execute(&repo).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! The candidate-table repository.
+//!
+//! Ingests external tables offline: profiles them, chooses `(key, feature)`
+//! column pairs, and builds one right-side sketch per pair. This is the
+//! "sketches are typically built in an offline preprocessing stage" part of
+//! the paper's approach overview.
+
+use joinmi_sketch::{Aggregation, ColumnSketch, SketchConfig, SketchKind};
+use joinmi_table::{DataType, Table};
+
+use crate::profile::TableProfile;
+use crate::Result;
+
+/// Configuration of a repository.
+#[derive(Debug, Clone, Copy)]
+pub struct RepositoryConfig {
+    /// Sketching strategy used for candidate columns.
+    pub sketch_kind: SketchKind,
+    /// Sketch size / seed.
+    pub sketch: SketchConfig,
+    /// Maximum number of `(key, feature)` pairs ingested per table (guards
+    /// against very wide tables exploding the index).
+    pub max_pairs_per_table: usize,
+}
+
+impl Default for RepositoryConfig {
+    fn default() -> Self {
+        Self {
+            sketch_kind: SketchKind::Tupsk,
+            sketch: SketchConfig::new(1024, 0),
+            max_pairs_per_table: 64,
+        }
+    }
+}
+
+/// One ingested candidate: a `(join key, feature)` column pair of a table,
+/// its sketch, and the aggregation that will be used when augmenting.
+#[derive(Debug, Clone)]
+pub struct CandidateColumn {
+    /// Index of the owning table inside the repository.
+    pub table_index: usize,
+    /// Owning table name.
+    pub table_name: String,
+    /// Join-key column name.
+    pub key_column: String,
+    /// Feature column name.
+    pub feature_column: String,
+    /// Featurization function used for repeated keys.
+    pub aggregation: Aggregation,
+    /// The right-side sketch of the pair.
+    pub sketch: ColumnSketch,
+}
+
+impl CandidateColumn {
+    /// A human-readable identifier `table.feature (on key)`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}.{} (on {})", self.table_name, self.feature_column, self.key_column)
+    }
+}
+
+/// A repository of candidate tables with pre-built sketches.
+#[derive(Debug, Default)]
+pub struct TableRepository {
+    config: Option<RepositoryConfig>,
+    tables: Vec<Table>,
+    profiles: Vec<TableProfile>,
+    candidates: Vec<CandidateColumn>,
+}
+
+impl TableRepository {
+    /// Creates an empty repository.
+    #[must_use]
+    pub fn new(config: RepositoryConfig) -> Self {
+        Self { config: Some(config), tables: Vec::new(), profiles: Vec::new(), candidates: Vec::new() }
+    }
+
+    /// The repository configuration.
+    #[must_use]
+    pub fn config(&self) -> RepositoryConfig {
+        self.config.unwrap_or_default()
+    }
+
+    /// Ingests a table: profiles it and builds sketches for every usable
+    /// `(key, feature)` pair. Returns the number of candidate pairs added.
+    pub fn add_table(&mut self, table: Table) -> Result<usize> {
+        let config = self.config();
+        let profile = TableProfile::profile(&table)?;
+        let table_index = self.tables.len();
+
+        let mut added = 0usize;
+        'outer: for key in profile.key_candidates() {
+            for feature in profile.feature_candidates() {
+                if key.name == feature.name {
+                    continue;
+                }
+                if added >= config.max_pairs_per_table {
+                    break 'outer;
+                }
+                let aggregation = default_aggregation(feature.dtype);
+                let sketch = config.sketch_kind.build_right(
+                    &table,
+                    &key.name,
+                    &feature.name,
+                    aggregation,
+                    &config.sketch,
+                )?;
+                self.candidates.push(CandidateColumn {
+                    table_index,
+                    table_name: table.name().to_owned(),
+                    key_column: key.name.clone(),
+                    feature_column: feature.name.clone(),
+                    aggregation,
+                    sketch,
+                });
+                added += 1;
+            }
+        }
+
+        self.profiles.push(profile);
+        self.tables.push(table);
+        Ok(added)
+    }
+
+    /// Number of ingested tables.
+    #[must_use]
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The ingested tables.
+    #[must_use]
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// The table at a given index.
+    #[must_use]
+    pub fn table(&self, index: usize) -> &Table {
+        &self.tables[index]
+    }
+
+    /// Profiles of the ingested tables.
+    #[must_use]
+    pub fn profiles(&self) -> &[TableProfile] {
+        &self.profiles
+    }
+
+    /// All candidate `(key, feature)` pairs.
+    #[must_use]
+    pub fn candidates(&self) -> &[CandidateColumn] {
+        &self.candidates
+    }
+}
+
+/// The default featurization function for a feature type: `AVG` for numeric
+/// features, `MODE` for categorical ones (the pairing suggested in
+/// Section III-B).
+#[must_use]
+pub fn default_aggregation(dtype: DataType) -> Aggregation {
+    if dtype.is_numeric() {
+        Aggregation::Avg
+    } else {
+        Aggregation::Mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_table() -> Table {
+        Table::builder("demo")
+            .push_str_column("zip", vec!["a", "b", "c", "a", "b"])
+            .push_str_column("borough", vec!["x", "y", "x", "x", "y"])
+            .push_int_column("pop", vec![1, 2, 3, 1, 2])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ingestion_builds_candidate_pairs() {
+        let mut repo = TableRepository::new(RepositoryConfig::default());
+        let added = repo.add_table(demo_table()).unwrap();
+        // Keys: zip, borough. Features: zip, borough, pop. Pairs exclude
+        // key == feature: zip×{borough,pop} + borough×{zip,pop} = 4.
+        assert_eq!(added, 4);
+        assert_eq!(repo.num_tables(), 1);
+        assert_eq!(repo.candidates().len(), 4);
+        let labels: Vec<String> = repo.candidates().iter().map(CandidateColumn::label).collect();
+        assert!(labels.iter().any(|l| l.contains("pop (on zip)")));
+    }
+
+    #[test]
+    fn aggregation_follows_feature_type() {
+        assert_eq!(default_aggregation(DataType::Float), Aggregation::Avg);
+        assert_eq!(default_aggregation(DataType::Int), Aggregation::Avg);
+        assert_eq!(default_aggregation(DataType::Str), Aggregation::Mode);
+        let mut repo = TableRepository::new(RepositoryConfig::default());
+        repo.add_table(demo_table()).unwrap();
+        let pop = repo
+            .candidates()
+            .iter()
+            .find(|c| c.feature_column == "pop" && c.key_column == "zip")
+            .unwrap();
+        assert_eq!(pop.aggregation, Aggregation::Avg);
+    }
+
+    #[test]
+    fn max_pairs_limit_is_respected() {
+        let config = RepositoryConfig { max_pairs_per_table: 2, ..RepositoryConfig::default() };
+        let mut repo = TableRepository::new(config);
+        let added = repo.add_table(demo_table()).unwrap();
+        assert_eq!(added, 2);
+    }
+
+    #[test]
+    fn tables_without_string_keys_produce_no_candidates() {
+        let t = Table::builder("nums")
+            .push_int_column("a", vec![1, 2, 3])
+            .push_float_column("b", vec![0.1, 0.2, 0.3])
+            .build()
+            .unwrap();
+        let mut repo = TableRepository::new(RepositoryConfig::default());
+        assert_eq!(repo.add_table(t).unwrap(), 0);
+        assert_eq!(repo.num_tables(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! The discrete–continuous MI estimator of Ross (PLoS ONE 2014), referred to
+//! as "DC-KSG" in the paper.
+//!
+//! For a discrete variable `X` (integer codes) and a continuous variable `Y`:
+//! for each sample `i`,
+//!
+//! * `N_{x_i}` = number of samples sharing the discrete value `x_i`,
+//! * `d_i` = distance from `y_i` to its `k`-th nearest neighbour *among the
+//!   samples with the same discrete value* (with `k_i = min(k, N_{x_i} − 1)`),
+//! * `m_i` = number of samples (over the full data set) whose `y` lies within
+//!   `d_i` of `y_i` — following the scikit-learn convention the radius is
+//!   shrunk infinitesimally so the count is strictly inside the `k`-th
+//!   neighbour, and the count includes the point itself.
+//!
+//! `Î = ψ(N) + ⟨ψ(k_i)⟩ − ⟨ψ(N_{x_i})⟩ − ⟨ψ(m_i)⟩`
+//!
+//! Samples whose discrete value is unique (`N_{x_i} = 1`) carry no usable
+//! neighbourhood information and are excluded from the averages, again
+//! matching the reference implementation.
+
+use std::collections::HashMap;
+
+use crate::error::EstimatorError;
+use crate::knn::{kth_nn_distances_1d, MarginalCounter};
+use crate::special::digamma;
+use crate::Result;
+
+/// DC-KSG (Ross) estimate of `I(X; Y)` in nats, `X` discrete and `Y`
+/// continuous. Clamped at 0.
+pub fn dc_ksg_mi(x_codes: &[u32], y: &[f64], k: usize) -> Result<f64> {
+    if x_codes.len() != y.len() {
+        return Err(EstimatorError::LengthMismatch { x_len: x_codes.len(), y_len: y.len() });
+    }
+    if k == 0 {
+        return Err(EstimatorError::InvalidParameter("k must be >= 1".to_owned()));
+    }
+    if x_codes.len() < 2 {
+        return Err(EstimatorError::InsufficientSamples { available: x_codes.len(), required: 2 });
+    }
+    if y.iter().any(|v| !v.is_finite()) {
+        return Err(EstimatorError::IncompatibleTypes {
+            estimator: "DC-KSG".to_owned(),
+            detail: "non-finite continuous coordinate".to_owned(),
+        });
+    }
+
+    // Group sample indices by discrete value.
+    let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (i, &c) in x_codes.iter().enumerate() {
+        groups.entry(c).or_default().push(i);
+    }
+
+    // Per-sample radius and within-group neighbour count; samples in
+    // singleton groups are skipped.
+    let mut radius = vec![f64::NAN; y.len()];
+    let mut k_used = vec![0usize; y.len()];
+    let mut group_size = vec![0usize; y.len()];
+    for indices in groups.values() {
+        let count = indices.len();
+        for &i in indices {
+            group_size[i] = count;
+        }
+        if count < 2 {
+            continue;
+        }
+        let local_k = k.min(count - 1);
+        let group_y: Vec<f64> = indices.iter().map(|&i| y[i]).collect();
+        let dists = kth_nn_distances_1d(&group_y, local_k);
+        for (pos, &i) in indices.iter().enumerate() {
+            // Shrink the radius infinitesimally (scikit-learn's nextafter
+            // trick) so the full-data count is strictly inside the k-th
+            // within-group neighbour.
+            let r = dists[pos];
+            radius[i] = if r > 0.0 { r * (1.0 - 1e-12) } else { 0.0 };
+            k_used[i] = local_k;
+        }
+    }
+
+    let counter = MarginalCounter::new(y);
+    let mut n_used = 0usize;
+    let mut sum_psi_k = 0.0;
+    let mut sum_psi_label = 0.0;
+    let mut sum_psi_m = 0.0;
+    for i in 0..y.len() {
+        if group_size[i] < 2 {
+            continue;
+        }
+        n_used += 1;
+        let m = counter.count_within(y[i], radius[i]).max(1);
+        sum_psi_k += digamma(k_used[i] as f64);
+        sum_psi_label += digamma(group_size[i] as f64);
+        sum_psi_m += digamma(m as f64);
+    }
+
+    if n_used == 0 {
+        return Err(EstimatorError::InsufficientSamples { available: 0, required: 2 });
+    }
+
+    let n_f = n_used as f64;
+    let mi = digamma(n_f) + sum_psi_k / n_f - sum_psi_label / n_f - sum_psi_m / n_f;
+    Ok(mi.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn independent_discrete_and_continuous_near_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 3000;
+        let x: Vec<u32> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+        let y: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let mi = dc_ksg_mi(&x, &y, 3).unwrap();
+        assert!(mi < 0.05, "mi = {mi}");
+    }
+
+    #[test]
+    fn cdunif_matches_closed_form() {
+        // X uniform over {0..m-1}, Y ~ U[X, X+2]:
+        // I = ln m − (m−1) ln 2 / m.
+        let mut rng = StdRng::seed_from_u64(9);
+        for m in [2u32, 8, 32] {
+            let n = 6000;
+            let mut x = Vec::with_capacity(n);
+            let mut y = Vec::with_capacity(n);
+            for _ in 0..n {
+                let xv = rng.gen_range(0..m);
+                x.push(xv);
+                y.push(f64::from(xv) + 2.0 * rng.gen::<f64>());
+            }
+            let expected = f64::from(m).ln() - (f64::from(m) - 1.0) * 2.0_f64.ln() / f64::from(m);
+            let mi = dc_ksg_mi(&x, &y, 3).unwrap();
+            assert!(
+                (mi - expected).abs() < 0.1,
+                "m={m}: mi={mi}, expected={expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn perfectly_separated_groups_have_high_mi() {
+        // Each discrete value maps to a narrow disjoint band of Y; the MI
+        // should approach H(X) = ln 4.
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 4000;
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c: u32 = rng.gen_range(0..4);
+            x.push(c);
+            y.push(f64::from(c) * 10.0 + rng.gen::<f64>());
+        }
+        let mi = dc_ksg_mi(&x, &y, 3).unwrap();
+        assert!((mi - 4.0_f64.ln()).abs() < 0.15, "mi = {mi}");
+    }
+
+    #[test]
+    fn singleton_groups_are_ignored() {
+        // Two usable groups plus a singleton; should not panic and should
+        // produce a finite estimate.
+        let x = vec![0, 0, 0, 1, 1, 1, 2];
+        let y = vec![0.0, 0.1, 0.2, 5.0, 5.1, 5.2, 100.0];
+        let mi = dc_ksg_mi(&x, &y, 2).unwrap();
+        assert!(mi.is_finite());
+        assert!(mi > 0.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(dc_ksg_mi(&[0, 1], &[0.0], 1).is_err());
+        assert!(dc_ksg_mi(&[0, 1], &[0.0, 1.0], 0).is_err());
+        assert!(dc_ksg_mi(&[0], &[0.0], 1).is_err());
+        assert!(dc_ksg_mi(&[0, 1], &[0.0, f64::NAN], 1).is_err());
+        // All-singleton groups cannot be estimated.
+        assert!(dc_ksg_mi(&[0, 1, 2], &[0.0, 1.0, 2.0], 1).is_err());
+    }
+}

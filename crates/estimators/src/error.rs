@@ -1,0 +1,63 @@
+//! Error type for estimators.
+
+use std::fmt;
+
+/// Errors produced by entropy / MI estimators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimatorError {
+    /// The two input samples have different lengths.
+    LengthMismatch {
+        /// Length of the X sample.
+        x_len: usize,
+        /// Length of the Y sample.
+        y_len: usize,
+    },
+    /// Not enough samples to run the estimator.
+    InsufficientSamples {
+        /// Samples available.
+        available: usize,
+        /// Samples required.
+        required: usize,
+    },
+    /// The requested estimator cannot handle the supplied variable types.
+    IncompatibleTypes {
+        /// The estimator name.
+        estimator: String,
+        /// Description of the offending types.
+        detail: String,
+    },
+    /// A parameter was out of range (e.g. `k = 0`).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for EstimatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LengthMismatch { x_len, y_len } => {
+                write!(f, "samples have different lengths: |X| = {x_len}, |Y| = {y_len}")
+            }
+            Self::InsufficientSamples { available, required } => {
+                write!(f, "estimator needs at least {required} samples, got {available}")
+            }
+            Self::IncompatibleTypes { estimator, detail } => {
+                write!(f, "{estimator} cannot handle these variable types: {detail}")
+            }
+            Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimatorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = EstimatorError::LengthMismatch { x_len: 3, y_len: 4 };
+        assert!(e.to_string().contains('3'));
+        let e = EstimatorError::InsufficientSamples { available: 1, required: 4 };
+        assert!(e.to_string().contains('4'));
+    }
+}

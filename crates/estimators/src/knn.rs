@@ -1,0 +1,294 @@
+//! Nearest-neighbour search helpers for the KSG-family estimators.
+//!
+//! All KSG variants need two primitives:
+//!
+//! 1. for every point `i`, the distance to its `k`-th nearest neighbour in
+//!    the *joint* space under the Chebyshev (max) metric, excluding the point
+//!    itself ([`kth_nn_distances_chebyshev`], [`kth_nn_distances_1d`]);
+//! 2. for every point `i`, the number of points whose marginal coordinate
+//!    lies within a given radius ([`MarginalCounter`]).
+//!
+//! The joint search sorts points by their x coordinate and expands a window
+//! outwards from each query point, pruning as soon as the x-distance alone
+//! exceeds the current k-th best — the classic trick that makes the search
+//! near-linear for well-spread data while remaining exactly correct in the
+//! worst case.
+
+use std::collections::BinaryHeap;
+
+/// Counts points within a radius of a centre along one marginal, in
+/// `O(log n)` per query, over a pre-sorted copy of the coordinates.
+#[derive(Debug, Clone)]
+pub struct MarginalCounter {
+    sorted: Vec<f64>,
+}
+
+impl MarginalCounter {
+    /// Builds a counter over the given coordinates (need not be sorted).
+    #[must_use]
+    pub fn new(values: &[f64]) -> Self {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        Self { sorted }
+    }
+
+    /// Number of points `z` with `|z − center| < radius` (strict), including
+    /// any points equal to the centre itself.
+    #[must_use]
+    pub fn count_strictly_within(&self, center: f64, radius: f64) -> usize {
+        if radius <= 0.0 {
+            return 0;
+        }
+        let lo = self.sorted.partition_point(|&v| v <= center - radius);
+        let hi = self.sorted.partition_point(|&v| v < center + radius);
+        hi - lo
+    }
+
+    /// Number of points `z` with `|z − center| <= radius`, including points
+    /// equal to the centre.
+    #[must_use]
+    pub fn count_within(&self, center: f64, radius: f64) -> usize {
+        let lo = self.sorted.partition_point(|&v| v < center - radius);
+        let hi = self.sorted.partition_point(|&v| v <= center + radius);
+        hi - lo
+    }
+
+    /// Number of points exactly equal to the centre (within `tolerance`).
+    #[must_use]
+    pub fn count_equal(&self, center: f64, tolerance: f64) -> usize {
+        self.count_within(center, tolerance)
+    }
+
+    /// Total number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if there are no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+/// Wrapper so `f64` distances can live in a max-heap.
+#[derive(Debug, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("distances are never NaN")
+    }
+}
+
+/// For each point `(xs[i], ys[i])`, returns the Chebyshev distance to its
+/// `k`-th nearest neighbour among the *other* points.
+///
+/// Ties are handled naturally: if several points coincide with the query, the
+/// returned distance can be `0.0` (MixedKSG relies on this).
+///
+/// # Panics
+/// Panics if `xs.len() != ys.len()`, if `k == 0`, or if `k >= xs.len()`.
+#[must_use]
+pub fn kth_nn_distances_chebyshev(xs: &[f64], ys: &[f64], k: usize) -> Vec<f64> {
+    assert_eq!(xs.len(), ys.len(), "coordinate slices must have equal length");
+    let n = xs.len();
+    assert!(k >= 1, "k must be at least 1");
+    assert!(k < n, "k ({k}) must be smaller than the number of points ({n})");
+
+    // Sort point indices by x so we can expand a window and prune on |dx|.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite coordinates"));
+    // Position of each original index in the sorted order.
+    let mut pos = vec![0usize; n];
+    for (p, &idx) in order.iter().enumerate() {
+        pos[idx] = p;
+    }
+
+    let mut result = vec![0.0f64; n];
+    for i in 0..n {
+        let p = pos[i];
+        let (xi, yi) = (xs[i], ys[i]);
+        // Max-heap of the k smallest distances seen so far.
+        let mut heap: BinaryHeap<OrdF64> = BinaryHeap::with_capacity(k + 1);
+
+        let mut left = p;
+        let mut right = p + 1;
+        loop {
+            // Current pruning threshold: the k-th best distance, or infinity
+            // until the heap is full.
+            let threshold = if heap.len() == k { heap.peek().map_or(f64::INFINITY, |d| d.0) } else { f64::INFINITY };
+
+            // Candidate x-distances on each side.
+            let left_dx = if left > 0 { (xi - xs[order[left - 1]]).abs() } else { f64::INFINITY };
+            let right_dx = if right < n { (xs[order[right]] - xi).abs() } else { f64::INFINITY };
+
+            if left_dx > threshold && right_dx > threshold {
+                break;
+            }
+            if left_dx == f64::INFINITY && right_dx == f64::INFINITY {
+                break;
+            }
+
+            let j = if left_dx <= right_dx {
+                left -= 1;
+                order[left]
+            } else {
+                let j = order[right];
+                right += 1;
+                j
+            };
+            let dist = (xi - xs[j]).abs().max((yi - ys[j]).abs());
+            if heap.len() < k {
+                heap.push(OrdF64(dist));
+            } else if dist < heap.peek().expect("heap non-empty").0 {
+                heap.pop();
+                heap.push(OrdF64(dist));
+            }
+        }
+        result[i] = heap.peek().map_or(f64::INFINITY, |d| d.0);
+    }
+    result
+}
+
+/// For each value, the distance to its `k`-th nearest neighbour among the
+/// other values of the same (1-dimensional) sample.
+///
+/// # Panics
+/// Panics if `k == 0` or `k >= values.len()`.
+#[must_use]
+pub fn kth_nn_distances_1d(values: &[f64], k: usize) -> Vec<f64> {
+    let n = values.len();
+    assert!(k >= 1, "k must be at least 1");
+    assert!(k < n, "k ({k}) must be smaller than the number of points ({n})");
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
+
+    let mut result = vec![0.0f64; n];
+    for (p, &idx) in order.iter().enumerate() {
+        let v = values[idx];
+        // Expand a window of size k around position p in the sorted order.
+        let mut left = p;
+        let mut right = p + 1;
+        let mut kth = 0.0f64;
+        for _ in 0..k {
+            let left_d = if left > 0 { (v - values[order[left - 1]]).abs() } else { f64::INFINITY };
+            let right_d = if right < n { (values[order[right]] - v).abs() } else { f64::INFINITY };
+            if left_d <= right_d {
+                kth = left_d;
+                left -= 1;
+            } else {
+                kth = right_d;
+                right += 1;
+            }
+        }
+        result[idx] = kth;
+    }
+    result
+}
+
+/// Brute-force reference for the Chebyshev k-NN distances (used in tests and
+/// kept public for verification experiments).
+#[must_use]
+pub fn kth_nn_distances_chebyshev_bruteforce(xs: &[f64], ys: &[f64], k: usize) -> Vec<f64> {
+    let n = xs.len();
+    assert!(k >= 1 && k < n);
+    (0..n)
+        .map(|i| {
+            let mut dists: Vec<f64> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (xs[i] - xs[j]).abs().max((ys[i] - ys[j]).abs()))
+                .collect();
+            dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+            dists[k - 1]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marginal_counter_basic() {
+        let c = MarginalCounter::new(&[1.0, 2.0, 2.0, 3.0, 10.0]);
+        assert_eq!(c.len(), 5);
+        // values within the open interval (0.5, 3.5): 1, 2, 2, 3
+        assert_eq!(c.count_strictly_within(2.0, 1.5), 4);
+        assert_eq!(c.count_within(2.0, 1.0), 4); // 1,2,2,3
+        assert_eq!(c.count_strictly_within(2.0, 1.0), 2); // only the two 2s
+        assert_eq!(c.count_equal(2.0, 0.0), 2);
+        assert_eq!(c.count_strictly_within(100.0, 5.0), 0);
+        assert_eq!(c.count_strictly_within(2.0, 0.0), 0);
+    }
+
+    #[test]
+    fn knn_1d_simple() {
+        let vals = [0.0, 1.0, 3.0, 7.0];
+        let d1 = kth_nn_distances_1d(&vals, 1);
+        assert_eq!(d1, vec![1.0, 1.0, 2.0, 4.0]);
+        let d2 = kth_nn_distances_1d(&vals, 2);
+        assert_eq!(d2, vec![3.0, 2.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn knn_1d_with_ties() {
+        let vals = [5.0, 5.0, 5.0, 6.0];
+        let d = kth_nn_distances_1d(&vals, 2);
+        assert_eq!(d, vec![0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn chebyshev_matches_bruteforce_on_random_points() {
+        // Deterministic pseudo-random points without pulling in `rand` here.
+        let mut state = 0x1234_5678_u64;
+        let mut next = || {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            ((state >> 33) as f64) / f64::from(u32::MAX)
+        };
+        let n = 300;
+        let xs: Vec<f64> = (0..n).map(|_| next()).collect();
+        let ys: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+        for k in [1, 3, 5] {
+            let fast = kth_nn_distances_chebyshev(&xs, &ys, k);
+            let slow = kth_nn_distances_chebyshev_bruteforce(&xs, &ys, k);
+            for i in 0..n {
+                assert!((fast[i] - slow[i]).abs() < 1e-12, "k={k}, i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn chebyshev_with_duplicate_points_gives_zero() {
+        let xs = [1.0, 1.0, 1.0, 2.0];
+        let ys = [5.0, 5.0, 5.0, 9.0];
+        let d = kth_nn_distances_chebyshev(&xs, &ys, 2);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], 0.0);
+        assert_eq!(d[2], 0.0);
+        assert!(d[3] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k")]
+    fn chebyshev_rejects_k_too_large() {
+        let _ = kth_nn_distances_chebyshev(&[1.0, 2.0], &[1.0, 2.0], 2);
+    }
+
+    #[test]
+    fn marginal_counter_empty() {
+        let c = MarginalCounter::new(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.count_within(0.0, 1.0), 0);
+    }
+}

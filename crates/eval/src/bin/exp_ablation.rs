@@ -1,0 +1,14 @@
+//! Ablation experiments: sketch-size sweep, coordination, aggregation choice.
+//!
+//! Usage: `cargo run -p joinmi-eval --bin exp_ablation --release [-- --quick]`
+
+use joinmi_eval::experiments::ablation;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { ablation::Config::quick() } else { ablation::Config::default() };
+    eprintln!("running ablations with {cfg:?}");
+    for report in ablation::report(&cfg) {
+        report.print();
+    }
+}

@@ -1,0 +1,17 @@
+//! Reproduces Figure 2: Trinomial(m=512), LV2SK vs TUPSK, n=256.
+//!
+//! Usage: `cargo run -p joinmi-eval --bin exp_fig2 --release [-- --quick]`
+
+use joinmi_eval::experiments::fig2;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { fig2::Config::quick() } else { fig2::Config::default() };
+    eprintln!("running Figure 2 with {cfg:?}");
+    let series = fig2::run(&cfg);
+    fig2::report(&series).print();
+    println!("KeyDep MSE penalty (MSE_KeyDep - MSE_KeyInd, averaged over estimators):");
+    for (sketch, penalty) in fig2::key_dependence_penalty(&series) {
+        println!("  {sketch}: {penalty:+.3}");
+    }
+}

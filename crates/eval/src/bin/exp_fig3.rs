@@ -1,0 +1,13 @@
+//! Reproduces Figure 3: CDUnif, LV2SK vs TUPSK, n=256.
+//!
+//! Usage: `cargo run -p joinmi-eval --bin exp_fig3 --release [-- --quick]`
+
+use joinmi_eval::experiments::fig3;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { fig3::Config::quick() } else { fig3::Config::default() };
+    eprintln!("running Figure 3 with {cfg:?}");
+    let series = fig3::run(&cfg);
+    fig3::report(&series).print();
+}

@@ -1,0 +1,18 @@
+//! Reproduces Figure 4: effect of the number of distinct values (Trinomial
+//! m ∈ {16, 64, 256, 512, 1024}, TUPSK, n=256).
+//!
+//! Usage: `cargo run -p joinmi-eval --bin exp_fig4 --release [-- --quick]`
+
+use joinmi_eval::experiments::fig4;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { fig4::Config::quick() } else { fig4::Config::default() };
+    eprintln!("running Figure 4 with {cfg:?}");
+    let series = fig4::run(&cfg);
+    fig4::report(&series).print();
+    println!("MLE bias by m (should grow with m):");
+    for (m, bias) in fig4::mle_bias_by_m(&series) {
+        println!("  m={m:5}: {bias:+.3}");
+    }
+}

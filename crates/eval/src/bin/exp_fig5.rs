@@ -1,0 +1,13 @@
+//! Reproduces Figure 5: sketch vs full-join estimates by sketch-join size.
+//!
+//! Usage: `cargo run -p joinmi-eval --bin exp_fig5 --release [-- --quick]`
+
+use joinmi_eval::experiments::fig5;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { fig5::Config::quick() } else { fig5::Config::default() };
+    eprintln!("running Figure 5 with quick={quick}");
+    let results = fig5::run(&cfg);
+    fig5::report(&results, &cfg.thresholds).print();
+}

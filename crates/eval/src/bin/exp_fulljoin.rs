@@ -1,0 +1,13 @@
+//! Reproduces §V-B1: true vs estimated MI on the full join.
+//!
+//! Usage: `cargo run -p joinmi-eval --bin exp_fulljoin --release [-- --quick]`
+
+use joinmi_eval::experiments::fulljoin;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { fulljoin::Config::quick() } else { fulljoin::Config::default() };
+    eprintln!("running §V-B1 full-join baseline with {cfg:?}");
+    let series = fulljoin::run(&cfg);
+    fulljoin::report(&series).print();
+}

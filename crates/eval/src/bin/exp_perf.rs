@@ -1,0 +1,13 @@
+//! Reproduces §V-D: full-join vs sketch timings.
+//!
+//! Usage: `cargo run -p joinmi-eval --bin exp_perf --release [-- --quick]`
+
+use joinmi_eval::experiments::perf;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { perf::Config::quick() } else { perf::Config::default() };
+    eprintln!("running §V-D performance sweep with {cfg:?}");
+    let timings = perf::run(&cfg);
+    perf::report(&timings).print();
+}

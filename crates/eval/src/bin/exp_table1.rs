@@ -1,0 +1,13 @@
+//! Reproduces Table I: sketch-join size and MSE of all five sketches.
+//!
+//! Usage: `cargo run -p joinmi-eval --bin exp_table1 --release [-- --quick]`
+
+use joinmi_eval::experiments::table1;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { table1::Config::quick() } else { table1::Config::default() };
+    eprintln!("running Table I with {cfg:?}");
+    let results = table1::run(&cfg);
+    table1::report(&results, cfg.sketch_size).print();
+}

@@ -1,0 +1,14 @@
+//! Reproduces Table II and §V-C3 on simulated open-data collections.
+//!
+//! Usage: `cargo run -p joinmi-eval --bin exp_table2 --release [-- --quick]`
+
+use joinmi_eval::experiments::table2;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { table2::Config::quick() } else { table2::Config::default() };
+    eprintln!("running Table II with quick={quick}");
+    let results = table2::run(&cfg);
+    table2::report(&results).print();
+    table2::estimator_magnitude_report(&results).print();
+}

@@ -1,0 +1,160 @@
+//! Figure 2 — true MI vs. sketch MI estimate for Trinomial(m = 512),
+//! sketch size n = 256, LV2SK vs TUPSK, three estimators, two join-key
+//! regimes.
+//!
+//! The qualitative findings this experiment reproduces:
+//! * with only n = 256 samples all estimators show visible bias/variance;
+//! * under `KeyDep` the LV2SK estimates degrade (larger bias) while TUPSK is
+//!   essentially unaffected by the join-key distribution (§V-B3).
+
+use std::collections::BTreeMap;
+
+use joinmi_sketch::{SketchConfig, SketchKind};
+use joinmi_synth::{decompose, KeyDistribution, TrinomialConfig};
+
+use crate::metrics::Summary;
+use crate::pipeline::{sketch_estimate, EstimatorMode, SketchTrial};
+use crate::report::{f2, fcorr, TableReport};
+
+/// Configuration of the Figure 2 experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Trinomial `m` parameter (512 in the paper).
+    pub m: u32,
+    /// Rows of the generated (full-join) table.
+    pub rows: usize,
+    /// Sketch size.
+    pub sketch_size: usize,
+    /// Number of generated data sets (scatter points per line).
+    pub trials: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { m: 512, rows: 10_000, sketch_size: 256, trials: 40, seed: 7 }
+    }
+}
+
+impl Config {
+    /// Fast configuration for tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { m: 64, rows: 2_000, sketch_size: 128, trials: 6, seed: 7 }
+    }
+}
+
+/// One line of the figure: sketch × estimator × key regime.
+pub type SeriesKey = (SketchKind, &'static str, KeyDistribution);
+/// Scatter points (analytical MI, sketch estimate) per line.
+pub type Series = BTreeMap<(String, String, String), Vec<(f64, f64)>>;
+
+/// Runs the experiment and returns the scatter series keyed by
+/// `(sketch, estimator, key regime)` names.
+#[must_use]
+pub fn run(cfg: &Config) -> Series {
+    let mut series: Series = BTreeMap::new();
+    let sketches = [SketchKind::Lv2sk, SketchKind::Tupsk];
+
+    for t in 0..cfg.trials {
+        let gen = TrinomialConfig::with_random_target(cfg.m, 3.5, cfg.seed.wrapping_add(t as u64));
+        let data = gen.generate(cfg.rows, cfg.seed.wrapping_add(5000 + t as u64));
+        for key_dist in KeyDistribution::ALL {
+            let pair = decompose(&data.xs, &data.ys, key_dist);
+            for kind in sketches {
+                for mode in EstimatorMode::TRINOMIAL {
+                    let trial = SketchTrial {
+                        kind,
+                        config: SketchConfig::new(cfg.sketch_size, cfg.seed.wrapping_add(t as u64)),
+                        mode,
+                    };
+                    if let Some(outcome) = sketch_estimate(&pair, &trial) {
+                        series
+                            .entry((
+                                kind.name().to_owned(),
+                                mode.name().to_owned(),
+                                key_dist.name().to_owned(),
+                            ))
+                            .or_default()
+                            .push((data.true_mi, outcome.estimate));
+                    }
+                }
+            }
+        }
+    }
+    series
+}
+
+/// Renders the per-line summary (bias / MSE / correlation), the tabular
+/// equivalent of the figure.
+#[must_use]
+pub fn report(series: &Series) -> TableReport {
+    let mut table = TableReport::new(
+        "Figure 2: Trinomial(m=512), sketch size n=256 — sketch estimate vs analytical MI",
+        &["Sketch", "Estimator", "Keys", "Points", "Bias", "MSE", "Pearson r"],
+    );
+    for ((sketch, estimator, keys), pairs) in series {
+        let truth: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let est: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let s = Summary::from_pairs(&truth, &est);
+        table.push_row(vec![
+            sketch.clone(),
+            estimator.clone(),
+            keys.clone(),
+            s.n.to_string(),
+            f2(s.bias),
+            f2(s.mse),
+            fcorr(s.pearson),
+        ]);
+    }
+    table
+}
+
+/// Aggregates, for each sketch, the increase in MSE caused by switching from
+/// `KeyInd` to `KeyDep` (averaged over estimators) — the headline comparison
+/// of §V-B3: the penalty should be visibly larger for LV2SK than for TUPSK.
+#[must_use]
+pub fn key_dependence_penalty(series: &Series) -> BTreeMap<String, f64> {
+    let mut per_sketch: BTreeMap<String, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    for ((sketch, _estimator, keys), pairs) in series {
+        let truth: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let est: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let mse = crate::metrics::mse(&truth, &est);
+        let entry = per_sketch.entry(sketch.clone()).or_default();
+        if keys == "KeyDep" {
+            entry.1.push(mse);
+        } else {
+            entry.0.push(mse);
+        }
+    }
+    per_sketch
+        .into_iter()
+        .map(|(sketch, (ind, dep))| {
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+            (sketch, mean(&dep) - mean(&ind))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_all_twelve_series() {
+        let series = run(&Config::quick());
+        // 2 sketches × 3 estimators × 2 key regimes.
+        assert_eq!(series.len(), 12);
+        for pairs in series.values() {
+            assert!(!pairs.is_empty());
+            for (truth, est) in pairs {
+                assert!(*truth >= 0.0 && est.is_finite());
+            }
+        }
+        let table = report(&series);
+        assert_eq!(table.len(), 12);
+        let penalty = key_dependence_penalty(&series);
+        assert!(penalty.contains_key("TUPSK") && penalty.contains_key("LV2SK"));
+    }
+}

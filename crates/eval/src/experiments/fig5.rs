@@ -1,0 +1,126 @@
+//! Figure 5 — sketch estimates vs. full-join estimates broken down by
+//! sketch-join size and estimator (WBF-like collection, TUPSK, n = 1024).
+//!
+//! The qualitative findings: the agreement between sketch and full-join
+//! estimates improves monotonically with the sketch-join size; with small
+//! samples the MLE over-estimates and the KSG-family estimators collapse
+//! toward zero (§V-C2).
+
+use std::collections::BTreeMap;
+
+use joinmi_sketch::SketchKind;
+use joinmi_synth::{OpenDataCollection, OpenDataConfig};
+
+use crate::metrics::Summary;
+use crate::report::{f2, fcorr, TableReport};
+
+use super::collection::{CollectionEval, PairResult};
+
+/// Configuration of the Figure 5 experiment.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// The collection evaluation parameters.
+    pub eval: CollectionEval,
+    /// Join-size thresholds used for the sub-plots.
+    pub thresholds: Vec<usize>,
+    /// Seed of the WBF-like collection.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            eval: CollectionEval {
+                kinds: vec![SketchKind::Tupsk],
+                sketch_size: 1024,
+                min_join_size: 100,
+                max_pairs: 150,
+                seed: 3,
+            },
+            thresholds: vec![128, 256, 512, 768],
+            seed: 202,
+        }
+    }
+}
+
+impl Config {
+    /// Fast configuration for tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            eval: CollectionEval {
+                kinds: vec![SketchKind::Tupsk],
+                sketch_size: 256,
+                min_join_size: 30,
+                max_pairs: 12,
+                seed: 3,
+            },
+            thresholds: vec![50, 100],
+            seed: 202,
+        }
+    }
+}
+
+/// Runs the experiment: returns the per-pair results of the WBF-like
+/// collection for the TUPSK sketch.
+#[must_use]
+pub fn run(cfg: &Config) -> Vec<PairResult> {
+    let scale = if cfg.eval.max_pairs <= 20 { 0.4 } else { 1.0 };
+    let mut collection_cfg = OpenDataConfig::wbf_like(cfg.seed);
+    collection_cfg.num_tables = ((collection_cfg.num_tables as f64) * scale).max(5.0) as usize;
+    collection_cfg.rows_range = (
+        ((collection_cfg.rows_range.0 as f64) * scale).max(400.0) as usize,
+        ((collection_cfg.rows_range.1 as f64) * scale).max(800.0) as usize,
+    );
+    collection_cfg.key_universe = ((collection_cfg.key_universe as f64) * scale).max(300.0) as usize;
+    let collection = OpenDataCollection::generate(&collection_cfg);
+    cfg.eval.run(&collection)
+}
+
+/// Renders the per-(threshold, estimator) agreement summary — the tabular
+/// equivalent of the figure's sub-plots.
+#[must_use]
+pub fn report(results: &[PairResult], thresholds: &[usize]) -> TableReport {
+    let mut table = TableReport::new(
+        "Figure 5: TUPSK estimate vs full-join estimate by sketch-join size (WBF-like)",
+        &["Join Size >", "Estimator", "Pairs", "Bias", "MSE", "Pearson r"],
+    );
+    for &threshold in thresholds {
+        let mut per_estimator: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+        for r in results {
+            if let Some(&(mi, join)) = r.sketches.get("TUPSK") {
+                if join > threshold {
+                    per_estimator.entry(r.estimator.clone()).or_default().push((r.full_mi, mi));
+                }
+            }
+        }
+        for (estimator, pairs) in per_estimator {
+            let full: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let sketch: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let s = Summary::from_pairs(&full, &sketch);
+            table.push_row(vec![
+                threshold.to_string(),
+                estimator,
+                s.n.to_string(),
+                f2(s.bias),
+                f2(s.mse),
+                fcorr(s.pearson),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_join_size() {
+        let cfg = Config::quick();
+        let results = run(&cfg);
+        assert!(!results.is_empty());
+        let table = report(&results, &cfg.thresholds);
+        assert!(!table.is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per paper artifact (figure / table / section).
+//!
+//! Every experiment exposes a `Config` with a [`Default`] sized like the
+//! paper's setup, a cheaper `Config::quick()` used by tests and smoke runs,
+//! a `run` function returning structured results, and a `report` function
+//! that renders the paper-style rows.
+
+pub mod ablation;
+pub mod collection;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fulljoin;
+pub mod perf;
+pub mod table1;
+pub mod table2;

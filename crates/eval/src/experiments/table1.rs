@@ -1,0 +1,169 @@
+//! Table I — average sketch-join size and MSE for all five sketching
+//! strategies on the synthetic benchmarks.
+//!
+//! The qualitative findings: INDSK recovers far fewer joined pairs (its
+//! sample is uncoordinated), CSK sits in between (it ignores key
+//! multiplicity), the two-level sketches recover close to n pairs, and TUPSK
+//! recovers exactly n pairs with the lowest MSE.
+
+use std::collections::BTreeMap;
+
+use joinmi_sketch::{SketchConfig, SketchKind};
+use joinmi_synth::{decompose, CdUnifConfig, KeyDistribution, TrinomialConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::mse;
+use crate::pipeline::{sketch_estimate, EstimatorMode, SketchTrial};
+use crate::report::{f2, TableReport};
+
+/// Configuration of the Table I experiment.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Rows of each generated table.
+    pub rows: usize,
+    /// Sketch size (256 in the paper).
+    pub sketch_size: usize,
+    /// Trials per dataset family (spread over key regimes and `m` values).
+    pub trials: usize,
+    /// Trinomial `m` values cycled through.
+    pub trinomial_ms: Vec<u32>,
+    /// Upper bound of the CDUnif `m` parameter (drawn uniformly from
+    /// `[2, cdunif_m_max]`).
+    pub cdunif_m_max: u32,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            rows: 10_000,
+            sketch_size: 256,
+            trials: 24,
+            trinomial_ms: vec![16, 64, 256, 512, 1024],
+            cdunif_m_max: 1000,
+            seed: 23,
+        }
+    }
+}
+
+impl Config {
+    /// Fast configuration for tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            rows: 2_000,
+            sketch_size: 128,
+            trials: 4,
+            trinomial_ms: vec![16, 64],
+            cdunif_m_max: 64,
+            seed: 23,
+        }
+    }
+}
+
+/// Per-(dataset, sketch) accumulated results.
+#[derive(Debug, Clone, Default)]
+pub struct Row {
+    /// Sketch-join sizes observed.
+    pub join_sizes: Vec<usize>,
+    /// (true MI, estimate) pairs.
+    pub pairs: Vec<(f64, f64)>,
+}
+
+/// Results keyed by (dataset, sketch name).
+pub type Results = BTreeMap<(String, String), Row>;
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(cfg: &Config) -> Results {
+    let mut results: Results = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    for t in 0..cfg.trials {
+        let key_dist = if t % 2 == 0 { KeyDistribution::KeyInd } else { KeyDistribution::KeyDep };
+
+        // Trinomial trial.
+        let m = cfg.trinomial_ms[t % cfg.trinomial_ms.len()];
+        let seed = cfg.seed.wrapping_add(t as u64);
+        let gen = TrinomialConfig::with_random_target(m, 3.5, seed);
+        let data = gen.generate(cfg.rows, seed.wrapping_add(91));
+        let pair = decompose(&data.xs, &data.ys, key_dist);
+        for kind in SketchKind::ALL {
+            for mode in EstimatorMode::TRINOMIAL {
+                let trial =
+                    SketchTrial { kind, config: SketchConfig::new(cfg.sketch_size, seed), mode };
+                if let Some(outcome) = sketch_estimate(&pair, &trial) {
+                    let row = results.entry(("Trinomial".to_owned(), kind.name().to_owned())).or_default();
+                    row.join_sizes.push(outcome.join_size);
+                    row.pairs.push((data.true_mi, outcome.estimate));
+                }
+            }
+        }
+
+        // CDUnif trial (KeyDep applies because X is discrete).
+        let m = rng.gen_range(2u32..=cfg.cdunif_m_max);
+        let gen = CdUnifConfig::new(m);
+        let data = gen.generate(cfg.rows, seed.wrapping_add(191));
+        let pair = decompose(&data.xs, &data.ys, key_dist);
+        for kind in SketchKind::ALL {
+            for mode in EstimatorMode::CDUNIF {
+                let trial =
+                    SketchTrial { kind, config: SketchConfig::new(cfg.sketch_size, seed), mode };
+                if let Some(outcome) = sketch_estimate(&pair, &trial) {
+                    let row = results.entry(("CDUnif".to_owned(), kind.name().to_owned())).or_default();
+                    row.join_sizes.push(outcome.join_size);
+                    row.pairs.push((data.true_mi, outcome.estimate));
+                }
+            }
+        }
+    }
+    results
+}
+
+/// Renders the Table I layout: dataset, sketch, average sketch-join size,
+/// size as a percentage of n, and MSE against the true MI.
+#[must_use]
+pub fn report(results: &Results, sketch_size: usize) -> TableReport {
+    let mut table = TableReport::new(
+        "Table I: sketch join size and MSE vs true MI (synthetic benchmarks)",
+        &["Dataset", "Sketch", "Avg. Sketch Join Size", "%", "MSE"],
+    );
+    for ((dataset, sketch), row) in results {
+        let avg_join = row.join_sizes.iter().sum::<usize>() as f64 / row.join_sizes.len().max(1) as f64;
+        let truth: Vec<f64> = row.pairs.iter().map(|p| p.0).collect();
+        let est: Vec<f64> = row.pairs.iter().map(|p| p.1).collect();
+        table.push_row(vec![
+            dataset.clone(),
+            sketch.clone(),
+            format!("{avg_join:.1}"),
+            f2(100.0 * avg_join / sketch_size as f64),
+            f2(mse(&truth, &est)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sketches_appear_and_tupsk_fills_the_budget() {
+        let cfg = Config::quick();
+        let results = run(&cfg);
+        // 2 datasets × 5 sketches.
+        assert_eq!(results.len(), 10);
+
+        for dataset in ["Trinomial", "CDUnif"] {
+            let tupsk = &results[&(dataset.to_owned(), "TUPSK".to_owned())];
+            let indsk = &results[&(dataset.to_owned(), "INDSK".to_owned())];
+            let avg = |sizes: &[usize]| sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+            // TUPSK recovers (close to) the full budget; INDSK recovers far less.
+            assert!(avg(&tupsk.join_sizes) >= 0.95 * cfg.sketch_size as f64);
+            assert!(avg(&indsk.join_sizes) < 0.7 * cfg.sketch_size as f64);
+        }
+        assert_eq!(report(&results, cfg.sketch_size).len(), 10);
+    }
+}

@@ -1,0 +1,125 @@
+//! Error metrics used across the experiments.
+
+pub use joinmi_estimators::{pearson, spearman};
+
+/// Mean squared error between paired truths and estimates.
+///
+/// Returns `NaN` for empty input (so callers notice missing data instead of
+/// silently reporting a perfect score).
+#[must_use]
+pub fn mse(truth: &[f64], estimate: &[f64]) -> f64 {
+    assert_eq!(truth.len(), estimate.len(), "paired metric requires aligned slices");
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    truth.iter().zip(estimate).map(|(t, e)| (t - e).powi(2)).sum::<f64>() / truth.len() as f64
+}
+
+/// Root mean squared error.
+#[must_use]
+pub fn rmse(truth: &[f64], estimate: &[f64]) -> f64 {
+    mse(truth, estimate).sqrt()
+}
+
+/// Mean absolute error.
+#[must_use]
+pub fn mae(truth: &[f64], estimate: &[f64]) -> f64 {
+    assert_eq!(truth.len(), estimate.len(), "paired metric requires aligned slices");
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    truth.iter().zip(estimate).map(|(t, e)| (t - e).abs()).sum::<f64>() / truth.len() as f64
+}
+
+/// Mean signed error (estimate − truth): positive values mean overestimation.
+#[must_use]
+pub fn mean_error(truth: &[f64], estimate: &[f64]) -> f64 {
+    assert_eq!(truth.len(), estimate.len(), "paired metric requires aligned slices");
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    truth.iter().zip(estimate).map(|(t, e)| e - t).sum::<f64>() / truth.len() as f64
+}
+
+/// Summary statistics of one experimental series (one line of a figure or
+/// one row of a table).
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Number of paired observations.
+    pub n: usize,
+    /// Mean squared error.
+    pub mse: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Mean signed error (bias direction).
+    pub bias: f64,
+    /// Pearson correlation between truth and estimate.
+    pub pearson: Option<f64>,
+    /// Spearman rank correlation between truth and estimate.
+    pub spearman: Option<f64>,
+}
+
+impl Summary {
+    /// Computes all metrics for a paired series.
+    #[must_use]
+    pub fn from_pairs(truth: &[f64], estimate: &[f64]) -> Self {
+        Self {
+            n: truth.len(),
+            mse: mse(truth, estimate),
+            rmse: rmse(truth, estimate),
+            bias: mean_error(truth, estimate),
+            pearson: pearson(truth, estimate),
+            spearman: spearman(truth, estimate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_estimates_have_zero_error() {
+        let t = vec![1.0, 2.0, 3.0];
+        assert_eq!(mse(&t, &t), 0.0);
+        assert_eq!(rmse(&t, &t), 0.0);
+        assert_eq!(mae(&t, &t), 0.0);
+        assert_eq!(mean_error(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn known_errors() {
+        let t = vec![0.0, 0.0];
+        let e = vec![1.0, -1.0];
+        assert_eq!(mse(&t, &e), 1.0);
+        assert_eq!(rmse(&t, &e), 1.0);
+        assert_eq!(mae(&t, &e), 1.0);
+        assert_eq!(mean_error(&t, &e), 0.0);
+        let e2 = vec![2.0, 2.0];
+        assert_eq!(mean_error(&t, &e2), 2.0);
+    }
+
+    #[test]
+    fn empty_input_is_nan_not_zero() {
+        assert!(mse(&[], &[]).is_nan());
+        assert!(mae(&[], &[]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn mismatched_lengths_panic() {
+        let _ = mse(&[1.0], &[]);
+    }
+
+    #[test]
+    fn summary_packs_all_metrics() {
+        let t = vec![1.0, 2.0, 3.0, 4.0];
+        let e = vec![1.1, 2.1, 2.9, 4.2];
+        let s = Summary::from_pairs(&t, &e);
+        assert_eq!(s.n, 4);
+        assert!(s.mse > 0.0 && s.mse < 0.1);
+        assert!(s.pearson.unwrap() > 0.99);
+        assert!(s.spearman.unwrap() > 0.99);
+        assert!(s.bias.abs() < 0.2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Plain-text report formatting.
+//!
+//! Experiments print fixed-width tables to stdout (the "same rows the paper
+//! reports") and can also serialize the underlying data as CSV so results are
+//! machine-readable for EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TableReport {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableReport {
+    /// Creates a report with a title and column headers.
+    #[must_use]
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have the same arity as the header).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity must match the header");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the report has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the report as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(s, "{:width$}  ", cell, width = widths[i]);
+            }
+            s.trim_end().to_owned()
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the report as CSV (header + rows).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a float with 2 decimal places (the precision used in the paper's
+/// tables).
+#[must_use]
+pub fn f2(v: f64) -> String {
+    if v.is_nan() {
+        "n/a".to_owned()
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Formats a float with 3 decimal places.
+#[must_use]
+pub fn f3(v: f64) -> String {
+    if v.is_nan() {
+        "n/a".to_owned()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats an optional correlation.
+#[must_use]
+pub fn fcorr(v: Option<f64>) -> String {
+    v.map_or_else(|| "n/a".to_owned(), f2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TableReport::new("Demo", &["Sketch", "MSE"]);
+        t.push_row(vec!["TUPSK".into(), "0.22".into()]);
+        t.push_row(vec!["LV2SK".into(), "0.32".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("TUPSK"));
+        assert!(s.contains("0.32"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_output_escapes_commas() {
+        let mut t = TableReport::new("x", &["a", "b"]);
+        t.push_row(vec!["hello, world".into(), "1".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"hello, world\""));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_is_checked() {
+        let mut t = TableReport::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(std::f64::consts::PI), "3.142");
+        assert_eq!(f2(f64::NAN), "n/a");
+        assert_eq!(fcorr(None), "n/a");
+        assert_eq!(fcorr(Some(0.5)), "0.50");
+    }
+}

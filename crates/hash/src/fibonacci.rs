@@ -1,0 +1,99 @@
+//! Fibonacci hashing.
+//!
+//! The paper implements the unit-range hash `h_u` with Fibonacci hashing
+//! (Knuth, TAOCP vol. 3): multiply the input by `2^64 / φ` (where `φ` is the
+//! golden ratio) and let the wrap-around scramble the high bits. The result is
+//! an integer that is then interpreted as a fraction of the full 64-bit range,
+//! yielding a value uniformly distributed in `[0, 1)` for well-distributed
+//! inputs.
+
+/// `⌊2^64 / φ⌋` rounded to the nearest odd number, the classic Fibonacci
+/// hashing multiplier (also used by SplitMix64 as its increment).
+pub const FIBONACCI_MULTIPLIER: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Scrambles `x` with Fibonacci hashing, returning a 64-bit digest.
+///
+/// Equal inputs give equal outputs; the multiplication by the golden-ratio
+/// constant spreads consecutive inputs roughly uniformly over the 64-bit
+/// space. An additional xor-shift is applied so that low-order bits of the
+/// input also influence high-order bits of the output (plain Fibonacci
+/// hashing only guarantees good behaviour for the *high* output bits).
+#[inline]
+#[must_use]
+pub fn fibonacci_hash_u64(x: u64) -> u64 {
+    let x = x ^ (x >> 31);
+    x.wrapping_mul(FIBONACCI_MULTIPLIER)
+}
+
+/// Maps a 64-bit digest to the unit interval `[0, 1)`.
+///
+/// Uses the top 53 bits so the result is exactly representable as an `f64`.
+#[inline]
+#[must_use]
+pub fn digest_to_unit(digest: u64) -> f64 {
+    // 2^53 is the largest power of two such that every integer in [0, 2^53)
+    // is exactly representable as f64.
+    const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+    ((digest >> 11) as f64) * SCALE
+}
+
+/// Convenience composition: Fibonacci-hash `x` and map it to `[0, 1)`.
+#[inline]
+#[must_use]
+pub fn fibonacci_unit(x: u64) -> f64 {
+    digest_to_unit(fibonacci_hash_u64(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_range_is_half_open() {
+        for x in [0u64, 1, 2, 42, u64::MAX, u64::MAX - 1, 1 << 32, 0xdead_beef] {
+            let u = fibonacci_unit(x);
+            assert!((0.0..1.0).contains(&u), "h_u({x}) = {u} out of range");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        for x in 0..1000u64 {
+            assert_eq!(fibonacci_unit(x), fibonacci_unit(x));
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..100_000u64 {
+            seen.insert(fibonacci_hash_u64(x));
+        }
+        assert_eq!(seen.len(), 100_000, "Fibonacci hashing collided on small consecutive inputs");
+    }
+
+    #[test]
+    fn roughly_uniform_over_consecutive_inputs() {
+        // Bucket the unit values of 0..n into 10 deciles; each decile should
+        // receive close to n/10 values.
+        let n = 100_000u64;
+        let mut buckets = [0usize; 10];
+        for x in 0..n {
+            let u = fibonacci_unit(x);
+            let b = ((u * 10.0) as usize).min(9);
+            buckets[b] += 1;
+        }
+        let expected = n as f64 / 10.0;
+        for (i, &count) in buckets.iter().enumerate() {
+            let deviation = (count as f64 - expected).abs() / expected;
+            assert!(deviation < 0.05, "decile {i} deviates by {deviation:.3}");
+        }
+    }
+
+    #[test]
+    fn digest_to_unit_extremes() {
+        assert_eq!(digest_to_unit(0), 0.0);
+        assert!(digest_to_unit(u64::MAX) < 1.0);
+        assert!(digest_to_unit(u64::MAX) > 0.9999);
+    }
+}

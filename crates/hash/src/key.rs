@@ -1,0 +1,176 @@
+//! Hashing of join-key *values* (strings, integers, floats) to 64-bit digests.
+//!
+//! The paper assumes a collision-free hash `h` that maps arbitrary objects to
+//! integers before the unit-range hash `h_u` is applied. [`KeyHasher`] fills
+//! that role: it serializes a key value to bytes with a type tag (so `1` the
+//! integer and `"1"` the string do not collide by construction) and digests
+//! the bytes with MurmurHash3.
+
+use crate::murmur3::{murmur3_x64_128, murmur3_x86_32};
+
+/// A 64-bit digest of a join-key value.
+///
+/// Newtype so sketch code cannot accidentally mix raw row indices, occurrence
+/// counters, and key digests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyHash(pub u64);
+
+impl KeyHash {
+    /// Returns the raw digest.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Bit width of the key digest produced by a [`KeyHasher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyHashWidth {
+    /// 32-bit MurmurHash3 (x86 variant) — the function used in the paper.
+    /// Collisions become likely beyond ~65k distinct keys (birthday bound).
+    Bits32,
+    /// 64 bits taken from the 128-bit x64 MurmurHash3. Recommended default.
+    #[default]
+    Bits64,
+}
+
+/// Hashes join-key values into [`KeyHash`] digests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeyHasher {
+    width: KeyHashWidth,
+    seed: u32,
+}
+
+/// Type tags prepended to serialized values so values of different types
+/// never collide structurally.
+mod tag {
+    pub const NULL: u8 = 0;
+    pub const INT: u8 = 1;
+    pub const FLOAT: u8 = 2;
+    pub const STR: u8 = 3;
+    pub const BYTES: u8 = 4;
+}
+
+impl KeyHasher {
+    /// Creates a key hasher with the given digest width and seed.
+    #[must_use]
+    pub fn new(width: KeyHashWidth, seed: u32) -> Self {
+        Self { width, seed }
+    }
+
+    /// Creates the default 64-bit hasher with seed 0.
+    #[must_use]
+    pub fn default_64() -> Self {
+        Self::new(KeyHashWidth::Bits64, 0)
+    }
+
+    /// Creates the 32-bit hasher used in the paper.
+    #[must_use]
+    pub fn paper_32() -> Self {
+        Self::new(KeyHashWidth::Bits32, 0)
+    }
+
+    /// Hashes raw bytes (with a bytes type tag).
+    #[must_use]
+    pub fn hash_bytes(&self, bytes: &[u8]) -> KeyHash {
+        self.digest_tagged(tag::BYTES, bytes)
+    }
+
+    /// Hashes a string key.
+    #[must_use]
+    pub fn hash_str(&self, s: &str) -> KeyHash {
+        self.digest_tagged(tag::STR, s.as_bytes())
+    }
+
+    /// Hashes an integer key.
+    #[must_use]
+    pub fn hash_int(&self, v: i64) -> KeyHash {
+        self.digest_tagged(tag::INT, &v.to_le_bytes())
+    }
+
+    /// Hashes a floating-point key.
+    ///
+    /// Floats that compare equal must hash equally, so `-0.0` is normalized to
+    /// `+0.0` and all NaNs to a single canonical NaN bit pattern.
+    #[must_use]
+    pub fn hash_float(&self, v: f64) -> KeyHash {
+        let canonical = if v.is_nan() {
+            f64::NAN.to_bits()
+        } else if v == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            v.to_bits()
+        };
+        self.digest_tagged(tag::FLOAT, &canonical.to_le_bytes())
+    }
+
+    /// Hashes a NULL key. NULLs are given a digest so callers can decide
+    /// whether to keep or drop them; sketch builders drop NULL keys.
+    #[must_use]
+    pub fn hash_null(&self) -> KeyHash {
+        self.digest_tagged(tag::NULL, &[])
+    }
+
+    fn digest_tagged(&self, tag: u8, payload: &[u8]) -> KeyHash {
+        let mut buf = Vec::with_capacity(payload.len() + 1);
+        buf.push(tag);
+        buf.extend_from_slice(payload);
+        let digest = match self.width {
+            KeyHashWidth::Bits32 => u64::from(murmur3_x86_32(&buf, self.seed)),
+            KeyHashWidth::Bits64 => murmur3_x64_128(&buf, u64::from(self.seed)).0,
+        };
+        KeyHash(digest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_tags_prevent_cross_type_collisions() {
+        let h = KeyHasher::default_64();
+        assert_ne!(h.hash_int(1), h.hash_str("1"));
+        assert_ne!(h.hash_float(1.0), h.hash_int(1));
+        assert_ne!(h.hash_str(""), h.hash_null());
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let h = KeyHasher::default_64();
+        assert_eq!(h.hash_str("brooklyn"), h.hash_str("brooklyn"));
+        assert_eq!(h.hash_int(-5), h.hash_int(-5));
+        assert_eq!(h.hash_float(2.5), h.hash_float(2.5));
+    }
+
+    #[test]
+    fn float_normalization() {
+        let h = KeyHasher::default_64();
+        assert_eq!(h.hash_float(0.0), h.hash_float(-0.0));
+        assert_eq!(h.hash_float(f64::NAN), h.hash_float(-f64::NAN));
+    }
+
+    #[test]
+    fn seed_changes_digests() {
+        let a = KeyHasher::new(KeyHashWidth::Bits64, 1);
+        let b = KeyHasher::new(KeyHashWidth::Bits64, 2);
+        assert_ne!(a.hash_str("x"), b.hash_str("x"));
+    }
+
+    #[test]
+    fn paper_32_produces_32_bit_digests() {
+        let h = KeyHasher::paper_32();
+        for i in 0..100 {
+            assert!(h.hash_int(i).raw() <= u64::from(u32::MAX));
+        }
+    }
+
+    #[test]
+    fn distinct_strings_distinct_digests_64() {
+        let h = KeyHasher::default_64();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..50_000 {
+            assert!(seen.insert(h.hash_str(&format!("zip-{i}"))), "collision at {i}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Hashing primitives used throughout `joinmi`.
+//!
+//! The sketching algorithms of the paper (Section IV, "Approach Overview")
+//! require two hash functions:
+//!
+//! * a collision-resistant hash `h` that maps arbitrary join-key values to
+//!   integers — we provide [MurmurHash3](murmur3) in both 32-bit and 128-bit
+//!   flavours (the paper uses the 32-bit variant; the 128-bit variant is
+//!   offered because real key domains easily exceed the birthday bound of a
+//!   32-bit digest);
+//! * a uniform hash `h_u` that maps integers to the unit range `[0, 1)` — we
+//!   provide [Fibonacci hashing](fibonacci) as in the paper, plus a
+//!   SplitMix64-based finalizer used for seeding and coordination.
+//!
+//! All hashers in this crate are deterministic given a seed, so sketches are
+//! reproducible and two tables sketched independently (possibly on different
+//! machines) remain *coordinated*: equal keys receive equal hash values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fibonacci;
+pub mod key;
+pub mod murmur3;
+pub mod splitmix;
+pub mod unit;
+
+pub use fibonacci::{fibonacci_hash_u64, FIBONACCI_MULTIPLIER};
+pub use key::{KeyHash, KeyHasher};
+pub use murmur3::{murmur3_x64_128, murmur3_x86_32};
+pub use splitmix::SplitMix64;
+pub use unit::UnitHasher;

@@ -1,0 +1,143 @@
+//! Seeded unit-range hashing (`h_u` in the paper).
+//!
+//! A [`UnitHasher`] maps 64-bit key digests to `[0, 1)` deterministically.
+//! Two sketches built with the same seed produce *coordinated* samples: a key
+//! that hashes low in one table hashes equally low in the other, which is what
+//! maximizes the expected sketch-join size (Section IV).
+
+use crate::fibonacci::{digest_to_unit, fibonacci_hash_u64};
+use crate::splitmix::SplitMix64;
+
+/// Deterministic, seeded mapping from 64-bit digests to the unit interval.
+///
+/// The mapping is `digest -> unit(fibonacci(digest ^ seed'))` where `seed'`
+/// is a mixed version of the user seed, i.e. Fibonacci hashing as in the
+/// paper, but salted so independent repetitions of an experiment can use
+/// independent hash functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitHasher {
+    salt: u64,
+}
+
+impl UnitHasher {
+    /// Creates a unit hasher for the given seed.
+    ///
+    /// Seed `0` reproduces plain (unsalted) Fibonacci hashing.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let salt = if seed == 0 { 0 } else { SplitMix64::mix(seed) };
+        Self { salt }
+    }
+
+    /// Maps a digest to `[0, 1)`.
+    #[inline]
+    #[must_use]
+    pub fn unit(&self, digest: u64) -> f64 {
+        digest_to_unit(self.digest(digest))
+    }
+
+    /// Returns the salted 64-bit digest (useful when a total order over keys
+    /// is needed without converting to floating point, e.g. KMV selection).
+    #[inline]
+    #[must_use]
+    pub fn digest(&self, digest: u64) -> u64 {
+        fibonacci_hash_u64(digest ^ self.salt)
+    }
+
+    /// Maps the pair `(digest, occurrence)` to `[0, 1)`.
+    ///
+    /// This is the `h_u(⟨k, j⟩)` used by TUPSK: the `j`-th occurrence of key
+    /// `k` is treated as a distinct sampling unit. `occurrence` is 1-based in
+    /// the paper; any convention works as long as it is used consistently,
+    /// and `pair_digest(k, 1)` must equal the digest used for aggregated
+    /// (unique-key) sketches so that coordination is preserved.
+    #[inline]
+    #[must_use]
+    pub fn pair_unit(&self, digest: u64, occurrence: u64) -> f64 {
+        digest_to_unit(self.pair_digest(digest, occurrence))
+    }
+
+    /// Returns the salted 64-bit digest of the pair `(digest, occurrence)`.
+    #[inline]
+    #[must_use]
+    pub fn pair_digest(&self, digest: u64, occurrence: u64) -> u64 {
+        // Combine with a mix so that (k, j) and (k', j') never alias by simple
+        // arithmetic coincidence, then salt like the scalar variant.
+        let combined = SplitMix64::mix(digest ^ SplitMix64::mix(occurrence));
+        fibonacci_hash_u64(combined ^ self.salt)
+    }
+
+    /// Returns the seed salt (for diagnostics / serialization).
+    #[must_use]
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+}
+
+impl Default for UnitHasher {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordination_same_seed_same_value() {
+        let a = UnitHasher::new(99);
+        let b = UnitHasher::new(99);
+        for k in 0..1000u64 {
+            assert_eq!(a.unit(k), b.unit(k));
+        }
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let a = UnitHasher::new(1);
+        let b = UnitHasher::new(2);
+        let same = (0..1000u64).filter(|&k| a.unit(k) == b.unit(k)).count();
+        assert!(same < 5, "seeds should produce different orderings, got {same} equal");
+    }
+
+    #[test]
+    fn pair_unit_occurrence_one_is_distinct_sampling_frame() {
+        // The paper relies on ⟨k, 1⟩ being the shared frame between the
+        // aggregated right sketch and the first occurrence on the left.
+        let h = UnitHasher::new(7);
+        for k in 0..100u64 {
+            assert_eq!(h.pair_unit(k, 1), h.pair_unit(k, 1));
+            assert_ne!(h.pair_unit(k, 1), h.pair_unit(k, 2));
+        }
+    }
+
+    #[test]
+    fn unit_values_in_range() {
+        let h = UnitHasher::new(123);
+        for k in 0..10_000u64 {
+            let u = h.unit(k);
+            assert!((0.0..1.0).contains(&u));
+            let p = h.pair_unit(k, k % 7);
+            assert!((0.0..1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn unsalted_matches_plain_fibonacci() {
+        let h = UnitHasher::new(0);
+        for k in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(h.unit(k), crate::fibonacci::fibonacci_unit(k));
+        }
+    }
+
+    #[test]
+    fn digest_order_matches_unit_order() {
+        let h = UnitHasher::new(5);
+        let mut keys: Vec<u64> = (0..500).collect();
+        keys.sort_by(|a, b| h.unit(*a).partial_cmp(&h.unit(*b)).unwrap());
+        let mut keys2: Vec<u64> = (0..500).collect();
+        keys2.sort_by_key(|k| h.digest(*k));
+        assert_eq!(keys, keys2);
+    }
+}

@@ -1,0 +1,150 @@
+//! The CDUnif benchmark distribution (Gao et al. 2017, used in Section V-A).
+//!
+//! `X` is uniform over the integers `{0, 1, …, m−1}` and `Y | X = x` is
+//! uniform on `[x, x+2]`. Because consecutive intervals overlap by half, the
+//! closed-form mutual information is
+//!
+//! `I(X; Y) = ln m − (m − 1) · ln 2 / m`.
+//!
+//! `Y` is continuous while `X` is discrete, so only the MixedKSG and DC-KSG
+//! estimators apply without data transformation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use joinmi_table::Value;
+
+use crate::GeneratedPair;
+
+/// Configuration of one CDUnif data set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CdUnifConfig {
+    /// Number of distinct values of `X`.
+    pub m: u32,
+}
+
+impl CdUnifConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn new(m: u32) -> Self {
+        assert!(m >= 1, "m must be positive");
+        Self { m }
+    }
+
+    /// Closed-form mutual information in nats.
+    #[must_use]
+    pub fn true_mi(&self) -> f64 {
+        let m = f64::from(self.m);
+        m.ln() - (m - 1.0) * 2.0_f64.ln() / m
+    }
+
+    /// Draws `n` samples `(x, y)`.
+    #[must_use]
+    pub fn sample(&self, n: usize, seed: u64) -> (Vec<i64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = rng.gen_range(0..self.m);
+            let y = f64::from(x) + 2.0 * rng.gen::<f64>();
+            xs.push(i64::from(x));
+            ys.push(y);
+        }
+        (xs, ys)
+    }
+
+    /// Draws `n` samples and packages them with the closed-form MI.
+    #[must_use]
+    pub fn generate(&self, n: usize, seed: u64) -> GeneratedPair {
+        let (xs, ys) = self.sample(n, seed);
+        GeneratedPair {
+            xs: xs.into_iter().map(Value::Int).collect(),
+            ys: ys.into_iter().map(Value::Float).collect(),
+            true_mi: self.true_mi(),
+            m: self.m,
+        }
+    }
+
+    /// The `m` that produces a given target MI (inverse of [`true_mi`],
+    /// rounded to the nearest integer ≥ 1). Useful for sweeping MI levels.
+    ///
+    /// [`true_mi`]: CdUnifConfig::true_mi
+    #[must_use]
+    pub fn m_for_target_mi(target: f64) -> u32 {
+        // Solve ln m − (m−1) ln2 / m = target by bisection on m ∈ [1, 2^40].
+        let f = |m: f64| m.ln() - (m - 1.0) * 2.0_f64.ln() / m;
+        let (mut lo, mut hi) = (1.0f64, 1.0e12f64);
+        if target <= 0.0 {
+            return 1;
+        }
+        for _ in 0..200 {
+            let mid = (lo + hi) / 2.0;
+            if f(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo.round().max(1.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_values() {
+        // m = 1: X is constant, I = 0.
+        assert!(CdUnifConfig::new(1).true_mi().abs() < 1e-12);
+        // m = 2: ln 2 − ln 2 / 2 = ln 2 / 2.
+        assert!((CdUnifConfig::new(2).true_mi() - 0.5 * 2.0_f64.ln()).abs() < 1e-12);
+        // m = 256 ≈ 4.85 (quoted in Section V-B4).
+        assert!((CdUnifConfig::new(256).true_mi() - 4.85).abs() < 0.01);
+    }
+
+    #[test]
+    fn sample_ranges_are_respected() {
+        let cfg = CdUnifConfig::new(8);
+        let (xs, ys) = cfg.sample(10_000, 5);
+        assert!(xs.iter().all(|&x| (0..8).contains(&x)));
+        for (&x, &y) in xs.iter().zip(&ys) {
+            assert!(y >= x as f64 && y <= x as f64 + 2.0);
+        }
+        // All 8 values appear.
+        let mut seen = xs.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn estimator_recovers_closed_form() {
+        let cfg = CdUnifConfig::new(16);
+        let (xs, ys) = cfg.sample(8000, 11);
+        let x_codes: Vec<u32> = xs.iter().map(|&v| v as u32).collect();
+        let est = joinmi_estimators::dc_ksg_mi(&x_codes, &ys, 3).unwrap();
+        assert!((est - cfg.true_mi()).abs() < 0.1, "est={est}, truth={}", cfg.true_mi());
+    }
+
+    #[test]
+    fn m_for_target_inverts_true_mi() {
+        for m in [2u32, 10, 100, 777] {
+            let target = CdUnifConfig::new(m).true_mi();
+            let recovered = CdUnifConfig::m_for_target_mi(target);
+            assert!((i64::from(recovered) - i64::from(m)).abs() <= 1, "m={m}, recovered={recovered}");
+        }
+        assert_eq!(CdUnifConfig::m_for_target_mi(0.0), 1);
+    }
+
+    #[test]
+    fn generate_packs_types_correctly() {
+        let pair = CdUnifConfig::new(4).generate(50, 2);
+        assert!(matches!(pair.xs[0], Value::Int(_)));
+        assert!(matches!(pair.ys[0], Value::Float(_)));
+        assert_eq!(pair.m, 4);
+    }
+}

@@ -1,0 +1,237 @@
+//! Decomposition of generated `(X, Y)` pairs into joinable tables
+//! (Section V-A, "Decomposition Into Joinable Tables").
+//!
+//! The benchmark generates the *post-join* columns directly, then splits them
+//! into a base table `Ttrain[K_Y, Y]` and a candidate table `Tcand[K_X, X]`
+//! whose augmentation join recovers `(X, Y)` exactly. Two key-generation
+//! regimes control the dependence between the join key and the feature:
+//!
+//! * [`KeyDistribution::KeyInd`] — sequential unique keys (one-to-one join):
+//!   maximum independence between the key and `X`;
+//! * [`KeyDistribution::KeyDep`] — the key *is* the value of `X`
+//!   (many-to-one join): maximal dependence, the adversarial case for
+//!   key-coordinated sampling. Only applicable when `X` is discrete.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use joinmi_table::{Aggregation, DataType, Table, Value};
+
+/// Key-generation regime for the decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyDistribution {
+    /// Unique sequential join keys (one-to-one relationship).
+    KeyInd,
+    /// Join key equals the feature value (many-to-one, key ⟂̸ feature).
+    KeyDep,
+}
+
+impl KeyDistribution {
+    /// Both regimes.
+    pub const ALL: [Self; 2] = [Self::KeyInd, Self::KeyDep];
+
+    /// Name as used in the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::KeyInd => "KeyInd",
+            Self::KeyDep => "KeyDep",
+        }
+    }
+}
+
+impl fmt::Display for KeyDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The pair of joinable tables produced by [`decompose`], plus the metadata
+/// needed to run the augmentation join or build sketches over them.
+#[derive(Debug, Clone)]
+pub struct DecomposedPair {
+    /// Base table `Ttrain[key, y]`.
+    pub train: Table,
+    /// Candidate table `Tcand[key, x]`.
+    pub cand: Table,
+    /// Join-key column name in both tables (`"key"`).
+    pub key_column: String,
+    /// Target column name in `train` (`"y"`).
+    pub target_column: String,
+    /// Feature column name in `cand` (`"x"`).
+    pub feature_column: String,
+    /// Aggregation whose augmentation join recovers the original pairs
+    /// exactly (`First` — any value-preserving function works because every
+    /// candidate key maps to a single feature value by construction).
+    pub aggregation: Aggregation,
+    /// The regime used to generate the keys.
+    pub key_distribution: KeyDistribution,
+}
+
+/// Splits paired columns into joinable tables under the given key regime.
+///
+/// # Panics
+/// Panics if `xs` and `ys` have different lengths, or if `KeyDep` is
+/// requested for an empty sample.
+#[must_use]
+pub fn decompose(xs: &[Value], ys: &[Value], key_dist: KeyDistribution) -> DecomposedPair {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must be aligned");
+    match key_dist {
+        KeyDistribution::KeyInd => decompose_key_ind(xs, ys),
+        KeyDistribution::KeyDep => decompose_key_dep(xs, ys),
+    }
+}
+
+fn feature_dtype(xs: &[Value]) -> DataType {
+    xs.iter().find_map(Value::dtype).unwrap_or(DataType::Float)
+}
+
+fn decompose_key_ind(xs: &[Value], ys: &[Value]) -> DecomposedPair {
+    let n = xs.len() as i64;
+    let keys: Vec<i64> = (0..n).collect();
+    let train = Table::builder("train")
+        .push_int_column("key", keys.clone())
+        .push_value_column("y", target_dtype(ys), ys)
+        .expect("target values are homogeneous")
+        .build()
+        .expect("aligned columns");
+    let cand = Table::builder("cand")
+        .push_int_column("key", keys)
+        .push_value_column("x", feature_dtype(xs), xs)
+        .expect("feature values are homogeneous")
+        .build()
+        .expect("aligned columns");
+    DecomposedPair {
+        train,
+        cand,
+        key_column: "key".to_owned(),
+        target_column: "y".to_owned(),
+        feature_column: "x".to_owned(),
+        aggregation: Aggregation::First,
+        key_distribution: KeyDistribution::KeyInd,
+    }
+}
+
+fn decompose_key_dep(xs: &[Value], ys: &[Value]) -> DecomposedPair {
+    assert!(!xs.is_empty(), "KeyDep requires a non-empty sample");
+    // The key of each train row is the feature value itself; the candidate
+    // table has one row per distinct feature value mapping the key back to
+    // the value. Keys are stored as strings so that float features (which
+    // would make every key unique anyway) are rejected upstream by the
+    // experiment design, as in the paper.
+    let train_keys: Vec<String> = xs.iter().map(|x| format!("{x}")).collect();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut cand_keys: Vec<String> = Vec::new();
+    let mut cand_values: Vec<Value> = Vec::new();
+    for x in xs {
+        let k = format!("{x}");
+        if seen.insert(k.clone()) {
+            cand_keys.push(k);
+            cand_values.push(x.clone());
+        }
+    }
+
+    let train = Table::builder("train")
+        .push_str_column("key", train_keys)
+        .push_value_column("y", target_dtype(ys), ys)
+        .expect("target values are homogeneous")
+        .build()
+        .expect("aligned columns");
+    let cand = Table::builder("cand")
+        .push_str_column("key", cand_keys)
+        .push_value_column("x", feature_dtype(xs), &cand_values)
+        .expect("feature values are homogeneous")
+        .build()
+        .expect("aligned columns");
+    DecomposedPair {
+        train,
+        cand,
+        key_column: "key".to_owned(),
+        target_column: "y".to_owned(),
+        feature_column: "x".to_owned(),
+        aggregation: Aggregation::First,
+        key_distribution: KeyDistribution::KeyDep,
+    }
+}
+
+fn target_dtype(ys: &[Value]) -> DataType {
+    ys.iter().find_map(Value::dtype).unwrap_or(DataType::Float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinmi_table::{augment, AugmentSpec};
+
+    fn sample_pairs() -> (Vec<Value>, Vec<Value>) {
+        let xs = vec![Value::Int(5), Value::Int(2), Value::Int(5), Value::Int(9), Value::Int(2)];
+        let ys = vec![Value::Int(50), Value::Int(20), Value::Int(51), Value::Int(90), Value::Int(21)];
+        (xs, ys)
+    }
+
+    fn rejoin(pair: &DecomposedPair) -> (Vec<Value>, Vec<Value>) {
+        let spec = AugmentSpec::new(
+            pair.key_column.clone(),
+            pair.target_column.clone(),
+            pair.key_column.clone(),
+            pair.feature_column.clone(),
+            pair.aggregation,
+        );
+        let joined = augment(&pair.train, &pair.cand, &spec).unwrap();
+        let feature_col = spec.feature_column_name();
+        let xs: Vec<Value> =
+            (0..joined.table.num_rows()).map(|i| joined.table.value(i, &feature_col).unwrap()).collect();
+        let ys: Vec<Value> =
+            (0..joined.table.num_rows()).map(|i| joined.table.value(i, &pair.target_column).unwrap()).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn key_ind_round_trips_exactly() {
+        let (xs, ys) = sample_pairs();
+        let pair = decompose(&xs, &ys, KeyDistribution::KeyInd);
+        assert_eq!(pair.train.num_rows(), 5);
+        assert_eq!(pair.cand.num_rows(), 5);
+        let (rx, ry) = rejoin(&pair);
+        assert_eq!(rx, xs);
+        assert_eq!(ry, ys);
+    }
+
+    #[test]
+    fn key_dep_round_trips_exactly() {
+        let (xs, ys) = sample_pairs();
+        let pair = decompose(&xs, &ys, KeyDistribution::KeyDep);
+        // Candidate table has one row per distinct X value.
+        assert_eq!(pair.cand.num_rows(), 3);
+        assert_eq!(pair.train.num_rows(), 5);
+        let (rx, ry) = rejoin(&pair);
+        assert_eq!(rx, xs);
+        assert_eq!(ry, ys);
+    }
+
+    #[test]
+    fn key_dep_key_frequencies_follow_feature_distribution() {
+        let xs = vec![Value::Int(1), Value::Int(1), Value::Int(1), Value::Int(2)];
+        let ys = vec![Value::Int(0); 4];
+        let pair = decompose(&xs, &ys, KeyDistribution::KeyDep);
+        let keys: Vec<Value> =
+            (0..4).map(|i| pair.train.value(i, "key").unwrap()).collect();
+        assert_eq!(keys.iter().filter(|k| **k == Value::from("1")).count(), 3);
+        assert_eq!(keys.iter().filter(|k| **k == Value::from("2")).count(), 1);
+    }
+
+    #[test]
+    fn key_ind_keys_are_unique() {
+        let (xs, ys) = sample_pairs();
+        let pair = decompose(&xs, &ys, KeyDistribution::KeyInd);
+        let key_col = pair.train.column("key").unwrap();
+        assert_eq!(key_col.distinct_count(), 5);
+        assert_eq!(pair.key_distribution, KeyDistribution::KeyInd);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn mismatched_lengths_panic() {
+        let _ = decompose(&[Value::Int(1)], &[], KeyDistribution::KeyInd);
+    }
+}

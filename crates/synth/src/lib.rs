@@ -1,0 +1,51 @@
+//! Synthetic benchmark data generators with analytically known mutual
+//! information (Section V-A of the paper).
+//!
+//! The evaluation needs data where the *true* MI is known so that estimator
+//! and sketch error can be measured. Two families are provided:
+//!
+//! * [`trinomial`] — `(X, Y)` drawn from a trinomial (three-outcome
+//!   multinomial) distribution whose parameters are solved from a target MI
+//!   via the bivariate-normal approximation; the exact MI is then computed
+//!   from the open-form entropy of the distribution.
+//! * [`cdunif`] — the discrete–continuous pair of Gao et al.: `X` uniform on
+//!   `{0..m−1}` and `Y | X ~ U[X, X+2]`, with closed-form
+//!   `I = ln m − (m−1) ln 2 / m`.
+//!
+//! [`decompose`] splits the generated `(X, Y)` pairs into two joinable tables
+//! (`Ttrain[K_Y, Y]`, `Tcand[K_X, X]`) under the paper's two key-generation
+//! regimes (`KeyInd`, `KeyDep`), [`opendata`] simulates open-data-portal
+//! collections for the real-data experiments (see DESIGN.md §5 for the
+//! substitution rationale), and [`scenario`] builds the taxi / weather /
+//! demographics example of Figure 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdunif;
+pub mod decompose;
+pub mod opendata;
+pub mod rng;
+pub mod scenario;
+pub mod trinomial;
+
+pub use cdunif::CdUnifConfig;
+pub use decompose::{decompose, DecomposedPair, KeyDistribution};
+pub use opendata::{OpenDataCollection, OpenDataConfig};
+pub use rng::GaussianSampler;
+pub use scenario::TaxiScenario;
+pub use trinomial::TrinomialConfig;
+
+/// A generated paired sample together with its analytically known MI.
+#[derive(Debug, Clone)]
+pub struct GeneratedPair {
+    /// Feature values (`X`).
+    pub xs: Vec<joinmi_table::Value>,
+    /// Target values (`Y`).
+    pub ys: Vec<joinmi_table::Value>,
+    /// The exact mutual information of the generating distribution, in nats.
+    pub true_mi: f64,
+    /// Number of distinct values the generating distribution can produce for
+    /// `X` (the paper's `m` parameter).
+    pub m: u32,
+}

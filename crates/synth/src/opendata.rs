@@ -1,0 +1,258 @@
+//! Simulated open-data-portal collections.
+//!
+//! The paper's Section V-C evaluates the sketches on snapshots of the NYC
+//! Open Data and World Bank Finances portals (Socrata API, September 2019),
+//! sampling pairs of two-column tables `T[K, A]` with string join keys. Those
+//! snapshots are not redistributable, so — per the substitution rule recorded
+//! in DESIGN.md — this module generates collections with the same structural
+//! properties the experiments depend on:
+//!
+//! * string join keys drawn from Zipf-skewed domains of configurable size
+//!   (the NYC/WBF key-domain sizes average 1k–11k distinct values),
+//! * partial overlap between the key domains of different tables (so
+//!   sketch-join sizes span the full range the paper buckets over),
+//! * value columns that are numeric or categorical with a planted
+//!   key-mediated dependence of configurable strength (so true relationships
+//!   range from independent to deterministic),
+//! * heavy key repetition inside tables (so the left-join mixture-distribution
+//!   issues the paper highlights actually occur).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use joinmi_table::{Column, Table};
+
+use crate::rng::{sample_cdf, zipf_cdf, GaussianSampler};
+
+/// Configuration of a simulated open-data collection.
+#[derive(Debug, Clone)]
+pub struct OpenDataConfig {
+    /// Name of the collection (e.g. `"NYC-sim"`, `"WBF-sim"`).
+    pub name: String,
+    /// Number of two-column tables to generate.
+    pub num_tables: usize,
+    /// Number of rows per table, drawn uniformly from this range.
+    pub rows_range: (usize, usize),
+    /// Size of the shared key universe that tables sample their keys from.
+    pub key_universe: usize,
+    /// Zipf exponent of the key-frequency distribution (0 = uniform).
+    pub key_skew: f64,
+    /// Fraction of tables whose value column is numeric (the rest are
+    /// categorical strings).
+    pub numeric_fraction: f64,
+    /// Number of categories used by categorical value columns.
+    pub num_categories: usize,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl OpenDataConfig {
+    /// A small collection that mimics the World Bank Finances statistics
+    /// (scaled down so experiments run in seconds): moderately sized key
+    /// domains, large joins.
+    #[must_use]
+    pub fn wbf_like(seed: u64) -> Self {
+        Self {
+            name: "WBF-sim".to_owned(),
+            num_tables: 24,
+            rows_range: (2_000, 6_000),
+            key_universe: 3_000,
+            key_skew: 0.8,
+            numeric_fraction: 0.6,
+            num_categories: 40,
+            seed,
+        }
+    }
+
+    /// A small collection that mimics the NYC Open Data statistics: larger
+    /// key domains, smaller joins.
+    #[must_use]
+    pub fn nyc_like(seed: u64) -> Self {
+        Self {
+            name: "NYC-sim".to_owned(),
+            num_tables: 24,
+            rows_range: (1_000, 4_000),
+            key_universe: 8_000,
+            key_skew: 1.1,
+            numeric_fraction: 0.5,
+            num_categories: 25,
+            seed,
+        }
+    }
+}
+
+/// A generated collection of two-column tables.
+#[derive(Debug, Clone)]
+pub struct OpenDataCollection {
+    /// Collection name.
+    pub name: String,
+    /// The generated tables; each has a string `"key"` column and a `"value"`
+    /// column that is either numeric or categorical.
+    pub tables: Vec<Table>,
+}
+
+impl OpenDataCollection {
+    /// Generates a collection from the configuration.
+    #[must_use]
+    pub fn generate(cfg: &OpenDataConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut gauss = GaussianSampler::new();
+        let cdf = zipf_cdf(cfg.key_universe, cfg.key_skew);
+
+        // Hidden per-key latent attribute that value columns can depend on:
+        // this is what creates genuine cross-table relationships (two tables
+        // that both depend strongly on the latent key attribute have high MI
+        // after a join on the key).
+        let latent: Vec<f64> = (0..cfg.key_universe).map(|_| rng.gen::<f64>() * 100.0).collect();
+
+        let mut tables = Vec::with_capacity(cfg.num_tables);
+        for t in 0..cfg.num_tables {
+            let n_rows = rng.gen_range(cfg.rows_range.0..=cfg.rows_range.1);
+            // Each table sees a contiguous-ish window of the key universe so
+            // pairwise overlap varies between table pairs.
+            let window = cfg.key_universe / 2 + rng.gen_range(0..cfg.key_universe / 2);
+            let offset = rng.gen_range(0..cfg.key_universe.saturating_sub(window).max(1));
+            // Dependence strength of the value column on the latent key
+            // attribute: spread across [0, 1] so the collection contains both
+            // unrelated and strongly related table pairs.
+            let dependence = f64::from(t as u32) / cfg.num_tables.max(1) as f64;
+            let numeric = rng.gen::<f64>() < cfg.numeric_fraction;
+
+            let mut keys: Vec<String> = Vec::with_capacity(n_rows);
+            let mut num_values: Vec<f64> = Vec::with_capacity(n_rows);
+            let mut str_values: Vec<String> = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                let rank = sample_cdf(&cdf, &mut rng);
+                let key_id = (offset + rank) % cfg.key_universe;
+                keys.push(format!("k{key_id:06}"));
+                let signal = latent[key_id];
+                let noise = gauss.sample(&mut rng) * 25.0;
+                let value = dependence * signal + (1.0 - dependence) * (50.0 + noise);
+                if numeric {
+                    num_values.push(value);
+                } else {
+                    let bucket =
+                        ((value / 100.0).clamp(0.0, 0.999) * cfg.num_categories as f64) as usize;
+                    str_values.push(format!("cat{bucket:03}"));
+                }
+            }
+
+            let value_column = if numeric {
+                Column::from_floats(num_values)
+            } else {
+                Column::from_strs(str_values)
+            };
+            let table = Table::builder(format!("{}_{t:03}", cfg.name))
+                .push_str_column("key", keys)
+                .push_column("value", value_column)
+                .build()
+                .expect("generated columns are aligned");
+            tables.push(table);
+        }
+        Self { name: cfg.name.clone(), tables }
+    }
+
+    /// All ordered pairs `(i, j)` with `i != j`, the sampling frame of the
+    /// paper's real-data experiments.
+    #[must_use]
+    pub fn table_pairs(&self) -> Vec<(usize, usize)> {
+        let n = self.tables.len();
+        let mut pairs = Vec::with_capacity(n * (n - 1));
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinmi_table::DataType;
+
+    #[test]
+    fn generates_requested_number_of_tables() {
+        let cfg = OpenDataConfig {
+            num_tables: 6,
+            rows_range: (100, 200),
+            key_universe: 500,
+            ..OpenDataConfig::wbf_like(1)
+        };
+        let coll = OpenDataCollection::generate(&cfg);
+        assert_eq!(coll.tables.len(), 6);
+        for t in &coll.tables {
+            assert!(t.num_rows() >= 100 && t.num_rows() <= 200);
+            assert_eq!(t.column("key").unwrap().dtype(), DataType::Str);
+            assert!(t.schema().contains("value"));
+        }
+    }
+
+    #[test]
+    fn collection_contains_both_value_types() {
+        let cfg = OpenDataConfig {
+            num_tables: 16,
+            rows_range: (50, 80),
+            key_universe: 300,
+            ..OpenDataConfig::nyc_like(3)
+        };
+        let coll = OpenDataCollection::generate(&cfg);
+        let numeric = coll
+            .tables
+            .iter()
+            .filter(|t| t.column("value").unwrap().dtype() == DataType::Float)
+            .count();
+        assert!(numeric > 0);
+        assert!(numeric < coll.tables.len());
+    }
+
+    #[test]
+    fn tables_share_keys_so_joins_are_possible() {
+        let cfg = OpenDataConfig {
+            num_tables: 4,
+            rows_range: (500, 600),
+            key_universe: 200,
+            ..OpenDataConfig::wbf_like(7)
+        };
+        let coll = OpenDataCollection::generate(&cfg);
+        let a: std::collections::HashSet<String> = (0..coll.tables[0].num_rows())
+            .map(|i| coll.tables[0].value(i, "key").unwrap().to_string())
+            .collect();
+        let b: std::collections::HashSet<String> = (0..coll.tables[1].num_rows())
+            .map(|i| coll.tables[1].value(i, "key").unwrap().to_string())
+            .collect();
+        assert!(a.intersection(&b).count() > 10, "key domains do not overlap");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = OpenDataConfig {
+            num_tables: 3,
+            rows_range: (50, 60),
+            key_universe: 100,
+            ..OpenDataConfig::nyc_like(11)
+        };
+        let a = OpenDataCollection::generate(&cfg);
+        let b = OpenDataCollection::generate(&cfg);
+        for (ta, tb) in a.tables.iter().zip(&b.tables) {
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn table_pairs_enumerates_ordered_pairs() {
+        let cfg = OpenDataConfig {
+            num_tables: 4,
+            rows_range: (10, 20),
+            key_universe: 50,
+            ..OpenDataConfig::wbf_like(2)
+        };
+        let coll = OpenDataCollection::generate(&cfg);
+        let pairs = coll.table_pairs();
+        assert_eq!(pairs.len(), 12);
+        assert!(pairs.iter().all(|&(i, j)| i != j));
+    }
+}

@@ -1,0 +1,104 @@
+//! Small random-sampling helpers shared by the generators.
+
+use rand::Rng;
+
+/// Box–Muller standard-normal sampler with a cached second variate.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianSampler {
+    spare: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Creates a sampler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { spare: None }
+    }
+
+    /// Draws one standard-normal variate using the supplied RNG.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        let u1: f64 = rng.gen::<f64>().max(1e-300);
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+/// Samples one index from a categorical distribution given cumulative
+/// probabilities (`cdf` must be non-decreasing and end at ~1.0).
+pub fn sample_cdf<R: Rng + ?Sized>(cdf: &[f64], rng: &mut R) -> usize {
+    let u: f64 = rng.gen();
+    match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite probabilities")) {
+        Ok(i) | Err(i) => i.min(cdf.len().saturating_sub(1)),
+    }
+}
+
+/// Builds the cumulative distribution of a Zipf-like law with the given
+/// exponent over `n` ranks (rank 0 is the most frequent).
+#[must_use]
+pub fn zipf_cdf(n: usize, exponent: f64) -> Vec<f64> {
+    assert!(n > 0, "zipf domain must be non-empty");
+    let mut weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(exponent)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    for w in &mut weights {
+        acc += *w / total;
+        *w = acc;
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = GaussianSampler::new();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalized() {
+        let cdf = zipf_cdf(100, 1.1);
+        assert_eq!(cdf.len(), 100);
+        assert!((cdf[99] - 1.0).abs() < 1e-9);
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // Rank 0 carries the largest single mass.
+        assert!(cdf[0] > 1.0 / 100.0);
+    }
+
+    #[test]
+    fn sample_cdf_respects_distribution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cdf = zipf_cdf(10, 1.5);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[sample_cdf(&cdf, &mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[0] > counts[9]);
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zipf_rejects_empty_domain() {
+        let _ = zipf_cdf(0, 1.0);
+    }
+}

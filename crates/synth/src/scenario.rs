@@ -1,0 +1,187 @@
+//! The taxi-demand scenario of Figure 1 / Example 1.
+//!
+//! Generates the three tables of the paper's motivating example — daily taxi
+//! trips, hourly weather indicators and per-ZIP-code demographics — with a
+//! planted dependency structure: taxi demand depends on rainfall (negatively)
+//! and on population (non-monotonically, as hypothesized in the paper:
+//! demand is low both in sparsely populated areas and in very dense,
+//! congested ones). Used by the examples and the discovery tests to show the
+//! end-to-end workflow on data that looks like the real thing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use joinmi_table::Table;
+
+use crate::rng::GaussianSampler;
+
+/// Configuration and generated tables of the taxi scenario.
+#[derive(Debug, Clone)]
+pub struct TaxiScenario {
+    /// Daily taxi trips per (date, ZIP code): `Ttaxi[date, zipcode, num_trips]`.
+    pub taxi: Table,
+    /// Hourly weather indicators: `Tweather[date, hour, temp, rainfall]`.
+    pub weather: Table,
+    /// Demographics by ZIP code: `Tdemographics[zipcode, borough, population]`.
+    pub demographics: Table,
+    /// An unrelated "noise" table (restaurant inspections) joinable on
+    /// zipcode but independent of taxi demand — a true negative for
+    /// discovery experiments.
+    pub inspections: Table,
+}
+
+impl TaxiScenario {
+    /// Generates the scenario with `num_days` days and `num_zips` ZIP codes.
+    #[must_use]
+    pub fn generate(num_days: usize, num_zips: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gauss = GaussianSampler::new();
+
+        let boroughs = ["Brooklyn", "Manhattan", "Queens", "Bronx", "Staten Island"];
+        let zipcodes: Vec<String> = (0..num_zips).map(|z| format!("{:05}", 10_001 + z)).collect();
+        let populations: Vec<f64> =
+            (0..num_zips).map(|_| 10_000.0 + rng.gen::<f64>() * 90_000.0).collect();
+
+        // Per-day rainfall (mm) and temperature baseline.
+        let daily_rain: Vec<f64> =
+            (0..num_days).map(|_| (rng.gen::<f64>() * 2.0 - 0.8).max(0.0)).collect();
+        let daily_temp: Vec<f64> = (0..num_days)
+            .map(|d| 10.0 + 15.0 * ((d as f64) * 0.17).sin() + gauss.sample(&mut rng) * 3.0)
+            .collect();
+
+        // Taxi table: one row per (date, zip).
+        let mut t_dates = Vec::new();
+        let mut t_zips = Vec::new();
+        let mut t_trips = Vec::new();
+        for (d, date) in (0..num_days).map(|d| (d, format!("2017-01-{:02}", d % 28 + 1))) {
+            for (z, zip) in zipcodes.iter().enumerate() {
+                // Non-monotonic dependence on population: peak demand at
+                // mid-sized neighbourhoods.
+                let pop = populations[z];
+                let pop_effect = 400.0 - ((pop - 55_000.0) / 1_000.0).powi(2) * 0.25;
+                let rain_effect = -80.0 * daily_rain[d];
+                let noise = gauss.sample(&mut rng) * 20.0;
+                let trips = (pop_effect + rain_effect + noise).max(1.0);
+                t_dates.push(date.clone());
+                t_zips.push(zip.clone());
+                t_trips.push(trips as i64);
+            }
+        }
+        let taxi = Table::builder("taxi")
+            .push_str_column("date", t_dates)
+            .push_str_column("zipcode", t_zips)
+            .push_int_column("num_trips", t_trips)
+            .build()
+            .expect("aligned columns");
+
+        // Weather table: 24 hourly readings per day.
+        let mut w_dates = Vec::new();
+        let mut w_hours = Vec::new();
+        let mut w_temp = Vec::new();
+        let mut w_rain = Vec::new();
+        for (d, date) in (0..num_days).map(|d| (d, format!("2017-01-{:02}", d % 28 + 1))) {
+            for hour in 0..24i64 {
+                w_dates.push(date.clone());
+                w_hours.push(hour);
+                w_temp.push(daily_temp[d] + 4.0 * ((hour as f64 - 14.0) / 24.0 * std::f64::consts::PI).cos()
+                    + gauss.sample(&mut rng) * 0.5);
+                w_rain.push((daily_rain[d] / 24.0 * (1.0 + 0.3 * gauss.sample(&mut rng))).max(0.0));
+            }
+        }
+        let weather = Table::builder("weather")
+            .push_str_column("date", w_dates)
+            .push_int_column("hour", w_hours)
+            .push_float_column("temp", w_temp)
+            .push_float_column("rainfall", w_rain)
+            .build()
+            .expect("aligned columns");
+
+        // Demographics table: one row per zip.
+        let d_boroughs: Vec<String> =
+            (0..num_zips).map(|z| boroughs[z % boroughs.len()].to_owned()).collect();
+        let demographics = Table::builder("demographics")
+            .push_str_column("zipcode", zipcodes.clone())
+            .push_str_column("borough", d_boroughs)
+            .push_float_column("population", populations)
+            .build()
+            .expect("aligned columns");
+
+        // Unrelated inspections table: random scores per zip, several rows each.
+        let mut i_zips = Vec::new();
+        let mut i_scores = Vec::new();
+        for zip in &zipcodes {
+            for _ in 0..rng.gen_range(2..6) {
+                i_zips.push(zip.clone());
+                i_scores.push(rng.gen_range(0..100i64));
+            }
+        }
+        let inspections = Table::builder("inspections")
+            .push_str_column("zipcode", i_zips)
+            .push_int_column("score", i_scores)
+            .build()
+            .expect("aligned columns");
+
+        Self { taxi, weather, demographics, inspections }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinmi_table::{augment, Aggregation, AugmentSpec};
+
+    #[test]
+    fn tables_have_expected_shapes() {
+        let s = TaxiScenario::generate(10, 8, 42);
+        assert_eq!(s.taxi.num_rows(), 80);
+        assert_eq!(s.weather.num_rows(), 240);
+        assert_eq!(s.demographics.num_rows(), 8);
+        assert!(s.inspections.num_rows() >= 16);
+    }
+
+    #[test]
+    fn weather_augmentation_joins_cleanly() {
+        let s = TaxiScenario::generate(12, 5, 1);
+        let spec = AugmentSpec::new("date", "num_trips", "date", "rainfall", Aggregation::Avg);
+        let res = augment(&s.taxi, &s.weather, &spec).unwrap();
+        assert_eq!(res.table.num_rows(), s.taxi.num_rows());
+        assert!((res.containment() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planted_dependencies_are_detectable() {
+        // The planted dependencies should be detectable on the full join:
+        // population strongly drives per-ZIP demand, and rainfall has a
+        // smaller but non-zero effect.
+        let s = TaxiScenario::generate(60, 12, 7);
+
+        let rain_spec = AugmentSpec::new("date", "num_trips", "date", "rainfall", Aggregation::Avg);
+        let rain = augment(&s.taxi, &s.weather, &rain_spec).unwrap().table;
+        let rain_x: Vec<f64> = (0..rain.num_rows())
+            .map(|i| rain.value(i, "AVG(rainfall)").unwrap().as_f64().unwrap())
+            .collect();
+        let trips: Vec<f64> = (0..rain.num_rows())
+            .map(|i| rain.value(i, "num_trips").unwrap().as_f64().unwrap())
+            .collect();
+        let rain_mi = joinmi_estimators::mixed_ksg_mi(&rain_x, &trips, 3).unwrap();
+        assert!(rain_mi > 0.02, "rainfall MI too small: {rain_mi}");
+
+        let pop_spec =
+            AugmentSpec::new("zipcode", "num_trips", "zipcode", "population", Aggregation::Avg);
+        let pop = augment(&s.taxi, &s.demographics, &pop_spec).unwrap().table;
+        let pop_x: Vec<f64> = (0..pop.num_rows())
+            .map(|i| pop.value(i, "AVG(population)").unwrap().as_f64().unwrap())
+            .collect();
+        let pop_mi = joinmi_estimators::mixed_ksg_mi(&pop_x, &trips, 3).unwrap();
+        assert!(pop_mi > 0.5, "population MI too small: {pop_mi}");
+        assert!(pop_mi > rain_mi, "population should dominate rainfall in this scenario");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TaxiScenario::generate(5, 4, 9);
+        let b = TaxiScenario::generate(5, 4, 9);
+        assert_eq!(a.taxi, b.taxi);
+        assert_eq!(a.weather, b.weather);
+    }
+}

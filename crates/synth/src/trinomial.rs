@@ -1,0 +1,290 @@
+//! The Trinomial benchmark distribution (Section V-A).
+//!
+//! `(X, Y, ·)` is drawn from `Mult(m, ⟨p1, p2, 1−p1−p2⟩)`: `X` counts the
+//! first outcome, `Y` the second, over `m` trials (the third count is
+//! discarded). Both marginals are binomial; the joint covariance is
+//! `−m p1 p2`, giving a negative correlation whose magnitude is controlled by
+//! the parameters.
+//!
+//! Parameter selection follows the paper's algorithm:
+//!
+//! 1. pick the desired MI `I_true` and convert it to an equivalent Gaussian
+//!    correlation `r = sqrt(1 − exp(−2 I_true))`,
+//! 2. pick `p1 ~ U(0.15, 0.85)`,
+//! 3. solve `|r| = p1 p2 / (sqrt(p1(1−p1)) sqrt(p2(1−p2)))` for `p2` and
+//!    retry if it falls outside `[0.15, 0.85]`.
+//!
+//! That conversion is only an approximation (central limit theorem); the
+//! *exact* MI is then computed from the open-form entropies of the binomial
+//! marginals and the trinomial joint, which is what the experiments report
+//! as "Analytical MI".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use joinmi_estimators::special::ln_factorial;
+use joinmi_table::Value;
+
+use crate::GeneratedPair;
+
+/// Configuration of one Trinomial data set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrinomialConfig {
+    /// Number of trials (`m`), which bounds the number of distinct values.
+    pub m: u32,
+    /// Probability of the outcome counted by `X`.
+    pub p1: f64,
+    /// Probability of the outcome counted by `Y`.
+    pub p2: f64,
+}
+
+impl TrinomialConfig {
+    /// Creates a configuration with explicit parameters.
+    ///
+    /// # Panics
+    /// Panics if the probabilities are not in `(0, 1)` or sum to ≥ 1.
+    #[must_use]
+    pub fn new(m: u32, p1: f64, p2: f64) -> Self {
+        assert!(m >= 1, "m must be positive");
+        assert!(p1 > 0.0 && p2 > 0.0 && p1 + p2 < 1.0, "invalid trinomial probabilities");
+        Self { m, p1, p2 }
+    }
+
+    /// Implements the paper's parameter-selection algorithm: draws a target
+    /// MI uniformly from `[0, max_mi]` and solves for `(p1, p2)`.
+    ///
+    /// Returns the configuration; its exact MI can then be obtained with
+    /// [`TrinomialConfig::true_mi`] (which will not exactly equal the drawn
+    /// target — the target is only used to set the dependence strength).
+    #[must_use]
+    pub fn with_random_target(m: u32, max_mi: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        loop {
+            let target: f64 = rng.gen::<f64>() * max_mi;
+            let r = (1.0 - (-2.0 * target).exp()).sqrt();
+            let p1: f64 = 0.15 + rng.gen::<f64>() * 0.70;
+            if let Some(p2) = Self::solve_p2(r, p1) {
+                if (0.15..=0.85).contains(&p2) && p1 + p2 < 0.999 {
+                    return Self { m, p1, p2 };
+                }
+            }
+        }
+    }
+
+    /// Solves the trinomial correlation equation for `p2` given `|r|` and
+    /// `p1`: `r² = (p1 p2) / ((1−p1)(1−p2))`.
+    #[must_use]
+    pub fn solve_p2(r: f64, p1: f64) -> Option<f64> {
+        if !(0.0..1.0).contains(&r) || !(0.0..1.0).contains(&p1) || p1 == 0.0 {
+            return None;
+        }
+        if r == 0.0 {
+            // Independence is unreachable for a trinomial (covariance is
+            // −m p1 p2 < 0), but an arbitrarily weak dependence is: choose a
+            // tiny p2 proxy via the same formula with a small floor on r.
+            return Self::solve_p2(1e-6, p1);
+        }
+        let a = r * r * (1.0 - p1) / p1;
+        let p2 = a / (1.0 + a);
+        (p2 > 0.0 && p2 < 1.0).then_some(p2)
+    }
+
+    /// Pearson correlation implied by the parameters:
+    /// `r = −p1 p2 / (sqrt(p1(1−p1)) sqrt(p2(1−p2)))` — negative by
+    /// construction.
+    #[must_use]
+    pub fn correlation(&self) -> f64 {
+        -(self.p1 * self.p2)
+            / ((self.p1 * (1.0 - self.p1)).sqrt() * (self.p2 * (1.0 - self.p2)).sqrt())
+    }
+
+    /// The bivariate-normal approximation of the MI: `−½ ln(1 − r²)`.
+    #[must_use]
+    pub fn gaussian_approx_mi(&self) -> f64 {
+        let r = self.correlation();
+        -0.5 * (1.0 - r * r).ln()
+    }
+
+    /// Exact mutual information `I(X; Y) = H(X) + H(Y) − H(X, Y)` computed
+    /// from the binomial marginal entropies and the trinomial joint entropy,
+    /// in nats.
+    #[must_use]
+    pub fn true_mi(&self) -> f64 {
+        let hx = binomial_entropy(self.m, self.p1);
+        let hy = binomial_entropy(self.m, self.p2);
+        let hxy = self.joint_entropy();
+        (hx + hy - hxy).max(0.0)
+    }
+
+    /// Exact joint entropy of `(X, Y)` (open-form sum over the support).
+    #[must_use]
+    pub fn joint_entropy(&self) -> f64 {
+        let m = self.m as i64;
+        let ln_m_fact = ln_factorial(self.m as u64);
+        let (lp1, lp2) = (self.p1.ln(), self.p2.ln());
+        let p3 = 1.0 - self.p1 - self.p2;
+        let lp3 = p3.ln();
+        let mut h = 0.0;
+        for i in 0..=m {
+            for j in 0..=(m - i) {
+                let k = m - i - j;
+                let ln_p = ln_m_fact
+                    - ln_factorial(i as u64)
+                    - ln_factorial(j as u64)
+                    - ln_factorial(k as u64)
+                    + i as f64 * lp1
+                    + j as f64 * lp2
+                    + k as f64 * lp3;
+                let p = ln_p.exp();
+                if p > 0.0 {
+                    h -= p * ln_p;
+                }
+            }
+        }
+        h
+    }
+
+    /// Draws `n` joint samples `(x, y)` as integer counts.
+    #[must_use]
+    pub fn sample(&self, n: usize, seed: u64) -> (Vec<i64>, Vec<i64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (mut x, mut y) = (0i64, 0i64);
+            for _ in 0..self.m {
+                let u: f64 = rng.gen();
+                if u < self.p1 {
+                    x += 1;
+                } else if u < self.p1 + self.p2 {
+                    y += 1;
+                }
+            }
+            xs.push(x);
+            ys.push(y);
+        }
+        (xs, ys)
+    }
+
+    /// Draws `n` samples and packages them with the exact MI.
+    #[must_use]
+    pub fn generate(&self, n: usize, seed: u64) -> GeneratedPair {
+        let (xs, ys) = self.sample(n, seed);
+        GeneratedPair {
+            xs: xs.into_iter().map(Value::Int).collect(),
+            ys: ys.into_iter().map(Value::Int).collect(),
+            true_mi: self.true_mi(),
+            m: self.m,
+        }
+    }
+}
+
+/// Entropy of `Binomial(m, p)` in nats (exact open-form sum).
+#[must_use]
+pub fn binomial_entropy(m: u32, p: f64) -> f64 {
+    let ln_m_fact = ln_factorial(u64::from(m));
+    let (lp, lq) = (p.ln(), (1.0 - p).ln());
+    let mut h = 0.0;
+    for i in 0..=m {
+        let ln_p = ln_m_fact - ln_factorial(u64::from(i)) - ln_factorial(u64::from(m - i))
+            + f64::from(i) * lp
+            + f64::from(m - i) * lq;
+        let prob = ln_p.exp();
+        if prob > 0.0 {
+            h -= prob * ln_p;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_entropy_known_cases() {
+        // Binomial(1, 0.5) = fair coin: ln 2.
+        assert!((binomial_entropy(1, 0.5) - 2.0_f64.ln()).abs() < 1e-12);
+        // Large m approaches the Gaussian entropy ½ ln(2πe mpq).
+        let m = 512u32;
+        let p = 0.3;
+        let gaussian = 0.5 * (2.0 * std::f64::consts::PI * std::f64::consts::E * f64::from(m) * p * (1.0 - p)).ln();
+        assert!((binomial_entropy(m, p) - gaussian).abs() < 0.01);
+    }
+
+    #[test]
+    fn solve_p2_inverts_the_correlation_formula() {
+        for (r, p1) in [(0.5, 0.3), (0.9, 0.6), (0.2, 0.15)] {
+            let p2 = TrinomialConfig::solve_p2(r, p1).unwrap();
+            // The magnitude of the correlation of the resulting config must
+            // equal r (the sign is negative by construction).
+            if p1 + p2 < 1.0 {
+                let cfg = TrinomialConfig::new(16, p1, p2);
+                assert!((cfg.correlation().abs() - r).abs() < 1e-9, "r={r}, p1={p1}");
+            }
+        }
+    }
+
+    #[test]
+    fn true_mi_close_to_gaussian_approx_for_large_m() {
+        let cfg = TrinomialConfig::new(512, 0.4, 0.35);
+        let exact = cfg.true_mi();
+        let approx = cfg.gaussian_approx_mi();
+        assert!((exact - approx).abs() < 0.05, "exact={exact}, approx={approx}");
+        // And distinctly positive (dependence exists).
+        assert!(exact > 0.1);
+    }
+
+    #[test]
+    fn with_random_target_produces_valid_parameters() {
+        for seed in 0..20u64 {
+            let cfg = TrinomialConfig::with_random_target(64, 3.5, seed);
+            assert!((0.15..=0.85).contains(&cfg.p1));
+            assert!((0.15..=0.85).contains(&cfg.p2));
+            assert!(cfg.p1 + cfg.p2 < 1.0);
+            assert!(cfg.true_mi() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn samples_have_the_right_moments() {
+        let cfg = TrinomialConfig::new(100, 0.3, 0.5);
+        let (xs, ys) = cfg.sample(20_000, 7);
+        let mean_x = xs.iter().sum::<i64>() as f64 / xs.len() as f64;
+        let mean_y = ys.iter().sum::<i64>() as f64 / ys.len() as f64;
+        assert!((mean_x - 30.0).abs() < 0.5, "mean_x {mean_x}");
+        assert!((mean_y - 50.0).abs() < 0.5, "mean_y {mean_y}");
+        // X + Y <= m always.
+        assert!(xs.iter().zip(&ys).all(|(&x, &y)| x + y <= 100));
+    }
+
+    #[test]
+    fn empirical_mi_matches_true_mi() {
+        // Sanity-check the generator against the MLE estimator on a large
+        // sample with few distinct values (so estimator bias is negligible).
+        let cfg = TrinomialConfig::new(16, 0.45, 0.4);
+        let (xs, ys) = cfg.sample(40_000, 3);
+        let x_codes: Vec<u32> = xs.iter().map(|&v| v as u32).collect();
+        let y_codes: Vec<u32> = ys.iter().map(|&v| v as u32).collect();
+        let est = joinmi_estimators::mle_mi(&x_codes, &y_codes).unwrap();
+        let truth = cfg.true_mi();
+        assert!((est - truth).abs() < 0.02, "est={est}, truth={truth}");
+    }
+
+    #[test]
+    fn generate_packs_values_and_truth() {
+        let cfg = TrinomialConfig::new(16, 0.3, 0.3);
+        let pair = cfg.generate(100, 1);
+        assert_eq!(pair.xs.len(), 100);
+        assert_eq!(pair.ys.len(), 100);
+        assert_eq!(pair.m, 16);
+        assert!(pair.true_mi >= 0.0);
+        assert!(matches!(pair.xs[0], Value::Int(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid trinomial")]
+    fn invalid_probabilities_rejected() {
+        let _ = TrinomialConfig::new(8, 0.7, 0.5);
+    }
+}

@@ -1,0 +1,322 @@
+//! Group-by aggregation (the featurization function `AGG` of Section III-B).
+//!
+//! Given a candidate table `Tcand[K_Z, Z]` that may have a many-to-many
+//! relationship with the base table, the paper derives the augmentation table
+//! `Taug[K_X, X]` with `SELECT K_Z AS K_X, AGG(Z) AS X FROM Tcand GROUP BY
+//! K_Z`. This module implements that query and the catalogue of aggregation
+//! functions discussed in the paper (`AVG`, `MODE`, `COUNT`, …).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::column::ColumnBuilder;
+use crate::error::TableError;
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use crate::Result;
+
+/// Aggregation (featurization) functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggregation {
+    /// Arithmetic mean (numeric input only). Output: float.
+    Avg,
+    /// Sum (numeric input only). Output: float.
+    Sum,
+    /// Number of rows per key (any input type). Output: int.
+    Count,
+    /// Number of distinct values per key (any input type). Output: int.
+    CountDistinct,
+    /// Minimum value (any ordered input). Output: same type as input.
+    Min,
+    /// Maximum value (any ordered input). Output: same type as input.
+    Max,
+    /// Most frequent value; ties broken by value order for determinism.
+    /// Output: same type as input.
+    Mode,
+    /// Median (numeric input only; mean of the two middle values for even
+    /// counts). Output: float.
+    Median,
+    /// First value in table order (the strategy used by the CSK baseline for
+    /// repeated keys). Output: same type as input.
+    First,
+}
+
+impl Aggregation {
+    /// All supported aggregations.
+    pub const ALL: [Self; 9] = [
+        Self::Avg,
+        Self::Sum,
+        Self::Count,
+        Self::CountDistinct,
+        Self::Min,
+        Self::Max,
+        Self::Mode,
+        Self::Median,
+        Self::First,
+    ];
+
+    /// Upper-case SQL-ish name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Avg => "AVG",
+            Self::Sum => "SUM",
+            Self::Count => "COUNT",
+            Self::CountDistinct => "COUNT_DISTINCT",
+            Self::Min => "MIN",
+            Self::Max => "MAX",
+            Self::Mode => "MODE",
+            Self::Median => "MEDIAN",
+            Self::First => "FIRST",
+        }
+    }
+
+    /// Output data type for a given input type, or an error if the
+    /// combination is not supported.
+    pub fn output_dtype(self, input: DataType) -> Result<DataType> {
+        match self {
+            Self::Count | Self::CountDistinct => Ok(DataType::Int),
+            Self::Avg | Self::Sum | Self::Median => {
+                if input.is_numeric() {
+                    Ok(DataType::Float)
+                } else {
+                    Err(TableError::IncompatibleAggregation {
+                        aggregation: self.name().to_owned(),
+                        dtype: input.name().to_owned(),
+                    })
+                }
+            }
+            Self::Min | Self::Max | Self::Mode | Self::First => Ok(input),
+        }
+    }
+
+    /// Applies the aggregation to the (non-NULL) values of one group.
+    ///
+    /// Returns NULL when the group has no non-NULL values (except `COUNT`,
+    /// which returns 0).
+    #[must_use]
+    pub fn apply(self, values: &[Value]) -> Value {
+        let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+        match self {
+            Self::Count => Value::Int(non_null.len() as i64),
+            Self::CountDistinct => {
+                let mut distinct: Vec<&Value> = non_null.clone();
+                distinct.sort();
+                distinct.dedup();
+                Value::Int(distinct.len() as i64)
+            }
+            _ if non_null.is_empty() => Value::Null,
+            Self::Avg => {
+                let nums: Vec<f64> = non_null.iter().filter_map(|v| v.as_f64()).collect();
+                if nums.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+                }
+            }
+            Self::Sum => {
+                let nums: Vec<f64> = non_null.iter().filter_map(|v| v.as_f64()).collect();
+                if nums.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Float(nums.iter().sum())
+                }
+            }
+            Self::Median => {
+                let mut nums: Vec<f64> = non_null.iter().filter_map(|v| v.as_f64()).collect();
+                if nums.is_empty() {
+                    return Value::Null;
+                }
+                nums.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN medians"));
+                let mid = nums.len() / 2;
+                if nums.len() % 2 == 1 {
+                    Value::Float(nums[mid])
+                } else {
+                    Value::Float((nums[mid - 1] + nums[mid]) / 2.0)
+                }
+            }
+            Self::Min => (*non_null.iter().min().expect("non-empty")).clone(),
+            Self::Max => (*non_null.iter().max().expect("non-empty")).clone(),
+            Self::Mode => {
+                let mut counts: HashMap<&Value, usize> = HashMap::new();
+                for v in &non_null {
+                    *counts.entry(*v).or_default() += 1;
+                }
+                let mut best: Option<(&Value, usize)> = None;
+                for (v, c) in counts {
+                    best = match best {
+                        None => Some((v, c)),
+                        Some((bv, bc)) => {
+                            if c > bc || (c == bc && v < bv) {
+                                Some((v, c))
+                            } else {
+                                Some((bv, bc))
+                            }
+                        }
+                    };
+                }
+                best.map_or(Value::Null, |(v, _)| v.clone())
+            }
+            Self::First => (*non_null.first().expect("non-empty")).clone(),
+        }
+    }
+}
+
+impl fmt::Display for Aggregation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Evaluates `SELECT key AS key, AGG(value) AS agg_name(value) FROM table
+/// GROUP BY key`, producing a table with one row per distinct non-NULL key.
+///
+/// The output preserves the order of first appearance of each key, which
+/// keeps downstream experiments deterministic. Rows whose key is NULL are
+/// dropped, matching the paper's treatment of NULL join keys.
+pub fn group_by_aggregate(
+    table: &Table,
+    key: &str,
+    value: &str,
+    agg: Aggregation,
+) -> Result<Table> {
+    let key_col = table.column(key)?;
+    let value_col = table.column(value)?;
+    let out_dtype = agg.output_dtype(value_col.dtype())?;
+
+    // Group row indices by key, preserving first-appearance order.
+    let mut order: Vec<Value> = Vec::new();
+    let mut groups: HashMap<Value, Vec<usize>> = HashMap::new();
+    for i in 0..table.num_rows() {
+        let k = key_col.value(i);
+        if k.is_null() {
+            continue;
+        }
+        groups
+            .entry(k.clone())
+            .or_insert_with(|| {
+                order.push(k);
+                Vec::new()
+            })
+            .push(i);
+    }
+
+    let mut key_builder = ColumnBuilder::new(key_col.dtype());
+    let mut value_builder = ColumnBuilder::new(out_dtype);
+    for k in &order {
+        let rows = &groups[k];
+        let values: Vec<Value> = rows.iter().map(|&i| value_col.value(i)).collect();
+        key_builder.push_value(k.clone())?;
+        value_builder.push_value(agg.apply(&values))?;
+    }
+
+    let out_value_name = format!("{}({value})", agg.name());
+    Table::builder(format!("{}_grouped", table.name()))
+        .push_column(key, key_builder.finish())
+        .push_column(out_value_name, value_builder.finish())
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(ints: &[i64]) -> Vec<Value> {
+        ints.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn paper_example_2_aggregations() {
+        // Example 2 of the paper: Tcand[KZ] = [a,b,b,b,c,c,c],
+        // Tcand[Z] = [1,2,2,5,0,3,3]; AVG -> {a:1, b:3, c:2},
+        // MODE -> {a:1, b:2, c:3}, COUNT -> {a:1, b:3, c:3}.
+        let b_group = vals(&[2, 2, 5]);
+        let c_group = vals(&[0, 3, 3]);
+        assert_eq!(Aggregation::Avg.apply(&vals(&[1])), Value::Float(1.0));
+        assert_eq!(Aggregation::Avg.apply(&b_group), Value::Float(3.0));
+        assert_eq!(Aggregation::Avg.apply(&c_group), Value::Float(2.0));
+        assert_eq!(Aggregation::Mode.apply(&b_group), Value::Int(2));
+        assert_eq!(Aggregation::Mode.apply(&c_group), Value::Int(3));
+        assert_eq!(Aggregation::Count.apply(&b_group), Value::Int(3));
+        assert_eq!(Aggregation::Count.apply(&c_group), Value::Int(3));
+    }
+
+    #[test]
+    fn min_max_median_first() {
+        let g = vals(&[5, 1, 3, 3]);
+        assert_eq!(Aggregation::Min.apply(&g), Value::Int(1));
+        assert_eq!(Aggregation::Max.apply(&g), Value::Int(5));
+        assert_eq!(Aggregation::Median.apply(&g), Value::Float(3.0));
+        assert_eq!(Aggregation::First.apply(&g), Value::Int(5));
+        assert_eq!(Aggregation::Median.apply(&vals(&[1, 2])), Value::Float(1.5));
+        assert_eq!(Aggregation::CountDistinct.apply(&g), Value::Int(3));
+    }
+
+    #[test]
+    fn nulls_are_ignored_except_count() {
+        let g = vec![Value::Null, Value::Int(2), Value::Null];
+        assert_eq!(Aggregation::Avg.apply(&g), Value::Float(2.0));
+        assert_eq!(Aggregation::Count.apply(&g), Value::Int(1));
+        let empty = vec![Value::Null, Value::Null];
+        assert_eq!(Aggregation::Avg.apply(&empty), Value::Null);
+        assert_eq!(Aggregation::Count.apply(&empty), Value::Int(0));
+        assert_eq!(Aggregation::Mode.apply(&empty), Value::Null);
+    }
+
+    #[test]
+    fn mode_tie_break_is_deterministic() {
+        let g = vals(&[2, 1, 1, 2]);
+        // Both appear twice; the smaller value wins.
+        assert_eq!(Aggregation::Mode.apply(&g), Value::Int(1));
+        let strs = vec![Value::from("b"), Value::from("a")];
+        assert_eq!(Aggregation::Mode.apply(&strs), Value::from("a"));
+    }
+
+    #[test]
+    fn output_dtype_rules() {
+        assert_eq!(Aggregation::Count.output_dtype(DataType::Str).unwrap(), DataType::Int);
+        assert_eq!(Aggregation::Avg.output_dtype(DataType::Int).unwrap(), DataType::Float);
+        assert_eq!(Aggregation::Mode.output_dtype(DataType::Str).unwrap(), DataType::Str);
+        assert!(Aggregation::Avg.output_dtype(DataType::Str).is_err());
+        assert!(Aggregation::Median.output_dtype(DataType::Str).is_err());
+    }
+
+    #[test]
+    fn group_by_aggregate_matches_paper_example() {
+        let t = Table::builder("cand")
+            .push_str_column("k", vec!["a", "b", "b", "b", "c", "c", "c"])
+            .push_int_column("z", vec![1, 2, 2, 5, 0, 3, 3])
+            .build()
+            .unwrap();
+        let agg = group_by_aggregate(&t, "k", "z", Aggregation::Avg).unwrap();
+        assert_eq!(agg.num_rows(), 3);
+        assert_eq!(agg.value(0, "k").unwrap(), Value::from("a"));
+        assert_eq!(agg.value(0, "AVG(z)").unwrap(), Value::Float(1.0));
+        assert_eq!(agg.value(1, "AVG(z)").unwrap(), Value::Float(3.0));
+        assert_eq!(agg.value(2, "AVG(z)").unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn group_by_drops_null_keys() {
+        let t = Table::builder("cand")
+            .push_value_column(
+                "k",
+                DataType::Str,
+                &[Value::from("a"), Value::Null, Value::from("a")],
+            )
+            .unwrap()
+            .push_int_column("z", vec![1, 100, 3])
+            .build()
+            .unwrap();
+        let agg = group_by_aggregate(&t, "k", "z", Aggregation::Sum).unwrap();
+        assert_eq!(agg.num_rows(), 1);
+        assert_eq!(agg.value(0, "SUM(z)").unwrap(), Value::Float(4.0));
+    }
+
+    #[test]
+    fn group_by_missing_column_errors() {
+        let t = Table::builder("t").push_int_column("a", vec![1]).build().unwrap();
+        assert!(group_by_aggregate(&t, "nope", "a", Aggregation::Count).is_err());
+        assert!(group_by_aggregate(&t, "a", "nope", Aggregation::Count).is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! Typed columns.
+//!
+//! Columns are stored in a simple columnar layout: one vector of optional
+//! values per physical type. This keeps scans cache-friendly and makes the
+//! full-join / full-estimation baselines (the expensive paths the sketches
+//! avoid) reasonably fast without external dependencies.
+
+use std::collections::HashMap;
+
+use crate::error::TableError;
+use crate::value::{DataType, Value};
+use crate::Result;
+
+/// A typed column with optional (nullable) entries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Integer column.
+    Int(Vec<Option<i64>>),
+    /// Float column.
+    Float(Vec<Option<f64>>),
+    /// String column.
+    Str(Vec<Option<String>>),
+}
+
+impl Column {
+    /// Creates an empty column of the given type.
+    #[must_use]
+    pub fn empty(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int => Self::Int(Vec::new()),
+            DataType::Float => Self::Float(Vec::new()),
+            DataType::Str => Self::Str(Vec::new()),
+        }
+    }
+
+    /// Creates an integer column from plain values.
+    #[must_use]
+    pub fn from_ints<I: IntoIterator<Item = i64>>(values: I) -> Self {
+        Self::Int(values.into_iter().map(Some).collect())
+    }
+
+    /// Creates a float column from plain values.
+    #[must_use]
+    pub fn from_floats<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        Self::Float(values.into_iter().map(Some).collect())
+    }
+
+    /// Creates a string column from plain values.
+    pub fn from_strs<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self::Str(values.into_iter().map(|s| Some(s.into())).collect())
+    }
+
+    /// Builds a column of the given type from generic [`Value`]s.
+    ///
+    /// Values must be NULL or of the matching type; `Int` values are widened
+    /// to floats when the target type is `Float`.
+    pub fn from_values(dtype: DataType, values: &[Value]) -> Result<Self> {
+        let mut builder = ColumnBuilder::new(dtype);
+        for v in values {
+            builder.push_value(v.clone())?;
+        }
+        Ok(builder.finish())
+    }
+
+    /// Number of entries (including NULLs).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Int(v) => v.len(),
+            Self::Float(v) => v.len(),
+            Self::Str(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` if the column has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical data type of the column.
+    #[must_use]
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Self::Int(_) => DataType::Int,
+            Self::Float(_) => DataType::Float,
+            Self::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Returns the value at `index` (NULL if the slot is empty).
+    ///
+    /// # Panics
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn value(&self, index: usize) -> Value {
+        match self {
+            Self::Int(v) => v[index].map_or(Value::Null, Value::Int),
+            Self::Float(v) => v[index].map_or(Value::Null, Value::Float),
+            Self::Str(v) => v[index].clone().map_or(Value::Null, Value::Str),
+        }
+    }
+
+    /// Returns the value at `index`, or `None` if out of bounds.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<Value> {
+        (index < self.len()).then(|| self.value(index))
+    }
+
+    /// Iterates over all values (NULLs included).
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.value(i))
+    }
+
+    /// Number of NULL entries.
+    #[must_use]
+    pub fn null_count(&self) -> usize {
+        match self {
+            Self::Int(v) => v.iter().filter(|x| x.is_none()).count(),
+            Self::Float(v) => v.iter().filter(|x| x.is_none()).count(),
+            Self::Str(v) => v.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+
+    /// Number of distinct non-NULL values.
+    #[must_use]
+    pub fn distinct_count(&self) -> usize {
+        let mut seen: HashMap<Value, ()> = HashMap::new();
+        for v in self.iter() {
+            if !v.is_null() {
+                seen.insert(v, ());
+            }
+        }
+        seen.len()
+    }
+
+    /// Returns all non-NULL values as floats, if the column is numeric.
+    #[must_use]
+    pub fn numeric_values(&self) -> Option<Vec<f64>> {
+        match self {
+            Self::Int(v) => Some(v.iter().flatten().map(|&x| x as f64).collect()),
+            Self::Float(v) => Some(v.iter().flatten().copied().collect()),
+            Self::Str(_) => None,
+        }
+    }
+
+    /// Gathers the entries at `indices` into a new column, preserving type.
+    ///
+    /// `None` entries in `indices` produce NULLs (used for the unmatched rows
+    /// of a left-outer join).
+    #[must_use]
+    pub fn take_opt(&self, indices: &[Option<usize>]) -> Self {
+        match self {
+            Self::Int(v) => Self::Int(indices.iter().map(|i| i.and_then(|i| v[i])).collect()),
+            Self::Float(v) => Self::Float(indices.iter().map(|i| i.and_then(|i| v[i])).collect()),
+            Self::Str(v) => {
+                Self::Str(indices.iter().map(|i| i.and_then(|i| v[i].clone())).collect())
+            }
+        }
+    }
+
+    /// Gathers the entries at `indices` into a new column.
+    #[must_use]
+    pub fn take(&self, indices: &[usize]) -> Self {
+        match self {
+            Self::Int(v) => Self::Int(indices.iter().map(|&i| v[i]).collect()),
+            Self::Float(v) => Self::Float(indices.iter().map(|&i| v[i]).collect()),
+            Self::Str(v) => Self::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+}
+
+/// Incremental builder for a [`Column`].
+#[derive(Debug, Clone)]
+pub struct ColumnBuilder {
+    column: Column,
+}
+
+impl ColumnBuilder {
+    /// Creates a builder for a column of the given type.
+    #[must_use]
+    pub fn new(dtype: DataType) -> Self {
+        Self { column: Column::empty(dtype) }
+    }
+
+    /// Appends a NULL entry.
+    pub fn push_null(&mut self) {
+        match &mut self.column {
+            Column::Int(v) => v.push(None),
+            Column::Float(v) => v.push(None),
+            Column::Str(v) => v.push(None),
+        }
+    }
+
+    /// Appends a [`Value`]. Integers are widened to float when the column is a
+    /// float column; any other type mismatch is an error.
+    pub fn push_value(&mut self, value: Value) -> Result<()> {
+        match (&mut self.column, value) {
+            (_, Value::Null) => {
+                self.push_null();
+                Ok(())
+            }
+            (Column::Int(v), Value::Int(x)) => {
+                v.push(Some(x));
+                Ok(())
+            }
+            (Column::Float(v), Value::Float(x)) => {
+                v.push(Some(x));
+                Ok(())
+            }
+            (Column::Float(v), Value::Int(x)) => {
+                v.push(Some(x as f64));
+                Ok(())
+            }
+            (Column::Str(v), Value::Str(x)) => {
+                v.push(Some(x));
+                Ok(())
+            }
+            (col, value) => Err(TableError::ParseError {
+                raw: value.to_string(),
+                dtype: col.dtype().name().to_owned(),
+            }),
+        }
+    }
+
+    /// Number of entries pushed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.column.len()
+    }
+
+    /// Returns `true` if nothing has been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.column.is_empty()
+    }
+
+    /// Finishes the builder and returns the column.
+    #[must_use]
+    pub fn finish(self) -> Column {
+        self.column
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_len() {
+        let c = Column::from_ints([1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.dtype(), DataType::Int);
+        assert!(!c.is_empty());
+        assert!(Column::empty(DataType::Str).is_empty());
+    }
+
+    #[test]
+    fn value_access_and_iteration() {
+        let c = Column::from_strs(["a", "b"]);
+        assert_eq!(c.value(0), Value::from("a"));
+        assert_eq!(c.get(1), Some(Value::from("b")));
+        assert_eq!(c.get(2), None);
+        let all: Vec<Value> = c.iter().collect();
+        assert_eq!(all, vec![Value::from("a"), Value::from("b")]);
+    }
+
+    #[test]
+    fn null_and_distinct_counts() {
+        let c = Column::Int(vec![Some(1), None, Some(1), Some(2)]);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.distinct_count(), 2);
+    }
+
+    #[test]
+    fn numeric_values_skips_nulls() {
+        let c = Column::Float(vec![Some(1.5), None, Some(2.5)]);
+        assert_eq!(c.numeric_values(), Some(vec![1.5, 2.5]));
+        assert_eq!(Column::from_strs(["x"]).numeric_values(), None);
+    }
+
+    #[test]
+    fn take_and_take_opt() {
+        let c = Column::from_ints([10, 20, 30]);
+        assert_eq!(c.take(&[2, 0]), Column::from_ints([30, 10]));
+        assert_eq!(
+            c.take_opt(&[Some(1), None]),
+            Column::Int(vec![Some(20), None])
+        );
+    }
+
+    #[test]
+    fn builder_widens_ints_to_floats() {
+        let mut b = ColumnBuilder::new(DataType::Float);
+        b.push_value(Value::Int(2)).unwrap();
+        b.push_value(Value::Float(0.5)).unwrap();
+        b.push_null();
+        let c = b.finish();
+        assert_eq!(c, Column::Float(vec![Some(2.0), Some(0.5), None]));
+    }
+
+    #[test]
+    fn builder_rejects_type_mismatch() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        assert!(b.push_value(Value::from("oops")).is_err());
+    }
+
+    #[test]
+    fn from_values_round_trip() {
+        let vals = vec![Value::Int(1), Value::Null, Value::Int(3)];
+        let c = Column::from_values(DataType::Int, &vals).unwrap();
+        let back: Vec<Value> = c.iter().collect();
+        assert_eq!(back, vals);
+    }
+}

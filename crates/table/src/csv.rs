@@ -1,0 +1,226 @@
+//! Minimal CSV reading / writing with type inference.
+//!
+//! Implements RFC-4180-style quoting (double quotes, embedded quotes doubled,
+//! embedded separators and newlines inside quoted fields). This is enough to
+//! load open-data-portal style exports for the examples and tests without an
+//! external dependency.
+
+use crate::column::ColumnBuilder;
+use crate::error::TableError;
+use crate::infer::{infer_column_type, parse_value};
+use crate::table::Table;
+use crate::Result;
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field separator (default `,`).
+    pub separator: char,
+    /// Whether the first record is a header row (default `true`).
+    pub has_header: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self { separator: ',', has_header: true }
+    }
+}
+
+/// Parses CSV text into a table, inferring column types.
+pub fn read_csv_str(name: &str, text: &str, options: &CsvOptions) -> Result<Table> {
+    let records = parse_records(text, options.separator)?;
+    if records.is_empty() {
+        return Err(TableError::EmptyTable(name.to_owned()));
+    }
+
+    let (header, data_records): (Vec<String>, &[Vec<String>]) = if options.has_header {
+        (records[0].clone(), &records[1..])
+    } else {
+        let width = records[0].len();
+        ((0..width).map(|i| format!("col{i}")).collect(), &records[..])
+    };
+
+    let ncols = header.len();
+    for (i, rec) in data_records.iter().enumerate() {
+        if rec.len() != ncols {
+            return Err(TableError::CsvError(format!(
+                "record {} has {} fields, expected {ncols}",
+                i + 1,
+                rec.len()
+            )));
+        }
+    }
+
+    let mut builder = Table::builder(name);
+    for (col_idx, col_name) in header.iter().enumerate() {
+        let cells = data_records.iter().map(|r| r[col_idx].as_str());
+        let dtype = infer_column_type(cells.clone());
+        let mut col_builder = ColumnBuilder::new(dtype);
+        for cell in cells {
+            let value = parse_value(cell, dtype).ok_or_else(|| TableError::ParseError {
+                raw: cell.to_owned(),
+                dtype: dtype.name().to_owned(),
+            })?;
+            col_builder.push_value(value)?;
+        }
+        builder = builder.push_column(col_name.clone(), col_builder.finish());
+    }
+    builder.build()
+}
+
+/// Serializes a table to CSV text (with a header row).
+#[must_use]
+pub fn write_csv_string(table: &Table) -> String {
+    let mut out = String::new();
+    let names: Vec<String> =
+        table.schema().fields().iter().map(|f| escape_field(&f.name, ',')).collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for row in 0..table.num_rows() {
+        let cells: Vec<String> = (0..table.num_columns())
+            .map(|c| escape_field(&table.column_at(c).value(row).to_string(), ','))
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn escape_field(field: &str, sep: char) -> String {
+    if field.contains(sep) || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Splits CSV text into records of fields, honoring quotes.
+fn parse_records(text: &str, sep: char) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut any_char_in_record = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        field.push('"');
+                        chars.next();
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                any_char_in_record = true;
+            }
+            c if c == sep => {
+                record.push(std::mem::take(&mut field));
+                any_char_in_record = true;
+            }
+            '\r' => {
+                // Swallow; handled by the following '\n' (or end of record).
+            }
+            '\n' => {
+                if any_char_in_record || !field.is_empty() || !record.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                any_char_in_record = false;
+            }
+            _ => {
+                field.push(c);
+                any_char_in_record = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::CsvError("unterminated quoted field".to_owned()));
+    }
+    if any_char_in_record || !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Value};
+
+    #[test]
+    fn round_trip_simple_table() {
+        let csv = "zip,borough,trips\n11201,Brooklyn,136\n10011,Manhattan,112\n";
+        let t = read_csv_str("taxi", csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.column("zip").unwrap().dtype(), DataType::Int);
+        assert_eq!(t.column("borough").unwrap().dtype(), DataType::Str);
+        assert_eq!(t.value(0, "borough").unwrap(), Value::from("Brooklyn"));
+        assert_eq!(t.value(1, "trips").unwrap(), Value::Int(112));
+
+        let out = write_csv_string(&t);
+        let t2 = read_csv_str("taxi2", &out, &CsvOptions::default()).unwrap();
+        assert_eq!(t2.num_rows(), 2);
+        assert_eq!(t2.value(0, "trips").unwrap(), Value::Int(136));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let csv = "name,notes\nalpha,\"hello, world\"\nbeta,\"she said \"\"hi\"\"\"\n";
+        let t = read_csv_str("q", csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.value(0, "notes").unwrap(), Value::from("hello, world"));
+        assert_eq!(t.value(1, "notes").unwrap(), Value::from("she said \"hi\""));
+    }
+
+    #[test]
+    fn missing_values_become_null() {
+        let csv = "a,b\n1,\n2,5\n";
+        let t = read_csv_str("m", csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.value(0, "b").unwrap(), Value::Null);
+        assert_eq!(t.value(1, "b").unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let csv = "a,b\n1,2\n3\n";
+        assert!(read_csv_str("r", csv, &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_is_rejected() {
+        let csv = "a\n\"oops\n";
+        assert!(read_csv_str("u", csv, &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn headerless_mode_and_custom_separator() {
+        let csv = "1;x\n2;y\n";
+        let opts = CsvOptions { separator: ';', has_header: false };
+        let t = read_csv_str("h", csv, &opts).unwrap();
+        assert_eq!(t.schema().names(), vec!["col0", "col1"]);
+        assert_eq!(t.value(1, "col1").unwrap(), Value::from("y"));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let csv = "a,b\r\n1,2\r\n3,4\r\n";
+        let t = read_csv_str("crlf", csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(1, "b").unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(read_csv_str("e", "", &CsvOptions::default()).is_err());
+    }
+}

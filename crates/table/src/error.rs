@@ -1,0 +1,91 @@
+//! Error type for table operations.
+
+use std::fmt;
+
+/// Errors produced by the relational substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A referenced column does not exist in the table.
+    ColumnNotFound {
+        /// Table name.
+        table: String,
+        /// Column name that was requested.
+        column: String,
+    },
+    /// Two columns that must have equal length do not.
+    LengthMismatch {
+        /// What was being constructed.
+        context: String,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A column with the same name was added twice.
+    DuplicateColumn(String),
+    /// An aggregation was applied to an incompatible data type.
+    IncompatibleAggregation {
+        /// The aggregation that was requested.
+        aggregation: String,
+        /// The data type it was applied to.
+        dtype: String,
+    },
+    /// A value could not be parsed as the expected data type.
+    ParseError {
+        /// The raw text.
+        raw: String,
+        /// The expected type.
+        dtype: String,
+    },
+    /// Malformed CSV input.
+    CsvError(String),
+    /// A table was built with no columns / no rows where at least one is needed.
+    EmptyTable(String),
+    /// The operation requires a many-to-one relationship but found duplicate keys.
+    DuplicateJoinKey(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ColumnNotFound { table, column } => {
+                write!(f, "column `{column}` not found in table `{table}`")
+            }
+            Self::LengthMismatch { context, expected, actual } => {
+                write!(f, "length mismatch in {context}: expected {expected}, got {actual}")
+            }
+            Self::DuplicateColumn(name) => write!(f, "duplicate column `{name}`"),
+            Self::IncompatibleAggregation { aggregation, dtype } => {
+                write!(f, "aggregation {aggregation} cannot be applied to {dtype} values")
+            }
+            Self::ParseError { raw, dtype } => {
+                write!(f, "cannot parse `{raw}` as {dtype}")
+            }
+            Self::CsvError(msg) => write!(f, "CSV error: {msg}"),
+            Self::EmptyTable(name) => write!(f, "table `{name}` has no data"),
+            Self::DuplicateJoinKey(key) => {
+                write!(f, "join key `{key}` appears more than once on the aggregated side")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_offender() {
+        let e = TableError::ColumnNotFound { table: "taxi".into(), column: "zip".into() };
+        assert!(e.to_string().contains("zip"));
+        assert!(e.to_string().contains("taxi"));
+
+        let e = TableError::DuplicateColumn("x".into());
+        assert!(e.to_string().contains('x'));
+
+        let e = TableError::ParseError { raw: "abc".into(), dtype: "int".into() };
+        assert!(e.to_string().contains("abc"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Column type inference and value parsing.
+//!
+//! The paper's real-data pipeline relies on a type-inference library
+//! (Tablesaw) to decide whether a column is a string (discrete) or a number
+//! (continuous) before choosing an MI estimator. This module plays that role:
+//! given the raw textual values of a column, it infers the narrowest type
+//! that can represent all non-empty values (`Int` ⊂ `Float` ⊂ `Str`).
+
+use crate::value::{DataType, Value};
+
+/// Parses a single raw cell into a [`Value`] of the given type.
+///
+/// Empty strings (after trimming) parse as NULL for every type.
+#[must_use]
+pub fn parse_value(raw: &str, dtype: DataType) -> Option<Value> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Some(Value::Null);
+    }
+    match dtype {
+        DataType::Int => trimmed.parse::<i64>().ok().map(Value::Int),
+        DataType::Float => parse_float(trimmed).map(Value::Float),
+        DataType::Str => Some(Value::Str(trimmed.to_owned())),
+    }
+}
+
+fn parse_float(s: &str) -> Option<f64> {
+    // Reject values like "nan"/"inf" coming from text: they are almost always
+    // sentinels, and treating them as numbers would poison MI estimation.
+    let v = s.parse::<f64>().ok()?;
+    v.is_finite().then_some(v)
+}
+
+/// Infers the narrowest data type that can represent every non-empty cell.
+///
+/// * all cells parse as `i64` → [`DataType::Int`]
+/// * all cells parse as finite `f64` → [`DataType::Float`]
+/// * otherwise → [`DataType::Str`]
+///
+/// A column whose cells are all empty infers as `Str` (there is no evidence
+/// for a numeric interpretation).
+#[must_use]
+pub fn infer_column_type<'a, I>(cells: I) -> DataType
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut all_int = true;
+    let mut all_float = true;
+    let mut saw_non_empty = false;
+
+    for raw in cells {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        saw_non_empty = true;
+        if all_int && trimmed.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if all_float && parse_float(trimmed).is_none() {
+            all_float = false;
+        }
+        if !all_int && !all_float {
+            return DataType::Str;
+        }
+    }
+
+    if !saw_non_empty {
+        DataType::Str
+    } else if all_int {
+        DataType::Int
+    } else if all_float {
+        DataType::Float
+    } else {
+        DataType::Str
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infers_int() {
+        assert_eq!(infer_column_type(["1", "2", "-3", ""]), DataType::Int);
+    }
+
+    #[test]
+    fn infers_float_when_any_cell_has_decimals() {
+        assert_eq!(infer_column_type(["1", "2.5", "-3"]), DataType::Float);
+        assert_eq!(infer_column_type(["1e3", "2.5"]), DataType::Float);
+    }
+
+    #[test]
+    fn infers_str_on_mixed_content() {
+        assert_eq!(infer_column_type(["1", "abc"]), DataType::Str);
+        assert_eq!(infer_column_type(["Brooklyn", "Queens"]), DataType::Str);
+        // Sentinels like NaN/inf force string typing.
+        assert_eq!(infer_column_type(["1.0", "inf"]), DataType::Str);
+    }
+
+    #[test]
+    fn empty_column_is_str() {
+        assert_eq!(infer_column_type(["", "  "]), DataType::Str);
+        assert_eq!(infer_column_type(std::iter::empty::<&str>()), DataType::Str);
+    }
+
+    #[test]
+    fn parse_value_by_type() {
+        assert_eq!(parse_value("42", DataType::Int), Some(Value::Int(42)));
+        assert_eq!(parse_value("4.5", DataType::Float), Some(Value::Float(4.5)));
+        assert_eq!(parse_value("x", DataType::Str), Some(Value::from("x")));
+        assert_eq!(parse_value(" ", DataType::Int), Some(Value::Null));
+        assert_eq!(parse_value("abc", DataType::Int), None);
+        assert_eq!(parse_value("nan", DataType::Float), None);
+    }
+
+    #[test]
+    fn integral_strings_can_still_be_treated_as_categories() {
+        // The paper notes UPC-code-like columns should be strings; inference
+        // alone cannot know that, but parse_value allows forcing Str.
+        assert_eq!(parse_value("00123", DataType::Str), Some(Value::from("00123")));
+    }
+}

@@ -1,0 +1,232 @@
+//! Hash equi-joins.
+//!
+//! The augmentation query of Section III keeps the base table's row count
+//! intact with a *left-outer* join against an aggregated (unique-key)
+//! augmentation table. We implement that join plus a plain inner join; both
+//! are classic build/probe hash joins keyed on [`Value`]s.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::TableError;
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+
+/// The result of a join: the combined table plus bookkeeping about how many
+/// left rows found a match (useful for joinability statistics).
+#[derive(Debug, Clone)]
+pub struct JoinResult {
+    /// The joined table. Column names from the right table are prefixed with
+    /// the right table's name when they would collide with a left column.
+    pub table: Table,
+    /// Number of left rows that found at least one match.
+    pub matched_rows: usize,
+    /// Number of left rows in total.
+    pub left_rows: usize,
+}
+
+impl JoinResult {
+    /// Fraction of left rows that found a match (containment of the left key
+    /// column in the right key column).
+    #[must_use]
+    pub fn containment(&self) -> f64 {
+        if self.left_rows == 0 {
+            0.0
+        } else {
+            self.matched_rows as f64 / self.left_rows as f64
+        }
+    }
+}
+
+/// Performs `left LEFT OUTER JOIN right ON left[left_key] = right[right_key]`.
+///
+/// The right side must have unique (or at least deduplicated) join keys —
+/// this is the many-to-one requirement of the augmentation setting. If a key
+/// appears more than once on the right, an error is returned; callers that
+/// start from a raw candidate table should aggregate it first with
+/// [`crate::aggregate::group_by_aggregate`].
+///
+/// Rows of `left` whose key is NULL or unmatched get NULLs in the right-hand
+/// columns. Row order of `left` is preserved and the output has exactly
+/// `left.num_rows()` rows.
+pub fn left_outer_join(
+    left: &Table,
+    left_key: &str,
+    right: &Table,
+    right_key: &str,
+) -> Result<JoinResult> {
+    let probe_index = build_unique_index(right, right_key)?;
+    let left_key_col = left.column(left_key)?;
+
+    let mut right_row_for_left: Vec<Option<usize>> = Vec::with_capacity(left.num_rows());
+    let mut matched = 0usize;
+    for i in 0..left.num_rows() {
+        let k = left_key_col.value(i);
+        let hit = if k.is_null() { None } else { probe_index.get(&k).copied() };
+        if hit.is_some() {
+            matched += 1;
+        }
+        right_row_for_left.push(hit);
+    }
+
+    let table = assemble(left, right, right_key, |col: &Column| col.take_opt(&right_row_for_left))?;
+    Ok(JoinResult { table, matched_rows: matched, left_rows: left.num_rows() })
+}
+
+/// Performs `left INNER JOIN right ON left[left_key] = right[right_key]` with
+/// a unique-key right side. Output contains only matching left rows, in left
+/// order.
+pub fn inner_join(
+    left: &Table,
+    left_key: &str,
+    right: &Table,
+    right_key: &str,
+) -> Result<JoinResult> {
+    let probe_index = build_unique_index(right, right_key)?;
+    let left_key_col = left.column(left_key)?;
+
+    let mut left_rows: Vec<usize> = Vec::new();
+    let mut right_rows: Vec<usize> = Vec::new();
+    for i in 0..left.num_rows() {
+        let k = left_key_col.value(i);
+        if k.is_null() {
+            continue;
+        }
+        if let Some(&j) = probe_index.get(&k) {
+            left_rows.push(i);
+            right_rows.push(j);
+        }
+    }
+
+    let left_subset = left.take(&left_rows);
+    let matched = left_rows.len();
+    let table = assemble(&left_subset, right, right_key, |col: &Column| col.take(&right_rows))?;
+    Ok(JoinResult { table, matched_rows: matched, left_rows: left.num_rows() })
+}
+
+/// Builds a `Value -> row index` map for the right side, erroring on
+/// duplicate non-NULL keys (the many-to-one requirement).
+fn build_unique_index(right: &Table, right_key: &str) -> Result<HashMap<Value, usize>> {
+    let key_col = right.column(right_key)?;
+    let mut index: HashMap<Value, usize> = HashMap::with_capacity(right.num_rows());
+    for j in 0..right.num_rows() {
+        let k = key_col.value(j);
+        if k.is_null() {
+            continue;
+        }
+        if index.insert(k.clone(), j).is_some() {
+            return Err(TableError::DuplicateJoinKey(k.to_string()));
+        }
+    }
+    Ok(index)
+}
+
+/// Combines the (already row-aligned) left table with gathered right columns.
+fn assemble<F>(left: &Table, right: &Table, right_key: &str, gather: F) -> Result<Table>
+where
+    F: Fn(&Column) -> Column,
+{
+    let mut out = left.clone().renamed(format!("{}_join_{}", left.name(), right.name()));
+    for field in right.schema().fields() {
+        if field.name == right_key {
+            continue; // the key is already present via the left table
+        }
+        let gathered = gather(right.column(&field.name)?);
+        let name = if out.schema().contains(&field.name) {
+            format!("{}.{}", right.name(), field.name)
+        } else {
+            field.name.clone()
+        };
+        out = out.with_column(name, gathered)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn train() -> Table {
+        Table::builder("train")
+            .push_str_column("k", vec!["a", "a", "b", "c"])
+            .push_int_column("y", vec![1, 2, 3, 4])
+            .build()
+            .unwrap()
+    }
+
+    fn aug() -> Table {
+        Table::builder("aug")
+            .push_str_column("k", vec!["a", "b", "d"])
+            .push_float_column("x", vec![10.0, 20.0, 40.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn left_outer_join_keeps_all_left_rows() {
+        let res = left_outer_join(&train(), "k", &aug(), "k").unwrap();
+        assert_eq!(res.left_rows, 4);
+        assert_eq!(res.matched_rows, 3);
+        assert!((res.containment() - 0.75).abs() < 1e-12);
+        let t = &res.table;
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.value(0, "x").unwrap(), Value::Float(10.0));
+        assert_eq!(t.value(1, "x").unwrap(), Value::Float(10.0));
+        assert_eq!(t.value(2, "x").unwrap(), Value::Float(20.0));
+        assert_eq!(t.value(3, "x").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn inner_join_drops_unmatched() {
+        let res = inner_join(&train(), "k", &aug(), "k").unwrap();
+        let t = &res.table;
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.value(2, "y").unwrap(), Value::Int(3));
+        assert_eq!(t.value(2, "x").unwrap(), Value::Float(20.0));
+    }
+
+    #[test]
+    fn duplicate_right_keys_rejected() {
+        let bad = Table::builder("aug")
+            .push_str_column("k", vec!["a", "a"])
+            .push_float_column("x", vec![1.0, 2.0])
+            .build()
+            .unwrap();
+        let err = left_outer_join(&train(), "k", &bad, "k").unwrap_err();
+        assert!(matches!(err, TableError::DuplicateJoinKey(_)));
+    }
+
+    #[test]
+    fn null_left_keys_do_not_match() {
+        let left = Table::builder("train")
+            .push_value_column("k", DataType::Str, &[Value::from("a"), Value::Null])
+            .unwrap()
+            .push_int_column("y", vec![1, 2])
+            .build()
+            .unwrap();
+        let res = left_outer_join(&left, "k", &aug(), "k").unwrap();
+        assert_eq!(res.matched_rows, 1);
+        assert_eq!(res.table.value(1, "x").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn colliding_column_names_are_prefixed() {
+        let right = Table::builder("demo")
+            .push_str_column("k", vec!["a"])
+            .push_int_column("y", vec![99])
+            .build()
+            .unwrap();
+        let res = left_outer_join(&train(), "k", &right, "k").unwrap();
+        assert!(res.table.schema().contains("demo.y"));
+        assert_eq!(res.table.value(0, "demo.y").unwrap(), Value::Int(99));
+        assert_eq!(res.table.value(0, "y").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn missing_key_column_errors() {
+        assert!(left_outer_join(&train(), "missing", &aug(), "k").is_err());
+        assert!(inner_join(&train(), "k", &aug(), "missing").is_err());
+    }
+}

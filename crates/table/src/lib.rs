@@ -1,0 +1,48 @@
+//! In-memory relational substrate for `joinmi`.
+//!
+//! The paper's problem setting (Section III) is relational: a base table
+//! `Ttrain[K_Y, Y]`, a candidate table `Tcand[K_Z, Z]`, a group-by aggregation
+//! that turns the candidate into an augmentation table `Taug[K_X, X]`, and a
+//! left-outer many-to-one join that produces the augmented table whose columns
+//! `X` and `Y` we want the mutual information of. This crate implements that
+//! substrate from scratch:
+//!
+//! * typed [`Value`]s and [`Column`]s (integer, float, string, with NULLs),
+//! * [`Schema`]s and [`Table`]s with a builder API,
+//! * hash equi-joins — inner and left-outer ([`join`]),
+//! * group-by [`aggregate`]s (`AVG`, `SUM`, `COUNT`, `MIN`, `MAX`, `MODE`,
+//!   `MEDIAN`, `FIRST`),
+//! * the full join-aggregation query of Section III-B ([`augment`]),
+//! * CSV reading/writing and column type inference ([`csv`], [`infer`]) — the
+//!   role Tablesaw plays in the paper's real-data pipeline.
+//!
+//! Everything here computes *exact* results on materialized data; it is the
+//! ground truth that the sketches in `joinmi-sketch` approximate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod augment;
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod infer;
+pub mod join;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use aggregate::{group_by_aggregate, Aggregation};
+pub use augment::{augment, AugmentSpec};
+pub use column::{Column, ColumnBuilder};
+pub use csv::{read_csv_str, write_csv_string, CsvOptions};
+pub use error::TableError;
+pub use infer::{infer_column_type, parse_value};
+pub use join::{inner_join, left_outer_join, JoinResult};
+pub use schema::{Field, Schema};
+pub use table::{Table, TableBuilder};
+pub use value::{DataType, Value};
+
+/// Convenient result alias for table operations.
+pub type Result<T> = std::result::Result<T, TableError>;

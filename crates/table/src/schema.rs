@@ -1,0 +1,126 @@
+//! Table schemas.
+
+use std::fmt;
+
+use crate::value::DataType;
+
+/// A named, typed column slot in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column data type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Creates a new field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Self { name: name.into(), dtype }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.dtype)
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    #[must_use]
+    pub fn new(fields: Vec<Field>) -> Self {
+        Self { fields }
+    }
+
+    /// Returns the fields in order.
+    #[must_use]
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Returns `true` if the schema has no fields.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the field with the given name.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field with the given name.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// Returns `true` if a field with `name` exists.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// Appends a field (no duplicate check — the table builder enforces it).
+    pub fn push(&mut self, field: Field) {
+        self.fields.push(field);
+    }
+
+    /// Column names in order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::new(vec![
+            Field::new("zip", DataType::Str),
+            Field::new("trips", DataType::Int),
+        ]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.index_of("trips"), Some(1));
+        assert_eq!(s.field("zip").map(|f| f.dtype), Some(DataType::Str));
+        assert!(s.contains("zip"));
+        assert!(!s.contains("nope"));
+        assert_eq!(s.names(), vec!["zip", "trips"]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Schema::new(vec![Field::new("a", DataType::Int)]);
+        assert_eq!(s.to_string(), "[a: int]");
+    }
+}

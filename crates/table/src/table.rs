@@ -1,0 +1,350 @@
+//! Tables: named collections of equal-length columns.
+
+use std::fmt;
+
+use crate::column::{Column, ColumnBuilder};
+use crate::error::TableError;
+use crate::schema::{Field, Schema};
+use crate::value::{DataType, Value};
+use crate::Result;
+
+/// An in-memory table: a schema plus equal-length columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    nrows: usize,
+}
+
+impl Table {
+    /// Starts building a table with the given name.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> TableBuilder {
+        TableBuilder::new(name)
+    }
+
+    /// Creates a table directly from columns.
+    pub fn from_columns(
+        name: impl Into<String>,
+        columns: Vec<(String, Column)>,
+    ) -> Result<Self> {
+        let mut builder = TableBuilder::new(name);
+        for (col_name, col) in columns {
+            builder = builder.push_column(col_name, col);
+        }
+        builder.build()
+    }
+
+    /// Table name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Returns `true` if the table has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0
+    }
+
+    /// Returns the column with the given name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.schema
+            .index_of(name)
+            .map(|i| &self.columns[i])
+            .ok_or_else(|| TableError::ColumnNotFound {
+                table: self.name.clone(),
+                column: name.to_owned(),
+            })
+    }
+
+    /// Returns the column at the given index.
+    #[must_use]
+    pub fn column_at(&self, index: usize) -> &Column {
+        &self.columns[index]
+    }
+
+    /// All columns in schema order.
+    #[must_use]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Returns the value at (`row`, `column_name`).
+    pub fn value(&self, row: usize, column_name: &str) -> Result<Value> {
+        Ok(self.column(column_name)?.value(row))
+    }
+
+    /// Returns an entire row as values in schema order.
+    #[must_use]
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(row)).collect()
+    }
+
+    /// Creates a new table with only the named columns (in the given order).
+    pub fn select(&self, names: &[&str]) -> Result<Self> {
+        let mut builder = TableBuilder::new(self.name.clone());
+        for &name in names {
+            let col = self.column(name)?;
+            builder = builder.push_column(name, col.clone());
+        }
+        builder.build()
+    }
+
+    /// Creates a new table with the rows at `indices` (rows may repeat).
+    #[must_use]
+    pub fn take(&self, indices: &[usize]) -> Self {
+        let columns = self.columns.iter().map(|c| c.take(indices)).collect();
+        Self {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns,
+            nrows: indices.len(),
+        }
+    }
+
+    /// Creates a new table keeping the first `n` rows.
+    #[must_use]
+    pub fn head(&self, n: usize) -> Self {
+        let indices: Vec<usize> = (0..n.min(self.nrows)).collect();
+        self.take(&indices)
+    }
+
+    /// Renames the table.
+    #[must_use]
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Appends a column to the table (must have matching length).
+    pub fn with_column(mut self, name: impl Into<String>, column: Column) -> Result<Self> {
+        let name = name.into();
+        if self.schema.contains(&name) {
+            return Err(TableError::DuplicateColumn(name));
+        }
+        if column.len() != self.nrows {
+            return Err(TableError::LengthMismatch {
+                context: format!("column `{name}` of table `{}`", self.name),
+                expected: self.nrows,
+                actual: column.len(),
+            });
+        }
+        self.schema.push(Field::new(name, column.dtype()));
+        self.columns.push(column);
+        Ok(self)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} {} ({} rows)", self.name, self.schema, self.nrows)?;
+        let preview = self.nrows.min(10);
+        for row in 0..preview {
+            let cells: Vec<String> = self.columns.iter().map(|c| c.value(row).to_string()).collect();
+            writeln!(f, "  {}", cells.join(" | "))?;
+        }
+        if self.nrows > preview {
+            writeln!(f, "  … {} more rows", self.nrows - preview)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Table`].
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+}
+
+impl TableBuilder {
+    /// Creates a builder for a table with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), schema: Schema::default(), columns: Vec::new() }
+    }
+
+    /// Adds an already-built column.
+    #[must_use]
+    pub fn push_column(mut self, name: impl Into<String>, column: Column) -> Self {
+        self.schema.push(Field::new(name, column.dtype()));
+        self.columns.push(column);
+        self
+    }
+
+    /// Adds an integer column from plain values.
+    #[must_use]
+    pub fn push_int_column<I: IntoIterator<Item = i64>>(self, name: &str, values: I) -> Self {
+        self.push_column(name, Column::from_ints(values))
+    }
+
+    /// Adds a float column from plain values.
+    #[must_use]
+    pub fn push_float_column<I: IntoIterator<Item = f64>>(self, name: &str, values: I) -> Self {
+        self.push_column(name, Column::from_floats(values))
+    }
+
+    /// Adds a string column from plain values.
+    #[must_use]
+    pub fn push_str_column<I, S>(self, name: &str, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.push_column(name, Column::from_strs(values))
+    }
+
+    /// Adds a column of generic values with an explicit type.
+    pub fn push_value_column(
+        mut self,
+        name: &str,
+        dtype: DataType,
+        values: &[Value],
+    ) -> Result<Self> {
+        let mut b = ColumnBuilder::new(dtype);
+        for v in values {
+            b.push_value(v.clone())?;
+        }
+        self.schema.push(Field::new(name, dtype));
+        self.columns.push(b.finish());
+        Ok(self)
+    }
+
+    /// Finishes the table, validating name uniqueness and column lengths.
+    pub fn build(self) -> Result<Table> {
+        // Duplicate column names.
+        for (i, field) in self.schema.fields().iter().enumerate() {
+            if self.schema.fields()[..i].iter().any(|f| f.name == field.name) {
+                return Err(TableError::DuplicateColumn(field.name.clone()));
+            }
+        }
+        // Consistent lengths.
+        let nrows = self.columns.first().map_or(0, Column::len);
+        for (field, col) in self.schema.fields().iter().zip(&self.columns) {
+            if col.len() != nrows {
+                return Err(TableError::LengthMismatch {
+                    context: format!("column `{}` of table `{}`", field.name, self.name),
+                    expected: nrows,
+                    actual: col.len(),
+                });
+            }
+        }
+        Ok(Table { name: self.name, schema: self.schema, columns: self.columns, nrows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn taxi() -> Table {
+        Table::builder("taxi")
+            .push_str_column("zip", vec!["11201", "10011", "11201"])
+            .push_int_column("trips", vec![136, 112, 140])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let t = taxi();
+        assert_eq!(t.name(), "taxi");
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.value(0, "zip").unwrap(), Value::from("11201"));
+        assert_eq!(t.value(2, "trips").unwrap(), Value::Int(140));
+        assert_eq!(t.row(1), vec![Value::from("10011"), Value::Int(112)]);
+        assert!(t.column("missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = Table::builder("t")
+            .push_int_column("a", vec![1])
+            .push_int_column("a", vec![2])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TableError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let err = Table::builder("t")
+            .push_int_column("a", vec![1, 2])
+            .push_int_column("b", vec![1])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TableError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn select_take_head() {
+        let t = taxi();
+        let s = t.select(&["trips"]).unwrap();
+        assert_eq!(s.num_columns(), 1);
+        assert_eq!(s.num_rows(), 3);
+
+        let taken = t.take(&[2, 2, 0]);
+        assert_eq!(taken.num_rows(), 3);
+        assert_eq!(taken.value(0, "trips").unwrap(), Value::Int(140));
+        assert_eq!(taken.value(2, "zip").unwrap(), Value::from("11201"));
+
+        assert_eq!(t.head(2).num_rows(), 2);
+        assert_eq!(t.head(100).num_rows(), 3);
+    }
+
+    #[test]
+    fn with_column_checks_length_and_duplicates() {
+        let t = taxi();
+        let ok = t.clone().with_column("extra", Column::from_ints([1, 2, 3])).unwrap();
+        assert_eq!(ok.num_columns(), 3);
+
+        assert!(t.clone().with_column("zip", Column::from_ints([1, 2, 3])).is_err());
+        assert!(t.with_column("extra", Column::from_ints([1])).is_err());
+    }
+
+    #[test]
+    fn display_does_not_panic() {
+        let t = taxi();
+        let s = format!("{t}");
+        assert!(s.contains("taxi"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::builder("empty").build().unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.num_rows(), 0);
+    }
+
+    #[test]
+    fn push_value_column_with_nulls() {
+        let t = Table::builder("t")
+            .push_value_column("v", DataType::Float, &[Value::Int(1), Value::Null, Value::Float(0.5)])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(t.column("v").unwrap().null_count(), 1);
+        assert_eq!(t.value(0, "v").unwrap(), Value::Float(1.0));
+    }
+}

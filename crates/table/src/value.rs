@@ -1,0 +1,345 @@
+//! Scalar values and data types.
+//!
+//! The paper distinguishes *discrete* (categorical, represented as strings)
+//! from *continuous* (numerical) attributes, and additionally considers
+//! *mixture* attributes — numerical columns with repeated values produced by
+//! many-to-one joins (Section II, "Data Types"). At the storage level we keep
+//! three physical types: 64-bit integers, 64-bit floats, and strings; NULL is
+//! represented explicitly.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use joinmi_hash::{KeyHash, KeyHasher};
+
+/// Physical data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string (categorical).
+    Str,
+}
+
+impl DataType {
+    /// Returns `true` if the type is numeric (int or float).
+    #[must_use]
+    pub fn is_numeric(self) -> bool {
+        matches!(self, Self::Int | Self::Float)
+    }
+
+    /// Short lowercase name, used in error messages and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Int => "int",
+            Self::Float => "float",
+            Self::Str => "str",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single scalar value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Missing value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the data type of the value, or `None` for NULL.
+    #[must_use]
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            Self::Null => None,
+            Self::Int(_) => Some(DataType::Int),
+            Self::Float(_) => Some(DataType::Float),
+            Self::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// Returns `true` if the value is NULL.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Self::Null)
+    }
+
+    /// Returns the value as a float if it is numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Int(v) => Some(*v as f64),
+            Self::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an integer if it is an `Int`.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Self::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a string slice if it is a `Str`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Hashes the value with the given [`KeyHasher`] (used for join keys).
+    #[must_use]
+    pub fn key_hash(&self, hasher: &KeyHasher) -> KeyHash {
+        match self {
+            Self::Null => hasher.hash_null(),
+            Self::Int(v) => hasher.hash_int(*v),
+            Self::Float(v) => hasher.hash_float(*v),
+            Self::Str(s) => hasher.hash_str(s),
+        }
+    }
+
+    /// Canonical bit pattern for floats so that `Eq`/`Hash` are consistent:
+    /// all NaNs collapse to one pattern and `-0.0 == +0.0`.
+    fn canonical_float_bits(v: f64) -> u64 {
+        if v.is_nan() {
+            f64::NAN.to_bits()
+        } else if v == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            v.to_bits()
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Self::Null, Self::Null) => true,
+            (Self::Int(a), Self::Int(b)) => a == b,
+            (Self::Float(a), Self::Float(b)) => {
+                Self::canonical_float_bits(*a) == Self::canonical_float_bits(*b)
+            }
+            (Self::Str(a), Self::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Self::Null => 0u8.hash(state),
+            Self::Int(v) => {
+                1u8.hash(state);
+                v.hash(state);
+            }
+            Self::Float(v) => {
+                2u8.hash(state);
+                Self::canonical_float_bits(*v).hash(state);
+            }
+            Self::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: NULL < Int/Float (by numeric value) < Str (lexicographic).
+    /// Mixed int/float compare numerically; NaN sorts above all other floats.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::{Float, Int, Null, Str};
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(a), Float(b)) => cmp_f64(*a as f64, *b),
+            (Float(a), Int(b)) => cmp_f64(*a, *b as f64),
+            (Float(a), Float(b)) => cmp_f64(*a, *b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Str(_), _) => Ordering::Greater,
+            (_, Str(_)) => Ordering::Less,
+        }
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or_else(|| {
+        // NaN handling: NaN == NaN, NaN > everything else.
+        match (a.is_nan(), b.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => unreachable!("partial_cmp only fails on NaN"),
+        }
+    })
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Null => f.write_str(""),
+            Self::Int(v) => write!(f, "{v}"),
+            Self::Float(v) => write!(f, "{v}"),
+            Self::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Self::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Self::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Self::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn dtype_and_predicates() {
+        assert_eq!(Value::Int(1).dtype(), Some(DataType::Int));
+        assert_eq!(Value::Float(1.0).dtype(), Some(DataType::Float));
+        assert_eq!(Value::from("a").dtype(), Some(DataType::Str));
+        assert_eq!(Value::Null.dtype(), None);
+        assert!(Value::Null.is_null());
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+    }
+
+    #[test]
+    fn numeric_accessors() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("x").as_f64(), None);
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::Float(3.0).as_i64(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+    }
+
+    #[test]
+    fn float_equality_is_canonical() {
+        assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_ne!(Value::Float(1.0), Value::Int(1));
+    }
+
+    #[test]
+    fn hashable_as_group_key() {
+        let mut groups: HashMap<Value, usize> = HashMap::new();
+        *groups.entry(Value::Float(0.0)).or_default() += 1;
+        *groups.entry(Value::Float(-0.0)).or_default() += 1;
+        *groups.entry(Value::from("a")).or_default() += 1;
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[&Value::Float(0.0)], 2);
+    }
+
+    #[test]
+    fn total_order() {
+        let mut vals = vec![
+            Value::from("b"),
+            Value::Int(2),
+            Value::Null,
+            Value::Float(1.5),
+            Value::from("a"),
+            Value::Int(1),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Int(1),
+                Value::Float(1.5),
+                Value::Int(2),
+                Value::from("a"),
+                Value::from("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nan_sorts_last_among_numbers() {
+        let mut vals = vec![Value::Float(f64::NAN), Value::Float(1.0), Value::Float(-1.0)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Float(-1.0));
+        assert_eq!(vals[1], Value::Float(1.0));
+        assert!(matches!(vals[2], Value::Float(v) if v.is_nan()));
+    }
+
+    #[test]
+    fn display_round_trips_simple_values() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::from("hi").to_string(), "hi");
+        assert_eq!(Value::Null.to_string(), "");
+    }
+
+    #[test]
+    fn key_hash_distinguishes_types() {
+        let h = KeyHasher::default_64();
+        assert_ne!(Value::Int(1).key_hash(&h), Value::from("1").key_hash(&h));
+        assert_eq!(Value::Int(7).key_hash(&h), Value::Int(7).key_hash(&h));
+    }
+
+    #[test]
+    fn from_option() {
+        assert_eq!(Value::from(Some(3i64)), Value::Int(3));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+    }
+}

@@ -1,0 +1,62 @@
+//! Compare the MI estimators (MLE, MixedKSG, DC-KSG) against analytically
+//! known mutual information, at full-data and sketch-sized samples —
+//! a miniature version of the paper's Section V-B study.
+//!
+//! Run with: `cargo run --example estimator_comparison --release`
+
+use joinmi::estimators::{dc_ksg_mi, discretize, mixed_ksg_mi, mle_mi, perturb_ties};
+use joinmi::prelude::*;
+use joinmi::table::Value;
+
+fn to_f64(values: &[Value]) -> Vec<f64> {
+    values.iter().map(|v| v.as_f64().expect("numeric")).collect()
+}
+
+fn estimate_all(xs: &[Value], ys: &[Value]) -> (f64, f64, f64) {
+    let x_codes = discretize(xs);
+    let y_codes = discretize(ys);
+    let xf = to_f64(xs);
+    let yf = to_f64(ys);
+    let mle = mle_mi(&x_codes, &y_codes).unwrap_or(f64::NAN);
+    let mixed = mixed_ksg_mi(&xf, &yf, 3).unwrap_or(f64::NAN);
+    let dc = dc_ksg_mi(&x_codes, &perturb_ties(&yf, 1e-9, 1), 3).unwrap_or(f64::NAN);
+    (mle, mixed, dc)
+}
+
+fn main() {
+    println!("Trinomial benchmark (both variables are discrete counts)");
+    println!(
+        "{:>6} {:>10} {:>8} | {:>8} {:>10} {:>8}",
+        "m", "true MI", "N", "MLE", "MixedKSG", "DC-KSG"
+    );
+    for (m, n) in [(16u32, 10_000usize), (64, 10_000), (256, 10_000), (256, 256), (1024, 256)] {
+        let gen = TrinomialConfig::with_random_target(m, 3.0, u64::from(m) + n as u64);
+        let data = gen.generate(n, 7);
+        let (mle, mixed, dc) = estimate_all(&data.xs, &data.ys);
+        println!(
+            "{:>6} {:>10.3} {:>8} | {:>8.3} {:>10.3} {:>8.3}",
+            m, data.true_mi, n, mle, mixed, dc
+        );
+    }
+
+    println!("\nCDUnif benchmark (X discrete, Y continuous; MLE not applicable)");
+    println!(
+        "{:>6} {:>10} {:>8} | {:>10} {:>8}",
+        "m", "true MI", "N", "MixedKSG", "DC-KSG"
+    );
+    for (m, n) in [(4u32, 10_000usize), (32, 10_000), (256, 10_000), (32, 256), (256, 256)] {
+        let gen = CdUnifConfig::new(m);
+        let data = gen.generate(n, 13);
+        let xf = to_f64(&data.xs);
+        let yf = to_f64(&data.ys);
+        let mixed = mixed_ksg_mi(&xf, &yf, 3).unwrap_or(f64::NAN);
+        let dc = dc_ksg_mi(&discretize(&data.xs), &yf, 3).unwrap_or(f64::NAN);
+        println!("{:>6} {:>10.3} {:>8} | {:>10.3} {:>8.3}", m, data.true_mi, n, mixed, dc);
+    }
+
+    println!(
+        "\nTakeaways (matching Section V-B): with N = 10k all estimators track the truth; \
+         with sketch-sized samples (N = 256) the MLE over-estimates — increasingly so as m \
+         grows — while the KSG-family estimators degrade more gracefully until m approaches N."
+    );
+}
