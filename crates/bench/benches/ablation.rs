@@ -20,7 +20,9 @@ fn bench_sketch_size_sweep(c: &mut Criterion) {
     for n in [64usize, 256, 1024, 4096] {
         let cfg = SketchConfig::new(n, 3);
         group.bench_with_input(BenchmarkId::new("tupsk_query", n), &n, |b, _| {
-            let left = SketchKind::Tupsk.build_left(&pair.train, "key", "y", &cfg).expect("left");
+            let left = SketchKind::Tupsk
+                .build_left(&pair.train, "key", "y", &cfg)
+                .expect("left");
             let right = SketchKind::Tupsk
                 .build_right(&pair.cand, "key", "x", pair.aggregation, &cfg)
                 .expect("right");
@@ -38,15 +40,22 @@ fn bench_sketch_size_sweep(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     let cfg = SketchConfig::new(1024, 3);
     for kind in SketchKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            let left = kind.build_left(&pair.train, "key", "y", &cfg).expect("left");
-            let right =
-                kind.build_right(&pair.cand, "key", "x", pair.aggregation, &cfg).expect("right");
-            b.iter(|| {
-                let joined = left.join(&right);
-                black_box(joined.estimate_mi().map(|e| e.mi).unwrap_or(f64::NAN))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                let left = kind
+                    .build_left(&pair.train, "key", "y", &cfg)
+                    .expect("left");
+                let right = kind
+                    .build_right(&pair.cand, "key", "x", pair.aggregation, &cfg)
+                    .expect("right");
+                b.iter(|| {
+                    let joined = left.join(&right);
+                    black_box(joined.estimate_mi().map(|e| e.mi).unwrap_or(f64::NAN))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -21,7 +21,12 @@ fn bench_estimators(c: &mut Criterion) {
         let x_codes = discretize(&data.xs);
         let y_codes = discretize(&data.ys);
         let xf: Vec<f64> = data.xs.iter().map(|v| v.as_f64().unwrap()).collect();
-        let yf: Vec<f64> = data.ys.iter().map(Value::as_f64).map(Option::unwrap).collect();
+        let yf: Vec<f64> = data
+            .ys
+            .iter()
+            .map(Value::as_f64)
+            .map(Option::unwrap)
+            .collect();
 
         group.bench_with_input(BenchmarkId::new("MLE", n), &n, |b, _| {
             b.iter(|| black_box(mle_mi(&x_codes, &y_codes).unwrap()));

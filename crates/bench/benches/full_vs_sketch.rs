@@ -33,38 +33,56 @@ fn bench_full_vs_sketch(c: &mut Criterion) {
             .build_left(&pair.train, &pair.key_column, &pair.target_column, &cfg)
             .expect("left sketch");
         let right = SketchKind::Tupsk
-            .build_right(&pair.cand, &pair.key_column, &pair.feature_column, pair.aggregation, &cfg)
+            .build_right(
+                &pair.cand,
+                &pair.key_column,
+                &pair.feature_column,
+                pair.aggregation,
+                &cfg,
+            )
             .expect("right sketch");
 
-        group.bench_with_input(BenchmarkId::new("full_join_and_estimate", rows), &rows, |b, _| {
-            b.iter(|| {
-                let joined = augment(&pair.train, &pair.cand, &spec).expect("full join");
-                let feature = spec.feature_column_name();
-                let xs: Vec<_> = (0..joined.table.num_rows())
-                    .map(|i| joined.table.value(i, &feature).expect("column"))
-                    .collect();
-                let ys: Vec<_> = (0..joined.table.num_rows())
-                    .map(|i| joined.table.value(i, &pair.target_column).expect("column"))
-                    .collect();
-                black_box(EstimatorMode::Mle.estimate(&xs, &ys, 0))
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("sketch_join_and_estimate", rows), &rows, |b, _| {
-            b.iter(|| {
-                let joined = left.join(&right);
-                black_box(EstimatorMode::Mle.estimate(joined.xs(), joined.ys(), 0))
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("sketch_build_offline", rows), &rows, |b, _| {
-            b.iter(|| {
-                black_box(
-                    SketchKind::Tupsk
-                        .build_left(&pair.train, &pair.key_column, &pair.target_column, &cfg)
-                        .expect("sketch")
-                        .len(),
-                )
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("full_join_and_estimate", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    let joined = augment(&pair.train, &pair.cand, &spec).expect("full join");
+                    let feature = spec.feature_column_name();
+                    let xs: Vec<_> = (0..joined.table.num_rows())
+                        .map(|i| joined.table.value(i, &feature).expect("column"))
+                        .collect();
+                    let ys: Vec<_> = (0..joined.table.num_rows())
+                        .map(|i| joined.table.value(i, &pair.target_column).expect("column"))
+                        .collect();
+                    black_box(EstimatorMode::Mle.estimate(&xs, &ys, 0))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sketch_join_and_estimate", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    let joined = left.join(&right);
+                    black_box(EstimatorMode::Mle.estimate(joined.xs(), joined.ys(), 0))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sketch_build_offline", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        SketchKind::Tupsk
+                            .build_left(&pair.train, &pair.key_column, &pair.target_column, &cfg)
+                            .expect("sketch")
+                            .len(),
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -18,14 +18,18 @@ fn bench_sketch_build(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     for kind in SketchKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let sketch = kind
-                    .build_left(&workload.pair.train, "key", "y", &cfg)
-                    .expect("sketch build");
-                black_box(sketch.len())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let sketch = kind
+                        .build_left(&workload.pair.train, "key", "y", &cfg)
+                        .expect("sketch build");
+                    black_box(sketch.len())
+                });
+            },
+        );
     }
     group.finish();
 
@@ -34,14 +38,24 @@ fn bench_sketch_build(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     for kind in SketchKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let sketch = kind
-                    .build_right(&workload.pair.cand, "key", "x", workload.pair.aggregation, &cfg)
-                    .expect("sketch build");
-                black_box(sketch.len())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let sketch = kind
+                        .build_right(
+                            &workload.pair.cand,
+                            "key",
+                            "x",
+                            workload.pair.aggregation,
+                            &cfg,
+                        )
+                        .expect("sketch build");
+                    black_box(sketch.len())
+                });
+            },
+        );
     }
     group.finish();
 }

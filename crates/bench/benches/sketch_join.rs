@@ -22,7 +22,13 @@ fn bench_sketch_join(c: &mut Criterion) {
             .build_left(&workload.pair.train, "key", "y", &cfg)
             .expect("left sketch");
         let right = SketchKind::Tupsk
-            .build_right(&workload.pair.cand, "key", "x", workload.pair.aggregation, &cfg)
+            .build_right(
+                &workload.pair.cand,
+                "key",
+                "x",
+                workload.pair.aggregation,
+                &cfg,
+            )
             .expect("right sketch");
 
         group.bench_with_input(BenchmarkId::new("join_only", n), &n, |b, _| {

@@ -17,8 +17,8 @@ fn bench_table_ops(c: &mut Criterion) {
 
     for rows in [5_000usize, 20_000] {
         let workload = trinomial_workload(rows, KeyDistribution::KeyDep, 2);
-        let aggregated =
-            group_by_aggregate(&workload.pair.cand, "key", "x", Aggregation::Avg).expect("group by");
+        let aggregated = group_by_aggregate(&workload.pair.cand, "key", "x", Aggregation::Avg)
+            .expect("group by");
 
         group.bench_with_input(BenchmarkId::new("group_by_avg", rows), &rows, |b, _| {
             b.iter(|| {

@@ -30,7 +30,12 @@ pub fn trinomial_workload(rows: usize, key_dist: KeyDistribution, seed: u64) -> 
     let gen = TrinomialConfig::new(256, 0.4, 0.35);
     let data = gen.generate(rows, seed);
     let pair = decompose(&data.xs, &data.ys, key_dist);
-    Workload { xs: data.xs, ys: data.ys, pair, true_mi: data.true_mi }
+    Workload {
+        xs: data.xs,
+        ys: data.ys,
+        pair,
+        true_mi: data.true_mi,
+    }
 }
 
 /// The table sizes used by the §V-D performance comparison.

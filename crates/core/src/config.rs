@@ -75,6 +75,9 @@ mod tests {
         let b = SketchConfig::new(64, 2);
         let key = a.key_hasher().hash_str("x");
         assert_eq!(key, b.key_hasher().hash_str("x"));
-        assert_ne!(a.unit_hasher().unit(key.raw()), b.unit_hasher().unit(key.raw()));
+        assert_ne!(
+            a.unit_hasher().unit(key.raw()),
+            b.unit_hasher().unit(key.raw())
+        );
     }
 }

@@ -22,7 +22,12 @@ use crate::Result;
 
 /// Builds a CSK sketch of the base table: KMV over distinct keys, first value
 /// seen per key.
-pub fn build_left(table: &Table, key: &str, value: &str, cfg: &SketchConfig) -> Result<ColumnSketch> {
+pub fn build_left(
+    table: &Table,
+    key: &str,
+    value: &str,
+    cfg: &SketchConfig,
+) -> Result<ColumnSketch> {
     let hasher = cfg.key_hasher();
     let unit = cfg.unit_hasher();
     let prep = prepare_left(table, key, value, &hasher)?;
@@ -31,7 +36,10 @@ pub fn build_left(table: &Table, key: &str, value: &str, cfg: &SketchConfig) -> 
     let mut set = BoundedMinSet::new(cfg.size);
     for (digest, val) in &prep.rows {
         if seen.insert(digest.raw()) {
-            set.offer(unit.digest(digest.raw()), SketchRow::new(*digest, val.clone()));
+            set.offer(
+                unit.digest(digest.raw()),
+                SketchRow::new(*digest, val.clone()),
+            );
         }
     }
     let rows: Vec<SketchRow> = set.into_sorted().into_iter().map(|(_, row)| row).collect();
@@ -67,7 +75,10 @@ pub fn build_right(
 
     let mut set = BoundedMinSet::new(cfg.size);
     for (digest, val) in &prep.rows {
-        set.offer(unit.digest(digest.raw()), SketchRow::new(*digest, val.clone()));
+        set.offer(
+            unit.digest(digest.raw()),
+            SketchRow::new(*digest, val.clone()),
+        );
     }
     let rows: Vec<SketchRow> = set.into_sorted().into_iter().map(|(_, row)| row).collect();
     Ok(ColumnSketch::new(
@@ -99,8 +110,20 @@ mod tests {
         let hasher = cfg.key_hasher();
         let a = Value::from("a").key_hash(&hasher);
         let b = Value::from("b").key_hash(&hasher);
-        let a_val = sketch.rows().iter().find(|r| r.key == a).unwrap().value.clone();
-        let b_val = sketch.rows().iter().find(|r| r.key == b).unwrap().value.clone();
+        let a_val = sketch
+            .rows()
+            .iter()
+            .find(|r| r.key == a)
+            .unwrap()
+            .value
+            .clone();
+        let b_val = sketch
+            .rows()
+            .iter()
+            .find(|r| r.key == b)
+            .unwrap()
+            .value
+            .clone();
         assert_eq!(a_val, Value::Int(10));
         assert_eq!(b_val, Value::Int(30));
     }

@@ -23,11 +23,16 @@ use crate::Result;
 
 /// Builds an INDSK sketch of the base table (independent Bernoulli row
 /// sample with expected size `n`).
-pub fn build_left(table: &Table, key: &str, value: &str, cfg: &SketchConfig) -> Result<ColumnSketch> {
+pub fn build_left(
+    table: &Table,
+    key: &str,
+    value: &str,
+    cfg: &SketchConfig,
+) -> Result<ColumnSketch> {
     let hasher = cfg.key_hasher();
     let prep = prepare_left(table, key, value, &hasher)?;
     let p = sampling_probability(cfg.size, prep.n_rows);
-    let mut rng = StdRng::seed_from_u64(SplitMix64::derive_seed(cfg.seed, 0xA11C_E));
+    let mut rng = StdRng::seed_from_u64(SplitMix64::derive_seed(cfg.seed, 0xA11CE));
     let rows: Vec<SketchRow> = prep
         .rows
         .iter()
@@ -133,8 +138,16 @@ mod tests {
         let tup_join = crate::tupsk::build_left(&train, "k", "y", &cfg)
             .unwrap()
             .join(&crate::tupsk::build_right(&cand, "k", "z", Aggregation::Avg, &cfg).unwrap());
-        assert!(ind_join.len() < 40, "INDSK join unexpectedly large: {}", ind_join.len());
-        assert!(tup_join.len() > 200, "TUPSK join unexpectedly small: {}", tup_join.len());
+        assert!(
+            ind_join.len() < 40,
+            "INDSK join unexpectedly large: {}",
+            ind_join.len()
+        );
+        assert!(
+            tup_join.len() > 200,
+            "TUPSK join unexpectedly small: {}",
+            tup_join.len()
+        );
     }
 
     #[test]

@@ -48,7 +48,12 @@ impl JoinedSketch {
                 ys.push(row.value.clone());
             }
         }
-        Self { xs, ys, x_dtype: right.value_dtype(), y_dtype: left.value_dtype() }
+        Self {
+            xs,
+            ys,
+            x_dtype: right.value_dtype(),
+            y_dtype: left.value_dtype(),
+        }
     }
 
     /// Builds a joined sample directly from paired value columns (used for
@@ -67,7 +72,12 @@ impl JoinedSketch {
             .zip(ys)
             .filter(|(x, y)| !x.is_null() && !y.is_null())
             .unzip();
-        Self { xs, ys, x_dtype, y_dtype }
+        Self {
+            xs,
+            ys,
+            x_dtype,
+            y_dtype,
+        }
     }
 
     /// Number of recovered pairs (the paper's "sketch join size").
@@ -174,7 +184,9 @@ mod tests {
         ColumnSketch::new(
             SketchKind::Tupsk,
             side,
-            rows.into_iter().map(|(k, v)| SketchRow::new(KeyHash(k), v)).collect(),
+            rows.into_iter()
+                .map(|(k, v)| SketchRow::new(KeyHash(k), v))
+                .collect(),
             dtype,
             100,
             10,
@@ -187,24 +199,46 @@ mod tests {
         let left = sketch(
             Side::Left,
             DataType::Int,
-            vec![(1, Value::Int(10)), (1, Value::Int(11)), (2, Value::Int(20)), (9, Value::Int(90))],
+            vec![
+                (1, Value::Int(10)),
+                (1, Value::Int(11)),
+                (2, Value::Int(20)),
+                (9, Value::Int(90)),
+            ],
         );
         let right = sketch(
             Side::Right,
             DataType::Float,
-            vec![(1, Value::Float(0.5)), (2, Value::Float(0.7)), (3, Value::Float(0.9))],
+            vec![
+                (1, Value::Float(0.5)),
+                (2, Value::Float(0.7)),
+                (3, Value::Float(0.9)),
+            ],
         );
         let joined = left.join(&right);
         assert_eq!(joined.len(), 3);
-        assert_eq!(joined.ys(), &[Value::Int(10), Value::Int(11), Value::Int(20)]);
-        assert_eq!(joined.xs(), &[Value::Float(0.5), Value::Float(0.5), Value::Float(0.7)]);
+        assert_eq!(
+            joined.ys(),
+            &[Value::Int(10), Value::Int(11), Value::Int(20)]
+        );
+        assert_eq!(
+            joined.xs(),
+            &[Value::Float(0.5), Value::Float(0.5), Value::Float(0.7)]
+        );
     }
 
     #[test]
     fn null_values_are_dropped_from_pairs() {
-        let left = sketch(Side::Left, DataType::Int, vec![(1, Value::Null), (2, Value::Int(2))]);
-        let right =
-            sketch(Side::Right, DataType::Float, vec![(1, Value::Float(1.0)), (2, Value::Float(2.0))]);
+        let left = sketch(
+            Side::Left,
+            DataType::Int,
+            vec![(1, Value::Null), (2, Value::Int(2))],
+        );
+        let right = sketch(
+            Side::Right,
+            DataType::Float,
+            vec![(1, Value::Float(1.0)), (2, Value::Float(2.0))],
+        );
         let joined = left.join(&right);
         assert_eq!(joined.len(), 1);
     }
@@ -213,20 +247,33 @@ mod tests {
     fn estimate_mi_selects_by_type() {
         // Numeric-numeric → MixedKSG; string-string → MLE.
         let n = 64u64;
-        let left_rows: Vec<(u64, Value)> = (0..n).map(|i| (i, Value::Int((i % 8) as i64))).collect();
-        let right_rows: Vec<(u64, Value)> =
-            (0..n).map(|i| (i, Value::Float((i % 8) as f64 * 2.0))).collect();
-        let joined = sketch(Side::Left, DataType::Int, left_rows.clone())
-            .join(&sketch(Side::Right, DataType::Float, right_rows));
-        assert_eq!(joined.selected_estimator().unwrap(), EstimatorKind::MixedKsg);
+        let left_rows: Vec<(u64, Value)> =
+            (0..n).map(|i| (i, Value::Int((i % 8) as i64))).collect();
+        let right_rows: Vec<(u64, Value)> = (0..n)
+            .map(|i| (i, Value::Float((i % 8) as f64 * 2.0)))
+            .collect();
+        let joined = sketch(Side::Left, DataType::Int, left_rows.clone()).join(&sketch(
+            Side::Right,
+            DataType::Float,
+            right_rows,
+        ));
+        assert_eq!(
+            joined.selected_estimator().unwrap(),
+            EstimatorKind::MixedKsg
+        );
         assert!(joined.estimate_mi().unwrap().mi > 0.5);
 
-        let right_str: Vec<(u64, Value)> =
-            (0..n).map(|i| (i, Value::from(format!("cat{}", i % 8)))).collect();
-        let left_str: Vec<(u64, Value)> =
-            (0..n).map(|i| (i, Value::from(format!("tag{}", i % 8)))).collect();
-        let joined = sketch(Side::Left, DataType::Str, left_str)
-            .join(&sketch(Side::Right, DataType::Str, right_str));
+        let right_str: Vec<(u64, Value)> = (0..n)
+            .map(|i| (i, Value::from(format!("cat{}", i % 8))))
+            .collect();
+        let left_str: Vec<(u64, Value)> = (0..n)
+            .map(|i| (i, Value::from(format!("tag{}", i % 8))))
+            .collect();
+        let joined = sketch(Side::Left, DataType::Str, left_str).join(&sketch(
+            Side::Right,
+            DataType::Str,
+            right_str,
+        ));
         assert_eq!(joined.selected_estimator().unwrap(), EstimatorKind::Mle);
         let est = joined.estimate_mi().unwrap();
         assert_eq!(est.estimator, EstimatorKind::Mle);
@@ -235,8 +282,20 @@ mod tests {
 
     #[test]
     fn from_pairs_filters_nulls_and_estimates() {
-        let xs = vec![Value::Float(1.0), Value::Null, Value::Float(3.0), Value::Float(4.0), Value::Float(5.0)];
-        let ys = vec![Value::Int(1), Value::Int(2), Value::Int(3), Value::Null, Value::Int(5)];
+        let xs = vec![
+            Value::Float(1.0),
+            Value::Null,
+            Value::Float(3.0),
+            Value::Float(4.0),
+            Value::Float(5.0),
+        ];
+        let ys = vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(3),
+            Value::Null,
+            Value::Int(5),
+        ];
         let j = JoinedSketch::from_pairs(xs, ys, DataType::Float, DataType::Int);
         assert_eq!(j.len(), 3);
         assert!(j.estimate_pearson().unwrap() > 0.99);

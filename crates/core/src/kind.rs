@@ -27,7 +27,13 @@ pub enum SketchKind {
 
 impl SketchKind {
     /// All strategies, in the order used by the paper's tables.
-    pub const ALL: [Self; 5] = [Self::Csk, Self::Indsk, Self::Lv2sk, Self::Prisk, Self::Tupsk];
+    pub const ALL: [Self; 5] = [
+        Self::Csk,
+        Self::Indsk,
+        Self::Lv2sk,
+        Self::Prisk,
+        Self::Tupsk,
+    ];
 
     /// The strategies compared on real data in Table II.
     pub const TABLE2: [Self; 3] = [Self::Lv2sk, Self::Prisk, Self::Tupsk];
@@ -127,13 +133,19 @@ mod tests {
         let cfg = SketchConfig::new(8, 1);
         for kind in SketchKind::ALL {
             let left = kind.build_left(&train, "k", "y", &cfg).unwrap();
-            let right = kind.build_right(&cand, "k", "z", Aggregation::Avg, &cfg).unwrap();
+            let right = kind
+                .build_right(&cand, "k", "z", Aggregation::Avg, &cfg)
+                .unwrap();
             assert_eq!(left.kind(), kind);
             assert_eq!(right.kind(), kind);
             let joined = left.join(&right);
             assert!(joined.len() <= 6, "{kind}: {}", joined.len());
             if kind != SketchKind::Indsk {
-                assert!(joined.len() >= 5, "{kind}: join too small ({})", joined.len());
+                assert!(
+                    joined.len() >= 5,
+                    "{kind}: join too small ({})",
+                    joined.len()
+                );
             }
         }
     }

@@ -48,7 +48,10 @@ impl<T> BoundedMinSet<T> {
     /// Creates a set that keeps at most `capacity` items.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        Self { capacity, heap: BinaryHeap::with_capacity(capacity + 1) }
+        Self {
+            capacity,
+            heap: BinaryHeap::with_capacity(capacity + 1),
+        }
     }
 
     /// Offers an item; it is kept if the set is not full or if its digest is
@@ -95,8 +98,11 @@ impl<T> BoundedMinSet<T> {
     /// (ascending).
     #[must_use]
     pub fn into_sorted(self) -> Vec<(u64, T)> {
-        let mut items: Vec<(u64, T)> =
-            self.heap.into_iter().map(|i| (i.digest, i.payload)).collect();
+        let mut items: Vec<(u64, T)> = self
+            .heap
+            .into_iter()
+            .map(|i| (i.digest, i.payload))
+            .collect();
         items.sort_by_key(|(d, _)| *d);
         items
     }
@@ -113,7 +119,10 @@ mod tests {
             set.offer(d, d * 100);
         }
         let kept = set.into_sorted();
-        assert_eq!(kept.iter().map(|(d, _)| *d).collect::<Vec<_>>(), vec![5, 10, 20]);
+        assert_eq!(
+            kept.iter().map(|(d, _)| *d).collect::<Vec<_>>(),
+            vec![5, 10, 20]
+        );
         assert_eq!(kept[0].1, 500);
     }
 

@@ -38,7 +38,12 @@ pub fn per_key_quota(n: usize, count: usize, total: usize) -> usize {
 }
 
 /// Builds an LV2SK sketch of the base table's `(key, target)` pair.
-pub fn build_left(table: &Table, key: &str, value: &str, cfg: &SketchConfig) -> Result<ColumnSketch> {
+pub fn build_left(
+    table: &Table,
+    key: &str,
+    value: &str,
+    cfg: &SketchConfig,
+) -> Result<ColumnSketch> {
     let hasher = cfg.key_hasher();
     let prep = prepare_left(table, key, value, &hasher)?;
     let rows = sample_two_level(&prep, cfg);
@@ -69,7 +74,10 @@ pub fn build_right(
 
     let mut set = BoundedMinSet::new(cfg.size);
     for (digest, val) in &prep.rows {
-        set.offer(unit.digest(digest.raw()), SketchRow::new(*digest, val.clone()));
+        set.offer(
+            unit.digest(digest.raw()),
+            SketchRow::new(*digest, val.clone()),
+        );
     }
     let rows: Vec<SketchRow> = set.into_sorted().into_iter().map(|(_, row)| row).collect();
     Ok(ColumnSketch::new(
@@ -117,10 +125,10 @@ pub(crate) fn sample_selected_keys(
         let j = occurrence.entry(raw).or_insert(0);
         *j += 1;
         if selected_set.contains_key(&raw) {
-            per_key
-                .entry(raw)
-                .or_default()
-                .push((unit.pair_digest(raw, *j), SketchRow::new(*digest, val.clone())));
+            per_key.entry(raw).or_default().push((
+                unit.pair_digest(raw, *j),
+                SketchRow::new(*digest, val.clone()),
+            ));
         }
     }
 
@@ -154,11 +162,18 @@ mod tests {
 
     fn paper_worked_example() -> Table {
         // Section IV-B: KY = [a, b, c, d, e, f×95], Y = [0,0,0,0,0,1..95].
-        let mut keys: Vec<String> = vec!["a", "b", "c", "d", "e"].into_iter().map(String::from).collect();
+        let mut keys: Vec<String> = vec!["a", "b", "c", "d", "e"]
+            .into_iter()
+            .map(String::from)
+            .collect();
         keys.extend(std::iter::repeat_with(|| "f".to_owned()).take(95));
         let mut ys: Vec<i64> = vec![0, 0, 0, 0, 0];
         ys.extend(1..=95);
-        Table::builder("train").push_str_column("k", keys).push_int_column("y", ys).build().unwrap()
+        Table::builder("train")
+            .push_str_column("k", keys)
+            .push_int_column("y", ys)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -222,7 +237,10 @@ mod tests {
         }
         // P(f not selected) per seed is C(5,5)/C(6,5)-ish ≈ 1/6, so 200 seeds
         // make a miss astronomically unlikely.
-        assert!(collapse_seen, "no seed produced the entropy-collapse configuration");
+        assert!(
+            collapse_seen,
+            "no seed produced the entropy-collapse configuration"
+        );
     }
 
     #[test]

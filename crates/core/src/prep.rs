@@ -92,7 +92,9 @@ pub fn prepare_right(
 
     // Count non-NULL-key rows of the original table for metadata.
     let original_key_col = table.column(key)?;
-    let source_rows = (0..table.num_rows()).filter(|&i| !original_key_col.value(i).is_null()).count();
+    let source_rows = (0..table.num_rows())
+        .filter(|&i| !original_key_col.value(i).is_null())
+        .count();
 
     Ok(PreparedRows {
         n_rows: source_rows,
@@ -138,7 +140,13 @@ mod tests {
         assert_eq!(prep.value_dtype, DataType::Float);
         // Aggregated values are {a:1, b:3, c:2}.
         let b_digest = Value::from("b").key_hash(&hasher).raw();
-        let b_value = prep.rows.iter().find(|(k, _)| k.raw() == b_digest).unwrap().1.clone();
+        let b_value = prep
+            .rows
+            .iter()
+            .find(|(k, _)| k.raw() == b_digest)
+            .unwrap()
+            .1
+            .clone();
         assert_eq!(b_value, Value::Float(3.0));
     }
 

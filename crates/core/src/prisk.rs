@@ -25,7 +25,12 @@ use crate::row::{ColumnSketch, SketchRow};
 use crate::Result;
 
 /// Builds a PRISK sketch of the base table's `(key, target)` pair.
-pub fn build_left(table: &Table, key: &str, value: &str, cfg: &SketchConfig) -> Result<ColumnSketch> {
+pub fn build_left(
+    table: &Table,
+    key: &str,
+    value: &str,
+    cfg: &SketchConfig,
+) -> Result<ColumnSketch> {
     let hasher = cfg.key_hasher();
     let unit = cfg.unit_hasher();
     let prep = prepare_left(table, key, value, &hasher)?;
@@ -69,7 +74,10 @@ pub fn build_right(
 
     let mut set = BoundedMinSet::new(cfg.size);
     for (digest, val) in &prep.rows {
-        set.offer(unit.digest(digest.raw()), SketchRow::new(*digest, val.clone()));
+        set.offer(
+            unit.digest(digest.raw()),
+            SketchRow::new(*digest, val.clone()),
+        );
     }
     let rows: Vec<SketchRow> = set.into_sorted().into_iter().map(|(_, row)| row).collect();
     Ok(ColumnSketch::new(
@@ -90,10 +98,17 @@ mod tests {
 
     fn skewed() -> Table {
         // "hot" occupies 95 of 100 rows.
-        let mut keys: Vec<String> = vec!["a", "b", "c", "d", "e"].into_iter().map(String::from).collect();
+        let mut keys: Vec<String> = vec!["a", "b", "c", "d", "e"]
+            .into_iter()
+            .map(String::from)
+            .collect();
         keys.extend(std::iter::repeat_with(|| "hot".to_owned()).take(95));
         let ys: Vec<i64> = (0..100).collect();
-        Table::builder("t").push_str_column("k", keys).push_int_column("y", ys).build().unwrap()
+        Table::builder("t")
+            .push_str_column("k", keys)
+            .push_int_column("y", ys)
+            .build()
+            .unwrap()
     }
 
     #[test]

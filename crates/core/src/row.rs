@@ -52,7 +52,15 @@ impl ColumnSketch {
         source_distinct_keys: usize,
         config: SketchConfig,
     ) -> Self {
-        Self { kind, side, rows, value_dtype, source_rows, source_distinct_keys, config }
+        Self {
+            kind,
+            side,
+            rows,
+            value_dtype,
+            source_rows,
+            source_distinct_keys,
+            config,
+        }
     }
 
     /// The sketching strategy that produced this sketch.
@@ -135,7 +143,10 @@ mod tests {
     use super::*;
 
     fn sample_sketch(values: Vec<(u64, Value)>) -> ColumnSketch {
-        let rows = values.into_iter().map(|(k, v)| SketchRow::new(KeyHash(k), v)).collect();
+        let rows = values
+            .into_iter()
+            .map(|(k, v)| SketchRow::new(KeyHash(k), v))
+            .collect();
         ColumnSketch::new(
             SketchKind::Tupsk,
             Side::Left,
@@ -149,7 +160,11 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let s = sample_sketch(vec![(1, Value::Int(5)), (2, Value::Int(6)), (1, Value::Int(7))]);
+        let s = sample_sketch(vec![
+            (1, Value::Int(5)),
+            (2, Value::Int(6)),
+            (1, Value::Int(7)),
+        ]);
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
         assert_eq!(s.distinct_keys(), 2);

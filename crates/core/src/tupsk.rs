@@ -29,7 +29,12 @@ use crate::row::{ColumnSketch, SketchRow};
 use crate::Result;
 
 /// Builds a TUPSK sketch of the base (training) table's `(key, target)` pair.
-pub fn build_left(table: &Table, key: &str, value: &str, cfg: &SketchConfig) -> Result<ColumnSketch> {
+pub fn build_left(
+    table: &Table,
+    key: &str,
+    value: &str,
+    cfg: &SketchConfig,
+) -> Result<ColumnSketch> {
     let hasher = cfg.key_hasher();
     let unit = cfg.unit_hasher();
     let prep = prepare_left(table, key, value, &hasher)?;
@@ -96,10 +101,20 @@ mod tests {
     fn skewed_train(n_rows: usize) -> Table {
         // Key "hot" appears in 90% of the rows; 10 other keys share the rest.
         let keys: Vec<String> = (0..n_rows)
-            .map(|i| if i % 10 != 0 { "hot".to_owned() } else { format!("k{}", i % 100) })
+            .map(|i| {
+                if i % 10 != 0 {
+                    "hot".to_owned()
+                } else {
+                    format!("k{}", i % 100)
+                }
+            })
             .collect();
         let ys: Vec<i64> = (0..n_rows as i64).collect();
-        Table::builder("train").push_str_column("k", keys).push_int_column("y", ys).build().unwrap()
+        Table::builder("train")
+            .push_str_column("k", keys)
+            .push_int_column("y", ys)
+            .build()
+            .unwrap()
     }
 
     #[test]

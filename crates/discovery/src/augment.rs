@@ -26,13 +26,21 @@ impl AugmentationPlan {
     /// Creates a plan from a ranked candidate and the query's own columns.
     #[must_use]
     pub fn new(train_key: &str, target: &str, candidate: RankedCandidate) -> Self {
-        Self { train_key: train_key.to_owned(), target: target.to_owned(), candidate }
+        Self {
+            train_key: train_key.to_owned(),
+            target: target.to_owned(),
+            candidate,
+        }
     }
 
     /// The name the derived feature column will have in the augmented table.
     #[must_use]
     pub fn feature_column_name(&self) -> String {
-        format!("{}({})", self.candidate.aggregation.name(), self.candidate.feature_column)
+        format!(
+            "{}({})",
+            self.candidate.aggregation.name(),
+            self.candidate.feature_column
+        )
     }
 
     /// Materializes the augmentation: group-by + left-outer join on the full

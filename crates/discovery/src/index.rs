@@ -68,8 +68,10 @@ impl JoinabilityIndex {
                 }
             }
         }
-        let mut hits: Vec<(usize, usize)> =
-            overlap.into_iter().filter(|&(_, c)| c >= min_overlap).collect();
+        let mut hits: Vec<(usize, usize)> = overlap
+            .into_iter()
+            .filter(|&(_, c)| c >= min_overlap)
+            .collect();
         hits.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         hits
     }
@@ -94,16 +96,36 @@ mod tests {
     fn overlapping_candidates_are_found_and_ranked() {
         let cfg = SketchConfig::new(64, 1);
         let query_table = keyed_table("q", vec!["a", "b", "c", "d"]);
-        let query = SketchKind::Tupsk.build_left(&query_table, "k", "v", &cfg).unwrap();
+        let query = SketchKind::Tupsk
+            .build_left(&query_table, "k", "v", &cfg)
+            .unwrap();
 
         let full = SketchKind::Tupsk
-            .build_right(&keyed_table("full", vec!["a", "b", "c", "d"]), "k", "v", Aggregation::Avg, &cfg)
+            .build_right(
+                &keyed_table("full", vec!["a", "b", "c", "d"]),
+                "k",
+                "v",
+                Aggregation::Avg,
+                &cfg,
+            )
             .unwrap();
         let partial = SketchKind::Tupsk
-            .build_right(&keyed_table("partial", vec!["a", "b", "x", "y"]), "k", "v", Aggregation::Avg, &cfg)
+            .build_right(
+                &keyed_table("partial", vec!["a", "b", "x", "y"]),
+                "k",
+                "v",
+                Aggregation::Avg,
+                &cfg,
+            )
             .unwrap();
         let disjoint = SketchKind::Tupsk
-            .build_right(&keyed_table("disjoint", vec!["p", "q", "r"]), "k", "v", Aggregation::Avg, &cfg)
+            .build_right(
+                &keyed_table("disjoint", vec!["p", "q", "r"]),
+                "k",
+                "v",
+                Aggregation::Avg,
+                &cfg,
+            )
             .unwrap();
 
         let index = JoinabilityIndex::build(&[&full, &partial, &disjoint]);

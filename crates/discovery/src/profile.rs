@@ -75,19 +75,29 @@ impl TableProfile {
                 rows: table.num_rows(),
             });
         }
-        Ok(Self { table: table.name().to_owned(), rows: table.num_rows(), columns })
+        Ok(Self {
+            table: table.name().to_owned(),
+            rows: table.num_rows(),
+            columns,
+        })
     }
 
     /// Columns usable as join keys.
     #[must_use]
     pub fn key_candidates(&self) -> Vec<&ColumnProfile> {
-        self.columns.iter().filter(|c| c.is_key_candidate()).collect()
+        self.columns
+            .iter()
+            .filter(|c| c.is_key_candidate())
+            .collect()
     }
 
     /// Columns usable as features.
     #[must_use]
     pub fn feature_candidates(&self) -> Vec<&ColumnProfile> {
-        self.columns.iter().filter(|c| c.is_feature_candidate()).collect()
+        self.columns
+            .iter()
+            .filter(|c| c.is_feature_candidate())
+            .collect()
     }
 }
 
@@ -125,7 +135,11 @@ mod tests {
     #[test]
     fn feature_candidates_exclude_constants() {
         let p = TableProfile::profile(&table()).unwrap();
-        let feats: Vec<&str> = p.feature_candidates().iter().map(|c| c.name.as_str()).collect();
+        let feats: Vec<&str> = p
+            .feature_candidates()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         assert_eq!(feats, vec!["zip", "pop"]);
     }
 

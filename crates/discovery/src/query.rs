@@ -114,7 +114,12 @@ impl RelationshipQuery {
 
     /// Builds the query-side sketch.
     pub fn build_query_sketch(&self) -> Result<ColumnSketch> {
-        self.sketch_kind.build_left(&self.train, &self.key_column, &self.target_column, &self.sketch)
+        self.sketch_kind.build_left(
+            &self.train,
+            &self.key_column,
+            &self.target_column,
+            &self.sketch,
+        )
     }
 
     /// Executes the query: prune by key overlap, join sketches, estimate MI,
@@ -135,7 +140,9 @@ impl RelationshipQuery {
             if joined.len() < self.min_join_size {
                 continue;
             }
-            let Ok(estimate) = joined.estimate_mi() else { continue };
+            let Ok(estimate) = joined.estimate_mi() else {
+                continue;
+            };
             results.push(RankedCandidate {
                 candidate_index,
                 table_index: candidate.table_index,
@@ -168,7 +175,10 @@ impl RelationshipQuery {
         let all = self.with_unlimited_k().execute(repository)?;
         let mut grouped: HashMap<EstimatorKind, Vec<RankedCandidate>> = HashMap::new();
         for candidate in all {
-            grouped.entry(candidate.estimator).or_default().push(candidate);
+            grouped
+                .entry(candidate.estimator)
+                .or_default()
+                .push(candidate);
         }
         for ranking in grouped.values_mut() {
             ranking.sort_by(|a, b| b.mi.partial_cmp(&a.mi).expect("finite"));

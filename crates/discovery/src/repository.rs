@@ -55,7 +55,10 @@ impl CandidateColumn {
     /// A human-readable identifier `table.feature (on key)`.
     #[must_use]
     pub fn label(&self) -> String {
-        format!("{}.{} (on {})", self.table_name, self.feature_column, self.key_column)
+        format!(
+            "{}.{} (on {})",
+            self.table_name, self.feature_column, self.key_column
+        )
     }
 }
 
@@ -72,7 +75,12 @@ impl TableRepository {
     /// Creates an empty repository.
     #[must_use]
     pub fn new(config: RepositoryConfig) -> Self {
-        Self { config: Some(config), tables: Vec::new(), profiles: Vec::new(), candidates: Vec::new() }
+        Self {
+            config: Some(config),
+            tables: Vec::new(),
+            profiles: Vec::new(),
+            candidates: Vec::new(),
+        }
     }
 
     /// The repository configuration.
@@ -187,7 +195,11 @@ mod tests {
         assert_eq!(added, 4);
         assert_eq!(repo.num_tables(), 1);
         assert_eq!(repo.candidates().len(), 4);
-        let labels: Vec<String> = repo.candidates().iter().map(CandidateColumn::label).collect();
+        let labels: Vec<String> = repo
+            .candidates()
+            .iter()
+            .map(CandidateColumn::label)
+            .collect();
         assert!(labels.iter().any(|l| l.contains("pop (on zip)")));
     }
 
@@ -208,7 +220,10 @@ mod tests {
 
     #[test]
     fn max_pairs_limit_is_respected() {
-        let config = RepositoryConfig { max_pairs_per_table: 2, ..RepositoryConfig::default() };
+        let config = RepositoryConfig {
+            max_pairs_per_table: 2,
+            ..RepositoryConfig::default()
+        };
         let mut repo = TableRepository::new(config);
         let added = repo.add_table(demo_table()).unwrap();
         assert_eq!(added, 2);

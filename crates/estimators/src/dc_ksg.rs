@@ -29,13 +29,21 @@ use crate::Result;
 /// continuous. Clamped at 0.
 pub fn dc_ksg_mi(x_codes: &[u32], y: &[f64], k: usize) -> Result<f64> {
     if x_codes.len() != y.len() {
-        return Err(EstimatorError::LengthMismatch { x_len: x_codes.len(), y_len: y.len() });
+        return Err(EstimatorError::LengthMismatch {
+            x_len: x_codes.len(),
+            y_len: y.len(),
+        });
     }
     if k == 0 {
-        return Err(EstimatorError::InvalidParameter("k must be >= 1".to_owned()));
+        return Err(EstimatorError::InvalidParameter(
+            "k must be >= 1".to_owned(),
+        ));
     }
     if x_codes.len() < 2 {
-        return Err(EstimatorError::InsufficientSamples { available: x_codes.len(), required: 2 });
+        return Err(EstimatorError::InsufficientSamples {
+            available: x_codes.len(),
+            required: 2,
+        });
     }
     if y.iter().any(|v| !v.is_finite()) {
         return Err(EstimatorError::IncompatibleTypes {
@@ -93,7 +101,10 @@ pub fn dc_ksg_mi(x_codes: &[u32], y: &[f64], k: usize) -> Result<f64> {
     }
 
     if n_used == 0 {
-        return Err(EstimatorError::InsufficientSamples { available: 0, required: 2 });
+        return Err(EstimatorError::InsufficientSamples {
+            available: 0,
+            required: 2,
+        });
     }
 
     let n_f = n_used as f64;

@@ -21,7 +21,10 @@ use crate::Result;
 /// `Ĥ = − Σ_i (N_i / N) ln(N_i / N)`
 pub fn mle_entropy(codes: &[u32]) -> Result<f64> {
     if codes.is_empty() {
-        return Err(EstimatorError::InsufficientSamples { available: 0, required: 1 });
+        return Err(EstimatorError::InsufficientSamples {
+            available: 0,
+            required: 1,
+        });
     }
     let n = codes.len() as f64;
     let mut counts: HashMap<u32, usize> = HashMap::new();
@@ -65,7 +68,10 @@ pub fn miller_madow_entropy(codes: &[u32]) -> Result<f64> {
 pub fn knn_entropy_1d(values: &[f64]) -> Result<f64> {
     let n = values.len();
     if n < 2 {
-        return Err(EstimatorError::InsufficientSamples { available: n, required: 2 });
+        return Err(EstimatorError::InsufficientSamples {
+            available: n,
+            required: 2,
+        });
     }
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
@@ -132,7 +138,9 @@ mod tests {
         let mut state = 88_172_645_463_325_252u64;
         let values: Vec<f64> = (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1);
                 ((state >> 11) as f64) / (1u64 << 53) as f64
             })
             .collect();

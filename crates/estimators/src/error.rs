@@ -34,13 +34,25 @@ impl fmt::Display for EstimatorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::LengthMismatch { x_len, y_len } => {
-                write!(f, "samples have different lengths: |X| = {x_len}, |Y| = {y_len}")
+                write!(
+                    f,
+                    "samples have different lengths: |X| = {x_len}, |Y| = {y_len}"
+                )
             }
-            Self::InsufficientSamples { available, required } => {
-                write!(f, "estimator needs at least {required} samples, got {available}")
+            Self::InsufficientSamples {
+                available,
+                required,
+            } => {
+                write!(
+                    f,
+                    "estimator needs at least {required} samples, got {available}"
+                )
             }
             Self::IncompatibleTypes { estimator, detail } => {
-                write!(f, "{estimator} cannot handle these variable types: {detail}")
+                write!(
+                    f,
+                    "{estimator} cannot handle these variable types: {detail}"
+                )
             }
             Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }
@@ -57,7 +69,10 @@ mod tests {
     fn messages_are_informative() {
         let e = EstimatorError::LengthMismatch { x_len: 3, y_len: 4 };
         assert!(e.to_string().contains('3'));
-        let e = EstimatorError::InsufficientSamples { available: 1, required: 4 };
+        let e = EstimatorError::InsufficientSamples {
+            available: 1,
+            required: 4,
+        };
         assert!(e.to_string().contains('4'));
     }
 }

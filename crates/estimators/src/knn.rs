@@ -86,7 +86,9 @@ impl PartialOrd for OrdF64 {
 
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("distances are never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("distances are never NaN")
     }
 }
 
@@ -100,10 +102,17 @@ impl Ord for OrdF64 {
 /// Panics if `xs.len() != ys.len()`, if `k == 0`, or if `k >= xs.len()`.
 #[must_use]
 pub fn kth_nn_distances_chebyshev(xs: &[f64], ys: &[f64], k: usize) -> Vec<f64> {
-    assert_eq!(xs.len(), ys.len(), "coordinate slices must have equal length");
+    assert_eq!(
+        xs.len(),
+        ys.len(),
+        "coordinate slices must have equal length"
+    );
     let n = xs.len();
     assert!(k >= 1, "k must be at least 1");
-    assert!(k < n, "k ({k}) must be smaller than the number of points ({n})");
+    assert!(
+        k < n,
+        "k ({k}) must be smaller than the number of points ({n})"
+    );
 
     // Sort point indices by x so we can expand a window and prune on |dx|.
     let mut order: Vec<usize> = (0..n).collect();
@@ -126,11 +135,23 @@ pub fn kth_nn_distances_chebyshev(xs: &[f64], ys: &[f64], k: usize) -> Vec<f64> 
         loop {
             // Current pruning threshold: the k-th best distance, or infinity
             // until the heap is full.
-            let threshold = if heap.len() == k { heap.peek().map_or(f64::INFINITY, |d| d.0) } else { f64::INFINITY };
+            let threshold = if heap.len() == k {
+                heap.peek().map_or(f64::INFINITY, |d| d.0)
+            } else {
+                f64::INFINITY
+            };
 
             // Candidate x-distances on each side.
-            let left_dx = if left > 0 { (xi - xs[order[left - 1]]).abs() } else { f64::INFINITY };
-            let right_dx = if right < n { (xs[order[right]] - xi).abs() } else { f64::INFINITY };
+            let left_dx = if left > 0 {
+                (xi - xs[order[left - 1]]).abs()
+            } else {
+                f64::INFINITY
+            };
+            let right_dx = if right < n {
+                (xs[order[right]] - xi).abs()
+            } else {
+                f64::INFINITY
+            };
 
             if left_dx > threshold && right_dx > threshold {
                 break;
@@ -169,7 +190,10 @@ pub fn kth_nn_distances_chebyshev(xs: &[f64], ys: &[f64], k: usize) -> Vec<f64> 
 pub fn kth_nn_distances_1d(values: &[f64], k: usize) -> Vec<f64> {
     let n = values.len();
     assert!(k >= 1, "k must be at least 1");
-    assert!(k < n, "k ({k}) must be smaller than the number of points ({n})");
+    assert!(
+        k < n,
+        "k ({k}) must be smaller than the number of points ({n})"
+    );
 
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
@@ -182,8 +206,16 @@ pub fn kth_nn_distances_1d(values: &[f64], k: usize) -> Vec<f64> {
         let mut right = p + 1;
         let mut kth = 0.0f64;
         for _ in 0..k {
-            let left_d = if left > 0 { (v - values[order[left - 1]]).abs() } else { f64::INFINITY };
-            let right_d = if right < n { (values[order[right]] - v).abs() } else { f64::INFINITY };
+            let left_d = if left > 0 {
+                (v - values[order[left - 1]]).abs()
+            } else {
+                f64::INFINITY
+            };
+            let right_d = if right < n {
+                (values[order[right]] - v).abs()
+            } else {
+                f64::INFINITY
+            };
             if left_d <= right_d {
                 kth = left_d;
                 left -= 1;
@@ -253,7 +285,9 @@ mod tests {
         // Deterministic pseudo-random points without pulling in `rand` here.
         let mut state = 0x1234_5678_u64;
         let mut next = || {
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             ((state >> 33) as f64) / f64::from(u32::MAX)
         };
         let n = 300;

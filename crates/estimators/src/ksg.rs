@@ -36,7 +36,10 @@ pub fn ksg_mi(x: &[f64], y: &[f64], k: usize) -> Result<f64> {
         let (nx, ny) = if eps[i] > 0.0 {
             // Counts include the point itself, hence the "+1" of the formula
             // is already incorporated (ψ(n_x + 1) with n_x excluding self).
-            (cx.count_strictly_within(x[i], eps[i]), cy.count_strictly_within(y[i], eps[i]))
+            (
+                cx.count_strictly_within(x[i], eps[i]),
+                cy.count_strictly_within(y[i], eps[i]),
+            )
         } else {
             // Degenerate neighbourhood: count exact ties instead.
             (cx.count_equal(x[i], 0.0), cy.count_equal(y[i], 0.0))
@@ -50,13 +53,21 @@ pub fn ksg_mi(x: &[f64], y: &[f64], k: usize) -> Result<f64> {
 
 fn validate(x: &[f64], y: &[f64], k: usize) -> Result<()> {
     if x.len() != y.len() {
-        return Err(EstimatorError::LengthMismatch { x_len: x.len(), y_len: y.len() });
+        return Err(EstimatorError::LengthMismatch {
+            x_len: x.len(),
+            y_len: y.len(),
+        });
     }
     if k == 0 {
-        return Err(EstimatorError::InvalidParameter("k must be >= 1".to_owned()));
+        return Err(EstimatorError::InvalidParameter(
+            "k must be >= 1".to_owned(),
+        ));
     }
     if x.len() < k + 1 {
-        return Err(EstimatorError::InsufficientSamples { available: x.len(), required: k + 1 });
+        return Err(EstimatorError::InsufficientSamples {
+            available: x.len(),
+            required: k + 1,
+        });
     }
     if x.iter().chain(y).any(|v| !v.is_finite()) {
         return Err(EstimatorError::IncompatibleTypes {
@@ -112,7 +123,10 @@ mod tests {
             }
             let expected = -0.5 * (1.0 - rho * rho).ln();
             let mi = ksg_mi(&x, &y, 3).unwrap();
-            assert!((mi - expected).abs() < 0.1, "rho={rho}: mi={mi}, expected={expected}");
+            assert!(
+                (mi - expected).abs() < 0.1,
+                "rho={rho}: mi={mi}, expected={expected}"
+            );
         }
     }
 

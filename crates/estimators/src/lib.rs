@@ -26,8 +26,8 @@ pub mod correlation;
 pub mod dc_ksg;
 pub mod entropy;
 pub mod error;
-pub mod ksg;
 pub mod knn;
+pub mod ksg;
 pub mod mixed_ksg;
 pub mod mle;
 pub mod perturb;
@@ -37,7 +37,7 @@ pub mod variable;
 
 pub use correlation::{pearson, spearman};
 pub use dc_ksg::dc_ksg_mi;
-pub use entropy::{knn_entropy_1d, mle_entropy, miller_madow_entropy};
+pub use entropy::{knn_entropy_1d, miller_madow_entropy, mle_entropy};
 pub use error::EstimatorError;
 pub use ksg::ksg_mi;
 pub use mixed_ksg::mixed_ksg_mi;

@@ -38,14 +38,15 @@ pub fn mixed_ksg_mi(x: &[f64], y: &[f64], k: usize) -> Result<f64> {
 
     // Joint tie counting needs exact-pair counts; build a counter keyed on
     // both coordinates only if some radius is zero.
-    let needs_tie_counts = rho.iter().any(|&r| r == 0.0);
-    let joint_ties: Option<std::collections::HashMap<(u64, u64), usize>> = needs_tie_counts.then(|| {
-        let mut map = std::collections::HashMap::new();
-        for i in 0..n {
-            *map.entry((x[i].to_bits(), y[i].to_bits())).or_insert(0) += 1;
-        }
-        map
-    });
+    let needs_tie_counts = rho.contains(&0.0);
+    let joint_ties: Option<std::collections::HashMap<(u64, u64), usize>> =
+        needs_tie_counts.then(|| {
+            let mut map = std::collections::HashMap::new();
+            for i in 0..n {
+                *map.entry((x[i].to_bits(), y[i].to_bits())).or_insert(0) += 1;
+            }
+            map
+        });
 
     let mut acc = 0.0;
     for i in 0..n {
@@ -54,7 +55,11 @@ pub fn mixed_ksg_mi(x: &[f64], y: &[f64], k: usize) -> Result<f64> {
                 .as_ref()
                 .and_then(|m| m.get(&(x[i].to_bits(), y[i].to_bits())).copied())
                 .unwrap_or(1);
-            (ties as f64, cx.count_equal(x[i], 0.0), cy.count_equal(y[i], 0.0))
+            (
+                ties as f64,
+                cx.count_equal(x[i], 0.0),
+                cy.count_equal(y[i], 0.0),
+            )
         } else {
             (
                 k as f64,
@@ -70,13 +75,21 @@ pub fn mixed_ksg_mi(x: &[f64], y: &[f64], k: usize) -> Result<f64> {
 
 fn validate(x: &[f64], y: &[f64], k: usize) -> Result<()> {
     if x.len() != y.len() {
-        return Err(EstimatorError::LengthMismatch { x_len: x.len(), y_len: y.len() });
+        return Err(EstimatorError::LengthMismatch {
+            x_len: x.len(),
+            y_len: y.len(),
+        });
     }
     if k == 0 {
-        return Err(EstimatorError::InvalidParameter("k must be >= 1".to_owned()));
+        return Err(EstimatorError::InvalidParameter(
+            "k must be >= 1".to_owned(),
+        ));
     }
     if x.len() < k + 1 {
-        return Err(EstimatorError::InsufficientSamples { available: x.len(), required: k + 1 });
+        return Err(EstimatorError::InsufficientSamples {
+            available: x.len(),
+            required: k + 1,
+        });
     }
     if x.iter().chain(y).any(|v| !v.is_finite()) {
         return Err(EstimatorError::IncompatibleTypes {

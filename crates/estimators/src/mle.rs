@@ -105,10 +105,16 @@ pub fn mle_mi_bias(m_x: usize, m_y: usize, m_xy: usize, n: usize) -> f64 {
 
 fn check_lengths(x: &[u32], y: &[u32]) -> Result<()> {
     if x.len() != y.len() {
-        return Err(EstimatorError::LengthMismatch { x_len: x.len(), y_len: y.len() });
+        return Err(EstimatorError::LengthMismatch {
+            x_len: x.len(),
+            y_len: y.len(),
+        });
     }
     if x.is_empty() {
-        return Err(EstimatorError::InsufficientSamples { available: 0, required: 1 });
+        return Err(EstimatorError::InsufficientSamples {
+            available: 0,
+            required: 1,
+        });
     }
     Ok(())
 }
@@ -189,7 +195,9 @@ mod tests {
         // Deterministic "random" assignment via an LCG.
         let mut state = 42u64;
         let mut next = |modulus: u32| {
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             ((state >> 33) % u64::from(modulus)) as u32
         };
         let x: Vec<u32> = (0..n).map(|_| next(m)).collect();
@@ -199,6 +207,9 @@ mod tests {
         // The empirical overestimate should be positive and of the same order
         // as the |bias| prediction (not exact — Eq. 6 is first-order).
         assert!(mi > 0.0);
-        assert!(mi < 6.0 * predicted + 0.05, "mi = {mi}, predicted bias = {predicted}");
+        assert!(
+            mi < 6.0 * predicted + 0.05,
+            "mi = {mi}, predicted bias = {predicted}"
+        );
     }
 }

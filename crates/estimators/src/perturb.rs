@@ -29,7 +29,11 @@ pub fn perturb_ties(values: &[f64], scale: f64, seed: u64) -> Vec<f64> {
             min_gap = gap;
         }
     }
-    let sigma = if min_gap.is_finite() { scale * min_gap } else { scale };
+    let sigma = if min_gap.is_finite() {
+        scale * min_gap
+    } else {
+        scale
+    };
 
     let mut rng = StdRng::seed_from_u64(seed);
     values
@@ -70,8 +74,14 @@ mod tests {
     #[test]
     fn deterministic_for_a_seed() {
         let values = vec![1.0, 2.0, 2.0];
-        assert_eq!(perturb_ties(&values, 1e-6, 7), perturb_ties(&values, 1e-6, 7));
-        assert_ne!(perturb_ties(&values, 1e-6, 7), perturb_ties(&values, 1e-6, 8));
+        assert_eq!(
+            perturb_ties(&values, 1e-6, 7),
+            perturb_ties(&values, 1e-6, 7)
+        );
+        assert_ne!(
+            perturb_ties(&values, 1e-6, 7),
+            perturb_ties(&values, 1e-6, 8)
+        );
     }
 
     #[test]

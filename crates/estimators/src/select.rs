@@ -92,7 +92,10 @@ pub fn estimate_mi_with(
     k: usize,
 ) -> Result<MiEstimate> {
     if x.len() != y.len() {
-        return Err(EstimatorError::LengthMismatch { x_len: x.len(), y_len: y.len() });
+        return Err(EstimatorError::LengthMismatch {
+            x_len: x.len(),
+            y_len: y.len(),
+        });
     }
     let n = x.len();
     let mi = match kind {
@@ -106,13 +109,18 @@ pub fn estimate_mi_with(
             (Variable::Continuous(_), Variable::Continuous(_)) => {
                 return Err(EstimatorError::IncompatibleTypes {
                     estimator: "DC-KSG".to_owned(),
-                    detail: "requires one discrete variable; both are continuous (discretize one first)"
-                        .to_owned(),
+                    detail:
+                        "requires one discrete variable; both are continuous (discretize one first)"
+                            .to_owned(),
                 })
             }
         },
     };
-    Ok(MiEstimate { mi, estimator: kind, n })
+    Ok(MiEstimate {
+        mi,
+        estimator: kind,
+        n,
+    })
 }
 
 /// Estimates `I(X; Y)` with the estimator chosen automatically from the

@@ -140,7 +140,12 @@ mod tests {
 
     #[test]
     fn discretize_assigns_dense_codes() {
-        let vals = vec![Value::from("a"), Value::from("b"), Value::from("a"), Value::from("c")];
+        let vals = vec![
+            Value::from("a"),
+            Value::from("b"),
+            Value::from("a"),
+            Value::from("c"),
+        ];
         assert_eq!(discretize(&vals), vec![0, 1, 0, 2]);
     }
 

@@ -6,7 +6,11 @@ use joinmi_eval::experiments::ablation;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { ablation::Config::quick() } else { ablation::Config::default() };
+    let cfg = if quick {
+        ablation::Config::quick()
+    } else {
+        ablation::Config::default()
+    };
     eprintln!("running ablations with {cfg:?}");
     for report in ablation::report(&cfg) {
         report.print();

@@ -8,10 +8,18 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     eprintln!("running the full Section V reproduction (quick = {quick})");
 
-    let cfg = if quick { fulljoin::Config::quick() } else { fulljoin::Config::default() };
+    let cfg = if quick {
+        fulljoin::Config::quick()
+    } else {
+        fulljoin::Config::default()
+    };
     fulljoin::report(&fulljoin::run(&cfg)).print();
 
-    let cfg = if quick { fig2::Config::quick() } else { fig2::Config::default() };
+    let cfg = if quick {
+        fig2::Config::quick()
+    } else {
+        fig2::Config::default()
+    };
     let series = fig2::run(&cfg);
     fig2::report(&series).print();
     println!("KeyDep MSE penalty (MSE_KeyDep - MSE_KeyInd):");
@@ -20,27 +28,55 @@ fn main() {
     }
     println!();
 
-    let cfg = if quick { fig3::Config::quick() } else { fig3::Config::default() };
+    let cfg = if quick {
+        fig3::Config::quick()
+    } else {
+        fig3::Config::default()
+    };
     fig3::report(&fig3::run(&cfg)).print();
 
-    let cfg = if quick { fig4::Config::quick() } else { fig4::Config::default() };
+    let cfg = if quick {
+        fig4::Config::quick()
+    } else {
+        fig4::Config::default()
+    };
     fig4::report(&fig4::run(&cfg)).print();
 
-    let cfg = if quick { table1::Config::quick() } else { table1::Config::default() };
+    let cfg = if quick {
+        table1::Config::quick()
+    } else {
+        table1::Config::default()
+    };
     table1::report(&table1::run(&cfg), cfg.sketch_size).print();
 
-    let cfg = if quick { table2::Config::quick() } else { table2::Config::default() };
+    let cfg = if quick {
+        table2::Config::quick()
+    } else {
+        table2::Config::default()
+    };
     let results = table2::run(&cfg);
     table2::report(&results).print();
     table2::estimator_magnitude_report(&results).print();
 
-    let cfg = if quick { fig5::Config::quick() } else { fig5::Config::default() };
+    let cfg = if quick {
+        fig5::Config::quick()
+    } else {
+        fig5::Config::default()
+    };
     fig5::report(&fig5::run(&cfg), &cfg.thresholds).print();
 
-    let cfg = if quick { perf::Config::quick() } else { perf::Config::default() };
+    let cfg = if quick {
+        perf::Config::quick()
+    } else {
+        perf::Config::default()
+    };
     perf::report(&perf::run(&cfg)).print();
 
-    let cfg = if quick { ablation::Config::quick() } else { ablation::Config::default() };
+    let cfg = if quick {
+        ablation::Config::quick()
+    } else {
+        ablation::Config::default()
+    };
     for report in ablation::report(&cfg) {
         report.print();
     }

@@ -6,7 +6,11 @@ use joinmi_eval::experiments::fig2;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { fig2::Config::quick() } else { fig2::Config::default() };
+    let cfg = if quick {
+        fig2::Config::quick()
+    } else {
+        fig2::Config::default()
+    };
     eprintln!("running Figure 2 with {cfg:?}");
     let series = fig2::run(&cfg);
     fig2::report(&series).print();

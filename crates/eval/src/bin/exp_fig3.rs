@@ -6,7 +6,11 @@ use joinmi_eval::experiments::fig3;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { fig3::Config::quick() } else { fig3::Config::default() };
+    let cfg = if quick {
+        fig3::Config::quick()
+    } else {
+        fig3::Config::default()
+    };
     eprintln!("running Figure 3 with {cfg:?}");
     let series = fig3::run(&cfg);
     fig3::report(&series).print();

@@ -7,7 +7,11 @@ use joinmi_eval::experiments::fig4;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { fig4::Config::quick() } else { fig4::Config::default() };
+    let cfg = if quick {
+        fig4::Config::quick()
+    } else {
+        fig4::Config::default()
+    };
     eprintln!("running Figure 4 with {cfg:?}");
     let series = fig4::run(&cfg);
     fig4::report(&series).print();

@@ -6,7 +6,11 @@ use joinmi_eval::experiments::fig5;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { fig5::Config::quick() } else { fig5::Config::default() };
+    let cfg = if quick {
+        fig5::Config::quick()
+    } else {
+        fig5::Config::default()
+    };
     eprintln!("running Figure 5 with quick={quick}");
     let results = fig5::run(&cfg);
     fig5::report(&results, &cfg.thresholds).print();

@@ -6,7 +6,11 @@ use joinmi_eval::experiments::fulljoin;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { fulljoin::Config::quick() } else { fulljoin::Config::default() };
+    let cfg = if quick {
+        fulljoin::Config::quick()
+    } else {
+        fulljoin::Config::default()
+    };
     eprintln!("running §V-B1 full-join baseline with {cfg:?}");
     let series = fulljoin::run(&cfg);
     fulljoin::report(&series).print();

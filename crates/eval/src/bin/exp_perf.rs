@@ -6,7 +6,11 @@ use joinmi_eval::experiments::perf;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { perf::Config::quick() } else { perf::Config::default() };
+    let cfg = if quick {
+        perf::Config::quick()
+    } else {
+        perf::Config::default()
+    };
     eprintln!("running §V-D performance sweep with {cfg:?}");
     let timings = perf::run(&cfg);
     perf::report(&timings).print();

@@ -6,7 +6,11 @@ use joinmi_eval::experiments::table1;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { table1::Config::quick() } else { table1::Config::default() };
+    let cfg = if quick {
+        table1::Config::quick()
+    } else {
+        table1::Config::default()
+    };
     eprintln!("running Table I with {cfg:?}");
     let results = table1::run(&cfg);
     table1::report(&results, cfg.sketch_size).print();

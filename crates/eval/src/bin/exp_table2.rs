@@ -6,7 +6,11 @@ use joinmi_eval::experiments::table2;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { table2::Config::quick() } else { table2::Config::default() };
+    let cfg = if quick {
+        table2::Config::quick()
+    } else {
+        table2::Config::default()
+    };
     eprintln!("running Table II with quick={quick}");
     let results = table2::run(&cfg);
     table2::report(&results).print();

@@ -155,7 +155,12 @@ pub fn aggregation_choice(cfg: &Config) -> BTreeMap<String, f64> {
         .expect("aligned columns");
 
     let mut out = BTreeMap::new();
-    for agg in [Aggregation::Avg, Aggregation::Median, Aggregation::Count, Aggregation::Max] {
+    for agg in [
+        Aggregation::Avg,
+        Aggregation::Median,
+        Aggregation::Count,
+        Aggregation::Max,
+    ] {
         let spec = AugmentSpec::new("key", "y", "key", "z", agg);
         let joined = augment(&train, &cand, &spec).expect("augmentation join");
         let feature_col = spec.feature_column_name();
@@ -193,7 +198,11 @@ pub fn report(cfg: &Config) -> Vec<TableReport> {
         &["Sketch", "Rows", "Avg. Join Size"],
     );
     for ((sketch, rows), value) in &coord {
-        t2.push_row(vec![sketch.clone(), rows.to_string(), format!("{value:.1}")]);
+        t2.push_row(vec![
+            sketch.clone(),
+            rows.to_string(),
+            format!("{value:.1}"),
+        ]);
     }
     reports.push(t2);
 
@@ -220,7 +229,10 @@ mod tests {
         let sweep = sketch_size_sweep(&cfg);
         let small = sweep[&("TUPSK".to_owned(), 64)];
         let large = sweep[&("TUPSK".to_owned(), 256)];
-        assert!(large <= small * 1.5, "MSE should not grow with n: {small} -> {large}");
+        assert!(
+            large <= small * 1.5,
+            "MSE should not grow with n: {small} -> {large}"
+        );
     }
 
     #[test]
@@ -229,7 +241,10 @@ mod tests {
         let coord = coordination_sweep(&cfg);
         let tup_large = coord[&("TUPSK".to_owned(), 4_000)];
         let ind_large = coord[&("INDSK".to_owned(), 4_000)];
-        assert!(tup_large > ind_large, "TUPSK {tup_large} vs INDSK {ind_large}");
+        assert!(
+            tup_large > ind_large,
+            "TUPSK {tup_large} vs INDSK {ind_large}"
+        );
     }
 
     #[test]

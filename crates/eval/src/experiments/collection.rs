@@ -69,11 +69,15 @@ impl CollectionEval {
         for &(i, j) in pairs.iter().take(self.max_pairs) {
             let train = &collection.tables[i];
             let cand = &collection.tables[j];
-            let Some(reference) = full_join_reference(train, cand) else { continue };
+            let Some(reference) = full_join_reference(train, cand) else {
+                continue;
+            };
 
             let mut sketches = BTreeMap::new();
             for &kind in &self.kinds {
-                let Ok(left) = kind.build_left(train, "key", "value", &config) else { continue };
+                let Ok(left) = kind.build_left(train, "key", "value", &config) else {
+                    continue;
+                };
                 let agg = aggregation_for(cand);
                 let Ok(right) = kind.build_right(cand, "key", "value", agg, &config) else {
                     continue;
@@ -122,8 +126,12 @@ fn full_join_reference(train: &Table, cand: &Table) -> Option<(f64, usize, Strin
     }
     let feature_col = spec.feature_column_name();
     let table = &result.table;
-    let xs: Vec<_> = (0..table.num_rows()).map(|r| table.value(r, &feature_col).ok()).collect::<Option<_>>()?;
-    let ys: Vec<_> = (0..table.num_rows()).map(|r| table.value(r, "value").ok()).collect::<Option<_>>()?;
+    let xs: Vec<_> = (0..table.num_rows())
+        .map(|r| table.value(r, &feature_col).ok())
+        .collect::<Option<_>>()?;
+    let ys: Vec<_> = (0..table.num_rows())
+        .map(|r| table.value(r, "value").ok())
+        .collect::<Option<_>>()?;
     let x_dtype = table.column(&feature_col).ok()?.dtype();
     let y_dtype = table.column("value").ok()?.dtype();
     let joined = JoinedSketch::from_pairs(xs, ys, x_dtype, y_dtype);
@@ -155,7 +163,10 @@ mod tests {
             ..CollectionEval::default()
         };
         let results = eval.run(&tiny_collection());
-        assert!(!results.is_empty(), "no evaluable pairs in the tiny collection");
+        assert!(
+            !results.is_empty(),
+            "no evaluable pairs in the tiny collection"
+        );
         for r in &results {
             assert!(r.full_mi >= 0.0);
             assert!(r.full_join_size >= 100);

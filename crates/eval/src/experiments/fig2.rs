@@ -33,7 +33,13 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Self { m: 512, rows: 10_000, sketch_size: 256, trials: 40, seed: 7 }
+        Self {
+            m: 512,
+            rows: 10_000,
+            sketch_size: 256,
+            trials: 40,
+            seed: 7,
+        }
     }
 }
 
@@ -41,7 +47,13 @@ impl Config {
     /// Fast configuration for tests.
     #[must_use]
     pub fn quick() -> Self {
-        Self { m: 64, rows: 2_000, sketch_size: 128, trials: 6, seed: 7 }
+        Self {
+            m: 64,
+            rows: 2_000,
+            sketch_size: 128,
+            trials: 6,
+            seed: 7,
+        }
     }
 }
 
@@ -92,7 +104,15 @@ pub fn run(cfg: &Config) -> Series {
 pub fn report(series: &Series) -> TableReport {
     let mut table = TableReport::new(
         "Figure 2: Trinomial(m=512), sketch size n=256 — sketch estimate vs analytical MI",
-        &["Sketch", "Estimator", "Keys", "Points", "Bias", "MSE", "Pearson r"],
+        &[
+            "Sketch",
+            "Estimator",
+            "Keys",
+            "Points",
+            "Bias",
+            "MSE",
+            "Pearson r",
+        ],
     );
     for ((sketch, estimator, keys), pairs) in series {
         let truth: Vec<f64> = pairs.iter().map(|p| p.0).collect();

@@ -34,7 +34,13 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Self { m_range: (2, 1000), rows: 10_000, sketch_size: 256, trials: 40, seed: 13 }
+        Self {
+            m_range: (2, 1000),
+            rows: 10_000,
+            sketch_size: 256,
+            trials: 40,
+            seed: 13,
+        }
     }
 }
 
@@ -42,7 +48,13 @@ impl Config {
     /// Fast configuration for tests.
     #[must_use]
     pub fn quick() -> Self {
-        Self { m_range: (2, 64), rows: 2_000, sketch_size: 128, trials: 6, seed: 13 }
+        Self {
+            m_range: (2, 64),
+            rows: 2_000,
+            sketch_size: 128,
+            trials: 6,
+            seed: 13,
+        }
     }
 }
 
@@ -93,7 +105,16 @@ pub fn run(cfg: &Config) -> Series {
 pub fn report(series: &Series) -> TableReport {
     let mut table = TableReport::new(
         "Figure 3: CDUnif, sketch size n=256 — sketch estimate vs true MI",
-        &["Sketch", "Estimator", "Keys", "Regime", "Points", "Bias", "MSE", "Pearson r"],
+        &[
+            "Sketch",
+            "Estimator",
+            "Keys",
+            "Regime",
+            "Points",
+            "Bias",
+            "MSE",
+            "Pearson r",
+        ],
     );
     for ((sketch, estimator, keys), pairs) in series {
         for (regime, filter) in [

@@ -49,7 +49,13 @@ impl Config {
     /// Fast configuration for tests.
     #[must_use]
     pub fn quick() -> Self {
-        Self { ms: vec![16, 64], rows: 2_000, sketch_size: 128, trials: 5, ..Self::default() }
+        Self {
+            ms: vec![16, 64],
+            rows: 2_000,
+            sketch_size: 128,
+            trials: 5,
+            ..Self::default()
+        }
     }
 }
 

@@ -72,7 +72,8 @@ pub fn run(cfg: &Config) -> Vec<PairResult> {
         ((collection_cfg.rows_range.0 as f64) * scale).max(400.0) as usize,
         ((collection_cfg.rows_range.1 as f64) * scale).max(800.0) as usize,
     );
-    collection_cfg.key_universe = ((collection_cfg.key_universe as f64) * scale).max(300.0) as usize;
+    collection_cfg.key_universe =
+        ((collection_cfg.key_universe as f64) * scale).max(300.0) as usize;
     let collection = OpenDataCollection::generate(&collection_cfg);
     cfg.eval.run(&collection)
 }
@@ -83,14 +84,24 @@ pub fn run(cfg: &Config) -> Vec<PairResult> {
 pub fn report(results: &[PairResult], thresholds: &[usize]) -> TableReport {
     let mut table = TableReport::new(
         "Figure 5: TUPSK estimate vs full-join estimate by sketch-join size (WBF-like)",
-        &["Join Size >", "Estimator", "Pairs", "Bias", "MSE", "Pearson r"],
+        &[
+            "Join Size >",
+            "Estimator",
+            "Pairs",
+            "Bias",
+            "MSE",
+            "Pearson r",
+        ],
     );
     for &threshold in thresholds {
         let mut per_estimator: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
         for r in results {
             if let Some(&(mi, join)) = r.sketches.get("TUPSK") {
                 if join > threshold {
-                    per_estimator.entry(r.estimator.clone()).or_default().push((r.full_mi, mi));
+                    per_estimator
+                        .entry(r.estimator.clone())
+                        .or_default()
+                        .push((r.full_mi, mi));
                 }
             }
         }

@@ -27,7 +27,11 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Self { trials: 40, rows: 10_000, seed: 42 }
+        Self {
+            trials: 40,
+            rows: 10_000,
+            seed: 42,
+        }
     }
 }
 
@@ -35,7 +39,11 @@ impl Config {
     /// A fast configuration for tests / smoke runs.
     #[must_use]
     pub fn quick() -> Self {
-        Self { trials: 6, rows: 2_000, seed: 42 }
+        Self {
+            trials: 6,
+            rows: 2_000,
+            seed: 42,
+        }
     }
 }
 
@@ -84,7 +92,14 @@ pub fn run(cfg: &Config) -> Series {
 pub fn report(series: &Series) -> TableReport {
     let mut table = TableReport::new(
         "Section V-B1: true vs estimated MI on the full join",
-        &["Dataset", "Estimator", "Trials", "RMSE", "Bias", "Pearson r"],
+        &[
+            "Dataset",
+            "Estimator",
+            "Trials",
+            "RMSE",
+            "Bias",
+            "Pearson r",
+        ],
     );
     for ((dataset, estimator), pairs) in series {
         let truth: Vec<f64> = pairs.iter().map(|p| p.0).collect();

@@ -32,7 +32,12 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Self { table_sizes: vec![5_000, 10_000, 20_000], sketch_size: 256, repetitions: 5, seed: 31 }
+        Self {
+            table_sizes: vec![5_000, 10_000, 20_000],
+            sketch_size: 256,
+            repetitions: 5,
+            seed: 31,
+        }
     }
 }
 
@@ -40,7 +45,12 @@ impl Config {
     /// Fast configuration for tests.
     #[must_use]
     pub fn quick() -> Self {
-        Self { table_sizes: vec![1_000, 2_000], sketch_size: 128, repetitions: 2, seed: 31 }
+        Self {
+            table_sizes: vec![1_000, 2_000],
+            sketch_size: 128,
+            repetitions: 2,
+            seed: 31,
+        }
     }
 }
 
@@ -99,7 +109,12 @@ pub fn run(cfg: &Config) -> Vec<Timing> {
                 .map(|i| joined.table.value(i, &feature_col).expect("column exists"))
                 .collect();
             let ys: Vec<_> = (0..joined.table.num_rows())
-                .map(|i| joined.table.value(i, &pair.target_column).expect("column exists"))
+                .map(|i| {
+                    joined
+                        .table
+                        .value(i, &pair.target_column)
+                        .expect("column exists")
+                })
                 .collect();
             let t0 = Instant::now();
             let _ = EstimatorMode::Mle.estimate(&xs, &ys, cfg.seed);
@@ -107,7 +122,12 @@ pub fn run(cfg: &Config) -> Vec<Timing> {
 
             let t0 = Instant::now();
             let left = SketchKind::Tupsk
-                .build_left(&pair.train, &pair.key_column, &pair.target_column, &sketch_cfg)
+                .build_left(
+                    &pair.train,
+                    &pair.key_column,
+                    &pair.target_column,
+                    &sketch_cfg,
+                )
                 .expect("left sketch");
             let right = SketchKind::Tupsk
                 .build_right(

@@ -82,7 +82,11 @@ pub fn run(cfg: &Config) -> Results {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     for t in 0..cfg.trials {
-        let key_dist = if t % 2 == 0 { KeyDistribution::KeyInd } else { KeyDistribution::KeyDep };
+        let key_dist = if t % 2 == 0 {
+            KeyDistribution::KeyInd
+        } else {
+            KeyDistribution::KeyDep
+        };
 
         // Trinomial trial.
         let m = cfg.trinomial_ms[t % cfg.trinomial_ms.len()];
@@ -92,10 +96,15 @@ pub fn run(cfg: &Config) -> Results {
         let pair = decompose(&data.xs, &data.ys, key_dist);
         for kind in SketchKind::ALL {
             for mode in EstimatorMode::TRINOMIAL {
-                let trial =
-                    SketchTrial { kind, config: SketchConfig::new(cfg.sketch_size, seed), mode };
+                let trial = SketchTrial {
+                    kind,
+                    config: SketchConfig::new(cfg.sketch_size, seed),
+                    mode,
+                };
                 if let Some(outcome) = sketch_estimate(&pair, &trial) {
-                    let row = results.entry(("Trinomial".to_owned(), kind.name().to_owned())).or_default();
+                    let row = results
+                        .entry(("Trinomial".to_owned(), kind.name().to_owned()))
+                        .or_default();
                     row.join_sizes.push(outcome.join_size);
                     row.pairs.push((data.true_mi, outcome.estimate));
                 }
@@ -109,10 +118,15 @@ pub fn run(cfg: &Config) -> Results {
         let pair = decompose(&data.xs, &data.ys, key_dist);
         for kind in SketchKind::ALL {
             for mode in EstimatorMode::CDUNIF {
-                let trial =
-                    SketchTrial { kind, config: SketchConfig::new(cfg.sketch_size, seed), mode };
+                let trial = SketchTrial {
+                    kind,
+                    config: SketchConfig::new(cfg.sketch_size, seed),
+                    mode,
+                };
                 if let Some(outcome) = sketch_estimate(&pair, &trial) {
-                    let row = results.entry(("CDUnif".to_owned(), kind.name().to_owned())).or_default();
+                    let row = results
+                        .entry(("CDUnif".to_owned(), kind.name().to_owned()))
+                        .or_default();
                     row.join_sizes.push(outcome.join_size);
                     row.pairs.push((data.true_mi, outcome.estimate));
                 }
@@ -131,7 +145,8 @@ pub fn report(results: &Results, sketch_size: usize) -> TableReport {
         &["Dataset", "Sketch", "Avg. Sketch Join Size", "%", "MSE"],
     );
     for ((dataset, sketch), row) in results {
-        let avg_join = row.join_sizes.iter().sum::<usize>() as f64 / row.join_sizes.len().max(1) as f64;
+        let avg_join =
+            row.join_sizes.iter().sum::<usize>() as f64 / row.join_sizes.len().max(1) as f64;
         let truth: Vec<f64> = row.pairs.iter().map(|p| p.0).collect();
         let est: Vec<f64> = row.pairs.iter().map(|p| p.1).collect();
         table.push_row(vec![

@@ -30,7 +30,11 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Self { eval: CollectionEval::default(), nyc_seed: 101, wbf_seed: 202 }
+        Self {
+            eval: CollectionEval::default(),
+            nyc_seed: 101,
+            wbf_seed: 202,
+        }
     }
 }
 
@@ -88,7 +92,14 @@ pub fn run(cfg: &Config) -> Results {
 pub fn report(results: &Results) -> TableReport {
     let mut table = TableReport::new(
         "Table II: sketch estimate vs full-join estimate (simulated open-data collections)",
-        &["Dataset", "Sketch", "Pairs", "Avg. Join Size", "Spearman's R", "MSE"],
+        &[
+            "Dataset",
+            "Sketch",
+            "Pairs",
+            "Avg. Join Size",
+            "Spearman's R",
+            "MSE",
+        ],
     );
     for (collection, pair_results) in results {
         let mut sketch_names: Vec<String> = pair_results
@@ -131,12 +142,22 @@ pub fn report(results: &Results) -> TableReport {
 pub fn estimator_magnitude_report(results: &Results) -> TableReport {
     let mut table = TableReport::new(
         "Section V-C3: magnitude of full-join MI estimates per estimator",
-        &["Dataset", "Estimator", "Pairs", "Min MI", "Mean MI", "Max MI"],
+        &[
+            "Dataset",
+            "Estimator",
+            "Pairs",
+            "Min MI",
+            "Mean MI",
+            "Max MI",
+        ],
     );
     for (collection, pair_results) in results {
         let mut per_estimator: BTreeMap<String, Vec<f64>> = BTreeMap::new();
         for r in pair_results {
-            per_estimator.entry(r.estimator.clone()).or_default().push(r.full_mi);
+            per_estimator
+                .entry(r.estimator.clone())
+                .or_default()
+                .push(r.full_mi);
         }
         for (estimator, values) in per_estimator {
             let min = values.iter().copied().fold(f64::INFINITY, f64::min);

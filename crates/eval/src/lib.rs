@@ -30,7 +30,5 @@ pub mod pipeline;
 pub mod report;
 
 pub use metrics::{mae, mean_error, mse, rmse, Summary};
-pub use pipeline::{
-    full_join_estimate, sketch_estimate, EstimatorMode, SketchTrial, TrialOutcome,
-};
+pub use pipeline::{full_join_estimate, sketch_estimate, EstimatorMode, SketchTrial, TrialOutcome};
 pub use report::TableReport;

@@ -8,11 +8,20 @@ pub use joinmi_estimators::{pearson, spearman};
 /// silently reporting a perfect score).
 #[must_use]
 pub fn mse(truth: &[f64], estimate: &[f64]) -> f64 {
-    assert_eq!(truth.len(), estimate.len(), "paired metric requires aligned slices");
+    assert_eq!(
+        truth.len(),
+        estimate.len(),
+        "paired metric requires aligned slices"
+    );
     if truth.is_empty() {
         return f64::NAN;
     }
-    truth.iter().zip(estimate).map(|(t, e)| (t - e).powi(2)).sum::<f64>() / truth.len() as f64
+    truth
+        .iter()
+        .zip(estimate)
+        .map(|(t, e)| (t - e).powi(2))
+        .sum::<f64>()
+        / truth.len() as f64
 }
 
 /// Root mean squared error.
@@ -24,17 +33,30 @@ pub fn rmse(truth: &[f64], estimate: &[f64]) -> f64 {
 /// Mean absolute error.
 #[must_use]
 pub fn mae(truth: &[f64], estimate: &[f64]) -> f64 {
-    assert_eq!(truth.len(), estimate.len(), "paired metric requires aligned slices");
+    assert_eq!(
+        truth.len(),
+        estimate.len(),
+        "paired metric requires aligned slices"
+    );
     if truth.is_empty() {
         return f64::NAN;
     }
-    truth.iter().zip(estimate).map(|(t, e)| (t - e).abs()).sum::<f64>() / truth.len() as f64
+    truth
+        .iter()
+        .zip(estimate)
+        .map(|(t, e)| (t - e).abs())
+        .sum::<f64>()
+        / truth.len() as f64
 }
 
 /// Mean signed error (estimate − truth): positive values mean overestimation.
 #[must_use]
 pub fn mean_error(truth: &[f64], estimate: &[f64]) -> f64 {
-    assert_eq!(truth.len(), estimate.len(), "paired metric requires aligned slices");
+    assert_eq!(
+        truth.len(),
+        estimate.len(),
+        "paired metric requires aligned slices"
+    );
     if truth.is_empty() {
         return f64::NAN;
     }

@@ -106,7 +106,12 @@ pub struct SketchTrial {
 pub fn sketch_estimate(pair: &DecomposedPair, trial: &SketchTrial) -> Option<TrialOutcome> {
     let left = trial
         .kind
-        .build_left(&pair.train, &pair.key_column, &pair.target_column, &trial.config)
+        .build_left(
+            &pair.train,
+            &pair.key_column,
+            &pair.target_column,
+            &trial.config,
+        )
         .ok()?;
     let right = trial
         .kind
@@ -119,17 +124,35 @@ pub fn sketch_estimate(pair: &DecomposedPair, trial: &SketchTrial) -> Option<Tri
         )
         .ok()?;
     let joined: JoinedSketch = left.join(&right);
-    let estimate = trial.mode.estimate(joined.xs(), joined.ys(), trial.config.seed)?;
-    Some(TrialOutcome { estimate, join_size: joined.len(), left_storage: left.len() })
+    let estimate = trial
+        .mode
+        .estimate(joined.xs(), joined.ys(), trial.config.seed)?;
+    Some(TrialOutcome {
+        estimate,
+        join_size: joined.len(),
+        left_storage: left.len(),
+    })
 }
 
 /// Runs the sketch join only (no estimation) — used by experiments that only
 /// need join-size statistics.
 #[must_use]
-pub fn sketch_join_size(pair: &DecomposedPair, kind: SketchKind, config: &SketchConfig) -> Option<usize> {
-    let left = kind.build_left(&pair.train, &pair.key_column, &pair.target_column, config).ok()?;
+pub fn sketch_join_size(
+    pair: &DecomposedPair,
+    kind: SketchKind,
+    config: &SketchConfig,
+) -> Option<usize> {
+    let left = kind
+        .build_left(&pair.train, &pair.key_column, &pair.target_column, config)
+        .ok()?;
     let right = kind
-        .build_right(&pair.cand, &pair.key_column, &pair.feature_column, pair.aggregation, config)
+        .build_right(
+            &pair.cand,
+            &pair.key_column,
+            &pair.feature_column,
+            pair.aggregation,
+            config,
+        )
         .ok()?;
     Some(left.join(&right).len())
 }
@@ -139,7 +162,12 @@ pub fn sketch_join_size(pair: &DecomposedPair, kind: SketchKind, config: &Sketch
 /// recovers the generated pairs exactly — verified by the decomposition
 /// round-trip tests).
 #[must_use]
-pub fn full_join_estimate(xs: &[Value], ys: &[Value], mode: EstimatorMode, seed: u64) -> Option<f64> {
+pub fn full_join_estimate(
+    xs: &[Value],
+    ys: &[Value],
+    mode: EstimatorMode,
+    seed: u64,
+) -> Option<f64> {
     mode.estimate(xs, ys, seed)
 }
 
@@ -198,10 +226,14 @@ mod tests {
 
     #[test]
     fn too_small_samples_return_none() {
-        assert!(EstimatorMode::MixedKsg.estimate(&[Value::Int(1)], &[Value::Int(1)], 0).is_none());
+        assert!(EstimatorMode::MixedKsg
+            .estimate(&[Value::Int(1)], &[Value::Int(1)], 0)
+            .is_none());
         let strings = vec![Value::from("a"); 10];
         // Non-numeric data cannot be fed to the KSG-family modes.
-        assert!(EstimatorMode::MixedKsg.estimate(&strings, &strings, 0).is_none());
+        assert!(EstimatorMode::MixedKsg
+            .estimate(&strings, &strings, 0)
+            .is_none());
         assert!(EstimatorMode::Mle.estimate(&strings, &strings, 0).is_some());
     }
 
@@ -212,8 +244,11 @@ mod tests {
         let pair = decompose(&data.xs, &data.ys, KeyDistribution::KeyInd);
         let config = SketchConfig::new(256, 1);
         let size = sketch_join_size(&pair, SketchKind::Tupsk, &config).unwrap();
-        let trial =
-            SketchTrial { kind: SketchKind::Tupsk, config, mode: EstimatorMode::MixedKsg };
+        let trial = SketchTrial {
+            kind: SketchKind::Tupsk,
+            config,
+            mode: EstimatorMode::MixedKsg,
+        };
         let outcome = sketch_estimate(&pair, &trial).unwrap();
         assert_eq!(size, outcome.join_size);
     }

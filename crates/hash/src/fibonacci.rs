@@ -69,7 +69,11 @@ mod tests {
         for x in 0..100_000u64 {
             seen.insert(fibonacci_hash_u64(x));
         }
-        assert_eq!(seen.len(), 100_000, "Fibonacci hashing collided on small consecutive inputs");
+        assert_eq!(
+            seen.len(),
+            100_000,
+            "Fibonacci hashing collided on small consecutive inputs"
+        );
     }
 
     #[test]

@@ -170,7 +170,10 @@ mod tests {
         let h = KeyHasher::default_64();
         let mut seen = std::collections::HashSet::new();
         for i in 0..50_000 {
-            assert!(seen.insert(h.hash_str(&format!("zip-{i}"))), "collision at {i}");
+            assert!(
+                seen.insert(h.hash_str(&format!("zip-{i}"))),
+                "collision at {i}"
+            );
         }
     }
 }

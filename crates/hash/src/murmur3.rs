@@ -263,13 +263,30 @@ mod tests {
     #[test]
     fn x64_128_different_lengths_differ() {
         let inputs: Vec<&[u8]> = vec![
-            b"a", b"ab", b"abc", b"abcd", b"abcde", b"abcdef", b"abcdefg", b"abcdefgh",
-            b"abcdefghi", b"abcdefghij", b"abcdefghijk", b"abcdefghijkl", b"abcdefghijklm",
-            b"abcdefghijklmn", b"abcdefghijklmno", b"abcdefghijklmnop", b"abcdefghijklmnopq",
+            b"a",
+            b"ab",
+            b"abc",
+            b"abcd",
+            b"abcde",
+            b"abcdef",
+            b"abcdefg",
+            b"abcdefgh",
+            b"abcdefghi",
+            b"abcdefghij",
+            b"abcdefghijk",
+            b"abcdefghijkl",
+            b"abcdefghijklm",
+            b"abcdefghijklmn",
+            b"abcdefghijklmno",
+            b"abcdefghijklmnop",
+            b"abcdefghijklmnopq",
         ];
         let mut seen = std::collections::HashSet::new();
         for input in inputs {
-            assert!(seen.insert(murmur3_x64_128(input, 7)), "collision for {input:?}");
+            assert!(
+                seen.insert(murmur3_x64_128(input, 7)),
+                "collision for {input:?}"
+            );
         }
     }
 

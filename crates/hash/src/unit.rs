@@ -98,7 +98,10 @@ mod tests {
         let a = UnitHasher::new(1);
         let b = UnitHasher::new(2);
         let same = (0..1000u64).filter(|&k| a.unit(k) == b.unit(k)).count();
-        assert!(same < 5, "seeds should produce different orderings, got {same} equal");
+        assert!(
+            same < 5,
+            "seeds should produce different orderings, got {same} equal"
+        );
     }
 
     #[test]

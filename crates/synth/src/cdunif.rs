@@ -127,7 +127,11 @@ mod tests {
         let (xs, ys) = cfg.sample(8000, 11);
         let x_codes: Vec<u32> = xs.iter().map(|&v| v as u32).collect();
         let est = joinmi_estimators::dc_ksg_mi(&x_codes, &ys, 3).unwrap();
-        assert!((est - cfg.true_mi()).abs() < 0.1, "est={est}, truth={}", cfg.true_mi());
+        assert!(
+            (est - cfg.true_mi()).abs() < 0.1,
+            "est={est}, truth={}",
+            cfg.true_mi()
+        );
     }
 
     #[test]
@@ -135,7 +139,10 @@ mod tests {
         for m in [2u32, 10, 100, 777] {
             let target = CdUnifConfig::new(m).true_mi();
             let recovered = CdUnifConfig::m_for_target_mi(target);
-            assert!((i64::from(recovered) - i64::from(m)).abs() <= 1, "m={m}, recovered={recovered}");
+            assert!(
+                (i64::from(recovered) - i64::from(m)).abs() <= 1,
+                "m={m}, recovered={recovered}"
+            );
         }
         assert_eq!(CdUnifConfig::m_for_target_mi(0.0), 1);
     }

@@ -164,8 +164,20 @@ mod tests {
     use joinmi_table::{augment, AugmentSpec};
 
     fn sample_pairs() -> (Vec<Value>, Vec<Value>) {
-        let xs = vec![Value::Int(5), Value::Int(2), Value::Int(5), Value::Int(9), Value::Int(2)];
-        let ys = vec![Value::Int(50), Value::Int(20), Value::Int(51), Value::Int(90), Value::Int(21)];
+        let xs = vec![
+            Value::Int(5),
+            Value::Int(2),
+            Value::Int(5),
+            Value::Int(9),
+            Value::Int(2),
+        ];
+        let ys = vec![
+            Value::Int(50),
+            Value::Int(20),
+            Value::Int(51),
+            Value::Int(90),
+            Value::Int(21),
+        ];
         (xs, ys)
     }
 
@@ -179,10 +191,12 @@ mod tests {
         );
         let joined = augment(&pair.train, &pair.cand, &spec).unwrap();
         let feature_col = spec.feature_column_name();
-        let xs: Vec<Value> =
-            (0..joined.table.num_rows()).map(|i| joined.table.value(i, &feature_col).unwrap()).collect();
-        let ys: Vec<Value> =
-            (0..joined.table.num_rows()).map(|i| joined.table.value(i, &pair.target_column).unwrap()).collect();
+        let xs: Vec<Value> = (0..joined.table.num_rows())
+            .map(|i| joined.table.value(i, &feature_col).unwrap())
+            .collect();
+        let ys: Vec<Value> = (0..joined.table.num_rows())
+            .map(|i| joined.table.value(i, &pair.target_column).unwrap())
+            .collect();
         (xs, ys)
     }
 
@@ -214,8 +228,9 @@ mod tests {
         let xs = vec![Value::Int(1), Value::Int(1), Value::Int(1), Value::Int(2)];
         let ys = vec![Value::Int(0); 4];
         let pair = decompose(&xs, &ys, KeyDistribution::KeyDep);
-        let keys: Vec<Value> =
-            (0..4).map(|i| pair.train.value(i, "key").unwrap()).collect();
+        let keys: Vec<Value> = (0..4)
+            .map(|i| pair.train.value(i, "key").unwrap())
+            .collect();
         assert_eq!(keys.iter().filter(|k| **k == Value::from("1")).count(), 3);
         assert_eq!(keys.iter().filter(|k| **k == Value::from("2")).count(), 1);
     }

@@ -103,7 +103,9 @@ impl OpenDataCollection {
         // this is what creates genuine cross-table relationships (two tables
         // that both depend strongly on the latent key attribute have high MI
         // after a join on the key).
-        let latent: Vec<f64> = (0..cfg.key_universe).map(|_| rng.gen::<f64>() * 100.0).collect();
+        let latent: Vec<f64> = (0..cfg.key_universe)
+            .map(|_| rng.gen::<f64>() * 100.0)
+            .collect();
 
         let mut tables = Vec::with_capacity(cfg.num_tables);
         for t in 0..cfg.num_tables {
@@ -149,7 +151,10 @@ impl OpenDataCollection {
                 .expect("generated columns are aligned");
             tables.push(table);
         }
-        Self { name: cfg.name.clone(), tables }
+        Self {
+            name: cfg.name.clone(),
+            tables,
+        }
     }
 
     /// All ordered pairs `(i, j)` with `i != j`, the sampling frame of the
@@ -224,7 +229,10 @@ mod tests {
         let b: std::collections::HashSet<String> = (0..coll.tables[1].num_rows())
             .map(|i| coll.tables[1].value(i, "key").unwrap().to_string())
             .collect();
-        assert!(a.intersection(&b).count() > 10, "key domains do not overlap");
+        assert!(
+            a.intersection(&b).count() > 10,
+            "key domains do not overlap"
+        );
     }
 
     #[test]

@@ -38,13 +38,17 @@ impl TaxiScenario {
         let mut gauss = GaussianSampler::new();
 
         let boroughs = ["Brooklyn", "Manhattan", "Queens", "Bronx", "Staten Island"];
-        let zipcodes: Vec<String> = (0..num_zips).map(|z| format!("{:05}", 10_001 + z)).collect();
-        let populations: Vec<f64> =
-            (0..num_zips).map(|_| 10_000.0 + rng.gen::<f64>() * 90_000.0).collect();
+        let zipcodes: Vec<String> = (0..num_zips)
+            .map(|z| format!("{:05}", 10_001 + z))
+            .collect();
+        let populations: Vec<f64> = (0..num_zips)
+            .map(|_| 10_000.0 + rng.gen::<f64>() * 90_000.0)
+            .collect();
 
         // Per-day rainfall (mm) and temperature baseline.
-        let daily_rain: Vec<f64> =
-            (0..num_days).map(|_| (rng.gen::<f64>() * 2.0 - 0.8).max(0.0)).collect();
+        let daily_rain: Vec<f64> = (0..num_days)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 0.8).max(0.0))
+            .collect();
         let daily_temp: Vec<f64> = (0..num_days)
             .map(|d| 10.0 + 15.0 * ((d as f64) * 0.17).sin() + gauss.sample(&mut rng) * 3.0)
             .collect();
@@ -83,8 +87,11 @@ impl TaxiScenario {
             for hour in 0..24i64 {
                 w_dates.push(date.clone());
                 w_hours.push(hour);
-                w_temp.push(daily_temp[d] + 4.0 * ((hour as f64 - 14.0) / 24.0 * std::f64::consts::PI).cos()
-                    + gauss.sample(&mut rng) * 0.5);
+                w_temp.push(
+                    daily_temp[d]
+                        + 4.0 * ((hour as f64 - 14.0) / 24.0 * std::f64::consts::PI).cos()
+                        + gauss.sample(&mut rng) * 0.5,
+                );
                 w_rain.push((daily_rain[d] / 24.0 * (1.0 + 0.3 * gauss.sample(&mut rng))).max(0.0));
             }
         }
@@ -97,8 +104,9 @@ impl TaxiScenario {
             .expect("aligned columns");
 
         // Demographics table: one row per zip.
-        let d_boroughs: Vec<String> =
-            (0..num_zips).map(|z| boroughs[z % boroughs.len()].to_owned()).collect();
+        let d_boroughs: Vec<String> = (0..num_zips)
+            .map(|z| boroughs[z % boroughs.len()].to_owned())
+            .collect();
         let demographics = Table::builder("demographics")
             .push_str_column("zipcode", zipcodes.clone())
             .push_str_column("borough", d_boroughs)
@@ -121,7 +129,12 @@ impl TaxiScenario {
             .build()
             .expect("aligned columns");
 
-        Self { taxi, weather, demographics, inspections }
+        Self {
+            taxi,
+            weather,
+            demographics,
+            inspections,
+        }
     }
 }
 
@@ -166,15 +179,23 @@ mod tests {
         let rain_mi = joinmi_estimators::mixed_ksg_mi(&rain_x, &trips, 3).unwrap();
         assert!(rain_mi > 0.02, "rainfall MI too small: {rain_mi}");
 
-        let pop_spec =
-            AugmentSpec::new("zipcode", "num_trips", "zipcode", "population", Aggregation::Avg);
+        let pop_spec = AugmentSpec::new(
+            "zipcode",
+            "num_trips",
+            "zipcode",
+            "population",
+            Aggregation::Avg,
+        );
         let pop = augment(&s.taxi, &s.demographics, &pop_spec).unwrap().table;
         let pop_x: Vec<f64> = (0..pop.num_rows())
             .map(|i| pop.value(i, "AVG(population)").unwrap().as_f64().unwrap())
             .collect();
         let pop_mi = joinmi_estimators::mixed_ksg_mi(&pop_x, &trips, 3).unwrap();
         assert!(pop_mi > 0.5, "population MI too small: {pop_mi}");
-        assert!(pop_mi > rain_mi, "population should dominate rainfall in this scenario");
+        assert!(
+            pop_mi > rain_mi,
+            "population should dominate rainfall in this scenario"
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl TrinomialConfig {
     #[must_use]
     pub fn new(m: u32, p1: f64, p2: f64) -> Self {
         assert!(m >= 1, "m must be positive");
-        assert!(p1 > 0.0 && p2 > 0.0 && p1 + p2 < 1.0, "invalid trinomial probabilities");
+        assert!(
+            p1 > 0.0 && p2 > 0.0 && p1 + p2 < 1.0,
+            "invalid trinomial probabilities"
+        );
         Self { m, p1, p2 }
     }
 
@@ -208,7 +211,9 @@ mod tests {
         // Large m approaches the Gaussian entropy ½ ln(2πe mpq).
         let m = 512u32;
         let p = 0.3;
-        let gaussian = 0.5 * (2.0 * std::f64::consts::PI * std::f64::consts::E * f64::from(m) * p * (1.0 - p)).ln();
+        let gaussian = 0.5
+            * (2.0 * std::f64::consts::PI * std::f64::consts::E * f64::from(m) * p * (1.0 - p))
+                .ln();
         assert!((binomial_entropy(m, p) - gaussian).abs() < 0.01);
     }
 
@@ -230,7 +235,10 @@ mod tests {
         let cfg = TrinomialConfig::new(512, 0.4, 0.35);
         let exact = cfg.true_mi();
         let approx = cfg.gaussian_approx_mi();
-        assert!((exact - approx).abs() < 0.05, "exact={exact}, approx={approx}");
+        assert!(
+            (exact - approx).abs() < 0.05,
+            "exact={exact}, approx={approx}"
+        );
         // And distinctly positive (dependence exists).
         assert!(exact > 0.1);
     }

@@ -274,9 +274,18 @@ mod tests {
 
     #[test]
     fn output_dtype_rules() {
-        assert_eq!(Aggregation::Count.output_dtype(DataType::Str).unwrap(), DataType::Int);
-        assert_eq!(Aggregation::Avg.output_dtype(DataType::Int).unwrap(), DataType::Float);
-        assert_eq!(Aggregation::Mode.output_dtype(DataType::Str).unwrap(), DataType::Str);
+        assert_eq!(
+            Aggregation::Count.output_dtype(DataType::Str).unwrap(),
+            DataType::Int
+        );
+        assert_eq!(
+            Aggregation::Avg.output_dtype(DataType::Int).unwrap(),
+            DataType::Float
+        );
+        assert_eq!(
+            Aggregation::Mode.output_dtype(DataType::Str).unwrap(),
+            DataType::Str
+        );
         assert!(Aggregation::Avg.output_dtype(DataType::Str).is_err());
         assert!(Aggregation::Median.output_dtype(DataType::Str).is_err());
     }
@@ -315,7 +324,10 @@ mod tests {
 
     #[test]
     fn group_by_missing_column_errors() {
-        let t = Table::builder("t").push_int_column("a", vec![1]).build().unwrap();
+        let t = Table::builder("t")
+            .push_int_column("a", vec![1])
+            .build()
+            .unwrap();
         assert!(group_by_aggregate(&t, "nope", "a", Aggregation::Count).is_err());
         assert!(group_by_aggregate(&t, "a", "nope", Aggregation::Count).is_err());
     }

@@ -97,7 +97,12 @@ mod tests {
         let xs: Vec<Value> = (0..4).map(|i| res.table.value(i, &col).unwrap()).collect();
         assert_eq!(
             xs,
-            vec![Value::Float(1.0), Value::Float(1.0), Value::Float(3.0), Value::Float(2.0)]
+            vec![
+                Value::Float(1.0),
+                Value::Float(1.0),
+                Value::Float(3.0),
+                Value::Float(2.0)
+            ]
         );
 
         // MODE generates X = [1, 1, 2, 3].
@@ -105,14 +110,20 @@ mod tests {
         let res = augment(&train, &cand, &spec).unwrap();
         let col = spec.feature_column_name();
         let xs: Vec<Value> = (0..4).map(|i| res.table.value(i, &col).unwrap()).collect();
-        assert_eq!(xs, vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(
+            xs,
+            vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
 
         // COUNT generates X = [1, 1, 3, 3].
         let spec = AugmentSpec::new("ky", "y", "kz", "z", Aggregation::Count);
         let res = augment(&train, &cand, &spec).unwrap();
         let col = spec.feature_column_name();
         let xs: Vec<Value> = (0..4).map(|i| res.table.value(i, &col).unwrap()).collect();
-        assert_eq!(xs, vec![Value::Int(1), Value::Int(1), Value::Int(3), Value::Int(3)]);
+        assert_eq!(
+            xs,
+            vec![Value::Int(1), Value::Int(1), Value::Int(3), Value::Int(3)]
+        );
     }
 
     #[test]

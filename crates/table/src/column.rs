@@ -157,9 +157,12 @@ impl Column {
         match self {
             Self::Int(v) => Self::Int(indices.iter().map(|i| i.and_then(|i| v[i])).collect()),
             Self::Float(v) => Self::Float(indices.iter().map(|i| i.and_then(|i| v[i])).collect()),
-            Self::Str(v) => {
-                Self::Str(indices.iter().map(|i| i.and_then(|i| v[i].clone())).collect())
-            }
+            Self::Str(v) => Self::Str(
+                indices
+                    .iter()
+                    .map(|i| i.and_then(|i| v[i].clone()))
+                    .collect(),
+            ),
         }
     }
 
@@ -184,7 +187,9 @@ impl ColumnBuilder {
     /// Creates a builder for a column of the given type.
     #[must_use]
     pub fn new(dtype: DataType) -> Self {
-        Self { column: Column::empty(dtype) }
+        Self {
+            column: Column::empty(dtype),
+        }
     }
 
     /// Appends a NULL entry.

@@ -22,7 +22,10 @@ pub struct CsvOptions {
 
 impl Default for CsvOptions {
     fn default() -> Self {
-        Self { separator: ',', has_header: true }
+        Self {
+            separator: ',',
+            has_header: true,
+        }
     }
 }
 
@@ -37,7 +40,10 @@ pub fn read_csv_str(name: &str, text: &str, options: &CsvOptions) -> Result<Tabl
         (records[0].clone(), &records[1..])
     } else {
         let width = records[0].len();
-        ((0..width).map(|i| format!("col{i}")).collect(), &records[..])
+        (
+            (0..width).map(|i| format!("col{i}")).collect(),
+            &records[..],
+        )
     };
 
     let ncols = header.len();
@@ -72,8 +78,12 @@ pub fn read_csv_str(name: &str, text: &str, options: &CsvOptions) -> Result<Tabl
 #[must_use]
 pub fn write_csv_string(table: &Table) -> String {
     let mut out = String::new();
-    let names: Vec<String> =
-        table.schema().fields().iter().map(|f| escape_field(&f.name, ',')).collect();
+    let names: Vec<String> = table
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| escape_field(&f.name, ','))
+        .collect();
     out.push_str(&names.join(","));
     out.push('\n');
     for row in 0..table.num_rows() {
@@ -205,7 +215,10 @@ mod tests {
     #[test]
     fn headerless_mode_and_custom_separator() {
         let csv = "1;x\n2;y\n";
-        let opts = CsvOptions { separator: ';', has_header: false };
+        let opts = CsvOptions {
+            separator: ';',
+            has_header: false,
+        };
         let t = read_csv_str("h", csv, &opts).unwrap();
         assert_eq!(t.schema().names(), vec!["col0", "col1"]);
         assert_eq!(t.value(1, "col1").unwrap(), Value::from("y"));

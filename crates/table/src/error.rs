@@ -51,12 +51,22 @@ impl fmt::Display for TableError {
             Self::ColumnNotFound { table, column } => {
                 write!(f, "column `{column}` not found in table `{table}`")
             }
-            Self::LengthMismatch { context, expected, actual } => {
-                write!(f, "length mismatch in {context}: expected {expected}, got {actual}")
+            Self::LengthMismatch {
+                context,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "length mismatch in {context}: expected {expected}, got {actual}"
+                )
             }
             Self::DuplicateColumn(name) => write!(f, "duplicate column `{name}`"),
             Self::IncompatibleAggregation { aggregation, dtype } => {
-                write!(f, "aggregation {aggregation} cannot be applied to {dtype} values")
+                write!(
+                    f,
+                    "aggregation {aggregation} cannot be applied to {dtype} values"
+                )
             }
             Self::ParseError { raw, dtype } => {
                 write!(f, "cannot parse `{raw}` as {dtype}")
@@ -64,7 +74,10 @@ impl fmt::Display for TableError {
             Self::CsvError(msg) => write!(f, "CSV error: {msg}"),
             Self::EmptyTable(name) => write!(f, "table `{name}` has no data"),
             Self::DuplicateJoinKey(key) => {
-                write!(f, "join key `{key}` appears more than once on the aggregated side")
+                write!(
+                    f,
+                    "join key `{key}` appears more than once on the aggregated side"
+                )
             }
         }
     }
@@ -78,14 +91,20 @@ mod tests {
 
     #[test]
     fn display_messages_mention_the_offender() {
-        let e = TableError::ColumnNotFound { table: "taxi".into(), column: "zip".into() };
+        let e = TableError::ColumnNotFound {
+            table: "taxi".into(),
+            column: "zip".into(),
+        };
         assert!(e.to_string().contains("zip"));
         assert!(e.to_string().contains("taxi"));
 
         let e = TableError::DuplicateColumn("x".into());
         assert!(e.to_string().contains('x'));
 
-        let e = TableError::ParseError { raw: "abc".into(), dtype: "int".into() };
+        let e = TableError::ParseError {
+            raw: "abc".into(),
+            dtype: "int".into(),
+        };
         assert!(e.to_string().contains("abc"));
     }
 }

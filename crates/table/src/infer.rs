@@ -119,6 +119,9 @@ mod tests {
     fn integral_strings_can_still_be_treated_as_categories() {
         // The paper notes UPC-code-like columns should be strings; inference
         // alone cannot know that, but parse_value allows forcing Str.
-        assert_eq!(parse_value("00123", DataType::Str), Some(Value::from("00123")));
+        assert_eq!(
+            parse_value("00123", DataType::Str),
+            Some(Value::from("00123"))
+        );
     }
 }

@@ -63,15 +63,25 @@ pub fn left_outer_join(
     let mut matched = 0usize;
     for i in 0..left.num_rows() {
         let k = left_key_col.value(i);
-        let hit = if k.is_null() { None } else { probe_index.get(&k).copied() };
+        let hit = if k.is_null() {
+            None
+        } else {
+            probe_index.get(&k).copied()
+        };
         if hit.is_some() {
             matched += 1;
         }
         right_row_for_left.push(hit);
     }
 
-    let table = assemble(left, right, right_key, |col: &Column| col.take_opt(&right_row_for_left))?;
-    Ok(JoinResult { table, matched_rows: matched, left_rows: left.num_rows() })
+    let table = assemble(left, right, right_key, |col: &Column| {
+        col.take_opt(&right_row_for_left)
+    })?;
+    Ok(JoinResult {
+        table,
+        matched_rows: matched,
+        left_rows: left.num_rows(),
+    })
 }
 
 /// Performs `left INNER JOIN right ON left[left_key] = right[right_key]` with
@@ -101,8 +111,14 @@ pub fn inner_join(
 
     let left_subset = left.take(&left_rows);
     let matched = left_rows.len();
-    let table = assemble(&left_subset, right, right_key, |col: &Column| col.take(&right_rows))?;
-    Ok(JoinResult { table, matched_rows: matched, left_rows: left.num_rows() })
+    let table = assemble(&left_subset, right, right_key, |col: &Column| {
+        col.take(&right_rows)
+    })?;
+    Ok(JoinResult {
+        table,
+        matched_rows: matched,
+        left_rows: left.num_rows(),
+    })
 }
 
 /// Builds a `Value -> row index` map for the right side, erroring on
@@ -127,7 +143,9 @@ fn assemble<F>(left: &Table, right: &Table, right_key: &str, gather: F) -> Resul
 where
     F: Fn(&Column) -> Column,
 {
-    let mut out = left.clone().renamed(format!("{}_join_{}", left.name(), right.name()));
+    let mut out = left
+        .clone()
+        .renamed(format!("{}_join_{}", left.name(), right.name()));
     for field in right.schema().fields() {
         if field.name == right_key {
             continue; // the key is already present via the left table

@@ -16,7 +16,10 @@ pub struct Field {
 impl Field {
     /// Creates a new field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Self { name: name.into(), dtype }
+        Self {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 

@@ -25,10 +25,7 @@ impl Table {
     }
 
     /// Creates a table directly from columns.
-    pub fn from_columns(
-        name: impl Into<String>,
-        columns: Vec<(String, Column)>,
-    ) -> Result<Self> {
+    pub fn from_columns(name: impl Into<String>, columns: Vec<(String, Column)>) -> Result<Self> {
         let mut builder = TableBuilder::new(name);
         for (col_name, col) in columns {
             builder = builder.push_column(col_name, col);
@@ -160,7 +157,11 @@ impl fmt::Display for Table {
         writeln!(f, "{} {} ({} rows)", self.name, self.schema, self.nrows)?;
         let preview = self.nrows.min(10);
         for row in 0..preview {
-            let cells: Vec<String> = self.columns.iter().map(|c| c.value(row).to_string()).collect();
+            let cells: Vec<String> = self
+                .columns
+                .iter()
+                .map(|c| c.value(row).to_string())
+                .collect();
             writeln!(f, "  {}", cells.join(" | "))?;
         }
         if self.nrows > preview {
@@ -181,7 +182,11 @@ pub struct TableBuilder {
 impl TableBuilder {
     /// Creates a builder for a table with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), schema: Schema::default(), columns: Vec::new() }
+        Self {
+            name: name.into(),
+            schema: Schema::default(),
+            columns: Vec::new(),
+        }
     }
 
     /// Adds an already-built column.
@@ -234,7 +239,10 @@ impl TableBuilder {
     pub fn build(self) -> Result<Table> {
         // Duplicate column names.
         for (i, field) in self.schema.fields().iter().enumerate() {
-            if self.schema.fields()[..i].iter().any(|f| f.name == field.name) {
+            if self.schema.fields()[..i]
+                .iter()
+                .any(|f| f.name == field.name)
+            {
                 return Err(TableError::DuplicateColumn(field.name.clone()));
             }
         }
@@ -249,7 +257,12 @@ impl TableBuilder {
                 });
             }
         }
-        Ok(Table { name: self.name, schema: self.schema, columns: self.columns, nrows })
+        Ok(Table {
+            name: self.name,
+            schema: self.schema,
+            columns: self.columns,
+            nrows,
+        })
     }
 }
 
@@ -316,10 +329,16 @@ mod tests {
     #[test]
     fn with_column_checks_length_and_duplicates() {
         let t = taxi();
-        let ok = t.clone().with_column("extra", Column::from_ints([1, 2, 3])).unwrap();
+        let ok = t
+            .clone()
+            .with_column("extra", Column::from_ints([1, 2, 3]))
+            .unwrap();
         assert_eq!(ok.num_columns(), 3);
 
-        assert!(t.clone().with_column("zip", Column::from_ints([1, 2, 3])).is_err());
+        assert!(t
+            .clone()
+            .with_column("zip", Column::from_ints([1, 2, 3]))
+            .is_err());
         assert!(t.with_column("extra", Column::from_ints([1])).is_err());
     }
 
@@ -340,7 +359,11 @@ mod tests {
     #[test]
     fn push_value_column_with_nulls() {
         let t = Table::builder("t")
-            .push_value_column("v", DataType::Float, &[Value::Int(1), Value::Null, Value::Float(0.5)])
+            .push_value_column(
+                "v",
+                DataType::Float,
+                &[Value::Int(1), Value::Null, Value::Float(0.5)],
+            )
             .unwrap()
             .build()
             .unwrap();

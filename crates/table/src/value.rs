@@ -316,7 +316,11 @@ mod tests {
 
     #[test]
     fn nan_sorts_last_among_numbers() {
-        let mut vals = vec![Value::Float(f64::NAN), Value::Float(1.0), Value::Float(-1.0)];
+        let mut vals = [
+            Value::Float(f64::NAN),
+            Value::Float(1.0),
+            Value::Float(-1.0),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Float(-1.0));
         assert_eq!(vals[1], Value::Float(1.0));

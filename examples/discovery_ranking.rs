@@ -25,7 +25,11 @@ fn main() {
         ..RepositoryConfig::default()
     });
     let mut ingested = 0usize;
-    for table in [&scenario.weather, &scenario.demographics, &scenario.inspections] {
+    for table in [
+        &scenario.weather,
+        &scenario.demographics,
+        &scenario.inspections,
+    ] {
         ingested += repo.add_table(table.clone()).expect("ingest");
     }
     for table in &noise.tables {
@@ -45,7 +49,10 @@ fn main() {
         .with_sketch(SketchKind::Tupsk, SketchConfig::new(1024, 11));
     let ranking = query.execute(&repo).expect("query");
 
-    println!("{:<55} {:>10} {:>10} {:>12}", "candidate", "est. MI", "samples", "estimator");
+    println!(
+        "{:<55} {:>10} {:>10} {:>12}",
+        "candidate", "est. MI", "samples", "estimator"
+    );
     println!("{}", "-".repeat(92));
     for candidate in &ranking {
         println!(
@@ -63,7 +70,9 @@ fn main() {
         return;
     };
     let plan = AugmentationPlan::new("zipcode", "num_trips", best.clone());
-    let augmented = plan.materialize(&scenario.taxi, &repo).expect("materialize");
+    let augmented = plan
+        .materialize(&scenario.taxi, &repo)
+        .expect("materialize");
     println!(
         "\nmaterialized `{}` -> augmented table with {} rows and {} columns (containment {:.0}%)",
         best.label(),

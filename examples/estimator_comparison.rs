@@ -9,7 +9,10 @@ use joinmi::prelude::*;
 use joinmi::table::Value;
 
 fn to_f64(values: &[Value]) -> Vec<f64> {
-    values.iter().map(|v| v.as_f64().expect("numeric")).collect()
+    values
+        .iter()
+        .map(|v| v.as_f64().expect("numeric"))
+        .collect()
 }
 
 fn estimate_all(xs: &[Value], ys: &[Value]) -> (f64, f64, f64) {
@@ -29,7 +32,13 @@ fn main() {
         "{:>6} {:>10} {:>8} | {:>8} {:>10} {:>8}",
         "m", "true MI", "N", "MLE", "MixedKSG", "DC-KSG"
     );
-    for (m, n) in [(16u32, 10_000usize), (64, 10_000), (256, 10_000), (256, 256), (1024, 256)] {
+    for (m, n) in [
+        (16u32, 10_000usize),
+        (64, 10_000),
+        (256, 10_000),
+        (256, 256),
+        (1024, 256),
+    ] {
         let gen = TrinomialConfig::with_random_target(m, 3.0, u64::from(m) + n as u64);
         let data = gen.generate(n, 7);
         let (mle, mixed, dc) = estimate_all(&data.xs, &data.ys);
@@ -44,14 +53,23 @@ fn main() {
         "{:>6} {:>10} {:>8} | {:>10} {:>8}",
         "m", "true MI", "N", "MixedKSG", "DC-KSG"
     );
-    for (m, n) in [(4u32, 10_000usize), (32, 10_000), (256, 10_000), (32, 256), (256, 256)] {
+    for (m, n) in [
+        (4u32, 10_000usize),
+        (32, 10_000),
+        (256, 10_000),
+        (32, 256),
+        (256, 256),
+    ] {
         let gen = CdUnifConfig::new(m);
         let data = gen.generate(n, 13);
         let xf = to_f64(&data.xs);
         let yf = to_f64(&data.ys);
         let mixed = mixed_ksg_mi(&xf, &yf, 3).unwrap_or(f64::NAN);
         let dc = dc_ksg_mi(&discretize(&data.xs), &yf, 3).unwrap_or(f64::NAN);
-        println!("{:>6} {:>10.3} {:>8} | {:>10.3} {:>8.3}", m, data.true_mi, n, mixed, dc);
+        println!(
+            "{:>6} {:>10.3} {:>8} | {:>10.3} {:>8.3}",
+            m, data.true_mi, n, mixed, dc
+        );
     }
 
     println!(

@@ -9,7 +9,9 @@ use joinmi::table::{augment, AugmentSpec};
 fn main() {
     // The base table the analyst is working on: daily taxi trips per ZIP code
     // (Figure 1(a) of the paper, heavily abridged).
-    let zipcodes = ["11201", "10011", "11215", "10003", "11201", "10011", "11215", "10003"];
+    let zipcodes = [
+        "11201", "10011", "11215", "10003", "11201", "10011", "11215", "10003",
+    ];
     let trips = [136i64, 112, 94, 140, 151, 120, 88, 135];
     let taxi = Table::builder("taxi")
         .push_str_column("zipcode", zipcodes.to_vec())
@@ -24,7 +26,13 @@ fn main() {
         .push_int_column("population", vec![53_041, 50_594, 37_840, 55_000, 41_000])
         .push_str_column(
             "borough",
-            vec!["Brooklyn", "Manhattan", "Brooklyn", "Manhattan", "Staten Island"],
+            vec![
+                "Brooklyn",
+                "Manhattan",
+                "Brooklyn",
+                "Manhattan",
+                "Staten Island",
+            ],
         )
         .build()
         .expect("valid table");
@@ -36,7 +44,13 @@ fn main() {
         .build_left(&taxi, "zipcode", "num_trips", &cfg)
         .expect("left sketch");
     let right = SketchKind::Tupsk
-        .build_right(&demographics, "zipcode", "population", Aggregation::Avg, &cfg)
+        .build_right(
+            &demographics,
+            "zipcode",
+            "population",
+            Aggregation::Avg,
+            &cfg,
+        )
         .expect("right sketch");
 
     // 2. Join the sketches (never the tables) and estimate MI.
@@ -50,10 +64,20 @@ fn main() {
     );
 
     // 3. Compare against the exact value computed on the materialized join.
-    let spec = AugmentSpec::new("zipcode", "num_trips", "zipcode", "population", Aggregation::Avg);
+    let spec = AugmentSpec::new(
+        "zipcode",
+        "num_trips",
+        "zipcode",
+        "population",
+        Aggregation::Avg,
+    );
     let full = augment(&taxi, &demographics, &spec).expect("full join");
     let xs: Vec<Value> = (0..full.table.num_rows())
-        .map(|i| full.table.value(i, &spec.feature_column_name()).expect("column"))
+        .map(|i| {
+            full.table
+                .value(i, &spec.feature_column_name())
+                .expect("column")
+        })
         .collect();
     let ys: Vec<Value> = (0..full.table.num_rows())
         .map(|i| full.table.value(i, "num_trips").expect("column"))

@@ -22,7 +22,10 @@ fn main() {
     // restaurant-inspections table.
     let scenario = TaxiScenario::generate(90, 20, 2024);
     let taxi = &scenario.taxi;
-    println!("base table: {} rows of (date, zipcode, num_trips)\n", taxi.num_rows());
+    println!(
+        "base table: {} rows of (date, zipcode, num_trips)\n",
+        taxi.num_rows()
+    );
 
     let candidates = vec![
         Candidate {
@@ -75,15 +78,29 @@ fn main() {
         let sketch_mi = joined.estimate_mi().map(|e| e.mi).unwrap_or(f64::NAN);
 
         // Exact reference: materialize the augmentation join.
-        let spec = AugmentSpec::new(left_key, "num_trips", cand.key, cand.feature, cand.aggregation);
+        let spec = AugmentSpec::new(
+            left_key,
+            "num_trips",
+            cand.key,
+            cand.feature,
+            cand.aggregation,
+        );
         let full = augment(taxi, &cand.table, &spec).expect("full join");
         let xs: Vec<Value> = (0..full.table.num_rows())
-            .map(|i| full.table.value(i, &spec.feature_column_name()).expect("column"))
+            .map(|i| {
+                full.table
+                    .value(i, &spec.feature_column_name())
+                    .expect("column")
+            })
             .collect();
         let ys: Vec<Value> = (0..full.table.num_rows())
             .map(|i| full.table.value(i, "num_trips").expect("column"))
             .collect();
-        let x_dtype = full.table.column(&spec.feature_column_name()).expect("column").dtype();
+        let x_dtype = full
+            .table
+            .column(&spec.feature_column_name())
+            .expect("column")
+            .dtype();
         let full_mi = joinmi::sketch::JoinedSketch::from_pairs(xs, ys, x_dtype, DataType::Int)
             .estimate_mi()
             .map(|e| e.mi)

@@ -64,7 +64,9 @@ pub use joinmi_table as table;
 pub mod prelude {
     pub use joinmi_discovery::{AugmentationPlan, RelationshipQuery, TableRepository};
     pub use joinmi_estimators::{EstimatorKind, MiEstimate};
-    pub use joinmi_sketch::{Aggregation as SketchAggregation, ColumnSketch, JoinedSketch, SketchConfig, SketchKind};
+    pub use joinmi_sketch::{
+        Aggregation as SketchAggregation, ColumnSketch, JoinedSketch, SketchConfig, SketchKind,
+    };
     pub use joinmi_synth::{CdUnifConfig, KeyDistribution, TrinomialConfig};
     pub use joinmi_table::{Aggregation, DataType, Table, Value};
 }

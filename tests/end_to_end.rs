@@ -29,7 +29,10 @@ fn full_join_mi(
         .collect();
     let x_dtype = joined.table.column(&feature_col).expect("column").dtype();
     let y_dtype = joined.table.column(target).expect("column").dtype();
-    JoinedSketch::from_pairs(xs, ys, x_dtype, y_dtype).estimate_mi().expect("estimate").mi
+    JoinedSketch::from_pairs(xs, ys, x_dtype, y_dtype)
+        .estimate_mi()
+        .expect("estimate")
+        .mi
 }
 
 #[test]
@@ -50,12 +53,21 @@ fn sketch_estimates_track_full_join_estimates_on_the_taxi_scenario() {
         .build_left(&scenario.taxi, "zipcode", "num_trips", &cfg)
         .expect("left sketch");
     let right = SketchKind::Tupsk
-        .build_right(&scenario.demographics, "zipcode", "population", Aggregation::Avg, &cfg)
+        .build_right(
+            &scenario.demographics,
+            "zipcode",
+            "population",
+            Aggregation::Avg,
+            &cfg,
+        )
         .expect("right sketch");
     let joined = left.join(&right);
     let sketch = joined.estimate_mi().expect("estimate").mi;
 
-    assert!(full > 0.3, "full-join MI should be clearly positive: {full}");
+    assert!(
+        full > 0.3,
+        "full-join MI should be clearly positive: {full}"
+    );
     assert!(
         (sketch - full).abs() < 0.5,
         "sketch estimate ({sketch}) should be close to the full-join estimate ({full})"
@@ -71,12 +83,22 @@ fn every_sketch_kind_completes_the_pipeline_on_the_taxi_scenario() {
             .build_left(&scenario.taxi, "date", "num_trips", &cfg)
             .expect("left sketch");
         let right = kind
-            .build_right(&scenario.weather, "date", "rainfall", Aggregation::Avg, &cfg)
+            .build_right(
+                &scenario.weather,
+                "date",
+                "rainfall",
+                Aggregation::Avg,
+                &cfg,
+            )
             .expect("right sketch");
         let joined = left.join(&right);
         if joined.len() >= 8 {
             let est = joined.estimate_mi().expect("estimate");
-            assert!(est.mi >= 0.0 && est.mi.is_finite(), "{kind}: bad estimate {}", est.mi);
+            assert!(
+                est.mi >= 0.0 && est.mi.is_finite(),
+                "{kind}: bad estimate {}",
+                est.mi
+            );
         }
         // Storage bound: at most 2n for the two-level sketches, n for others.
         let bound = match kind {
@@ -85,8 +107,16 @@ fn every_sketch_kind_completes_the_pipeline_on_the_taxi_scenario() {
             SketchKind::Indsk => 2 * cfg.size,
             _ => cfg.size,
         };
-        assert!(left.len() <= bound, "{kind}: left sketch too large ({})", left.len());
-        assert!(right.len() <= cfg.size, "{kind}: right sketch too large ({})", right.len());
+        assert!(
+            left.len() <= bound,
+            "{kind}: left sketch too large ({})",
+            left.len()
+        );
+        assert!(
+            right.len() <= cfg.size,
+            "{kind}: right sketch too large ({})",
+            right.len()
+        );
     }
 }
 
@@ -97,23 +127,34 @@ fn discovery_query_then_materialization_preserves_row_count() {
         sketch: SketchConfig::new(512, 21),
         ..RepositoryConfig::default()
     });
-    repo.add_table(scenario.weather.clone()).expect("ingest weather");
-    repo.add_table(scenario.demographics.clone()).expect("ingest demographics");
-    repo.add_table(scenario.inspections.clone()).expect("ingest inspections");
+    repo.add_table(scenario.weather.clone())
+        .expect("ingest weather");
+    repo.add_table(scenario.demographics.clone())
+        .expect("ingest demographics");
+    repo.add_table(scenario.inspections.clone())
+        .expect("ingest inspections");
 
     let query = RelationshipQuery::new(scenario.taxi.clone(), "zipcode", "num_trips")
         .with_top_k(5)
         .with_min_join_size(20)
         .with_sketch(SketchKind::Tupsk, SketchConfig::new(512, 21));
     let ranking = query.execute(&repo).expect("query");
-    assert!(!ranking.is_empty(), "the query should surface zipcode-keyed candidates");
+    assert!(
+        !ranking.is_empty(),
+        "the query should surface zipcode-keyed candidates"
+    );
 
     for candidate in &ranking {
         assert_eq!(candidate.key_column, "zipcode");
         let plan = AugmentationPlan::new("zipcode", "num_trips", candidate.clone());
-        let materialized = plan.materialize(&scenario.taxi, &repo).expect("materialize");
+        let materialized = plan
+            .materialize(&scenario.taxi, &repo)
+            .expect("materialize");
         assert_eq!(materialized.table.num_rows(), scenario.taxi.num_rows());
-        assert!(materialized.table.schema().contains(&plan.feature_column_name()));
+        assert!(materialized
+            .table
+            .schema()
+            .contains(&plan.feature_column_name()));
     }
 }
 
@@ -141,5 +182,8 @@ fn csv_round_trip_feeds_the_sketch_pipeline() {
     assert_eq!(a.len(), b.len());
     let keys_a: Vec<u64> = a.rows().iter().map(|r| r.key.raw()).collect();
     let keys_b: Vec<u64> = b.rows().iter().map(|r| r.key.raw()).collect();
-    assert_eq!(keys_a, keys_b, "sketches must be identical after a CSV round trip");
+    assert_eq!(
+        keys_a, keys_b,
+        "sketches must be identical after a CSV round trip"
+    );
 }

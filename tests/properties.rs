@@ -6,7 +6,9 @@ use joinmi::estimators::{mle_mi, smoothed_mle_mi};
 use joinmi::hash::{KeyHasher, UnitHasher};
 use joinmi::prelude::*;
 use joinmi::sketch::BoundedMinSet;
-use joinmi::table::{group_by_aggregate, left_outer_join, read_csv_str, write_csv_string, CsvOptions};
+use joinmi::table::{
+    group_by_aggregate, left_outer_join, read_csv_str, write_csv_string, CsvOptions,
+};
 use proptest::prelude::*;
 
 /// Strategy for small categorical code vectors (paired X/Y of equal length).

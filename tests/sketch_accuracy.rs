@@ -29,15 +29,29 @@ fn tupsk_join_size_dominates_indsk() {
     let pair = decompose(&data.xs, &data.ys, KeyDistribution::KeyInd);
     let config = SketchConfig::new(256, 9);
 
-    let tupsk = SketchTrial { kind: SketchKind::Tupsk, config, mode: EstimatorMode::MixedKsg };
-    let indsk = SketchTrial { kind: SketchKind::Indsk, config, mode: EstimatorMode::MixedKsg };
+    let tupsk = SketchTrial {
+        kind: SketchKind::Tupsk,
+        config,
+        mode: EstimatorMode::MixedKsg,
+    };
+    let indsk = SketchTrial {
+        kind: SketchKind::Indsk,
+        config,
+        mode: EstimatorMode::MixedKsg,
+    };
     let t = sketch_estimate(&pair, &tupsk).expect("TUPSK trial");
-    assert_eq!(t.join_size, 256, "coordinated unique-key join must recover the full budget");
+    assert_eq!(
+        t.join_size, 256,
+        "coordinated unique-key join must recover the full budget"
+    );
     // Independent sampling matches ~ n²/N keys — may even be too small to
     // estimate at all; either way it must recover far fewer pairs.
-    match sketch_estimate(&pair, &indsk) {
-        Some(i) => assert!(i.join_size < 64, "INDSK join unexpectedly large: {}", i.join_size),
-        None => (),
+    if let Some(i) = sketch_estimate(&pair, &indsk) {
+        assert!(
+            i.join_size < 64,
+            "INDSK join unexpectedly large: {}",
+            i.join_size
+        );
     }
 }
 
@@ -52,13 +66,21 @@ fn key_dependence_hurts_lv2sk_more_than_tupsk() {
         let gen = TrinomialConfig::with_random_target(512, 3.0, 100 + t);
         let data = gen.generate(10_000, 200 + t);
         let config = SketchConfig::new(256, 300 + t);
-        for (kind, penalty) in
-            [(SketchKind::Lv2sk, &mut lv2_penalty), (SketchKind::Tupsk, &mut tup_penalty)]
-        {
+        for (kind, penalty) in [
+            (SketchKind::Lv2sk, &mut lv2_penalty),
+            (SketchKind::Tupsk, &mut tup_penalty),
+        ] {
             let mut errors = [0.0f64; 2];
-            for (slot, key_dist) in [KeyDistribution::KeyInd, KeyDistribution::KeyDep].iter().enumerate() {
+            for (slot, key_dist) in [KeyDistribution::KeyInd, KeyDistribution::KeyDep]
+                .iter()
+                .enumerate()
+            {
                 let pair = decompose(&data.xs, &data.ys, *key_dist);
-                let trial = SketchTrial { kind, config, mode: EstimatorMode::Mle };
+                let trial = SketchTrial {
+                    kind,
+                    config,
+                    mode: EstimatorMode::Mle,
+                };
                 if let Some(outcome) = sketch_estimate(&pair, &trial) {
                     errors[slot] = (outcome.estimate - data.true_mi).powi(2);
                 }
@@ -79,7 +101,10 @@ fn key_dependence_hurts_lv2sk_more_than_tupsk() {
 /// it samples rows uniformly.
 #[test]
 fn tupsk_sample_reflects_row_frequencies_on_the_worked_example() {
-    let mut keys: Vec<String> = vec!["a", "b", "c", "d", "e"].into_iter().map(String::from).collect();
+    let mut keys: Vec<String> = vec!["a", "b", "c", "d", "e"]
+        .into_iter()
+        .map(String::from)
+        .collect();
     keys.extend(std::iter::repeat_with(|| "f".to_owned()).take(95));
     let ys: Vec<i64> = (0..100).collect();
     let train = Table::builder("train")
@@ -89,7 +114,9 @@ fn tupsk_sample_reflects_row_frequencies_on_the_worked_example() {
         .expect("table");
 
     let cfg = SketchConfig::new(50, 4);
-    let sketch = SketchKind::Tupsk.build_left(&train, "k", "y", &cfg).expect("sketch");
+    let sketch = SketchKind::Tupsk
+        .build_left(&train, "k", "y", &cfg)
+        .expect("sketch");
     // The dominant key must occupy roughly 95% of the TUPSK sample.
     let hasher = cfg.key_hasher();
     let f_hash = Value::from("f").key_hash(&hasher);
