@@ -1,0 +1,324 @@
+//! Quick-mode benchmark runner.
+//!
+//! `cargo run -p joinmi_bench --release -- --quick --json` runs a compressed
+//! version of the six criterion bench targets plus the parallel
+//! ingest-and-query pipeline workload, and emits a machine-readable
+//! `BENCH_PR2.json` (bench name → median wall nanoseconds) that seeds the
+//! perf trajectory for future PRs. Unlike the criterion benches (minutes),
+//! quick mode finishes in seconds, so CI can run it on every push.
+//!
+//! The pipeline workload ingests 32 candidate tables × 8 feature columns and
+//! runs one ranked relationship query, once pinned to 1 thread and once to 4
+//! (via `joinmi_par::with_threads`, independent of `JOINMI_THREADS`). The two
+//! runs are checked for bit-for-bit identical candidates and rankings; the
+//! JSON records both times, their ratio, and the identity check. Note the
+//! speedup is only meaningful on a machine with ≥ 4 cores — the JSON records
+//! the host parallelism so downstream tooling can judge.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use joinmi_bench::trinomial_workload;
+use joinmi_discovery::{RelationshipQuery, RepositoryConfig, TableRepository};
+use joinmi_eval::EstimatorMode;
+use joinmi_sketch::{SketchConfig, SketchKind};
+use joinmi_synth::KeyDistribution;
+use joinmi_table::{augment, AugmentSpec, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR2.json".to_owned());
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: joinmi_bench [--quick] [--json] [--out PATH]");
+        eprintln!("  --quick  small iteration counts / workloads (seconds, not minutes)");
+        eprintln!("  --json   write results to PATH (default BENCH_PR2.json)");
+        return;
+    }
+
+    // Quick mode: smaller tables and fewer repetitions; default mode uses the
+    // criterion-bench sizes for closer comparability.
+    let (rows, iters) = if quick { (5_000, 7) } else { (20_000, 15) };
+    let mut results: Vec<(String, f64)> = Vec::new();
+
+    bench_targets(rows, iters, &mut results);
+    pipeline_workload(quick, &mut results);
+    results.push((
+        "host/available_parallelism".to_owned(),
+        std::thread::available_parallelism().map_or(1.0, |n| n.get() as f64),
+    ));
+
+    let width = results.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    for (name, value) in &results {
+        println!("{name:width$}  {value:>14.0}");
+    }
+
+    if json {
+        let rendered = render_json(&results);
+        std::fs::write(&out_path, rendered).expect("write bench JSON");
+        println!("\nwrote {out_path}");
+    }
+}
+
+/// Median wall time of `iters` runs of `f`, in nanoseconds.
+fn median_ns<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<u128> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2] as f64
+}
+
+/// Compressed versions of the six criterion bench targets.
+fn bench_targets(rows: usize, iters: usize, results: &mut Vec<(String, f64)>) {
+    let workload = trinomial_workload(rows, KeyDistribution::KeyInd, 7);
+    let pair = &workload.pair;
+    let cfg = SketchConfig::new(256, 7);
+
+    // sketch_build: left-side TUPSK construction.
+    results.push((
+        format!("sketch_build/tupsk_left_{rows}_rows"),
+        median_ns(iters, || {
+            SketchKind::Tupsk
+                .build_left(&pair.train, &pair.key_column, &pair.target_column, &cfg)
+                .expect("sketch build")
+                .len()
+        }),
+    ));
+
+    let left = SketchKind::Tupsk
+        .build_left(&pair.train, &pair.key_column, &pair.target_column, &cfg)
+        .expect("left sketch");
+    let right = SketchKind::Tupsk
+        .build_right(
+            &pair.cand,
+            &pair.key_column,
+            &pair.feature_column,
+            pair.aggregation,
+            &cfg,
+        )
+        .expect("right sketch");
+
+    // sketch_join: probe + pair recovery only.
+    results.push((
+        "sketch_join/tupsk_n256".to_owned(),
+        median_ns(iters * 4, || left.join(&right).len()),
+    ));
+
+    // estimators: MLE on the recovered sample.
+    let joined = left.join(&right);
+    results.push((
+        "estimators/mle_on_sketch_join".to_owned(),
+        median_ns(iters, || {
+            EstimatorMode::Mle.estimate(joined.xs(), joined.ys(), 0)
+        }),
+    ));
+
+    // full_vs_sketch: the §V-D head-to-head, both sides.
+    let spec = AugmentSpec::new(
+        pair.key_column.clone(),
+        pair.target_column.clone(),
+        pair.key_column.clone(),
+        pair.feature_column.clone(),
+        pair.aggregation,
+    );
+    results.push((
+        format!("full_vs_sketch/full_join_and_estimate_{rows}"),
+        median_ns(iters.min(5), || {
+            let joined = augment(&pair.train, &pair.cand, &spec).expect("full join");
+            let feature = spec.feature_column_name();
+            let xs: Vec<_> = (0..joined.table.num_rows())
+                .map(|i| joined.table.value(i, &feature).expect("column"))
+                .collect();
+            let ys: Vec<_> = (0..joined.table.num_rows())
+                .map(|i| joined.table.value(i, &pair.target_column).expect("column"))
+                .collect();
+            EstimatorMode::Mle.estimate(&xs, &ys, 0)
+        }),
+    ));
+    results.push((
+        format!("full_vs_sketch/sketch_join_and_estimate_{rows}"),
+        median_ns(iters, || {
+            let joined = left.join(&right);
+            EstimatorMode::Mle.estimate(joined.xs(), joined.ys(), 0)
+        }),
+    ));
+
+    // table_ops: the materialized augmentation join alone.
+    results.push((
+        format!("table_ops/augment_{rows}"),
+        median_ns(iters.min(5), || {
+            augment(&pair.train, &pair.cand, &spec)
+                .expect("full join")
+                .matched_rows
+        }),
+    ));
+
+    // ablation: sketch size sweep (build + join + estimate at n = 1024).
+    let big_cfg = SketchConfig::new(1024, 7);
+    results.push((
+        "ablation/tupsk_n1024_build_join_estimate".to_owned(),
+        median_ns(iters.min(5), || {
+            let l = SketchKind::Tupsk
+                .build_left(&pair.train, &pair.key_column, &pair.target_column, &big_cfg)
+                .expect("left");
+            let r = SketchKind::Tupsk
+                .build_right(
+                    &pair.cand,
+                    &pair.key_column,
+                    &pair.feature_column,
+                    pair.aggregation,
+                    &big_cfg,
+                )
+                .expect("right");
+            let joined = l.join(&r);
+            EstimatorMode::Mle.estimate(joined.xs(), joined.ys(), 0)
+        }),
+    ));
+}
+
+/// A deterministic candidate table: string keys from a shared universe plus
+/// eight numeric feature columns derived from the key index.
+fn candidate_table(index: usize, rows: usize, universe: usize) -> Table {
+    let mut state = 0x9E37_79B9u64.wrapping_mul(index as u64 + 1) | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 33
+    };
+    let key_ids: Vec<u64> = (0..rows).map(|_| next() % universe as u64).collect();
+    let keys: Vec<String> = key_ids.iter().map(|k| format!("zip-{k}")).collect();
+    let mut builder = Table::builder(format!("cand{index}")).push_str_column("key", keys);
+    for f in 0..8 {
+        // Feature = deterministic function of the key plus per-table noise,
+        // so the planted key → feature relationships carry real MI.
+        let values: Vec<f64> = key_ids
+            .iter()
+            .map(|&k| (k as f64).mul_add(f as f64 + 1.0, (next() % 97) as f64 / 97.0))
+            .collect();
+        builder = builder.push_float_column(&format!("f{f}"), values);
+    }
+    builder.build().expect("candidate table")
+}
+
+/// The base (query) table: keys from the same universe and a target driven by
+/// the key index.
+fn query_table(rows: usize, universe: usize) -> Table {
+    let mut state = 0xBEEF_CAFEu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 33
+    };
+    let key_ids: Vec<u64> = (0..rows).map(|_| next() % universe as u64).collect();
+    let keys: Vec<String> = key_ids.iter().map(|k| format!("zip-{k}")).collect();
+    let target: Vec<i64> = key_ids
+        .iter()
+        .map(|&k| (k * 3 + next() % 5) as i64)
+        .collect();
+    Table::builder("train")
+        .push_str_column("key", keys)
+        .push_int_column("target", target)
+        .build()
+        .expect("query table")
+}
+
+/// Fingerprint of a ranking for the bit-for-bit identity check.
+fn ranking_fingerprint(results: &[joinmi_discovery::RankedCandidate]) -> Vec<(usize, u64, usize)> {
+    results
+        .iter()
+        .map(|r| (r.candidate_index, r.mi.to_bits(), r.sketch_join_size))
+        .collect()
+}
+
+/// The acceptance workload: ingest 32 tables × 8 feature columns, then run
+/// one ranked query — at 1 thread and at 4 — asserting identical results.
+fn pipeline_workload(quick: bool, results: &mut Vec<(String, f64)>) {
+    let (rows, reps) = if quick { (2_000, 3) } else { (8_000, 5) };
+    let universe = 600;
+    let tables: Vec<Table> = (0..32)
+        .map(|i| candidate_table(i, rows, universe))
+        .collect();
+    let train = query_table(rows, universe);
+
+    let repo_config = RepositoryConfig {
+        sketch: SketchConfig::new(512, 3),
+        ..RepositoryConfig::default()
+    };
+    let query = RelationshipQuery::new(train, "key", "target")
+        .with_sketch(SketchKind::Tupsk, SketchConfig::new(512, 3))
+        .with_min_join_size(10)
+        .with_top_k(0);
+
+    let run_once = |tables: Vec<Table>| {
+        let mut repo = TableRepository::new(repo_config);
+        let added = repo.add_tables(tables).expect("ingest");
+        let ranking = query.execute(&repo).expect("query");
+        (added, repo, ranking)
+    };
+    // Clone the input tables *outside* the timed region: the memcpy is the
+    // same at any thread count and would dilute the measured speedup.
+    let timed_median = |reps: usize| {
+        let mut samples: Vec<u128> = (0..reps.max(1))
+            .map(|_| {
+                let fresh = tables.clone();
+                let start = Instant::now();
+                std::hint::black_box(run_once(fresh));
+                start.elapsed().as_nanos()
+            })
+            .collect();
+        samples.sort_unstable();
+        samples[samples.len() / 2] as f64
+    };
+
+    let (added, repo_seq, ranking_seq) = joinmi_par::with_threads(1, || run_once(tables.clone()));
+    assert_eq!(added, 32 * 8, "expected 8 candidate pairs per table");
+    let t1_ns = joinmi_par::with_threads(1, || timed_median(reps));
+
+    let (_, repo_par, ranking_par) = joinmi_par::with_threads(4, || run_once(tables.clone()));
+    let t4_ns = joinmi_par::with_threads(4, || timed_median(reps));
+
+    // Bit-for-bit identity between the sequential and 4-thread pipelines.
+    let identical = repo_seq.candidates().len() == repo_par.candidates().len()
+        && repo_seq
+            .candidates()
+            .iter()
+            .zip(repo_par.candidates())
+            .all(|(a, b)| a.label() == b.label() && a.sketch.rows() == b.sketch.rows())
+        && ranking_fingerprint(&ranking_seq) == ranking_fingerprint(&ranking_par);
+    assert!(identical, "parallel pipeline diverged from sequential");
+
+    results.push(("pipeline/ingest32x8_query/threads=1".to_owned(), t1_ns));
+    results.push(("pipeline/ingest32x8_query/threads=4".to_owned(), t4_ns));
+    results.push((
+        "pipeline/speedup_t4_over_t1".to_owned(),
+        if t4_ns > 0.0 { t1_ns / t4_ns } else { 0.0 },
+    ));
+    results.push((
+        "pipeline/parallel_identical".to_owned(),
+        f64::from(u8::from(identical)),
+    ));
+}
+
+/// Renders the results as a flat JSON object (insertion order preserved).
+fn render_json(results: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, value)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(out, "  \"{name}\": {value:.1}{comma}");
+    }
+    out.push_str("}\n");
+    out
+}

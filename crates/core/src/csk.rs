@@ -9,8 +9,7 @@
 //! is skewed: the recovered sample follows the *distinct-key* distribution of
 //! `Y` rather than the row distribution of the actual join result.
 
-use std::collections::HashSet;
-
+use joinmi_hash::digest_set_with_capacity;
 use joinmi_table::{Aggregation, Table};
 
 use crate::config::{Side, SketchConfig};
@@ -32,7 +31,7 @@ pub fn build_left(
     let unit = cfg.unit_hasher();
     let prep = prepare_left(table, key, value, &hasher)?;
 
-    let mut seen: HashSet<u64> = HashSet::with_capacity(prep.distinct_keys);
+    let mut seen = digest_set_with_capacity(prep.distinct_keys);
     let mut set = BoundedMinSet::new(cfg.size);
     for (digest, val) in &prep.rows {
         if seen.insert(digest.raw()) {

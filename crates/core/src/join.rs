@@ -5,12 +5,11 @@
 //! sample is then handed to one of the estimators of `joinmi-estimators`,
 //! selected from the value data types exactly as in the paper's experiments.
 
-use std::collections::HashMap;
-
 use joinmi_estimators::{
     estimate_mi as est_estimate_mi, pearson, select_estimator, spearman, EstimatorError,
     EstimatorKind, MiEstimate, Variable, DEFAULT_K,
 };
+use joinmi_hash::{digest_map_with_capacity, DigestHashMap};
 use joinmi_table::{DataType, Value};
 
 use crate::row::ColumnSketch;
@@ -31,14 +30,19 @@ impl JoinedSketch {
     #[must_use]
     pub fn from_sketches(left: &ColumnSketch, right: &ColumnSketch) -> Self {
         // Right side: unique keys (first row wins if the builder somehow kept
-        // duplicates, mirroring many-to-one semantics).
-        let mut right_map: HashMap<u64, &Value> = HashMap::with_capacity(right.len());
+        // duplicates, mirroring many-to-one semantics). Keys are already
+        // 64-bit digests, so the probe map skips SipHash entirely.
+        let mut right_map: DigestHashMap<&Value> = digest_map_with_capacity(right.len());
         for row in right.rows() {
             right_map.entry(row.key.raw()).or_insert(&row.value);
         }
 
-        let mut xs = Vec::new();
-        let mut ys = Vec::new();
+        // Coordinated sketches typically match most of the smaller side, so
+        // min(|left|, |right|) is a tight pre-size that avoids the doubling
+        // reallocations on the hot scoring path.
+        let reserve = left.len().min(right.len());
+        let mut xs = Vec::with_capacity(reserve);
+        let mut ys = Vec::with_capacity(reserve);
         for row in left.rows() {
             if let Some(&x) = right_map.get(&row.key.raw()) {
                 if row.value.is_null() || x.is_null() {
@@ -66,15 +70,21 @@ impl JoinedSketch {
         x_dtype: DataType,
         y_dtype: DataType,
     ) -> Self {
-        // Keep only pairs where both sides are non-NULL.
-        let (xs, ys): (Vec<Value>, Vec<Value>) = xs
-            .into_iter()
-            .zip(ys)
-            .filter(|(x, y)| !x.is_null() && !y.is_null())
-            .unzip();
+        // Keep only pairs where both sides are non-NULL. A single pre-sized
+        // pass (instead of zip + unzip) avoids the two incrementally grown
+        // intermediate vectors unzip would allocate.
+        let n = xs.len().min(ys.len());
+        let mut kept_xs = Vec::with_capacity(n);
+        let mut kept_ys = Vec::with_capacity(n);
+        for (x, y) in xs.into_iter().zip(ys) {
+            if !x.is_null() && !y.is_null() {
+                kept_xs.push(x);
+                kept_ys.push(y);
+            }
+        }
         Self {
-            xs,
-            ys,
+            xs: kept_xs,
+            ys: kept_ys,
             x_dtype,
             y_dtype,
         }

@@ -34,10 +34,13 @@ impl<T> Ord for HeapItem<T> {
 
 /// Keeps the `capacity` items with the smallest digests seen so far.
 ///
-/// Digest ties are resolved by keeping whichever item was offered first
-/// (subsequent equal digests are rejected only if the set is full and the tie
-/// is with the current maximum — for 64-bit salted digests ties are
-/// vanishingly rare and never matter statistically).
+/// Digest ties: while the set is **under capacity every offered item is
+/// kept**, including one whose digest equals an item already present (both
+/// survive). Only once the set is full does an item tying the current
+/// maximum get rejected — so first-offered-wins applies exclusively to ties
+/// with the maximum of a *full* set, not to ties in general. For 64-bit
+/// salted digests ties are vanishingly rare and never matter statistically;
+/// the behaviour is pinned by the `tie_*` regression tests below.
 #[derive(Debug, Clone)]
 pub struct BoundedMinSet<T> {
     capacity: usize,
@@ -150,6 +153,33 @@ mod tests {
         assert!(!set.offer(20, ()));
         assert!(set.offer(5, ()));
         assert_eq!(set.threshold(), Some(5));
+    }
+
+    #[test]
+    fn tie_with_current_max_under_capacity_is_kept() {
+        // Regression test for the documented tie semantics: under capacity a
+        // digest equal to the current maximum is still pushed, so both items
+        // survive.
+        let mut set = BoundedMinSet::new(3);
+        assert!(set.offer(10, "first"));
+        assert!(set.offer(10, "second"));
+        assert_eq!(set.len(), 2);
+        let kept = set.into_sorted();
+        assert_eq!(kept.iter().map(|(d, _)| *d).collect::<Vec<_>>(), [10, 10]);
+    }
+
+    #[test]
+    fn tie_with_max_when_full_is_rejected_first_wins() {
+        let mut set = BoundedMinSet::new(2);
+        assert!(set.offer(5, "a"));
+        assert!(set.offer(10, "b"));
+        // Full set: a tie with the maximum is rejected (the earlier item
+        // wins); only a strictly smaller digest evicts.
+        assert!(!set.offer(10, "late"));
+        assert_eq!(set.threshold(), Some(10));
+        assert!(set.offer(9, "evictor"));
+        let kept = set.into_sorted();
+        assert_eq!(kept, vec![(5, "a"), (9, "evictor")]);
     }
 
     #[test]

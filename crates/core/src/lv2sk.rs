@@ -15,8 +15,7 @@
 //! the paper shows inflates MI-estimator bias when the join key and the
 //! target are dependent (the `KeyDep` scenario).
 
-use std::collections::HashMap;
-
+use joinmi_hash::{digest_map_with_capacity, DigestHashMap};
 use joinmi_table::{Aggregation, Table};
 
 use crate::config::{Side, SketchConfig};
@@ -112,14 +111,15 @@ pub(crate) fn sample_selected_keys(
     selected: &[u64],
 ) -> Vec<SketchRow> {
     let unit = cfg.unit_hasher();
-    let selected_set: HashMap<u64, usize> = selected
+    let selected_set: DigestHashMap<usize> = selected
         .iter()
         .map(|&k| (k, per_key_quota(cfg.size, prep.key_counts[&k], prep.n_rows)))
         .collect();
 
     // Gather candidate rows per selected key with their occurrence hash.
-    let mut per_key: HashMap<u64, Vec<(u64, SketchRow)>> = HashMap::with_capacity(selected.len());
-    let mut occurrence: HashMap<u64, u64> = HashMap::new();
+    let mut per_key: DigestHashMap<Vec<(u64, SketchRow)>> =
+        digest_map_with_capacity(selected.len());
+    let mut occurrence = digest_map_with_capacity::<u64>(prep.distinct_keys);
     for (digest, val) in &prep.rows {
         let raw = digest.raw();
         let j = occurrence.entry(raw).or_insert(0);

@@ -6,9 +6,7 @@
 //! builders only differ in their *sampling strategy*, mirroring the way the
 //! paper presents them.
 
-use std::collections::HashMap;
-
-use joinmi_hash::{KeyHash, KeyHasher};
+use joinmi_hash::{digest_map_with_capacity, DigestHashMap, KeyHash, KeyHasher};
 use joinmi_table::{group_by_aggregate, Aggregation, DataType, Table, Value};
 
 use crate::Result;
@@ -25,8 +23,9 @@ pub struct PreparedRows {
     pub n_rows: usize,
     /// Number of distinct key digests (`m_K`).
     pub distinct_keys: usize,
-    /// Frequency of each key digest (`N_k`).
-    pub key_counts: HashMap<u64, usize>,
+    /// Frequency of each key digest (`N_k`), keyed by the already-hashed
+    /// digest (Fibonacci-hashed map, no second SipHash pass).
+    pub key_counts: DigestHashMap<usize>,
 }
 
 /// Prepares the left (training) side: hash keys, keep values as-is.
@@ -40,7 +39,10 @@ pub fn prepare_left(
     let value_col = table.column(value)?;
 
     let mut rows = Vec::with_capacity(table.num_rows());
-    let mut key_counts: HashMap<u64, usize> = HashMap::new();
+    // Distinct keys are bounded by the row count but often far fewer; a
+    // capped pre-size avoids both early rehashes and pathological
+    // over-allocation on large low-cardinality tables.
+    let mut key_counts = digest_map_with_capacity(table.num_rows().min(1 << 12));
     for i in 0..table.num_rows() {
         let k = key_col.value(i);
         if k.is_null() {
@@ -79,7 +81,7 @@ pub fn prepare_right(
     let value_col = aggregated.column(&agg_value_name)?;
 
     let mut rows = Vec::with_capacity(aggregated.num_rows());
-    let mut key_counts: HashMap<u64, usize> = HashMap::new();
+    let mut key_counts = digest_map_with_capacity(aggregated.num_rows());
     for i in 0..aggregated.num_rows() {
         let k = key_col.value(i);
         if k.is_null() {

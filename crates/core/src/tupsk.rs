@@ -17,8 +17,7 @@
 //! samples — the "less coordination means higher sample quality" trade-off
 //! discussed in the paper.
 
-use std::collections::HashMap;
-
+use joinmi_hash::digest_map_with_capacity;
 use joinmi_table::{Aggregation, Table};
 
 use crate::config::{Side, SketchConfig};
@@ -39,7 +38,7 @@ pub fn build_left(
     let unit = cfg.unit_hasher();
     let prep = prepare_left(table, key, value, &hasher)?;
 
-    let mut occurrence: HashMap<u64, u64> = HashMap::with_capacity(prep.distinct_keys);
+    let mut occurrence = digest_map_with_capacity::<u64>(prep.distinct_keys);
     let mut set = BoundedMinSet::new(cfg.size);
     for (digest, val) in &prep.rows {
         let j = occurrence.entry(digest.raw()).or_insert(0);

@@ -8,15 +8,18 @@
 //! the query sketch's digests gives a containment estimate that is cheap and
 //! join-free.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
+use joinmi_hash::{digest_set_with_capacity, DigestHashMap, DigestHashSet};
 use joinmi_sketch::ColumnSketch;
 
 /// An inverted index from sampled key digests to candidate identifiers.
 #[derive(Debug, Default)]
 pub struct JoinabilityIndex {
-    /// digest → candidate indices whose sketch contains that digest.
-    postings: HashMap<u64, Vec<usize>>,
+    /// digest → candidate indices whose sketch contains that digest. The
+    /// digests are already 64-bit hashes, so the postings map uses the
+    /// Fibonacci digest hasher instead of re-hashing through SipHash.
+    postings: DigestHashMap<Vec<usize>>,
     /// candidate index → number of distinct digests in its sketch.
     candidate_sizes: HashMap<usize, usize>,
 }
@@ -35,7 +38,8 @@ impl JoinabilityIndex {
 
     /// Adds one candidate sketch under the given identifier.
     pub fn insert(&mut self, id: usize, sketch: &ColumnSketch) {
-        let digests: HashSet<u64> = sketch.rows().iter().map(|r| r.key.raw()).collect();
+        let mut digests = digest_set_with_capacity(sketch.len());
+        digests.extend(sketch.rows().iter().map(|r| r.key.raw()));
         self.candidate_sizes.insert(id, digests.len());
         for d in digests {
             self.postings.entry(d).or_default().push(id);
@@ -59,18 +63,26 @@ impl JoinabilityIndex {
     /// the query sketch, sorted by overlap (descending).
     #[must_use]
     pub fn query(&self, query: &ColumnSketch, min_overlap: usize) -> Vec<(usize, usize)> {
-        let query_digests: HashSet<u64> = query.rows().iter().map(|r| r.key.raw()).collect();
-        let mut overlap: HashMap<usize, usize> = HashMap::new();
+        let mut query_digests: DigestHashSet = digest_set_with_capacity(query.len());
+        query_digests.extend(query.rows().iter().map(|r| r.key.raw()));
+        // Candidate ids are dense small integers, so the per-hit counter is a
+        // direct-indexed vector — one array write per posting instead of a
+        // hash probe on the hottest pre-filter loop.
+        let id_bound = self.candidate_sizes.keys().max().map_or(0, |&m| m + 1);
+        let mut overlap = vec![0usize; id_bound];
         for d in &query_digests {
             if let Some(ids) = self.postings.get(d) {
                 for &id in ids {
-                    *overlap.entry(id).or_default() += 1;
+                    overlap[id] += 1;
                 }
             }
         }
+        // `c > 0` preserves the map-based semantics: candidates with no
+        // overlapping digest never appear, even when `min_overlap` is 0.
         let mut hits: Vec<(usize, usize)> = overlap
             .into_iter()
-            .filter(|&(_, c)| c >= min_overlap)
+            .enumerate()
+            .filter(|&(_, c)| c > 0 && c >= min_overlap)
             .collect();
         hits.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         hits

@@ -125,6 +125,12 @@ impl RelationshipQuery {
     /// Executes the query: prune by key overlap, join sketches, estimate MI,
     /// rank. Candidates whose estimate fails (e.g. degenerate samples) are
     /// skipped rather than failing the whole query.
+    ///
+    /// Surviving candidates are scored (sketch join + estimator) in parallel
+    /// across `JOINMI_THREADS` workers. The pre-filter hit order is fixed
+    /// before the fan-out and the final sort is stable over it, so the
+    /// ranking — including the order of equal-MI ties — is identical to a
+    /// sequential run.
     pub fn execute(&self, repository: &TableRepository) -> Result<Vec<RankedCandidate>> {
         let query_sketch = self.build_query_sketch()?;
 
@@ -133,29 +139,28 @@ impl RelationshipQuery {
         let index = JoinabilityIndex::build(&candidate_sketches);
         let hits = index.query(&query_sketch, self.min_key_overlap.max(1));
 
-        let mut results = Vec::new();
-        for (candidate_index, key_overlap) in hits {
-            let candidate = &repository.candidates()[candidate_index];
-            let joined = query_sketch.join(&candidate.sketch);
-            if joined.len() < self.min_join_size {
-                continue;
-            }
-            let Ok(estimate) = joined.estimate_mi() else {
-                continue;
-            };
-            results.push(RankedCandidate {
-                candidate_index,
-                table_index: candidate.table_index,
-                table_name: candidate.table_name.clone(),
-                key_column: candidate.key_column.clone(),
-                feature_column: candidate.feature_column.clone(),
-                aggregation: candidate.aggregation,
-                mi: estimate.mi,
-                estimator: estimate.estimator,
-                sketch_join_size: joined.len(),
-                key_overlap,
+        let scored: Vec<Option<RankedCandidate>> =
+            joinmi_par::par_map(&hits, |&(candidate_index, key_overlap)| {
+                let candidate = &repository.candidates()[candidate_index];
+                let joined = query_sketch.join(&candidate.sketch);
+                if joined.len() < self.min_join_size {
+                    return None;
+                }
+                let estimate = joined.estimate_mi().ok()?;
+                Some(RankedCandidate {
+                    candidate_index,
+                    table_index: candidate.table_index,
+                    table_name: candidate.table_name.clone(),
+                    key_column: candidate.key_column.clone(),
+                    feature_column: candidate.feature_column.clone(),
+                    aggregation: candidate.aggregation,
+                    mi: estimate.mi,
+                    estimator: estimate.estimator,
+                    sketch_join_size: joined.len(),
+                    key_overlap,
+                })
             });
-        }
+        let mut results: Vec<RankedCandidate> = scored.into_iter().flatten().collect();
 
         results.sort_by(|a, b| b.mi.partial_cmp(&a.mi).expect("MI estimates are finite"));
         if self.top_k > 0 {

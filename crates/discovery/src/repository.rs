@@ -4,12 +4,53 @@
 //! column pairs, and builds one right-side sketch per pair. This is the
 //! "sketches are typically built in an offline preprocessing stage" part of
 //! the paper's approach overview.
+//!
+//! Sketch construction is embarrassingly parallel — each `(key, feature)`
+//! pair's sketch depends only on its source table — so both [`
+//! TableRepository::add_table`] and the batch [`TableRepository::add_tables`]
+//! build sketches with [`joinmi_par::par_map`]. The planned pair order is
+//! fixed before the fan-out and results are reassembled in that order, so the
+//! candidate list is bit-for-bit identical to a sequential ingest regardless
+//! of `JOINMI_THREADS`.
 
 use joinmi_sketch::{Aggregation, ColumnSketch, SketchConfig, SketchKind};
 use joinmi_table::{DataType, Table};
 
 use crate::profile::TableProfile;
 use crate::Result;
+
+/// A `(key, feature)` pair chosen by the profiler, scheduled for sketching.
+#[derive(Debug, Clone)]
+struct PlannedPair {
+    /// Index of the owning table within the batch being ingested.
+    batch_index: usize,
+    key_column: String,
+    feature_column: String,
+    aggregation: Aggregation,
+}
+
+/// Enumerates the sketchable `(key, feature)` pairs of one profiled table in
+/// the repository's canonical order, honouring the per-table pair cap.
+fn plan_pairs(profile: &TableProfile, batch_index: usize, max_pairs: usize) -> Vec<PlannedPair> {
+    let mut pairs = Vec::new();
+    'outer: for key in profile.key_candidates() {
+        for feature in profile.feature_candidates() {
+            if key.name == feature.name {
+                continue;
+            }
+            if pairs.len() >= max_pairs {
+                break 'outer;
+            }
+            pairs.push(PlannedPair {
+                batch_index,
+                key_column: key.name.clone(),
+                feature_column: feature.name.clone(),
+                aggregation: default_aggregation(feature.dtype),
+            });
+        }
+    }
+    pairs
+}
 
 /// Configuration of a repository.
 #[derive(Debug, Clone, Copy)]
@@ -90,43 +131,67 @@ impl TableRepository {
     }
 
     /// Ingests a table: profiles it and builds sketches for every usable
-    /// `(key, feature)` pair. Returns the number of candidate pairs added.
+    /// `(key, feature)` pair — in parallel across pairs — and returns the
+    /// number of candidate pairs added.
+    ///
+    /// The candidate order (and every sketch) is identical to a sequential
+    /// ingest; on error no candidates of this table are added.
     pub fn add_table(&mut self, table: Table) -> Result<usize> {
-        let config = self.config();
-        let profile = TableProfile::profile(&table)?;
-        let table_index = self.tables.len();
+        self.add_tables(vec![table])
+    }
 
-        let mut added = 0usize;
-        'outer: for key in profile.key_candidates() {
-            for feature in profile.feature_candidates() {
-                if key.name == feature.name {
-                    continue;
-                }
-                if added >= config.max_pairs_per_table {
-                    break 'outer;
-                }
-                let aggregation = default_aggregation(feature.dtype);
-                let sketch = config.sketch_kind.build_right(
-                    &table,
-                    &key.name,
-                    &feature.name,
-                    aggregation,
-                    &config.sketch,
-                )?;
-                self.candidates.push(CandidateColumn {
-                    table_index,
-                    table_name: table.name().to_owned(),
-                    key_column: key.name.clone(),
-                    feature_column: feature.name.clone(),
-                    aggregation,
-                    sketch,
-                });
-                added += 1;
-            }
+    /// Ingests a batch of tables, building all sketches of the whole batch in
+    /// one parallel fan-out (the offline-preprocessing bulk path). Returns
+    /// the total number of candidate pairs added across the batch.
+    ///
+    /// Equivalent to calling [`Self::add_table`] for each table in order —
+    /// same profiles, same candidates, same sketches, bit for bit — but with
+    /// a single work queue spanning the batch, so small and wide tables load-
+    /// balance against each other. On error the repository is left unchanged.
+    pub fn add_tables(&mut self, tables: Vec<Table>) -> Result<usize> {
+        let config = self.config();
+
+        let mut profiles = Vec::with_capacity(tables.len());
+        let mut planned: Vec<PlannedPair> = Vec::new();
+        for (batch_index, table) in tables.iter().enumerate() {
+            let profile = TableProfile::profile(table)?;
+            planned.extend(plan_pairs(
+                &profile,
+                batch_index,
+                config.max_pairs_per_table,
+            ));
+            profiles.push(profile);
         }
 
-        self.profiles.push(profile);
-        self.tables.push(table);
+        // The parallel fan-out: one right-side sketch per planned pair.
+        let sketches: Vec<Result<ColumnSketch>> = joinmi_par::par_map(&planned, |pair| {
+            config.sketch_kind.build_right(
+                &tables[pair.batch_index],
+                &pair.key_column,
+                &pair.feature_column,
+                pair.aggregation,
+                &config.sketch,
+            )
+        });
+
+        let first_table_index = self.tables.len();
+        let mut candidates = Vec::with_capacity(planned.len());
+        for (pair, sketch) in planned.into_iter().zip(sketches) {
+            let sketch = sketch?;
+            candidates.push(CandidateColumn {
+                table_index: first_table_index + pair.batch_index,
+                table_name: tables[pair.batch_index].name().to_owned(),
+                key_column: pair.key_column,
+                feature_column: pair.feature_column,
+                aggregation: pair.aggregation,
+                sketch,
+            });
+        }
+
+        let added = candidates.len();
+        self.candidates.extend(candidates);
+        self.profiles.extend(profiles);
+        self.tables.extend(tables);
         Ok(added)
     }
 
@@ -227,6 +292,43 @@ mod tests {
         let mut repo = TableRepository::new(config);
         let added = repo.add_table(demo_table()).unwrap();
         assert_eq!(added, 2);
+    }
+
+    #[test]
+    fn batch_ingest_is_bitwise_identical_to_sequential_single_threaded() {
+        let tables: Vec<Table> = (0..4)
+            .map(|t| {
+                Table::builder(format!("t{t}"))
+                    .push_str_column("zip", vec!["a", "b", "c", "a", "b"])
+                    .push_str_column("borough", vec!["x", "y", "x", "x", "y"])
+                    .push_int_column("pop", (0..5).map(|i| i + t).collect::<Vec<i64>>())
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+
+        let mut sequential = TableRepository::new(RepositoryConfig::default());
+        joinmi_par::with_threads(1, || {
+            for table in tables.clone() {
+                sequential.add_table(table).unwrap();
+            }
+        });
+
+        let mut batched = TableRepository::new(RepositoryConfig::default());
+        let added = joinmi_par::with_threads(4, || batched.add_tables(tables).unwrap());
+
+        assert_eq!(added, sequential.candidates().len());
+        assert_eq!(batched.num_tables(), sequential.num_tables());
+        for (a, b) in batched
+            .candidates()
+            .iter()
+            .zip(sequential.candidates().iter())
+        {
+            assert_eq!(a.table_index, b.table_index);
+            assert_eq!(a.label(), b.label());
+            assert_eq!(a.aggregation, b.aggregation);
+            assert_eq!(a.sketch.rows(), b.sketch.rows());
+        }
     }
 
     #[test]

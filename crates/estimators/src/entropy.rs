@@ -10,7 +10,7 @@
 //!
 //! All entropies are in nats.
 
-use std::collections::HashMap;
+use joinmi_hash::FixedHashMap;
 
 use crate::error::EstimatorError;
 use crate::special::digamma;
@@ -27,7 +27,9 @@ pub fn mle_entropy(codes: &[u32]) -> Result<f64> {
         });
     }
     let n = codes.len() as f64;
-    let mut counts: HashMap<u32, usize> = HashMap::new();
+    // Deterministic hasher: the entropy sum runs in iteration order, so a
+    // seeded map would perturb the last float bits between runs.
+    let mut counts: FixedHashMap<u32, usize> = FixedHashMap::default();
     for &c in codes {
         *counts.entry(c).or_default() += 1;
     }

@@ -13,8 +13,13 @@
 //! exceeds the current k-th best — the classic trick that makes the search
 //! near-linear for well-spread data while remaining exactly correct in the
 //! worst case.
-
-use std::collections::BinaryHeap;
+//!
+//! Every point's search is independent, so both distance kernels chunk the
+//! per-point loop across [`joinmi_par`] workers. Each worker keeps **one**
+//! reusable bounded max-heap ([`BoundedMaxHeap`]) for its whole chunk stream
+//! instead of allocating a fresh `BinaryHeap` per point, and results are
+//! written back in input order — parallel output is bit-for-bit equal to the
+//! sequential one.
 
 /// Counts points within a radius of a centre along one marginal, in
 /// `O(log n)` per query, over a pre-sorted copy of the coordinates.
@@ -72,23 +77,97 @@ impl MarginalCounter {
     }
 }
 
-/// Wrapper so `f64` distances can live in a max-heap.
-#[derive(Debug, PartialEq)]
-struct OrdF64(f64);
-
-impl Eq for OrdF64 {}
-
-impl PartialOrd for OrdF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+/// A bounded max-heap of the `k` smallest distances seen so far, backed by a
+/// plain `Vec<f64>` that is **reused across points** (cleared, not dropped).
+///
+/// Replaces the former per-point `BinaryHeap<OrdF64>`: no wrapper type, no
+/// allocation per query point, and the root is always the current k-th best
+/// distance (the pruning threshold). The k-th smallest value of a multiset is
+/// unique, so results are identical to the `BinaryHeap` implementation.
+#[derive(Debug, Clone)]
+struct BoundedMaxHeap {
+    k: usize,
+    heap: Vec<f64>,
 }
 
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("distances are never NaN")
+impl BoundedMaxHeap {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: Vec::with_capacity(k),
+        }
+    }
+
+    /// Empties the heap for the next query point, keeping the allocation.
+    #[inline]
+    fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn is_full(&self) -> bool {
+        self.heap.len() == self.k
+    }
+
+    /// Current k-th best distance: the maximum kept, or infinity while the
+    /// heap is not yet full.
+    #[inline]
+    fn threshold(&self) -> f64 {
+        if self.is_full() {
+            self.heap[0]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The final answer for a point: the largest of the k kept distances.
+    #[inline]
+    fn max(&self) -> f64 {
+        self.heap.first().copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// Offers a candidate distance, keeping only the k smallest.
+    #[inline]
+    fn offer(&mut self, dist: f64) {
+        if !self.is_full() {
+            self.heap.push(dist);
+            self.sift_up(self.heap.len() - 1);
+        } else if dist < self.heap[0] {
+            self.heap[0] = dist;
+            self.sift_down(0);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i] <= self.heap[parent] {
+                break;
+            }
+            self.heap.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let largest_child = if right < n && self.heap[right] > self.heap[left] {
+                right
+            } else {
+                left
+            };
+            if self.heap[largest_child] <= self.heap[i] {
+                break;
+            }
+            self.heap.swap(i, largest_child);
+            i = largest_child;
+        }
     }
 }
 
@@ -123,62 +202,56 @@ pub fn kth_nn_distances_chebyshev(xs: &[f64], ys: &[f64], k: usize) -> Vec<f64> 
         pos[idx] = p;
     }
 
-    let mut result = vec![0.0f64; n];
-    for i in 0..n {
-        let p = pos[i];
-        let (xi, yi) = (xs[i], ys[i]);
-        // Max-heap of the k smallest distances seen so far.
-        let mut heap: BinaryHeap<OrdF64> = BinaryHeap::with_capacity(k + 1);
+    // Each point's window expansion is independent: chunk the per-point loop
+    // across workers, one reusable bounded heap per worker.
+    joinmi_par::par_map_index_with(
+        n,
+        || BoundedMaxHeap::new(k),
+        |heap, i| {
+            let p = pos[i];
+            let (xi, yi) = (xs[i], ys[i]);
+            heap.clear();
 
-        let mut left = p;
-        let mut right = p + 1;
-        loop {
-            // Current pruning threshold: the k-th best distance, or infinity
-            // until the heap is full.
-            let threshold = if heap.len() == k {
-                heap.peek().map_or(f64::INFINITY, |d| d.0)
-            } else {
-                f64::INFINITY
-            };
+            let mut left = p;
+            let mut right = p + 1;
+            loop {
+                // Current pruning threshold: the k-th best distance, or
+                // infinity until the heap is full.
+                let threshold = heap.threshold();
 
-            // Candidate x-distances on each side.
-            let left_dx = if left > 0 {
-                (xi - xs[order[left - 1]]).abs()
-            } else {
-                f64::INFINITY
-            };
-            let right_dx = if right < n {
-                (xs[order[right]] - xi).abs()
-            } else {
-                f64::INFINITY
-            };
+                // Candidate x-distances on each side.
+                let left_dx = if left > 0 {
+                    (xi - xs[order[left - 1]]).abs()
+                } else {
+                    f64::INFINITY
+                };
+                let right_dx = if right < n {
+                    (xs[order[right]] - xi).abs()
+                } else {
+                    f64::INFINITY
+                };
 
-            if left_dx > threshold && right_dx > threshold {
-                break;
+                if left_dx > threshold && right_dx > threshold {
+                    break;
+                }
+                if left_dx == f64::INFINITY && right_dx == f64::INFINITY {
+                    break;
+                }
+
+                let j = if left_dx <= right_dx {
+                    left -= 1;
+                    order[left]
+                } else {
+                    let j = order[right];
+                    right += 1;
+                    j
+                };
+                let dist = (xi - xs[j]).abs().max((yi - ys[j]).abs());
+                heap.offer(dist);
             }
-            if left_dx == f64::INFINITY && right_dx == f64::INFINITY {
-                break;
-            }
-
-            let j = if left_dx <= right_dx {
-                left -= 1;
-                order[left]
-            } else {
-                let j = order[right];
-                right += 1;
-                j
-            };
-            let dist = (xi - xs[j]).abs().max((yi - ys[j]).abs());
-            if heap.len() < k {
-                heap.push(OrdF64(dist));
-            } else if dist < heap.peek().expect("heap non-empty").0 {
-                heap.pop();
-                heap.push(OrdF64(dist));
-            }
-        }
-        result[i] = heap.peek().map_or(f64::INFINITY, |d| d.0);
-    }
-    result
+            heap.max()
+        },
+    )
 }
 
 /// For each value, the distance to its `k`-th nearest neighbour among the
@@ -198,9 +271,11 @@ pub fn kth_nn_distances_1d(values: &[f64], k: usize) -> Vec<f64> {
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
 
-    let mut result = vec![0.0f64; n];
-    for (p, &idx) in order.iter().enumerate() {
-        let v = values[idx];
+    // Window expansions are independent per point: compute the k-th distance
+    // for each *sorted position* in parallel, then scatter back to the
+    // original index order sequentially (a cheap O(n) pass).
+    let by_position = joinmi_par::par_map_index(n, |p| {
+        let v = values[order[p]];
         // Expand a window of size k around position p in the sorted order.
         let mut left = p;
         let mut right = p + 1;
@@ -224,7 +299,12 @@ pub fn kth_nn_distances_1d(values: &[f64], k: usize) -> Vec<f64> {
                 right += 1;
             }
         }
-        result[idx] = kth;
+        kth
+    });
+
+    let mut result = vec![0.0f64; n];
+    for (p, &idx) in order.iter().enumerate() {
+        result[idx] = by_position[p];
     }
     result
 }
@@ -311,6 +391,46 @@ mod tests {
         assert_eq!(d[1], 0.0);
         assert_eq!(d[2], 0.0);
         assert!(d[3] > 0.0);
+    }
+
+    #[test]
+    fn parallel_distances_are_bitwise_equal_across_thread_counts() {
+        let mut state = 0x51ce_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / f64::from(u32::MAX)
+        };
+        let n = 800;
+        let xs: Vec<f64> = (0..n).map(|_| next()).collect();
+        let ys: Vec<f64> = (0..n).map(|_| next() * 4.0).collect();
+        for k in [1usize, 3, 7] {
+            let seq_2d = joinmi_par::with_threads(1, || kth_nn_distances_chebyshev(&xs, &ys, k));
+            let par_2d = joinmi_par::with_threads(4, || kth_nn_distances_chebyshev(&xs, &ys, k));
+            assert_eq!(seq_2d, par_2d, "2d k={k}");
+            let seq_1d = joinmi_par::with_threads(1, || kth_nn_distances_1d(&xs, k));
+            let par_1d = joinmi_par::with_threads(4, || kth_nn_distances_1d(&xs, k));
+            assert_eq!(seq_1d, par_1d, "1d k={k}");
+        }
+    }
+
+    #[test]
+    fn bounded_max_heap_keeps_k_smallest() {
+        let mut heap = BoundedMaxHeap::new(3);
+        assert_eq!(heap.max(), f64::INFINITY);
+        assert_eq!(heap.threshold(), f64::INFINITY);
+        for d in [5.0, 1.0, 4.0, 2.0, 3.0, 0.5] {
+            heap.offer(d);
+        }
+        // k smallest of the stream are {0.5, 1.0, 2.0}: max (= k-th best) 2.0.
+        assert_eq!(heap.max(), 2.0);
+        assert_eq!(heap.threshold(), 2.0);
+        heap.clear();
+        heap.offer(9.0);
+        assert_eq!(heap.max(), 9.0);
+        assert!(!heap.is_full());
+        assert_eq!(heap.threshold(), f64::INFINITY);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 
 use std::collections::HashMap;
 
+use joinmi_hash::FixedHashMap;
+
 use crate::error::EstimatorError;
 use crate::Result;
 
@@ -18,9 +20,12 @@ pub fn mle_mi(x: &[u32], y: &[u32]) -> Result<f64> {
     check_lengths(x, y)?;
     let n = x.len() as f64;
 
-    let mut joint: HashMap<(u32, u32), f64> = HashMap::new();
-    let mut px: HashMap<u32, f64> = HashMap::new();
-    let mut py: HashMap<u32, f64> = HashMap::new();
+    // Deterministic hasher: the MI sum below runs in map iteration order, so
+    // a randomly seeded map would make the estimate differ in the last float
+    // bits from run to run (and between parallel and sequential replays).
+    let mut joint: FixedHashMap<(u32, u32), f64> = FixedHashMap::default();
+    let mut px: FixedHashMap<u32, f64> = FixedHashMap::default();
+    let mut py: FixedHashMap<u32, f64> = FixedHashMap::default();
     for (&a, &b) in x.iter().zip(y) {
         *joint.entry((a, b)).or_default() += 1.0;
         *px.entry(a).or_default() += 1.0;

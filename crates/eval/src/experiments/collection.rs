@@ -60,18 +60,20 @@ impl Default for CollectionEval {
 
 impl CollectionEval {
     /// Runs the evaluation over a collection.
+    ///
+    /// Table pairs are evaluated in parallel (each pair's full-join reference
+    /// and sketch estimates are one work item); the result list keeps the
+    /// deterministic pair order, identical to a sequential run.
     #[must_use]
     pub fn run(&self, collection: &OpenDataCollection) -> Vec<PairResult> {
         let config = SketchConfig::new(self.sketch_size, self.seed);
-        let mut results = Vec::new();
 
         let pairs = collection.table_pairs();
-        for &(i, j) in pairs.iter().take(self.max_pairs) {
+        let limited = &pairs[..pairs.len().min(self.max_pairs)];
+        let evaluated: Vec<Option<PairResult>> = joinmi_par::par_map(limited, |&(i, j)| {
             let train = &collection.tables[i];
             let cand = &collection.tables[j];
-            let Some(reference) = full_join_reference(train, cand) else {
-                continue;
-            };
+            let reference = full_join_reference(train, cand)?;
 
             let mut sketches = BTreeMap::new();
             for &kind in &self.kinds {
@@ -91,18 +93,18 @@ impl CollectionEval {
                 }
             }
             if sketches.is_empty() {
-                continue;
+                return None;
             }
-            results.push(PairResult {
+            Some(PairResult {
                 train_index: i,
                 cand_index: j,
                 estimator: reference.2,
                 full_mi: reference.0,
                 full_join_size: reference.1,
                 sketches,
-            });
-        }
-        results
+            })
+        });
+        evaluated.into_iter().flatten().collect()
     }
 }
 

@@ -10,10 +10,10 @@
 use std::collections::BTreeMap;
 
 use joinmi_sketch::{SketchConfig, SketchKind};
-use joinmi_synth::{decompose, KeyDistribution, TrinomialConfig};
+use joinmi_synth::{decompose, DecomposedPair, KeyDistribution, TrinomialConfig};
 
 use crate::metrics::Summary;
-use crate::pipeline::{sketch_estimate, EstimatorMode, SketchTrial};
+use crate::pipeline::{run_grid, EstimatorMode, GridCell, SketchTrial};
 use crate::report::{f2, fcorr, TableReport};
 
 /// Configuration of the Figure 2 experiment.
@@ -64,35 +64,68 @@ pub type Series = BTreeMap<(String, String, String), Vec<(f64, f64)>>;
 
 /// Runs the experiment and returns the scatter series keyed by
 /// `(sketch, estimator, key regime)` names.
+///
+/// Both stages run on the parallel pipeline: data generation + decomposition
+/// fan out per trial, then the full `(trial × regime × sketch × estimator)`
+/// grid is one [`run_grid`] work queue. The cell order reproduces the
+/// sequential loop nesting, so the series (and every scatter point in them)
+/// are identical to a single-threaded run.
 #[must_use]
 pub fn run(cfg: &Config) -> Series {
-    let mut series: Series = BTreeMap::new();
     let sketches = [SketchKind::Lv2sk, SketchKind::Tupsk];
 
-    for t in 0..cfg.trials {
+    // Stage 1: per-trial data generation and per-regime decomposition.
+    let datasets: Vec<(f64, Vec<DecomposedPair>)> = joinmi_par::par_map_index(cfg.trials, |t| {
         let gen = TrinomialConfig::with_random_target(cfg.m, 3.5, cfg.seed.wrapping_add(t as u64));
         let data = gen.generate(cfg.rows, cfg.seed.wrapping_add(5000 + t as u64));
-        for key_dist in KeyDistribution::ALL {
-            let pair = decompose(&data.xs, &data.ys, key_dist);
+        let pairs: Vec<DecomposedPair> = KeyDistribution::ALL
+            .into_iter()
+            .map(|key_dist| decompose(&data.xs, &data.ys, key_dist))
+            .collect();
+        (data.true_mi, pairs)
+    });
+
+    // Stage 2: flatten the cross product into one grid, preserving the
+    // sequential t → regime → sketch → estimator order.
+    let mut flat_pairs: Vec<DecomposedPair> = Vec::new();
+    let mut cells: Vec<GridCell> = Vec::new();
+    let mut cell_meta: Vec<(f64, SketchKind, EstimatorMode, KeyDistribution)> = Vec::new();
+    for (t, (true_mi, pairs)) in datasets.into_iter().enumerate() {
+        for (pair, key_dist) in pairs.into_iter().zip(KeyDistribution::ALL) {
+            let pair_index = flat_pairs.len();
+            flat_pairs.push(pair);
             for kind in sketches {
                 for mode in EstimatorMode::TRINOMIAL {
-                    let trial = SketchTrial {
-                        kind,
-                        config: SketchConfig::new(cfg.sketch_size, cfg.seed.wrapping_add(t as u64)),
-                        mode,
-                    };
-                    if let Some(outcome) = sketch_estimate(&pair, &trial) {
-                        series
-                            .entry((
-                                kind.name().to_owned(),
-                                mode.name().to_owned(),
-                                key_dist.name().to_owned(),
-                            ))
-                            .or_default()
-                            .push((data.true_mi, outcome.estimate));
-                    }
+                    cells.push((
+                        pair_index,
+                        SketchTrial {
+                            kind,
+                            config: SketchConfig::new(
+                                cfg.sketch_size,
+                                cfg.seed.wrapping_add(t as u64),
+                            ),
+                            mode,
+                        },
+                    ));
+                    cell_meta.push((true_mi, kind, mode, key_dist));
                 }
             }
+        }
+    }
+
+    let outcomes = run_grid(&flat_pairs, &cells);
+
+    let mut series: Series = BTreeMap::new();
+    for ((true_mi, kind, mode, key_dist), outcome) in cell_meta.into_iter().zip(outcomes) {
+        if let Some(outcome) = outcome {
+            series
+                .entry((
+                    kind.name().to_owned(),
+                    mode.name().to_owned(),
+                    key_dist.name().to_owned(),
+                ))
+                .or_default()
+                .push((true_mi, outcome.estimate));
         }
     }
     series

@@ -30,5 +30,8 @@ pub mod pipeline;
 pub mod report;
 
 pub use metrics::{mae, mean_error, mse, rmse, Summary};
-pub use pipeline::{full_join_estimate, sketch_estimate, EstimatorMode, SketchTrial, TrialOutcome};
+pub use pipeline::{
+    full_join_estimate, run_grid, sketch_estimate, EstimatorMode, GridCell, SketchTrial,
+    TrialOutcome,
+};
 pub use report::TableReport;

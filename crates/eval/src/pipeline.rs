@@ -134,6 +134,24 @@ pub fn sketch_estimate(pair: &DecomposedPair, trial: &SketchTrial) -> Option<Tri
     })
 }
 
+/// One cell of an experiment grid: which decomposed pair to sketch (an index
+/// into a caller-owned slice) and the fully specified trial to run on it.
+pub type GridCell = (usize, SketchTrial);
+
+/// Runs a grid of sketch trials in parallel across `JOINMI_THREADS` workers.
+///
+/// `cells` index into `pairs`; the returned outcomes are in cell order, and —
+/// because [`sketch_estimate`] is deterministic given its inputs — the result
+/// is bit-for-bit identical to mapping [`sketch_estimate`] sequentially.
+/// Experiments build their full `(trial × regime × sketch × estimator)` cross
+/// product as cells so that one work queue load-balances the whole grid.
+#[must_use]
+pub fn run_grid(pairs: &[DecomposedPair], cells: &[GridCell]) -> Vec<Option<TrialOutcome>> {
+    joinmi_par::par_map(cells, |&(pair_index, trial)| {
+        sketch_estimate(&pairs[pair_index], &trial)
+    })
+}
+
 /// Runs the sketch join only (no estimation) — used by experiments that only
 /// need join-size statistics.
 #[must_use]
@@ -235,6 +253,50 @@ mod tests {
             .estimate(&strings, &strings, 0)
             .is_none());
         assert!(EstimatorMode::Mle.estimate(&strings, &strings, 0).is_some());
+    }
+
+    #[test]
+    fn run_grid_matches_sequential_sketch_estimate() {
+        let gen = TrinomialConfig::new(32, 0.45, 0.4);
+        let pairs: Vec<_> = (0..3u64)
+            .map(|s| {
+                let data = gen.generate(1500, s);
+                decompose(&data.xs, &data.ys, KeyDistribution::KeyInd)
+            })
+            .collect();
+        let mut cells = Vec::new();
+        for pair_index in 0..pairs.len() {
+            for mode in EstimatorMode::TRINOMIAL {
+                cells.push((
+                    pair_index,
+                    SketchTrial {
+                        kind: SketchKind::Tupsk,
+                        config: SketchConfig::new(256, 5),
+                        mode,
+                    },
+                ));
+            }
+        }
+        let sequential: Vec<Option<TrialOutcome>> = joinmi_par::with_threads(1, || {
+            cells
+                .iter()
+                .map(|&(pair_index, trial)| sketch_estimate(&pairs[pair_index], &trial))
+                .collect()
+        });
+        let parallel = joinmi_par::with_threads(4, || run_grid(&pairs, &cells));
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            match (p, s) {
+                (Some(a), Some(b)) => {
+                    // Bit-for-bit: estimates come from identical inputs.
+                    assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+                    assert_eq!(a.join_size, b.join_size);
+                    assert_eq!(a.left_storage, b.left_storage);
+                }
+                (None, None) => {}
+                _ => panic!("parallel/sequential disagreement"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Hash maps keyed by already-hashed 64-bit digests.
+//!
+//! Every hot map in the sketch pipeline is keyed by a `u64` that is *already*
+//! a MurmurHash3 digest (or a salted Fibonacci digest derived from one).
+//! Running those keys through `std`'s default SipHash-1-3 a second time buys
+//! no collision resistance — the keys are not attacker-controlled and are
+//! already uniformly distributed — but costs a full SipHash permutation per
+//! lookup on every hot path (join probes, occurrence counting, postings).
+//!
+//! [`DigestHasher`] replaces that with a single Fibonacci multiply
+//! ([`fibonacci_hash_u64`]): one `wrapping_mul` plus one xor-shift, which
+//! both scrambles low-order input bits into the bucket-index bits and keeps
+//! the top control bits well distributed. Use [`DigestHashMap`] /
+//! [`DigestHashSet`] wherever the key is a digest, never for raw user input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+use crate::fibonacci::fibonacci_hash_u64;
+
+/// A `HashMap` keyed by 64-bit digests, hashed with one Fibonacci multiply.
+pub type DigestHashMap<V> = HashMap<u64, V, DigestBuildHasher>;
+
+/// A `HashSet` of 64-bit digests, hashed with one Fibonacci multiply.
+pub type DigestHashSet = HashSet<u64, DigestBuildHasher>;
+
+/// A `HashMap` over arbitrary keys with the **deterministic** digest hasher:
+/// identical insertion sequences produce identical iteration order, across
+/// runs and processes. Use wherever floats are accumulated in map iteration
+/// order (estimator contingency tables), so results are reproducible
+/// bit-for-bit. Not DoS-hardened — never key it by untrusted input.
+pub type FixedHashMap<K, V> = HashMap<K, V, DigestBuildHasher>;
+
+/// Creates an empty [`DigestHashMap`] with at least `capacity` slots.
+#[must_use]
+pub fn digest_map_with_capacity<V>(capacity: usize) -> DigestHashMap<V> {
+    DigestHashMap::with_capacity_and_hasher(capacity, DigestBuildHasher)
+}
+
+/// Creates an empty [`DigestHashSet`] with at least `capacity` slots.
+#[must_use]
+pub fn digest_set_with_capacity(capacity: usize) -> DigestHashSet {
+    DigestHashSet::with_capacity_and_hasher(capacity, DigestBuildHasher)
+}
+
+/// [`BuildHasher`] producing [`DigestHasher`]s. Zero-sized and stateless, so
+/// map iteration order is deterministic across runs and processes (unlike the
+/// randomly seeded `RandomState`) — which keeps parallel/sequential replays
+/// of the pipeline bit-for-bit comparable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DigestBuildHasher;
+
+impl BuildHasher for DigestBuildHasher {
+    type Hasher = DigestHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> DigestHasher {
+        DigestHasher { state: 0 }
+    }
+}
+
+/// Hasher for keys that are already 64-bit digests.
+///
+/// `write_u64` (the call emitted by `u64::hash` and by newtypes over `u64`
+/// such as `KeyHash`) applies one round of Fibonacci hashing. The byte-slice
+/// fallback exists only so the type is a total [`Hasher`]; digest maps never
+/// take that path for their intended keys.
+#[derive(Debug, Clone, Copy)]
+pub struct DigestHasher {
+    state: u64,
+}
+
+impl Hasher for DigestHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.state = fibonacci_hash_u64(self.state ^ value);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.write_u64(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, value: u8) {
+        self.write_u64(u64::from(value));
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback for non-u64 writes (e.g. a stray `&str` key); kept
+        // correct rather than fast because digest maps never hit this path.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.state;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.state = h;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut map: DigestHashMap<u32> = digest_map_with_capacity(8);
+        for d in [0u64, 1, u64::MAX, 0xdead_beef, 42] {
+            map.insert(d, (d % 97) as u32);
+        }
+        assert_eq!(map.len(), 5);
+        for d in [0u64, 1, u64::MAX, 0xdead_beef, 42] {
+            assert_eq!(map.get(&d), Some(&((d % 97) as u32)));
+        }
+        assert!(!map.contains_key(&7));
+    }
+
+    #[test]
+    fn set_roundtrip() {
+        let mut set = digest_set_with_capacity(4);
+        assert!(set.insert(10));
+        assert!(!set.insert(10));
+        assert!(set.contains(&10));
+        assert!(!set.contains(&11));
+    }
+
+    #[test]
+    fn no_pathological_clustering_on_sequential_digests() {
+        // Sequential u64 keys are the worst case for an identity hasher; the
+        // Fibonacci multiply must spread them across the full 64-bit space.
+        let mut map = digest_map_with_capacity(0);
+        for d in 0..100_000u64 {
+            map.insert(d, d);
+        }
+        assert_eq!(map.len(), 100_000);
+        for d in (0..100_000u64).step_by(997) {
+            assert_eq!(map[&d], d);
+        }
+    }
+
+    #[test]
+    fn iteration_order_is_deterministic_across_instances() {
+        let build = |order: &[u64]| {
+            let mut m = digest_map_with_capacity(16);
+            for &d in order {
+                m.insert(d, ());
+            }
+            m.keys().copied().collect::<Vec<u64>>()
+        };
+        let digests: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        assert_eq!(build(&digests), build(&digests));
+    }
+
+    #[test]
+    fn keyhash_newtype_uses_write_u64_path() {
+        let digest = 0x1234_5678_9abc_def0u64;
+        let via_u64 = DigestBuildHasher.hash_one(digest);
+        let via_newtype = DigestBuildHasher.hash_one(crate::KeyHash(digest));
+        assert_eq!(via_u64, via_newtype);
+    }
+}

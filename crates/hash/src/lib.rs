@@ -19,12 +19,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest_map;
 pub mod fibonacci;
 pub mod key;
 pub mod murmur3;
 pub mod splitmix;
 pub mod unit;
 
+pub use digest_map::{
+    digest_map_with_capacity, digest_set_with_capacity, DigestBuildHasher, DigestHashMap,
+    DigestHashSet, FixedHashMap,
+};
 pub use fibonacci::{fibonacci_hash_u64, FIBONACCI_MULTIPLIER};
 pub use key::{KeyHash, KeyHasher};
 pub use murmur3::{murmur3_x64_128, murmur3_x86_32};

@@ -1,0 +1,415 @@
+//! Scoped-thread parallel execution primitives for `joinmi`.
+//!
+//! The build environment has no crate-registry access, so instead of `rayon`
+//! this crate provides a small work-stealing-lite layer built entirely on
+//! [`std::thread::scope`]:
+//!
+//! * [`par_map`] — map a function over a slice, one result per item;
+//! * [`par_map_chunked`] — map a function over contiguous chunks of a slice;
+//! * [`par_map_index`] / [`par_map_index_with`] — map over an index range
+//!   `0..n`, optionally with a per-worker scratch state that is created once
+//!   per worker thread and reused across all items that worker processes;
+//! * [`par_map_with`] — slice variant of the scratch-state map.
+//!
+//! # Determinism
+//!
+//! Every function in this crate guarantees that the **output order equals the
+//! input order** regardless of how many threads run or how chunks are
+//! interleaved: workers claim chunk indices from an atomic cursor, tag each
+//! produced chunk with its index, and the results are reassembled in index
+//! order. Combined with pure per-item functions this makes parallel runs
+//! bit-for-bit identical to sequential runs — the property the sketch
+//! pipeline's tests assert.
+//!
+//! # Thread-count selection
+//!
+//! The worker count is resolved per call, in priority order:
+//!
+//! 1. an active [`with_threads`] override on the calling thread (used by
+//!    tests and benchmarks so they never have to mutate process-global
+//!    environment variables);
+//! 2. the `JOINMI_THREADS` environment variable (a positive integer);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Nested parallelism is suppressed: a `par_*` call made from inside a worker
+//! of an enclosing `par_*` call runs sequentially on that worker, so wiring
+//! parallelism through several layers (discovery → estimators) can never
+//! multiply thread counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable controlling the default worker count.
+pub const THREADS_ENV_VAR: &str = "JOINMI_THREADS";
+
+thread_local! {
+    /// Per-thread override installed by [`with_threads`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set while the current thread is executing chunks on behalf of an
+    /// enclosing `par_*` call; nested calls then run sequentially.
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Parses a `JOINMI_THREADS`-style value. Returns `None` for anything that is
+/// not a positive integer.
+#[must_use]
+pub fn parse_thread_count(value: &str) -> Option<usize> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+/// The number of worker threads a `par_*` call made right now would use.
+///
+/// Resolution order: [`with_threads`] override → `JOINMI_THREADS` → available
+/// parallelism → 1. Inside a parallel region this always returns 1 so nested
+/// parallelism cannot multiply thread counts.
+#[must_use]
+pub fn num_threads() -> usize {
+    if IN_PARALLEL_REGION.with(Cell::get) {
+        return 1;
+    }
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(value) = std::env::var(THREADS_ENV_VAR) {
+        if let Some(n) = parse_thread_count(&value) {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f` with the calling thread's worker count pinned to `threads`.
+///
+/// The override is thread-local and restored when `f` returns (or panics), so
+/// concurrent tests can pin different counts without racing on the process
+/// environment. `JOINMI_THREADS` is ignored while an override is active.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|cell| cell.set(self.0));
+        }
+    }
+    let previous = THREAD_OVERRIDE.with(|cell| cell.replace(Some(threads.max(1))));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// Chunk size heuristic: enough chunks per worker for load balancing without
+/// drowning small workloads in coordination overhead.
+fn default_chunk_size(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads.saturating_mul(4).max(1)).max(1)
+}
+
+/// The core runner: claims chunk indices `0..num_chunks` from an atomic
+/// cursor across `threads` workers (the calling thread participates), runs
+/// `run_chunk` with a per-worker scratch created by `init`, and returns the
+/// chunk outputs **in chunk-index order**.
+fn run_chunks_with<S, U, I, F>(
+    num_chunks: usize,
+    threads: usize,
+    init: I,
+    run_chunk: F,
+) -> Vec<Vec<U>>
+where
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> Vec<U> + Sync,
+{
+    if num_chunks == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || num_chunks == 1 {
+        let mut scratch = init();
+        return (0..num_chunks)
+            .map(|c| enter_parallel_region(|| run_chunk(&mut scratch, c)))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::with_capacity(num_chunks));
+    let worker = || {
+        enter_parallel_region(|| {
+            let mut scratch = init();
+            loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= num_chunks {
+                    break;
+                }
+                let out = run_chunk(&mut scratch, c);
+                results
+                    .lock()
+                    .expect("no panics while holding lock")
+                    .push((c, out));
+            }
+        });
+    };
+    std::thread::scope(|scope| {
+        // The calling thread is worker 0; spawn the rest.
+        for _ in 1..threads.min(num_chunks) {
+            scope.spawn(worker);
+        }
+        worker();
+    });
+
+    let mut collected = results.into_inner().expect("no panics while holding lock");
+    collected.sort_unstable_by_key(|&(c, _)| c);
+    collected.into_iter().map(|(_, out)| out).collect()
+}
+
+/// Marks the current thread as being inside a parallel region for the
+/// duration of `f`, making nested `par_*` calls sequential.
+fn enter_parallel_region<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_PARALLEL_REGION.with(|cell| cell.set(self.0));
+        }
+    }
+    let previous = IN_PARALLEL_REGION.with(|cell| cell.replace(true));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// Equivalent to `items.iter().map(f).collect()` — bit-for-bit, for pure `f`
+/// — but spread over [`num_threads`] workers.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with(items, || (), move |(), item| f(item))
+}
+
+/// Maps `f` over `items` in parallel with a per-worker scratch state.
+///
+/// `init` runs once per worker thread; the scratch it produces is reused for
+/// every item that worker processes (the allocation-recycling pattern used by
+/// the k-NN search). Results are in input order.
+pub fn par_map_with<T, S, U, I, F>(items: &[T], init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
+    let threads = num_threads();
+    let chunk_size = default_chunk_size(items.len(), threads);
+    let chunks = run_chunks_with(
+        items.len().div_ceil(chunk_size.max(1)),
+        threads,
+        init,
+        |scratch, c| {
+            let start = c * chunk_size;
+            let end = (start + chunk_size).min(items.len());
+            items[start..end]
+                .iter()
+                .map(|item| f(scratch, item))
+                .collect()
+        },
+    );
+    flatten(chunks, items.len())
+}
+
+/// Maps `f` over explicit contiguous chunks of `items` in parallel.
+///
+/// `f` receives the offset of the chunk within `items` and the chunk itself,
+/// and must return one output per chunk element; outputs are concatenated in
+/// input order. Useful when per-chunk setup (sorting, buffers) should be
+/// amortized over many items.
+///
+/// # Panics
+/// Panics if `f` returns a chunk output whose length differs from the chunk.
+pub fn par_map_chunked<T, U, F>(items: &[T], chunk_size: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> Vec<U> + Sync,
+{
+    let chunk_size = chunk_size.max(1);
+    let threads = num_threads();
+    let chunks = run_chunks_with(
+        items.len().div_ceil(chunk_size),
+        threads,
+        || (),
+        |(), c| {
+            let start = c * chunk_size;
+            let end = (start + chunk_size).min(items.len());
+            let out = f(start, &items[start..end]);
+            assert_eq!(
+                out.len(),
+                end - start,
+                "par_map_chunked: chunk function must return one output per element"
+            );
+            out
+        },
+    );
+    flatten(chunks, items.len())
+}
+
+/// Maps `f` over the index range `0..n` in parallel, in index order.
+pub fn par_map_index<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    par_map_index_with(n, || (), move |(), i| f(i))
+}
+
+/// Maps `f` over `0..n` in parallel with a per-worker scratch state created
+/// by `init` and reused across all indices a worker processes.
+pub fn par_map_index_with<S, U, I, F>(n: usize, init: I, f: F) -> Vec<U>
+where
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> U + Sync,
+{
+    let threads = num_threads();
+    let chunk_size = default_chunk_size(n, threads);
+    let chunks = run_chunks_with(
+        n.div_ceil(chunk_size.max(1)),
+        threads,
+        init,
+        |scratch, c| {
+            let start = c * chunk_size;
+            let end = (start + chunk_size).min(n);
+            (start..end).map(|i| f(scratch, i)).collect()
+        },
+    );
+    flatten(chunks, n)
+}
+
+fn flatten<U>(chunks: Vec<Vec<U>>, len: usize) -> Vec<U> {
+    let mut out = Vec::with_capacity(len);
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = with_threads(threads, || par_map(&items, |&x| x * x));
+            let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_singleton() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_index_matches_sequential() {
+        for n in [0usize, 1, 5, 1000] {
+            for threads in [1, 4] {
+                let got = with_threads(threads, || par_map_index(n, |i| i * 3));
+                let want: Vec<usize> = (0..n).map(|i| i * 3).collect();
+                assert_eq!(got, want, "n={n}, threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_chunked_concatenates_in_order() {
+        let items: Vec<i64> = (0..997).collect();
+        for chunk in [1usize, 7, 100, 5000] {
+            let got = with_threads(4, || {
+                par_map_chunked(&items, chunk, |offset, chunk_items| {
+                    chunk_items
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &x)| x + (offset + j) as i64)
+                        .collect()
+                })
+            });
+            let want: Vec<i64> = items.iter().map(|&x| 2 * x).collect();
+            assert_eq!(got, want, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn scratch_state_is_reused_not_shared() {
+        // Each worker counts how many items it processed in its scratch; the
+        // total over all outputs must equal the item count exactly once each.
+        let n = 5000usize;
+        let outputs = with_threads(4, || {
+            par_map_index_with(
+                n,
+                || 0usize,
+                |count, i| {
+                    *count += 1;
+                    (i, *count)
+                },
+            )
+        });
+        assert_eq!(outputs.len(), n);
+        for (pos, &(i, count)) in outputs.iter().enumerate() {
+            assert_eq!(i, pos);
+            assert!(count >= 1);
+        }
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = num_threads();
+        let inner = with_threads(3, num_threads);
+        assert_eq!(inner, 3);
+        assert_eq!(num_threads(), outer);
+        // Zero is clamped to one.
+        assert_eq!(with_threads(0, num_threads), 1);
+    }
+
+    #[test]
+    fn nested_parallelism_is_sequential() {
+        let depths = with_threads(4, || {
+            par_map_index(8, |_| {
+                // Inside a worker the resolved thread count must be 1.
+                num_threads()
+            })
+        });
+        assert!(depths.iter().all(|&d| d == 1), "nested counts: {depths:?}");
+    }
+
+    #[test]
+    fn parse_thread_count_rejects_junk() {
+        assert_eq!(parse_thread_count("4"), Some(4));
+        assert_eq!(parse_thread_count(" 12 "), Some(12));
+        assert_eq!(parse_thread_count("0"), None);
+        assert_eq!(parse_thread_count("-3"), None);
+        assert_eq!(parse_thread_count("lots"), None);
+        assert_eq!(parse_thread_count(""), None);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(2, || {
+                par_map_index(64, |i| {
+                    assert!(i != 13, "intentional test panic");
+                    i
+                })
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -10,6 +10,8 @@
 //!
 //! ## Crate map
 //!
+//! * [`par`] — scoped-thread parallel map primitives with deterministic
+//!   output order (thread count via `JOINMI_THREADS`).
 //! * [`hash`] — MurmurHash3, Fibonacci hashing, seeded unit-range hashers.
 //! * [`table`] — in-memory relational substrate (typed columns, joins,
 //!   group-by aggregation, CSV, type inference).
@@ -56,6 +58,7 @@ pub use joinmi_discovery as discovery;
 pub use joinmi_estimators as estimators;
 pub use joinmi_eval as eval;
 pub use joinmi_hash as hash;
+pub use joinmi_par as par;
 pub use joinmi_sketch as sketch;
 pub use joinmi_synth as synth;
 pub use joinmi_table as table;
