@@ -1,0 +1,164 @@
+//! The deterministic 32×8 pipeline corpus shared by the quick benchmarks and
+//! the `ingest` / `query` CLI subcommands.
+//!
+//! Both halves of the offline/online split must be able to regenerate the
+//! *identical* corpus from nothing but a row count: the `query` subcommand
+//! (online process) rebuilds the in-memory repository from these generators
+//! and asserts its ranking is bit-for-bit equal to the one answered from the
+//! repository file written by `ingest` (offline process). Everything here is
+//! seeded LCG arithmetic — no ambient randomness.
+
+use joinmi_discovery::{RankedCandidate, RelationshipQuery, RepositoryConfig, TableRepository};
+use joinmi_sketch::{SketchConfig, SketchKind};
+use joinmi_table::Table;
+
+/// Number of candidate tables in the pipeline corpus.
+pub const NUM_TABLES: usize = 32;
+/// Feature columns per candidate table.
+pub const FEATURES_PER_TABLE: usize = 8;
+/// Size of the shared join-key universe.
+pub const KEY_UNIVERSE: usize = 600;
+
+/// Rows per table for quick (CI) vs. full benchmark runs.
+#[must_use]
+pub fn rows_for(quick: bool) -> usize {
+    if quick {
+        2_000
+    } else {
+        8_000
+    }
+}
+
+/// A deterministic candidate table: string keys from the shared universe plus
+/// eight numeric feature columns derived from the key index.
+#[must_use]
+pub fn candidate_table(index: usize, rows: usize) -> Table {
+    let mut state = 0x9E37_79B9u64.wrapping_mul(index as u64 + 1) | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 33
+    };
+    let key_ids: Vec<u64> = (0..rows).map(|_| next() % KEY_UNIVERSE as u64).collect();
+    let keys: Vec<String> = key_ids.iter().map(|k| format!("zip-{k}")).collect();
+    let mut builder = Table::builder(format!("cand{index}")).push_str_column("key", keys);
+    for f in 0..FEATURES_PER_TABLE {
+        // Feature = deterministic function of the key plus per-table noise,
+        // so the planted key → feature relationships carry real MI.
+        let values: Vec<f64> = key_ids
+            .iter()
+            .map(|&k| (k as f64).mul_add(f as f64 + 1.0, (next() % 97) as f64 / 97.0))
+            .collect();
+        builder = builder.push_float_column(&format!("f{f}"), values);
+    }
+    builder.build().expect("candidate table")
+}
+
+/// All candidate tables of the corpus.
+#[must_use]
+pub fn candidate_tables(rows: usize) -> Vec<Table> {
+    (0..NUM_TABLES).map(|i| candidate_table(i, rows)).collect()
+}
+
+/// The base (query) table: keys from the same universe and a target driven by
+/// the key index.
+#[must_use]
+pub fn query_table(rows: usize) -> Table {
+    let mut state = 0xBEEF_CAFEu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 33
+    };
+    let key_ids: Vec<u64> = (0..rows).map(|_| next() % KEY_UNIVERSE as u64).collect();
+    let keys: Vec<String> = key_ids.iter().map(|k| format!("zip-{k}")).collect();
+    let target: Vec<i64> = key_ids
+        .iter()
+        .map(|&k| (k * 3 + next() % 5) as i64)
+        .collect();
+    Table::builder("train")
+        .push_str_column("key", keys)
+        .push_int_column("target", target)
+        .build()
+        .expect("query table")
+}
+
+/// The repository configuration used by the pipeline workload (TUPSK,
+/// sketch size 512, seed 3).
+#[must_use]
+pub fn repo_config() -> RepositoryConfig {
+    RepositoryConfig {
+        sketch: SketchConfig::new(512, 3),
+        ..RepositoryConfig::default()
+    }
+}
+
+/// Ingests the whole corpus into a fresh repository.
+#[must_use]
+pub fn build_repository(rows: usize) -> TableRepository {
+    let mut repo = TableRepository::new(repo_config());
+    repo.add_tables(candidate_tables(rows)).expect("ingest");
+    repo
+}
+
+/// The standard ranked relationship query over the corpus (unlimited k, so
+/// fingerprints cover every surviving candidate).
+#[must_use]
+pub fn standard_query(rows: usize) -> RelationshipQuery {
+    RelationshipQuery::new(query_table(rows), "key", "target")
+        .with_sketch(SketchKind::Tupsk, SketchConfig::new(512, 3))
+        .with_min_join_size(10)
+        .with_top_k(0)
+}
+
+/// Fingerprint of a ranking for bit-for-bit identity checks across
+/// processes: candidate index, exact MI bits, join size, key overlap.
+#[must_use]
+pub fn ranking_fingerprint(results: &[RankedCandidate]) -> Vec<(usize, u64, usize, usize)> {
+    results
+        .iter()
+        .map(|r| {
+            (
+                r.candidate_index,
+                r.mi.to_bits(),
+                r.sketch_join_size,
+                r.key_overlap,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_across_calls() {
+        let a = candidate_table(3, 200);
+        let b = candidate_table(3, 200);
+        assert_eq!(a.num_rows(), 200);
+        for row in 0..10 {
+            assert_eq!(a.value(row, "key").unwrap(), b.value(row, "key").unwrap());
+            assert_eq!(a.value(row, "f0").unwrap(), b.value(row, "f0").unwrap());
+        }
+        let qa = query_table(100);
+        let qb = query_table(100);
+        assert_eq!(
+            qa.value(7, "target").unwrap(),
+            qb.value(7, "target").unwrap()
+        );
+    }
+
+    #[test]
+    fn repository_and_query_produce_stable_fingerprints() {
+        let repo = build_repository(300);
+        assert_eq!(repo.candidates().len(), NUM_TABLES * FEATURES_PER_TABLE);
+        let query = standard_query(300);
+        let f1 = ranking_fingerprint(&query.execute(&repo).unwrap());
+        let f2 = ranking_fingerprint(&query.execute(&repo).unwrap());
+        assert!(!f1.is_empty());
+        assert_eq!(f1, f2);
+    }
+}

@@ -10,6 +10,9 @@
 use joinmi_synth::{decompose, DecomposedPair, KeyDistribution, TrinomialConfig};
 use joinmi_table::Value;
 
+pub mod corpus;
+pub mod quickjson;
+
 /// A benchmark workload: the generated pairs plus the decomposed tables.
 #[derive(Debug, Clone)]
 pub struct Workload {

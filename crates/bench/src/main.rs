@@ -1,46 +1,291 @@
-//! Quick-mode benchmark runner.
+//! The `joinmi_bench` CLI: quick benchmarks plus the offline/online split.
 //!
-//! `cargo run -p joinmi_bench --release -- --quick --json` runs a compressed
-//! version of the six criterion bench targets plus the parallel
-//! ingest-and-query pipeline workload, and emits a machine-readable
-//! `BENCH_PR2.json` (bench name → median wall nanoseconds) that seeds the
+//! ```text
+//! joinmi_bench [--quick] [--json] [--out PATH]      # benchmark mode
+//! joinmi_bench ingest  --out repo.jmi [--quick]     # offline: build + save a repository
+//! joinmi_bench query   --repo repo.jmi [--verify-in-memory]
+//!                                                   # online: load + query (separate process)
+//! joinmi_bench compare --baseline A.json --current B.json [--max-regression 0.25]
+//!                                                   # CI bench-regression gate
+//! ```
+//!
+//! Benchmark mode runs a compressed version of the six criterion bench
+//! targets, the parallel ingest-and-query pipeline workload, and the
+//! repository save/load workload, and emits a machine-readable JSON (bench
+//! name → median wall nanoseconds; default `BENCH_PR3.json`) that seeds the
 //! perf trajectory for future PRs. Unlike the criterion benches (minutes),
-//! quick mode finishes in seconds, so CI can run it on every push.
+//! quick mode finishes in seconds, so CI runs it on every push.
 //!
-//! The pipeline workload ingests 32 candidate tables × 8 feature columns and
-//! runs one ranked relationship query, once pinned to 1 thread and once to 4
-//! (via `joinmi_par::with_threads`, independent of `JOINMI_THREADS`). The two
-//! runs are checked for bit-for-bit identical candidates and rankings; the
-//! JSON records both times, their ratio, and the identity check. Note the
-//! speedup is only meaningful on a machine with ≥ 4 cores — the JSON records
-//! the host parallelism so downstream tooling can judge.
+//! `ingest` and `query` are the real offline → online split: `ingest` builds
+//! the deterministic 32×8-table corpus ([`joinmi_bench::corpus`]), sketches
+//! it, and saves the repository to disk; `query`, in a **separate process**,
+//! loads that file and answers the standard ranked query. With
+//! `--verify-in-memory` the query process also rebuilds the corpus from
+//! scratch and asserts the persisted ranking is bit-for-bit identical — the
+//! check the `persistence-roundtrip` CI job gates on.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
+use joinmi_bench::corpus;
+use joinmi_bench::quickjson;
 use joinmi_bench::trinomial_workload;
-use joinmi_discovery::{RelationshipQuery, RepositoryConfig, TableRepository};
+use joinmi_discovery::{CandidateSource, TableRepository};
 use joinmi_eval::EstimatorMode;
 use joinmi_sketch::{SketchConfig, SketchKind};
 use joinmi_synth::KeyDistribution;
-use joinmi_table::{augment, AugmentSpec, Table};
+use joinmi_table::{augment, AugmentSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--json");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_PR2.json".to_owned());
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: joinmi_bench [--quick] [--json] [--out PATH]");
-        eprintln!("  --quick  small iteration counts / workloads (seconds, not minutes)");
-        eprintln!("  --json   write results to PATH (default BENCH_PR2.json)");
+        print_usage();
         return;
     }
+    let exit = match args.first().map(String::as_str) {
+        Some("ingest") => cmd_ingest(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        // A non-flag first argument that is not a known subcommand is a typo
+        // (e.g. `ingets`): error out instead of silently running the full
+        // benchmark suite and exiting 0 with the real work undone.
+        Some(other) if !other.starts_with('-') => {
+            eprintln!("unknown subcommand `{other}`");
+            print_usage();
+            2
+        }
+        _ => cmd_bench(&args),
+    };
+    std::process::exit(exit);
+}
+
+fn print_usage() {
+    eprintln!("usage: joinmi_bench [--quick] [--json] [--out PATH]");
+    eprintln!("       joinmi_bench ingest  --out REPO [--quick]");
+    eprintln!("       joinmi_bench query   --repo REPO [--verify-in-memory]");
+    eprintln!("       joinmi_bench compare --baseline JSON --current JSON [--max-regression R]");
+    eprintln!();
+    eprintln!("  --quick  small iteration counts / workloads (seconds, not minutes)");
+    eprintln!("  --json   write benchmark results to PATH (default BENCH_PR3.json)");
+}
+
+/// Value of `--flag VALUE` in an argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+// ---------------------------------------------------------------------------
+// ingest: the offline half.
+// ---------------------------------------------------------------------------
+
+fn cmd_ingest(args: &[String]) -> i32 {
+    let out = flag_value(args, "--out").unwrap_or("repo.jmi");
+    let quick = args.iter().any(|a| a == "--quick");
+    let rows = corpus::rows_for(quick);
+
+    println!(
+        "ingest: {} tables x {} features, {rows} rows each (universe {})",
+        corpus::NUM_TABLES,
+        corpus::FEATURES_PER_TABLE,
+        corpus::KEY_UNIVERSE
+    );
+    let start = Instant::now();
+    let repo = corpus::build_repository(rows);
+    let ingest_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "ingest: {} candidate sketches built in {ingest_ms:.1} ms",
+        repo.candidates().len()
+    );
+
+    let start = Instant::now();
+    if let Err(e) = repo.save(out) {
+        eprintln!("ingest: failed to save `{out}`: {e}");
+        return 1;
+    }
+    let save_ms = start.elapsed().as_secs_f64() * 1e3;
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!("ingest: wrote {out} ({bytes} bytes) in {save_ms:.1} ms");
+    0
+}
+
+// ---------------------------------------------------------------------------
+// query: the online half (run in a separate process).
+// ---------------------------------------------------------------------------
+
+fn cmd_query(args: &[String]) -> i32 {
+    let Some(repo_path) = flag_value(args, "--repo") else {
+        eprintln!("query: --repo PATH is required");
+        return 2;
+    };
+    let verify = args.iter().any(|a| a == "--verify-in-memory");
+
+    let start = Instant::now();
+    let snapshot = match TableRepository::load_mmap_like(repo_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("query: failed to open `{repo_path}`: {e}");
+            return 1;
+        }
+    };
+    let open_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "query: opened {repo_path} in {open_ms:.2} ms ({} candidates from {} tables)",
+        snapshot.candidate_count(),
+        snapshot.num_tables()
+    );
+
+    // The corpus row count is recoverable from the persisted profiles, so the
+    // online process needs no --quick flag to stay consistent with ingest.
+    let Some(rows) = snapshot.profiles().first().map(|p| p.rows) else {
+        eprintln!("query: repository holds no tables");
+        return 1;
+    };
+    let query = corpus::standard_query(rows);
+
+    let start = Instant::now();
+    let from_disk = match query.execute(&snapshot) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("query: failed: {e}");
+            return 1;
+        }
+    };
+    let query_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "query: ranked {} candidates in {query_ms:.2} ms ({} sketches decoded lazily)",
+        from_disk.len(),
+        snapshot.decoded_candidates()
+    );
+    for r in from_disk.iter().take(5) {
+        println!(
+            "  {:<28} mi={:.4}  join={}",
+            r.label(),
+            r.mi,
+            r.sketch_join_size
+        );
+    }
+
+    if verify {
+        let repo = corpus::build_repository(rows);
+        let in_memory = match query.execute(&repo) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("query: in-memory verification build failed: {e}");
+                return 1;
+            }
+        };
+        if repo.candidates().len() != snapshot.candidate_count() {
+            eprintln!(
+                "persistence-roundtrip: FAILED — candidate count {} on disk vs {} in memory",
+                snapshot.candidate_count(),
+                repo.candidates().len()
+            );
+            return 1;
+        }
+        let disk_fp = corpus::ranking_fingerprint(&from_disk);
+        let mem_fp = corpus::ranking_fingerprint(&in_memory);
+        if disk_fp != mem_fp {
+            eprintln!(
+                "persistence-roundtrip: FAILED — persisted ranking diverges from in-memory \
+                 ({} vs {} results)",
+                disk_fp.len(),
+                mem_fp.len()
+            );
+            for (d, m) in disk_fp.iter().zip(&mem_fp).take(5) {
+                eprintln!("  disk {d:?} vs mem {m:?}");
+            }
+            return 1;
+        }
+        println!(
+            "persistence-roundtrip: OK — {} ranked candidates bit-for-bit identical to the \
+             in-memory build",
+            disk_fp.len()
+        );
+    }
+    0
+}
+
+// ---------------------------------------------------------------------------
+// compare: the CI bench-regression gate.
+// ---------------------------------------------------------------------------
+
+fn cmd_compare(args: &[String]) -> i32 {
+    let (Some(baseline_path), Some(current_path)) = (
+        flag_value(args, "--baseline"),
+        flag_value(args, "--current"),
+    ) else {
+        eprintln!("compare: --baseline PATH and --current PATH are required");
+        return 2;
+    };
+    let max_regression: f64 = match flag_value(args, "--max-regression")
+        .unwrap_or("0.25")
+        .parse()
+    {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("compare: --max-regression must be a number (e.g. 0.25)");
+            return 2;
+        }
+    };
+
+    let read_entries = |path: &str| -> Result<Vec<(String, f64)>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read `{path}`: {e}"))?;
+        quickjson::parse(&text).map_err(|e| format!("parse `{path}`: {e}"))
+    };
+    let (baseline, current) = match (read_entries(baseline_path), read_entries(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("compare: {e}");
+            return 1;
+        }
+    };
+
+    let report = match quickjson::compare_quick_bench(&baseline, &current, max_regression) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("compare: {e}");
+            return 1;
+        }
+    };
+
+    println!(
+        "compare: {baseline_path} (baseline) vs {current_path} (current), threshold +{:.0}%",
+        max_regression * 100.0
+    );
+    for c in &report.checked {
+        println!(
+            "  {:<40} {:>12.0} -> {:>12.0} ns  x{:.3}  {}",
+            c.name,
+            c.baseline,
+            c.current,
+            c.ratio,
+            if c.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    for s in &report.skipped {
+        println!("  skipped: {s}");
+    }
+    if report.has_regression() {
+        eprintln!(
+            "compare: bench regression beyond +{:.0}%",
+            max_regression * 100.0
+        );
+        return 1;
+    }
+    println!("compare: no regressions");
+    0
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark mode.
+// ---------------------------------------------------------------------------
+
+fn cmd_bench(args: &[String]) -> i32 {
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let out_path = flag_value(args, "--out").unwrap_or("BENCH_PR3.json");
 
     // Quick mode: smaller tables and fewer repetitions; default mode uses the
     // criterion-bench sizes for closer comparability.
@@ -49,8 +294,9 @@ fn main() {
 
     bench_targets(rows, iters, &mut results);
     pipeline_workload(quick, &mut results);
+    store_workload(quick, &mut results);
     results.push((
-        "host/available_parallelism".to_owned(),
+        quickjson::HOST_PARALLELISM_KEY.to_owned(),
         std::thread::available_parallelism().map_or(1.0, |n| n.get() as f64),
     ));
 
@@ -60,10 +306,11 @@ fn main() {
     }
 
     if json {
-        let rendered = render_json(&results);
-        std::fs::write(&out_path, rendered).expect("write bench JSON");
+        let rendered = quickjson::render(&results);
+        std::fs::write(out_path, rendered).expect("write bench JSON");
         println!("\nwrote {out_path}");
     }
+    0
 }
 
 /// Median wall time of `iters` runs of `f`, in nanoseconds.
@@ -187,83 +434,16 @@ fn bench_targets(rows: usize, iters: usize, results: &mut Vec<(String, f64)>) {
     ));
 }
 
-/// A deterministic candidate table: string keys from a shared universe plus
-/// eight numeric feature columns derived from the key index.
-fn candidate_table(index: usize, rows: usize, universe: usize) -> Table {
-    let mut state = 0x9E37_79B9u64.wrapping_mul(index as u64 + 1) | 1;
-    let mut next = move || {
-        state = state
-            .wrapping_mul(6_364_136_223_846_793_005)
-            .wrapping_add(1_442_695_040_888_963_407);
-        state >> 33
-    };
-    let key_ids: Vec<u64> = (0..rows).map(|_| next() % universe as u64).collect();
-    let keys: Vec<String> = key_ids.iter().map(|k| format!("zip-{k}")).collect();
-    let mut builder = Table::builder(format!("cand{index}")).push_str_column("key", keys);
-    for f in 0..8 {
-        // Feature = deterministic function of the key plus per-table noise,
-        // so the planted key → feature relationships carry real MI.
-        let values: Vec<f64> = key_ids
-            .iter()
-            .map(|&k| (k as f64).mul_add(f as f64 + 1.0, (next() % 97) as f64 / 97.0))
-            .collect();
-        builder = builder.push_float_column(&format!("f{f}"), values);
-    }
-    builder.build().expect("candidate table")
-}
-
-/// The base (query) table: keys from the same universe and a target driven by
-/// the key index.
-fn query_table(rows: usize, universe: usize) -> Table {
-    let mut state = 0xBEEF_CAFEu64;
-    let mut next = move || {
-        state = state
-            .wrapping_mul(6_364_136_223_846_793_005)
-            .wrapping_add(1_442_695_040_888_963_407);
-        state >> 33
-    };
-    let key_ids: Vec<u64> = (0..rows).map(|_| next() % universe as u64).collect();
-    let keys: Vec<String> = key_ids.iter().map(|k| format!("zip-{k}")).collect();
-    let target: Vec<i64> = key_ids
-        .iter()
-        .map(|&k| (k * 3 + next() % 5) as i64)
-        .collect();
-    Table::builder("train")
-        .push_str_column("key", keys)
-        .push_int_column("target", target)
-        .build()
-        .expect("query table")
-}
-
-/// Fingerprint of a ranking for the bit-for-bit identity check.
-fn ranking_fingerprint(results: &[joinmi_discovery::RankedCandidate]) -> Vec<(usize, u64, usize)> {
-    results
-        .iter()
-        .map(|r| (r.candidate_index, r.mi.to_bits(), r.sketch_join_size))
-        .collect()
-}
-
 /// The acceptance workload: ingest 32 tables × 8 feature columns, then run
 /// one ranked query — at 1 thread and at 4 — asserting identical results.
 fn pipeline_workload(quick: bool, results: &mut Vec<(String, f64)>) {
-    let (rows, reps) = if quick { (2_000, 3) } else { (8_000, 5) };
-    let universe = 600;
-    let tables: Vec<Table> = (0..32)
-        .map(|i| candidate_table(i, rows, universe))
-        .collect();
-    let train = query_table(rows, universe);
+    let reps = if quick { 3 } else { 5 };
+    let rows = corpus::rows_for(quick);
+    let tables = corpus::candidate_tables(rows);
+    let query = corpus::standard_query(rows);
 
-    let repo_config = RepositoryConfig {
-        sketch: SketchConfig::new(512, 3),
-        ..RepositoryConfig::default()
-    };
-    let query = RelationshipQuery::new(train, "key", "target")
-        .with_sketch(SketchKind::Tupsk, SketchConfig::new(512, 3))
-        .with_min_join_size(10)
-        .with_top_k(0);
-
-    let run_once = |tables: Vec<Table>| {
-        let mut repo = TableRepository::new(repo_config);
+    let run_once = |tables: Vec<joinmi_table::Table>| {
+        let mut repo = TableRepository::new(corpus::repo_config());
         let added = repo.add_tables(tables).expect("ingest");
         let ranking = query.execute(&repo).expect("query");
         (added, repo, ranking)
@@ -284,7 +464,12 @@ fn pipeline_workload(quick: bool, results: &mut Vec<(String, f64)>) {
     };
 
     let (added, repo_seq, ranking_seq) = joinmi_par::with_threads(1, || run_once(tables.clone()));
-    assert_eq!(added, 32 * 8, "expected 8 candidate pairs per table");
+    assert_eq!(
+        added,
+        corpus::NUM_TABLES * corpus::FEATURES_PER_TABLE,
+        "expected {} candidate pairs per table",
+        corpus::FEATURES_PER_TABLE
+    );
     let t1_ns = joinmi_par::with_threads(1, || timed_median(reps));
 
     let (_, repo_par, ranking_par) = joinmi_par::with_threads(4, || run_once(tables.clone()));
@@ -297,7 +482,7 @@ fn pipeline_workload(quick: bool, results: &mut Vec<(String, f64)>) {
             .iter()
             .zip(repo_par.candidates())
             .all(|(a, b)| a.label() == b.label() && a.sketch.rows() == b.sketch.rows())
-        && ranking_fingerprint(&ranking_seq) == ranking_fingerprint(&ranking_par);
+        && corpus::ranking_fingerprint(&ranking_seq) == corpus::ranking_fingerprint(&ranking_par);
     assert!(identical, "parallel pipeline diverged from sequential");
 
     results.push(("pipeline/ingest32x8_query/threads=1".to_owned(), t1_ns));
@@ -312,13 +497,57 @@ fn pipeline_workload(quick: bool, results: &mut Vec<(String, f64)>) {
     ));
 }
 
-/// Renders the results as a flat JSON object (insertion order preserved).
-fn render_json(results: &[(String, f64)]) -> String {
-    let mut out = String::from("{\n");
-    for (i, (name, value)) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
-        let _ = writeln!(out, "  \"{name}\": {value:.1}{comma}");
-    }
-    out.push_str("}\n");
-    out
+/// The persistence workload: save the 32×8 repository, load it back (eager
+/// and mmap-like), and compare loading against re-ingesting the same corpus.
+///
+/// `store/load_speedup_vs_ingest` is the headline number of the offline →
+/// online split: how much faster a restart answers its first query when the
+/// sketches come from disk instead of being rebuilt from raw tables.
+fn store_workload(quick: bool, results: &mut Vec<(String, f64)>) {
+    let reps = if quick { 3 } else { 5 };
+    let rows = corpus::rows_for(quick);
+    let tables = corpus::candidate_tables(rows);
+    let query = corpus::standard_query(rows);
+
+    // Re-ingest: sketch the whole corpus from raw tables (no query).
+    let reingest_ns = median_ns(reps, || {
+        let mut repo = TableRepository::new(corpus::repo_config());
+        repo.add_tables(tables.clone()).expect("ingest").to_string()
+    });
+
+    let mut repo = TableRepository::new(corpus::repo_config());
+    repo.add_tables(tables.clone()).expect("ingest");
+    let in_memory_fp = corpus::ranking_fingerprint(&query.execute(&repo).expect("query"));
+
+    let path = std::env::temp_dir().join(format!("joinmi-bench-{}.jmi", std::process::id()));
+    let save_ns = median_ns(reps, || repo.save(&path).expect("save repo"));
+    let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+    let load_ns = median_ns(reps, || TableRepository::load(&path).expect("load repo"));
+    let open_ns = median_ns(reps, || {
+        TableRepository::load_mmap_like(&path)
+            .expect("open repo")
+            .candidate_count()
+    });
+
+    // Guard: the loaded repository must answer the standard query
+    // bit-identically to the in-memory build.
+    let loaded = TableRepository::load(&path).expect("load repo");
+    let loaded_fp = corpus::ranking_fingerprint(&query.execute(&loaded).expect("query"));
+    assert_eq!(in_memory_fp, loaded_fp, "persisted repository diverged");
+    let _ = std::fs::remove_file(&path);
+
+    results.push(("store/save_repo".to_owned(), save_ns));
+    results.push(("store/load_repo".to_owned(), load_ns));
+    results.push(("store/open_mmap_like".to_owned(), open_ns));
+    results.push(("store/reingest32x8".to_owned(), reingest_ns));
+    results.push((
+        "store/load_speedup_vs_ingest".to_owned(),
+        if load_ns > 0.0 {
+            reingest_ns / load_ns
+        } else {
+            0.0
+        },
+    ));
+    results.push(("store/file_bytes".to_owned(), file_bytes as f64));
 }

@@ -1,0 +1,292 @@
+//! Reading, writing, and comparing the quick-bench JSON.
+//!
+//! The quick benchmark emits a flat `{"bench/name": median_ns, ...}` object.
+//! This module owns that format end to end — rendering, a dependency-free
+//! parser, and the regression comparison the `bench-smoke` CI job runs
+//! against the committed baseline — so the workflow never has to know key
+//! names or thresholds.
+
+use std::fmt::Write as _;
+
+/// Bench medians gated unconditionally by [`compare_quick_bench`]: the two
+/// sketch-path hot loops whose regressions the paper's efficiency claim
+/// cannot absorb.
+pub const GATED_MEDIANS: [&str; 2] = ["sketch_join/tupsk_n256", "estimators/mle_on_sketch_join"];
+
+/// Pipeline medians gated only when **both** the baseline and the current
+/// host report more than one core (`host/available_parallelism`): on a
+/// 1-core container the 4-thread run measures scheduler noise, not the code.
+pub const PARALLEL_GATED_MEDIANS: [&str; 2] = [
+    "pipeline/ingest32x8_query/threads=1",
+    "pipeline/ingest32x8_query/threads=4",
+];
+
+/// Key recording the host's core count inside the quick-bench JSON.
+pub const HOST_PARALLELISM_KEY: &str = "host/available_parallelism";
+
+/// Renders results as a flat JSON object (insertion order preserved).
+#[must_use]
+pub fn render(results: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, value)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(out, "  \"{name}\": {value:.1}{comma}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses a flat `{"name": number, ...}` JSON object as written by
+/// [`render`] (whitespace-tolerant; no nesting, strings only in key
+/// position).
+pub fn parse(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| "quick-bench JSON must be a single object".to_owned())?;
+    let mut entries = Vec::new();
+    for raw_pair in split_top_level_commas(body) {
+        let pair = raw_pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let rest = pair
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected quoted key in `{pair}`"))?;
+        let (name, after_key) = rest
+            .split_once('"')
+            .ok_or_else(|| format!("unterminated key in `{pair}`"))?;
+        let value_text = after_key
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| format!("missing `:` after key `{name}`"))?
+            .trim();
+        let value: f64 = value_text
+            .parse()
+            .map_err(|_| format!("`{name}`: `{value_text}` is not a number"))?;
+        entries.push((name.to_owned(), value));
+    }
+    if entries.is_empty() {
+        return Err("quick-bench JSON holds no entries".to_owned());
+    }
+    Ok(entries)
+}
+
+/// Splits an object body on commas (keys are the only strings and contain no
+/// commas or escapes, so top-level == every comma).
+fn split_top_level_commas(body: &str) -> impl Iterator<Item = &str> {
+    body.split(',')
+}
+
+/// Looks up one bench entry by exact name.
+#[must_use]
+pub fn lookup(entries: &[(String, f64)], name: &str) -> Option<f64> {
+    entries.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+}
+
+/// One gated median compared between baseline and current runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchComparison {
+    /// Bench name.
+    pub name: String,
+    /// Baseline median (nanoseconds).
+    pub baseline: f64,
+    /// Current median (nanoseconds).
+    pub current: f64,
+    /// `current / baseline` (> 1 means slower).
+    pub ratio: f64,
+    /// `true` when the slowdown exceeds the allowed regression.
+    pub regressed: bool,
+}
+
+/// Outcome of a baseline-vs-current comparison.
+#[derive(Debug, Clone, Default)]
+pub struct ComparisonReport {
+    /// Medians that were compared.
+    pub checked: Vec<BenchComparison>,
+    /// Gated keys that were skipped, with the reason.
+    pub skipped: Vec<String>,
+}
+
+impl ComparisonReport {
+    /// Returns `true` if any checked median regressed beyond the threshold.
+    #[must_use]
+    pub fn has_regression(&self) -> bool {
+        self.checked.iter().any(|c| c.regressed)
+    }
+}
+
+/// Compares a fresh quick-bench run against the committed baseline.
+///
+/// The medians in [`GATED_MEDIANS`] are always compared; a median more than
+/// `max_regression` slower than baseline (e.g. `0.25` = +25%) marks the
+/// report as regressed. Pipeline medians are additionally compared when both
+/// hosts report more than one core (see [`PARALLEL_GATED_MEDIANS`]). Keys
+/// missing from the *baseline* are skipped (baselines may predate a bench);
+/// gated keys missing from the *current* run are an error — the bench suite
+/// must not silently lose coverage.
+pub fn compare_quick_bench(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    max_regression: f64,
+) -> Result<ComparisonReport, String> {
+    let mut report = ComparisonReport::default();
+    let baseline_cores = lookup(baseline, HOST_PARALLELISM_KEY).unwrap_or(1.0);
+    let current_cores = lookup(current, HOST_PARALLELISM_KEY).unwrap_or(1.0);
+    let compare_pipeline = baseline_cores > 1.0 && current_cores > 1.0;
+
+    let mut gate = |name: &str| -> Result<(), String> {
+        let Some(current_value) = lookup(current, name) else {
+            return Err(format!("current quick-bench JSON is missing `{name}`"));
+        };
+        let Some(baseline_value) = lookup(baseline, name) else {
+            report
+                .skipped
+                .push(format!("{name}: not in baseline (new bench)"));
+            return Ok(());
+        };
+        let ratio = if baseline_value > 0.0 {
+            current_value / baseline_value
+        } else {
+            1.0
+        };
+        report.checked.push(BenchComparison {
+            name: name.to_owned(),
+            baseline: baseline_value,
+            current: current_value,
+            ratio,
+            regressed: ratio > 1.0 + max_regression,
+        });
+        Ok(())
+    };
+
+    for name in GATED_MEDIANS {
+        gate(name)?;
+    }
+    if compare_pipeline {
+        for name in PARALLEL_GATED_MEDIANS {
+            gate(name)?;
+        }
+    } else {
+        for name in PARALLEL_GATED_MEDIANS {
+            report.skipped.push(format!(
+                "{name}: host has 1 core (baseline {baseline_cores}, current {current_cores})"
+            ));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|&(n, v)| (n.to_owned(), v)).collect()
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let data = entries(&[
+            ("sketch_join/tupsk_n256", 3529.0),
+            ("host/available_parallelism", 4.0),
+        ]);
+        let parsed = parse(&render(&data)).unwrap();
+        assert_eq!(parsed, data);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("[]").is_err());
+        assert!(parse("{}").is_err());
+        assert!(parse("{\"a\": nope}").is_err());
+        assert!(parse("{\"a\" 1.0}").is_err());
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let baseline = entries(&[
+            ("sketch_join/tupsk_n256", 1000.0),
+            ("estimators/mle_on_sketch_join", 2000.0),
+            ("host/available_parallelism", 1.0),
+        ]);
+        let current = entries(&[
+            ("sketch_join/tupsk_n256", 1200.0),
+            ("estimators/mle_on_sketch_join", 2100.0),
+            ("host/available_parallelism", 1.0),
+        ]);
+        let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
+        assert!(!report.has_regression());
+        assert_eq!(report.checked.len(), 2);
+        // Pipeline medians skipped on the 1-core pairing.
+        assert_eq!(report.skipped.len(), PARALLEL_GATED_MEDIANS.len());
+    }
+
+    #[test]
+    fn regression_beyond_threshold_fails() {
+        let baseline = entries(&[
+            ("sketch_join/tupsk_n256", 1000.0),
+            ("estimators/mle_on_sketch_join", 2000.0),
+        ]);
+        let current = entries(&[
+            ("sketch_join/tupsk_n256", 1251.0),
+            ("estimators/mle_on_sketch_join", 2000.0),
+        ]);
+        let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
+        assert!(report.has_regression());
+        let bad = &report.checked[0];
+        assert!(bad.regressed);
+        assert!(bad.ratio > 1.25);
+    }
+
+    #[test]
+    fn pipeline_medians_gated_only_on_multicore_pairs() {
+        let mut baseline = entries(&[
+            ("sketch_join/tupsk_n256", 1000.0),
+            ("estimators/mle_on_sketch_join", 2000.0),
+            ("pipeline/ingest32x8_query/threads=1", 100.0),
+            ("pipeline/ingest32x8_query/threads=4", 50.0),
+            ("host/available_parallelism", 4.0),
+        ]);
+        let current = entries(&[
+            ("sketch_join/tupsk_n256", 1000.0),
+            ("estimators/mle_on_sketch_join", 2000.0),
+            ("pipeline/ingest32x8_query/threads=1", 300.0),
+            ("pipeline/ingest32x8_query/threads=4", 150.0),
+            ("host/available_parallelism", 4.0),
+        ]);
+        let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
+        assert_eq!(report.checked.len(), 4);
+        assert!(report.has_regression());
+
+        // Same data, but the baseline host was 1-core: pipeline skipped.
+        baseline.last_mut().unwrap().1 = 1.0;
+        let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
+        assert_eq!(report.checked.len(), 2);
+        assert!(!report.has_regression());
+    }
+
+    #[test]
+    fn missing_gated_key_in_current_is_an_error() {
+        let baseline = entries(&[("sketch_join/tupsk_n256", 1000.0)]);
+        let current = entries(&[("something_else", 1.0)]);
+        assert!(compare_quick_bench(&baseline, &current, 0.25).is_err());
+    }
+
+    #[test]
+    fn key_missing_from_baseline_is_skipped_not_fatal() {
+        let baseline = entries(&[("sketch_join/tupsk_n256", 1000.0)]);
+        let current = entries(&[
+            ("sketch_join/tupsk_n256", 1000.0),
+            ("estimators/mle_on_sketch_join", 2000.0),
+        ]);
+        let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
+        assert_eq!(report.checked.len(), 1);
+        assert!(report
+            .skipped
+            .iter()
+            .any(|s| s.contains("mle_on_sketch_join")));
+    }
+}

@@ -58,6 +58,7 @@ pub mod join;
 pub mod kind;
 pub mod kmv;
 pub mod lv2sk;
+pub mod persist;
 pub mod prep;
 pub mod prisk;
 pub mod row;

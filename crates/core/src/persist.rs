@@ -1,0 +1,511 @@
+//! Sketch persistence: the on-disk encoding of [`ColumnSketch`].
+//!
+//! Sketches are the artifact the paper builds *once*, offline; this module
+//! makes them durable using the [`joinmi_store`] framing (versioned header,
+//! checksummed sections, little-endian wire format). A serialized sketch is
+//! two sections:
+//!
+//! ```text
+//! META  (tag 0x01): kind | side | value dtype | config{size, seed}
+//!                   | source_rows | source_distinct_keys | row count
+//! ROWS  (tag 0x02): key digest column (u64 LE × n), then value column
+//!                   (tagged values, in the same row order)
+//! ```
+//!
+//! The digest and value columns are stored separately (columnar) so future
+//! readers can scan join keys — e.g. to rebuild an inverted index — without
+//! touching the values. Decoding is exact: float values round-trip bit for
+//! bit, so a query answered from a loaded sketch is bit-identical to one
+//! answered from the in-memory original.
+//!
+//! This module also owns the tag codecs for the enums shared across
+//! artifacts ([`SketchKind`], [`Side`], [`DataType`], [`Value`],
+//! [`Aggregation`]), which the repository format in `joinmi_discovery`
+//! reuses. Tags are append-only: a tag value, once released, is never
+//! reassigned.
+
+use std::io::{Read, Write};
+
+use joinmi_store::{
+    read_header, read_section, write_header, ArtifactKind, Reader, Result, SectionBuilder,
+    StoreError, Writer,
+};
+use joinmi_table::{Aggregation, DataType, Value};
+
+use crate::config::{Side, SketchConfig};
+use crate::kind::SketchKind;
+use crate::row::{ColumnSketch, SketchRow};
+
+/// Section tag of the sketch metadata section.
+pub const SECTION_SKETCH_META: u8 = 0x01;
+/// Section tag of the sketch row (digest + value columns) section.
+pub const SECTION_SKETCH_ROWS: u8 = 0x02;
+
+// ---------------------------------------------------------------------------
+// Enum tag codecs (shared with the repository format in joinmi_discovery).
+// ---------------------------------------------------------------------------
+
+/// On-disk tag of a [`SketchKind`].
+#[must_use]
+pub fn sketch_kind_tag(kind: SketchKind) -> u8 {
+    match kind {
+        SketchKind::Tupsk => 1,
+        SketchKind::Lv2sk => 2,
+        SketchKind::Prisk => 3,
+        SketchKind::Indsk => 4,
+        SketchKind::Csk => 5,
+    }
+}
+
+/// Decodes a [`SketchKind`] tag.
+pub fn sketch_kind_from_tag(tag: u8) -> Result<SketchKind> {
+    match tag {
+        1 => Ok(SketchKind::Tupsk),
+        2 => Ok(SketchKind::Lv2sk),
+        3 => Ok(SketchKind::Prisk),
+        4 => Ok(SketchKind::Indsk),
+        5 => Ok(SketchKind::Csk),
+        other => Err(StoreError::corrupt(format!(
+            "unknown sketch kind tag {other}"
+        ))),
+    }
+}
+
+/// On-disk tag of a [`Side`].
+#[must_use]
+pub fn side_tag(side: Side) -> u8 {
+    match side {
+        Side::Left => 1,
+        Side::Right => 2,
+    }
+}
+
+/// Decodes a [`Side`] tag.
+pub fn side_from_tag(tag: u8) -> Result<Side> {
+    match tag {
+        1 => Ok(Side::Left),
+        2 => Ok(Side::Right),
+        other => Err(StoreError::corrupt(format!("unknown side tag {other}"))),
+    }
+}
+
+/// On-disk tag of a [`DataType`].
+#[must_use]
+pub fn dtype_tag(dtype: DataType) -> u8 {
+    match dtype {
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Str => 3,
+    }
+}
+
+/// Decodes a [`DataType`] tag.
+pub fn dtype_from_tag(tag: u8) -> Result<DataType> {
+    match tag {
+        1 => Ok(DataType::Int),
+        2 => Ok(DataType::Float),
+        3 => Ok(DataType::Str),
+        other => Err(StoreError::corrupt(format!(
+            "unknown data type tag {other}"
+        ))),
+    }
+}
+
+/// On-disk tag of an [`Aggregation`].
+#[must_use]
+pub fn aggregation_tag(agg: Aggregation) -> u8 {
+    match agg {
+        Aggregation::Avg => 1,
+        Aggregation::Sum => 2,
+        Aggregation::Count => 3,
+        Aggregation::CountDistinct => 4,
+        Aggregation::Min => 5,
+        Aggregation::Max => 6,
+        Aggregation::Mode => 7,
+        Aggregation::Median => 8,
+        Aggregation::First => 9,
+    }
+}
+
+/// Decodes an [`Aggregation`] tag.
+pub fn aggregation_from_tag(tag: u8) -> Result<Aggregation> {
+    match tag {
+        1 => Ok(Aggregation::Avg),
+        2 => Ok(Aggregation::Sum),
+        3 => Ok(Aggregation::Count),
+        4 => Ok(Aggregation::CountDistinct),
+        5 => Ok(Aggregation::Min),
+        6 => Ok(Aggregation::Max),
+        7 => Ok(Aggregation::Mode),
+        8 => Ok(Aggregation::Median),
+        9 => Ok(Aggregation::First),
+        other => Err(StoreError::corrupt(format!(
+            "unknown aggregation tag {other}"
+        ))),
+    }
+}
+
+/// Writes one tagged [`Value`]. Floats are stored as exact bit patterns.
+pub fn write_value<W: Write>(w: &mut Writer<W>, value: &Value) -> Result<()> {
+    match value {
+        Value::Null => w.write_u8(0),
+        Value::Int(v) => {
+            w.write_u8(1)?;
+            w.write_i64(*v)
+        }
+        Value::Float(v) => {
+            w.write_u8(2)?;
+            w.write_f64(*v)
+        }
+        Value::Str(s) => {
+            w.write_u8(3)?;
+            w.write_str(s)
+        }
+    }
+}
+
+/// Reads one tagged [`Value`].
+pub fn read_value<R: Read>(r: &mut Reader<R>) -> Result<Value> {
+    match r.read_u8("value tag")? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Int(r.read_i64("int value")?)),
+        2 => Ok(Value::Float(r.read_f64("float value")?)),
+        3 => Ok(Value::Str(r.read_string("string value")?)),
+        other => Err(StoreError::corrupt(format!("unknown value tag {other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ColumnSketch encoding.
+// ---------------------------------------------------------------------------
+
+impl ColumnSketch {
+    /// Serializes the sketch as a standalone store artifact (header +
+    /// sections) to any `std::io::Write`.
+    pub fn to_writer<W: Write>(&self, out: W) -> Result<()> {
+        let mut w = Writer::new(out);
+        write_header(&mut w, ArtifactKind::Sketch)?;
+        self.write_embedded(&mut w)
+    }
+
+    /// Deserializes a standalone sketch artifact written by
+    /// [`ColumnSketch::to_writer`]. Trailing bytes after the last section
+    /// are rejected (the encoding is canonical).
+    pub fn from_reader<R: Read>(input: R) -> Result<Self> {
+        let mut r = Reader::new(input);
+        read_header(&mut r, ArtifactKind::Sketch)?;
+        let sketch = Self::read_embedded(&mut r)?;
+        let mut probe = [0u8; 1];
+        match r.read_exact(&mut probe, "end of sketch artifact") {
+            Err(StoreError::Truncated { .. }) => Ok(sketch), // clean EOF
+            Ok(()) => Err(StoreError::corrupt(
+                "trailing bytes after the sketch sections",
+            )),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Writes the sketch's sections without a file header — the form used
+    /// when a sketch is embedded inside a larger artifact (a repository).
+    pub fn write_embedded<W: Write>(&self, w: &mut Writer<W>) -> Result<()> {
+        let mut meta = SectionBuilder::new();
+        {
+            let m = meta.writer();
+            m.write_u8(sketch_kind_tag(self.kind()))?;
+            m.write_u8(side_tag(self.side()))?;
+            m.write_u8(dtype_tag(self.value_dtype()))?;
+            m.write_len(self.config().size)?;
+            m.write_u64(self.config().seed)?;
+            m.write_len(self.source_rows())?;
+            m.write_len(self.source_distinct_keys())?;
+            m.write_len(self.len())?;
+        }
+        meta.finish(SECTION_SKETCH_META, w)?;
+
+        let mut rows = SectionBuilder::new();
+        {
+            let p = rows.writer();
+            // Columnar: all key digests first, then all values.
+            for row in self.rows() {
+                p.write_u64(row.key.raw())?;
+            }
+            for row in self.rows() {
+                write_value(p, &row.value)?;
+            }
+        }
+        rows.finish(SECTION_SKETCH_ROWS, w)
+    }
+
+    /// Reads the sections written by [`ColumnSketch::write_embedded`].
+    pub fn read_embedded<R: Read>(r: &mut Reader<R>) -> Result<Self> {
+        let meta = read_section(r, SECTION_SKETCH_META)?;
+        let mut m = Reader::new(meta.as_slice());
+        let kind = sketch_kind_from_tag(m.read_u8("sketch kind")?)?;
+        let side = side_from_tag(m.read_u8("sketch side")?)?;
+        let value_dtype = dtype_from_tag(m.read_u8("sketch value dtype")?)?;
+        let size = m.read_len("sketch config size")?;
+        let seed = m.read_u64("sketch config seed")?;
+        let source_rows = m.read_len("sketch source rows")?;
+        let source_distinct_keys = m.read_len("sketch source distinct keys")?;
+        // No row-count-vs-size sanity check: the storage bound depends on the
+        // kind (TUPSK/CSK ≤ n, LV2SK/PRISK ≤ 2n, INDSK is only *expected* n),
+        // and allocation below is driven by the actual payload length anyway.
+        let row_count = m.read_len("sketch row count")?;
+        if !m.into_inner().is_empty() {
+            return Err(StoreError::corrupt("trailing bytes in sketch META section"));
+        }
+
+        let payload = read_section(r, SECTION_SKETCH_ROWS)?;
+        let mut p = Reader::new(payload.as_slice());
+        let mut digests = Vec::with_capacity(row_count.min(payload.len() / 8));
+        for _ in 0..row_count {
+            digests.push(p.read_u64("sketch key digest")?);
+        }
+        let mut sketch_rows = Vec::with_capacity(digests.len());
+        for digest in digests {
+            let value = read_value(&mut p)?;
+            sketch_rows.push(SketchRow::new(joinmi_hash::KeyHash(digest), value));
+        }
+        if !p.into_inner().is_empty() {
+            return Err(StoreError::corrupt("trailing bytes in sketch ROWS section"));
+        }
+
+        Ok(Self::new(
+            kind,
+            side,
+            sketch_rows,
+            value_dtype,
+            source_rows,
+            source_distinct_keys,
+            SketchConfig::new(size, seed),
+        ))
+    }
+}
+
+/// Structurally validates an embedded sketch (META + ROWS sections) at the
+/// start of `buf` without materializing it, returning the bytes consumed.
+///
+/// Walks every field with borrowed reads — enum tags, string UTF-8, row
+/// counts, and full payload consumption are all checked, allocating nothing.
+/// This is how a lazy repository snapshot proves at open time that a
+/// checksummed candidate payload will also *decode*, keeping the no-panic
+/// contract without paying for eager materialization.
+pub fn validate_embedded_sketch(buf: &[u8]) -> Result<usize> {
+    let mut pos = 0usize;
+    let meta_range = joinmi_store::scan_section(buf, &mut pos, SECTION_SKETCH_META)?;
+    let mut m = joinmi_store::SliceReader::new(&buf[meta_range]);
+    sketch_kind_from_tag(m.read_u8("sketch kind")?)?;
+    side_from_tag(m.read_u8("sketch side")?)?;
+    dtype_from_tag(m.read_u8("sketch value dtype")?)?;
+    m.read_u64("sketch config size")?;
+    m.read_u64("sketch config seed")?;
+    m.read_u64("sketch source rows")?;
+    m.read_u64("sketch source distinct keys")?;
+    let row_count = m.read_len("sketch row count")?;
+    m.expect_consumed("sketch META section")?;
+
+    let rows_range = joinmi_store::scan_section(buf, &mut pos, SECTION_SKETCH_ROWS)?;
+    let mut p = joinmi_store::SliceReader::new(&buf[rows_range]);
+    let digest_bytes = row_count
+        .checked_mul(8)
+        .ok_or_else(|| StoreError::corrupt("sketch row count overflows digest column size"))?;
+    p.read_slice(digest_bytes, "sketch key digest column")?;
+    for _ in 0..row_count {
+        match p.read_u8("value tag")? {
+            0 => {}
+            1 | 2 => {
+                p.read_slice(8, "value payload")?;
+            }
+            3 => {
+                p.read_str("string value")?;
+            }
+            other => {
+                return Err(StoreError::corrupt(format!("unknown value tag {other}")));
+            }
+        }
+    }
+    p.expect_consumed("sketch ROWS section")?;
+    Ok(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinmi_table::Table;
+
+    fn sample_sketch(kind: SketchKind) -> ColumnSketch {
+        let table = Table::builder("t")
+            .push_str_column("k", vec!["a", "b", "b", "c", "d", "e", "a", "f"])
+            .push_float_column("z", vec![1.5, -0.0, 2.0, 3.25, 4.0, 5.5, 1.0, 9.0])
+            .build()
+            .unwrap();
+        kind.build_right(
+            &table,
+            "k",
+            "z",
+            Aggregation::Avg,
+            &SketchConfig::new(16, 3),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_kind_round_trips_standalone() {
+        for kind in SketchKind::ALL {
+            let sketch = sample_sketch(kind);
+            let mut buf = Vec::new();
+            sketch.to_writer(&mut buf).unwrap();
+            let loaded = ColumnSketch::from_reader(buf.as_slice()).unwrap();
+            assert_eq!(loaded, sketch, "{kind} round trip");
+        }
+    }
+
+    #[test]
+    fn enum_tags_round_trip() {
+        for kind in SketchKind::ALL {
+            assert_eq!(sketch_kind_from_tag(sketch_kind_tag(kind)).unwrap(), kind);
+        }
+        for side in [Side::Left, Side::Right] {
+            assert_eq!(side_from_tag(side_tag(side)).unwrap(), side);
+        }
+        for dtype in [DataType::Int, DataType::Float, DataType::Str] {
+            assert_eq!(dtype_from_tag(dtype_tag(dtype)).unwrap(), dtype);
+        }
+        for agg in Aggregation::ALL {
+            assert_eq!(aggregation_from_tag(aggregation_tag(agg)).unwrap(), agg);
+        }
+        assert!(sketch_kind_from_tag(0).is_err());
+        assert!(side_from_tag(9).is_err());
+        assert!(dtype_from_tag(77).is_err());
+        assert!(aggregation_from_tag(0).is_err());
+    }
+
+    #[test]
+    fn values_round_trip_exactly() {
+        let values = [
+            Value::Null,
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(f64::from_bits(0x7FF8_0000_0000_1234)), // NaN payload
+            Value::Float(-0.0),
+            Value::Str("söme køy".to_owned()),
+            Value::Str(String::new()),
+        ];
+        let mut w = Writer::new(Vec::new());
+        for v in &values {
+            write_value(&mut w, v).unwrap();
+        }
+        let bytes = w.into_inner();
+        let mut r = Reader::new(bytes.as_slice());
+        for v in &values {
+            let back = read_value(&mut r).unwrap();
+            match (v, &back) {
+                (Value::Float(a), Value::Float(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => assert_eq!(&back, v),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_artifact_kind_is_rejected() {
+        let sketch = sample_sketch(SketchKind::Tupsk);
+        let mut buf = Vec::new();
+        sketch.to_writer(&mut buf).unwrap();
+        // Overwrite the artifact-kind byte with the repository tag.
+        buf[6] = ArtifactKind::Repository.tag();
+        assert!(matches!(
+            ColumnSketch::from_reader(buf.as_slice()),
+            Err(StoreError::WrongArtifact { .. })
+        ));
+    }
+
+    fn embedded_bytes(sketch: &ColumnSketch) -> Vec<u8> {
+        let mut w = Writer::new(Vec::new());
+        sketch.write_embedded(&mut w).unwrap();
+        w.into_inner()
+    }
+
+    #[test]
+    fn validator_accepts_every_kind_and_consumes_exactly() {
+        for kind in SketchKind::ALL {
+            let buf = embedded_bytes(&sample_sketch(kind));
+            assert_eq!(validate_embedded_sketch(&buf).unwrap(), buf.len());
+        }
+    }
+
+    #[test]
+    fn checksum_valid_but_malformed_payload_is_corrupt_not_a_panic() {
+        // A checksum is integrity, not authenticity: a crafted file can carry
+        // a correct checksum over a structurally invalid payload. Overwrite
+        // the sketch-kind tag with 99 and re-stamp the section checksum.
+        let mut buf = embedded_bytes(&sample_sketch(SketchKind::Tupsk));
+        let meta_len = u64::from_le_bytes(buf[1..9].try_into().unwrap()) as usize;
+        buf[17] = 99; // first META payload byte = sketch kind tag
+        let fixed = joinmi_store::checksum(&buf[17..17 + meta_len]);
+        buf[9..17].copy_from_slice(&fixed.to_le_bytes());
+
+        assert!(matches!(
+            validate_embedded_sketch(&buf),
+            Err(StoreError::Corrupt(_))
+        ));
+        let mut r = Reader::new(buf.as_slice());
+        assert!(matches!(
+            ColumnSketch::read_embedded(&mut r),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_inside_a_section_are_corrupt() {
+        // Re-frame the ROWS section with one extra payload byte (checksum
+        // valid over the padded payload): two byte streams must never decode
+        // to the same sketch.
+        let sketch = sample_sketch(SketchKind::Tupsk);
+        let buf = embedded_bytes(&sketch);
+        let meta_len = u64::from_le_bytes(buf[1..9].try_into().unwrap()) as usize;
+        let meta_end = 17 + meta_len;
+        let rows_len = u64::from_le_bytes(buf[meta_end + 1..meta_end + 9].try_into().unwrap());
+        let rows_payload = &buf[meta_end + 17..meta_end + 17 + rows_len as usize];
+
+        let mut padded_payload = rows_payload.to_vec();
+        padded_payload.push(0xAB);
+        let mut padded = buf[..meta_end].to_vec();
+        let mut w = Writer::new(&mut padded);
+        joinmi_store::write_section(&mut w, SECTION_SKETCH_ROWS, &padded_payload).unwrap();
+
+        assert!(matches!(
+            validate_embedded_sketch(&padded),
+            Err(StoreError::Corrupt(_))
+        ));
+        let mut r = Reader::new(padded.as_slice());
+        assert!(matches!(
+            ColumnSketch::read_embedded(&mut r),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_after_standalone_artifact_are_corrupt() {
+        let sketch = sample_sketch(SketchKind::Csk);
+        let mut buf = Vec::new();
+        sketch.to_writer(&mut buf).unwrap();
+        buf.push(0);
+        assert!(matches!(
+            ColumnSketch::from_reader(buf.as_slice()),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_row_count_is_typed() {
+        let sketch = sample_sketch(SketchKind::Tupsk);
+        let mut buf = Vec::new();
+        sketch.to_writer(&mut buf).unwrap();
+        // Truncate mid-rows-section: typed truncation, never a panic.
+        let cut = buf.len() - 5;
+        assert!(matches!(
+            ColumnSketch::from_reader(&buf[..cut]),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+}

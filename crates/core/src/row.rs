@@ -26,10 +26,12 @@ impl SketchRow {
 
 /// A sketch of one `(join key, value column)` pair of a table.
 ///
-/// Built offline with one of the [`SketchKind`](crate::SketchKind)
+/// Built offline with one of the [`SketchKind`]
 /// strategies; joined with another column's sketch at query time to recover a
-/// sample of the (never materialized) join.
-#[derive(Debug, Clone)]
+/// sample of the (never materialized) join. Equality is exact (float values
+/// compare by canonical bit pattern via [`Value`]), which is what the
+/// persistence round-trip tests rely on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnSketch {
     kind: SketchKind,
     side: Side,

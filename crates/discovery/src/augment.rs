@@ -45,8 +45,21 @@ impl AugmentationPlan {
 
     /// Materializes the augmentation: group-by + left-outer join on the full
     /// tables. The number of rows of `train` is preserved.
+    ///
+    /// Requires the raw candidate table, so this errors with
+    /// [`Unsupported`](joinmi_table::TableError::Unsupported) on a
+    /// sketch-only repository loaded from disk — materialization is the one
+    /// discovery step that genuinely needs the original data.
     pub fn materialize(&self, train: &Table, repository: &TableRepository) -> Result<JoinResult> {
-        let cand_table = repository.table(self.candidate.table_index);
+        let cand_table = repository
+            .raw_table(self.candidate.table_index)
+            .ok_or_else(|| {
+                joinmi_table::TableError::Unsupported(format!(
+                    "cannot materialize `{}`: repository is sketch-only (loaded from disk) and \
+                     holds no raw tables",
+                    self.candidate.table_name
+                ))
+            })?;
         let spec = AugmentSpec::new(
             self.train_key.clone(),
             self.target.clone(),

@@ -13,6 +13,13 @@ use std::collections::HashMap;
 use joinmi_hash::{digest_set_with_capacity, DigestHashMap, DigestHashSet};
 use joinmi_sketch::ColumnSketch;
 
+/// Index postings in canonical on-disk order: `(digest, candidate ids
+/// ascending)`, sorted by digest.
+pub type CanonicalPostings = Vec<(u64, Vec<usize>)>;
+
+/// `(candidate id, distinct digest count)` pairs sorted by id.
+pub type CanonicalSizes = Vec<(usize, usize)>;
+
 /// An inverted index from sampled key digests to candidate identifiers.
 #[derive(Debug, Default)]
 pub struct JoinabilityIndex {
@@ -58,6 +65,42 @@ impl JoinabilityIndex {
         self.candidate_sizes.is_empty()
     }
 
+    /// The index contents in canonical order, for persistence: postings
+    /// sorted by digest with candidate ids ascending, plus `(candidate id,
+    /// distinct digest count)` pairs sorted by id.
+    #[must_use]
+    pub fn canonical_parts(&self) -> (CanonicalPostings, CanonicalSizes) {
+        let mut postings: CanonicalPostings = self
+            .postings
+            .iter()
+            .map(|(&digest, ids)| {
+                let mut ids = ids.clone();
+                ids.sort_unstable();
+                (digest, ids)
+            })
+            .collect();
+        postings.sort_unstable_by_key(|&(digest, _)| digest);
+        let mut sizes: CanonicalSizes = self
+            .candidate_sizes
+            .iter()
+            .map(|(&id, &size)| (id, size))
+            .collect();
+        sizes.sort_unstable();
+        (postings, sizes)
+    }
+
+    /// Rebuilds an index from parts produced by
+    /// [`JoinabilityIndex::canonical_parts`] (used by the repository loader).
+    #[must_use]
+    pub fn from_canonical_parts(postings: CanonicalPostings, sizes: CanonicalSizes) -> Self {
+        let mut index = Self::default();
+        for (digest, ids) in postings {
+            index.postings.insert(digest, ids);
+        }
+        index.candidate_sizes.extend(sizes);
+        index
+    }
+
     /// Returns `(candidate id, number of overlapping sampled keys)` for every
     /// candidate that shares at least `min_overlap` sampled key digests with
     /// the query sketch, sorted by overlap (descending).
@@ -73,7 +116,14 @@ impl JoinabilityIndex {
         for d in &query_digests {
             if let Some(ids) = self.postings.get(d) {
                 for &id in ids {
-                    overlap[id] += 1;
+                    // The bound check is free for indexes built via insert()
+                    // (every posting id has a candidate_sizes entry) and
+                    // keeps from_canonical_parts with inconsistent parts
+                    // from panicking; the loader additionally rejects such
+                    // files with a typed error.
+                    if let Some(count) = overlap.get_mut(id) {
+                        *count += 1;
+                    }
                 }
             }
         }
@@ -153,6 +203,22 @@ mod tests {
         // Raising the threshold drops the partial match.
         let strict = index.query(&query, 3);
         assert_eq!(strict.len(), 1);
+    }
+
+    #[test]
+    fn query_tolerates_posting_ids_without_size_entries() {
+        // from_canonical_parts with inconsistent parts (posting id 5, sizes
+        // only for id 0) must not panic at query time; the unknown id is
+        // ignored. The persistence loader rejects such files outright — this
+        // guard is defense in depth for direct API use.
+        let cfg = SketchConfig::new(16, 0);
+        let q = SketchKind::Tupsk
+            .build_left(&keyed_table("q", vec!["a"]), "k", "v", &cfg)
+            .unwrap();
+        let digest = q.rows()[0].key.raw();
+        let index =
+            JoinabilityIndex::from_canonical_parts(vec![(digest, vec![0, 5])], vec![(0, 1)]);
+        assert_eq!(index.query(&q, 1), vec![(0, 1)]);
     }
 
     #[test]

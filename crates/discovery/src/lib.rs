@@ -32,15 +32,17 @@
 
 pub mod augment;
 pub mod index;
+pub mod persist;
 pub mod profile;
 pub mod query;
 pub mod repository;
 
 pub use augment::AugmentationPlan;
 pub use index::JoinabilityIndex;
+pub use persist::RepositorySnapshot;
 pub use profile::{ColumnProfile, TableProfile};
 pub use query::{RankedCandidate, RelationshipQuery};
-pub use repository::{CandidateColumn, RepositoryConfig, TableRepository};
+pub use repository::{CandidateColumn, CandidateSource, RepositoryConfig, TableRepository};
 
 /// Result alias reusing the table error type.
 pub type Result<T> = std::result::Result<T, joinmi_table::TableError>;

@@ -1,0 +1,742 @@
+//! Repository persistence: the offline-ingest → online-query split.
+//!
+//! A [`TableRepository`] is expensive to build (every candidate table is
+//! profiled and sketched) and cheap to use — exactly the paper's pitch that
+//! sketches are "built in an offline preprocessing stage" and amortized over
+//! many queries. This module makes the expensive half durable:
+//!
+//! * [`TableRepository::save`] writes a versioned, checksummed artifact
+//!   containing the config, table profiles, joinability-index postings, and
+//!   every candidate's sketch (the raw tables are deliberately *not*
+//!   persisted — queries never touch them).
+//! * [`TableRepository::load`] reads it back eagerly into a sketch-only
+//!   repository that answers queries bit-identically to the original.
+//! * [`TableRepository::load_mmap_like`] opens the artifact as a read-only
+//!   [`RepositorySnapshot`]: the whole file is read into one buffer, every
+//!   section checksum is verified up front, but candidate sketches are only
+//!   decoded on first access — a query prunes through the persisted index
+//!   and decodes just the surviving candidates.
+//!
+//! # Repository file layout
+//!
+//! ```text
+//! header      magic b"JMIS" | version | artifact = Repository
+//! REPO_META   sketch kind/size/seed, max pairs, table + candidate counts
+//! PROFILES    per table: name, rows, per-column stats
+//! INDEX       joinability postings (digest → candidate ids) + digest counts
+//! CANDIDATE*  one section per candidate: identity fields + embedded sketch
+//! ```
+
+use std::io::{Read, Write};
+use std::ops::Range;
+use std::path::Path;
+use std::sync::OnceLock;
+
+use joinmi_sketch::persist::{aggregation_from_tag, aggregation_tag, dtype_from_tag, dtype_tag};
+use joinmi_sketch::{ColumnSketch, SketchConfig};
+use joinmi_store::{
+    read_header, scan_section, write_header, ArtifactKind, Reader, Result, SectionBuilder,
+    StoreError, Writer,
+};
+
+use crate::index::JoinabilityIndex;
+use crate::profile::{ColumnProfile, TableProfile};
+use crate::repository::{CandidateColumn, CandidateSource, RepositoryConfig, TableRepository};
+
+/// Section tag: repository configuration and counts.
+pub const SECTION_REPO_META: u8 = 0x10;
+/// Section tag: table profiles.
+pub const SECTION_PROFILES: u8 = 0x11;
+/// Section tag: joinability-index postings.
+pub const SECTION_INDEX: u8 = 0x12;
+/// Section tag: one candidate column (identity + embedded sketch).
+pub const SECTION_CANDIDATE: u8 = 0x13;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn write_repo_meta<W: Write>(
+    w: &mut Writer<W>,
+    config: &RepositoryConfig,
+    num_tables: usize,
+    num_candidates: usize,
+) -> Result<()> {
+    let mut meta = SectionBuilder::new();
+    {
+        let m = meta.writer();
+        m.write_u8(joinmi_sketch::persist::sketch_kind_tag(config.sketch_kind))?;
+        m.write_len(config.sketch.size)?;
+        m.write_u64(config.sketch.seed)?;
+        m.write_len(config.max_pairs_per_table)?;
+        m.write_len(num_tables)?;
+        m.write_len(num_candidates)?;
+    }
+    meta.finish(SECTION_REPO_META, w)
+}
+
+fn write_profiles<W: Write>(w: &mut Writer<W>, profiles: &[TableProfile]) -> Result<()> {
+    let mut section = SectionBuilder::new();
+    {
+        let p = section.writer();
+        p.write_len(profiles.len())?;
+        for profile in profiles {
+            p.write_str(&profile.table)?;
+            p.write_len(profile.rows)?;
+            p.write_len(profile.columns.len())?;
+            for column in &profile.columns {
+                p.write_str(&column.name)?;
+                p.write_u8(dtype_tag(column.dtype))?;
+                p.write_len(column.distinct)?;
+                p.write_len(column.nulls)?;
+                p.write_len(column.rows)?;
+            }
+        }
+    }
+    section.finish(SECTION_PROFILES, w)
+}
+
+fn write_index<W: Write>(w: &mut Writer<W>, index: &JoinabilityIndex) -> Result<()> {
+    let (postings, sizes) = index.canonical_parts();
+    let mut section = SectionBuilder::new();
+    {
+        let p = section.writer();
+        p.write_len(sizes.len())?;
+        for (id, size) in sizes {
+            p.write_len(id)?;
+            p.write_len(size)?;
+        }
+        p.write_len(postings.len())?;
+        for (digest, ids) in postings {
+            p.write_u64(digest)?;
+            p.write_len(ids.len())?;
+            for id in ids {
+                p.write_len(id)?;
+            }
+        }
+    }
+    section.finish(SECTION_INDEX, w)
+}
+
+fn write_candidate<W: Write>(w: &mut Writer<W>, candidate: &CandidateColumn) -> Result<()> {
+    let mut section = SectionBuilder::new();
+    {
+        let p = section.writer();
+        p.write_len(candidate.table_index)?;
+        p.write_str(&candidate.table_name)?;
+        p.write_str(&candidate.key_column)?;
+        p.write_str(&candidate.feature_column)?;
+        p.write_u8(aggregation_tag(candidate.aggregation))?;
+        candidate.sketch.write_embedded(p)?;
+    }
+    section.finish(SECTION_CANDIDATE, w)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct RepoMeta {
+    config: RepositoryConfig,
+    num_tables: usize,
+    num_candidates: usize,
+}
+
+fn read_repo_meta(payload: &[u8]) -> Result<RepoMeta> {
+    let mut m = Reader::new(payload);
+    let sketch_kind = joinmi_sketch::persist::sketch_kind_from_tag(m.read_u8("repo sketch kind")?)?;
+    let size = m.read_len("repo sketch size")?;
+    let seed = m.read_u64("repo sketch seed")?;
+    let max_pairs_per_table = m.read_len("repo max pairs per table")?;
+    let num_tables = m.read_len("repo table count")?;
+    let num_candidates = m.read_len("repo candidate count")?;
+    if !m.into_inner().is_empty() {
+        return Err(StoreError::corrupt("trailing bytes in REPO_META section"));
+    }
+    Ok(RepoMeta {
+        config: RepositoryConfig {
+            sketch_kind,
+            sketch: SketchConfig::new(size, seed),
+            max_pairs_per_table,
+        },
+        num_tables,
+        num_candidates,
+    })
+}
+
+fn read_profiles(payload: &[u8], expected_tables: usize) -> Result<Vec<TableProfile>> {
+    let mut p = Reader::new(payload);
+    let count = p.read_len("profile count")?;
+    if count != expected_tables {
+        return Err(StoreError::corrupt(format!(
+            "profile count {count} does not match table count {expected_tables}"
+        )));
+    }
+    let mut profiles = Vec::with_capacity(count.min(payload.len()));
+    for _ in 0..count {
+        let table = p.read_string("profile table name")?;
+        let rows = p.read_len("profile row count")?;
+        let num_columns = p.read_len("profile column count")?;
+        let mut columns = Vec::with_capacity(num_columns.min(payload.len()));
+        for _ in 0..num_columns {
+            columns.push(ColumnProfile {
+                name: p.read_string("column profile name")?,
+                dtype: dtype_from_tag(p.read_u8("column profile dtype")?)?,
+                distinct: p.read_len("column profile distinct")?,
+                nulls: p.read_len("column profile nulls")?,
+                rows: p.read_len("column profile rows")?,
+            });
+        }
+        profiles.push(TableProfile {
+            table,
+            rows,
+            columns,
+        });
+    }
+    if !p.into_inner().is_empty() {
+        return Err(StoreError::corrupt("trailing bytes in PROFILES section"));
+    }
+    Ok(profiles)
+}
+
+fn read_index(payload: &[u8], num_candidates: usize) -> Result<JoinabilityIndex> {
+    let mut p = Reader::new(payload);
+    let size_count = p.read_len("index size count")?;
+    let mut sizes = Vec::with_capacity(size_count.min(payload.len()));
+    let mut covered = vec![false; num_candidates];
+    for _ in 0..size_count {
+        let id = p.read_len("index candidate id")?;
+        if id >= num_candidates {
+            return Err(StoreError::corrupt(format!(
+                "index references candidate {id}, but the file holds {num_candidates}"
+            )));
+        }
+        covered[id] = true;
+        sizes.push((id, p.read_len("index candidate digest count")?));
+    }
+    let digest_count = p.read_len("index digest count")?;
+    let mut postings = Vec::with_capacity(digest_count.min(payload.len()));
+    for _ in 0..digest_count {
+        let digest = p.read_u64("index digest")?;
+        let id_count = p.read_len("index posting length")?;
+        let mut ids = Vec::with_capacity(id_count.min(payload.len()));
+        for _ in 0..id_count {
+            let id = p.read_len("index posting id")?;
+            // Posting ids must also appear in the sizes list: queries size
+            // their per-candidate overlap counters from the sizes, so an
+            // uncovered posting id would index out of bounds.
+            if id >= num_candidates || !covered[id] {
+                return Err(StoreError::corrupt(format!(
+                    "index posting references candidate {id} with no digest-count entry"
+                )));
+            }
+            ids.push(id);
+        }
+        postings.push((digest, ids));
+    }
+    if !p.into_inner().is_empty() {
+        return Err(StoreError::corrupt("trailing bytes in INDEX section"));
+    }
+    Ok(JoinabilityIndex::from_canonical_parts(postings, sizes))
+}
+
+fn read_candidate(payload: &[u8]) -> Result<CandidateColumn> {
+    let mut p = Reader::new(payload);
+    let table_index = p.read_len("candidate table index")?;
+    let table_name = p.read_string("candidate table name")?;
+    let key_column = p.read_string("candidate key column")?;
+    let feature_column = p.read_string("candidate feature column")?;
+    let aggregation = aggregation_from_tag(p.read_u8("candidate aggregation")?)?;
+    let sketch = ColumnSketch::read_embedded(&mut p)?;
+    if !p.into_inner().is_empty() {
+        return Err(StoreError::corrupt("trailing bytes in CANDIDATE section"));
+    }
+    Ok(CandidateColumn {
+        table_index,
+        table_name,
+        key_column,
+        feature_column,
+        aggregation,
+        sketch,
+    })
+}
+
+/// Structurally validates one CANDIDATE payload without materializing it
+/// (borrowed reads only): identity fields, enum tags, the embedded sketch
+/// ([`joinmi_sketch::persist::validate_embedded_sketch`]), and full payload
+/// consumption. Run for every candidate at snapshot open, this is what makes
+/// the lazy decode in [`RepositorySnapshot::candidate`] infallible — a
+/// checksum only proves integrity, not that the payload *decodes*.
+fn validate_candidate_payload(payload: &[u8], num_tables: usize) -> Result<()> {
+    let mut p = joinmi_store::SliceReader::new(payload);
+    let table_index = p.read_len("candidate table index")?;
+    if table_index >= num_tables {
+        return Err(StoreError::corrupt(format!(
+            "candidate references table {table_index}, but the file holds {num_tables}"
+        )));
+    }
+    p.read_str("candidate table name")?;
+    p.read_str("candidate key column")?;
+    p.read_str("candidate feature column")?;
+    aggregation_from_tag(p.read_u8("candidate aggregation")?)?;
+    let consumed = joinmi_sketch::persist::validate_embedded_sketch(&payload[p.position()..])?;
+    if p.position() + consumed != payload.len() {
+        return Err(StoreError::corrupt("trailing bytes in CANDIDATE section"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+impl TableRepository {
+    /// Serializes the repository (config, profiles, index postings, candidate
+    /// sketches — not the raw tables) to any `std::io::Write`.
+    pub fn save_to<W: Write>(&self, out: W) -> Result<()> {
+        let mut w = Writer::new(out);
+        write_header(&mut w, ArtifactKind::Repository)?;
+        write_repo_meta(
+            &mut w,
+            &self.config(),
+            self.num_tables(),
+            self.candidates().len(),
+        )?;
+        write_profiles(&mut w, self.profiles())?;
+        write_index(&mut w, self.joinability())?;
+        for candidate in self.candidates() {
+            write_candidate(&mut w, candidate)?;
+        }
+        Ok(())
+    }
+
+    /// Saves the repository to a file (see [`Self::save_to`]). The encoding
+    /// is canonical: saving a loaded repository reproduces the bytes.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut buffered = std::io::BufWriter::new(file);
+        self.save_to(&mut buffered)?;
+        use std::io::Write as _;
+        buffered.flush()?;
+        Ok(())
+    }
+
+    /// Loads a repository artifact eagerly from a reader (see [`Self::load`]).
+    pub fn load_from<R: Read>(mut input: R) -> Result<TableRepository> {
+        let mut buf = Vec::new();
+        input.read_to_end(&mut buf).map_err(StoreError::from)?;
+        Ok(RepositorySnapshot::from_bytes(buf)?.into_repository())
+    }
+
+    /// Loads a repository saved by [`Self::save`], decoding every candidate
+    /// eagerly. The result is a *sketch-only* repository: it answers queries
+    /// bit-identically to the original, but holds no raw tables, so further
+    /// ingest and [`AugmentationPlan::materialize`](crate::AugmentationPlan)
+    /// are rejected with typed errors.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<TableRepository> {
+        Ok(Self::load_mmap_like(path)?.into_repository())
+    }
+
+    /// Opens a repository artifact as a read-only [`RepositorySnapshot`]:
+    /// the file is read into a single buffer (one syscall — the closest to
+    /// `mmap` the no-unsafe policy allows), every section checksum is
+    /// verified immediately, and candidate sketches are decoded lazily on
+    /// first access.
+    pub fn load_mmap_like<P: AsRef<Path>>(path: P) -> Result<RepositorySnapshot> {
+        RepositorySnapshot::from_bytes(std::fs::read(path)?)
+    }
+}
+
+/// A candidate section that decodes its [`CandidateColumn`] on first access.
+#[derive(Debug)]
+struct LazyCandidate {
+    /// Payload byte range inside [`RepositorySnapshot::buf`] (checksum
+    /// already verified at open).
+    payload: Range<usize>,
+    cell: OnceLock<CandidateColumn>,
+}
+
+/// A read-only repository view over a single in-memory copy of the file.
+///
+/// Produced by [`TableRepository::load_mmap_like`]. All section checksums are
+/// verified at open (truncation, bit rot, wrong magic, and future versions
+/// all surface as typed [`StoreError`]s — never panics), after which
+/// candidate sketches are decoded lazily: a query that prunes to `k`
+/// candidates through the persisted joinability index decodes exactly those
+/// `k` sketches and leaves the rest as raw bytes.
+#[derive(Debug)]
+pub struct RepositorySnapshot {
+    buf: Vec<u8>,
+    config: RepositoryConfig,
+    num_tables: usize,
+    profiles: Vec<TableProfile>,
+    index: JoinabilityIndex,
+    candidates: Vec<LazyCandidate>,
+}
+
+impl RepositorySnapshot {
+    /// Parses a repository artifact held in memory, verifying the header and
+    /// every section checksum up front.
+    pub fn from_bytes(buf: Vec<u8>) -> Result<Self> {
+        // Header (8 bytes) via the streaming reader, then section scanning.
+        let mut header = Reader::new(buf.as_slice());
+        read_header(&mut header, ArtifactKind::Repository)?;
+        let mut pos = 8usize;
+
+        let meta_range = scan_section(&buf, &mut pos, SECTION_REPO_META)?;
+        let meta = read_repo_meta(&buf[meta_range])?;
+        let profiles_range = scan_section(&buf, &mut pos, SECTION_PROFILES)?;
+        let profiles = read_profiles(&buf[profiles_range], meta.num_tables)?;
+        let index_range = scan_section(&buf, &mut pos, SECTION_INDEX)?;
+        let index = read_index(&buf[index_range], meta.num_candidates)?;
+
+        let mut candidates = Vec::with_capacity(meta.num_candidates.min(buf.len()));
+        for _ in 0..meta.num_candidates {
+            let payload = scan_section(&buf, &mut pos, SECTION_CANDIDATE)?;
+            // Structural validation (borrowed reads, no allocation): after
+            // this, the lazy decode below cannot fail — a checksum-valid but
+            // malformed payload is rejected here with a typed error instead
+            // of panicking at first access.
+            validate_candidate_payload(&buf[payload.clone()], meta.num_tables)?;
+            candidates.push(LazyCandidate {
+                payload,
+                cell: OnceLock::new(),
+            });
+        }
+        if pos != buf.len() {
+            return Err(StoreError::corrupt(format!(
+                "{} trailing bytes after the last candidate section",
+                buf.len() - pos
+            )));
+        }
+
+        Ok(Self {
+            buf,
+            config: meta.config,
+            num_tables: meta.num_tables,
+            profiles,
+            index,
+            candidates,
+        })
+    }
+
+    /// The repository configuration recorded at ingest time.
+    #[must_use]
+    pub fn config(&self) -> RepositoryConfig {
+        self.config
+    }
+
+    /// Number of tables the repository was built from.
+    #[must_use]
+    pub fn num_tables(&self) -> usize {
+        self.num_tables
+    }
+
+    /// Profiles of the ingested tables.
+    #[must_use]
+    pub fn profiles(&self) -> &[TableProfile] {
+        &self.profiles
+    }
+
+    /// Number of candidate sketches already decoded (observability for the
+    /// lazy path; a fresh snapshot reports 0).
+    #[must_use]
+    pub fn decoded_candidates(&self) -> usize {
+        self.candidates
+            .iter()
+            .filter(|c| c.cell.get().is_some())
+            .count()
+    }
+
+    /// Decodes every candidate and assembles a sketch-only
+    /// [`TableRepository`].
+    #[must_use]
+    pub fn into_repository(self) -> TableRepository {
+        let candidates: Vec<CandidateColumn> = self
+            .candidates
+            .iter()
+            .map(|lazy| match lazy.cell.get() {
+                Some(done) => done.clone(),
+                None => Self::decode_candidate(&self.buf, &lazy.payload),
+            })
+            .collect();
+        TableRepository::from_loaded_parts(self.config, self.profiles, candidates, self.index)
+    }
+
+    fn decode_candidate(buf: &[u8], payload: &Range<usize>) -> CandidateColumn {
+        // Every candidate payload passed `validate_candidate_payload` (the
+        // structural walker covering exactly the fields read here) when the
+        // snapshot was opened, so this decode is infallible by construction;
+        // a failure would be a walker/decoder mismatch, i.e. a bug, not
+        // input-dependent behaviour.
+        read_candidate(&buf[payload.clone()]).expect("validated candidate section failed to decode")
+    }
+}
+
+impl CandidateSource for RepositorySnapshot {
+    fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    fn candidate(&self, index: usize) -> &CandidateColumn {
+        let lazy = &self.candidates[index];
+        lazy.cell
+            .get_or_init(|| Self::decode_candidate(&self.buf, &lazy.payload))
+    }
+
+    fn joinability(&self) -> &JoinabilityIndex {
+        &self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RelationshipQuery, RepositoryConfig};
+    use joinmi_sketch::SketchKind;
+    use joinmi_synth::TaxiScenario;
+
+    fn sample_repo() -> (TableRepository, RelationshipQuery) {
+        let scenario = TaxiScenario::generate(40, 15, 3);
+        let config = RepositoryConfig {
+            sketch: SketchConfig::new(256, 3),
+            ..RepositoryConfig::default()
+        };
+        let mut repo = TableRepository::new(config);
+        repo.add_table(scenario.weather.clone()).unwrap();
+        repo.add_table(scenario.demographics.clone()).unwrap();
+        repo.add_table(scenario.inspections.clone()).unwrap();
+        let query = RelationshipQuery::new(scenario.taxi, "zipcode", "num_trips")
+            .with_sketch(SketchKind::Tupsk, SketchConfig::new(256, 3))
+            .with_min_join_size(10);
+        (repo, query)
+    }
+
+    fn save_bytes(repo: &TableRepository) -> Vec<u8> {
+        let mut buf = Vec::new();
+        repo.save_to(&mut buf).unwrap();
+        buf
+    }
+
+    fn fingerprint(results: &[crate::RankedCandidate]) -> Vec<(usize, u64, usize, usize)> {
+        results
+            .iter()
+            .map(|r| {
+                (
+                    r.candidate_index,
+                    r.mi.to_bits(),
+                    r.sketch_join_size,
+                    r.key_overlap,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn save_load_round_trips_candidates_and_profiles() {
+        let (repo, _) = sample_repo();
+        let bytes = save_bytes(&repo);
+        let loaded = TableRepository::load_from(bytes.as_slice()).unwrap();
+
+        assert!(loaded.is_sketch_only());
+        assert_eq!(loaded.num_tables(), repo.num_tables());
+        assert_eq!(loaded.profiles(), repo.profiles());
+        assert_eq!(loaded.candidates().len(), repo.candidates().len());
+        for (a, b) in loaded.candidates().iter().zip(repo.candidates()) {
+            assert_eq!(a.table_index, b.table_index);
+            assert_eq!(a.label(), b.label());
+            assert_eq!(a.aggregation, b.aggregation);
+            assert_eq!(a.sketch, b.sketch);
+        }
+        let cfg = loaded.config();
+        assert_eq!(cfg.sketch_kind, repo.config().sketch_kind);
+        assert_eq!(cfg.sketch, repo.config().sketch);
+        assert_eq!(cfg.max_pairs_per_table, repo.config().max_pairs_per_table);
+    }
+
+    #[test]
+    fn encoding_is_canonical_across_save_load_save() {
+        let (repo, _) = sample_repo();
+        let first = save_bytes(&repo);
+        let loaded = TableRepository::load_from(first.as_slice()).unwrap();
+        let second = save_bytes(&loaded);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn loaded_repository_answers_queries_bit_identically() {
+        let (repo, query) = sample_repo();
+        let in_memory = query.execute(&repo).unwrap();
+        assert!(!in_memory.is_empty());
+
+        let bytes = save_bytes(&repo);
+        let loaded = TableRepository::load_from(bytes.as_slice()).unwrap();
+        let from_disk = query.execute(&loaded).unwrap();
+        assert_eq!(fingerprint(&in_memory), fingerprint(&from_disk));
+
+        let snapshot = RepositorySnapshot::from_bytes(bytes).unwrap();
+        let from_snapshot = query.execute(&snapshot).unwrap();
+        assert_eq!(fingerprint(&in_memory), fingerprint(&from_snapshot));
+    }
+
+    #[test]
+    fn snapshot_decodes_only_pruned_candidates() {
+        let (repo, query) = sample_repo();
+        let hits = query.execute(&repo).unwrap();
+        let snapshot = RepositorySnapshot::from_bytes(save_bytes(&repo)).unwrap();
+        assert_eq!(snapshot.decoded_candidates(), 0);
+        let _ = query.execute(&snapshot).unwrap();
+        let decoded = snapshot.decoded_candidates();
+        // The weather table's date/hour-keyed candidates never overlap the
+        // zipcode query, so laziness must leave some candidates undecoded.
+        assert!(decoded >= hits.len());
+        assert!(
+            decoded < snapshot.candidate_count(),
+            "expected some of the {} candidates to stay undecoded, decoded {decoded}",
+            snapshot.candidate_count()
+        );
+    }
+
+    #[test]
+    fn sketch_only_repository_rejects_ingest_and_materialize() {
+        let (repo, query) = sample_repo();
+        let mut loaded = TableRepository::load_from(save_bytes(&repo).as_slice()).unwrap();
+        let ranking = query.execute(&loaded).unwrap();
+
+        let err = loaded
+            .add_table(repo.table(0).clone())
+            .expect_err("sealed repo must reject ingest");
+        assert!(matches!(err, joinmi_table::TableError::Unsupported(_)));
+
+        let plan = crate::AugmentationPlan::new("zipcode", "num_trips", ranking[0].clone());
+        let err = plan
+            .materialize(&query.train, &loaded)
+            .expect_err("sketch-only repo cannot materialize");
+        assert!(matches!(err, joinmi_table::TableError::Unsupported(_)));
+    }
+
+    #[test]
+    fn corrupt_repository_files_give_typed_errors() {
+        let (repo, _) = sample_repo();
+        let bytes = save_bytes(&repo);
+
+        // Truncations at every interesting boundary.
+        for cut in [0, 3, 8, 20, bytes.len() / 2, bytes.len() - 1] {
+            match RepositorySnapshot::from_bytes(bytes[..cut].to_vec()) {
+                Err(
+                    StoreError::Truncated { .. }
+                    | StoreError::UnexpectedSection { .. }
+                    | StoreError::Corrupt(_),
+                ) => {}
+                other => panic!("cut at {cut}: expected typed error, got {other:?}"),
+            }
+        }
+
+        // Wrong magic.
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[..4].copy_from_slice(b"ELF\x7F");
+        assert!(matches!(
+            RepositorySnapshot::from_bytes(wrong_magic),
+            Err(StoreError::BadMagic { .. })
+        ));
+
+        // Future version.
+        let mut future = bytes.clone();
+        future[4..6].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(matches!(
+            RepositorySnapshot::from_bytes(future),
+            Err(StoreError::UnsupportedVersion { .. })
+        ));
+
+        // Flipped payload bit -> checksum mismatch.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(matches!(
+            RepositorySnapshot::from_bytes(flipped),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+
+        // Trailing garbage after the last section.
+        let mut trailing = bytes;
+        trailing.extend_from_slice(b"junk");
+        assert!(matches!(
+            RepositorySnapshot::from_bytes(trailing),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn checksum_valid_but_malformed_candidate_is_corrupt_not_a_panic() {
+        // A checksum proves integrity, not decodability: craft a file whose
+        // first CANDIDATE payload carries an invalid aggregation tag under a
+        // correct checksum. Open must return a typed error, and the eager
+        // load path (which shares the open) must never reach the panic in
+        // decode_candidate.
+        let (repo, _) = sample_repo();
+        let mut bytes = save_bytes(&repo);
+
+        let mut pos = 8usize;
+        for tag in [SECTION_REPO_META, SECTION_PROFILES, SECTION_INDEX] {
+            joinmi_store::scan_section(&bytes, &mut pos, tag).unwrap();
+        }
+        let payload = joinmi_store::scan_section(&bytes, &mut pos, SECTION_CANDIDATE).unwrap();
+
+        // Locate the aggregation tag inside the payload: u64 index, 3 strings.
+        let mut walker = joinmi_store::SliceReader::new(&bytes[payload.clone()]);
+        walker.read_len("index").unwrap();
+        for _ in 0..3 {
+            walker.read_str("s").unwrap();
+        }
+        let agg_offset = payload.start + walker.position();
+        bytes[agg_offset] = 99;
+        let fixed = joinmi_store::checksum(&bytes[payload.clone()]);
+        bytes[payload.start - 8..payload.start].copy_from_slice(&fixed.to_le_bytes());
+
+        assert!(matches!(
+            RepositorySnapshot::from_bytes(bytes.clone()),
+            Err(StoreError::Corrupt(_))
+        ));
+        assert!(matches!(
+            TableRepository::load_from(bytes.as_slice()),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn index_postings_must_be_covered_by_digest_counts() {
+        // A posting id with no digest-count entry would make queries size
+        // their overlap counters too small; the loader must reject it.
+        let inconsistent = JoinabilityIndex::from_canonical_parts(
+            vec![(42u64, vec![5usize])],
+            vec![(0usize, 1usize)],
+        );
+        let mut w = joinmi_store::Writer::new(Vec::new());
+        super::write_index(&mut w, &inconsistent).unwrap();
+        let bytes = w.into_inner();
+        let mut pos = 0usize;
+        let payload = joinmi_store::scan_section(&bytes, &mut pos, SECTION_INDEX).unwrap();
+        assert!(matches!(
+            super::read_index(&bytes[payload], 6),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn save_and_load_via_filesystem() {
+        let (repo, query) = sample_repo();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("joinmi-persist-test-{}.jmi", std::process::id()));
+
+        repo.save(&path).unwrap();
+        let loaded = TableRepository::load(&path).unwrap();
+        let snapshot = TableRepository::load_mmap_like(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        let a = query.execute(&repo).unwrap();
+        let b = query.execute(&loaded).unwrap();
+        let c = query.execute(&snapshot).unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(fingerprint(&a), fingerprint(&c));
+    }
+}

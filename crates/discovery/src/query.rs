@@ -7,8 +7,7 @@ use joinmi_estimators::EstimatorKind;
 use joinmi_sketch::{Aggregation, ColumnSketch, SketchConfig, SketchKind};
 use joinmi_table::Table;
 
-use crate::index::JoinabilityIndex;
-use crate::repository::TableRepository;
+use crate::repository::CandidateSource;
 use crate::Result;
 
 /// One ranked candidate augmentation.
@@ -126,22 +125,32 @@ impl RelationshipQuery {
     /// rank. Candidates whose estimate fails (e.g. degenerate samples) are
     /// skipped rather than failing the whole query.
     ///
+    /// The repository can be any [`CandidateSource`]: the in-memory
+    /// [`TableRepository`](crate::TableRepository) or a read-only
+    /// [`RepositorySnapshot`](crate::persist::RepositorySnapshot) loaded from
+    /// disk — the ranking is bit-for-bit identical either way. The key-overlap
+    /// pre-filter runs on the source's persisted/maintained joinability index,
+    /// so only surviving candidates' sketches are touched (for a lazy
+    /// snapshot, only those are ever decoded).
+    ///
     /// Surviving candidates are scored (sketch join + estimator) in parallel
     /// across `JOINMI_THREADS` workers. The pre-filter hit order is fixed
     /// before the fan-out and the final sort is stable over it, so the
     /// ranking — including the order of equal-MI ties — is identical to a
     /// sequential run.
-    pub fn execute(&self, repository: &TableRepository) -> Result<Vec<RankedCandidate>> {
+    pub fn execute<S: CandidateSource + Sync>(
+        &self,
+        repository: &S,
+    ) -> Result<Vec<RankedCandidate>> {
         let query_sketch = self.build_query_sketch()?;
 
-        let candidate_sketches: Vec<&ColumnSketch> =
-            repository.candidates().iter().map(|c| &c.sketch).collect();
-        let index = JoinabilityIndex::build(&candidate_sketches);
-        let hits = index.query(&query_sketch, self.min_key_overlap.max(1));
+        let hits = repository
+            .joinability()
+            .query(&query_sketch, self.min_key_overlap.max(1));
 
         let scored: Vec<Option<RankedCandidate>> =
             joinmi_par::par_map(&hits, |&(candidate_index, key_overlap)| {
-                let candidate = &repository.candidates()[candidate_index];
+                let candidate = repository.candidate(candidate_index);
                 let joined = query_sketch.join(&candidate.sketch);
                 if joined.len() < self.min_join_size {
                     return None;
@@ -173,9 +182,9 @@ impl RelationshipQuery {
     /// paper's observation (Section V-C3) that MI magnitudes produced by
     /// different estimators are not directly comparable and should be ranked
     /// separately.
-    pub fn execute_grouped(
+    pub fn execute_grouped<S: CandidateSource + Sync>(
         &self,
-        repository: &TableRepository,
+        repository: &S,
     ) -> Result<HashMap<EstimatorKind, Vec<RankedCandidate>>> {
         let all = self.with_unlimited_k().execute(repository)?;
         let mut grouped: HashMap<EstimatorKind, Vec<RankedCandidate>> = HashMap::new();
@@ -204,7 +213,7 @@ impl RelationshipQuery {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::repository::RepositoryConfig;
+    use crate::repository::{RepositoryConfig, TableRepository};
     use joinmi_synth::TaxiScenario;
 
     fn repo_and_query() -> (TableRepository, RelationshipQuery) {

@@ -14,8 +14,9 @@
 //! of `JOINMI_THREADS`.
 
 use joinmi_sketch::{Aggregation, ColumnSketch, SketchConfig, SketchKind};
-use joinmi_table::{DataType, Table};
+use joinmi_table::{DataType, Table, TableError};
 
+use crate::index::JoinabilityIndex;
 use crate::profile::TableProfile;
 use crate::Result;
 
@@ -104,12 +105,27 @@ impl CandidateColumn {
 }
 
 /// A repository of candidate tables with pre-built sketches.
+///
+/// The joinability index over candidate key digests is maintained
+/// incrementally during ingest, so queries never rebuild it — and
+/// [`TableRepository::save`](crate::persist) persists it alongside the
+/// sketches for the offline-ingest → online-query split.
+///
+/// A repository loaded from disk is **sketch-only**: it holds config,
+/// profiles, the index, and the candidate sketches, but not the raw tables
+/// (the durable artifact is exactly what queries need). Sketch-only
+/// repositories answer queries bit-identically to the in-memory original;
+/// further ingest and full-join materialization are rejected with
+/// [`TableError::Unsupported`].
 #[derive(Debug, Default)]
 pub struct TableRepository {
     config: Option<RepositoryConfig>,
     tables: Vec<Table>,
     profiles: Vec<TableProfile>,
     candidates: Vec<CandidateColumn>,
+    index: JoinabilityIndex,
+    /// `true` for repositories loaded from disk (no raw tables).
+    sketch_only: bool,
 }
 
 impl TableRepository {
@@ -118,9 +134,25 @@ impl TableRepository {
     pub fn new(config: RepositoryConfig) -> Self {
         Self {
             config: Some(config),
+            ..Self::default()
+        }
+    }
+
+    /// Reassembles a sketch-only repository from persisted parts (the loader
+    /// in [`crate::persist`] is the only caller).
+    pub(crate) fn from_loaded_parts(
+        config: RepositoryConfig,
+        profiles: Vec<TableProfile>,
+        candidates: Vec<CandidateColumn>,
+        index: JoinabilityIndex,
+    ) -> Self {
+        Self {
+            config: Some(config),
             tables: Vec::new(),
-            profiles: Vec::new(),
-            candidates: Vec::new(),
+            profiles,
+            candidates,
+            index,
+            sketch_only: true,
         }
     }
 
@@ -149,6 +181,11 @@ impl TableRepository {
     /// a single work queue spanning the batch, so small and wide tables load-
     /// balance against each other. On error the repository is left unchanged.
     pub fn add_tables(&mut self, tables: Vec<Table>) -> Result<usize> {
+        if self.sketch_only {
+            return Err(TableError::Unsupported(
+                "cannot ingest into a sketch-only repository loaded from disk".to_owned(),
+            ));
+        }
         let config = self.config();
 
         let mut profiles = Vec::with_capacity(tables.len());
@@ -189,28 +226,54 @@ impl TableRepository {
         }
 
         let added = candidates.len();
+        let first_candidate_index = self.candidates.len();
+        for (offset, candidate) in candidates.iter().enumerate() {
+            self.index
+                .insert(first_candidate_index + offset, &candidate.sketch);
+        }
         self.candidates.extend(candidates);
         self.profiles.extend(profiles);
         self.tables.extend(tables);
         Ok(added)
     }
 
-    /// Number of ingested tables.
+    /// Number of ingested tables (counted from the profiles, which are
+    /// present whether or not the raw tables are — see
+    /// [sketch-only repositories](Self#method.is_sketch_only)).
     #[must_use]
     pub fn num_tables(&self) -> usize {
-        self.tables.len()
+        self.profiles.len()
     }
 
-    /// The ingested tables.
+    /// The raw ingested tables. Empty for a sketch-only repository loaded
+    /// from disk.
     #[must_use]
     pub fn tables(&self) -> &[Table] {
         &self.tables
     }
 
     /// The table at a given index.
+    ///
+    /// # Panics
+    /// Panics on a sketch-only repository (no raw tables); use
+    /// [`Self::raw_table`] to handle that case.
     #[must_use]
     pub fn table(&self, index: usize) -> &Table {
         &self.tables[index]
+    }
+
+    /// The raw table at a given index, or `None` when the repository is
+    /// sketch-only (loaded from disk).
+    #[must_use]
+    pub fn raw_table(&self, index: usize) -> Option<&Table> {
+        self.tables.get(index)
+    }
+
+    /// Returns `true` when the repository was loaded from disk and holds
+    /// sketches, profiles, and the index but no raw tables.
+    #[must_use]
+    pub fn is_sketch_only(&self) -> bool {
+        self.sketch_only
     }
 
     /// Profiles of the ingested tables.
@@ -223,6 +286,45 @@ impl TableRepository {
     #[must_use]
     pub fn candidates(&self) -> &[CandidateColumn] {
         &self.candidates
+    }
+
+    /// The joinability index over the candidates' sampled key digests,
+    /// maintained incrementally during ingest.
+    #[must_use]
+    pub fn joinability(&self) -> &JoinabilityIndex {
+        &self.index
+    }
+}
+
+/// Anything that can answer relationship queries: a set of candidate sketches
+/// plus a joinability index over their key digests.
+///
+/// Implemented by the in-memory [`TableRepository`] and by the read-only
+/// [`RepositorySnapshot`](crate::persist::RepositorySnapshot) loaded from
+/// disk, so [`RelationshipQuery::execute`](crate::RelationshipQuery::execute)
+/// runs unchanged — and bit-identically — against either.
+pub trait CandidateSource {
+    /// Number of candidates.
+    fn candidate_count(&self) -> usize;
+
+    /// The candidate at `index` (must be `< candidate_count()`).
+    fn candidate(&self, index: usize) -> &CandidateColumn;
+
+    /// The joinability index over all candidates.
+    fn joinability(&self) -> &JoinabilityIndex;
+}
+
+impl CandidateSource for TableRepository {
+    fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    fn candidate(&self, index: usize) -> &CandidateColumn {
+        &self.candidates[index]
+    }
+
+    fn joinability(&self) -> &JoinabilityIndex {
+        &self.index
     }
 }
 

@@ -16,7 +16,7 @@
 //!
 //! Every point's search is independent, so both distance kernels chunk the
 //! per-point loop across [`joinmi_par`] workers. Each worker keeps **one**
-//! reusable bounded max-heap ([`BoundedMaxHeap`]) for its whole chunk stream
+//! reusable bounded max-heap (the private `BoundedMaxHeap`) for its whole chunk stream
 //! instead of allocating a fresh `BinaryHeap` per point, and results are
 //! written back in input order — parallel output is bit-for-bit equal to the
 //! sequential one.

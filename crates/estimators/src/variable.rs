@@ -4,7 +4,7 @@
 //! integer *codes* for discrete (categorical) variables or `f64` coordinates
 //! for continuous / mixture variables. [`Variable`] packages a sample with
 //! its representation and provides conversions from generic
-//! [`Value`](joinmi_table::Value) slices.
+//! [`Value`] slices.
 
 use std::collections::HashMap;
 

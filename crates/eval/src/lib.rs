@@ -31,7 +31,7 @@ pub mod report;
 
 pub use metrics::{mae, mean_error, mse, rmse, Summary};
 pub use pipeline::{
-    full_join_estimate, run_grid, sketch_estimate, EstimatorMode, GridCell, SketchTrial,
-    TrialOutcome,
+    full_join_estimate, run_grid, run_grid_persisted, sketch_estimate, sketch_estimate_persisted,
+    EstimatorMode, GridCell, SketchTrial, TrialOutcome,
 };
 pub use report::TableReport;

@@ -6,7 +6,7 @@
 //! The full-join baseline applies the same estimator to all generated pairs.
 
 use joinmi_estimators::{dc_ksg_mi, discretize, mixed_ksg_mi, mle_mi, perturb_ties, DEFAULT_K};
-use joinmi_sketch::{JoinedSketch, SketchConfig, SketchKind};
+use joinmi_sketch::{ColumnSketch, JoinedSketch, SketchConfig, SketchKind};
 use joinmi_synth::DecomposedPair;
 use joinmi_table::Value;
 
@@ -98,12 +98,12 @@ pub struct SketchTrial {
     pub mode: EstimatorMode,
 }
 
-/// Runs one sketch trial over a decomposed table pair.
-///
-/// Returns `None` when the sketch join recovered too few pairs for the
-/// estimator.
-#[must_use]
-pub fn sketch_estimate(pair: &DecomposedPair, trial: &SketchTrial) -> Option<TrialOutcome> {
+/// Builds the left/right sketches of one trial (shared by the in-memory and
+/// persisted estimation paths).
+fn build_sketch_pair(
+    pair: &DecomposedPair,
+    trial: &SketchTrial,
+) -> Option<(ColumnSketch, ColumnSketch)> {
     let left = trial
         .kind
         .build_left(
@@ -123,7 +123,16 @@ pub fn sketch_estimate(pair: &DecomposedPair, trial: &SketchTrial) -> Option<Tri
             &trial.config,
         )
         .ok()?;
-    let joined: JoinedSketch = left.join(&right);
+    Some((left, right))
+}
+
+/// Joins a sketch pair and applies the trial's estimator.
+fn estimate_from_sketches(
+    left: &ColumnSketch,
+    right: &ColumnSketch,
+    trial: &SketchTrial,
+) -> Option<TrialOutcome> {
+    let joined: JoinedSketch = left.join(right);
     let estimate = trial
         .mode
         .estimate(joined.xs(), joined.ys(), trial.config.seed)?;
@@ -132,6 +141,37 @@ pub fn sketch_estimate(pair: &DecomposedPair, trial: &SketchTrial) -> Option<Tri
         join_size: joined.len(),
         left_storage: left.len(),
     })
+}
+
+/// Runs one sketch trial over a decomposed table pair.
+///
+/// Returns `None` when the sketch join recovered too few pairs for the
+/// estimator.
+#[must_use]
+pub fn sketch_estimate(pair: &DecomposedPair, trial: &SketchTrial) -> Option<TrialOutcome> {
+    let (left, right) = build_sketch_pair(pair, trial)?;
+    estimate_from_sketches(&left, &right, trial)
+}
+
+/// Like [`sketch_estimate`], but round-trips both sketches through the
+/// on-disk store encoding (`joinmi_sketch::persist`) before joining — the
+/// offline-ingest → online-query pipeline in miniature. Because the encoding
+/// is exact (float bits round-trip), the outcome is bit-for-bit identical to
+/// [`sketch_estimate`]; the test below pins that.
+#[must_use]
+pub fn sketch_estimate_persisted(
+    pair: &DecomposedPair,
+    trial: &SketchTrial,
+) -> Option<TrialOutcome> {
+    let (left, right) = build_sketch_pair(pair, trial)?;
+    let round_trip = |sketch: &ColumnSketch| -> Option<ColumnSketch> {
+        let mut buf = Vec::new();
+        sketch.to_writer(&mut buf).ok()?;
+        ColumnSketch::from_reader(buf.as_slice()).ok()
+    };
+    let left = round_trip(&left)?;
+    let right = round_trip(&right)?;
+    estimate_from_sketches(&left, &right, trial)
 }
 
 /// One cell of an experiment grid: which decomposed pair to sketch (an index
@@ -149,6 +189,21 @@ pub type GridCell = (usize, SketchTrial);
 pub fn run_grid(pairs: &[DecomposedPair], cells: &[GridCell]) -> Vec<Option<TrialOutcome>> {
     joinmi_par::par_map(cells, |&(pair_index, trial)| {
         sketch_estimate(&pairs[pair_index], &trial)
+    })
+}
+
+/// The persisted-repository variant of [`run_grid`]: every trial's sketches
+/// pass through the on-disk encoding before estimation (see
+/// [`sketch_estimate_persisted`]). Outcomes are bit-for-bit identical to
+/// [`run_grid`]; experiments use it to prove that conclusions drawn from
+/// persisted sketch repositories match the in-memory evaluation.
+#[must_use]
+pub fn run_grid_persisted(
+    pairs: &[DecomposedPair],
+    cells: &[GridCell],
+) -> Vec<Option<TrialOutcome>> {
+    joinmi_par::par_map(cells, |&(pair_index, trial)| {
+        sketch_estimate_persisted(&pairs[pair_index], &trial)
     })
 }
 
@@ -295,6 +350,46 @@ mod tests {
                 }
                 (None, None) => {}
                 _ => panic!("parallel/sequential disagreement"),
+            }
+        }
+    }
+
+    #[test]
+    fn persisted_grid_is_bit_identical_to_in_memory_grid() {
+        let gen = TrinomialConfig::new(32, 0.45, 0.4);
+        let pairs: Vec<_> = (0..2u64)
+            .map(|s| {
+                let data = gen.generate(1200, s);
+                decompose(&data.xs, &data.ys, KeyDistribution::KeyInd)
+            })
+            .collect();
+        let mut cells = Vec::new();
+        for pair_index in 0..pairs.len() {
+            for kind in SketchKind::ALL {
+                for mode in EstimatorMode::TRINOMIAL {
+                    cells.push((
+                        pair_index,
+                        SketchTrial {
+                            kind,
+                            config: SketchConfig::new(128, 9),
+                            mode,
+                        },
+                    ));
+                }
+            }
+        }
+        let in_memory = run_grid(&pairs, &cells);
+        let persisted = run_grid_persisted(&pairs, &cells);
+        assert_eq!(in_memory.len(), persisted.len());
+        for (a, b) in in_memory.iter().zip(&persisted) {
+            match (a, b) {
+                (Some(m), Some(p)) => {
+                    assert_eq!(m.estimate.to_bits(), p.estimate.to_bits());
+                    assert_eq!(m.join_size, p.join_size);
+                    assert_eq!(m.left_storage, p.left_storage);
+                }
+                (None, None) => {}
+                _ => panic!("persisted/in-memory grid disagreement"),
             }
         }
     }

@@ -1,0 +1,41 @@
+//! Versioned on-disk binary format for `joinmi` sketches and repositories.
+//!
+//! The paper's efficiency claim rests on sketches being built **once**,
+//! offline, and reused across many online queries. This crate supplies the
+//! durable half of that split: a compact, versioned, checksummed binary
+//! format with no external serialization dependencies (the workspace builds
+//! offline; everything is hand-rolled over `std::io`).
+//!
+//! # File layout
+//!
+//! ```text
+//! file     = header, section*
+//! header   = magic b"JMIS" | format version (u16 LE) | artifact kind | reserved
+//! section  = tag (u8) | payload length (u64 LE) | checksum (u64 LE) | payload
+//! ```
+//!
+//! * All integers are little-endian; floats are IEEE-754 bit patterns (exact
+//!   round-trip, including NaN payloads).
+//! * Each section's payload carries a 64-bit MurmurHash3 checksum (reusing
+//!   [`joinmi_hash`]) verified **before** any structural decoding.
+//! * Readers reject wrong magic, future format versions, wrong artifact
+//!   kinds, truncation, and checksum mismatches with typed [`StoreError`]s —
+//!   decoding untrusted bytes never panics.
+//!
+//! The concrete artifact encodings live next to the types they persist:
+//! sketch columns in `joinmi_sketch::persist`, repositories in
+//! `joinmi_discovery::persist`. This crate only owns the format plumbing, so
+//! it sits below both in the dependency graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod format;
+pub mod section;
+pub mod wire;
+
+pub use error::{Result, StoreError};
+pub use format::{read_header, write_header, ArtifactKind, FORMAT_VERSION, MAGIC};
+pub use section::{checksum, read_section, scan_section, write_section, SectionBuilder};
+pub use wire::{Reader, SliceReader, Writer};

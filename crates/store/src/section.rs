@@ -1,0 +1,263 @@
+//! Checksummed section framing.
+//!
+//! After the file header, a store artifact is a sequence of sections:
+//!
+//! ```text
+//! section = tag (u8) | payload length (u64 LE) | checksum (u64 LE) | payload
+//! ```
+//!
+//! The checksum is the low 64 bits of MurmurHash3 x64/128 over the payload
+//! (reusing [`joinmi_hash::murmur3_x64_128`] rather than pulling in a CRC
+//! dependency), salted with a fixed seed so a section of zeros does not
+//! checksum to zero. Readers verify the checksum before any payload decoding,
+//! so structural decoders only ever run over integrity-checked bytes.
+
+use std::io::{Read, Write};
+
+use joinmi_hash::murmur3_x64_128;
+
+use crate::error::{Result, StoreError};
+use crate::wire::{Reader, Writer};
+
+/// Seed for the section checksum hash.
+const CHECKSUM_SEED: u64 = 0x6A6D_6931_5345_4354; // "jmi1SECT"
+
+/// Computes the checksum of a section payload.
+#[must_use]
+pub fn checksum(payload: &[u8]) -> u64 {
+    murmur3_x64_128(payload, CHECKSUM_SEED).0
+}
+
+/// Writes one framed section: tag, length, checksum, payload.
+pub fn write_section<W: Write>(w: &mut Writer<W>, tag: u8, payload: &[u8]) -> Result<()> {
+    w.write_u8(tag)?;
+    w.write_len(payload.len())?;
+    w.write_u64(checksum(payload))?;
+    w.write_raw(payload)
+}
+
+/// A convenience builder: encode a section payload into an in-memory buffer
+/// with the full [`Writer`] API, then frame-and-flush it in one call.
+#[derive(Debug)]
+pub struct SectionBuilder {
+    payload: Writer<Vec<u8>>,
+}
+
+impl Default for SectionBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SectionBuilder {
+    /// Creates an empty section payload.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            payload: Writer::new(Vec::new()),
+        }
+    }
+
+    /// The payload writer.
+    pub fn writer(&mut self) -> &mut Writer<Vec<u8>> {
+        &mut self.payload
+    }
+
+    /// Frames the accumulated payload under `tag` and writes it to `out`.
+    pub fn finish<W: Write>(self, tag: u8, out: &mut Writer<W>) -> Result<()> {
+        write_section(out, tag, &self.payload.into_inner())
+    }
+}
+
+/// Reads one framed section, requiring `expected_tag`, verifying the checksum
+/// and returning the payload bytes.
+pub fn read_section<R: Read>(r: &mut Reader<R>, expected_tag: u8) -> Result<Vec<u8>> {
+    let tag = r.read_u8("section tag")?;
+    if tag != expected_tag {
+        return Err(StoreError::UnexpectedSection {
+            expected: expected_tag,
+            found: tag,
+        });
+    }
+    let len = r.read_len("section length")?;
+    let stored = r.read_u64("section checksum")?;
+    let payload = r.read_bytes(len, "section payload")?;
+    let actual = checksum(&payload);
+    if actual != stored {
+        return Err(StoreError::ChecksumMismatch {
+            section: tag,
+            expected: stored,
+            actual,
+        });
+    }
+    Ok(payload)
+}
+
+/// Walks one framed section inside an in-memory buffer without copying the
+/// payload: verifies the tag and checksum, advances `pos` past the section,
+/// and returns the payload's byte range within `buf`.
+///
+/// This is the "mmap-like" read path: the whole file sits in one buffer and
+/// consumers decode payload slices lazily, on first access.
+pub fn scan_section(
+    buf: &[u8],
+    pos: &mut usize,
+    expected_tag: u8,
+) -> Result<std::ops::Range<usize>> {
+    let header_end = pos
+        .checked_add(1 + 8 + 8)
+        .filter(|&end| end <= buf.len())
+        .ok_or(StoreError::Truncated {
+            context: "section frame",
+        })?;
+    let tag = buf[*pos];
+    if tag != expected_tag {
+        return Err(StoreError::UnexpectedSection {
+            expected: expected_tag,
+            found: tag,
+        });
+    }
+    let len_bytes: [u8; 8] = buf[*pos + 1..*pos + 9].try_into().expect("8-byte slice");
+    let len = usize::try_from(u64::from_le_bytes(len_bytes))
+        .map_err(|_| StoreError::corrupt("section length exceeds usize"))?;
+    let stored = u64::from_le_bytes(buf[*pos + 9..*pos + 17].try_into().expect("8-byte slice"));
+    let payload_end = header_end
+        .checked_add(len)
+        .filter(|&end| end <= buf.len())
+        .ok_or(StoreError::Truncated {
+            context: "section payload",
+        })?;
+    let payload = &buf[header_end..payload_end];
+    let actual = checksum(payload);
+    if actual != stored {
+        return Err(StoreError::ChecksumMismatch {
+            section: tag,
+            expected: stored,
+            actual,
+        });
+    }
+    *pos = payload_end;
+    Ok(header_end..payload_end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_matches_read() {
+        let mut w = Writer::new(Vec::new());
+        write_section(&mut w, 5, b"first").unwrap();
+        write_section(&mut w, 6, b"second payload").unwrap();
+        let buf = w.into_inner();
+
+        let mut pos = 0usize;
+        let a = scan_section(&buf, &mut pos, 5).unwrap();
+        assert_eq!(&buf[a], b"first");
+        let b = scan_section(&buf, &mut pos, 6).unwrap();
+        assert_eq!(&buf[b], b"second payload");
+        assert_eq!(pos, buf.len());
+
+        // Scanning past the end is a typed truncation.
+        assert!(matches!(
+            scan_section(&buf, &mut pos, 7),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn scan_detects_corruption_and_truncation() {
+        let mut w = Writer::new(Vec::new());
+        write_section(&mut w, 5, b"payload under test").unwrap();
+        let buf = w.into_inner();
+
+        let mut flipped = buf.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x80;
+        let mut pos = 0usize;
+        assert!(matches!(
+            scan_section(&flipped, &mut pos, 5),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+
+        let mut pos = 0usize;
+        assert!(matches!(
+            scan_section(&buf[..buf.len() - 2], &mut pos, 5),
+            Err(StoreError::Truncated { .. })
+        ));
+
+        let mut pos = 0usize;
+        assert!(matches!(
+            scan_section(&buf, &mut pos, 9),
+            Err(StoreError::UnexpectedSection { .. })
+        ));
+    }
+
+    #[test]
+    fn section_round_trips() {
+        let mut w = Writer::new(Vec::new());
+        write_section(&mut w, 7, b"hello section").unwrap();
+        let bytes = w.into_inner();
+        let mut r = Reader::new(bytes.as_slice());
+        assert_eq!(read_section(&mut r, 7).unwrap(), b"hello section");
+    }
+
+    #[test]
+    fn builder_matches_direct_framing() {
+        let mut direct = Writer::new(Vec::new());
+        write_section(&mut direct, 3, &5u64.to_le_bytes()).unwrap();
+
+        let mut built = Writer::new(Vec::new());
+        let mut section = SectionBuilder::new();
+        section.writer().write_u64(5).unwrap();
+        section.finish(3, &mut built).unwrap();
+
+        assert_eq!(direct.into_inner(), built.into_inner());
+    }
+
+    #[test]
+    fn empty_payload_checksum_is_nonzero() {
+        assert_ne!(checksum(&[]), 0);
+    }
+
+    #[test]
+    fn wrong_tag_is_typed() {
+        let mut w = Writer::new(Vec::new());
+        write_section(&mut w, 1, b"x").unwrap();
+        let bytes = w.into_inner();
+        let mut r = Reader::new(bytes.as_slice());
+        assert!(matches!(
+            read_section(&mut r, 2),
+            Err(StoreError::UnexpectedSection {
+                expected: 2,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_checksum() {
+        let mut w = Writer::new(Vec::new());
+        write_section(&mut w, 1, b"sensitive payload").unwrap();
+        let mut bytes = w.into_inner();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let mut r = Reader::new(bytes.as_slice());
+        assert!(matches!(
+            read_section(&mut r, 1),
+            Err(StoreError::ChecksumMismatch { section: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_typed() {
+        let mut w = Writer::new(Vec::new());
+        write_section(&mut w, 1, b"0123456789").unwrap();
+        let bytes = w.into_inner();
+        let mut r = Reader::new(&bytes[..bytes.len() - 4]);
+        assert!(matches!(
+            read_section(&mut r, 1),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+}

@@ -12,7 +12,7 @@
 //!   `{0..m−1}` and `Y | X ~ U[X, X+2]`, with closed-form
 //!   `I = ln m − (m−1) ln 2 / m`.
 //!
-//! [`decompose`] splits the generated `(X, Y)` pairs into two joinable tables
+//! [`decompose`](mod@decompose) splits the generated `(X, Y)` pairs into two joinable tables
 //! (`Ttrain[K_Y, Y]`, `Tcand[K_X, X]`) under the paper's two key-generation
 //! regimes (`KeyInd`, `KeyDep`), [`opendata`] simulates open-data-portal
 //! collections for the real-data experiments (see DESIGN.md §5 for the

@@ -43,6 +43,10 @@ pub enum TableError {
     EmptyTable(String),
     /// The operation requires a many-to-one relationship but found duplicate keys.
     DuplicateJoinKey(String),
+    /// The operation is not supported in the object's current state — e.g.
+    /// ingesting into, or materializing a full join from, a sketch-only
+    /// repository loaded from disk (which holds no raw tables).
+    Unsupported(String),
 }
 
 impl fmt::Display for TableError {
@@ -79,6 +83,7 @@ impl fmt::Display for TableError {
                     "join key `{key}` appears more than once on the aggregated side"
                 )
             }
+            Self::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
         }
     }
 }

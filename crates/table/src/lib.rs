@@ -12,7 +12,7 @@
 //! * hash equi-joins — inner and left-outer ([`join`]),
 //! * group-by [`aggregate`]s (`AVG`, `SUM`, `COUNT`, `MIN`, `MAX`, `MODE`,
 //!   `MEDIAN`, `FIRST`),
-//! * the full join-aggregation query of Section III-B ([`augment`]),
+//! * the full join-aggregation query of Section III-B ([`augment`](mod@augment)),
 //! * CSV reading/writing and column type inference ([`csv`], [`infer`]) — the
 //!   role Tablesaw plays in the paper's real-data pipeline.
 //!

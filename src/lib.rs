@@ -13,6 +13,8 @@
 //! * [`par`] — scoped-thread parallel map primitives with deterministic
 //!   output order (thread count via `JOINMI_THREADS`).
 //! * [`hash`] — MurmurHash3, Fibonacci hashing, seeded unit-range hashers.
+//! * [`store`] — versioned, checksummed on-disk binary format; sketches and
+//!   repositories persist across processes (offline ingest → online query).
 //! * [`table`] — in-memory relational substrate (typed columns, joins,
 //!   group-by aggregation, CSV, type inference).
 //! * [`estimators`] — entropy / MI estimators (MLE, KSG, MixedKSG, DC-KSG).
@@ -60,16 +62,20 @@ pub use joinmi_eval as eval;
 pub use joinmi_hash as hash;
 pub use joinmi_par as par;
 pub use joinmi_sketch as sketch;
+pub use joinmi_store as store;
 pub use joinmi_synth as synth;
 pub use joinmi_table as table;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
-    pub use joinmi_discovery::{AugmentationPlan, RelationshipQuery, TableRepository};
+    pub use joinmi_discovery::{
+        AugmentationPlan, CandidateSource, RelationshipQuery, RepositorySnapshot, TableRepository,
+    };
     pub use joinmi_estimators::{EstimatorKind, MiEstimate};
     pub use joinmi_sketch::{
         Aggregation as SketchAggregation, ColumnSketch, JoinedSketch, SketchConfig, SketchKind,
     };
+    pub use joinmi_store::StoreError;
     pub use joinmi_synth::{CdUnifConfig, KeyDistribution, TrinomialConfig};
     pub use joinmi_table::{Aggregation, DataType, Table, Value};
 }
