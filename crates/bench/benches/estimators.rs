@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
+use joinmi_estimators::knn::{kth_nn_distances_chebyshev, kth_nn_distances_chebyshev_scalar};
 use joinmi_estimators::{dc_ksg_mi, discretize, mixed_ksg_mi, mle_mi};
 use joinmi_synth::TrinomialConfig;
 use joinmi_table::Value;
@@ -41,5 +42,27 @@ fn bench_estimators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_estimators);
+/// The blocked Chebyshev k-NN kernel against the pre-refactor scalar oracle
+/// on a correlated pair (the regime where the window expansion does real
+/// work — uncorrelated data prunes after a handful of candidates).
+fn bench_knn_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+
+    for n in [1024usize, 4096] {
+        let (xs, ys) = joinmi_bench::knn_correlated_pair(n);
+
+        group.bench_with_input(BenchmarkId::new("chebyshev", n), &n, |b, _| {
+            b.iter(|| black_box(kth_nn_distances_chebyshev(&xs, &ys, 3)));
+        });
+        group.bench_with_input(BenchmarkId::new("chebyshev_scalar", n), &n, |b, _| {
+            b.iter(|| black_box(kth_nn_distances_chebyshev_scalar(&xs, &ys, 3)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators, bench_knn_kernels);
 criterion_main!(benches);

@@ -44,6 +44,26 @@ pub fn trinomial_workload(rows: usize, key_dist: KeyDistribution, seed: u64) -> 
 /// The table sizes used by the §V-D performance comparison.
 pub const PERF_SIZES: [usize; 3] = [5_000, 10_000, 20_000];
 
+/// The deterministic correlated coordinate pair used by every k-NN kernel
+/// bench (quick-bench `knn/*` targets and the criterion `knn` group must
+/// measure the *same* workload for their medians to be comparable):
+/// `x ~ U[0, 1)` from a fixed LCG, `y = x + 0.25·u`. The correlation keeps
+/// the window expansion honest — on independent coordinates the x-prune
+/// terminates after a handful of candidates and the kernel is all setup cost.
+#[must_use]
+pub fn knn_correlated_pair(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut state = 0x9e37_79b9_u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
+        ((state >> 33) as f64) / f64::from(u32::MAX)
+    };
+    let xs: Vec<f64> = (0..n).map(|_| next()).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| x + 0.25 * next()).collect();
+    (xs, ys)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

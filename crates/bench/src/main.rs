@@ -12,7 +12,7 @@
 //! Benchmark mode runs a compressed version of the six criterion bench
 //! targets, the parallel ingest-and-query pipeline workload, and the
 //! repository save/load workload, and emits a machine-readable JSON (bench
-//! name → median wall nanoseconds; default `BENCH_PR3.json`) that seeds the
+//! name → median wall nanoseconds; default `BENCH_PR4.json`) that seeds the
 //! perf trajectory for future PRs. Unlike the criterion benches (minutes),
 //! quick mode finishes in seconds, so CI runs it on every push.
 //!
@@ -65,7 +65,7 @@ fn print_usage() {
     eprintln!("       joinmi_bench compare --baseline JSON --current JSON [--max-regression R]");
     eprintln!();
     eprintln!("  --quick  small iteration counts / workloads (seconds, not minutes)");
-    eprintln!("  --json   write benchmark results to PATH (default BENCH_PR3.json)");
+    eprintln!("  --json   write benchmark results to PATH (default BENCH_PR4.json)");
 }
 
 /// Value of `--flag VALUE` in an argument list.
@@ -285,7 +285,7 @@ fn cmd_compare(args: &[String]) -> i32 {
 fn cmd_bench(args: &[String]) -> i32 {
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let out_path = flag_value(args, "--out").unwrap_or("BENCH_PR3.json");
+    let out_path = flag_value(args, "--out").unwrap_or("BENCH_PR4.json");
 
     // Quick mode: smaller tables and fewer repetitions; default mode uses the
     // criterion-bench sizes for closer comparability.
@@ -432,6 +432,38 @@ fn bench_targets(rows: usize, iters: usize, results: &mut Vec<(String, f64)>) {
             EstimatorMode::Mle.estimate(joined.xs(), joined.ys(), 0)
         }),
     ));
+
+    knn_kernel_targets(iters, results);
+}
+
+/// The PR 4 kernel-engine targets: the blocked Chebyshev k-NN kernel and the
+/// KSG estimator on a correlated pair at n = 4096 (the regime where the
+/// window expansion does real work), plus the pre-refactor scalar kernel so
+/// every bench run records the blocked-vs-scalar speedup on its own host.
+fn knn_kernel_targets(iters: usize, results: &mut Vec<(String, f64)>) {
+    let (xs, ys) = joinmi_bench::knn_correlated_pair(4096);
+
+    let scalar_ns = median_ns(iters, || {
+        joinmi_estimators::knn::kth_nn_distances_chebyshev_scalar(&xs, &ys, 3)
+    });
+    let blocked_ns = median_ns(iters, || {
+        joinmi_estimators::knn::kth_nn_distances_chebyshev(&xs, &ys, 3)
+    });
+    let ksg_ns = median_ns(iters, || {
+        joinmi_estimators::ksg_mi(&xs, &ys, 3).expect("ksg estimate")
+    });
+
+    results.push(("knn/chebyshev_n4096".to_owned(), blocked_ns));
+    results.push(("knn/chebyshev_n4096_scalar".to_owned(), scalar_ns));
+    results.push((
+        "knn/blocked_speedup_vs_scalar".to_owned(),
+        if blocked_ns > 0.0 {
+            scalar_ns / blocked_ns
+        } else {
+            0.0
+        },
+    ));
+    results.push(("estimators/ksg_n4096".to_owned(), ksg_ns));
 }
 
 /// The acceptance workload: ingest 32 tables × 8 feature columns, then run

@@ -8,10 +8,16 @@
 
 use std::fmt::Write as _;
 
-/// Bench medians gated unconditionally by [`compare_quick_bench`]: the two
+/// Bench medians gated unconditionally by [`compare_quick_bench`]: the
 /// sketch-path hot loops whose regressions the paper's efficiency claim
-/// cannot absorb.
-pub const GATED_MEDIANS: [&str; 2] = ["sketch_join/tupsk_n256", "estimators/mle_on_sketch_join"];
+/// cannot absorb, plus the PR 4 estimator-kernel medians (the blocked
+/// Chebyshev k-NN kernel and the KSG estimate built on it).
+pub const GATED_MEDIANS: [&str; 4] = [
+    "sketch_join/tupsk_n256",
+    "estimators/mle_on_sketch_join",
+    "knn/chebyshev_n4096",
+    "estimators/ksg_n4096",
+];
 
 /// Pipeline medians gated only when **both** the baseline and the current
 /// host report more than one core (`host/available_parallelism`): on a
@@ -205,35 +211,32 @@ mod tests {
         assert!(parse("{\"a\" 1.0}").is_err());
     }
 
+    /// All always-gated medians at the given value.
+    fn gated(value: f64) -> Vec<(String, f64)> {
+        GATED_MEDIANS
+            .iter()
+            .map(|&n| (n.to_owned(), value))
+            .collect()
+    }
+
     #[test]
     fn within_threshold_passes() {
-        let baseline = entries(&[
-            ("sketch_join/tupsk_n256", 1000.0),
-            ("estimators/mle_on_sketch_join", 2000.0),
-            ("host/available_parallelism", 1.0),
-        ]);
-        let current = entries(&[
-            ("sketch_join/tupsk_n256", 1200.0),
-            ("estimators/mle_on_sketch_join", 2100.0),
-            ("host/available_parallelism", 1.0),
-        ]);
+        let mut baseline = gated(1000.0);
+        baseline.push(("host/available_parallelism".to_owned(), 1.0));
+        let mut current = gated(1200.0);
+        current.push(("host/available_parallelism".to_owned(), 1.0));
         let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
         assert!(!report.has_regression());
-        assert_eq!(report.checked.len(), 2);
+        assert_eq!(report.checked.len(), GATED_MEDIANS.len());
         // Pipeline medians skipped on the 1-core pairing.
         assert_eq!(report.skipped.len(), PARALLEL_GATED_MEDIANS.len());
     }
 
     #[test]
     fn regression_beyond_threshold_fails() {
-        let baseline = entries(&[
-            ("sketch_join/tupsk_n256", 1000.0),
-            ("estimators/mle_on_sketch_join", 2000.0),
-        ]);
-        let current = entries(&[
-            ("sketch_join/tupsk_n256", 1251.0),
-            ("estimators/mle_on_sketch_join", 2000.0),
-        ]);
+        let baseline = gated(1000.0);
+        let mut current = gated(1000.0);
+        current[0].1 = 1251.0;
         let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
         assert!(report.has_regression());
         let bad = &report.checked[0];
@@ -243,28 +246,25 @@ mod tests {
 
     #[test]
     fn pipeline_medians_gated_only_on_multicore_pairs() {
-        let mut baseline = entries(&[
-            ("sketch_join/tupsk_n256", 1000.0),
-            ("estimators/mle_on_sketch_join", 2000.0),
-            ("pipeline/ingest32x8_query/threads=1", 100.0),
-            ("pipeline/ingest32x8_query/threads=4", 50.0),
-            ("host/available_parallelism", 4.0),
-        ]);
-        let current = entries(&[
-            ("sketch_join/tupsk_n256", 1000.0),
-            ("estimators/mle_on_sketch_join", 2000.0),
-            ("pipeline/ingest32x8_query/threads=1", 300.0),
-            ("pipeline/ingest32x8_query/threads=4", 150.0),
-            ("host/available_parallelism", 4.0),
-        ]);
+        let mut baseline = gated(1000.0);
+        baseline.push(("pipeline/ingest32x8_query/threads=1".to_owned(), 100.0));
+        baseline.push(("pipeline/ingest32x8_query/threads=4".to_owned(), 50.0));
+        baseline.push(("host/available_parallelism".to_owned(), 4.0));
+        let mut current = gated(1000.0);
+        current.push(("pipeline/ingest32x8_query/threads=1".to_owned(), 300.0));
+        current.push(("pipeline/ingest32x8_query/threads=4".to_owned(), 150.0));
+        current.push(("host/available_parallelism".to_owned(), 4.0));
         let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
-        assert_eq!(report.checked.len(), 4);
+        assert_eq!(
+            report.checked.len(),
+            GATED_MEDIANS.len() + PARALLEL_GATED_MEDIANS.len()
+        );
         assert!(report.has_regression());
 
         // Same data, but the baseline host was 1-core: pipeline skipped.
         baseline.last_mut().unwrap().1 = 1.0;
         let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
-        assert_eq!(report.checked.len(), 2);
+        assert_eq!(report.checked.len(), GATED_MEDIANS.len());
         assert!(!report.has_regression());
     }
 
@@ -278,10 +278,7 @@ mod tests {
     #[test]
     fn key_missing_from_baseline_is_skipped_not_fatal() {
         let baseline = entries(&[("sketch_join/tupsk_n256", 1000.0)]);
-        let current = entries(&[
-            ("sketch_join/tupsk_n256", 1000.0),
-            ("estimators/mle_on_sketch_join", 2000.0),
-        ]);
+        let current = gated(1000.0);
         let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
         assert_eq!(report.checked.len(), 1);
         assert!(report

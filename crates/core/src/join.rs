@@ -6,8 +6,8 @@
 //! selected from the value data types exactly as in the paper's experiments.
 
 use joinmi_estimators::{
-    estimate_mi as est_estimate_mi, pearson, select_estimator, spearman, EstimatorError,
-    EstimatorKind, MiEstimate, Variable, DEFAULT_K,
+    pearson, select_estimator, spearman, EstimatorError, EstimatorKind, EstimatorWorkspace,
+    MiEstimate, Variable, DEFAULT_K,
 };
 use joinmi_hash::{digest_map_with_capacity, DigestHashMap};
 use joinmi_table::{DataType, Value};
@@ -149,8 +149,20 @@ impl JoinedSketch {
     /// Estimates MI with the automatically selected estimator and a custom
     /// neighbour count `k` for the KSG-family estimators.
     pub fn estimate_mi_with_k(&self, k: usize) -> Result<MiEstimate, EstimatorError> {
+        self.estimate_mi_in(&mut EstimatorWorkspace::new(), k)
+    }
+
+    /// Estimates MI with the automatically selected estimator against a
+    /// caller-owned [`EstimatorWorkspace`], so callers scoring many joins
+    /// (e.g. query candidate ranking) reuse the estimator sort buffers.
+    pub fn estimate_mi_in(
+        &self,
+        ws: &mut EstimatorWorkspace,
+        k: usize,
+    ) -> Result<MiEstimate, EstimatorError> {
         let (x, y) = self.variables()?;
-        est_estimate_mi(&x, &y, k)
+        let kind = select_estimator(&x, &y);
+        joinmi_estimators::estimate_mi_with_workspace(ws, &x, &y, kind, k)
     }
 
     /// Estimates MI with an explicitly chosen estimator.

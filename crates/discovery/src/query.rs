@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use joinmi_estimators::EstimatorKind;
+use joinmi_estimators::{EstimatorKind, EstimatorWorkspace, DEFAULT_K};
 use joinmi_sketch::{Aggregation, ColumnSketch, SketchConfig, SketchKind};
 use joinmi_table::Table;
 
@@ -148,14 +148,18 @@ impl RelationshipQuery {
             .joinability()
             .query(&query_sketch, self.min_key_overlap.max(1));
 
-        let scored: Vec<Option<RankedCandidate>> =
-            joinmi_par::par_map(&hits, |&(candidate_index, key_overlap)| {
+        // One estimator workspace per worker: candidates scored on the same
+        // worker share the sort-once buffers of the KSG-family estimators.
+        let scored: Vec<Option<RankedCandidate>> = joinmi_par::par_map_with(
+            &hits,
+            EstimatorWorkspace::new,
+            |ws, &(candidate_index, key_overlap)| {
                 let candidate = repository.candidate(candidate_index);
                 let joined = query_sketch.join(&candidate.sketch);
                 if joined.len() < self.min_join_size {
                     return None;
                 }
-                let estimate = joined.estimate_mi().ok()?;
+                let estimate = joined.estimate_mi_in(ws, DEFAULT_K).ok()?;
                 Some(RankedCandidate {
                     candidate_index,
                     table_index: candidate.table_index,
@@ -168,7 +172,8 @@ impl RelationshipQuery {
                     sketch_join_size: joined.len(),
                     key_overlap,
                 })
-            });
+            },
+        );
         let mut results: Vec<RankedCandidate> = scored.into_iter().flatten().collect();
 
         results.sort_by(|a, b| b.mi.partial_cmp(&a.mi).expect("MI estimates are finite"));

@@ -18,16 +18,27 @@
 //! neighbourhood information and are excluded from the averages, again
 //! matching the reference implementation.
 
-use std::collections::HashMap;
+use joinmi_hash::FixedHashMap;
 
 use crate::error::EstimatorError;
-use crate::knn::{kth_nn_distances_1d, MarginalCounter};
 use crate::special::digamma;
+use crate::workspace::{EstimatorWorkspace, ACC_CHUNK};
 use crate::Result;
 
 /// DC-KSG (Ross) estimate of `I(X; Y)` in nats, `X` discrete and `Y`
 /// continuous. Clamped at 0.
 pub fn dc_ksg_mi(x_codes: &[u32], y: &[f64], k: usize) -> Result<f64> {
+    dc_ksg_mi_with(&mut EstimatorWorkspace::new(), x_codes, y, k)
+}
+
+/// [`dc_ksg_mi`] against a caller-owned [`EstimatorWorkspace`], so batch
+/// callers reuse the sort and group-gather buffers across estimates.
+pub fn dc_ksg_mi_with(
+    ws: &mut EstimatorWorkspace,
+    x_codes: &[u32],
+    y: &[f64],
+    k: usize,
+) -> Result<f64> {
     if x_codes.len() != y.len() {
         return Err(EstimatorError::LengthMismatch {
             x_len: x_codes.len(),
@@ -52,17 +63,24 @@ pub fn dc_ksg_mi(x_codes: &[u32], y: &[f64], k: usize) -> Result<f64> {
         });
     }
 
-    // Group sample indices by discrete value.
-    let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
+    // Group sample indices by discrete value. The fixed hasher makes group
+    // iteration order reproducible across runs (the scatter below is
+    // order-insensitive, but deterministic traversal keeps profiles stable).
+    let mut groups: FixedHashMap<u32, Vec<usize>> = FixedHashMap::default();
     for (i, &c) in x_codes.iter().enumerate() {
         groups.entry(c).or_default().push(i);
     }
 
     // Per-sample radius and within-group neighbour count; samples in
-    // singleton groups are skipped.
+    // singleton groups are skipped. One workspace-owned gather buffer serves
+    // every group instead of a fresh Vec per discrete value, and the
+    // workspace's y marginal doubles as the per-group sorted view (it is
+    // re-prepared for the full column right after this loop, so borrowing it
+    // here costs nothing).
     let mut radius = vec![f64::NAN; y.len()];
     let mut k_used = vec![0usize; y.len()];
     let mut group_size = vec![0usize; y.len()];
+    let mut group_y = std::mem::take(&mut ws.scratch);
     for indices in groups.values() {
         let count = indices.len();
         for &i in indices {
@@ -72,8 +90,10 @@ pub fn dc_ksg_mi(x_codes: &[u32], y: &[f64], k: usize) -> Result<f64> {
             continue;
         }
         let local_k = k.min(count - 1);
-        let group_y: Vec<f64> = indices.iter().map(|&i| y[i]).collect();
-        let dists = kth_nn_distances_1d(&group_y, local_k);
+        group_y.clear();
+        group_y.extend(indices.iter().map(|&i| y[i]));
+        ws.y_marginal.prepare(&group_y);
+        let dists = ws.y_marginal.kth_nn_distances(local_k);
         for (pos, &i) in indices.iter().enumerate() {
             // Shrink the radius infinitesimally (scikit-learn's nextafter
             // trick) so the full-data count is strictly inside the k-th
@@ -83,21 +103,38 @@ pub fn dc_ksg_mi(x_codes: &[u32], y: &[f64], k: usize) -> Result<f64> {
             k_used[i] = local_k;
         }
     }
+    ws.scratch = group_y;
 
-    let counter = MarginalCounter::new(y);
+    // Parallel deterministic accumulation over the full-data neighbour
+    // counts: fixed chunks, per-chunk partial sums, ordered reduction — and
+    // each count starts from the point's own rank in the sorted y marginal
+    // instead of two full-range binary searches.
+    ws.prepare_y_marginal(y);
+    let y_marginal = &ws.y_marginal;
+    let partials = joinmi_par::par_map_ranges(y.len(), ACC_CHUNK, |range| {
+        let mut used = 0usize;
+        let (mut psi_k, mut psi_label, mut psi_m) = (0.0f64, 0.0f64, 0.0f64);
+        for i in range {
+            if group_size[i] < 2 {
+                continue;
+            }
+            used += 1;
+            let m = y_marginal.count_within(i, radius[i]).max(1);
+            psi_k += digamma(k_used[i] as f64);
+            psi_label += digamma(group_size[i] as f64);
+            psi_m += digamma(m as f64);
+        }
+        (used, psi_k, psi_label, psi_m)
+    });
     let mut n_used = 0usize;
     let mut sum_psi_k = 0.0;
     let mut sum_psi_label = 0.0;
     let mut sum_psi_m = 0.0;
-    for i in 0..y.len() {
-        if group_size[i] < 2 {
-            continue;
-        }
-        n_used += 1;
-        let m = counter.count_within(y[i], radius[i]).max(1);
-        sum_psi_k += digamma(k_used[i] as f64);
-        sum_psi_label += digamma(group_size[i] as f64);
-        sum_psi_m += digamma(m as f64);
+    for (used, psi_k, psi_label, psi_m) in partials {
+        n_used += used;
+        sum_psi_k += psi_k;
+        sum_psi_label += psi_label;
+        sum_psi_m += psi_m;
     }
 
     if n_used == 0 {

@@ -1,0 +1,330 @@
+//! Block-batched window-expansion kernels.
+//!
+//! The scalar expansion pulls **one** candidate per iteration, with a branch
+//! deciding the side, a gather through the `order` permutation, and a heap
+//! offer — none of which a compiler can vectorize. The blocked kernels here
+//! restructure the inner loop:
+//!
+//! * coordinates are pre-gathered into x-sorted arrays once per call
+//!   ([`super::SortedJoint`]), so the window reads are contiguous;
+//! * candidates are pulled in blocks of [`BLOCK`] per side and their
+//!   Chebyshev distances are computed by [`block_dists`], a straight-line
+//!   composition of the 4-wide [`lanes`](super::lanes) helpers that LLVM
+//!   lowers to packed SIMD (`#[inline(never)]` keeps it a separate
+//!   optimization unit — inlined into the branchy expansion loop, the SLP
+//!   vectorizer gives up and emits scalar code);
+//! * a whole block is pruned against the current k-th-best threshold with a
+//!   single compare of its lane minimum; only surviving blocks fall back to
+//!   per-element [`KthAccumulator::offer`];
+//! * the production neighbour counts (`DEFAULT_K` = 3) keep their top-k in a
+//!   register-resident sorted array ([`SmallTopK`]) instead of a heap.
+//!
+//! Correctness does not depend on the visit order: the k-th smallest element
+//! of a distance multiset is unique, and a block is only skipped when every
+//! distance in it provably exceeds the current k-th best (x-distances grow
+//! monotonically away from the query position, and the Chebyshev distance is
+//! bounded below by the x-distance). The blocked kernels are therefore
+//! **bit-for-bit identical** to the scalar oracles — pinned by the tests in
+//! [`super`] and by the `knn_blocked_*` proptests.
+
+use super::heap::{BoundedMaxHeap, KthAccumulator, SmallTopK, SMALL_TOP_K_MAX};
+use super::lanes;
+use super::lanes::LANES;
+
+/// Candidates pulled from one side per expansion step: two lane batches.
+const BLOCK: usize = 2 * LANES;
+
+/// Per-point loops shorter than this run sequentially — below it, the scoped
+/// spawn + chunk coordination of `joinmi_par` costs more than the work (the
+/// per-group 1-D searches inside DC-KSG are the common small case). The
+/// per-item code is identical on both paths, so the cutoff never changes
+/// results.
+const PAR_CUTOFF: usize = 512;
+
+/// Maps `f` over `0..n` with a per-worker scratch, sequentially below
+/// [`PAR_CUTOFF`].
+fn map_index_with<S, U, I, F>(n: usize, init: I, f: F) -> Vec<U>
+where
+    S: Send,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> U + Sync,
+{
+    if n < PAR_CUTOFF {
+        let mut scratch = init();
+        (0..n).map(|i| f(&mut scratch, i)).collect()
+    } else {
+        joinmi_par::par_map_index_with(n, init, f)
+    }
+}
+
+/// Chebyshev distances of one block of candidates to the query `(xi, yi)`.
+///
+/// `#[inline(never)]` is load-bearing: as its own codegen unit this compiles
+/// to packed `subpd`/`andpd`/`maxpd`; inlined into the expansion loop's
+/// control flow, LLVM's SLP vectorizer emits unrolled scalar code instead
+/// (measured, not speculation).
+#[inline(never)]
+fn block_dists(x: &[f64; BLOCK], y: &[f64; BLOCK], xi: f64, yi: f64) -> [f64; BLOCK] {
+    let lo = lanes::chebyshev(
+        x[..LANES].try_into().expect("half block"),
+        y[..LANES].try_into().expect("half block"),
+        xi,
+        yi,
+    );
+    let hi = lanes::chebyshev(
+        x[LANES..].try_into().expect("half block"),
+        y[LANES..].try_into().expect("half block"),
+        xi,
+        yi,
+    );
+    let mut d = [0.0f64; BLOCK];
+    d[..LANES].copy_from_slice(&lo);
+    d[LANES..].copy_from_slice(&hi);
+    d
+}
+
+/// Horizontal minimum of a block (pairwise across the two lane halves).
+#[inline(always)]
+fn block_min(d: &[f64; BLOCK]) -> f64 {
+    let m = [
+        d[0].min(d[4]),
+        d[1].min(d[5]),
+        d[2].min(d[6]),
+        d[3].min(d[7]),
+    ];
+    lanes::min_lane(&m)
+}
+
+/// Offers one full block: one packed distance computation, one min-compare to
+/// prune the whole block, per-element offers only for surviving blocks.
+#[inline(always)]
+fn offer_block<A: KthAccumulator>(
+    x: &[f64; BLOCK],
+    y: &[f64; BLOCK],
+    xi: f64,
+    yi: f64,
+    acc: &mut A,
+) {
+    let d = block_dists(x, y, xi, yi);
+    // threshold() is +inf while the accumulator is filling, so nothing is
+    // skipped early; once full, only a distance below the k-th best matters.
+    if block_min(&d) < acc.threshold() {
+        for &dist in &d {
+            acc.offer(dist);
+        }
+    }
+}
+
+/// Scalar tail for the (at most `BLOCK − 1`) candidates left at an array end.
+#[inline(always)]
+fn offer_tail<A: KthAccumulator>(xs: &[f64], ys: &[f64], xi: f64, yi: f64, acc: &mut A) {
+    for (&x, &y) in xs.iter().zip(ys) {
+        acc.offer((x - xi).abs().max((y - yi).abs()));
+    }
+}
+
+/// The Chebyshev k-th-NN distance of the point at sorted position `p`, over
+/// coordinates laid out in x-sorted order.
+///
+/// Expansion is **lockstep**: each round pulls one block from *every* side
+/// whose nearest unvisited x-distance is still within the threshold, instead
+/// of branching per candidate to pick the nearer side. The per-candidate
+/// side-selection branch of the scalar kernel is data-dependent and
+/// mispredicts constantly; the lockstep round structure replaces it with two
+/// predictable per-round checks. A side may overshoot the optimal window by
+/// at most one block, which the block prune rejects with a single compare —
+/// and since every candidate with a distance below the final k-th best is
+/// still visited, the result is exact.
+fn chebyshev_kth_at<A: KthAccumulator>(
+    x_by_rank: &[f64],
+    y_by_rank: &[f64],
+    p: usize,
+    acc: &mut A,
+) -> f64 {
+    let n = x_by_rank.len();
+    let (xi, yi) = (x_by_rank[p], y_by_rank[p]);
+    acc.reset();
+
+    // Unvisited candidates: [0, left) on the left, [right, n) on the right.
+    // While the accumulator is filling its threshold is +inf, so both sides
+    // stay alive until they are exhausted; afterwards a side dies as soon as
+    // its nearest unvisited x-distance (a lower bound for everything further
+    // out — the arrays are sorted) exceeds the current k-th best.
+    let mut left = p;
+    let mut right = p + 1;
+    loop {
+        let threshold = acc.threshold();
+        let left_alive = left > 0 && xi - x_by_rank[left - 1] <= threshold;
+        let right_alive = right < n && x_by_rank[right] - xi <= threshold;
+        if !left_alive && !right_alive {
+            break;
+        }
+
+        if left_alive {
+            if left >= BLOCK {
+                let lo = left - BLOCK;
+                offer_block(
+                    x_by_rank[lo..left].try_into().expect("full block"),
+                    y_by_rank[lo..left].try_into().expect("full block"),
+                    xi,
+                    yi,
+                    acc,
+                );
+                left = lo;
+            } else {
+                offer_tail(&x_by_rank[..left], &y_by_rank[..left], xi, yi, acc);
+                left = 0;
+            }
+        }
+        if right_alive {
+            // The left pull may have tightened the threshold; re-check before
+            // spending a block on the right side.
+            let threshold = acc.threshold();
+            if x_by_rank[right] - xi <= threshold {
+                if n - right >= BLOCK {
+                    let hi = right + BLOCK;
+                    offer_block(
+                        x_by_rank[right..hi].try_into().expect("full block"),
+                        y_by_rank[right..hi].try_into().expect("full block"),
+                        xi,
+                        yi,
+                        acc,
+                    );
+                    right = hi;
+                } else {
+                    offer_tail(&x_by_rank[right..], &y_by_rank[right..], xi, yi, acc);
+                    right = n;
+                }
+            }
+        }
+    }
+    acc.result()
+}
+
+/// Chebyshev k-th-NN distances for every point, returned in **original index
+/// order** (`pos[i]` is point `i`'s rank in the x-sorted layout).
+///
+/// Small `k` (every production call: `DEFAULT_K` = 3) uses the register
+/// top-k accumulator; larger `k` the bounded max-heap. Both keep the k
+/// smallest offered distances, so the choice never changes the result.
+pub(crate) fn chebyshev_kth_all(
+    x_by_rank: &[f64],
+    y_by_rank: &[f64],
+    pos: &[usize],
+    k: usize,
+) -> Vec<f64> {
+    if k <= SMALL_TOP_K_MAX {
+        map_index_with(
+            pos.len(),
+            || SmallTopK::new(k),
+            |acc, i| chebyshev_kth_at(x_by_rank, y_by_rank, pos[i], acc),
+        )
+    } else {
+        map_index_with(
+            pos.len(),
+            || BoundedMaxHeap::new(k),
+            |acc, i| chebyshev_kth_at(x_by_rank, y_by_rank, pos[i], acc),
+        )
+    }
+}
+
+/// The 1-D k-th-NN distance of the value at sorted position `p`.
+///
+/// In one dimension the k nearest neighbours of a sorted sample always form a
+/// contiguous window around the query, so instead of expanding greedily one
+/// element at a time the kernel evaluates **all** candidate windows
+/// `[s, s + k]` containing `p` in a single straight-line min-of-max loop over
+/// contiguous memory — branch-free and autovectorizable.
+#[inline]
+fn kth_1d_at(sorted: &[f64], p: usize, k: usize) -> f64 {
+    let n = sorted.len();
+    let v = sorted[p];
+    let lo = p.saturating_sub(k);
+    let hi = p.min(n - 1 - k);
+    let mut best = f64::INFINITY;
+    for s in lo..=hi {
+        let d = (v - sorted[s]).max(sorted[s + k] - v);
+        best = best.min(d);
+    }
+    best
+}
+
+/// 1-D k-th-NN distances for every sorted position (scatter back to original
+/// index order is the caller's cheap O(n) pass).
+pub(crate) fn kth_1d_by_position(sorted: &[f64], k: usize) -> Vec<f64> {
+    let n = sorted.len();
+    if n < PAR_CUTOFF {
+        (0..n).map(|p| kth_1d_at(sorted, p, k)).collect()
+    } else {
+        joinmi_par::par_map_index(n, |p| kth_1d_at(sorted, p, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_prune_never_drops_a_winner() {
+        // A block whose minimum beats the threshold must be offered fully:
+        // craft a block where only the last element improves the heap.
+        let mut heap = BoundedMaxHeap::new(1);
+        KthAccumulator::offer(&mut heap, 1.0);
+        let xs = [5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 0.1];
+        let ys = [5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 0.1];
+        offer_block(&xs, &ys, 0.0, 0.0, &mut heap);
+        assert_eq!(heap.max(), 0.1);
+    }
+
+    #[test]
+    fn block_dists_matches_scalar_formula_bitwise() {
+        let xs = [1.0, -2.0, 0.5, 10.0, -0.25, 3.5, 7.0, -9.0];
+        let ys = [0.0, 3.0, -0.5, -10.0, 2.5, -1.5, 4.0, 8.0];
+        let (xi, yi) = (0.25, -0.75);
+        let d = block_dists(&xs, &ys, xi, yi);
+        for j in 0..BLOCK {
+            let want = (xs[j] - xi).abs().max((ys[j] - yi).abs());
+            assert_eq!(d[j].to_bits(), want.to_bits(), "lane {j}");
+        }
+        assert_eq!(
+            block_min(&d),
+            d.iter().copied().fold(f64::INFINITY, f64::min)
+        );
+    }
+
+    #[test]
+    fn small_k_and_heap_accumulators_agree_through_the_kernel() {
+        let mut state = 0xacc_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            ((state >> 33) as f64) / f64::from(u32::MAX)
+        };
+        let n = 257;
+        let mut xs: Vec<f64> = (0..n).map(|_| next()).collect();
+        xs.sort_unstable_by(f64::total_cmp);
+        let ys: Vec<f64> = (0..n).map(|_| next() * 2.0).collect();
+        for k in 1..=SMALL_TOP_K_MAX {
+            let mut small = SmallTopK::new(k);
+            let mut heap = BoundedMaxHeap::new(k);
+            for p in (0..n).step_by(13) {
+                let a = chebyshev_kth_at(&xs, &ys, p, &mut small);
+                let b = chebyshev_kth_at(&xs, &ys, p, &mut heap);
+                assert_eq!(a.to_bits(), b.to_bits(), "k={k}, p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn kth_1d_window_scan_handles_boundaries() {
+        let sorted = [0.0, 1.0, 3.0, 7.0];
+        // k = 1: nearest-neighbour gaps.
+        assert_eq!(kth_1d_at(&sorted, 0, 1), 1.0);
+        assert_eq!(kth_1d_at(&sorted, 3, 1), 4.0);
+        // k = 3: the window is the whole array.
+        assert_eq!(kth_1d_at(&sorted, 0, 3), 7.0);
+        assert_eq!(kth_1d_at(&sorted, 2, 3), 4.0);
+    }
+}

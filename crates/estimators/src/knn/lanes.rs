@@ -1,0 +1,61 @@
+//! Fixed-width `f64` lane helpers for the blocked distance kernels.
+//!
+//! The build environment has no crate registry (no `wide`/`packed_simd`) and
+//! the pinned toolchain is stable (no `std::simd`), so lane widening is done
+//! the portable way: straight-line operations over `[f64; 4]` arrays with no
+//! data-dependent branches. LLVM lowers these loops to SIMD on every target
+//! with vector units (SSE2/AVX on x86-64, NEON on aarch64) and to plain
+//! scalar code elsewhere — the semantics are identical either way, so no
+//! `cfg(target_feature)` forks are needed to stay portable. If `std::simd`
+//! stabilizes, this module is the one place to swap in explicit vectors.
+
+/// Lane width of the helpers. Four doubles fill one AVX2 register (two SSE2 /
+/// NEON registers) and keep the remainder handling in [`super::blocked`]
+/// short.
+pub(crate) const LANES: usize = 4;
+
+/// One batch of values processed per helper call.
+pub(crate) type F64Lanes = [f64; LANES];
+
+/// Chebyshev distances of four candidate points to the query `(xi, yi)`:
+/// `max(|x_j − xi|, |y_j − yi|)` per lane, with no branches.
+#[inline]
+pub(crate) fn chebyshev(xs: &F64Lanes, ys: &F64Lanes, xi: f64, yi: f64) -> F64Lanes {
+    let mut out = [0.0f64; LANES];
+    for j in 0..LANES {
+        out[j] = (xs[j] - xi).abs().max((ys[j] - yi).abs());
+    }
+    out
+}
+
+/// Horizontal minimum of a lane batch (pairwise tree, short dependency
+/// chain). Distances are never NaN — validation rejects non-finite
+/// coordinates upstream — so `f64::min`'s NaN convention is irrelevant here.
+#[inline]
+pub(crate) fn min_lane(d: &F64Lanes) -> f64 {
+    d[0].min(d[1]).min(d[2].min(d[3]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chebyshev_matches_scalar_formula() {
+        let xs = [1.0, -2.0, 0.5, 10.0];
+        let ys = [0.0, 3.0, -0.5, -10.0];
+        let (xi, yi) = (0.25, -0.75);
+        let d = chebyshev(&xs, &ys, xi, yi);
+        for j in 0..LANES {
+            let want = (xs[j] - xi).abs().max((ys[j] - yi).abs());
+            assert_eq!(d[j].to_bits(), want.to_bits(), "lane {j}");
+        }
+    }
+
+    #[test]
+    fn min_lane_finds_the_smallest() {
+        assert_eq!(min_lane(&[4.0, 2.0, 8.0, 3.0]), 2.0);
+        assert_eq!(min_lane(&[1.0, 1.0, 1.0, 0.0]), 0.0);
+        assert_eq!(min_lane(&[f64::INFINITY, 5.0, 9.0, 7.0]), 5.0);
+    }
+}

@@ -9,8 +9,8 @@
 //! (excluding the query itself).
 
 use crate::error::EstimatorError;
-use crate::knn::{kth_nn_distances_chebyshev, MarginalCounter};
 use crate::special::digamma;
+use crate::workspace::{EstimatorWorkspace, ACC_CHUNK};
 use crate::Result;
 
 /// KSG estimate of `I(X; Y)` in nats for two continuous samples.
@@ -23,29 +23,43 @@ use crate::Result;
 /// back to counting exact ties (the same convention as MixedKSG), but if your
 /// data has many repeated values prefer [`crate::mixed_ksg::mixed_ksg_mi`].
 pub fn ksg_mi(x: &[f64], y: &[f64], k: usize) -> Result<f64> {
+    ksg_mi_with(&mut EstimatorWorkspace::new(), x, y, k)
+}
+
+/// [`ksg_mi`] against a caller-owned [`EstimatorWorkspace`], so batch callers
+/// reuse the sort buffers across estimates instead of reallocating.
+pub fn ksg_mi_with(ws: &mut EstimatorWorkspace, x: &[f64], y: &[f64], k: usize) -> Result<f64> {
     validate(x, y, k)?;
     let n = x.len();
     let n_f = n as f64;
 
-    let eps = kth_nn_distances_chebyshev(x, y, k);
-    let cx = MarginalCounter::new(x);
-    let cy = MarginalCounter::new(y);
+    ws.prepare_joint(x, y);
+    let eps = ws.joint.kth_nn_distances(k);
+    let joint = &ws.joint;
+    let y_marginal = &ws.y_marginal;
 
-    let mut acc = 0.0;
-    for i in 0..n {
-        let (nx, ny) = if eps[i] > 0.0 {
-            // Counts include the point itself, hence the "+1" of the formula
-            // is already incorporated (ψ(n_x + 1) with n_x excluding self).
-            (
-                cx.count_strictly_within(x[i], eps[i]),
-                cy.count_strictly_within(y[i], eps[i]),
-            )
-        } else {
-            // Degenerate neighbourhood: count exact ties instead.
-            (cx.count_equal(x[i], 0.0), cy.count_equal(y[i], 0.0))
-        };
-        acc += digamma(nx.max(1) as f64) + digamma(ny.max(1) as f64);
-    }
+    // Parallel deterministic accumulation: fixed-size chunks, one partial sum
+    // per chunk, reduced in chunk order — identical bits at any thread count.
+    let partials = joinmi_par::par_map_ranges(n, ACC_CHUNK, |range| {
+        let mut acc = 0.0;
+        for i in range {
+            let (nx, ny) = if eps[i] > 0.0 {
+                // Counts include the point itself, hence the "+1" of the
+                // formula is already incorporated (ψ(n_x + 1) with n_x
+                // excluding self).
+                (
+                    joint.x_count_strictly_within(i, eps[i]),
+                    y_marginal.count_strictly_within(i, eps[i]),
+                )
+            } else {
+                // Degenerate neighbourhood: count exact ties instead.
+                (joint.x_count_equal(i), y_marginal.count_equal(i))
+            };
+            acc += digamma(nx.max(1) as f64) + digamma(ny.max(1) as f64);
+        }
+        acc
+    });
+    let acc: f64 = partials.into_iter().sum();
 
     let mi = digamma(k as f64) + digamma(n_f) - acc / n_f;
     Ok(mi.max(0.0))

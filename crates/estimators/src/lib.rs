@@ -34,17 +34,21 @@ pub mod perturb;
 pub mod select;
 pub mod special;
 pub mod variable;
+pub mod workspace;
 
 pub use correlation::{pearson, spearman};
-pub use dc_ksg::dc_ksg_mi;
+pub use dc_ksg::{dc_ksg_mi, dc_ksg_mi_with};
 pub use entropy::{knn_entropy_1d, miller_madow_entropy, mle_entropy};
 pub use error::EstimatorError;
-pub use ksg::ksg_mi;
-pub use mixed_ksg::mixed_ksg_mi;
+pub use ksg::{ksg_mi, ksg_mi_with};
+pub use mixed_ksg::{mixed_ksg_mi, mixed_ksg_mi_with};
 pub use mle::{mle_mi, mle_mi_bias, smoothed_mle_mi};
-pub use perturb::perturb_ties;
-pub use select::{estimate_mi, select_estimator, EstimatorKind, MiEstimate};
+pub use perturb::{perturb_ties, perturb_ties_with};
+pub use select::{
+    estimate_mi, estimate_mi_with_workspace, select_estimator, EstimatorKind, MiEstimate,
+};
 pub use variable::{discretize, to_continuous, Variable};
+pub use workspace::EstimatorWorkspace;
 
 /// Result alias for estimator operations.
 pub type Result<T> = std::result::Result<T, EstimatorError>;

@@ -20,55 +20,75 @@
 //! (counts include the point itself, matching the authors' reference
 //! implementation).
 
+use joinmi_hash::FixedHashMap;
+
 use crate::error::EstimatorError;
-use crate::knn::{kth_nn_distances_chebyshev, MarginalCounter};
 use crate::special::digamma;
+use crate::workspace::{EstimatorWorkspace, ACC_CHUNK};
 use crate::Result;
 
 /// MixedKSG estimate of `I(X; Y)` in nats. Counts and radii follow the
 /// reference implementation of Gao et al.; the estimate is clamped at 0.
 pub fn mixed_ksg_mi(x: &[f64], y: &[f64], k: usize) -> Result<f64> {
+    mixed_ksg_mi_with(&mut EstimatorWorkspace::new(), x, y, k)
+}
+
+/// [`mixed_ksg_mi`] against a caller-owned [`EstimatorWorkspace`], so batch
+/// callers reuse the sort buffers across estimates instead of reallocating.
+pub fn mixed_ksg_mi_with(
+    ws: &mut EstimatorWorkspace,
+    x: &[f64],
+    y: &[f64],
+    k: usize,
+) -> Result<f64> {
     validate(x, y, k)?;
     let n = x.len();
     let n_f = n as f64;
 
-    let rho = kth_nn_distances_chebyshev(x, y, k);
-    let cx = MarginalCounter::new(x);
-    let cy = MarginalCounter::new(y);
+    ws.prepare_joint(x, y);
+    let rho = ws.joint.kth_nn_distances(k);
+    let joint = &ws.joint;
+    let y_marginal = &ws.y_marginal;
 
     // Joint tie counting needs exact-pair counts; build a counter keyed on
-    // both coordinates only if some radius is zero.
+    // both coordinate bit patterns only if some radius is zero. The fixed
+    // (deterministic, single-multiply) hasher matches every other bits-keyed
+    // hot map in the pipeline — SipHash buys nothing for trusted float bits.
     let needs_tie_counts = rho.contains(&0.0);
-    let joint_ties: Option<std::collections::HashMap<(u64, u64), usize>> =
-        needs_tie_counts.then(|| {
-            let mut map = std::collections::HashMap::new();
-            for i in 0..n {
-                *map.entry((x[i].to_bits(), y[i].to_bits())).or_insert(0) += 1;
-            }
-            map
-        });
+    let joint_ties: Option<FixedHashMap<(u64, u64), usize>> = needs_tie_counts.then(|| {
+        let mut map = FixedHashMap::default();
+        for i in 0..n {
+            *map.entry((x[i].to_bits(), y[i].to_bits())).or_insert(0) += 1;
+        }
+        map
+    });
 
-    let mut acc = 0.0;
-    for i in 0..n {
-        let (k_tilde, nx, ny) = if rho[i] == 0.0 {
-            let ties = joint_ties
-                .as_ref()
-                .and_then(|m| m.get(&(x[i].to_bits(), y[i].to_bits())).copied())
-                .unwrap_or(1);
-            (
-                ties as f64,
-                cx.count_equal(x[i], 0.0),
-                cy.count_equal(y[i], 0.0),
-            )
-        } else {
-            (
-                k as f64,
-                cx.count_strictly_within(x[i], rho[i]),
-                cy.count_strictly_within(y[i], rho[i]),
-            )
-        };
-        acc += digamma(k_tilde) + n_f.ln() - (nx.max(1) as f64).ln() - (ny.max(1) as f64).ln();
-    }
+    // Parallel deterministic accumulation (fixed chunks, ordered reduction).
+    let partials = joinmi_par::par_map_ranges(n, ACC_CHUNK, |range| {
+        let mut acc = 0.0;
+        for i in range {
+            let (k_tilde, nx, ny) = if rho[i] == 0.0 {
+                let ties = joint_ties
+                    .as_ref()
+                    .and_then(|m| m.get(&(x[i].to_bits(), y[i].to_bits())).copied())
+                    .unwrap_or(1);
+                (
+                    ties as f64,
+                    joint.x_count_equal(i),
+                    y_marginal.count_equal(i),
+                )
+            } else {
+                (
+                    k as f64,
+                    joint.x_count_strictly_within(i, rho[i]),
+                    y_marginal.count_strictly_within(i, rho[i]),
+                )
+            };
+            acc += digamma(k_tilde) + n_f.ln() - (nx.max(1) as f64).ln() - (ny.max(1) as f64).ln();
+        }
+        acc
+    });
+    let acc: f64 = partials.into_iter().sum();
 
     Ok((acc / n_f).max(0.0))
 }

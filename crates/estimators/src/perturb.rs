@@ -9,6 +9,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::workspace::EstimatorWorkspace;
+
 /// Returns a copy of `values` with low-magnitude Gaussian noise added.
 ///
 /// The noise standard deviation is `scale` times the smallest non-zero gap
@@ -17,11 +19,30 @@ use rand::{Rng, SeedableRng};
 /// breaks exact ties.
 #[must_use]
 pub fn perturb_ties(values: &[f64], scale: f64, seed: u64) -> Vec<f64> {
+    perturb_ties_in(&mut Vec::new(), values, scale, seed)
+}
+
+/// [`perturb_ties`] against a caller-owned [`EstimatorWorkspace`]: the sorted
+/// copy used for the minimum-gap scan lives in the workspace scratch buffer,
+/// so batch callers (the evaluation grids' DC-KSG mode) stop allocating one
+/// per trial.
+#[must_use]
+pub fn perturb_ties_with(
+    ws: &mut EstimatorWorkspace,
+    values: &[f64],
+    scale: f64,
+    seed: u64,
+) -> Vec<f64> {
+    perturb_ties_in(&mut ws.scratch, values, scale, seed)
+}
+
+fn perturb_ties_in(sorted: &mut Vec<f64>, values: &[f64], scale: f64, seed: u64) -> Vec<f64> {
     if values.is_empty() {
         return Vec::new();
     }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.clear();
+    sorted.extend_from_slice(values);
+    sorted.sort_unstable_by(f64::total_cmp);
     let mut min_gap = f64::INFINITY;
     for w in sorted.windows(2) {
         let gap = w[1] - w[0];
@@ -97,5 +118,17 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(perturb_ties(&[], 1e-6, 0).is_empty());
+    }
+
+    #[test]
+    fn workspace_variant_is_bit_identical() {
+        let mut ws = crate::workspace::EstimatorWorkspace::new();
+        let values = vec![1.0, 2.0, 2.0, 9.0, 9.0];
+        // Reused twice: the second call must not see the first call's state.
+        for seed in [3u64, 4] {
+            let fresh = perturb_ties(&values, 1e-6, seed);
+            let reused = perturb_ties_with(&mut ws, &values, 1e-6, seed);
+            assert_eq!(fresh, reused);
+        }
     }
 }

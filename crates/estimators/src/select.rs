@@ -15,11 +15,12 @@
 
 use std::fmt;
 
-use crate::dc_ksg::dc_ksg_mi;
+use crate::dc_ksg::dc_ksg_mi_with;
 use crate::error::EstimatorError;
-use crate::mixed_ksg::mixed_ksg_mi;
+use crate::mixed_ksg::mixed_ksg_mi_with;
 use crate::mle::{mle_mi, smoothed_mle_mi};
 use crate::variable::Variable;
+use crate::workspace::EstimatorWorkspace;
 use crate::{Result, DEFAULT_K};
 
 /// The available MI estimators.
@@ -91,6 +92,21 @@ pub fn estimate_mi_with(
     kind: EstimatorKind,
     k: usize,
 ) -> Result<MiEstimate> {
+    estimate_mi_with_workspace(&mut EstimatorWorkspace::new(), x, y, kind, k)
+}
+
+/// [`estimate_mi_with`] against a caller-owned [`EstimatorWorkspace`].
+///
+/// Batch callers (candidate scoring, evaluation grids) keep one workspace per
+/// worker so the KSG-family paths reuse their sort buffers across estimates;
+/// the MLE paths ignore the workspace.
+pub fn estimate_mi_with_workspace(
+    ws: &mut EstimatorWorkspace,
+    x: &Variable,
+    y: &Variable,
+    kind: EstimatorKind,
+    k: usize,
+) -> Result<MiEstimate> {
     if x.len() != y.len() {
         return Err(EstimatorError::LengthMismatch {
             x_len: x.len(),
@@ -101,11 +117,19 @@ pub fn estimate_mi_with(
     let mi = match kind {
         EstimatorKind::Mle => mle_mi(&force_codes(x), &force_codes(y))?,
         EstimatorKind::SmoothedMle => smoothed_mle_mi(&force_codes(x), &force_codes(y), 1.0)?,
-        EstimatorKind::Ksg => crate::ksg::ksg_mi(&x.as_continuous(), &y.as_continuous(), k)?,
-        EstimatorKind::MixedKsg => mixed_ksg_mi(&x.as_continuous(), &y.as_continuous(), k)?,
+        EstimatorKind::Ksg => {
+            crate::ksg::ksg_mi_with(ws, &x.as_continuous(), &y.as_continuous(), k)?
+        }
+        EstimatorKind::MixedKsg => {
+            mixed_ksg_mi_with(ws, &x.as_continuous(), &y.as_continuous(), k)?
+        }
         EstimatorKind::DcKsg => match (x, y) {
-            (Variable::Discrete(codes), other) => dc_ksg_mi(codes, &other.as_continuous(), k)?,
-            (other, Variable::Discrete(codes)) => dc_ksg_mi(codes, &other.as_continuous(), k)?,
+            (Variable::Discrete(codes), other) => {
+                dc_ksg_mi_with(ws, codes, &other.as_continuous(), k)?
+            }
+            (other, Variable::Discrete(codes)) => {
+                dc_ksg_mi_with(ws, codes, &other.as_continuous(), k)?
+            }
             (Variable::Continuous(_), Variable::Continuous(_)) => {
                 return Err(EstimatorError::IncompatibleTypes {
                     estimator: "DC-KSG".to_owned(),

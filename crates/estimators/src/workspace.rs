@@ -1,0 +1,112 @@
+//! The shared sort-once workspace for the KSG-family estimators.
+//!
+//! Before PR 4, one `ksg_mi` call sorted its input columns up to three times:
+//! the joint k-NN search sorted an index order by x, and each
+//! [`MarginalCounter`](crate::knn::MarginalCounter) re-sorted a fresh copy of
+//! x and y. [`EstimatorWorkspace`] hoists all of that into two prepared
+//! views — an x-sorted [`SortedJoint`](crate::knn) whose sorted-x copy
+//! doubles as the x marginal, and a [`RankedMarginal`](crate::knn) for y —
+//! so every column is sorted **exactly once per estimate**, every marginal
+//! count starts from the point's already-known rank, and all buffers
+//! (index orders, ranks, sorted copies, scratch) are **reused across
+//! estimates** instead of reallocated.
+//!
+//! The `*_mi_with` estimator variants ([`crate::ksg::ksg_mi_with`],
+//! [`crate::mixed_ksg::mixed_ksg_mi_with`],
+//! [`crate::dc_ksg::dc_ksg_mi_with`]) take a `&mut EstimatorWorkspace`;
+//! the classic free functions wrap them with a throwaway workspace. Batch
+//! callers — candidate scoring in discovery, the evaluation grids — keep one
+//! workspace per [`joinmi_par`] worker (`par_map_with`), so a query scoring
+//! hundreds of candidates pays the allocation cost once per worker, not once
+//! per candidate.
+//!
+//! A workspace carries no results, only layout: re-`prepare`-ing it for a new
+//! sample fully overwrites the previous state, so reuse can never change an
+//! estimate (pinned by tests here and in `tests/parallel_determinism.rs`).
+
+use crate::knn::{RankedMarginal, SortedJoint};
+
+/// Fixed chunk length for the estimators' parallel accumulation loops.
+///
+/// Chunk boundaries must depend only on this constant — never on the worker
+/// count — so the fixed-order reduction of per-chunk partial sums is
+/// bit-for-bit identical across thread counts (see
+/// [`joinmi_par::par_map_ranges`]).
+pub(crate) const ACC_CHUNK: usize = 1024;
+
+/// Reusable sort-once state shared by the KSG-family estimators.
+///
+/// See the [module docs](self) for the full story. Construct once (cheap:
+/// empty buffers), then pass to any number of `*_mi_with` calls.
+#[derive(Debug, Clone, Default)]
+pub struct EstimatorWorkspace {
+    /// X-sorted joint view; its sorted-x copy doubles as the x marginal.
+    pub(crate) joint: SortedJoint,
+    /// Value-sorted y marginal with per-point ranks.
+    pub(crate) y_marginal: RankedMarginal,
+    /// Generic f64 scratch (DC-KSG group gather, perturbation sort buffer).
+    pub(crate) scratch: Vec<f64>,
+}
+
+impl EstimatorWorkspace {
+    /// Creates an empty workspace (no allocations until first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares the joint view and the y marginal for a continuous pair.
+    pub(crate) fn prepare_joint(&mut self, x: &[f64], y: &[f64]) {
+        self.joint.prepare(x, y);
+        self.y_marginal.prepare(y);
+    }
+
+    /// Prepares only the y marginal (DC-KSG has a discrete x side).
+    pub(crate) fn prepare_y_marginal(&mut self, y: &[f64]) {
+        self.y_marginal.prepare(y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dc_ksg_mi, ksg_mi, mixed_ksg_mi};
+    use crate::{dc_ksg_mi_with, ksg_mi_with, mixed_ksg_mi_with};
+
+    fn lcg(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1);
+                ((state >> 33) as f64) / f64::from(u32::MAX)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_workspace_bitwise() {
+        // One workspace threaded through heterogeneous estimates (different
+        // sizes, estimators, tie structures) must give the exact bits a fresh
+        // workspace gives.
+        let mut ws = EstimatorWorkspace::new();
+        let samples: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (lcg(1, 500), lcg(2, 500)),
+            (lcg(3, 64), lcg(4, 64)),
+            (
+                lcg(5, 300).iter().map(|v| (v * 5.0).floor()).collect(),
+                lcg(6, 300),
+            ),
+        ];
+        for (x, y) in &samples {
+            let reused = ksg_mi_with(&mut ws, x, y, 3).unwrap();
+            assert_eq!(reused.to_bits(), ksg_mi(x, y, 3).unwrap().to_bits());
+            let reused = mixed_ksg_mi_with(&mut ws, x, y, 3).unwrap();
+            assert_eq!(reused.to_bits(), mixed_ksg_mi(x, y, 3).unwrap().to_bits());
+            let codes: Vec<u32> = x.iter().map(|v| (v.abs() as u32) % 4).collect();
+            let reused = dc_ksg_mi_with(&mut ws, &codes, y, 3).unwrap();
+            assert_eq!(reused.to_bits(), dc_ksg_mi(&codes, y, 3).unwrap().to_bits());
+        }
+    }
+}

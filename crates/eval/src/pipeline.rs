@@ -5,7 +5,10 @@
 //! sketches with one strategy, join them, and estimate MI with one estimator.
 //! The full-join baseline applies the same estimator to all generated pairs.
 
-use joinmi_estimators::{dc_ksg_mi, discretize, mixed_ksg_mi, mle_mi, perturb_ties, DEFAULT_K};
+use joinmi_estimators::{
+    dc_ksg_mi_with, discretize, mixed_ksg_mi_with, mle_mi, perturb_ties_with, EstimatorWorkspace,
+    DEFAULT_K,
+};
 use joinmi_sketch::{ColumnSketch, JoinedSketch, SketchConfig, SketchKind};
 use joinmi_synth::DecomposedPair;
 use joinmi_table::Value;
@@ -50,6 +53,20 @@ impl EstimatorMode {
     /// way the paper discards meaningless estimates.
     #[must_use]
     pub fn estimate(self, xs: &[Value], ys: &[Value], seed: u64) -> Option<f64> {
+        self.estimate_in(&mut EstimatorWorkspace::new(), xs, ys, seed)
+    }
+
+    /// [`estimate`](Self::estimate) against a caller-owned
+    /// [`EstimatorWorkspace`]: grid runners keep one workspace per worker so
+    /// every trial on that worker reuses the estimator sort buffers.
+    #[must_use]
+    pub fn estimate_in(
+        self,
+        ws: &mut EstimatorWorkspace,
+        xs: &[Value],
+        ys: &[Value],
+        seed: u64,
+    ) -> Option<f64> {
         if xs.len() != ys.len() || xs.len() < DEFAULT_K + 2 {
             return None;
         }
@@ -58,15 +75,15 @@ impl EstimatorMode {
             Self::MixedKsg => {
                 let xf = to_f64(xs)?;
                 let yf = to_f64(ys)?;
-                mixed_ksg_mi(&xf, &yf, DEFAULT_K).ok()
+                mixed_ksg_mi_with(ws, &xf, &yf, DEFAULT_K).ok()
             }
             Self::DcKsg => {
                 let codes = discretize(xs);
                 let yf = to_f64(ys)?;
                 // Break ties so the "continuous" side satisfies the
                 // estimator's assumptions (Section V-A perturbation).
-                let yf = perturb_ties(&yf, 1e-9, seed);
-                dc_ksg_mi(&codes, &yf, DEFAULT_K).ok()
+                let yf = perturb_ties_with(ws, &yf, 1e-9, seed);
+                dc_ksg_mi_with(ws, &codes, &yf, DEFAULT_K).ok()
             }
         }
     }
@@ -128,6 +145,7 @@ fn build_sketch_pair(
 
 /// Joins a sketch pair and applies the trial's estimator.
 fn estimate_from_sketches(
+    ws: &mut EstimatorWorkspace,
     left: &ColumnSketch,
     right: &ColumnSketch,
     trial: &SketchTrial,
@@ -135,7 +153,7 @@ fn estimate_from_sketches(
     let joined: JoinedSketch = left.join(right);
     let estimate = trial
         .mode
-        .estimate(joined.xs(), joined.ys(), trial.config.seed)?;
+        .estimate_in(ws, joined.xs(), joined.ys(), trial.config.seed)?;
     Some(TrialOutcome {
         estimate,
         join_size: joined.len(),
@@ -149,8 +167,18 @@ fn estimate_from_sketches(
 /// estimator.
 #[must_use]
 pub fn sketch_estimate(pair: &DecomposedPair, trial: &SketchTrial) -> Option<TrialOutcome> {
+    sketch_estimate_in(&mut EstimatorWorkspace::new(), pair, trial)
+}
+
+/// [`sketch_estimate`] against a caller-owned [`EstimatorWorkspace`].
+#[must_use]
+pub fn sketch_estimate_in(
+    ws: &mut EstimatorWorkspace,
+    pair: &DecomposedPair,
+    trial: &SketchTrial,
+) -> Option<TrialOutcome> {
     let (left, right) = build_sketch_pair(pair, trial)?;
-    estimate_from_sketches(&left, &right, trial)
+    estimate_from_sketches(ws, &left, &right, trial)
 }
 
 /// Like [`sketch_estimate`], but round-trips both sketches through the
@@ -163,6 +191,17 @@ pub fn sketch_estimate_persisted(
     pair: &DecomposedPair,
     trial: &SketchTrial,
 ) -> Option<TrialOutcome> {
+    sketch_estimate_persisted_in(&mut EstimatorWorkspace::new(), pair, trial)
+}
+
+/// [`sketch_estimate_persisted`] against a caller-owned
+/// [`EstimatorWorkspace`].
+#[must_use]
+pub fn sketch_estimate_persisted_in(
+    ws: &mut EstimatorWorkspace,
+    pair: &DecomposedPair,
+    trial: &SketchTrial,
+) -> Option<TrialOutcome> {
     let (left, right) = build_sketch_pair(pair, trial)?;
     let round_trip = |sketch: &ColumnSketch| -> Option<ColumnSketch> {
         let mut buf = Vec::new();
@@ -171,7 +210,7 @@ pub fn sketch_estimate_persisted(
     };
     let left = round_trip(&left)?;
     let right = round_trip(&right)?;
-    estimate_from_sketches(&left, &right, trial)
+    estimate_from_sketches(ws, &left, &right, trial)
 }
 
 /// One cell of an experiment grid: which decomposed pair to sketch (an index
@@ -187,9 +226,11 @@ pub type GridCell = (usize, SketchTrial);
 /// product as cells so that one work queue load-balances the whole grid.
 #[must_use]
 pub fn run_grid(pairs: &[DecomposedPair], cells: &[GridCell]) -> Vec<Option<TrialOutcome>> {
-    joinmi_par::par_map(cells, |&(pair_index, trial)| {
-        sketch_estimate(&pairs[pair_index], &trial)
-    })
+    joinmi_par::par_map_with(
+        cells,
+        EstimatorWorkspace::new,
+        |ws, &(pair_index, trial)| sketch_estimate_in(ws, &pairs[pair_index], &trial),
+    )
 }
 
 /// The persisted-repository variant of [`run_grid`]: every trial's sketches
@@ -202,9 +243,11 @@ pub fn run_grid_persisted(
     pairs: &[DecomposedPair],
     cells: &[GridCell],
 ) -> Vec<Option<TrialOutcome>> {
-    joinmi_par::par_map(cells, |&(pair_index, trial)| {
-        sketch_estimate_persisted(&pairs[pair_index], &trial)
-    })
+    joinmi_par::par_map_with(
+        cells,
+        EstimatorWorkspace::new,
+        |ws, &(pair_index, trial)| sketch_estimate_persisted_in(ws, &pairs[pair_index], &trial),
+    )
 }
 
 /// Runs the sketch join only (no estimation) — used by experiments that only

@@ -257,6 +257,33 @@ where
     flatten(chunks, items.len())
 }
 
+/// Maps `f` over fixed-size chunks of `0..len` in parallel, returning **one
+/// output per chunk** in chunk-index order.
+///
+/// Unlike the per-item maps, the chunk boundaries here depend only on
+/// `chunk_size` — never on the worker count — so a fixed-order reduction over
+/// the outputs (e.g. summing per-chunk partial sums left to right) is
+/// bit-for-bit identical across thread counts. This is the primitive behind
+/// the estimators' parallel deterministic accumulation loops.
+pub fn par_map_ranges<U, F>(len: usize, chunk_size: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(std::ops::Range<usize>) -> U + Sync,
+{
+    let chunk_size = chunk_size.max(1);
+    let chunks = run_chunks_with(
+        len.div_ceil(chunk_size),
+        num_threads(),
+        || (),
+        |(), c| {
+            let start = c * chunk_size;
+            let end = (start + chunk_size).min(len);
+            vec![f(start..end)]
+        },
+    );
+    chunks.into_iter().flatten().collect()
+}
+
 /// Maps `f` over the index range `0..n` in parallel, in index order.
 pub fn par_map_index<U, F>(n: usize, f: F) -> Vec<U>
 where
@@ -366,6 +393,40 @@ mod tests {
         for (pos, &(i, count)) in outputs.iter().enumerate() {
             assert_eq!(i, pos);
             assert!(count >= 1);
+        }
+    }
+
+    #[test]
+    fn par_map_ranges_covers_every_index_once() {
+        for len in [0usize, 1, 7, 1000] {
+            for chunk in [1usize, 3, 256, 5000] {
+                let ranges = with_threads(4, || par_map_ranges(len, chunk, |r| r));
+                let flat: Vec<usize> = ranges.into_iter().flatten().collect();
+                let want: Vec<usize> = (0..len).collect();
+                assert_eq!(flat, want, "len={len}, chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_ranges_chunk_boundaries_do_not_depend_on_threads() {
+        // The determinism contract: identical chunking (and therefore an
+        // identical fixed-order float reduction) at any worker count.
+        let values: Vec<f64> = (0..10_007).map(|i| (i as f64).sqrt()).collect();
+        let sum_with = |threads: usize| {
+            with_threads(threads, || {
+                par_map_ranges(values.len(), 512, |r| values[r].iter().sum::<f64>())
+                    .into_iter()
+                    .sum::<f64>()
+            })
+        };
+        let t1 = sum_with(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(
+                t1.to_bits(),
+                sum_with(threads).to_bits(),
+                "threads={threads}"
+            );
         }
     }
 

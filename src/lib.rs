@@ -71,7 +71,7 @@ pub mod prelude {
     pub use joinmi_discovery::{
         AugmentationPlan, CandidateSource, RelationshipQuery, RepositorySnapshot, TableRepository,
     };
-    pub use joinmi_estimators::{EstimatorKind, MiEstimate};
+    pub use joinmi_estimators::{EstimatorKind, EstimatorWorkspace, MiEstimate};
     pub use joinmi_sketch::{
         Aggregation as SketchAggregation, ColumnSketch, JoinedSketch, SketchConfig, SketchKind,
     };

@@ -105,6 +105,91 @@ fn knn_kernels_are_bitwise_identical_across_thread_counts() {
 }
 
 #[test]
+fn ksg_family_estimators_are_bitwise_identical_across_thread_counts() {
+    // PR 4 made the estimator accumulation loops parallel (fixed chunks,
+    // ordered reduction): the estimates must not move by a single bit when
+    // the worker count changes.
+    let mut state = 0xeb1_u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
+        ((state >> 33) as f64) / f64::from(u32::MAX)
+    };
+    let n = 3000;
+    let xs: Vec<f64> = (0..n).map(|_| next()).collect();
+    // Mixture column: heavy exact ties (the non-unique-join regime), so the
+    // ρ_i = 0 fallback paths run too.
+    let xs_tied: Vec<f64> = xs.iter().map(|v| (v * 12.0).floor()).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x + next()).collect();
+    let codes: Vec<u32> = xs.iter().map(|v| (v * 5.0) as u32).collect();
+
+    for k in [1usize, 3, 5] {
+        let seq = with_threads(1, || {
+            (
+                joinmi::estimators::ksg_mi(&xs, &ys, k).unwrap(),
+                joinmi::estimators::mixed_ksg_mi(&xs_tied, &ys, k).unwrap(),
+                joinmi::estimators::dc_ksg_mi(&codes, &ys, k).unwrap(),
+            )
+        });
+        let par = with_threads(4, || {
+            (
+                joinmi::estimators::ksg_mi(&xs, &ys, k).unwrap(),
+                joinmi::estimators::mixed_ksg_mi(&xs_tied, &ys, k).unwrap(),
+                joinmi::estimators::dc_ksg_mi(&codes, &ys, k).unwrap(),
+            )
+        });
+        assert_eq!(seq.0.to_bits(), par.0.to_bits(), "ksg k={k}");
+        assert_eq!(seq.1.to_bits(), par.1.to_bits(), "mixed_ksg k={k}");
+        assert_eq!(seq.2.to_bits(), par.2.to_bits(), "dc_ksg k={k}");
+    }
+}
+
+#[test]
+fn blocked_kernels_match_scalar_oracles_bitwise() {
+    // The blocked, lane-widened window expansion must agree with the
+    // pre-refactor scalar expansion to the last bit, including under heavy
+    // ties, at every thread count.
+    use joinmi::estimators::knn::{kth_nn_distances_1d_scalar, kth_nn_distances_chebyshev_scalar};
+    let mut state = 0xb10c_u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
+        ((state >> 33) as f64) / f64::from(u32::MAX)
+    };
+    let n = 2000;
+    let xs: Vec<f64> = (0..n).map(|_| (next() * 40.0).floor() / 4.0).collect();
+    let ys: Vec<f64> = (0..n).map(|_| next() * 3.0).collect();
+    for threads in [1usize, 4] {
+        for k in [1usize, 3, 6] {
+            let (blocked_2d, scalar_2d, blocked_1d, scalar_1d) = with_threads(threads, || {
+                (
+                    kth_nn_distances_chebyshev(&xs, &ys, k),
+                    kth_nn_distances_chebyshev_scalar(&xs, &ys, k),
+                    kth_nn_distances_1d(&xs, k),
+                    kth_nn_distances_1d_scalar(&xs, k),
+                )
+            });
+            assert!(
+                blocked_2d
+                    .iter()
+                    .zip(&scalar_2d)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "2d threads={threads} k={k}"
+            );
+            assert!(
+                blocked_1d
+                    .iter()
+                    .zip(&scalar_1d)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "1d threads={threads} k={k}"
+            );
+        }
+    }
+}
+
+#[test]
 fn mi_estimation_is_reproducible_bit_for_bit() {
     // The digest-keyed maps and fixed-hasher contingency tables make repeated
     // estimates identical — not merely approximately equal.

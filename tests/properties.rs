@@ -2,8 +2,13 @@
 //! estimator invariants, sketch size bounds, join semantics, and the
 //! relational substrate.
 
-use joinmi::estimators::{mle_mi, smoothed_mle_mi};
+use joinmi::estimators::knn::{
+    kth_nn_distances_1d, kth_nn_distances_1d_scalar, kth_nn_distances_chebyshev,
+    kth_nn_distances_chebyshev_bruteforce, kth_nn_distances_chebyshev_scalar,
+};
+use joinmi::estimators::{mixed_ksg_mi, mle_mi, smoothed_mle_mi};
 use joinmi::hash::{KeyHasher, UnitHasher};
+use joinmi::par::with_threads;
 use joinmi::prelude::*;
 use joinmi::sketch::BoundedMinSet;
 use joinmi::table::{
@@ -18,6 +23,31 @@ fn paired_codes() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
             proptest::collection::vec(0u32..8, len),
             proptest::collection::vec(0u32..8, len),
         )
+    })
+}
+
+/// Strategy for heavy-tie mixture coordinate pairs: the feature columns a
+/// left join on non-unique keys produces — every value is drawn from a small
+/// set of levels plus an optional continuous jitter, so many points coincide
+/// exactly (`ρ_i = 0` for entire groups) while others stay distinct.
+fn heavy_tie_points() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (8usize..120, 1u32..6, 0u8..2).prop_flat_map(|(len, levels, jitter)| {
+        let coord = proptest::collection::vec((0u32..levels, 0u32..1000), len).prop_map(
+            move |cells: Vec<(u32, u32)>| {
+                cells
+                    .into_iter()
+                    .map(|(level, noise)| {
+                        let base = f64::from(level);
+                        if jitter == 1 {
+                            base + f64::from(noise % 3) * 0.125
+                        } else {
+                            base
+                        }
+                    })
+                    .collect::<Vec<f64>>()
+            },
+        );
+        (coord.clone(), coord)
     })
 }
 
@@ -65,6 +95,47 @@ proptest! {
         let smoothed = smoothed_mle_mi(&x, &y, 1.0).unwrap();
         prop_assert!(smoothed.is_finite());
         prop_assert!(smoothed >= 0.0);
+    }
+
+    // --- k-NN kernel engine (PR 4) --------------------------------------
+
+    /// The blocked Chebyshev kernel is bit-for-bit equal to both the
+    /// pre-refactor scalar expansion and the brute-force reference, for
+    /// arbitrary heavy-tie mixture inputs (the `ρ_i = 0` regime of
+    /// non-unique joins) and every k up to the sample size.
+    #[test]
+    fn knn_blocked_chebyshev_matches_oracles_on_heavy_ties((xs, ys) in heavy_tie_points(), k in 1usize..6) {
+        // Strategy invariant: len >= 8 > k, so k is always valid.
+        let blocked = kth_nn_distances_chebyshev(&xs, &ys, k);
+        let scalar = kth_nn_distances_chebyshev_scalar(&xs, &ys, k);
+        let brute = kth_nn_distances_chebyshev_bruteforce(&xs, &ys, k);
+        for i in 0..xs.len() {
+            prop_assert_eq!(blocked[i].to_bits(), scalar[i].to_bits(), "scalar i={}", i);
+            prop_assert_eq!(blocked[i].to_bits(), brute[i].to_bits(), "brute i={}", i);
+        }
+    }
+
+    /// Same for the 1-D window-scan kernel against its greedy scalar oracle.
+    #[test]
+    fn knn_blocked_1d_matches_scalar_oracle((xs, _ys) in heavy_tie_points(), k in 1usize..6) {
+        // Strategy invariant: len >= 8 > k, so k is always valid.
+        let blocked = kth_nn_distances_1d(&xs, k);
+        let scalar = kth_nn_distances_1d_scalar(&xs, k);
+        for i in 0..xs.len() {
+            prop_assert_eq!(blocked[i].to_bits(), scalar[i].to_bits(), "i={}", i);
+        }
+    }
+
+    /// MixedKSG on heavy-tie mixtures (exercising the tie fallback through
+    /// the blocked kernel and the parallel accumulation) stays finite,
+    /// non-negative, and bit-identical across thread counts.
+    #[test]
+    fn mixed_ksg_on_heavy_ties_is_finite_and_thread_invariant((xs, ys) in heavy_tie_points()) {
+        let seq = with_threads(1, || mixed_ksg_mi(&xs, &ys, 3).unwrap());
+        let par = with_threads(4, || mixed_ksg_mi(&xs, &ys, 3).unwrap());
+        prop_assert!(seq.is_finite());
+        prop_assert!(seq >= 0.0);
+        prop_assert_eq!(seq.to_bits(), par.to_bits());
     }
 
     // --- hashing ---------------------------------------------------------
