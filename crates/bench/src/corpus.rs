@@ -61,6 +61,37 @@ pub fn candidate_tables(rows: usize) -> Vec<Table> {
     (0..NUM_TABLES).map(|i| candidate_table(i, rows)).collect()
 }
 
+/// Rows per table in the *base* (pre-append) corpus: everything except the
+/// append tail (1% of rows, at least one). The incremental-ingest workload
+/// ingests `append_split(rows)` rows per table, then appends the remaining
+/// `rows - append_split(rows)`; the result must be bit-for-bit identical to
+/// ingesting all `rows` at once.
+#[must_use]
+pub fn append_split(rows: usize) -> usize {
+    rows - (rows / 100).max(1).min(rows)
+}
+
+/// The base corpus: every candidate table truncated to its first
+/// [`append_split`] rows. Slices of the full deterministic tables, so base +
+/// tail reassemble the one-shot corpus exactly.
+#[must_use]
+pub fn base_tables(rows: usize) -> Vec<Table> {
+    let split = append_split(rows);
+    (0..NUM_TABLES)
+        .map(|i| candidate_table(i, rows).slice_rows(0..split))
+        .collect()
+}
+
+/// The append tail: the last `rows - append_split(rows)` rows of every
+/// candidate table (the chunks an ingest daemon would receive).
+#[must_use]
+pub fn tail_tables(rows: usize) -> Vec<Table> {
+    let split = append_split(rows);
+    (0..NUM_TABLES)
+        .map(|i| candidate_table(i, rows).slice_rows(split..rows))
+        .collect()
+}
+
 /// The base (query) table: keys from the same universe and a target driven by
 /// the key index.
 #[must_use]
@@ -149,6 +180,22 @@ mod tests {
             qa.value(7, "target").unwrap(),
             qb.value(7, "target").unwrap()
         );
+    }
+
+    #[test]
+    fn base_plus_tail_reassembles_the_corpus() {
+        let rows = 300;
+        assert_eq!(append_split(rows), 297);
+        let full = candidate_tables(rows);
+        let base = base_tables(rows);
+        let tail = tail_tables(rows);
+        for ((full, base), tail) in full.iter().zip(&base).zip(&tail) {
+            assert_eq!(base.num_rows() + tail.num_rows(), full.num_rows());
+            assert_eq!(&base.vstack(tail).unwrap(), full);
+        }
+        // Tiny corpora still split off at least one row.
+        assert_eq!(append_split(5), 4);
+        assert_eq!(append_split(1), 0);
     }
 
     #[test]

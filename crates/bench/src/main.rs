@@ -60,12 +60,14 @@ fn main() {
 
 fn print_usage() {
     eprintln!("usage: joinmi_bench [--quick] [--json] [--out PATH]");
-    eprintln!("       joinmi_bench ingest  --out REPO [--quick]");
+    eprintln!("       joinmi_bench ingest  --out REPO [--quick] [--base | --append]");
     eprintln!("       joinmi_bench query   --repo REPO [--verify-in-memory]");
     eprintln!("       joinmi_bench compare --baseline JSON --current JSON [--max-regression R]");
     eprintln!();
-    eprintln!("  --quick  small iteration counts / workloads (seconds, not minutes)");
-    eprintln!("  --json   write benchmark results to PATH (default BENCH_PR4.json)");
+    eprintln!("  --quick   small iteration counts / workloads (seconds, not minutes)");
+    eprintln!("  --json    write benchmark results to PATH (default BENCH_PR5.json)");
+    eprintln!("  --base    ingest the corpus minus its append tail (the daemon's day-0 state)");
+    eprintln!("  --append  load REPO, append the corpus tail rows, extend the file in place");
 }
 
 /// Value of `--flag VALUE` in an argument list.
@@ -83,16 +85,39 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 fn cmd_ingest(args: &[String]) -> i32 {
     let out = flag_value(args, "--out").unwrap_or("repo.jmi");
     let quick = args.iter().any(|a| a == "--quick");
+    let base = args.iter().any(|a| a == "--base");
+    let append = args.iter().any(|a| a == "--append");
+    if base && append {
+        eprintln!("ingest: --base and --append are mutually exclusive");
+        return 2;
+    }
     let rows = corpus::rows_for(quick);
 
+    if append {
+        return cmd_ingest_append(out, rows);
+    }
+
+    let (tables, what) = if base {
+        let split = corpus::append_split(rows);
+        (
+            corpus::base_tables(rows),
+            format!("{split} of {rows} rows each (append tail held back)"),
+        )
+    } else {
+        (corpus::candidate_tables(rows), format!("{rows} rows each"))
+    };
     println!(
-        "ingest: {} tables x {} features, {rows} rows each (universe {})",
+        "ingest: {} tables x {} features, {what} (universe {})",
         corpus::NUM_TABLES,
         corpus::FEATURES_PER_TABLE,
         corpus::KEY_UNIVERSE
     );
     let start = Instant::now();
-    let repo = corpus::build_repository(rows);
+    let mut repo = TableRepository::new(corpus::repo_config());
+    if let Err(e) = repo.add_tables(tables) {
+        eprintln!("ingest: failed: {e}");
+        return 1;
+    }
     let ingest_ms = start.elapsed().as_secs_f64() * 1e3;
     println!(
         "ingest: {} candidate sketches built in {ingest_ms:.1} ms",
@@ -107,6 +132,56 @@ fn cmd_ingest(args: &[String]) -> i32 {
     let save_ms = start.elapsed().as_secs_f64() * 1e3;
     let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     println!("ingest: wrote {out} ({bytes} bytes) in {save_ms:.1} ms");
+    0
+}
+
+/// The daemon half of the incremental-ingest split: load the repository file
+/// written by `ingest --base`, append the corpus tail rows through the
+/// `O(changed)` builder path, and extend the file in place with one append
+/// group — no section of the base artifact is rewritten.
+fn cmd_ingest_append(repo_path: &str, rows: usize) -> i32 {
+    let start = Instant::now();
+    let mut repo = match TableRepository::load(repo_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ingest --append: failed to load `{repo_path}`: {e}");
+            return 1;
+        }
+    };
+    let load_ms = start.elapsed().as_secs_f64() * 1e3;
+    if !repo.is_appendable() {
+        eprintln!("ingest --append: `{repo_path}` is a pre-append (v1) artifact");
+        return 1;
+    }
+
+    let tail = corpus::tail_tables(rows);
+    let start = Instant::now();
+    let appended = match repo.append_tables(&tail) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("ingest --append: append failed: {e}");
+            return 1;
+        }
+    };
+    let append_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let before = std::fs::metadata(repo_path).map(|m| m.len()).unwrap_or(0);
+    let start = Instant::now();
+    if let Err(e) = repo.append_to(repo_path) {
+        eprintln!("ingest --append: failed to extend `{repo_path}`: {e}");
+        return 1;
+    }
+    let write_ms = start.elapsed().as_secs_f64() * 1e3;
+    let after = std::fs::metadata(repo_path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "ingest --append: loaded in {load_ms:.1} ms, appended {appended} rows across {} \
+         tables in {append_ms:.1} ms",
+        corpus::NUM_TABLES
+    );
+    println!(
+        "ingest --append: extended {repo_path} in place in {write_ms:.1} ms \
+         ({before} -> {after} bytes)"
+    );
     0
 }
 
@@ -267,6 +342,9 @@ fn cmd_compare(args: &[String]) -> i32 {
     for s in &report.skipped {
         println!("  skipped: {s}");
     }
+    for n in &report.new_benches {
+        println!("  new (no baseline): {n}");
+    }
     if report.has_regression() {
         eprintln!(
             "compare: bench regression beyond +{:.0}%",
@@ -285,7 +363,7 @@ fn cmd_compare(args: &[String]) -> i32 {
 fn cmd_bench(args: &[String]) -> i32 {
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let out_path = flag_value(args, "--out").unwrap_or("BENCH_PR4.json");
+    let out_path = flag_value(args, "--out").unwrap_or("BENCH_PR5.json");
 
     // Quick mode: smaller tables and fewer repetitions; default mode uses the
     // criterion-bench sizes for closer comparability.
@@ -569,6 +647,47 @@ fn store_workload(quick: bool, results: &mut Vec<(String, f64)>) {
     assert_eq!(in_memory_fp, loaded_fp, "persisted repository diverged");
     let _ = std::fs::remove_file(&path);
 
+    // Incremental ingest: appending the 1% corpus tail to the base
+    // repository via the O(changed) builder path, versus re-sketching the
+    // whole corpus from raw tables. Each rep clones the pre-built base
+    // repository outside the timed region (append mutates it).
+    let tail = corpus::tail_tables(rows);
+    let mut base_repo = TableRepository::new(corpus::repo_config());
+    base_repo
+        .add_tables(corpus::base_tables(rows))
+        .expect("base ingest");
+    // The daemon flow appends to a repository loaded from disk (sketch-only,
+    // builder state restored), not to the in-memory original.
+    let base_path =
+        std::env::temp_dir().join(format!("joinmi-bench-base-{}.jmi", std::process::id()));
+    base_repo.save(&base_path).expect("save base repo");
+    let loaded_base = TableRepository::load(&base_path).expect("load base repo");
+    let _ = std::fs::remove_file(&base_path);
+    // Clone the loaded repository *outside* the timed region (append mutates
+    // it; the clone is setup cost, not part of the daemon's append work).
+    let append_ns = {
+        let mut samples: Vec<u128> = (0..reps.max(1))
+            .map(|_| {
+                let mut fresh = loaded_base.clone();
+                let start = Instant::now();
+                std::hint::black_box(fresh.append_tables(&tail).expect("append tail"));
+                start.elapsed().as_nanos()
+            })
+            .collect();
+        samples.sort_unstable();
+        samples[samples.len() / 2] as f64
+    };
+
+    // Guard: append-then-query must be bit-for-bit identical to the one-shot
+    // ingest of the full corpus.
+    let mut appended_repo = loaded_base.clone();
+    appended_repo.append_tables(&tail).expect("append tail");
+    let appended_fp = corpus::ranking_fingerprint(&query.execute(&appended_repo).expect("query"));
+    assert_eq!(
+        in_memory_fp, appended_fp,
+        "incremental append diverged from one-shot ingest"
+    );
+
     results.push(("store/save_repo".to_owned(), save_ns));
     results.push(("store/load_repo".to_owned(), load_ns));
     results.push(("store/open_mmap_like".to_owned(), open_ns));
@@ -577,6 +696,15 @@ fn store_workload(quick: bool, results: &mut Vec<(String, f64)>) {
         "store/load_speedup_vs_ingest".to_owned(),
         if load_ns > 0.0 {
             reingest_ns / load_ns
+        } else {
+            0.0
+        },
+    ));
+    results.push(("store/append_tail_1pct".to_owned(), append_ns));
+    results.push((
+        "store/append_vs_reingest".to_owned(),
+        if append_ns > 0.0 {
+            reingest_ns / append_ns
         } else {
             0.0
         },

@@ -113,6 +113,10 @@ pub struct ComparisonReport {
     pub checked: Vec<BenchComparison>,
     /// Gated keys that were skipped, with the reason.
     pub skipped: Vec<String>,
+    /// Current-run benches with no baseline entry — reported explicitly as
+    /// "new (no baseline)" so a fresh bench is visible in the gate output
+    /// instead of silently absent until the baseline is regenerated.
+    pub new_benches: Vec<String>,
 }
 
 impl ComparisonReport {
@@ -129,9 +133,11 @@ impl ComparisonReport {
 /// `max_regression` slower than baseline (e.g. `0.25` = +25%) marks the
 /// report as regressed. Pipeline medians are additionally compared when both
 /// hosts report more than one core (see [`PARALLEL_GATED_MEDIANS`]). Keys
-/// missing from the *baseline* are skipped (baselines may predate a bench);
-/// gated keys missing from the *current* run are an error — the bench suite
-/// must not silently lose coverage.
+/// missing from the *baseline* are reported as `new_benches` (baselines may
+/// predate a bench — never silently dropped); **any** gated key missing from
+/// the *current* run is an error, including pipeline medians whose
+/// comparison would be skipped for core counts — the bench suite must not
+/// silently lose coverage.
 pub fn compare_quick_bench(
     baseline: &[(String, f64)],
     current: &[(String, f64)],
@@ -176,11 +182,25 @@ pub fn compare_quick_bench(
         }
     } else {
         for name in PARALLEL_GATED_MEDIANS {
+            // Not comparable on this host pairing, but the median must still
+            // exist in the current run — its absence means the bench suite
+            // lost coverage, which the gate must not paper over.
+            if lookup(current, name).is_none() {
+                return Err(format!("current quick-bench JSON is missing `{name}`"));
+            }
             report.skipped.push(format!(
                 "{name}: host has 1 core (baseline {baseline_cores}, current {current_cores})"
             ));
         }
     }
+
+    // Surface every bench that exists in the current run but not in the
+    // baseline: new benches are part of the comparison story, not noise.
+    report.new_benches = current
+        .iter()
+        .filter(|(name, _)| name != HOST_PARALLELISM_KEY && lookup(baseline, name).is_none())
+        .map(|(name, _)| name.clone())
+        .collect();
     Ok(report)
 }
 
@@ -219,11 +239,21 @@ mod tests {
             .collect()
     }
 
+    /// A complete current run: gated + pipeline medians (a current run must
+    /// always carry every gated key, even ones skipped for core counts).
+    fn complete_current(value: f64) -> Vec<(String, f64)> {
+        let mut entries = gated(value);
+        for name in PARALLEL_GATED_MEDIANS {
+            entries.push((name.to_owned(), value));
+        }
+        entries
+    }
+
     #[test]
     fn within_threshold_passes() {
         let mut baseline = gated(1000.0);
         baseline.push(("host/available_parallelism".to_owned(), 1.0));
-        let mut current = gated(1200.0);
+        let mut current = complete_current(1200.0);
         current.push(("host/available_parallelism".to_owned(), 1.0));
         let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
         assert!(!report.has_regression());
@@ -235,7 +265,7 @@ mod tests {
     #[test]
     fn regression_beyond_threshold_fails() {
         let baseline = gated(1000.0);
-        let mut current = gated(1000.0);
+        let mut current = complete_current(1000.0);
         current[0].1 = 1251.0;
         let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
         assert!(report.has_regression());
@@ -276,14 +306,61 @@ mod tests {
     }
 
     #[test]
+    fn missing_pipeline_median_is_an_error_even_on_one_core_hosts() {
+        // On a 1-core pairing pipeline medians are not *compared*, but a
+        // current run that no longer emits them has lost bench coverage —
+        // that must fail, not skip.
+        let mut baseline = gated(1000.0);
+        baseline.push(("host/available_parallelism".to_owned(), 1.0));
+        let mut current = gated(1000.0);
+        current.push(("host/available_parallelism".to_owned(), 1.0));
+        assert!(compare_quick_bench(&baseline, &current, 0.25).is_err());
+        for name in PARALLEL_GATED_MEDIANS {
+            current.push((name.to_owned(), 123.0));
+        }
+        assert!(compare_quick_bench(&baseline, &current, 0.25).is_ok());
+    }
+
+    #[test]
+    fn new_benches_are_reported_explicitly_not_silently_dropped() {
+        let mut baseline = gated(1000.0);
+        baseline.push(("host/available_parallelism".to_owned(), 1.0));
+        let mut current = gated(1000.0);
+        current.push(("host/available_parallelism".to_owned(), 1.0));
+        for name in PARALLEL_GATED_MEDIANS {
+            current.push((name.to_owned(), 123.0));
+        }
+        current.push(("store/append_vs_reingest".to_owned(), 42.0));
+        let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
+        assert!(report
+            .new_benches
+            .contains(&"store/append_vs_reingest".to_owned()));
+        // The pipeline medians are new to this baseline too.
+        assert!(report
+            .new_benches
+            .iter()
+            .any(|n| n.contains("pipeline/ingest32x8_query")));
+        // The host-parallelism bookkeeping key is not a bench.
+        assert!(!report
+            .new_benches
+            .iter()
+            .any(|n| n == "host/available_parallelism"));
+    }
+
+    #[test]
     fn key_missing_from_baseline_is_skipped_not_fatal() {
         let baseline = entries(&[("sketch_join/tupsk_n256", 1000.0)]);
-        let current = gated(1000.0);
+        let current = complete_current(1000.0);
         let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
         assert_eq!(report.checked.len(), 1);
         assert!(report
             .skipped
             .iter()
             .any(|s| s.contains("mle_on_sketch_join")));
+        // …and the same keys surface in the new-bench list.
+        assert!(report
+            .new_benches
+            .iter()
+            .any(|n| n.contains("mle_on_sketch_join")));
     }
 }

@@ -21,6 +21,11 @@ use crate::prep::{prepare_left, prepare_right};
 use crate::row::{ColumnSketch, SketchRow};
 use crate::Result;
 
+/// Seed-derivation index of the right-side Bernoulli stream. Shared with the
+/// incremental builder (`crate::incremental`), whose INDSK finalization must
+/// replay exactly this stream to stay bit-for-bit with [`build_right`].
+pub(crate) const RIGHT_STREAM_INDEX: u64 = 0xB0B_CA7;
+
 /// Builds an INDSK sketch of the base table (independent Bernoulli row
 /// sample with expected size `n`).
 pub fn build_left(
@@ -64,7 +69,7 @@ pub fn build_right(
     let p = sampling_probability(cfg.size, prep.rows.len());
     // A *different* stream from the left side: the whole point of INDSK is
     // the absence of coordination.
-    let mut rng = StdRng::seed_from_u64(SplitMix64::derive_seed(cfg.seed, 0xB0B_CA7));
+    let mut rng = StdRng::seed_from_u64(SplitMix64::derive_seed(cfg.seed, RIGHT_STREAM_INDEX));
     let rows: Vec<SketchRow> = prep
         .rows
         .iter()
@@ -82,7 +87,7 @@ pub fn build_right(
     ))
 }
 
-fn sampling_probability(n: usize, total: usize) -> f64 {
+pub(crate) fn sampling_probability(n: usize, total: usize) -> f64 {
     if total == 0 {
         0.0
     } else {

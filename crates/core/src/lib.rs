@@ -53,6 +53,7 @@
 
 pub mod config;
 pub mod csk;
+pub mod incremental;
 pub mod indsk;
 pub mod join;
 pub mod kind;
@@ -65,6 +66,7 @@ pub mod row;
 pub mod tupsk;
 
 pub use config::{Side, SketchConfig};
+pub use incremental::RightSketchBuilder;
 pub use join::JoinedSketch;
 pub use kind::SketchKind;
 pub use kmv::BoundedMinSet;

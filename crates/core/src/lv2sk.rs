@@ -72,12 +72,12 @@ pub fn build_right(
     let prep = prepare_right(table, key, value, agg, &hasher)?;
 
     let mut set = BoundedMinSet::new(cfg.size);
-    for (digest, val) in &prep.rows {
-        set.offer(
+    set.offer_batch(prep.rows.iter().map(|(digest, val)| {
+        (
             unit.digest(digest.raw()),
             SketchRow::new(*digest, val.clone()),
-        );
-    }
+        )
+    }));
     let rows: Vec<SketchRow> = set.into_sorted().into_iter().map(|(_, row)| row).collect();
     Ok(ColumnSketch::new(
         SketchKind::Lv2sk,
@@ -96,9 +96,7 @@ pub(crate) fn sample_two_level(prep: &PreparedRows, cfg: &SketchConfig) -> Vec<S
     let unit = cfg.unit_hasher();
     // Level 1: KMV over distinct keys.
     let mut key_set = BoundedMinSet::new(cfg.size);
-    for &key_digest in prep.key_counts.keys() {
-        key_set.offer(unit.digest(key_digest), key_digest);
-    }
+    key_set.offer_batch(prep.key_counts.keys().map(|&k| (unit.digest(k), k)));
     let selected: Vec<u64> = key_set.into_sorted().into_iter().map(|(_, k)| k).collect();
     sample_selected_keys(prep, cfg, &selected)
 }

@@ -27,8 +27,8 @@
 use std::io::{Read, Write};
 
 use joinmi_store::{
-    read_header, read_section, write_header, ArtifactKind, Reader, Result, SectionBuilder,
-    StoreError, Writer,
+    read_header, read_section, write_header_with_version, ArtifactKind, Reader, Result,
+    SectionBuilder, StoreError, Writer, FORMAT_VERSION_V1,
 };
 use joinmi_table::{Aggregation, DataType, Value};
 
@@ -184,7 +184,11 @@ impl ColumnSketch {
     /// sections) to any `std::io::Write`.
     pub fn to_writer<W: Write>(&self, out: W) -> Result<()> {
         let mut w = Writer::new(out);
-        write_header(&mut w, ArtifactKind::Sketch)?;
+        // The sketch artifact's wire format is unchanged since v1: keep
+        // stamping v1 so pre-append-format readers can still read sketches
+        // written by newer binaries (only Repository artifacts carry v2
+        // semantics).
+        write_header_with_version(&mut w, ArtifactKind::Sketch, FORMAT_VERSION_V1)?;
         self.write_embedded(&mut w)
     }
 
@@ -404,6 +408,19 @@ mod tests {
                 _ => assert_eq!(&back, v),
             }
         }
+    }
+
+    #[test]
+    fn standalone_sketch_artifacts_stay_at_format_v1() {
+        // The sketch wire format did not change in the v2 (appendable
+        // repository) bump, so sketch artifacts keep stamping v1 — a pre-v2
+        // reader must still be able to read sketches written by this binary.
+        let sketch = sample_sketch(SketchKind::Lv2sk);
+        let mut buf = Vec::new();
+        sketch.to_writer(&mut buf).unwrap();
+        assert_eq!(u16::from_le_bytes([buf[4], buf[5]]), 1);
+        let loaded = ColumnSketch::from_reader(buf.as_slice()).unwrap();
+        assert_eq!(loaded, sketch);
     }
 
     #[test]

@@ -73,12 +73,12 @@ pub fn build_right(
     let prep = prepare_right(table, key, value, agg, &hasher)?;
 
     let mut set = BoundedMinSet::new(cfg.size);
-    for (digest, val) in &prep.rows {
-        set.offer(
+    set.offer_batch(prep.rows.iter().map(|(digest, val)| {
+        (
             unit.digest(digest.raw()),
             SketchRow::new(*digest, val.clone()),
-        );
-    }
+        )
+    }));
     let rows: Vec<SketchRow> = set.into_sorted().into_iter().map(|(_, row)| row).collect();
     Ok(ColumnSketch::new(
         SketchKind::Prisk,

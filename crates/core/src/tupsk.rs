@@ -72,13 +72,15 @@ pub fn build_right(
     let unit = cfg.unit_hasher();
     let prep = prepare_right(table, key, value, agg, &hasher)?;
 
+    // Aggregation produced unique keys; occurrence index is always 1,
+    // which is exactly the frame shared with the left sketch.
     let mut set = BoundedMinSet::new(cfg.size);
-    for (digest, val) in &prep.rows {
-        // Aggregation produced unique keys; occurrence index is always 1,
-        // which is exactly the frame shared with the left sketch.
-        let sample_digest = unit.pair_digest(digest.raw(), 1);
-        set.offer(sample_digest, SketchRow::new(*digest, val.clone()));
-    }
+    set.offer_batch(prep.rows.iter().map(|(digest, val)| {
+        (
+            unit.pair_digest(digest.raw(), 1),
+            SketchRow::new(*digest, val.clone()),
+        )
+    }));
 
     let rows: Vec<SketchRow> = set.into_sorted().into_iter().map(|(_, row)| row).collect();
     Ok(ColumnSketch::new(

@@ -20,8 +20,36 @@ pub type CanonicalPostings = Vec<(u64, Vec<usize>)>;
 /// `(candidate id, distinct digest count)` pairs sorted by id.
 pub type CanonicalSizes = Vec<(usize, usize)>;
 
+/// The net postings change of one candidate update, in canonical order
+/// (`removed`/`added` sorted by `(digest, id)`, `sizes` by id).
+///
+/// Produced by [`JoinabilityIndex::update`] when an appended chunk changes a
+/// candidate's sampled key set, accumulated by the repository, and persisted
+/// as the INDEX delta of an on-disk append group. Deltas are ordered: each
+/// one captures the difference between consecutive states of a candidate, so
+/// they must be applied (via [`JoinabilityIndex::apply_delta`]) in the order
+/// they were produced.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct IndexDelta {
+    /// `(digest, candidate id)` postings to remove (keys evicted from the
+    /// candidate's KMV selection).
+    pub removed: Vec<(u64, usize)>,
+    /// `(digest, candidate id)` postings to add (keys newly selected).
+    pub added: Vec<(u64, usize)>,
+    /// Updated distinct-digest counts per touched candidate.
+    pub sizes: Vec<(usize, usize)>,
+}
+
+impl IndexDelta {
+    /// Returns `true` when the delta changes nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.added.is_empty() && self.sizes.is_empty()
+    }
+}
+
 /// An inverted index from sampled key digests to candidate identifiers.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct JoinabilityIndex {
     /// digest → candidate indices whose sketch contains that digest. The
     /// digests are already 64-bit hashes, so the postings map uses the
@@ -50,6 +78,89 @@ impl JoinabilityIndex {
         self.candidate_sizes.insert(id, digests.len());
         for d in digests {
             self.postings.entry(d).or_default().push(id);
+        }
+    }
+
+    /// Replaces one candidate's postings with the digests of its updated
+    /// sketch, returning the net [`IndexDelta`] for the append log.
+    ///
+    /// `old` is the sketch the candidate was indexed under. Work is
+    /// proportional to the two sketches' sizes (bounded by the sketch
+    /// budget), not to the index.
+    pub fn update(&mut self, id: usize, old: &ColumnSketch, new: &ColumnSketch) -> IndexDelta {
+        let mut old_digests = digest_set_with_capacity(old.len());
+        old_digests.extend(old.rows().iter().map(|r| r.key.raw()));
+        let mut new_digests = digest_set_with_capacity(new.len());
+        new_digests.extend(new.rows().iter().map(|r| r.key.raw()));
+
+        let mut removed: Vec<(u64, usize)> = old_digests
+            .iter()
+            .filter(|d| !new_digests.contains(d))
+            .map(|&d| (d, id))
+            .collect();
+        let mut added: Vec<(u64, usize)> = new_digests
+            .iter()
+            .filter(|d| !old_digests.contains(d))
+            .map(|&d| (d, id))
+            .collect();
+        removed.sort_unstable();
+        added.sort_unstable();
+        let delta = IndexDelta {
+            removed,
+            added,
+            sizes: vec![(id, new_digests.len())],
+        };
+        self.apply_delta(&delta);
+        delta
+    }
+
+    /// Patches one candidate's postings from an exact membership diff (the
+    /// `added`/`removed` key digests reported by
+    /// `RightSketchBuilder::append_table_diff`) — `O(changed)`, no sketch
+    /// re-diffing. `size` is the candidate's new distinct-digest count.
+    /// Returns the (possibly empty) delta for the append log.
+    pub fn apply_membership_update(
+        &mut self,
+        id: usize,
+        removed: &[u64],
+        added: &[u64],
+        size: usize,
+    ) -> IndexDelta {
+        let mut delta = IndexDelta {
+            removed: removed.iter().map(|&d| (d, id)).collect(),
+            added: added.iter().map(|&d| (d, id)).collect(),
+            sizes: Vec::new(),
+        };
+        delta.removed.sort_unstable();
+        delta.added.sort_unstable();
+        if self.candidate_sizes.get(&id) != Some(&size) {
+            delta.sizes.push((id, size));
+        }
+        self.apply_delta(&delta);
+        delta
+    }
+
+    /// Applies one delta (see [`Self::update`]); the loader replays persisted
+    /// deltas through this in order.
+    pub fn apply_delta(&mut self, delta: &IndexDelta) {
+        for &(digest, id) in &delta.removed {
+            if let Some(ids) = self.postings.get_mut(&digest) {
+                ids.retain(|&existing| existing != id);
+                if ids.is_empty() {
+                    // Drop the empty posting list so the canonical encoding
+                    // matches a from-scratch index over the same sketches.
+                    self.postings.remove(&digest);
+                }
+            }
+        }
+        for &(digest, id) in &delta.added {
+            let ids = self.postings.entry(digest).or_default();
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        for &(id, size) in &delta.sizes {
+            self.candidate_sizes.insert(id, size);
         }
     }
 
@@ -219,6 +330,34 @@ mod tests {
         let index =
             JoinabilityIndex::from_canonical_parts(vec![(digest, vec![0, 5])], vec![(0, 1)]);
         assert_eq!(index.query(&q, 1), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn update_matches_an_index_rebuilt_from_scratch() {
+        let cfg = SketchConfig::new(64, 1);
+        let build = |keys: Vec<&str>, name: &str| {
+            SketchKind::Tupsk
+                .build_right(&keyed_table(name, keys), "k", "v", Aggregation::Avg, &cfg)
+                .unwrap()
+        };
+        let a_old = build(vec!["a", "b", "c"], "a");
+        let b = build(vec!["p", "q"], "b");
+        let mut index = JoinabilityIndex::build(&[&a_old, &b]);
+
+        // Candidate 0's key set changes: "c" leaves, "x"/"y" arrive.
+        let a_new = build(vec!["a", "b", "x", "y"], "a");
+        let delta = index.update(0, &a_old, &a_new);
+        assert!(!delta.is_empty());
+        assert_eq!(delta.sizes, vec![(0, 4)]);
+
+        let rebuilt = JoinabilityIndex::build(&[&a_new, &b]);
+        assert_eq!(index.canonical_parts(), rebuilt.canonical_parts());
+
+        // Replaying the delta on a copy of the original reaches the same
+        // state (the loader path).
+        let mut replayed = JoinabilityIndex::build(&[&a_old, &b]);
+        replayed.apply_delta(&delta);
+        assert_eq!(replayed.canonical_parts(), rebuilt.canonical_parts());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod query;
 pub mod repository;
 
 pub use augment::AugmentationPlan;
-pub use index::JoinabilityIndex;
+pub use index::{IndexDelta, JoinabilityIndex};
 pub use persist::RepositorySnapshot;
 pub use profile::{ColumnProfile, TableProfile};
 pub use query::{RankedCandidate, RelationshipQuery};

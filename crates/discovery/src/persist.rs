@@ -1,4 +1,6 @@
-//! Repository persistence: the offline-ingest → online-query split.
+//! Repository persistence: the offline-ingest → online-query split, plus the
+//! on-disk **append path** that lets an ingest daemon extend a repository
+//! without rewriting it.
 //!
 //! A [`TableRepository`] is expensive to build (every candidate table is
 //! profiled and sketched) and cheap to use — exactly the paper's pitch that
@@ -7,25 +9,46 @@
 //!
 //! * [`TableRepository::save`] writes a versioned, checksummed artifact
 //!   containing the config, table profiles, joinability-index postings, and
-//!   every candidate's sketch (the raw tables are deliberately *not*
-//!   persisted — queries never touch them).
+//!   every candidate's sketch **and incremental-builder state** (the raw
+//!   tables are deliberately *not* persisted — queries never touch them).
 //! * [`TableRepository::load`] reads it back eagerly into a sketch-only
-//!   repository that answers queries bit-identically to the original.
+//!   repository that answers queries bit-identically to the original — and,
+//!   thanks to the builder state, accepts [`TableRepository::append_rows`].
 //! * [`TableRepository::load_mmap_like`] opens the artifact as a read-only
 //!   [`RepositorySnapshot`]: the whole file is read into one buffer, every
 //!   section checksum is verified up front, but candidate sketches are only
 //!   decoded on first access — a query prunes through the persisted index
 //!   and decodes just the surviving candidates.
+//! * [`TableRepository::append_to`] writes the changes accumulated since the
+//!   file was loaded as an **append group** after the existing payload:
+//!   updated candidate sections plus an index delta, each checksummed. The
+//!   existing bytes are never touched, so a torn append (crash mid-write)
+//!   surfaces as a typed [`StoreError`] at the next open, never as silent
+//!   corruption of the base artifact.
 //!
-//! # Repository file layout
+//! # Repository file layout (format v2)
 //!
 //! ```text
-//! header      magic b"JMIS" | version | artifact = Repository
+//! header      magic b"JMIS" | version = 2 | artifact = Repository
 //! REPO_META   sketch kind/size/seed, max pairs, table + candidate counts
 //! PROFILES    per table: name, rows, per-column stats
 //! INDEX       joinability postings (digest → candidate ids) + digest counts
-//! CANDIDATE*  one section per candidate: identity fields + embedded sketch
+//! per candidate:
+//!   CANDIDATE        identity fields + embedded sketch
+//!   CANDIDATE_STATE  incremental-builder state (seen keys, KMV selection
+//!                    entries with aggregation states)
+//! zero or more append groups, each:
+//!   APPEND_META       updated-candidate count + refreshed profiles
+//!   per updated candidate:
+//!     CANDIDATE_UPDATE  candidate id + identity + refreshed sketch
+//!     CANDIDATE_STATE   refreshed builder state
+//!   INDEX_DELTA       ordered postings deltas (removed / added / sizes)
 //! ```
+//!
+//! v1 files (pre-append format) still load; their candidates carry no builder
+//! state, so further ingest into them stays rejected. v1 *readers* reject v2
+//! files cleanly via the version check — the bump exists precisely so an old
+//! binary never misparses an append group as trailing garbage.
 
 use std::io::{Read, Write};
 use std::ops::Range;
@@ -33,13 +56,13 @@ use std::path::Path;
 use std::sync::OnceLock;
 
 use joinmi_sketch::persist::{aggregation_from_tag, aggregation_tag, dtype_from_tag, dtype_tag};
-use joinmi_sketch::{ColumnSketch, SketchConfig};
+use joinmi_sketch::{incremental, ColumnSketch, RightSketchBuilder, SketchConfig};
 use joinmi_store::{
     read_header, scan_section, write_header, ArtifactKind, Reader, Result, SectionBuilder,
     StoreError, Writer,
 };
 
-use crate::index::JoinabilityIndex;
+use crate::index::{IndexDelta, JoinabilityIndex};
 use crate::profile::{ColumnProfile, TableProfile};
 use crate::repository::{CandidateColumn, CandidateSource, RepositoryConfig, TableRepository};
 
@@ -51,6 +74,14 @@ pub const SECTION_PROFILES: u8 = 0x11;
 pub const SECTION_INDEX: u8 = 0x12;
 /// Section tag: one candidate column (identity + embedded sketch).
 pub const SECTION_CANDIDATE: u8 = 0x13;
+/// Section tag: one candidate's incremental-builder state (v2).
+pub const SECTION_CANDIDATE_STATE: u8 = 0x14;
+/// Section tag: header of one append group (v2).
+pub const SECTION_APPEND_META: u8 = 0x15;
+/// Section tag: one updated candidate inside an append group (v2).
+pub const SECTION_CANDIDATE_UPDATE: u8 = 0x16;
+/// Section tag: the ordered index deltas of one append group (v2).
+pub const SECTION_INDEX_DELTA: u8 = 0x17;
 
 // ---------------------------------------------------------------------------
 // Encoding
@@ -75,24 +106,28 @@ fn write_repo_meta<W: Write>(
     meta.finish(SECTION_REPO_META, w)
 }
 
-fn write_profiles<W: Write>(w: &mut Writer<W>, profiles: &[TableProfile]) -> Result<()> {
-    let mut section = SectionBuilder::new();
-    {
-        let p = section.writer();
-        p.write_len(profiles.len())?;
-        for profile in profiles {
-            p.write_str(&profile.table)?;
-            p.write_len(profile.rows)?;
-            p.write_len(profile.columns.len())?;
-            for column in &profile.columns {
-                p.write_str(&column.name)?;
-                p.write_u8(dtype_tag(column.dtype))?;
-                p.write_len(column.distinct)?;
-                p.write_len(column.nulls)?;
-                p.write_len(column.rows)?;
-            }
+/// Encodes the profiles payload (shared by the PROFILES section and the
+/// refreshed profiles inside APPEND_META).
+fn encode_profiles(p: &mut Writer<Vec<u8>>, profiles: &[TableProfile]) -> Result<()> {
+    p.write_len(profiles.len())?;
+    for profile in profiles {
+        p.write_str(&profile.table)?;
+        p.write_len(profile.rows)?;
+        p.write_len(profile.columns.len())?;
+        for column in &profile.columns {
+            p.write_str(&column.name)?;
+            p.write_u8(dtype_tag(column.dtype))?;
+            p.write_len(column.distinct)?;
+            p.write_len(column.nulls)?;
+            p.write_len(column.rows)?;
         }
     }
+    Ok(())
+}
+
+fn write_profiles<W: Write>(w: &mut Writer<W>, profiles: &[TableProfile]) -> Result<()> {
+    let mut section = SectionBuilder::new();
+    encode_profiles(section.writer(), profiles)?;
     section.finish(SECTION_PROFILES, w)
 }
 
@@ -118,18 +153,68 @@ fn write_index<W: Write>(w: &mut Writer<W>, index: &JoinabilityIndex) -> Result<
     section.finish(SECTION_INDEX, w)
 }
 
+/// Encodes a candidate's identity + sketch (the shared body of CANDIDATE and
+/// CANDIDATE_UPDATE payloads).
+fn encode_candidate(p: &mut Writer<Vec<u8>>, candidate: &CandidateColumn) -> Result<()> {
+    p.write_len(candidate.table_index)?;
+    p.write_str(&candidate.table_name)?;
+    p.write_str(&candidate.key_column)?;
+    p.write_str(&candidate.feature_column)?;
+    p.write_u8(aggregation_tag(candidate.aggregation))?;
+    candidate.sketch.write_embedded(p)
+}
+
 fn write_candidate<W: Write>(w: &mut Writer<W>, candidate: &CandidateColumn) -> Result<()> {
+    let mut section = SectionBuilder::new();
+    encode_candidate(section.writer(), candidate)?;
+    section.finish(SECTION_CANDIDATE, w)
+}
+
+/// Writes one CANDIDATE_STATE section: a presence flag plus the serialized
+/// builder. A missing builder (candidate loaded from a v1 file) writes the
+/// flag alone, keeping the section structure uniform.
+fn write_candidate_state<W: Write>(
+    w: &mut Writer<W>,
+    builder: Option<&RightSketchBuilder>,
+) -> Result<()> {
     let mut section = SectionBuilder::new();
     {
         let p = section.writer();
-        p.write_len(candidate.table_index)?;
-        p.write_str(&candidate.table_name)?;
-        p.write_str(&candidate.key_column)?;
-        p.write_str(&candidate.feature_column)?;
-        p.write_u8(aggregation_tag(candidate.aggregation))?;
-        candidate.sketch.write_embedded(p)?;
+        match builder {
+            None => p.write_u8(0)?,
+            Some(builder) => {
+                p.write_u8(1)?;
+                builder.write_state(p)?;
+            }
+        }
     }
-    section.finish(SECTION_CANDIDATE, w)
+    section.finish(SECTION_CANDIDATE_STATE, w)
+}
+
+fn write_index_delta<W: Write>(w: &mut Writer<W>, deltas: &[IndexDelta]) -> Result<()> {
+    let mut section = SectionBuilder::new();
+    {
+        let p = section.writer();
+        p.write_len(deltas.len())?;
+        for delta in deltas {
+            p.write_len(delta.removed.len())?;
+            for &(digest, id) in &delta.removed {
+                p.write_u64(digest)?;
+                p.write_len(id)?;
+            }
+            p.write_len(delta.added.len())?;
+            for &(digest, id) in &delta.added {
+                p.write_u64(digest)?;
+                p.write_len(id)?;
+            }
+            p.write_len(delta.sizes.len())?;
+            for &(id, size) in &delta.sizes {
+                p.write_len(id)?;
+                p.write_len(size)?;
+            }
+        }
+    }
+    section.finish(SECTION_INDEX_DELTA, w)
 }
 
 // ---------------------------------------------------------------------------
@@ -166,18 +251,30 @@ fn read_repo_meta(payload: &[u8]) -> Result<RepoMeta> {
 
 fn read_profiles(payload: &[u8], expected_tables: usize) -> Result<Vec<TableProfile>> {
     let mut p = Reader::new(payload);
+    let profiles = decode_profiles(&mut p, expected_tables, payload.len())?;
+    if !p.into_inner().is_empty() {
+        return Err(StoreError::corrupt("trailing bytes in PROFILES section"));
+    }
+    Ok(profiles)
+}
+
+fn decode_profiles<R: Read>(
+    p: &mut Reader<R>,
+    expected_tables: usize,
+    payload_len: usize,
+) -> Result<Vec<TableProfile>> {
     let count = p.read_len("profile count")?;
     if count != expected_tables {
         return Err(StoreError::corrupt(format!(
             "profile count {count} does not match table count {expected_tables}"
         )));
     }
-    let mut profiles = Vec::with_capacity(count.min(payload.len()));
+    let mut profiles = Vec::with_capacity(count.min(payload_len));
     for _ in 0..count {
         let table = p.read_string("profile table name")?;
         let rows = p.read_len("profile row count")?;
         let num_columns = p.read_len("profile column count")?;
-        let mut columns = Vec::with_capacity(num_columns.min(payload.len()));
+        let mut columns = Vec::with_capacity(num_columns.min(payload_len));
         for _ in 0..num_columns {
             columns.push(ColumnProfile {
                 name: p.read_string("column profile name")?,
@@ -192,9 +289,6 @@ fn read_profiles(payload: &[u8], expected_tables: usize) -> Result<Vec<TableProf
             rows,
             columns,
         });
-    }
-    if !p.into_inner().is_empty() {
-        return Err(StoreError::corrupt("trailing bytes in PROFILES section"));
     }
     Ok(profiles)
 }
@@ -240,7 +334,9 @@ fn read_index(payload: &[u8], num_candidates: usize) -> Result<JoinabilityIndex>
     Ok(JoinabilityIndex::from_canonical_parts(postings, sizes))
 }
 
-fn read_candidate(payload: &[u8]) -> Result<CandidateColumn> {
+/// Decodes a candidate body (identity + sketch) from a payload slice,
+/// requiring full consumption.
+fn read_candidate_body(payload: &[u8]) -> Result<CandidateColumn> {
     let mut p = Reader::new(payload);
     let table_index = p.read_len("candidate table index")?;
     let table_name = p.read_string("candidate table name")?;
@@ -261,13 +357,13 @@ fn read_candidate(payload: &[u8]) -> Result<CandidateColumn> {
     })
 }
 
-/// Structurally validates one CANDIDATE payload without materializing it
+/// Structurally validates one candidate body without materializing it
 /// (borrowed reads only): identity fields, enum tags, the embedded sketch
 /// ([`joinmi_sketch::persist::validate_embedded_sketch`]), and full payload
 /// consumption. Run for every candidate at snapshot open, this is what makes
 /// the lazy decode in [`RepositorySnapshot::candidate`] infallible — a
 /// checksum only proves integrity, not that the payload *decodes*.
-fn validate_candidate_payload(payload: &[u8], num_tables: usize) -> Result<()> {
+fn validate_candidate_body(payload: &[u8], num_tables: usize) -> Result<()> {
     let mut p = joinmi_store::SliceReader::new(payload);
     let table_index = p.read_len("candidate table index")?;
     if table_index >= num_tables {
@@ -286,13 +382,88 @@ fn validate_candidate_payload(payload: &[u8], num_tables: usize) -> Result<()> {
     Ok(())
 }
 
+/// Structurally validates a CANDIDATE_STATE payload; returns `true` when a
+/// builder state is present.
+fn validate_state_payload(payload: &[u8]) -> Result<bool> {
+    match payload.first() {
+        None => Err(StoreError::Truncated {
+            context: "candidate state flag",
+        }),
+        Some(0) => {
+            if payload.len() != 1 {
+                return Err(StoreError::corrupt(
+                    "trailing bytes in empty CANDIDATE_STATE section",
+                ));
+            }
+            Ok(false)
+        }
+        Some(1) => {
+            let consumed = incremental::validate_builder_state(&payload[1..])?;
+            if 1 + consumed != payload.len() {
+                return Err(StoreError::corrupt(
+                    "trailing bytes in CANDIDATE_STATE section",
+                ));
+            }
+            Ok(true)
+        }
+        Some(other) => Err(StoreError::corrupt(format!(
+            "invalid candidate state flag {other}"
+        ))),
+    }
+}
+
+fn read_index_delta(payload: &[u8], num_candidates: usize) -> Result<Vec<IndexDelta>> {
+    let mut p = Reader::new(payload);
+    let delta_count = p.read_len("index delta count")?;
+    let mut deltas = Vec::with_capacity(delta_count.min(payload.len()));
+    for _ in 0..delta_count {
+        let mut delta = IndexDelta::default();
+        let removed = p.read_len("index delta removed count")?;
+        for _ in 0..removed {
+            let digest = p.read_u64("index delta removed digest")?;
+            let id = p.read_len("index delta removed id")?;
+            check_candidate_id(id, num_candidates)?;
+            delta.removed.push((digest, id));
+        }
+        let added = p.read_len("index delta added count")?;
+        for _ in 0..added {
+            let digest = p.read_u64("index delta added digest")?;
+            let id = p.read_len("index delta added id")?;
+            check_candidate_id(id, num_candidates)?;
+            delta.added.push((digest, id));
+        }
+        let sizes = p.read_len("index delta size count")?;
+        for _ in 0..sizes {
+            let id = p.read_len("index delta size id")?;
+            check_candidate_id(id, num_candidates)?;
+            delta.sizes.push((id, p.read_len("index delta size")?));
+        }
+        deltas.push(delta);
+    }
+    if !p.into_inner().is_empty() {
+        return Err(StoreError::corrupt("trailing bytes in INDEX_DELTA section"));
+    }
+    Ok(deltas)
+}
+
+fn check_candidate_id(id: usize, num_candidates: usize) -> Result<()> {
+    if id >= num_candidates {
+        return Err(StoreError::corrupt(format!(
+            "append group references candidate {id}, but the file holds {num_candidates}"
+        )));
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // Public API
 // ---------------------------------------------------------------------------
 
 impl TableRepository {
     /// Serializes the repository (config, profiles, index postings, candidate
-    /// sketches — not the raw tables) to any `std::io::Write`.
+    /// sketches and builder states — not the raw tables) to any
+    /// `std::io::Write`, as a flat (append-group-free) v2 artifact covering
+    /// the repository's *current* state.
     pub fn save_to<W: Write>(&self, out: W) -> Result<()> {
         let mut w = Writer::new(out);
         write_header(&mut w, ArtifactKind::Repository)?;
@@ -304,8 +475,9 @@ impl TableRepository {
         )?;
         write_profiles(&mut w, self.profiles())?;
         write_index(&mut w, self.joinability())?;
-        for candidate in self.candidates() {
+        for (candidate, builder) in self.candidates().iter().zip(self.builders()) {
             write_candidate(&mut w, candidate)?;
+            write_candidate_state(&mut w, builder.as_ref())?;
         }
         Ok(())
     }
@@ -321,6 +493,85 @@ impl TableRepository {
         Ok(())
     }
 
+    /// Appends the changes made since the repository was loaded or last
+    /// appended — the [`Self::append_rows`] log — to an existing repository
+    /// file as one append group, without rewriting any existing bytes.
+    ///
+    /// The target must be the v2 artifact this repository's base state came
+    /// from (header and REPO_META are verified; appending to a mismatched
+    /// file is rejected before any byte is written). A no-op when nothing
+    /// changed. On success the pending log is cleared, so consecutive
+    /// appends produce consecutive groups.
+    ///
+    /// Crash semantics: a write torn mid-group leaves the base artifact and
+    /// all previously completed groups byte-identical on disk, and the next
+    /// open reports a typed error for the torn tail rather than silently
+    /// dropping it — open cannot distinguish "crash mid-append" from
+    /// "bit rot in the last group", so it refuses to guess; recovery (fsync
+    /// before acknowledging, truncate to the last valid section boundary) is
+    /// an operator/daemon concern, and an explicit repair API is a noted
+    /// ROADMAP follow-up.
+    pub fn append_to<P: AsRef<Path>>(&mut self, path: P) -> Result<()> {
+        if self.pending().is_empty() {
+            return Ok(());
+        }
+
+        // Light compatibility check against the target's header + meta.
+        {
+            let file = std::fs::File::open(&path)?;
+            let mut r = Reader::new(std::io::BufReader::new(file));
+            let version = read_header(&mut r, ArtifactKind::Repository)?;
+            if version < 2 {
+                return Err(StoreError::corrupt(
+                    "cannot append to a v1 repository file (no builder state); re-save it first",
+                ));
+            }
+            let meta_payload = joinmi_store::read_section(&mut r, SECTION_REPO_META)?;
+            let meta = read_repo_meta(&meta_payload)?;
+            let config = self.config();
+            if meta.num_tables != self.num_tables()
+                || meta.num_candidates != self.candidates().len()
+                || meta.config.sketch != config.sketch
+                || meta.config.sketch_kind != config.sketch_kind
+            {
+                return Err(StoreError::corrupt(
+                    "append target does not match this repository (table/candidate counts or \
+                     sketch configuration differ)",
+                ));
+            }
+        }
+
+        let file = std::fs::OpenOptions::new().append(true).open(&path)?;
+        let mut w = Writer::new(std::io::BufWriter::new(file));
+
+        let dirty: Vec<usize> = self.pending().dirty.iter().copied().collect();
+        let mut meta = SectionBuilder::new();
+        {
+            let p = meta.writer();
+            p.write_len(dirty.len())?;
+            encode_profiles(p, self.profiles())?;
+        }
+        meta.finish(SECTION_APPEND_META, &mut w)?;
+
+        for &id in &dirty {
+            let mut update = SectionBuilder::new();
+            {
+                let p = update.writer();
+                p.write_len(id)?;
+                encode_candidate(p, &self.candidates()[id])?;
+            }
+            update.finish(SECTION_CANDIDATE_UPDATE, &mut w)?;
+            write_candidate_state(&mut w, self.builders()[id].as_ref())?;
+        }
+        write_index_delta(&mut w, &self.pending().deltas)?;
+
+        let mut buffered = w.into_inner();
+        use std::io::Write as _;
+        buffered.flush()?;
+        self.clear_pending();
+        Ok(())
+    }
+
     /// Loads a repository artifact eagerly from a reader (see [`Self::load`]).
     pub fn load_from<R: Read>(mut input: R) -> Result<TableRepository> {
         let mut buf = Vec::new();
@@ -330,9 +581,10 @@ impl TableRepository {
 
     /// Loads a repository saved by [`Self::save`], decoding every candidate
     /// eagerly. The result is a *sketch-only* repository: it answers queries
-    /// bit-identically to the original, but holds no raw tables, so further
-    /// ingest and [`AugmentationPlan::materialize`](crate::AugmentationPlan)
-    /// are rejected with typed errors.
+    /// bit-identically to the original and — for v2 artifacts — accepts
+    /// [`Self::append_rows`], but holds no raw tables, so new-table ingest
+    /// and [`AugmentationPlan::materialize`](crate::AugmentationPlan) are
+    /// rejected with typed errors.
     pub fn load<P: AsRef<Path>>(path: P) -> Result<TableRepository> {
         Ok(Self::load_mmap_like(path)?.into_repository())
     }
@@ -351,19 +603,23 @@ impl TableRepository {
 #[derive(Debug)]
 struct LazyCandidate {
     /// Payload byte range inside [`RepositorySnapshot::buf`] (checksum
-    /// already verified at open).
+    /// already verified at open). For a candidate refreshed by an append
+    /// group this points at the latest CANDIDATE_UPDATE body.
     payload: Range<usize>,
+    /// Byte range of the serialized builder state, when present (v2).
+    state: Option<Range<usize>>,
     cell: OnceLock<CandidateColumn>,
 }
 
 /// A read-only repository view over a single in-memory copy of the file.
 ///
 /// Produced by [`TableRepository::load_mmap_like`]. All section checksums are
-/// verified at open (truncation, bit rot, wrong magic, and future versions
-/// all surface as typed [`StoreError`]s — never panics), after which
-/// candidate sketches are decoded lazily: a query that prunes to `k`
-/// candidates through the persisted joinability index decodes exactly those
-/// `k` sketches and leaves the rest as raw bytes.
+/// verified at open — including every append group's; truncation, bit rot,
+/// torn appends, wrong magic, and future versions all surface as typed
+/// [`StoreError`]s, never panics. After open, candidate sketches are decoded
+/// lazily: a query that prunes to `k` candidates through the persisted
+/// joinability index decodes exactly those `k` sketches and leaves the rest
+/// (and every builder state) as raw bytes.
 #[derive(Debug)]
 pub struct RepositorySnapshot {
     buf: Vec<u8>,
@@ -372,23 +628,25 @@ pub struct RepositorySnapshot {
     profiles: Vec<TableProfile>,
     index: JoinabilityIndex,
     candidates: Vec<LazyCandidate>,
+    /// Number of append groups the artifact carried.
+    append_groups: usize,
 }
 
 impl RepositorySnapshot {
     /// Parses a repository artifact held in memory, verifying the header and
-    /// every section checksum up front.
+    /// every section checksum up front and applying any append groups.
     pub fn from_bytes(buf: Vec<u8>) -> Result<Self> {
         // Header (8 bytes) via the streaming reader, then section scanning.
         let mut header = Reader::new(buf.as_slice());
-        read_header(&mut header, ArtifactKind::Repository)?;
+        let version = read_header(&mut header, ArtifactKind::Repository)?;
         let mut pos = 8usize;
 
         let meta_range = scan_section(&buf, &mut pos, SECTION_REPO_META)?;
         let meta = read_repo_meta(&buf[meta_range])?;
         let profiles_range = scan_section(&buf, &mut pos, SECTION_PROFILES)?;
-        let profiles = read_profiles(&buf[profiles_range], meta.num_tables)?;
+        let mut profiles = read_profiles(&buf[profiles_range], meta.num_tables)?;
         let index_range = scan_section(&buf, &mut pos, SECTION_INDEX)?;
-        let index = read_index(&buf[index_range], meta.num_candidates)?;
+        let mut index = read_index(&buf[index_range], meta.num_candidates)?;
 
         let mut candidates = Vec::with_capacity(meta.num_candidates.min(buf.len()));
         for _ in 0..meta.num_candidates {
@@ -397,15 +655,61 @@ impl RepositorySnapshot {
             // this, the lazy decode below cannot fail — a checksum-valid but
             // malformed payload is rejected here with a typed error instead
             // of panicking at first access.
-            validate_candidate_payload(&buf[payload.clone()], meta.num_tables)?;
+            validate_candidate_body(&buf[payload.clone()], meta.num_tables)?;
+            let state = if version >= 2 {
+                let state_payload = scan_section(&buf, &mut pos, SECTION_CANDIDATE_STATE)?;
+                validate_state_payload(&buf[state_payload.clone()])?
+                    .then(|| state_payload.start + 1..state_payload.end)
+            } else {
+                None
+            };
             candidates.push(LazyCandidate {
                 payload,
+                state,
                 cell: OnceLock::new(),
             });
         }
+
+        // Append groups (v2): replace updated candidates' payload ranges,
+        // replay index deltas, adopt refreshed profiles.
+        let mut append_groups = 0usize;
+        while version >= 2 && pos < buf.len() {
+            let meta_payload = scan_section(&buf, &mut pos, SECTION_APPEND_META)?;
+            let (updated_count, new_profiles) = {
+                let mut p = Reader::new(&buf[meta_payload.clone()]);
+                let updated = p.read_len("append group update count")?;
+                let profiles = decode_profiles(&mut p, meta.num_tables, meta_payload.len())?;
+                if !p.into_inner().is_empty() {
+                    return Err(StoreError::corrupt("trailing bytes in APPEND_META section"));
+                }
+                (updated, profiles)
+            };
+            for _ in 0..updated_count {
+                let update_payload = scan_section(&buf, &mut pos, SECTION_CANDIDATE_UPDATE)?;
+                let mut p = joinmi_store::SliceReader::new(&buf[update_payload.clone()]);
+                let id = p.read_len("updated candidate id")?;
+                check_candidate_id(id, meta.num_candidates)?;
+                let body = update_payload.start + p.position()..update_payload.end;
+                validate_candidate_body(&buf[body.clone()], meta.num_tables)?;
+                let state_payload = scan_section(&buf, &mut pos, SECTION_CANDIDATE_STATE)?;
+                let state = validate_state_payload(&buf[state_payload.clone()])?
+                    .then(|| state_payload.start + 1..state_payload.end);
+                candidates[id] = LazyCandidate {
+                    payload: body,
+                    state,
+                    cell: OnceLock::new(),
+                };
+            }
+            let delta_payload = scan_section(&buf, &mut pos, SECTION_INDEX_DELTA)?;
+            for delta in read_index_delta(&buf[delta_payload], meta.num_candidates)? {
+                index.apply_delta(&delta);
+            }
+            profiles = new_profiles;
+            append_groups += 1;
+        }
         if pos != buf.len() {
             return Err(StoreError::corrupt(format!(
-                "{} trailing bytes after the last candidate section",
+                "{} trailing bytes after the last section",
                 buf.len() - pos
             )));
         }
@@ -417,6 +721,7 @@ impl RepositorySnapshot {
             profiles,
             index,
             candidates,
+            append_groups,
         })
     }
 
@@ -432,10 +737,16 @@ impl RepositorySnapshot {
         self.num_tables
     }
 
-    /// Profiles of the ingested tables.
+    /// Profiles of the ingested tables (refreshed by append groups).
     #[must_use]
     pub fn profiles(&self) -> &[TableProfile] {
         &self.profiles
+    }
+
+    /// Number of append groups the artifact carried (0 for a flat save).
+    #[must_use]
+    pub fn append_groups(&self) -> usize {
+        self.append_groups
     }
 
     /// Number of candidate sketches already decoded (observability for the
@@ -448,8 +759,8 @@ impl RepositorySnapshot {
             .count()
     }
 
-    /// Decodes every candidate and assembles a sketch-only
-    /// [`TableRepository`].
+    /// Decodes every candidate (and its builder state, when present) and
+    /// assembles a sketch-only [`TableRepository`].
     #[must_use]
     pub fn into_repository(self) -> TableRepository {
         let candidates: Vec<CandidateColumn> = self
@@ -460,16 +771,35 @@ impl RepositorySnapshot {
                 None => Self::decode_candidate(&self.buf, &lazy.payload),
             })
             .collect();
-        TableRepository::from_loaded_parts(self.config, self.profiles, candidates, self.index)
+        let builders: Vec<Option<RightSketchBuilder>> = self
+            .candidates
+            .iter()
+            .map(|lazy| {
+                lazy.state.as_ref().map(|range| {
+                    // Validated structurally at open (the walker mirrors the
+                    // decoder), so this cannot fail on input data.
+                    RightSketchBuilder::read_state(&mut Reader::new(&self.buf[range.clone()]))
+                        .expect("validated builder state failed to decode")
+                })
+            })
+            .collect();
+        TableRepository::from_loaded_parts(
+            self.config,
+            self.profiles,
+            candidates,
+            self.index,
+            builders,
+        )
     }
 
     fn decode_candidate(buf: &[u8], payload: &Range<usize>) -> CandidateColumn {
-        // Every candidate payload passed `validate_candidate_payload` (the
+        // Every candidate payload passed `validate_candidate_body` (the
         // structural walker covering exactly the fields read here) when the
         // snapshot was opened, so this decode is infallible by construction;
         // a failure would be a walker/decoder mismatch, i.e. a bug, not
         // input-dependent behaviour.
-        read_candidate(&buf[payload.clone()]).expect("validated candidate section failed to decode")
+        read_candidate_body(&buf[payload.clone()])
+            .expect("validated candidate section failed to decode")
     }
 }
 
@@ -539,6 +869,7 @@ mod tests {
         let loaded = TableRepository::load_from(bytes.as_slice()).unwrap();
 
         assert!(loaded.is_sketch_only());
+        assert!(loaded.is_appendable());
         assert_eq!(loaded.num_tables(), repo.num_tables());
         assert_eq!(loaded.profiles(), repo.profiles());
         assert_eq!(loaded.candidates().len(), repo.candidates().len());
@@ -585,6 +916,7 @@ mod tests {
         let hits = query.execute(&repo).unwrap();
         let snapshot = RepositorySnapshot::from_bytes(save_bytes(&repo)).unwrap();
         assert_eq!(snapshot.decoded_candidates(), 0);
+        assert_eq!(snapshot.append_groups(), 0);
         let _ = query.execute(&snapshot).unwrap();
         let decoded = snapshot.decoded_candidates();
         // The weather table's date/hour-keyed candidates never overlap the
@@ -598,14 +930,14 @@ mod tests {
     }
 
     #[test]
-    fn sketch_only_repository_rejects_ingest_and_materialize() {
+    fn sketch_only_repository_rejects_new_tables_and_materialize() {
         let (repo, query) = sample_repo();
         let mut loaded = TableRepository::load_from(save_bytes(&repo).as_slice()).unwrap();
         let ranking = query.execute(&loaded).unwrap();
 
         let err = loaded
             .add_table(repo.table(0).clone())
-            .expect_err("sealed repo must reject ingest");
+            .expect_err("sealed repo must reject new-table ingest");
         assert!(matches!(err, joinmi_table::TableError::Unsupported(_)));
 
         let plan = crate::AugmentationPlan::new("zipcode", "num_trips", ranking[0].clone());
@@ -662,7 +994,9 @@ mod tests {
         trailing.extend_from_slice(b"junk");
         assert!(matches!(
             RepositorySnapshot::from_bytes(trailing),
-            Err(StoreError::Corrupt(_))
+            Err(StoreError::Corrupt(_)
+                | StoreError::Truncated { .. }
+                | StoreError::UnexpectedSection { .. })
         ));
     }
 
@@ -738,5 +1072,145 @@ mod tests {
         let c = query.execute(&snapshot).unwrap();
         assert_eq!(fingerprint(&a), fingerprint(&b));
         assert_eq!(fingerprint(&a), fingerprint(&c));
+    }
+
+    // -- append path ------------------------------------------------------
+
+    /// Splits the demographics table of a fresh scenario into a prefix and a
+    /// tail chunk.
+    fn scenario_with_split(
+        split: usize,
+    ) -> (TableRepository, RelationshipQuery, joinmi_table::Table) {
+        let scenario = TaxiScenario::generate(40, 15, 3);
+        let config = RepositoryConfig {
+            sketch: SketchConfig::new(256, 3),
+            ..RepositoryConfig::default()
+        };
+        let demo = scenario.demographics.clone();
+        let prefix = demo.slice_rows(0..split);
+        let tail = demo.slice_rows(split..demo.num_rows());
+        let mut repo = TableRepository::new(config);
+        repo.add_table(scenario.weather.clone()).unwrap();
+        repo.add_table(prefix).unwrap();
+        repo.add_table(scenario.inspections.clone()).unwrap();
+        let query = RelationshipQuery::new(scenario.taxi, "zipcode", "num_trips")
+            .with_sketch(SketchKind::Tupsk, SketchConfig::new(256, 3))
+            .with_min_join_size(10);
+        (repo, query, tail)
+    }
+
+    #[test]
+    fn file_append_group_round_trips_and_matches_flat_save() {
+        let (repo, query, tail) = scenario_with_split(8);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("joinmi-append-test-{}.jmi", std::process::id()));
+        repo.save(&path).unwrap();
+
+        // Daemon flow: reload the persisted repository, append rows, extend
+        // the file in place.
+        let mut reloaded = TableRepository::load(&path).unwrap();
+        let appended = reloaded.append_rows(&tail).unwrap();
+        assert!(appended > 0);
+        let before = std::fs::metadata(&path).unwrap().len();
+        reloaded.append_to(&path).unwrap();
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(after > before, "append must grow the file");
+        // Appending again with no pending changes is a no-op.
+        reloaded.append_to(&path).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), after);
+
+        // The appended file opens with one append group and answers queries
+        // bit-identically to the in-memory appended repository…
+        let snapshot = TableRepository::load_mmap_like(&path).unwrap();
+        assert_eq!(snapshot.append_groups(), 1);
+        let from_disk = query.execute(&snapshot).unwrap();
+        let in_memory = query.execute(&reloaded).unwrap();
+        assert_eq!(fingerprint(&from_disk), fingerprint(&in_memory));
+
+        // …and to an in-memory repository that appended without persisting.
+        let (mut direct, _, tail2) = scenario_with_split(8);
+        direct.append_rows(&tail2).unwrap();
+        assert_eq!(
+            fingerprint(&from_disk),
+            fingerprint(&query.execute(&direct).unwrap())
+        );
+
+        // A flat save of the appended repository loads identically too.
+        let flat_path = dir.join(format!("joinmi-append-flat-{}.jmi", std::process::id()));
+        reloaded.save(&flat_path).unwrap();
+        let flat = TableRepository::load(&flat_path).unwrap();
+        assert_eq!(
+            fingerprint(&in_memory),
+            fingerprint(&query.execute(&flat).unwrap())
+        );
+
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&flat_path).unwrap();
+    }
+
+    #[test]
+    fn torn_append_group_is_a_typed_error_never_a_panic() {
+        let (repo, _, tail) = scenario_with_split(8);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("joinmi-torn-append-{}.jmi", std::process::id()));
+        repo.save(&path).unwrap();
+        let base_len = std::fs::metadata(&path).unwrap().len() as usize;
+
+        let mut reloaded = TableRepository::load(&path).unwrap();
+        reloaded.append_rows(&tail).unwrap();
+        reloaded.append_to(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(bytes.len() > base_len);
+
+        // Every torn prefix of the append group must fail typed; the base
+        // artifact alone must still open.
+        assert!(RepositorySnapshot::from_bytes(bytes[..base_len].to_vec()).is_ok());
+        for cut in [
+            base_len + 1,
+            base_len + 17,
+            (base_len + bytes.len()) / 2,
+            bytes.len() - 1,
+        ] {
+            match RepositorySnapshot::from_bytes(bytes[..cut].to_vec()) {
+                Err(
+                    StoreError::Truncated { .. }
+                    | StoreError::UnexpectedSection { .. }
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::Corrupt(_),
+                ) => {}
+                other => panic!("cut at {cut}: expected typed error, got {other:?}"),
+            }
+        }
+
+        // A flipped bit inside the group is a checksum mismatch.
+        let mut flipped = bytes.clone();
+        let target = base_len + (bytes.len() - base_len) / 2;
+        flipped[target] ^= 0x10;
+        assert!(matches!(
+            RepositorySnapshot::from_bytes(flipped),
+            Err(StoreError::ChecksumMismatch { .. } | StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn append_to_rejects_mismatched_target() {
+        let (mut repo, _, tail) = scenario_with_split(8);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("joinmi-append-mismatch-{}.jmi", std::process::id()));
+
+        // Persist a *different* repository (one table only) as the target.
+        let scenario = TaxiScenario::generate(40, 15, 3);
+        let mut other = TableRepository::new(RepositoryConfig {
+            sketch: SketchConfig::new(256, 3),
+            ..RepositoryConfig::default()
+        });
+        other.add_table(scenario.weather).unwrap();
+        other.save(&path).unwrap();
+
+        repo.append_rows(&tail).unwrap();
+        let err = repo.append_to(&path).expect_err("mismatched target");
+        assert!(matches!(err, StoreError::Corrupt(_)));
+        std::fs::remove_file(&path).unwrap();
     }
 }

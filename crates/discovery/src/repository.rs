@@ -13,10 +13,12 @@
 //! candidate list is bit-for-bit identical to a sequential ingest regardless
 //! of `JOINMI_THREADS`.
 
-use joinmi_sketch::{Aggregation, ColumnSketch, SketchConfig, SketchKind};
+use std::collections::BTreeSet;
+
+use joinmi_sketch::{Aggregation, ColumnSketch, RightSketchBuilder, SketchConfig, SketchKind};
 use joinmi_table::{DataType, Table, TableError};
 
-use crate::index::JoinabilityIndex;
+use crate::index::{IndexDelta, JoinabilityIndex};
 use crate::profile::TableProfile;
 use crate::Result;
 
@@ -117,7 +119,7 @@ impl CandidateColumn {
 /// repositories answer queries bit-identically to the in-memory original;
 /// further ingest and full-join materialization are rejected with
 /// [`TableError::Unsupported`].
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TableRepository {
     config: Option<RepositoryConfig>,
     tables: Vec<Table>,
@@ -126,6 +128,30 @@ pub struct TableRepository {
     index: JoinabilityIndex,
     /// `true` for repositories loaded from disk (no raw tables).
     sketch_only: bool,
+    /// One appendable sketch builder per candidate. `None` only for
+    /// candidates loaded from a pre-append-format (v1) file, which cannot
+    /// absorb further rows.
+    builders: Vec<Option<RightSketchBuilder>>,
+    /// Changes accumulated since the repository was last persisted, consumed
+    /// by the on-disk append path in [`crate::persist`].
+    pending: PendingAppend,
+}
+
+/// The not-yet-persisted tail of an appendable repository: which candidates
+/// changed and the ordered index deltas their updates produced.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PendingAppend {
+    /// Candidate indices whose sketch or builder state changed.
+    pub dirty: BTreeSet<usize>,
+    /// Index deltas in the order they were produced (order matters: each
+    /// delta is relative to the state the previous one left behind).
+    pub deltas: Vec<IndexDelta>,
+}
+
+impl PendingAppend {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.dirty.is_empty() && self.deltas.is_empty()
+    }
 }
 
 impl TableRepository {
@@ -145,7 +171,16 @@ impl TableRepository {
         profiles: Vec<TableProfile>,
         candidates: Vec<CandidateColumn>,
         index: JoinabilityIndex,
+        mut builders: Vec<Option<RightSketchBuilder>>,
     ) -> Self {
+        // The persisted sketch is the canonical finished form of the
+        // persisted builder state: prime the finish cache from it so the
+        // first append after a reload is O(changed), not O(sketch).
+        for (builder, candidate) in builders.iter_mut().zip(&candidates) {
+            if let Some(builder) = builder {
+                builder.prime_cache(&candidate.sketch);
+            }
+        }
         Self {
             config: Some(config),
             tables: Vec::new(),
@@ -153,6 +188,8 @@ impl TableRepository {
             candidates,
             index,
             sketch_only: true,
+            builders,
+            pending: PendingAppend::default(),
         }
     }
 
@@ -183,7 +220,9 @@ impl TableRepository {
     pub fn add_tables(&mut self, tables: Vec<Table>) -> Result<usize> {
         if self.sketch_only {
             return Err(TableError::Unsupported(
-                "cannot ingest into a sketch-only repository loaded from disk".to_owned(),
+                "cannot ingest new tables into a sketch-only repository loaded from disk; \
+                 rows of already-ingested tables can be added with `append_rows`"
+                    .to_owned(),
             ));
         }
         let config = self.config();
@@ -200,21 +239,32 @@ impl TableRepository {
             profiles.push(profile);
         }
 
-        // The parallel fan-out: one right-side sketch per planned pair.
-        let sketches: Vec<Result<ColumnSketch>> = joinmi_par::par_map(&planned, |pair| {
-            config.sketch_kind.build_right(
-                &tables[pair.batch_index],
-                &pair.key_column,
-                &pair.feature_column,
-                pair.aggregation,
-                &config.sketch,
-            )
-        });
+        // The parallel fan-out: one appendable sketch builder per planned
+        // pair. `finish()` is pinned bit-for-bit against the one-shot
+        // `SketchKind::build_right`, so candidates are identical to the
+        // pre-incremental ingest path.
+        let built: Vec<Result<(RightSketchBuilder, ColumnSketch)>> =
+            joinmi_par::par_map(&planned, |pair| {
+                let mut builder = RightSketchBuilder::start(
+                    config.sketch_kind,
+                    &tables[pair.batch_index],
+                    &pair.key_column,
+                    &pair.feature_column,
+                    pair.aggregation,
+                    &config.sketch,
+                )?;
+                // `finish_cached` warms the O(changed) refresh cache for
+                // later appends while producing the same bits as `finish`.
+                let sketch = builder.finish_cached();
+                Ok((builder, sketch))
+            });
 
         let first_table_index = self.tables.len();
         let mut candidates = Vec::with_capacity(planned.len());
-        for (pair, sketch) in planned.into_iter().zip(sketches) {
-            let sketch = sketch?;
+        let mut builders = Vec::with_capacity(planned.len());
+        for (pair, result) in planned.into_iter().zip(built) {
+            let (builder, sketch) = result?;
+            builders.push(Some(builder));
             candidates.push(CandidateColumn {
                 table_index: first_table_index + pair.batch_index,
                 table_name: tables[pair.batch_index].name().to_owned(),
@@ -232,9 +282,181 @@ impl TableRepository {
                 .insert(first_candidate_index + offset, &candidate.sketch);
         }
         self.candidates.extend(candidates);
+        self.builders.extend(builders);
         self.profiles.extend(profiles);
         self.tables.extend(tables);
         Ok(added)
+    }
+
+    /// Appends a chunk of rows to an already-ingested table (matched by the
+    /// chunk's table name; the schema must equal the ingested table's).
+    /// Returns the number of appended rows — the chunk's full row count, the
+    /// same accounting as the raw table and profiles (rows with a NULL join
+    /// key are stored but, as at build time, never sampled into sketches).
+    ///
+    /// Works on in-memory repositories *and* on repositories loaded from an
+    /// appendable (v2) file — this is the operation that used to be rejected
+    /// outright for loaded repositories. Every candidate sketch of the table
+    /// is updated in `O(changed)` via its [`RightSketchBuilder`] (the KMV
+    /// threshold skips rows of non-qualifying keys), the joinability index
+    /// is patched incrementally, and the resulting state is bit-for-bit
+    /// identical to a from-scratch ingest of the extended table. On error
+    /// (unknown table, schema mismatch, non-appendable candidate) the
+    /// repository is left unchanged.
+    ///
+    /// Profile bookkeeping: table and per-column row/NULL counts are exact,
+    /// and join-key distinct counts come from the builders' seen-key sets;
+    /// distinct counts of *other* columns keep their last fully-profiled
+    /// value (tracking them exactly would mean retaining every value ever
+    /// seen, which the bounded-state design deliberately avoids).
+    pub fn append_rows(&mut self, chunk: &Table) -> Result<usize> {
+        self.append_tables(std::slice::from_ref(chunk))
+    }
+
+    /// Appends several row chunks (see [`Self::append_rows`]), validating all
+    /// of them before mutating anything. Returns the total appended rows.
+    pub fn append_tables(&mut self, chunks: &[Table]) -> Result<usize> {
+        // Validation pass: resolve every chunk to a table and check schemas
+        // and builder availability, so the mutation pass cannot fail midway.
+        let mut resolved = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            let table_index = self
+                .profiles
+                .iter()
+                .position(|p| p.table == chunk.name())
+                .ok_or_else(|| {
+                    TableError::Unsupported(format!(
+                        "cannot append rows: no ingested table named `{}`",
+                        chunk.name()
+                    ))
+                })?;
+            let profile = &self.profiles[table_index];
+            let fields = chunk.schema().fields();
+            if fields.len() != profile.columns.len()
+                || fields
+                    .iter()
+                    .zip(&profile.columns)
+                    .any(|(field, column)| field.name != column.name || field.dtype != column.dtype)
+            {
+                return Err(TableError::Unsupported(format!(
+                    "append chunk schema does not match ingested table `{}`",
+                    chunk.name()
+                )));
+            }
+            for (candidate_index, candidate) in self.candidates.iter().enumerate() {
+                if candidate.table_index != table_index {
+                    continue;
+                }
+                if self.builders[candidate_index].is_none() {
+                    return Err(TableError::Unsupported(format!(
+                        "candidate `{}` was loaded from a pre-append repository file and \
+                         cannot absorb new rows; re-ingest to upgrade it",
+                        candidate.label()
+                    )));
+                }
+            }
+            resolved.push((table_index, chunk));
+        }
+
+        // Mutation pass.
+        let mut appended_total = 0usize;
+        for (table_index, chunk) in resolved {
+            for candidate_index in 0..self.candidates.len() {
+                if self.candidates[candidate_index].table_index != table_index {
+                    continue;
+                }
+                let builder = self.builders[candidate_index]
+                    .as_mut()
+                    .expect("validated above");
+                let diff = builder.append_table_diff(chunk)?;
+                let new_sketch = builder.finish_cached();
+                let delta = if diff.exact_membership {
+                    // KMV kinds report exactly which keys entered/left the
+                    // selection, so the index is patched in O(changed).
+                    let size = self.builders[candidate_index]
+                        .as_ref()
+                        .expect("validated above")
+                        .selection_len();
+                    self.index.apply_membership_update(
+                        candidate_index,
+                        &diff.removed,
+                        &diff.added,
+                        size,
+                    )
+                } else {
+                    // INDSK's Bernoulli selection is only determined at
+                    // finish time: diff the finished sketches.
+                    self.index.update(
+                        candidate_index,
+                        &self.candidates[candidate_index].sketch,
+                        &new_sketch,
+                    )
+                };
+                self.candidates[candidate_index].sketch = new_sketch;
+                self.pending.dirty.insert(candidate_index);
+                if !delta.is_empty() {
+                    self.pending.deltas.push(delta);
+                }
+            }
+            appended_total += chunk.num_rows();
+
+            // Exact row/NULL bookkeeping; key-column distinct counts come
+            // from the builders (see `append_rows` docs).
+            let profile = &mut self.profiles[table_index];
+            profile.rows += chunk.num_rows();
+            for column in &mut profile.columns {
+                column.rows += chunk.num_rows();
+                if let Ok(col) = chunk.column(&column.name) {
+                    column.nulls += col.null_count();
+                }
+            }
+            for (candidate_index, candidate) in self.candidates.iter().enumerate() {
+                if candidate.table_index != table_index {
+                    continue;
+                }
+                if let Some(builder) = &self.builders[candidate_index] {
+                    if let Some(column) = self.profiles[table_index]
+                        .columns
+                        .iter_mut()
+                        .find(|c| c.name == candidate.key_column)
+                    {
+                        column.distinct = builder.distinct_keys();
+                    }
+                }
+            }
+
+            // Keep the raw table in sync when we still hold it, so
+            // materialization sees the appended rows too.
+            if let Some(table) = self.tables.get_mut(table_index) {
+                table.extend_rows(chunk)?;
+            }
+        }
+        Ok(appended_total)
+    }
+
+    /// Returns `true` when every candidate carries the appendable builder
+    /// state required by [`Self::append_rows`] (always true for in-memory
+    /// ingests and v2 files; false for repositories loaded from v1 files).
+    #[must_use]
+    pub fn is_appendable(&self) -> bool {
+        self.builders.iter().all(Option::is_some)
+    }
+
+    /// Per-candidate builders, parallel to [`Self::candidates`] (persistence
+    /// internals).
+    pub(crate) fn builders(&self) -> &[Option<RightSketchBuilder>] {
+        &self.builders
+    }
+
+    /// The unpersisted append log (persistence internals).
+    pub(crate) fn pending(&self) -> &PendingAppend {
+        &self.pending
+    }
+
+    /// Clears the append log after it has been persisted (or folded into a
+    /// full rewrite by `save`).
+    pub(crate) fn clear_pending(&mut self) {
+        self.pending = PendingAppend::default();
     }
 
     /// Number of ingested tables (counted from the profiles, which are

@@ -22,7 +22,20 @@ use crate::wire::{Reader, Writer};
 pub const MAGIC: [u8; 4] = *b"JMIS";
 
 /// Current (highest understood) format version.
-pub const FORMAT_VERSION: u16 = 1;
+///
+/// * **v1** — the original repository layout: REPO_META, PROFILES, INDEX,
+///   one CANDIDATE section per candidate, end of file.
+/// * **v2** — the appendable layout: every CANDIDATE is followed by a
+///   CANDIDATE_STATE section carrying its incremental-builder state, and the
+///   base payload may be followed by append groups (APPEND_META, updated
+///   candidates, INDEX_DELTA) written by `TableRepository::append_to`
+///   without rewriting the file. v1 readers reject v2 files cleanly with
+///   [`StoreError::UnsupportedVersion`]; v2 readers still accept v1 files
+///   (whose candidates are simply not appendable).
+pub const FORMAT_VERSION: u16 = 2;
+
+/// The last pre-append format version (see [`FORMAT_VERSION`]).
+pub const FORMAT_VERSION_V1: u16 = 1;
 
 /// What a store file holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,10 +68,22 @@ impl ArtifactKind {
     }
 }
 
-/// Writes the 8-byte file header.
+/// Writes the 8-byte file header at the current [`FORMAT_VERSION`].
 pub fn write_header<W: Write>(w: &mut Writer<W>, kind: ArtifactKind) -> Result<()> {
+    write_header_with_version(w, kind, FORMAT_VERSION)
+}
+
+/// Writes the 8-byte file header with an explicit version — for artifact
+/// kinds whose wire format did not change in a bump (standalone sketches are
+/// still written as v1 so pre-v2 readers keep reading them).
+pub fn write_header_with_version<W: Write>(
+    w: &mut Writer<W>,
+    kind: ArtifactKind,
+    version: u16,
+) -> Result<()> {
+    debug_assert!((1..=FORMAT_VERSION).contains(&version));
     w.write_raw(&MAGIC)?;
-    w.write_u16(FORMAT_VERSION)?;
+    w.write_u16(version)?;
     w.write_u8(kind.tag())?;
     w.write_u8(0) // reserved
 }

@@ -36,6 +36,9 @@ pub mod section;
 pub mod wire;
 
 pub use error::{Result, StoreError};
-pub use format::{read_header, write_header, ArtifactKind, FORMAT_VERSION, MAGIC};
+pub use format::{
+    read_header, write_header, write_header_with_version, ArtifactKind, FORMAT_VERSION,
+    FORMAT_VERSION_V1, MAGIC,
+};
 pub use section::{checksum, read_section, scan_section, write_section, SectionBuilder};
 pub use wire::{Reader, SliceReader, Writer};

@@ -175,6 +175,25 @@ impl Column {
             Self::Str(v) => Self::Str(indices.iter().map(|&i| v[i].clone()).collect()),
         }
     }
+
+    /// Appends another column's entries in place (amortized `O(other)`, no
+    /// re-allocation of the existing entries).
+    ///
+    /// # Panics
+    /// Panics if the columns have different types; [`crate::Table::vstack`]
+    /// and [`crate::Table::extend_rows`] check schemas before calling this.
+    pub fn extend_from(&mut self, other: &Self) {
+        match (self, other) {
+            (Self::Int(a), Self::Int(b)) => a.extend_from_slice(b),
+            (Self::Float(a), Self::Float(b)) => a.extend_from_slice(b),
+            (Self::Str(a), Self::Str(b)) => a.extend(b.iter().cloned()),
+            (a, b) => panic!(
+                "cannot concat {} column with {} column",
+                a.dtype(),
+                b.dtype()
+            ),
+        }
+    }
 }
 
 /// Incremental builder for a [`Column`].

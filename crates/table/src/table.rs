@@ -126,6 +126,47 @@ impl Table {
         self.take(&indices)
     }
 
+    /// Creates a new table with the contiguous row range (clamped to the
+    /// table length). Used to split tables into an initial-ingest prefix and
+    /// append chunks.
+    #[must_use]
+    pub fn slice_rows(&self, range: std::ops::Range<usize>) -> Self {
+        let start = range.start.min(self.nrows);
+        let end = range.end.min(self.nrows).max(start);
+        let indices: Vec<usize> = (start..end).collect();
+        self.take(&indices)
+    }
+
+    /// Vertically concatenates another table's rows below this one's. The
+    /// other table must have the same schema (column names, order, and
+    /// types); its table name is ignored.
+    pub fn vstack(&self, other: &Table) -> Result<Self> {
+        let mut combined = self.clone();
+        combined.extend_rows(other)?;
+        Ok(combined)
+    }
+
+    /// Appends another table's rows in place (same schema contract as
+    /// [`Self::vstack`], amortized `O(other)` — the existing rows are not
+    /// copied). The repository's incremental-ingest path uses this to keep
+    /// raw tables in sync with appended chunks.
+    pub fn extend_rows(&mut self, other: &Table) -> Result<()> {
+        if self.schema != *other.schema() {
+            return Err(TableError::Unsupported(format!(
+                "vstack schema mismatch: `{}` has [{}], `{}` has [{}]",
+                self.name,
+                self.schema,
+                other.name(),
+                other.schema()
+            )));
+        }
+        for (a, b) in self.columns.iter_mut().zip(other.columns()) {
+            a.extend_from(b);
+        }
+        self.nrows += other.num_rows();
+        Ok(())
+    }
+
     /// Renames the table.
     #[must_use]
     pub fn renamed(mut self, name: impl Into<String>) -> Self {
@@ -369,5 +410,36 @@ mod tests {
             .unwrap();
         assert_eq!(t.column("v").unwrap().null_count(), 1);
         assert_eq!(t.value(0, "v").unwrap(), Value::Float(1.0));
+    }
+
+    #[test]
+    fn slice_then_vstack_reassembles_the_table() {
+        let t = Table::builder("t")
+            .push_str_column("k", vec!["a", "b", "c", "d", "e"])
+            .push_int_column("v", vec![1, 2, 3, 4, 5])
+            .build()
+            .unwrap();
+        let head = t.slice_rows(0..3);
+        let tail = t.slice_rows(3..5);
+        assert_eq!(head.num_rows(), 3);
+        assert_eq!(tail.num_rows(), 2);
+        let whole = head.vstack(&tail).unwrap();
+        assert_eq!(whole, t);
+        // Out-of-range slices clamp instead of panicking.
+        assert_eq!(t.slice_rows(4..99).num_rows(), 1);
+        assert_eq!(t.slice_rows(9..12).num_rows(), 0);
+    }
+
+    #[test]
+    fn vstack_rejects_schema_mismatch() {
+        let a = Table::builder("a")
+            .push_int_column("v", vec![1])
+            .build()
+            .unwrap();
+        let b = Table::builder("b")
+            .push_float_column("v", vec![1.0])
+            .build()
+            .unwrap();
+        assert!(matches!(a.vstack(&b), Err(TableError::Unsupported(_))));
     }
 }

@@ -1,0 +1,271 @@
+//! End-to-end incremental ingest: appending rows to a repository — in memory
+//! and through the on-disk append format — must be bit-for-bit identical to
+//! one-shot ingest of the extended tables, for every sketch kind; torn or
+//! corrupted append groups must surface as typed store errors.
+
+use joinmi::discovery::RepositoryConfig;
+use joinmi::prelude::*;
+use joinmi::sketch::RightSketchBuilder;
+use joinmi::store::StoreError;
+use proptest::prelude::*;
+
+/// A deterministic candidate table with skewed string keys, NULL keys, and
+/// two feature columns.
+fn corpus_table(name: &str, rows: usize) -> Table {
+    let keys: Vec<Value> = (0..rows)
+        .map(|i| {
+            if i % 13 == 7 {
+                Value::Null
+            } else {
+                Value::from(format!("k{}", (i * 31 + i / 7) % 97))
+            }
+        })
+        .collect();
+    let f0: Vec<f64> = (0..rows).map(|i| ((i * 31) % 97) as f64 * 1.5).collect();
+    let f1: Vec<i64> = (0..rows).map(|i| ((i * 17) % 23) as i64 - 5).collect();
+    Table::builder(name)
+        .push_value_column("key", DataType::Str, &keys)
+        .unwrap()
+        .push_float_column("f0", f0)
+        .push_int_column("f1", f1)
+        .build()
+        .unwrap()
+}
+
+fn repo_with(kind: SketchKind, tables: Vec<Table>) -> TableRepository {
+    let mut repo = TableRepository::new(RepositoryConfig {
+        sketch_kind: kind,
+        sketch: SketchConfig::new(64, 9),
+        ..RepositoryConfig::default()
+    });
+    repo.add_tables(tables).unwrap();
+    repo
+}
+
+fn assert_repos_bit_identical(a: &TableRepository, b: &TableRepository, context: &str) {
+    assert_eq!(a.candidates().len(), b.candidates().len(), "{context}");
+    for (ca, cb) in a.candidates().iter().zip(b.candidates()) {
+        assert_eq!(ca.label(), cb.label(), "{context}");
+        assert_eq!(ca.sketch, cb.sketch, "{context}: sketch of {}", ca.label());
+    }
+    let (pa, sa) = a.joinability().canonical_parts();
+    let (pb, sb) = b.joinability().canonical_parts();
+    assert_eq!(pa, pb, "{context}: index postings");
+    assert_eq!(sa, sb, "{context}: index sizes");
+}
+
+#[test]
+fn append_rows_equals_one_shot_ingest_for_every_kind() {
+    for kind in SketchKind::ALL {
+        let full = corpus_table("cand", 400);
+        let one_shot = repo_with(kind, vec![full.clone()]);
+
+        let mut appended = repo_with(kind, vec![full.slice_rows(0..250)]);
+        appended.append_rows(&full.slice_rows(250..320)).unwrap();
+        appended.append_rows(&full.slice_rows(320..400)).unwrap();
+
+        assert_repos_bit_identical(&one_shot, &appended, &format!("{kind}"));
+        // The raw table kept by the in-memory repository matches too.
+        assert_eq!(appended.table(0), &full);
+        // Profile row counts are exact after appends.
+        assert_eq!(appended.profiles()[0].rows, 400);
+    }
+}
+
+#[test]
+fn append_through_disk_across_simulated_processes_for_every_kind() {
+    let dir = std::env::temp_dir();
+    for kind in SketchKind::ALL {
+        let full = corpus_table("cand", 380);
+        let path = dir.join(format!(
+            "joinmi-append-e2e-{}-{}.jmi",
+            kind,
+            std::process::id()
+        ));
+
+        // Process 1: ingest the prefix and persist.
+        repo_with(kind, vec![full.slice_rows(0..300)])
+            .save(&path)
+            .unwrap();
+
+        // Process 2: load, append the tail, extend the file in place.
+        let mut daemon = TableRepository::load(&path).unwrap();
+        assert!(daemon.is_appendable());
+        daemon.append_rows(&full.slice_rows(300..380)).unwrap();
+        daemon.append_to(&path).unwrap();
+
+        // Process 3: load the appended artifact; must equal one-shot ingest.
+        let reloaded = TableRepository::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let one_shot = repo_with(kind, vec![full.clone()]);
+        assert_repos_bit_identical(&one_shot, &reloaded, &format!("{kind} via disk"));
+        assert_eq!(reloaded.profiles()[0].rows, 380, "{kind}: profile rows");
+
+        // And the reloaded repository can keep absorbing appends.
+        let mut extended = reloaded;
+        let more = corpus_table("cand", 500).slice_rows(380..500);
+        extended.append_rows(&more).unwrap();
+        let one_shot_more = repo_with(kind, vec![corpus_table("cand", 500)]);
+        assert_repos_bit_identical(&one_shot_more, &extended, &format!("{kind} re-append"));
+    }
+}
+
+#[test]
+fn corrupt_append_section_is_a_typed_error_never_a_panic() {
+    let full = corpus_table("cand", 300);
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("joinmi-append-corrupt-{}.jmi", std::process::id()));
+    repo_with(SketchKind::Tupsk, vec![full.slice_rows(0..240)])
+        .save(&path)
+        .unwrap();
+    let base_len = std::fs::metadata(&path).unwrap().len() as usize;
+    let mut daemon = TableRepository::load(&path).unwrap();
+    daemon.append_rows(&full.slice_rows(240..300)).unwrap();
+    daemon.append_to(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    // Torn appends: every truncation inside the append group is typed.
+    for cut in (base_len..bytes.len()).step_by(97).chain([bytes.len() - 1]) {
+        match joinmi::prelude::RepositorySnapshot::from_bytes(bytes[..cut].to_vec()) {
+            Err(
+                StoreError::Truncated { .. }
+                | StoreError::UnexpectedSection { .. }
+                | StoreError::ChecksumMismatch { .. }
+                | StoreError::Corrupt(_),
+            ) => {}
+            Ok(_) => {
+                assert_eq!(cut, base_len, "only the exact base length may parse");
+            }
+            Err(e) => panic!("cut {cut}: unexpected error kind {e:?}"),
+        }
+    }
+
+    // Bit flips anywhere in the group fail the section checksum.
+    for offset in [base_len + 9, base_len + (bytes.len() - base_len) / 2] {
+        let mut flipped = bytes.clone();
+        flipped[offset] ^= 0x20;
+        assert!(
+            matches!(
+                joinmi::prelude::RepositorySnapshot::from_bytes(flipped),
+                Err(StoreError::ChecksumMismatch { .. }
+                    | StoreError::Corrupt(_)
+                    | StoreError::Truncated { .. }
+                    | StoreError::UnexpectedSection { .. })
+            ),
+            "flip at {offset} must be typed"
+        );
+    }
+}
+
+#[test]
+fn v1_files_still_load_but_reject_appends() {
+    // Synthesize a v1 artifact from a v2 one: drop the CANDIDATE_STATE
+    // sections and patch the header version. This is byte-for-byte what the
+    // PR 3 format wrote.
+    let full = corpus_table("cand", 200);
+    let repo = repo_with(SketchKind::Tupsk, vec![full.clone()]);
+    let mut v2 = Vec::new();
+    repo.save_to(&mut v2).unwrap();
+
+    let mut v1 = v2[..8].to_vec();
+    v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+    let mut pos = 8usize;
+    use joinmi::discovery::persist::{
+        SECTION_CANDIDATE, SECTION_CANDIDATE_STATE, SECTION_INDEX, SECTION_PROFILES,
+        SECTION_REPO_META,
+    };
+    for tag in [SECTION_REPO_META, SECTION_PROFILES, SECTION_INDEX] {
+        let start = pos;
+        joinmi::store::scan_section(&v2, &mut pos, tag).unwrap();
+        v1.extend_from_slice(&v2[start..pos]);
+    }
+    while pos < v2.len() {
+        let start = pos;
+        joinmi::store::scan_section(&v2, &mut pos, SECTION_CANDIDATE).unwrap();
+        v1.extend_from_slice(&v2[start..pos]);
+        joinmi::store::scan_section(&v2, &mut pos, SECTION_CANDIDATE_STATE).unwrap();
+    }
+
+    let mut loaded = TableRepository::load_from(v1.as_slice()).unwrap();
+    assert!(!loaded.is_appendable());
+    assert_eq!(loaded.candidates().len(), repo.candidates().len());
+    for (a, b) in loaded.candidates().iter().zip(repo.candidates()) {
+        assert_eq!(a.sketch, b.sketch);
+    }
+    let err = loaded
+        .append_rows(&corpus_table("cand", 220).slice_rows(200..220))
+        .expect_err("v1-loaded repositories cannot absorb appends");
+    assert!(matches!(err, joinmi::table::TableError::Unsupported(_)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The pinned tentpole invariant: for every sketch kind, appending a
+    /// table in arbitrary chunks through the incremental builder is
+    /// bit-for-bit identical to one-shot sketching of the whole table.
+    #[test]
+    fn builder_appends_over_arbitrary_splits_equal_one_shot(
+        rows in 1usize..260,
+        splits in proptest::collection::vec(0usize..260, 0..5),
+        seed in 0u64..5,
+        kind_index in 0usize..SketchKind::ALL.len(),
+    ) {
+        let kind = SketchKind::ALL[kind_index];
+        let cfg = SketchConfig::new(24, seed);
+        let full = corpus_table("cand", rows);
+        let direct = kind
+            .build_right(&full, "key", "f0", Aggregation::Avg, &cfg)
+            .unwrap();
+
+        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s % (rows + 1)).collect();
+        cuts.push(0);
+        cuts.push(rows);
+        cuts.sort_unstable();
+        let mut builder: Option<RightSketchBuilder> = None;
+        for pair in cuts.windows(2) {
+            let chunk = full.slice_rows(pair[0]..pair[1]);
+            match &mut builder {
+                None => {
+                    builder = Some(
+                        RightSketchBuilder::start(kind, &chunk, "key", "f0", Aggregation::Avg, &cfg)
+                            .unwrap(),
+                    );
+                }
+                Some(b) => {
+                    b.append_table(&chunk).unwrap();
+                }
+            }
+        }
+        let built = builder.expect("at least one chunk").finish();
+        prop_assert_eq!(&direct, &built);
+    }
+
+    /// Repository-level form of the same invariant, including the
+    /// joinability index and a save → load → append hop.
+    #[test]
+    fn repository_appends_over_arbitrary_splits_equal_one_shot(
+        rows in 40usize..200,
+        cut_frac in 10usize..90,
+        kind_index in 0usize..SketchKind::ALL.len(),
+    ) {
+        let kind = SketchKind::ALL[kind_index];
+        let full = corpus_table("cand", rows);
+        let cut = rows * cut_frac / 100;
+        let one_shot = repo_with(kind, vec![full.clone()]);
+
+        let mut direct = repo_with(kind, vec![full.slice_rows(0..cut)]);
+        direct.append_rows(&full.slice_rows(cut..rows)).unwrap();
+        assert_repos_bit_identical(&one_shot, &direct, "in-memory");
+
+        // The same append applied after a persistence round-trip.
+        let mut bytes = Vec::new();
+        repo_with(kind, vec![full.slice_rows(0..cut)])
+            .save_to(&mut bytes)
+            .unwrap();
+        let mut reloaded = TableRepository::load_from(bytes.as_slice()).unwrap();
+        reloaded.append_rows(&full.slice_rows(cut..rows)).unwrap();
+        assert_repos_bit_identical(&one_shot, &reloaded, "reloaded");
+    }
+}
