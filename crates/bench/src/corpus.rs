@@ -61,6 +61,22 @@ pub fn candidate_tables(rows: usize) -> Vec<Table> {
     (0..NUM_TABLES).map(|i| candidate_table(i, rows)).collect()
 }
 
+/// The candidate tables assigned to shard `shard` of `num_shards`, under the
+/// contiguous partitioning the serving layer's exact-merge argument assumes:
+/// shard `s` holds tables `[s*ceil(N/num_shards), (s+1)*ceil(N/num_shards))`,
+/// so concatenating the shards in order reassembles [`candidate_tables`]
+/// exactly — and therefore a sharded daemon's merged ranking is bit-for-bit
+/// the single-repository ranking.
+#[must_use]
+pub fn shard_tables(rows: usize, shard: usize, num_shards: usize) -> Vec<Table> {
+    assert!(num_shards > 0, "num_shards must be positive");
+    assert!(shard < num_shards, "shard index out of range");
+    let chunk = NUM_TABLES.div_ceil(num_shards);
+    (shard * chunk..NUM_TABLES.min((shard + 1) * chunk))
+        .map(|i| candidate_table(i, rows))
+        .collect()
+}
+
 /// Rows per table in the *base* (pre-append) corpus: everything except the
 /// append tail (1% of rows, at least one). The incremental-ingest workload
 /// ingests `append_split(rows)` rows per table, then appends the remaining
@@ -196,6 +212,18 @@ mod tests {
         // Tiny corpora still split off at least one row.
         assert_eq!(append_split(5), 4);
         assert_eq!(append_split(1), 0);
+    }
+
+    #[test]
+    fn shards_reassemble_the_corpus_in_order() {
+        for num_shards in [1, 3, 5, 32] {
+            let sharded: Vec<Table> = (0..num_shards)
+                .flat_map(|s| shard_tables(50, s, num_shards))
+                .collect();
+            assert_eq!(sharded, candidate_tables(50), "num_shards={num_shards}");
+        }
+        // More shards than tables: the excess shards are empty.
+        assert!(shard_tables(50, 32, 33).is_empty());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use joinmi_bench::quickjson;
 use joinmi_bench::trinomial_workload;
 use joinmi_discovery::{CandidateSource, TableRepository};
 use joinmi_eval::EstimatorMode;
+use joinmi_serve::json::Json;
 use joinmi_sketch::{SketchConfig, SketchKind};
 use joinmi_synth::KeyDistribution;
 use joinmi_table::{augment, AugmentSpec};
@@ -44,6 +45,7 @@ fn main() {
     let exit = match args.first().map(String::as_str) {
         Some("ingest") => cmd_ingest(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("serve-check") => cmd_serve_check(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         // A non-flag first argument that is not a known subcommand is a typo
         // (e.g. `ingets`): error out instead of silently running the full
@@ -61,13 +63,17 @@ fn main() {
 fn print_usage() {
     eprintln!("usage: joinmi_bench [--quick] [--json] [--out PATH]");
     eprintln!("       joinmi_bench ingest  --out REPO [--quick] [--base | --append]");
+    eprintln!("       joinmi_bench ingest  --out PREFIX --shards N [--quick]");
     eprintln!("       joinmi_bench query   --repo REPO [--verify-in-memory]");
+    eprintln!("       joinmi_bench serve-check --url HOST:PORT [--quick]");
     eprintln!("       joinmi_bench compare --baseline JSON --current JSON [--max-regression R]");
     eprintln!();
     eprintln!("  --quick   small iteration counts / workloads (seconds, not minutes)");
     eprintln!("  --json    write benchmark results to PATH (default BENCH_PR5.json)");
     eprintln!("  --base    ingest the corpus minus its append tail (the daemon's day-0 state)");
     eprintln!("  --append  load REPO, append the corpus tail rows, extend the file in place");
+    eprintln!("  --shards  split the corpus contiguously into PREFIX-shard-I.jmi files");
+    eprintln!("  --url     address of a running joinmi_serve daemon to check against");
 }
 
 /// Value of `--flag VALUE` in an argument list.
@@ -92,6 +98,22 @@ fn cmd_ingest(args: &[String]) -> i32 {
         return 2;
     }
     let rows = corpus::rows_for(quick);
+
+    if let Some(shards) = flag_value(args, "--shards") {
+        if base || append {
+            eprintln!("ingest: --shards cannot combine with --base/--append");
+            return 2;
+        }
+        let Ok(num_shards) = shards.parse::<usize>() else {
+            eprintln!("ingest: --shards must be a positive number");
+            return 2;
+        };
+        if num_shards == 0 {
+            eprintln!("ingest: --shards must be a positive number");
+            return 2;
+        }
+        return cmd_ingest_shards(out, rows, num_shards);
+    }
 
     if append {
         return cmd_ingest_append(out, rows);
@@ -132,6 +154,42 @@ fn cmd_ingest(args: &[String]) -> i32 {
     let save_ms = start.elapsed().as_secs_f64() * 1e3;
     let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     println!("ingest: wrote {out} ({bytes} bytes) in {save_ms:.1} ms");
+    0
+}
+
+/// The serving half of the offline split: partition the corpus contiguously
+/// into `num_shards` repository files (`PREFIX-shard-I.jmi`), the layout
+/// `joinmi_serve` opens. Contiguous partitioning in table order is what makes
+/// the daemon's merged ranking bit-for-bit equal to a single repository —
+/// see `joinmi_serve::shard` for the argument.
+fn cmd_ingest_shards(prefix: &str, rows: usize, num_shards: usize) -> i32 {
+    println!(
+        "ingest: {} tables x {} features, {rows} rows each, across {num_shards} shard(s)",
+        corpus::NUM_TABLES,
+        corpus::FEATURES_PER_TABLE,
+    );
+    for shard in 0..num_shards {
+        let tables = corpus::shard_tables(rows, shard, num_shards);
+        let num_tables = tables.len();
+        let start = Instant::now();
+        let mut repo = TableRepository::new(corpus::repo_config());
+        if let Err(e) = repo.add_tables(tables) {
+            eprintln!("ingest: shard {shard} failed: {e}");
+            return 1;
+        }
+        let path = format!("{prefix}-shard-{shard}.jmi");
+        if let Err(e) = repo.save(&path) {
+            eprintln!("ingest: failed to save `{path}`: {e}");
+            return 1;
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "ingest: shard {shard}: {num_tables} tables, {} candidates -> {path} \
+             ({bytes} bytes) in {ms:.1} ms",
+            repo.candidates().len(),
+        );
+    }
     0
 }
 
@@ -280,6 +338,136 @@ fn cmd_query(args: &[String]) -> i32 {
         );
     }
     0
+}
+
+// ---------------------------------------------------------------------------
+// serve-check: the daemon acceptance gate.
+// ---------------------------------------------------------------------------
+
+/// Queries a running `joinmi_serve` daemon over REST and asserts its ranking
+/// is bit-for-bit identical to querying the whole corpus in process through
+/// one repository. This is the serving leg of the `persistence-roundtrip` CI
+/// job: JSON, HTTP, sharding, the merge, and the cache all sit between the
+/// two rankings, and `mi_bits` pins them to exact agreement.
+fn cmd_serve_check(args: &[String]) -> i32 {
+    let Some(url) = flag_value(args, "--url") else {
+        eprintln!("serve-check: --url HOST:PORT is required");
+        return 2;
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let rows = corpus::rows_for(quick);
+
+    if let Err(e) = joinmi_serve::wait_healthy(url, std::time::Duration::from_secs(10)) {
+        eprintln!("serve-check: daemon at {url} never became healthy: {e}");
+        return 1;
+    }
+
+    // The expected ranking: the whole corpus in one in-process repository.
+    let expected = corpus::ranking_fingerprint(
+        &corpus::standard_query(rows)
+            .execute(&corpus::build_repository(rows))
+            .expect("in-process query"),
+    );
+
+    // The same query over the wire.
+    let train = corpus::query_table(rows);
+    let wire_rows: Vec<String> = (0..train.num_rows())
+        .map(|i| {
+            let key = train.value(i, "key").expect("key column");
+            let target = train.value(i, "target").expect("target column");
+            format!(
+                "[\"{}\", {}]",
+                key.as_str().expect("string key"),
+                target.as_i64().expect("int target")
+            )
+        })
+        .collect();
+    let body = format!(
+        r#"{{"key_column": "key", "target_column": "target", "rows": [{}],
+            "top_k": 0, "min_join_size": 10,
+            "sketch_kind": "TUPSK", "sketch_size": 512, "sketch_seed": 3}}"#,
+        wire_rows.join(", ")
+    );
+
+    let request = |label: &str| -> Result<Json, String> {
+        let start = Instant::now();
+        let (status, text) = joinmi_serve::client_request(url, "POST", "/v1/query", &body)
+            .map_err(|e| format!("{label}: request failed: {e}"))?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if status != 200 {
+            return Err(format!("{label}: status {status}: {text}"));
+        }
+        let doc = Json::parse(&text).map_err(|e| format!("{label}: bad response JSON: {e}"))?;
+        println!(
+            "serve-check: {label} answered in {ms:.1} ms (cached: {:?})",
+            doc.get("cached")
+        );
+        Ok(doc)
+    };
+    let wire_fingerprint = |doc: &Json| -> Result<Vec<(usize, u64, usize, usize)>, String> {
+        doc.get("results")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "response has no results array".to_owned())?
+            .iter()
+            .map(|row| {
+                let field = |name: &str| {
+                    row.get(name)
+                        .and_then(Json::as_i64)
+                        .map(|v| v as usize)
+                        .ok_or_else(|| format!("result row missing `{name}`"))
+                };
+                let bits_hex = row
+                    .get("mi_bits")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "result row missing `mi_bits`".to_owned())?;
+                let bits = u64::from_str_radix(bits_hex.trim_start_matches("0x"), 16)
+                    .map_err(|e| format!("bad mi_bits `{bits_hex}`: {e}"))?;
+                Ok((
+                    field("candidate_index")?,
+                    bits,
+                    field("join_size")?,
+                    field("key_overlap")?,
+                ))
+            })
+            .collect()
+    };
+
+    let check = || -> Result<(), String> {
+        let first = request("cold query")?;
+        if wire_fingerprint(&first)? != expected {
+            return Err(format!(
+                "REST ranking diverges from the in-process ranking ({} vs {} results)",
+                wire_fingerprint(&first)?.len(),
+                expected.len()
+            ));
+        }
+        // The repeat must come from the result cache, bit-identically.
+        let second = request("repeat query")?;
+        if second.get("cached") != Some(&Json::Bool(true)) {
+            return Err("repeated query was not served from the cache".to_owned());
+        }
+        if wire_fingerprint(&second)? != expected {
+            return Err("cached ranking diverges from the in-process ranking".to_owned());
+        }
+        if first.get("generation") != second.get("generation") {
+            return Err("generation changed between identical queries".to_owned());
+        }
+        Ok(())
+    };
+    match check() {
+        Ok(()) => {
+            println!(
+                "serve-check: OK — {} ranked candidates over REST bit-for-bit identical to \
+                 the in-process query, cache hit verified",
+                expected.len()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("serve-check: FAILED — {e}");
+            1
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

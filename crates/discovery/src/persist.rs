@@ -58,8 +58,8 @@ use std::sync::OnceLock;
 use joinmi_sketch::persist::{aggregation_from_tag, aggregation_tag, dtype_from_tag, dtype_tag};
 use joinmi_sketch::{incremental, ColumnSketch, RightSketchBuilder, SketchConfig};
 use joinmi_store::{
-    read_header, scan_section, write_header, ArtifactKind, Reader, Result, SectionBuilder,
-    StoreError, Writer,
+    read_header, scan_section, write_header, ArtifactKind, GroupGrammar, Reader, RecoveryReport,
+    Result, SectionBuilder, StoreError, Writer,
 };
 
 use crate::index::{IndexDelta, JoinabilityIndex};
@@ -82,6 +82,14 @@ pub const SECTION_APPEND_META: u8 = 0x15;
 pub const SECTION_CANDIDATE_UPDATE: u8 = 0x16;
 /// Section tag: the ordered index deltas of one append group (v2).
 pub const SECTION_INDEX_DELTA: u8 = 0x17;
+
+/// The v2 repository append-group grammar for the structural repair scanner
+/// in [`joinmi_store::repair`]: a group opens with APPEND_META and commits
+/// with INDEX_DELTA.
+pub const REPOSITORY_GROUP_GRAMMAR: GroupGrammar = GroupGrammar {
+    start_tag: SECTION_APPEND_META,
+    end_tag: SECTION_INDEX_DELTA,
+};
 
 // ---------------------------------------------------------------------------
 // Encoding
@@ -507,10 +515,9 @@ impl TableRepository {
     /// all previously completed groups byte-identical on disk, and the next
     /// open reports a typed error for the torn tail rather than silently
     /// dropping it — open cannot distinguish "crash mid-append" from
-    /// "bit rot in the last group", so it refuses to guess; recovery (fsync
-    /// before acknowledging, truncate to the last valid section boundary) is
-    /// an operator/daemon concern, and an explicit repair API is a noted
-    /// ROADMAP follow-up.
+    /// "bit rot in the last group", so it refuses to guess; the explicit
+    /// repair step is [`Self::recover_truncated`], which drops the torn tail
+    /// at a durable boundary after verifying the surviving prefix opens.
     pub fn append_to<P: AsRef<Path>>(&mut self, path: P) -> Result<()> {
         if self.pending().is_empty() {
             return Ok(());
@@ -596,6 +603,51 @@ impl TableRepository {
     /// first access.
     pub fn load_mmap_like<P: AsRef<Path>>(path: P) -> Result<RepositorySnapshot> {
         RepositorySnapshot::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Repairs a repository file whose last append group was torn by a crash
+    /// mid-[`Self::append_to`], truncating the file in place to the last
+    /// durable boundary (end of the base payload or end of the last complete
+    /// group) and returning a [`RecoveryReport`] of exactly what was dropped.
+    ///
+    /// This is the explicit counterpart to the deliberately strict open path:
+    /// [`Self::load_mmap_like`] refuses a torn file with a typed error
+    /// because it cannot tell a crash from bit rot; an operator (or a serving
+    /// daemon bringing a shard online) calls this to resolve the ambiguity
+    /// in favour of "crash" and shed the tail.
+    ///
+    /// Two safety properties beyond the structural scan in
+    /// [`joinmi_store::recover_truncated`]:
+    ///
+    /// * the recovered prefix is fully **opened as a repository snapshot**
+    ///   before the file is touched — a structurally plausible boundary whose
+    ///   payload does not decode leaves the file unmodified and returns the
+    ///   open error;
+    /// * damage in the base payload (before any append group) is never
+    ///   repairable and returns the underlying scan error — repair can only
+    ///   shed appended history, never base data.
+    ///
+    /// Idempotent: repairing an already-valid file is a no-op reporting zero
+    /// dropped bytes.
+    pub fn recover_truncated<P: AsRef<Path>>(path: P) -> Result<RecoveryReport> {
+        let buf = std::fs::read(&path)?;
+        let report = joinmi_store::scan_recoverable(
+            &buf,
+            ArtifactKind::Repository,
+            REPOSITORY_GROUP_GRAMMAR,
+        )?;
+        if report.is_torn() {
+            let prefix_len =
+                usize::try_from(report.recovered_len).expect("recovered_len came from a usize");
+            // Verify-before-truncate: the boundary is structural; make sure
+            // the prefix also decodes as a repository before shrinking the
+            // file.
+            RepositorySnapshot::from_bytes(buf[..prefix_len].to_vec())?;
+            let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+            file.set_len(report.recovered_len)?;
+            file.sync_all()?;
+        }
+        Ok(report)
     }
 }
 
@@ -1191,6 +1243,117 @@ mod tests {
             RepositorySnapshot::from_bytes(flipped),
             Err(StoreError::ChecksumMismatch { .. } | StoreError::Corrupt(_))
         ));
+    }
+
+    /// Builds a repository file with two append groups and returns its bytes
+    /// plus the durable boundaries: [base_end, group1_end, group2_end].
+    fn appended_repo_bytes() -> (Vec<u8>, Vec<usize>, RelationshipQuery) {
+        let (repo, query, tail) = scenario_with_split(8);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "joinmi-recover-build-{}-{:?}.jmi",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        repo.save(&path).unwrap();
+        let mut boundaries = vec![std::fs::metadata(&path).unwrap().len() as usize];
+
+        let mut reloaded = TableRepository::load(&path).unwrap();
+        let split = tail.num_rows() / 2;
+        reloaded.append_rows(&tail.slice_rows(0..split)).unwrap();
+        reloaded.append_to(&path).unwrap();
+        boundaries.push(std::fs::metadata(&path).unwrap().len() as usize);
+        reloaded
+            .append_rows(&tail.slice_rows(split..tail.num_rows()))
+            .unwrap();
+        reloaded.append_to(&path).unwrap();
+        boundaries.push(std::fs::metadata(&path).unwrap().len() as usize);
+
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        (bytes, boundaries, query)
+    }
+
+    #[test]
+    fn recover_truncated_repairs_every_truncation_offset() {
+        let (bytes, boundaries, query) = appended_repo_bytes();
+        let base_end = boundaries[0];
+        let path =
+            std::env::temp_dir().join(format!("joinmi-recover-sweep-{}.jmi", std::process::id()));
+
+        // Expected post-repair ranking per boundary, computed once.
+        let rankings: Vec<_> = boundaries
+            .iter()
+            .map(|&b| {
+                let snap = RepositorySnapshot::from_bytes(bytes[..b].to_vec()).unwrap();
+                fingerprint(&query.execute(&snap).unwrap())
+            })
+            .collect();
+        let mut ranked_boundaries = vec![false; boundaries.len()];
+
+        for cut in base_end + 1..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let report = TableRepository::recover_truncated(&path).unwrap();
+            let (bi, &expected) = boundaries
+                .iter()
+                .enumerate()
+                .rfind(|&(_, &b)| b <= cut)
+                .unwrap();
+            assert_eq!(report.recovered_len, expected as u64, "cut at {cut}");
+            assert_eq!(report.file_len, cut as u64, "cut at {cut}");
+            assert_eq!(report.is_torn(), cut != expected, "cut at {cut}");
+            assert_eq!(report.complete_groups, bi, "cut at {cut}");
+
+            // The repaired file is the exact durable prefix (and, for torn
+            // cuts, recover_truncated already re-opened it before shrinking).
+            let repaired = std::fs::read(&path).unwrap();
+            assert_eq!(repaired, &bytes[..expected], "cut at {cut}");
+
+            // Once per reachable boundary, also pin that the repaired file
+            // answers queries as that prefix of the append history.
+            if !ranked_boundaries[bi] {
+                ranked_boundaries[bi] = true;
+                let snap = RepositorySnapshot::from_bytes(repaired).unwrap();
+                assert_eq!(snap.append_groups(), bi, "cut at {cut}");
+                assert_eq!(
+                    fingerprint(&query.execute(&snap).unwrap()),
+                    rankings[bi],
+                    "cut at {cut}"
+                );
+            }
+        }
+        assert!(ranked_boundaries[..2].iter().all(|&r| r));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recover_truncated_never_drops_base_data() {
+        let (bytes, boundaries, _) = appended_repo_bytes();
+        let path =
+            std::env::temp_dir().join(format!("joinmi-recover-base-{}.jmi", std::process::id()));
+
+        // Truncation inside the base payload is unrecoverable: typed error,
+        // file untouched.
+        let cut = boundaries[0] / 2;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        assert!(TableRepository::recover_truncated(&path).is_err());
+        assert_eq!(std::fs::read(&path).unwrap().len(), cut);
+
+        // A flipped bit inside the base is damage, not a torn append.
+        let mut flipped = bytes.clone();
+        flipped[boundaries[0] / 2] ^= 0x20;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(TableRepository::recover_truncated(&path).is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), flipped);
+
+        // An intact file is a no-op.
+        std::fs::write(&path, &bytes).unwrap();
+        let report = TableRepository::recover_truncated(&path).unwrap();
+        assert!(!report.is_torn());
+        assert_eq!(report.complete_groups, 2);
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

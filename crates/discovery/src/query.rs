@@ -154,24 +154,7 @@ impl RelationshipQuery {
             &hits,
             EstimatorWorkspace::new,
             |ws, &(candidate_index, key_overlap)| {
-                let candidate = repository.candidate(candidate_index);
-                let joined = query_sketch.join(&candidate.sketch);
-                if joined.len() < self.min_join_size {
-                    return None;
-                }
-                let estimate = joined.estimate_mi_in(ws, DEFAULT_K).ok()?;
-                Some(RankedCandidate {
-                    candidate_index,
-                    table_index: candidate.table_index,
-                    table_name: candidate.table_name.clone(),
-                    key_column: candidate.key_column.clone(),
-                    feature_column: candidate.feature_column.clone(),
-                    aggregation: candidate.aggregation,
-                    mi: estimate.mi,
-                    estimator: estimate.estimator,
-                    sketch_join_size: joined.len(),
-                    key_overlap,
-                })
+                self.score_hit(repository, &query_sketch, ws, candidate_index, key_overlap)
             },
         );
         let mut results: Vec<RankedCandidate> = scored.into_iter().flatten().collect();
@@ -181,6 +164,70 @@ impl RelationshipQuery {
             results.truncate(self.top_k);
         }
         Ok(results)
+    }
+
+    /// Executes the query sequentially, scoring every surviving candidate
+    /// with the caller-provided [`EstimatorWorkspace`].
+    ///
+    /// The ranking is bit-for-bit identical to [`Self::execute`] (the
+    /// parallel fan-out there is pinned to agree with a sequential run), but
+    /// this entry point lets a long-lived caller — a serving daemon's worker
+    /// thread — own **one** workspace across every query it handles instead
+    /// of rebuilding scratch buffers per call.
+    pub fn execute_in<S: CandidateSource>(
+        &self,
+        repository: &S,
+        ws: &mut EstimatorWorkspace,
+    ) -> Result<Vec<RankedCandidate>> {
+        let query_sketch = self.build_query_sketch()?;
+
+        let hits = repository
+            .joinability()
+            .query(&query_sketch, self.min_key_overlap.max(1));
+
+        let mut results: Vec<RankedCandidate> = hits
+            .iter()
+            .filter_map(|&(candidate_index, key_overlap)| {
+                self.score_hit(repository, &query_sketch, ws, candidate_index, key_overlap)
+            })
+            .collect();
+
+        results.sort_by(|a, b| b.mi.partial_cmp(&a.mi).expect("MI estimates are finite"));
+        if self.top_k > 0 {
+            results.truncate(self.top_k);
+        }
+        Ok(results)
+    }
+
+    /// Scores one pre-filter hit: sketch join, minimum-join-size gate, MI
+    /// estimate. Shared by the parallel and sequential execution paths so
+    /// they cannot drift.
+    fn score_hit<S: CandidateSource>(
+        &self,
+        repository: &S,
+        query_sketch: &ColumnSketch,
+        ws: &mut EstimatorWorkspace,
+        candidate_index: usize,
+        key_overlap: usize,
+    ) -> Option<RankedCandidate> {
+        let candidate = repository.candidate(candidate_index);
+        let joined = query_sketch.join(&candidate.sketch);
+        if joined.len() < self.min_join_size {
+            return None;
+        }
+        let estimate = joined.estimate_mi_in(ws, DEFAULT_K).ok()?;
+        Some(RankedCandidate {
+            candidate_index,
+            table_index: candidate.table_index,
+            table_name: candidate.table_name.clone(),
+            key_column: candidate.key_column.clone(),
+            feature_column: candidate.feature_column.clone(),
+            aggregation: candidate.aggregation,
+            mi: estimate.mi,
+            estimator: estimate.estimator,
+            sketch_join_size: joined.len(),
+            key_overlap,
+        })
     }
 
     /// Executes the query and groups the ranking by estimator, reflecting the
@@ -286,6 +333,24 @@ mod tests {
         for (kind, ranking) in &grouped {
             assert!(ranking.iter().all(|r| r.estimator == *kind));
             assert!(ranking.windows(2).all(|w| w[0].mi >= w[1].mi));
+        }
+    }
+
+    #[test]
+    fn sequential_execute_in_matches_parallel_execute() {
+        let (repo, query) = repo_and_query();
+        let parallel = query.execute(&repo).unwrap();
+        assert!(!parallel.is_empty());
+
+        // One workspace reused across repeated calls, daemon-style.
+        let mut ws = joinmi_estimators::EstimatorWorkspace::new();
+        for _ in 0..2 {
+            let sequential = query.execute_in(&repo, &mut ws).unwrap();
+            let key = |r: &RankedCandidate| (r.candidate_index, r.mi.to_bits(), r.key_overlap);
+            assert_eq!(
+                parallel.iter().map(key).collect::<Vec<_>>(),
+                sequential.iter().map(key).collect::<Vec<_>>()
+            );
         }
     }
 

@@ -1,0 +1,327 @@
+//! Production guardrails: per-query deadlines, an admission gate bounding
+//! in-flight queries, and a bounded LRU result cache keyed by query
+//! fingerprint **and** shard snapshot generation (so append epochs invalidate
+//! stale entries without any explicit flush).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::wire::ShardedResult;
+
+// ---------------------------------------------------------------------------
+// Deadline
+// ---------------------------------------------------------------------------
+
+/// A per-query wall-clock budget. `timeout_ms = 0` disables the deadline —
+/// useful for drain-style maintenance queries and deterministic tests.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    expires_at: Option<Instant>,
+}
+
+impl Deadline {
+    /// Starts the clock now with a budget of `timeout_ms` milliseconds.
+    #[must_use]
+    pub fn starting_now(timeout_ms: u64) -> Self {
+        Self {
+            expires_at: (timeout_ms > 0)
+                .then(|| Instant::now() + Duration::from_millis(timeout_ms)),
+        }
+    }
+
+    /// A deadline that never expires.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self { expires_at: None }
+    }
+
+    /// Whether the budget has elapsed. Checked cooperatively between shards;
+    /// a query is never pre-empted mid-estimate.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.expires_at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Time left, when a deadline is set.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.expires_at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission gate
+// ---------------------------------------------------------------------------
+
+/// Bounds the number of queries in flight. `max_inflight = 0` means
+/// unlimited. Rejection is immediate and typed (HTTP 429) — the daemon sheds
+/// load instead of queueing unboundedly.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    max_inflight: usize,
+    inflight: AtomicUsize,
+}
+
+impl AdmissionGate {
+    /// Creates a gate admitting at most `max_inflight` concurrent queries.
+    #[must_use]
+    pub fn new(max_inflight: usize) -> Self {
+        Self {
+            max_inflight,
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured limit (0 = unlimited).
+    #[must_use]
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Current number of admitted queries.
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Tries to admit one query; `None` means the limit is reached and the
+    /// caller must reject. The returned permit releases the slot on drop.
+    #[must_use]
+    pub fn try_acquire(&self) -> Option<AdmissionPermit<'_>> {
+        if self.max_inflight == 0 {
+            return Some(AdmissionPermit { gate: None });
+        }
+        let mut current = self.inflight.load(Ordering::SeqCst);
+        loop {
+            if current >= self.max_inflight {
+                return None;
+            }
+            match self.inflight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Some(AdmissionPermit { gate: Some(self) }),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+/// An admitted query's slot; releases it on drop.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    gate: Option<&'a AdmissionGate>,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        if let Some(gate) = self.gate {
+            gate.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------------
+
+/// The cache key: 128-bit query fingerprint plus the shard snapshot
+/// generation the result was computed under. A reload after an append
+/// changes the generation, so every pre-append entry silently stops
+/// matching — bounded staleness without epochs or TTLs.
+pub type CacheKey = (u64, u64, u64);
+
+/// A cached merged ranking.
+#[derive(Debug)]
+pub struct CachedResult {
+    /// The merged, globally ranked results.
+    pub results: Arc<Vec<ShardedResult>>,
+    /// Number of shards that produced them.
+    pub shards_queried: usize,
+}
+
+/// A bounded LRU cache of merged query results. `capacity = 0` disables
+/// caching. Eviction is strict LRU on read *and* write.
+///
+/// The implementation favours obviousness over asymptotics: recency is a
+/// monotonic tick per entry and eviction scans for the minimum. Capacities
+/// are daemon-config-sized (tens to thousands), where the O(capacity) scan
+/// is noise next to a single sketch join.
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<CacheKey, (u64, Arc<CachedResult>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `capacity` rankings.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configured capacity (0 = disabled).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Looks up a ranking, refreshing its recency on hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<CachedResult>> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some((tick, value)) => {
+                *tick = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(value))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a ranking, evicting the least recently used entry when full.
+    pub fn insert(&mut self, key: CacheKey, value: Arc<CachedResult>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(&oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (self.tick, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> Arc<CachedResult> {
+        Arc::new(CachedResult {
+            results: Arc::new(Vec::new()),
+            shards_queried: 1,
+        })
+    }
+
+    #[test]
+    fn zero_timeout_never_expires() {
+        let d = Deadline::starting_now(0);
+        assert!(!d.expired());
+        assert!(d.remaining().is_none());
+        assert!(!Deadline::unlimited().expired());
+    }
+
+    #[test]
+    fn elapsed_deadline_expires() {
+        let d = Deadline::starting_now(1);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn gate_admits_up_to_the_limit_and_releases_on_drop() {
+        let gate = AdmissionGate::new(2);
+        let a = gate.try_acquire().expect("slot 1");
+        let _b = gate.try_acquire().expect("slot 2");
+        assert!(gate.try_acquire().is_none(), "limit reached");
+        assert_eq!(gate.inflight(), 2);
+        drop(a);
+        assert_eq!(gate.inflight(), 1);
+        let _c = gate.try_acquire().expect("slot freed by drop");
+    }
+
+    #[test]
+    fn unlimited_gate_never_rejects() {
+        let gate = AdmissionGate::new(0);
+        let permits: Vec<_> = (0..64).map(|_| gate.try_acquire().unwrap()).collect();
+        assert_eq!(gate.inflight(), 0, "unlimited gate does not count");
+        drop(permits);
+    }
+
+    #[test]
+    fn cache_is_lru_with_recency_refresh_on_get() {
+        let mut cache = QueryCache::new(2);
+        cache.insert((1, 1, 0), entry());
+        cache.insert((2, 2, 0), entry());
+        // Touch (1,1,0) so (2,2,0) becomes the LRU victim.
+        assert!(cache.get(&(1, 1, 0)).is_some());
+        cache.insert((3, 3, 0), entry());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&(1, 1, 0)).is_some());
+        assert!(cache.get(&(2, 2, 0)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&(3, 3, 0)).is_some());
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (3, 1));
+    }
+
+    #[test]
+    fn generation_change_is_a_cache_miss() {
+        let mut cache = QueryCache::new(8);
+        cache.insert((7, 7, 1), entry());
+        assert!(cache.get(&(7, 7, 1)).is_some());
+        // Same query fingerprint, new snapshot generation: miss.
+        assert!(cache.get(&(7, 7, 2)).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = QueryCache::new(0);
+        cache.insert((1, 2, 3), entry());
+        assert!(cache.is_empty());
+        assert!(cache.get(&(1, 2, 3)).is_none());
+        assert_eq!(cache.capacity(), 0);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut cache = QueryCache::new(2);
+        cache.insert((1, 1, 0), entry());
+        cache.insert((2, 2, 0), entry());
+        cache.insert((1, 1, 0), entry());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&(2, 2, 0)).is_some());
+    }
+}

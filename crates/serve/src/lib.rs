@@ -1,0 +1,68 @@
+//! The `joinmi` serving layer: a long-lived, sharded discovery daemon.
+//!
+//! Everything below this crate is a library: sketches are built offline
+//! ([`joinmi_discovery::TableRepository`] → `save`), reopened cheaply
+//! (`load_mmap_like`), extended in place (`append_to`), and queried
+//! bit-deterministically ([`joinmi_discovery::RelationshipQuery`]). This
+//! crate is the piece that turns those parts into the interactive
+//! data-discovery *service* the paper's end goal describes: a daemon that
+//! holds N shard repositories open and answers "which candidate columns are
+//! most informative about my target?" over REST in milliseconds, because
+//! every expensive artifact was built before the query arrived.
+//!
+//! # Architecture
+//!
+//! ```text
+//! client ──HTTP/1.1──► acceptor ──► connection thread (parse, route, cache)
+//!                                        │ POST /v1/query
+//!                                        ▼
+//!                                   job channel ──► worker pool
+//!                                                   (one EstimatorWorkspace
+//!                                                    per worker, reused
+//!                                                    across all queries)
+//!                                                        │
+//!                                          shard 0 … shard N−1 snapshots
+//!                                          (execute_in per shard, then a
+//!                                           deterministic global merge)
+//! ```
+//!
+//! * [`shard::ShardSet`] opens N repository files as read-only snapshots
+//!   (optionally repairing torn append tails first) and merges per-shard
+//!   rankings into a global top-k that is **bit-for-bit identical** to
+//!   querying one repository holding every table — see the module docs for
+//!   why the merge is exact.
+//! * [`server::Server`] is the daemon: `POST /v1/query`, `GET /v1/shards`,
+//!   `GET /v1/healthz`, speaking the JSON protocol specified in
+//!   `docs/SERVING.md`.
+//! * [`guard`] holds the production guardrails: a per-query wall-clock
+//!   [`guard::Deadline`], an [`guard::AdmissionGate`] bounding in-flight
+//!   queries (typed 429 rejection, never an unbounded queue), and a bounded
+//!   LRU [`guard::QueryCache`] keyed by (query fingerprint, snapshot
+//!   generation) so append epochs invalidate cached rankings implicitly.
+//! * [`json`] and [`http`] are hand-rolled minimal implementations over
+//!   `std`, like the rest of the workspace: the build is offline, so no
+//!   serde, no hyper — and nothing this protocol does not need.
+//!
+//! # Exactness on the wire
+//!
+//! The response carries each result's MI twice: as a JSON float (shortest
+//! round-trip formatting, exact for Rust readers) and as `mi_bits`, the hex
+//! IEEE-754 bit pattern. CI compares a 3-shard REST query against the same
+//! corpus queried in process through `mi_bits`, pinning the whole stack —
+//! JSON, HTTP, sharding, merge — to bit-for-bit agreement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod guard;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod shard;
+pub mod wire;
+
+pub use guard::{AdmissionGate, Deadline, QueryCache};
+pub use http::client_request;
+pub use server::{wait_healthy, Server, ServerConfig};
+pub use shard::{Shard, ShardRepair, ShardSet};
+pub use wire::{QueryRequest, QueryResponse, ServeError, ShardedResult, TargetValue};

@@ -1,0 +1,123 @@
+//! `joinmi_serve` — the sharded discovery daemon.
+//!
+//! ```text
+//! joinmi_serve --addr 127.0.0.1:7171 shard-0.jmi shard-1.jmi shard-2.jmi
+//! ```
+//!
+//! Flags (all optional; defaults in parentheses):
+//!
+//! * `--addr HOST:PORT` — bind address (`127.0.0.1:7171`; port 0 picks one)
+//! * `--workers N` — query worker threads (2)
+//! * `--timeout-ms N` — per-query wall-clock budget, 0 = none (10000)
+//! * `--max-inflight N` — admission limit, 0 = unlimited (32)
+//! * `--cache N` — result-cache entries, 0 = disabled (128)
+//! * `--repair` — repair torn append tails at open instead of refusing them
+//!
+//! The full protocol and operator runbook live in `docs/SERVING.md`.
+
+use std::process::ExitCode;
+
+use joinmi_serve::{Server, ServerConfig, ShardSet};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("joinmi_serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7171".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut repair = false;
+    let mut shard_paths: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let take_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("flag '{arg}' needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = take_value(&mut i)?,
+            "--workers" => config.workers = parse_num(arg, &take_value(&mut i)?)?,
+            "--timeout-ms" => config.timeout_ms = parse_num(arg, &take_value(&mut i)?)?,
+            "--max-inflight" => config.max_inflight = parse_num(arg, &take_value(&mut i)?)?,
+            "--cache" => config.cache_capacity = parse_num(arg, &take_value(&mut i)?)?,
+            "--repair" => repair = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            path => shard_paths.push(path.to_owned()),
+        }
+        i += 1;
+    }
+    if shard_paths.is_empty() {
+        print_help();
+        return Err("no shard files given".to_owned());
+    }
+
+    let shards = if repair {
+        let (shards, repairs) =
+            ShardSet::open_with_repair(&shard_paths).map_err(|e| format!("opening shards: {e}"))?;
+        for r in &repairs {
+            if r.report.is_torn() {
+                eprintln!(
+                    "joinmi_serve: repaired {}: dropped {} bytes ({} whole sections) after \
+                     {} complete append group(s)",
+                    r.path.display(),
+                    r.report.dropped_bytes,
+                    r.report.dropped_sections,
+                    r.report.complete_groups,
+                );
+            }
+        }
+        shards
+    } else {
+        ShardSet::open(&shard_paths).map_err(|e| {
+            format!("opening shards: {e} (a torn append tail can be repaired with --repair)")
+        })?
+    };
+
+    eprintln!(
+        "joinmi_serve: {} shard(s), {} candidates, generation 0x{:016x}",
+        shards.shards().len(),
+        shards.total_candidates(),
+        shards.generation(),
+    );
+    let server = Server::start(config, shards).map_err(|e| format!("starting server: {e}"))?;
+    eprintln!("joinmi_serve: listening on http://{}", server.local_addr());
+
+    // Serve until killed: the daemon has no privileged control endpoint, so
+    // stop/restart is process lifecycle (see the runbook in docs/SERVING.md).
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("flag '{flag}': invalid number '{value}'"))
+}
+
+fn print_help() {
+    eprintln!(
+        "usage: joinmi_serve [--addr HOST:PORT] [--workers N] [--timeout-ms N] \
+         [--max-inflight N] [--cache N] [--repair] SHARD.jmi [SHARD.jmi ...]\n\
+         Serves POST /v1/query, GET /v1/shards, GET /v1/healthz. \
+         Protocol spec and runbook: docs/SERVING.md"
+    );
+}

@@ -1,0 +1,398 @@
+//! The daemon: a TCP acceptor, a pool of query workers each owning one
+//! reusable [`EstimatorWorkspace`], and the guardrail plumbing that turns
+//! the library into something operable — admission control, per-query
+//! deadlines, and the generation-keyed result cache.
+//!
+//! Threading model: the acceptor spawns one short-lived thread per
+//! connection (the protocol is one request per connection). Connection
+//! threads do the cheap work — HTTP parsing, routing, cache lookups — and
+//! hand `POST /v1/query` bodies to the worker pool over a channel, so the
+//! expensive scoring always runs on a worker that has warmed up its
+//! estimator workspace. The admission gate bounds queries *admitted*, not
+//! connections, so health checks keep answering while the pool is saturated.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use joinmi_discovery::CandidateSource;
+use joinmi_estimators::EstimatorWorkspace;
+
+use crate::guard::{AdmissionGate, CachedResult, Deadline, QueryCache};
+use crate::http::{client_request, read_request, write_response, Request};
+use crate::json::{obj, Json};
+use crate::shard::ShardSet;
+use crate::wire::{QueryRequest, QueryResponse, ServeError};
+
+/// Daemon configuration; every knob is documented in `docs/SERVING.md`.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Query worker threads (each owns one estimator workspace). Clamped to
+    /// at least 1.
+    pub workers: usize,
+    /// Per-query wall-clock budget in milliseconds; 0 disables the deadline.
+    pub timeout_ms: u64,
+    /// Maximum queries in flight; 0 means unlimited.
+    pub max_inflight: usize,
+    /// Result-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            timeout_ms: 10_000,
+            max_inflight: 32,
+            cache_capacity: 128,
+        }
+    }
+}
+
+struct Job {
+    request: QueryRequest,
+    deadline: Deadline,
+    reply: Sender<Result<Arc<Vec<crate::wire::ShardedResult>>, ServeError>>,
+}
+
+struct Shared {
+    shards: ShardSet,
+    config: ServerConfig,
+    gate: AdmissionGate,
+    cache: Mutex<QueryCache>,
+    jobs: Mutex<Option<Sender<Job>>>,
+    shutdown: AtomicBool,
+}
+
+/// A running daemon. Dropping it (or calling [`Server::shutdown`]) stops the
+/// acceptor and joins every worker.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, starts the worker pool and the acceptor, and
+    /// returns immediately. Use [`Server::local_addr`] to find the bound
+    /// port when the config asked for port 0.
+    pub fn start(config: ServerConfig, shards: ShardSet) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let shared = Arc::new(Shared {
+            gate: AdmissionGate::new(config.max_inflight),
+            cache: Mutex::new(QueryCache::new(config.cache_capacity)),
+            jobs: Mutex::new(Some(job_tx)),
+            shutdown: AtomicBool::new(false),
+            shards,
+            config,
+        });
+
+        let mut threads = Vec::new();
+        for _ in 0..shared.config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let job_rx = Arc::clone(&job_rx);
+            threads.push(std::thread::spawn(move || worker_loop(&shared, &job_rx)));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || {
+                acceptor_loop(&shared, &listener)
+            }));
+        }
+
+        Ok(Self {
+            local_addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, drains the worker pool, and joins every thread.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Closing the job channel wakes blocked workers…
+        *self.shared.jobs.lock().expect("jobs lock") = None;
+        // …and a dummy connection wakes the blocking accept().
+        let _ = TcpStream::connect(self.local_addr);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            // Accept errors are transient (EMFILE, aborted handshakes);
+            // keep serving unless we are shutting down.
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let shared = Arc::clone(shared);
+        // One thread per connection: requests are short-lived (the protocol
+        // is connection-per-request) and the admission gate, not the thread
+        // count, bounds concurrent query work.
+        std::thread::spawn(move || handle_connection(&shared, stream));
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, jobs: &Mutex<Receiver<Job>>) {
+    // Each worker owns ONE workspace for its whole lifetime: the KSG-family
+    // estimators' sort buffers are reused across every query and shard this
+    // worker ever scores — the reuse `RelationshipQuery::execute_in` exists
+    // for.
+    let mut ws = EstimatorWorkspace::new();
+    loop {
+        let job = {
+            let rx = jobs.lock().expect("jobs lock");
+            rx.recv_timeout(Duration::from_millis(100))
+        };
+        match job {
+            Ok(job) => {
+                let result = shared
+                    .shards
+                    .execute(
+                        &job.request,
+                        &mut ws,
+                        job.deadline,
+                        shared.config.timeout_ms,
+                    )
+                    .map(Arc::new);
+                // The connection thread may have timed out and gone away;
+                // that is fine, the result is simply dropped.
+                let _ = job.reply.send(result);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(e) => {
+            let body = obj([(
+                "error",
+                obj([
+                    ("code", Json::Str("bad_request".into())),
+                    ("message", Json::Str(e.message.clone())),
+                ]),
+            )])
+            .encode();
+            let _ = write_response(&mut stream, e.status, "Bad Request", &body);
+            return;
+        }
+    };
+
+    let (status, reason, body) = route(shared, &request);
+    let _ = write_response(&mut stream, status, reason, &body);
+}
+
+fn route(shared: &Shared, request: &Request) -> (u16, &'static str, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/v1/healthz") => (200, "OK", healthz(shared).encode()),
+        ("GET", "/v1/shards") => (200, "OK", shards_info(shared).encode()),
+        ("POST", "/v1/query") => match query(shared, &request.body) {
+            Ok(response) => (200, "OK", response.to_json().encode()),
+            Err(e) => {
+                let (status, reason) = e.status();
+                (status, reason, e.to_json().encode())
+            }
+        },
+        (_, "/v1/healthz" | "/v1/shards" | "/v1/query") => {
+            let e = ServeError::MethodNotAllowed;
+            let (status, reason) = e.status();
+            (status, reason, e.to_json().encode())
+        }
+        _ => {
+            let e = ServeError::NotFound;
+            let (status, reason) = e.status();
+            (status, reason, e.to_json().encode())
+        }
+    }
+}
+
+fn healthz(shared: &Shared) -> Json {
+    obj([
+        ("status", Json::Str("ok".into())),
+        ("shards", Json::Int(shared.shards.shards().len() as i64)),
+        (
+            "generation",
+            Json::Str(format!("0x{:016x}", shared.shards.generation())),
+        ),
+        ("inflight", Json::Int(shared.gate.inflight() as i64)),
+    ])
+}
+
+fn shards_info(shared: &Shared) -> Json {
+    let shards: Vec<Json> = shared
+        .shards
+        .shards()
+        .iter()
+        .map(|shard| {
+            obj([
+                (
+                    "path",
+                    Json::Str(shard.path().to_string_lossy().into_owned()),
+                ),
+                ("file_len", Json::Int(shard.file_len() as i64)),
+                ("tables", Json::Int(shard.snapshot().num_tables() as i64)),
+                (
+                    "candidates",
+                    Json::Int(shard.snapshot().candidate_count() as i64),
+                ),
+                (
+                    "append_groups",
+                    Json::Int(shard.snapshot().append_groups() as i64),
+                ),
+                (
+                    "candidate_offset",
+                    Json::Int(shard.candidate_offset() as i64),
+                ),
+            ])
+        })
+        .collect();
+    let (hits, misses) = shared.cache.lock().expect("cache lock").stats();
+    obj([
+        ("shards", Json::Arr(shards)),
+        (
+            "generation",
+            Json::Str(format!("0x{:016x}", shared.shards.generation())),
+        ),
+        ("workers", Json::Int(shared.config.workers.max(1) as i64)),
+        ("timeout_ms", Json::Int(shared.config.timeout_ms as i64)),
+        ("max_inflight", Json::Int(shared.config.max_inflight as i64)),
+        (
+            "cache_capacity",
+            Json::Int(shared.config.cache_capacity as i64),
+        ),
+        ("cache_hits", Json::Int(hits as i64)),
+        ("cache_misses", Json::Int(misses as i64)),
+    ])
+}
+
+fn query(shared: &Shared, body: &str) -> Result<QueryResponse, ServeError> {
+    let request = QueryRequest::from_json(body)?;
+
+    // Admission first: a rejected query does zero parsing beyond this point
+    // and zero scoring work.
+    let Some(_permit) = shared.gate.try_acquire() else {
+        return Err(ServeError::Overloaded {
+            max_inflight: shared.gate.max_inflight(),
+        });
+    };
+    let deadline = Deadline::starting_now(shared.config.timeout_ms);
+
+    // Cache: keyed by (query fingerprint, snapshot generation). An append
+    // epoch (reload after append_to) changes the generation, so stale
+    // entries stop matching without any flush.
+    let fingerprint = request.fingerprint();
+    let key = (fingerprint.0, fingerprint.1, shared.shards.generation());
+    if let Some(hit) = shared.cache.lock().expect("cache lock").get(&key) {
+        return Ok(QueryResponse {
+            results: hit.results.as_ref().clone(),
+            shards_queried: hit.shards_queried,
+            generation: shared.shards.generation(),
+            cached: true,
+        });
+    }
+
+    // Hand the query to the worker pool and wait, bounded by the deadline
+    // (workers also check it cooperatively between shards).
+    let (reply_tx, reply_rx) = mpsc::channel();
+    {
+        let jobs = shared.jobs.lock().expect("jobs lock");
+        let Some(tx) = jobs.as_ref() else {
+            return Err(ServeError::Internal("server is shutting down".into()));
+        };
+        tx.send(Job {
+            request,
+            deadline,
+            reply: reply_tx,
+        })
+        .map_err(|_| ServeError::Internal("worker pool is gone".into()))?;
+    }
+    let results = match deadline.remaining() {
+        None => reply_rx
+            .recv()
+            .map_err(|_| ServeError::Internal("worker dropped the query".into()))?,
+        Some(remaining) => {
+            // Small grace on top of the budget so a worker that finishes
+            // exactly at the deadline still delivers.
+            match reply_rx.recv_timeout(remaining + Duration::from_millis(50)) {
+                Ok(result) => result,
+                Err(RecvTimeoutError::Timeout) => Err(ServeError::Timeout {
+                    timeout_ms: shared.config.timeout_ms,
+                }),
+                Err(RecvTimeoutError::Disconnected) => {
+                    Err(ServeError::Internal("worker dropped the query".into()))
+                }
+            }
+        }
+    }?;
+
+    shared.cache.lock().expect("cache lock").insert(
+        key,
+        Arc::new(CachedResult {
+            results: Arc::clone(&results),
+            shards_queried: shared.shards.shards().len(),
+        }),
+    );
+    Ok(QueryResponse {
+        results: results.as_ref().clone(),
+        shards_queried: shared.shards.shards().len(),
+        generation: shared.shards.generation(),
+        cached: false,
+    })
+}
+
+/// Blocks until the daemon at `addr` answers `GET /v1/healthz`, retrying for
+/// up to `wait` total. Used by tests and the CI serve leg to avoid racing
+/// the daemon's startup.
+pub fn wait_healthy(addr: &str, wait: Duration) -> std::io::Result<()> {
+    let deadline = std::time::Instant::now() + wait;
+    loop {
+        match client_request(addr, "GET", "/v1/healthz", "") {
+            Ok((200, _)) => return Ok(()),
+            _ if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Ok((status, body)) => {
+                return Err(std::io::Error::other(format!("unhealthy: {status} {body}")))
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Shard management: opening N repository files as read-only snapshots,
+//! stamping the set with a content-derived **generation**, and merging
+//! per-shard rankings into a global top-k that is bit-for-bit identical to
+//! querying one repository holding every table.
+//!
+//! # Why the merge is exact
+//!
+//! Per-candidate scores (`mi`, `join_size`, `key_overlap`) depend only on the
+//! query sketch and the candidate's own sketch — never on which file the
+//! candidate sits in. A single repository ranks by MI descending with a
+//! *stable* sort over joinability-index hits, and those hits are ordered by
+//! (key overlap descending, candidate index ascending). When tables are
+//! partitioned contiguously across shards in order — the layout
+//! `joinmi_bench ingest --shards N` produces — global candidate order equals
+//! (shard, local index) lexicographic order, so merging per-shard lists by
+//! (MI desc, key overlap desc, shard asc, local index asc) reproduces the
+//! single-repository ranking exactly, ties included. Per-shard top-k before
+//! the merge is safe for the same reason: each shard's list order agrees
+//! with the global order restricted to that shard.
+
+use std::path::{Path, PathBuf};
+
+use joinmi_discovery::persist::RepositorySnapshot;
+use joinmi_discovery::repository::CandidateSource;
+use joinmi_discovery::TableRepository;
+use joinmi_estimators::EstimatorWorkspace;
+use joinmi_hash::murmur3_x64_128;
+use joinmi_store::RecoveryReport;
+
+use crate::guard::Deadline;
+use crate::wire::{QueryRequest, ServeError, ShardedResult};
+
+/// Salt for the snapshot-generation hash.
+const GENERATION_SEED: u64 = 0x6A6D_6931_4745_4E30; // "jmi1GEN0"
+
+/// One opened shard.
+#[derive(Debug)]
+pub struct Shard {
+    path: PathBuf,
+    snapshot: RepositorySnapshot,
+    file_len: u64,
+    candidate_offset: usize,
+}
+
+impl Shard {
+    /// The file this shard was opened from.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The read-only snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> &RepositorySnapshot {
+        &self.snapshot
+    }
+
+    /// File length at open time, in bytes.
+    #[must_use]
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    /// Sum of candidate counts of all earlier shards; local index + offset =
+    /// global candidate index.
+    #[must_use]
+    pub fn candidate_offset(&self) -> usize {
+        self.candidate_offset
+    }
+}
+
+/// What happened to one shard file during a repairing open.
+#[derive(Debug)]
+pub struct ShardRepair {
+    /// The shard file.
+    pub path: PathBuf,
+    /// The repair report (`is_torn()` tells whether bytes were dropped).
+    pub report: RecoveryReport,
+}
+
+/// An ordered set of opened shards plus the generation stamp their snapshots
+/// carry. Immutable once opened; reloads build a new `ShardSet`.
+#[derive(Debug)]
+pub struct ShardSet {
+    shards: Vec<Shard>,
+    generation: u64,
+}
+
+impl ShardSet {
+    /// Opens every shard file strictly (torn files are typed errors).
+    pub fn open<P: AsRef<Path>>(paths: &[P]) -> Result<Self, joinmi_store::StoreError> {
+        Self::open_impl(paths, false).map(|(set, _)| set)
+    }
+
+    /// Opens every shard file, first repairing any torn append tail via
+    /// [`TableRepository::recover_truncated`]. Returns the set plus one
+    /// [`ShardRepair`] per shard describing what (if anything) was dropped.
+    /// Unrepairable damage — a torn *base* payload, bit rot — is still a
+    /// typed error: repair only ever sheds appended history.
+    pub fn open_with_repair<P: AsRef<Path>>(
+        paths: &[P],
+    ) -> Result<(Self, Vec<ShardRepair>), joinmi_store::StoreError> {
+        Self::open_impl(paths, true)
+    }
+
+    fn open_impl<P: AsRef<Path>>(
+        paths: &[P],
+        repair: bool,
+    ) -> Result<(Self, Vec<ShardRepair>), joinmi_store::StoreError> {
+        let mut shards = Vec::with_capacity(paths.len());
+        let mut repairs = Vec::new();
+        let mut candidate_offset = 0usize;
+        for path in paths {
+            let path = path.as_ref().to_path_buf();
+            if repair {
+                let report = TableRepository::recover_truncated(&path)?;
+                repairs.push(ShardRepair {
+                    path: path.clone(),
+                    report,
+                });
+            }
+            let snapshot = TableRepository::load_mmap_like(&path)?;
+            let file_len = std::fs::metadata(&path)?.len();
+            let count = snapshot.candidate_count();
+            shards.push(Shard {
+                path,
+                snapshot,
+                file_len,
+                candidate_offset,
+            });
+            candidate_offset += count;
+        }
+        let generation = Self::generation_of(&shards);
+        Ok((Self { shards, generation }, repairs))
+    }
+
+    /// The content-derived generation stamp: a hash over every shard's path,
+    /// file length and append-group count, in shard order. Appending to a
+    /// shard (and reloading) changes it; reopening unchanged files does not,
+    /// so cached results stay valid across a no-op reload.
+    fn generation_of(shards: &[Shard]) -> u64 {
+        let mut material = Vec::new();
+        for shard in shards {
+            material.extend_from_slice(shard.path.to_string_lossy().as_bytes());
+            material.push(0);
+            material.extend_from_slice(&shard.file_len.to_le_bytes());
+            material.extend_from_slice(&(shard.snapshot.append_groups() as u64).to_le_bytes());
+            material.extend_from_slice(&(shard.snapshot.candidate_count() as u64).to_le_bytes());
+        }
+        murmur3_x64_128(&material, GENERATION_SEED).0
+    }
+
+    /// The opened shards, in order.
+    #[must_use]
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The generation stamp of this snapshot set.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total candidate count across all shards.
+    #[must_use]
+    pub fn total_candidates(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.snapshot.candidate_count())
+            .sum()
+    }
+
+    /// Runs one query against every shard with the caller's workspace and
+    /// merges the per-shard rankings deterministically (see module docs).
+    ///
+    /// The deadline is checked cooperatively before each shard; expiry
+    /// surfaces as [`ServeError::Timeout`] with the elapsed budget.
+    pub fn execute(
+        &self,
+        request: &QueryRequest,
+        ws: &mut EstimatorWorkspace,
+        deadline: Deadline,
+        timeout_ms: u64,
+    ) -> Result<Vec<ShardedResult>, ServeError> {
+        let query = request.to_query()?;
+        let mut merged: Vec<ShardedResult> = Vec::new();
+        for (shard_index, shard) in self.shards.iter().enumerate() {
+            if deadline.expired() {
+                return Err(ServeError::Timeout { timeout_ms });
+            }
+            let ranked = query
+                .execute_in(&shard.snapshot, ws)
+                .map_err(|e| ServeError::Internal(e.to_string()))?;
+            merged.extend(ranked.into_iter().map(|candidate| ShardedResult {
+                shard: shard_index,
+                shard_candidate_index: candidate.candidate_index,
+                global_candidate_index: shard.candidate_offset + candidate.candidate_index,
+                candidate,
+            }));
+        }
+        if deadline.expired() {
+            return Err(ServeError::Timeout { timeout_ms });
+        }
+        Self::merge_rank(&mut merged);
+        if request.top_k > 0 {
+            merged.truncate(request.top_k);
+        }
+        Ok(merged)
+    }
+
+    /// Sorts merged per-shard results into the global ranking order:
+    /// MI descending, then key overlap descending, then shard, then local
+    /// candidate index — a total order equal to the single-repository order
+    /// under contiguous table partitioning.
+    pub fn merge_rank(results: &mut [ShardedResult]) {
+        results.sort_by(|a, b| {
+            b.candidate
+                .mi
+                .partial_cmp(&a.candidate.mi)
+                .expect("MI estimates are finite")
+                .then(b.candidate.key_overlap.cmp(&a.candidate.key_overlap))
+                .then(a.shard.cmp(&b.shard))
+                .then(a.shard_candidate_index.cmp(&b.shard_candidate_index))
+        });
+    }
+}

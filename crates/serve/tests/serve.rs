@@ -1,0 +1,444 @@
+//! End-to-end daemon tests: a corpus split across 3 shard files must answer
+//! REST queries bit-for-bit identically to the same corpus in one
+//! repository queried in process, and every guardrail must be reachable
+//! through the public API.
+
+use std::time::Duration;
+
+use joinmi_discovery::{RankedCandidate, RelationshipQuery, RepositoryConfig, TableRepository};
+use joinmi_estimators::EstimatorWorkspace;
+use joinmi_serve::json::Json;
+use joinmi_serve::{
+    client_request, wait_healthy, Deadline, QueryRequest, ServeError, Server, ServerConfig,
+    ShardSet,
+};
+use joinmi_sketch::{SketchConfig, SketchKind};
+use joinmi_synth::TaxiScenario;
+use joinmi_table::Table;
+
+const SKETCH: SketchConfig = SketchConfig { size: 256, seed: 3 };
+
+fn repo_config() -> RepositoryConfig {
+    RepositoryConfig {
+        sketch: SKETCH,
+        ..RepositoryConfig::default()
+    }
+}
+
+/// The corpus: three candidate tables plus the taxi query table.
+fn corpus() -> (Vec<Table>, Table) {
+    let scenario = TaxiScenario::generate(40, 15, 3);
+    (
+        vec![
+            scenario.weather,
+            scenario.demographics,
+            scenario.inspections,
+        ],
+        scenario.taxi,
+    )
+}
+
+/// Saves `tables`, contiguously partitioned, into `num_shards` files under a
+/// fresh temp prefix; returns the paths.
+fn save_shards(tables: &[Table], num_shards: usize, tag: &str) -> Vec<std::path::PathBuf> {
+    let chunk = tables.len().div_ceil(num_shards);
+    (0..num_shards)
+        .map(|s| {
+            let mut repo = TableRepository::new(repo_config());
+            for table in tables.iter().skip(s * chunk).take(chunk) {
+                repo.add_table(table.clone()).unwrap();
+            }
+            let path = std::env::temp_dir()
+                .join(format!("joinmi-serve-{tag}-{}-{s}.jmi", std::process::id()));
+            repo.save(&path).unwrap();
+            path
+        })
+        .collect()
+}
+
+fn single_repo(tables: &[Table]) -> TableRepository {
+    let mut repo = TableRepository::new(repo_config());
+    for table in tables {
+        repo.add_table(table.clone()).unwrap();
+    }
+    repo
+}
+
+fn in_process_query(train: &Table, top_k: usize) -> RelationshipQuery {
+    RelationshipQuery::new(train.clone(), "zipcode", "num_trips")
+        .with_sketch(SketchKind::Tupsk, SKETCH)
+        .with_min_join_size(10)
+        .with_top_k(top_k)
+}
+
+/// The same query as JSON for the wire.
+fn request_body(train: &Table, top_k: usize) -> String {
+    let rows: Vec<String> = (0..train.num_rows())
+        .map(|i| {
+            let zip = train.value(i, "zipcode").unwrap();
+            let trips = train.value(i, "num_trips").unwrap();
+            format!(
+                "[\"{}\", {}]",
+                zip.as_str().unwrap(),
+                trips.as_i64().unwrap()
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"key_column": "zipcode", "target_column": "num_trips",
+            "rows": [{}],
+            "top_k": {top_k}, "min_join_size": 10,
+            "sketch_kind": "TUPSK", "sketch_size": 256, "sketch_seed": 3}}"#,
+        rows.join(", ")
+    )
+}
+
+fn fingerprint(results: &[RankedCandidate]) -> Vec<(usize, u64, usize, usize)> {
+    results
+        .iter()
+        .map(|r| {
+            (
+                r.candidate_index,
+                r.mi.to_bits(),
+                r.sketch_join_size,
+                r.key_overlap,
+            )
+        })
+        .collect()
+}
+
+/// Extracts the same fingerprint from a wire response, using the exact
+/// `mi_bits` field and the global candidate index.
+fn wire_fingerprint(body: &str) -> Vec<(usize, u64, usize, usize)> {
+    let doc = Json::parse(body).unwrap();
+    doc.get("results")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|row| {
+            let bits_hex = row.get("mi_bits").and_then(Json::as_str).unwrap();
+            let bits = u64::from_str_radix(bits_hex.trim_start_matches("0x"), 16).unwrap();
+            (
+                row.get("candidate_index").and_then(Json::as_i64).unwrap() as usize,
+                bits,
+                row.get("join_size").and_then(Json::as_i64).unwrap() as usize,
+                row.get("key_overlap").and_then(Json::as_i64).unwrap() as usize,
+            )
+        })
+        .collect()
+}
+
+fn cleanup(paths: &[std::path::PathBuf]) {
+    for path in paths {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn three_shard_rest_query_is_bit_identical_to_single_repository() {
+    let (tables, train) = corpus();
+    let paths = save_shards(&tables, 3, "parity");
+    let single = single_repo(&tables);
+
+    let shards = ShardSet::open(&paths).unwrap();
+    assert_eq!(shards.shards().len(), 3);
+    assert_eq!(shards.total_candidates(), single.candidates().len());
+
+    let mut server = Server::start(
+        ServerConfig {
+            workers: 2,
+            timeout_ms: 0,
+            ..ServerConfig::default()
+        },
+        shards,
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    wait_healthy(&addr, Duration::from_secs(5)).unwrap();
+
+    for top_k in [0, 2, 5] {
+        let expected = fingerprint(&in_process_query(&train, top_k).execute(&single).unwrap());
+        assert!(top_k != 0 || !expected.is_empty());
+
+        let (status, body) =
+            client_request(&addr, "POST", "/v1/query", &request_body(&train, top_k)).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(wire_fingerprint(&body), expected, "top_k={top_k}");
+
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.get("shards_queried").and_then(Json::as_i64), Some(3));
+    }
+
+    server.shutdown();
+    cleanup(&paths);
+}
+
+#[test]
+fn shard_set_merge_matches_single_repository_without_http() {
+    // Same parity pinned one layer down, plus: a per-shard run with the
+    // daemon's sequential path merges into the single-repo global order.
+    let (tables, train) = corpus();
+    let paths = save_shards(&tables, 3, "merge");
+    let single = single_repo(&tables);
+    let shards = ShardSet::open(&paths).unwrap();
+
+    let expected = fingerprint(&in_process_query(&train, 0).execute(&single).unwrap());
+    let request = QueryRequest::from_json(&request_body(&train, 0)).unwrap();
+    let mut ws = EstimatorWorkspace::new();
+    let merged = shards
+        .execute(&request, &mut ws, Deadline::unlimited(), 0)
+        .unwrap();
+    let got: Vec<_> = merged
+        .iter()
+        .map(|r| {
+            (
+                r.global_candidate_index,
+                r.candidate.mi.to_bits(),
+                r.candidate.sketch_join_size,
+                r.candidate.key_overlap,
+            )
+        })
+        .collect();
+    assert_eq!(got, expected);
+    cleanup(&paths);
+}
+
+#[test]
+fn expired_deadline_is_a_typed_timeout() {
+    let (tables, train) = corpus();
+    let paths = save_shards(&tables, 2, "deadline");
+    let shards = ShardSet::open(&paths).unwrap();
+    let request = QueryRequest::from_json(&request_body(&train, 0)).unwrap();
+
+    let deadline = Deadline::starting_now(1);
+    std::thread::sleep(Duration::from_millis(5));
+    let mut ws = EstimatorWorkspace::new();
+    let err = shards
+        .execute(&request, &mut ws, deadline, 1)
+        .expect_err("expired deadline must not run");
+    assert_eq!(err, ServeError::Timeout { timeout_ms: 1 });
+    cleanup(&paths);
+}
+
+#[test]
+fn repeated_query_hits_the_cache_bit_identically() {
+    let (tables, train) = corpus();
+    let paths = save_shards(&tables, 3, "cache");
+    let shards = ShardSet::open(&paths).unwrap();
+    let mut server = Server::start(
+        ServerConfig {
+            workers: 1,
+            timeout_ms: 0,
+            ..ServerConfig::default()
+        },
+        shards,
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    wait_healthy(&addr, Duration::from_secs(5)).unwrap();
+
+    let body = request_body(&train, 5);
+    let (s1, first) = client_request(&addr, "POST", "/v1/query", &body).unwrap();
+    let (s2, second) = client_request(&addr, "POST", "/v1/query", &body).unwrap();
+    assert_eq!((s1, s2), (200, 200));
+    let d1 = Json::parse(&first).unwrap();
+    let d2 = Json::parse(&second).unwrap();
+    assert_eq!(d1.get("cached"), Some(&Json::Bool(false)));
+    assert_eq!(d2.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(wire_fingerprint(&first), wire_fingerprint(&second));
+    // Same query with different whitespace/field order still hits.
+    let reordered = body.replacen(
+        "\"key_column\": \"zipcode\", \"target_column\": \"num_trips\"",
+        "\"target_column\": \"num_trips\", \"key_column\": \"zipcode\"",
+        1,
+    );
+    assert_ne!(reordered, body);
+    let (_, third) = client_request(&addr, "POST", "/v1/query", &reordered).unwrap();
+    assert_eq!(
+        Json::parse(&third).unwrap().get("cached"),
+        Some(&Json::Bool(true))
+    );
+
+    server.shutdown();
+    cleanup(&paths);
+}
+
+#[test]
+fn append_epoch_changes_the_generation_and_a_noop_reload_does_not() {
+    let (tables, _) = corpus();
+    let paths = save_shards(&tables, 2, "generation");
+
+    let first = ShardSet::open(&paths).unwrap().generation();
+    let reopened = ShardSet::open(&paths).unwrap().generation();
+    assert_eq!(first, reopened, "unchanged files keep their generation");
+
+    // Append rows to shard 1 (inspections lives there alone) and reopen.
+    let scenario = TaxiScenario::generate(40, 15, 3);
+    let extra = scenario.inspections.slice_rows(0..4);
+    let mut repo = TableRepository::load(&paths[1]).unwrap();
+    assert!(repo.append_rows(&extra).unwrap() > 0);
+    repo.append_to(&paths[1]).unwrap();
+
+    let appended = ShardSet::open(&paths).unwrap().generation();
+    assert_ne!(first, appended, "append epoch must change the generation");
+    cleanup(&paths);
+}
+
+#[test]
+fn torn_shard_is_refused_strictly_and_repaired_with_opt_in() {
+    let (tables, _) = corpus();
+    let paths = save_shards(&tables, 2, "torn");
+
+    // Tear shard 0 by appending and cutting the tail mid-group.
+    let scenario = TaxiScenario::generate(40, 15, 3);
+    let mut repo = TableRepository::load(&paths[0]).unwrap();
+    let base_len = std::fs::metadata(&paths[0]).unwrap().len();
+    assert!(
+        repo.append_rows(&scenario.weather.slice_rows(0..6))
+            .unwrap()
+            > 0
+    );
+    repo.append_to(&paths[0]).unwrap();
+    let full = std::fs::read(&paths[0]).unwrap();
+    assert!(full.len() as u64 > base_len);
+    std::fs::write(&paths[0], &full[..full.len() - 3]).unwrap();
+
+    // Strict open refuses the set.
+    assert!(ShardSet::open(&paths).is_err());
+
+    // Repairing open drops the torn group and reports it.
+    let (shards, repairs) = ShardSet::open_with_repair(&paths).unwrap();
+    assert_eq!(shards.shards().len(), 2);
+    assert!(repairs[0].report.is_torn());
+    assert_eq!(repairs[0].report.recovered_len, base_len);
+    assert!(!repairs[1].report.is_torn());
+    assert_eq!(std::fs::metadata(&paths[0]).unwrap().len(), base_len);
+    cleanup(&paths);
+}
+
+#[test]
+fn http_error_paths_are_typed() {
+    let (tables, _) = corpus();
+    let paths = save_shards(&tables, 1, "errors");
+    let shards = ShardSet::open(&paths).unwrap();
+    let mut server = Server::start(ServerConfig::default(), shards).unwrap();
+    let addr = server.local_addr().to_string();
+    wait_healthy(&addr, Duration::from_secs(5)).unwrap();
+
+    let (status, body) = client_request(&addr, "POST", "/v1/query", "{not json").unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("\"code\":\"bad_request\""), "{body}");
+
+    let (status, body) = client_request(&addr, "GET", "/v1/nope", "").unwrap();
+    assert_eq!(status, 404);
+    assert!(body.contains("\"code\":\"not_found\""), "{body}");
+
+    let (status, body) = client_request(&addr, "GET", "/v1/query", "").unwrap();
+    assert_eq!(status, 405);
+    assert!(body.contains("\"code\":\"method_not_allowed\""), "{body}");
+
+    let (status, body) = client_request(&addr, "GET", "/v1/shards", "").unwrap();
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(
+        doc.get("shards").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(1)
+    );
+    assert!(doc.get("timeout_ms").is_some());
+    assert!(doc.get("max_inflight").is_some());
+    assert!(doc.get("cache_capacity").is_some());
+
+    server.shutdown();
+    cleanup(&paths);
+}
+
+#[test]
+fn saturated_admission_gate_rejects_with_429() {
+    // Deterministic saturation: a one-slot gate where the only worker is
+    // busy on a query that cannot finish before we probe — its deadline is
+    // unlimited and its rows are large enough to keep a debug build busy.
+    let (tables, train) = corpus();
+    let paths = save_shards(&tables, 3, "admission");
+    let shards = ShardSet::open(&paths).unwrap();
+    let mut server = Server::start(
+        ServerConfig {
+            workers: 1,
+            timeout_ms: 0,
+            max_inflight: 1,
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        },
+        shards,
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    wait_healthy(&addr, Duration::from_secs(5)).unwrap();
+
+    // Inflate the query: repeat the taxi rows many times so the sketch
+    // build alone takes well over the probe window.
+    let rows: Vec<String> = (0..train.num_rows())
+        .map(|i| {
+            format!(
+                "[\"{}\", {}]",
+                train.value(i, "zipcode").unwrap().as_str().unwrap(),
+                train.value(i, "num_trips").unwrap().as_i64().unwrap()
+            )
+        })
+        .collect();
+    let big_rows = rows.join(", ");
+    let repeated = vec![big_rows; 25];
+    let slow_body = format!(
+        r#"{{"key_column": "zipcode", "target_column": "num_trips",
+            "rows": [{}], "min_join_size": 10,
+            "sketch_size": 256, "sketch_seed": 3}}"#,
+        repeated.join(", ")
+    );
+
+    // Wait (via the health endpoint's inflight gauge) until the slow query
+    // has actually been admitted, then probe: the one-slot gate must answer
+    // 429. Health checks themselves bypass admission, which is exactly what
+    // lets us observe a saturated daemon here. The admitted-but-still-busy
+    // window is the whole scoring run, so one retry loop around the race
+    // keeps this robust on any machine.
+    let probe_body = request_body(&train, 3);
+    let mut saw_overloaded = false;
+    'attempts: for _ in 0..5 {
+        let addr_clone = addr.clone();
+        let body_clone = slow_body.clone();
+        let slow = std::thread::spawn(move || {
+            client_request(&addr_clone, "POST", "/v1/query", &body_clone).unwrap()
+        });
+        while !slow.is_finished() {
+            let (status, health) = client_request(&addr, "GET", "/v1/healthz", "").unwrap();
+            assert_eq!(status, 200, "health must answer while saturated");
+            let inflight = Json::parse(&health)
+                .unwrap()
+                .get("inflight")
+                .and_then(Json::as_i64);
+            if inflight == Some(1) {
+                let (status, body) =
+                    client_request(&addr, "POST", "/v1/query", &probe_body).unwrap();
+                if status == 429 {
+                    assert!(body.contains("\"code\":\"overloaded\""), "{body}");
+                    saw_overloaded = true;
+                }
+            }
+        }
+        let (slow_status, _) = slow.join().unwrap();
+        assert_eq!(slow_status, 200);
+        if saw_overloaded {
+            break 'attempts;
+        }
+    }
+    assert!(
+        saw_overloaded,
+        "never observed a 429 while the gate was held"
+    );
+
+    // With the slot free again, the probe succeeds.
+    let (status, _) = client_request(&addr, "POST", "/v1/query", &probe_body).unwrap();
+    assert_eq!(status, 200);
+
+    server.shutdown();
+    cleanup(&paths);
+}

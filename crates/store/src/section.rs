@@ -104,6 +104,26 @@ pub fn scan_section(
     pos: &mut usize,
     expected_tag: u8,
 ) -> Result<std::ops::Range<usize>> {
+    let (tag, range) = scan_section_any(buf, pos)?;
+    if tag != expected_tag {
+        return Err(StoreError::UnexpectedSection {
+            expected: expected_tag,
+            found: tag,
+        });
+    }
+    Ok(range)
+}
+
+/// Like [`scan_section`], but accepts any tag and returns it alongside the
+/// payload range. This is the walker used by tag-driven consumers — append
+/// groups whose section sequence depends on counts inside earlier payloads,
+/// and the [`repair`](crate::repair) scanner that must classify a file's
+/// sections without assuming which one comes next.
+///
+/// `pos` is only advanced when the whole section (frame **and** payload,
+/// checksum verified) is present, so a failed scan leaves `pos` at the start
+/// of the damaged tail.
+pub fn scan_section_any(buf: &[u8], pos: &mut usize) -> Result<(u8, std::ops::Range<usize>)> {
     let header_end = pos
         .checked_add(1 + 8 + 8)
         .filter(|&end| end <= buf.len())
@@ -111,12 +131,6 @@ pub fn scan_section(
             context: "section frame",
         })?;
     let tag = buf[*pos];
-    if tag != expected_tag {
-        return Err(StoreError::UnexpectedSection {
-            expected: expected_tag,
-            found: tag,
-        });
-    }
     let len_bytes: [u8; 8] = buf[*pos + 1..*pos + 9].try_into().expect("8-byte slice");
     let len = usize::try_from(u64::from_le_bytes(len_bytes))
         .map_err(|_| StoreError::corrupt("section length exceeds usize"))?;
@@ -137,7 +151,7 @@ pub fn scan_section(
         });
     }
     *pos = payload_end;
-    Ok(header_end..payload_end)
+    Ok((tag, header_end..payload_end))
 }
 
 #[cfg(test)]

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Dead-link check for the repo's markdown docs.
+#
+# Scans every tracked *.md file for relative markdown links — `[text](path)`,
+# optionally with a `#fragment` — and fails if the target file or directory
+# does not exist. External links (http/https/mailto) and pure in-page
+# fragments (`#section`) are skipped: this gate is about files moving out
+# from under the docs, which is the failure mode a refactor-heavy repo
+# actually hits.
+#
+# Usage: scripts/check_doc_links.sh   (from the repo root; CI's docs job runs it)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+status=0
+checked=0
+
+# Tracked markdown only: temp files and build output are not docs.
+files=$(git ls-files '*.md')
+
+for file in $files; do
+    dir=$(dirname "$file")
+    # One inline link per line: `[text](target)`. Reference-style links and
+    # autolinks are rare here; inline links are what the docs use.
+    links=$(grep -oE '\[[^][]*\]\([^()[:space:]]+\)' "$file" 2>/dev/null |
+        sed -E 's/^\[[^][]*\]\(//; s/\)$//') || true
+    for link in $links; do
+        case "$link" in
+        http://* | https://* | mailto:* | \#*) continue ;;
+        esac
+        target=${link%%#*}
+        [ -n "$target" ] || continue
+        # Relative to the containing file, like a markdown renderer resolves it.
+        if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+            echo "dead link in $file: ($link)" >&2
+            status=1
+        fi
+        checked=$((checked + 1))
+    done
+done
+
+echo "check_doc_links: $checked relative link(s) checked across $(echo "$files" | wc -w) markdown file(s)"
+exit $status

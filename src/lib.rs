@@ -23,6 +23,9 @@
 //! * [`synth`] — synthetic benchmark generators with analytically known MI.
 //! * [`discovery`] — MI-based data discovery (repositories, joinability
 //!   indexes, top-k relationship queries).
+//! * [`serve`] — the sharded discovery daemon: REST queries over N shard
+//!   repositories with timeout/admission/cache guardrails (protocol spec
+//!   and runbook in `docs/SERVING.md`).
 //! * [`eval`] — the experiment harness reproducing the paper's evaluation.
 //!
 //! ## Quickstart
@@ -61,6 +64,7 @@ pub use joinmi_estimators as estimators;
 pub use joinmi_eval as eval;
 pub use joinmi_hash as hash;
 pub use joinmi_par as par;
+pub use joinmi_serve as serve;
 pub use joinmi_sketch as sketch;
 pub use joinmi_store as store;
 pub use joinmi_synth as synth;
