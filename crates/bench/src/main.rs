@@ -10,11 +10,12 @@
 //! ```
 //!
 //! Benchmark mode runs a compressed version of the six criterion bench
-//! targets, the parallel ingest-and-query pipeline workload, and the
-//! repository save/load workload, and emits a machine-readable JSON (bench
-//! name → median wall nanoseconds; default `BENCH_PR4.json`) that seeds the
-//! perf trajectory for future PRs. Unlike the criterion benches (minutes),
-//! quick mode finishes in seconds, so CI runs it on every push.
+//! targets, the parallel ingest-and-query pipeline workload, the repository
+//! save/load workload, and the cross-query stage-cache workload, and emits a
+//! machine-readable JSON (bench name → median wall nanoseconds; default
+//! `BENCH_PR7.json`) that seeds the perf trajectory for future PRs. Unlike
+//! the criterion benches (minutes), quick mode finishes in seconds, so CI
+//! runs it on every push.
 //!
 //! `ingest` and `query` are the real offline → online split: `ingest` builds
 //! the deterministic 32×8-table corpus ([`joinmi_bench::corpus`]), sketches
@@ -69,7 +70,7 @@ fn print_usage() {
     eprintln!("       joinmi_bench compare --baseline JSON --current JSON [--max-regression R]");
     eprintln!();
     eprintln!("  --quick   small iteration counts / workloads (seconds, not minutes)");
-    eprintln!("  --json    write benchmark results to PATH (default BENCH_PR5.json)");
+    eprintln!("  --json    write benchmark results to PATH (default BENCH_PR7.json)");
     eprintln!("  --base    ingest the corpus minus its append tail (the daemon's day-0 state)");
     eprintln!("  --append  load REPO, append the corpus tail rows, extend the file in place");
     eprintln!("  --shards  split the corpus contiguously into PREFIX-shard-I.jmi files");
@@ -347,8 +348,12 @@ fn cmd_query(args: &[String]) -> i32 {
 /// Queries a running `joinmi_serve` daemon over REST and asserts its ranking
 /// is bit-for-bit identical to querying the whole corpus in process through
 /// one repository. This is the serving leg of the `persistence-roundtrip` CI
-/// job: JSON, HTTP, sharding, the merge, and the cache all sit between the
-/// two rankings, and `mi_bits` pins them to exact agreement.
+/// job: JSON, HTTP, sharding, the merge, and both caches sit between the
+/// two rankings, and `mi_bits` pins them to exact agreement. Beyond the
+/// result-cache repeat, a `top_k` variant exercises the cross-query stage
+/// cache: it must re-rank (`cached: false`), replay cached estimates
+/// (`stage_cache.estimate_hits` moves on `/v1/shards`), and produce the
+/// bit-for-bit prefix of the cold ranking.
 fn cmd_serve_check(args: &[String]) -> i32 {
     let Some(url) = flag_value(args, "--url") else {
         eprintln!("serve-check: --url HOST:PORT is required");
@@ -432,6 +437,21 @@ fn cmd_serve_check(args: &[String]) -> i32 {
             .collect()
     };
 
+    // Stage-cache hit counter from GET /v1/shards (the shared cross-query
+    // cache both report endpoints surface).
+    let estimate_hits = || -> Result<i64, String> {
+        let (status, text) = joinmi_serve::client_request(url, "GET", "/v1/shards", "")
+            .map_err(|e| format!("GET /v1/shards failed: {e}"))?;
+        if status != 200 {
+            return Err(format!("GET /v1/shards: status {status}: {text}"));
+        }
+        let doc = Json::parse(&text).map_err(|e| format!("bad /v1/shards JSON: {e}"))?;
+        doc.get("stage_cache")
+            .and_then(|s| s.get("estimate_hits"))
+            .and_then(Json::as_i64)
+            .ok_or_else(|| "/v1/shards has no stage_cache.estimate_hits".to_owned())
+    };
+
     let check = || -> Result<(), String> {
         let first = request("cold query")?;
         if wire_fingerprint(&first)? != expected {
@@ -452,13 +472,53 @@ fn cmd_serve_check(args: &[String]) -> i32 {
         if first.get("generation") != second.get("generation") {
             return Err("generation changed between identical queries".to_owned());
         }
+
+        // A top_k variant misses the result cache (different wire
+        // fingerprint) but hits the cross-query stage cache: every estimate
+        // replays from the cache, and the truncated ranking must be the
+        // bit-for-bit prefix of the full one.
+        let hits_before = estimate_hits()?;
+        let variant_body = body.replace(r#""top_k": 0"#, r#""top_k": 5"#);
+        let start = Instant::now();
+        let (status, text) = joinmi_serve::client_request(url, "POST", "/v1/query", &variant_body)
+            .map_err(|e| format!("top_k variant: request failed: {e}"))?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if status != 200 {
+            return Err(format!("top_k variant: status {status}: {text}"));
+        }
+        let third = Json::parse(&text).map_err(|e| format!("top_k variant: bad JSON: {e}"))?;
+        println!(
+            "serve-check: top_k variant answered in {ms:.1} ms (cached: {:?})",
+            third.get("cached")
+        );
+        if third.get("cached") == Some(&Json::Bool(true)) {
+            return Err("top_k variant unexpectedly hit the result cache".to_owned());
+        }
+        let truncated = wire_fingerprint(&third)?;
+        if truncated != expected[..5.min(expected.len())] {
+            return Err(
+                "stage-cache hit ranking is not the bit-for-bit prefix of the cold ranking"
+                    .to_owned(),
+            );
+        }
+        let hits_after = estimate_hits()?;
+        if hits_after <= hits_before {
+            return Err(format!(
+                "stage-cache estimate_hits did not move ({hits_before} -> {hits_after}); \
+                 the re-ranked variant should have replayed cached estimates"
+            ));
+        }
+        println!(
+            "serve-check: stage-cache estimate_hits {hits_before} -> {hits_after} \
+             across the re-ranked variant"
+        );
         Ok(())
     };
     match check() {
         Ok(()) => {
             println!(
                 "serve-check: OK — {} ranked candidates over REST bit-for-bit identical to \
-                 the in-process query, cache hit verified",
+                 the in-process query, result-cache and stage-cache hits verified",
                 expected.len()
             );
             0
@@ -551,7 +611,7 @@ fn cmd_compare(args: &[String]) -> i32 {
 fn cmd_bench(args: &[String]) -> i32 {
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let out_path = flag_value(args, "--out").unwrap_or("BENCH_PR5.json");
+    let out_path = flag_value(args, "--out").unwrap_or("BENCH_PR7.json");
 
     // Quick mode: smaller tables and fewer repetitions; default mode uses the
     // criterion-bench sizes for closer comparability.
@@ -561,6 +621,7 @@ fn cmd_bench(args: &[String]) -> i32 {
     bench_targets(rows, iters, &mut results);
     pipeline_workload(quick, &mut results);
     store_workload(quick, &mut results);
+    cache_workload(quick, &mut results);
     results.push((
         quickjson::HOST_PARALLELISM_KEY.to_owned(),
         std::thread::available_parallelism().map_or(1.0, |n| n.get() as f64),
@@ -898,4 +959,106 @@ fn store_workload(quick: bool, results: &mut Vec<(String, f64)>) {
         },
     ));
     results.push(("store/file_bytes".to_owned(), file_bytes as f64));
+}
+
+/// The PR 7 cross-query stage-cache workload: the standard ranked query cold
+/// (no cache), warm at the estimate level (every candidate served from the
+/// cached MI estimate, estimator never runs), and warm at the join level
+/// (estimates cleared outside the timed region each rep, so the run
+/// re-estimates from cached joined sketches).
+///
+/// `cache/estimate_hit_speedup` and `cache/join_hit_speedup` are the gated
+/// headline numbers; every warm run is asserted bit-for-bit identical to the
+/// cold ranking, so a cache that got faster by getting *wrong* fails here
+/// before it ever reaches CI's identity gates.
+fn cache_workload(quick: bool, results: &mut Vec<(String, f64)>) {
+    let reps = if quick { 5 } else { 9 };
+    let rows = corpus::rows_for(quick);
+    let repo = corpus::build_repository(rows);
+    let query = corpus::standard_query(rows);
+    let mut ws = joinmi_estimators::EstimatorWorkspace::new();
+
+    let cold_fp = corpus::ranking_fingerprint(&query.execute_in(&repo, &mut ws).expect("query"));
+    let cold_ns = median_ns(reps, || {
+        query.execute_in(&repo, &mut ws).expect("query").len()
+    });
+
+    let cache =
+        joinmi_discovery::QueryStageCache::new(joinmi_discovery::StageCacheConfig::default());
+    let scope = cache.scope(0);
+    // Warm the cache once (populates both levels), checking identity.
+    let warm = query
+        .execute_in_cached(&repo, &mut ws, Some(&scope))
+        .expect("warming query");
+    assert_eq!(
+        cold_fp,
+        corpus::ranking_fingerprint(&warm),
+        "cached ranking diverged from cold"
+    );
+
+    // Estimate-level hits: the estimator and the sketch join are both skipped.
+    let estimate_hit_ns = median_ns(reps, || {
+        query
+            .execute_in_cached(&repo, &mut ws, Some(&scope))
+            .expect("warm query")
+            .len()
+    });
+    let warm_fp = corpus::ranking_fingerprint(
+        &query
+            .execute_in_cached(&repo, &mut ws, Some(&scope))
+            .expect("warm query"),
+    );
+    assert_eq!(cold_fp, warm_fp, "estimate-hit ranking diverged from cold");
+
+    // Join-level hits: clearing the estimate level *outside* the timed region
+    // forces each rep to re-run the estimator on cached joined sketches.
+    let join_hit_ns = {
+        let mut samples: Vec<u128> = (0..reps.max(1))
+            .map(|_| {
+                cache.clear_estimates();
+                let start = Instant::now();
+                std::hint::black_box(
+                    query
+                        .execute_in_cached(&repo, &mut ws, Some(&scope))
+                        .expect("join-warm query")
+                        .len(),
+                );
+                start.elapsed().as_nanos()
+            })
+            .collect();
+        samples.sort_unstable();
+        samples[samples.len() / 2] as f64
+    };
+    cache.clear_estimates();
+    let join_warm_fp = corpus::ranking_fingerprint(
+        &query
+            .execute_in_cached(&repo, &mut ws, Some(&scope))
+            .expect("join-warm query"),
+    );
+    assert_eq!(cold_fp, join_warm_fp, "join-hit ranking diverged from cold");
+    let stats = cache.stats();
+    assert!(
+        stats.estimate_hits > 0 && stats.join_hits > 0,
+        "cache workload never hit the cache (stats: {stats:?})"
+    );
+
+    results.push(("cache/cold_execute".to_owned(), cold_ns));
+    results.push(("cache/estimate_hit".to_owned(), estimate_hit_ns));
+    results.push(("cache/join_hit".to_owned(), join_hit_ns));
+    results.push((
+        "cache/estimate_hit_speedup".to_owned(),
+        if estimate_hit_ns > 0.0 {
+            cold_ns / estimate_hit_ns
+        } else {
+            0.0
+        },
+    ));
+    results.push((
+        "cache/join_hit_speedup".to_owned(),
+        if join_hit_ns > 0.0 {
+            cold_ns / join_hit_ns
+        } else {
+            0.0
+        },
+    ));
 }

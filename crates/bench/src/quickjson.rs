@@ -10,14 +10,26 @@ use std::fmt::Write as _;
 
 /// Bench medians gated unconditionally by [`compare_quick_bench`]: the
 /// sketch-path hot loops whose regressions the paper's efficiency claim
-/// cannot absorb, plus the PR 4 estimator-kernel medians (the blocked
-/// Chebyshev k-NN kernel and the KSG estimate built on it).
-pub const GATED_MEDIANS: [&str; 4] = [
+/// cannot absorb, the PR 4 estimator-kernel medians (the blocked Chebyshev
+/// k-NN kernel and the KSG estimate built on it), and the PR 7 cross-query
+/// stage-cache speedups (warm hit path vs. cold execution — gated so the
+/// cache never silently degrades into re-doing the work it claims to skip).
+pub const GATED_MEDIANS: [&str; 6] = [
     "sketch_join/tupsk_n256",
     "estimators/mle_on_sketch_join",
     "knn/chebyshev_n4096",
     "estimators/ksg_n4096",
+    "cache/estimate_hit_speedup",
+    "cache/join_hit_speedup",
 ];
+
+/// Returns `true` for medians where *larger is better* (speedup ratios, not
+/// wall nanoseconds). The comparison direction flips for these: a regression
+/// is the current value dropping below `baseline / (1 + max_regression)`.
+#[must_use]
+pub fn higher_is_better(name: &str) -> bool {
+    name.contains("speedup")
+}
 
 /// Pipeline medians gated only when **both** the baseline and the current
 /// host report more than one core (`host/available_parallelism`): on a
@@ -100,7 +112,8 @@ pub struct BenchComparison {
     pub baseline: f64,
     /// Current median (nanoseconds).
     pub current: f64,
-    /// `current / baseline` (> 1 means slower).
+    /// `current / baseline` (> 1 means slower for wall-time medians, faster
+    /// for speedup medians — see [`higher_is_better`]).
     pub ratio: f64,
     /// `true` when the slowdown exceeds the allowed regression.
     pub regressed: bool,
@@ -131,7 +144,9 @@ impl ComparisonReport {
 ///
 /// The medians in [`GATED_MEDIANS`] are always compared; a median more than
 /// `max_regression` slower than baseline (e.g. `0.25` = +25%) marks the
-/// report as regressed. Pipeline medians are additionally compared when both
+/// report as regressed. Speedup medians (see [`higher_is_better`]) compare in
+/// the opposite direction: they regress when the ratio falls below
+/// `1 / (1 + max_regression)`. Pipeline medians are additionally compared when both
 /// hosts report more than one core (see [`PARALLEL_GATED_MEDIANS`]). Keys
 /// missing from the *baseline* are reported as `new_benches` (baselines may
 /// predate a bench — never silently dropped); **any** gated key missing from
@@ -163,12 +178,17 @@ pub fn compare_quick_bench(
         } else {
             1.0
         };
+        let regressed = if higher_is_better(name) {
+            ratio < 1.0 / (1.0 + max_regression)
+        } else {
+            ratio > 1.0 + max_regression
+        };
         report.checked.push(BenchComparison {
             name: name.to_owned(),
             baseline: baseline_value,
             current: current_value,
             ratio,
-            regressed: ratio > 1.0 + max_regression,
+            regressed,
         });
         Ok(())
     };
@@ -295,6 +315,36 @@ mod tests {
         baseline.last_mut().unwrap().1 = 1.0;
         let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
         assert_eq!(report.checked.len(), GATED_MEDIANS.len());
+        assert!(!report.has_regression());
+    }
+
+    #[test]
+    fn speedup_medians_gate_in_the_opposite_direction() {
+        // A speedup that *rises* from 6x to 9x must pass even though the raw
+        // ratio (1.5) is far beyond the +25% wall-time threshold…
+        let mut baseline = gated(1000.0);
+        let idx = GATED_MEDIANS
+            .iter()
+            .position(|&n| n == "cache/estimate_hit_speedup")
+            .unwrap();
+        baseline[idx].1 = 6.0;
+        baseline.push(("host/available_parallelism".to_owned(), 1.0));
+        let mut current = complete_current(1000.0);
+        current[idx].1 = 9.0;
+        current.push(("host/available_parallelism".to_owned(), 1.0));
+        let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
+        assert!(!report.has_regression());
+
+        // …and a speedup that *falls* below baseline / 1.25 must fail.
+        current[idx].1 = 4.0; // 4.0 / 6.0 < 1 / 1.25
+        let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
+        assert!(report.has_regression());
+        let bad = report.checked.iter().find(|c| c.regressed).unwrap();
+        assert_eq!(bad.name, "cache/estimate_hit_speedup");
+
+        // A mild dip inside the tolerance band passes.
+        current[idx].1 = 5.5; // 5.5 / 6.0 > 0.8
+        let report = compare_quick_bench(&baseline, &current, 0.25).unwrap();
         assert!(!report.has_regression());
     }
 

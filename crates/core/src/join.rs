@@ -102,6 +102,29 @@ impl JoinedSketch {
         self.xs.is_empty()
     }
 
+    /// Approximate resident heap + inline size of this joined sample, in
+    /// bytes.
+    ///
+    /// Counts the struct itself, both value vectors at their allocated
+    /// capacity, and the heap payload of any string values. Used by the
+    /// cross-query stage cache to bound resident memory rather than entry
+    /// count alone.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        let value_heap: usize = self
+            .xs
+            .iter()
+            .chain(self.ys.iter())
+            .map(|v| match v {
+                Value::Str(s) => s.len(),
+                _ => 0,
+            })
+            .sum();
+        std::mem::size_of::<Self>()
+            + (self.xs.capacity() + self.ys.capacity()) * std::mem::size_of::<Value>()
+            + value_heap
+    }
+
     /// The feature values.
     #[must_use]
     pub fn xs(&self) -> &[Value] {
@@ -333,6 +356,28 @@ mod tests {
             DataType::Int,
         );
         assert!(j.estimate_pearson().is_none());
+    }
+
+    #[test]
+    fn resident_bytes_counts_vectors_and_string_heap() {
+        let empty = JoinedSketch::from_pairs(vec![], vec![], DataType::Int, DataType::Int);
+        assert!(empty.resident_bytes() >= std::mem::size_of::<JoinedSketch>());
+
+        let ints = JoinedSketch::from_pairs(
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Value::Int(3), Value::Int(4)],
+            DataType::Int,
+            DataType::Int,
+        );
+        let strs = JoinedSketch::from_pairs(
+            vec![Value::from("a-reasonably-long-string"), Value::from("x")],
+            vec![Value::Int(3), Value::Int(4)],
+            DataType::Str,
+            DataType::Int,
+        );
+        assert!(ints.resident_bytes() > empty.resident_bytes());
+        // Same pair count, but string payloads add heap bytes.
+        assert!(strs.resident_bytes() > ints.resident_bytes());
     }
 
     #[test]

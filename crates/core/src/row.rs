@@ -138,6 +138,68 @@ impl ColumnSketch {
     pub fn join(&self, right: &ColumnSketch) -> JoinedSketch {
         JoinedSketch::from_sketches(self, right)
     }
+
+    /// A 128-bit content fingerprint of the sketch, stable across runs and
+    /// processes.
+    ///
+    /// Two sketches fingerprint equal exactly when they are `==`: the digest
+    /// covers the strategy, side, value dtype, build configuration, source
+    /// cardinalities, and every stored row (key digest plus the value in the
+    /// same canonical form `Value`'s `Eq`/`Hash` use, so `-0.0`/`+0.0` and
+    /// all NaN payloads collapse). The cross-query stage cache keys on this
+    /// to recognise "the same left sketch" across distinct query objects.
+    #[must_use]
+    pub fn content_fingerprint(&self) -> (u64, u64) {
+        // 25 bytes covers the fixed-size header fields; rows dominate.
+        let mut bytes = Vec::with_capacity(64 + self.rows.len() * 17);
+        bytes.push(self.kind as u8);
+        bytes.push(match self.side {
+            Side::Left => 0u8,
+            Side::Right => 1u8,
+        });
+        bytes.push(self.value_dtype as u8);
+        bytes.extend_from_slice(&(self.config.size as u64).to_le_bytes());
+        bytes.extend_from_slice(&self.config.seed.to_le_bytes());
+        bytes.extend_from_slice(&(self.source_rows as u64).to_le_bytes());
+        bytes.extend_from_slice(&(self.source_distinct_keys as u64).to_le_bytes());
+        bytes.extend_from_slice(&(self.rows.len() as u64).to_le_bytes());
+        for row in &self.rows {
+            bytes.extend_from_slice(&row.key.raw().to_le_bytes());
+            encode_value(&mut bytes, &row.value);
+        }
+        joinmi_hash::murmur3_x64_128(&bytes, CONTENT_FINGERPRINT_SEED)
+    }
+}
+
+/// Seed for [`ColumnSketch::content_fingerprint`] (`"jmi1SKFP"` as ASCII).
+const CONTENT_FINGERPRINT_SEED: u64 = 0x6A6D_6931_534B_4650;
+
+/// Appends a canonical, self-delimiting encoding of `value`.
+fn encode_value(bytes: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Null => bytes.push(0),
+        Value::Int(v) => {
+            bytes.push(1);
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::Float(v) => {
+            bytes.push(2);
+            // Mirror Value's canonical float bits: one NaN pattern, -0 == +0.
+            let bits = if v.is_nan() {
+                f64::NAN.to_bits()
+            } else if *v == 0.0 {
+                0.0f64.to_bits()
+            } else {
+                v.to_bits()
+            };
+            bytes.extend_from_slice(&bits.to_le_bytes());
+        }
+        Value::Str(s) => {
+            bytes.push(3);
+            bytes.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(s.as_bytes());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -176,5 +238,34 @@ mod tests {
         assert_eq!(s.kind(), SketchKind::Tupsk);
         assert_eq!(s.side(), Side::Left);
         assert_eq!(s.config().size, 256);
+    }
+
+    #[test]
+    fn content_fingerprint_tracks_equality() {
+        let a = sample_sketch(vec![(1, Value::Int(5)), (2, Value::Int(6))]);
+        let b = sample_sketch(vec![(1, Value::Int(5)), (2, Value::Int(6))]);
+        assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+
+        // Any content difference moves the digest: a value edit, a key edit,
+        // a row-order swap (row order is part of sketch identity).
+        let value_edit = sample_sketch(vec![(1, Value::Int(5)), (2, Value::Int(7))]);
+        let key_edit = sample_sketch(vec![(1, Value::Int(5)), (3, Value::Int(6))]);
+        let swapped = sample_sketch(vec![(2, Value::Int(6)), (1, Value::Int(5))]);
+        for other in [&value_edit, &key_edit, &swapped] {
+            assert_ne!(a.content_fingerprint(), other.content_fingerprint());
+        }
+    }
+
+    #[test]
+    fn content_fingerprint_uses_canonical_floats() {
+        let pos = sample_sketch(vec![(1, Value::Float(0.0))]);
+        let neg = sample_sketch(vec![(1, Value::Float(-0.0))]);
+        assert_eq!(pos, neg);
+        assert_eq!(pos.content_fingerprint(), neg.content_fingerprint());
+
+        // A string value must not collide with an int spelling the same bytes.
+        let s = sample_sketch(vec![(1, Value::from("5"))]);
+        let i = sample_sketch(vec![(1, Value::Int(5))]);
+        assert_ne!(s.content_fingerprint(), i.content_fingerprint());
     }
 }

@@ -1,0 +1,661 @@
+//! Cross-query stage cache: bounded, concurrency-safe reuse of sketch joins
+//! and MI estimates across [`RelationshipQuery`](crate::RelationshipQuery)
+//! executions.
+//!
+//! The discovery workload is read-heavy: under real traffic the same popular
+//! `(query column, candidate)` pairs are scored over and over, yet a plain
+//! `execute` re-joins the sketches and re-runs the estimator from scratch
+//! every time. This module memoizes the two expensive stages of the
+//! probe → join → estimate pipeline:
+//!
+//! * **Level 1 — joined sketches**, keyed by `(left-sketch content
+//!   fingerprint, candidate sketch id)`. A hit skips the hash join but still
+//!   runs the estimator (needed when the same join is scored under a
+//!   different neighbour count `k`).
+//! * **Level 2 — full MI estimates**, keyed additionally by the estimator
+//!   configuration (`k`). A hit skips both the join *and* the estimator.
+//!
+//! Both levels are scoped to one snapshot **generation**: the serving daemon
+//! creates the cache with its [`ShardSet`] generation, and
+//! [`QueryStageCache::set_generation`] clears everything when the generation
+//! moves, so append epochs invalidate implicitly — no per-entry TTLs.
+//!
+//! Both levels are **bit-for-bit neutral**. A level-1 hit hands the estimator
+//! the exact `JoinedSketch` the cold path would have built (estimation is
+//! workspace-independent and deterministic, pinned by the estimator crate's
+//! tests); a level-2 hit replays the stored `mi` bits verbatim. Failed
+//! estimates are never cached, and the `min_join_size` gate is re-applied on
+//! every hit, so queries with different thresholds still agree with their
+//! cold runs exactly.
+//!
+//! Capacity is bounded in **entries and resident bytes** (joined sketches
+//! dominate; see [`JoinedSketch::resident_bytes`]). Eviction is
+//! least-recently-used via a shared logical tick with a scan-for-minimum
+//! victim search across both levels — the same "obviousness over
+//! asymptotics" trade the serve daemon's response cache makes, sized for
+//! thousands of entries, not millions.
+//!
+//! [`ShardSet`]: https://docs.rs/joinmi_serve
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use joinmi_estimators::EstimatorKind;
+use joinmi_sketch::JoinedSketch;
+
+/// Capacity bounds for a [`QueryStageCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageCacheConfig {
+    /// Maximum number of cached entries across both levels. `0` disables the
+    /// cache entirely (every lookup misses without counting, every insert is
+    /// dropped).
+    pub max_entries: usize,
+    /// Maximum resident bytes across both levels; `0` means unbounded by
+    /// bytes (the entry bound still applies). An entry larger than the whole
+    /// byte budget is never admitted.
+    pub max_bytes: usize,
+}
+
+impl Default for StageCacheConfig {
+    /// 4096 entries / 64 MiB — small enough to be harmless on a laptop,
+    /// large enough to keep a serving shard's hot set resident.
+    fn default() -> Self {
+        Self {
+            max_entries: 4096,
+            max_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// A memoized level-2 result: everything `score_hit` needs to rebuild a
+/// ranked candidate without touching the join or the estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedEstimate {
+    /// Estimated mutual information (nats), bit-exact as first computed.
+    pub mi: f64,
+    /// Estimator that produced the estimate.
+    pub estimator: EstimatorKind,
+    /// Sample size the estimator saw.
+    pub n: usize,
+    /// Sketch-join size (needed to re-apply the `min_join_size` gate).
+    pub join_size: usize,
+}
+
+/// Counters and occupancy of a [`QueryStageCache`], as one coherent snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Level-1 (joined sketch) lookups that found an entry.
+    pub join_hits: u64,
+    /// Level-1 lookups that missed.
+    pub join_misses: u64,
+    /// Level-2 (MI estimate) lookups that found an entry.
+    pub estimate_hits: u64,
+    /// Level-2 lookups that missed.
+    pub estimate_misses: u64,
+    /// Entries discarded to stay within the entry or byte bound.
+    pub evictions: u64,
+    /// Entries currently resident (both levels).
+    pub entries: usize,
+    /// Approximate resident bytes (both levels).
+    pub resident_bytes: usize,
+    /// Snapshot generation the resident entries belong to.
+    pub generation: u64,
+}
+
+/// Level-1 key: (left fingerprint hi, left fingerprint lo, candidate sketch id).
+type JoinKey = (u64, u64, u64);
+/// Level-2 key: the level-1 key plus the estimator neighbour count `k`.
+type EstimateKey = (u64, u64, u64, u64);
+
+#[derive(Debug)]
+struct JoinEntry {
+    tick: u64,
+    joined: Arc<JoinedSketch>,
+    bytes: usize,
+}
+
+#[derive(Debug)]
+struct EstimateEntry {
+    tick: u64,
+    estimate: CachedEstimate,
+}
+
+/// Fixed accounting overhead per entry (key + map slot bookkeeping); resident
+/// bytes are a sizing signal, not an allocator audit.
+const ENTRY_OVERHEAD: usize = 64;
+
+fn estimate_entry_bytes() -> usize {
+    std::mem::size_of::<EstimateKey>() + std::mem::size_of::<EstimateEntry>() + ENTRY_OVERHEAD
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    generation: u64,
+    tick: u64,
+    joins: HashMap<JoinKey, JoinEntry>,
+    estimates: HashMap<EstimateKey, EstimateEntry>,
+    /// Resident bytes across both maps.
+    bytes: usize,
+    join_hits: u64,
+    join_misses: u64,
+    estimate_hits: u64,
+    estimate_misses: u64,
+    evictions: u64,
+}
+
+impl Inner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn entries(&self) -> usize {
+        self.joins.len() + self.estimates.len()
+    }
+
+    fn over_capacity(&self, config: &StageCacheConfig) -> bool {
+        self.entries() > config.max_entries
+            || (config.max_bytes > 0 && self.bytes > config.max_bytes)
+    }
+
+    /// Evicts the globally least-recently-used entry (across both levels)
+    /// until within bounds. Scan-for-minimum: O(entries) per eviction, which
+    /// is the obvious-and-correct choice at the few-thousand-entry capacities
+    /// this cache is sized for.
+    fn evict_to_fit(&mut self, config: &StageCacheConfig) {
+        while self.over_capacity(config) {
+            let join_victim = self
+                .joins
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, e)| (*k, e.tick));
+            let estimate_victim = self
+                .estimates
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, e)| (*k, e.tick));
+            match (join_victim, estimate_victim) {
+                (Some((jk, jt)), Some((_, et))) if jt <= et => self.evict_join(jk),
+                (Some((jk, _)), None) => self.evict_join(jk),
+                (_, Some((ek, _))) => self.evict_estimate(ek),
+                (None, None) => return,
+            }
+            self.evictions += 1;
+        }
+    }
+
+    fn evict_join(&mut self, key: JoinKey) {
+        if let Some(entry) = self.joins.remove(&key) {
+            self.bytes -= entry.bytes;
+        }
+    }
+
+    fn evict_estimate(&mut self, key: EstimateKey) {
+        if self.estimates.remove(&key).is_some() {
+            self.bytes -= estimate_entry_bytes();
+        }
+    }
+
+    fn clear_entries(&mut self) {
+        self.joins.clear();
+        self.estimates.clear();
+        self.bytes = 0;
+    }
+}
+
+/// A bounded, thread-safe, two-level cross-query cache over one snapshot
+/// generation.
+///
+/// One instance is shared by every worker scoring queries against the same
+/// immutable snapshot (`Mutex`-guarded; the estimator itself always runs
+/// outside the lock, so contention is limited to map lookups and inserts).
+/// See the [module docs](self) for keying, neutrality, and eviction.
+#[derive(Debug)]
+pub struct QueryStageCache {
+    config: StageCacheConfig,
+    inner: Mutex<Inner>,
+}
+
+impl QueryStageCache {
+    /// Creates a cache with the given bounds, at generation 0.
+    #[must_use]
+    pub fn new(config: StageCacheConfig) -> Self {
+        Self::with_generation(config, 0)
+    }
+
+    /// Creates a cache bound to a specific snapshot generation.
+    #[must_use]
+    pub fn with_generation(config: StageCacheConfig, generation: u64) -> Self {
+        Self {
+            config,
+            inner: Mutex::new(Inner {
+                generation,
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// The configured bounds.
+    #[must_use]
+    pub fn config(&self) -> StageCacheConfig {
+        self.config
+    }
+
+    /// Returns `true` when `max_entries` is zero and the cache is a no-op.
+    #[must_use]
+    pub fn is_disabled(&self) -> bool {
+        self.config.max_entries == 0
+    }
+
+    /// The generation the resident entries belong to.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.lock().generation
+    }
+
+    /// Moves the cache to `generation`, clearing every entry if it differs
+    /// from the current one. Callers that mutate their repository (append
+    /// epochs) must bump the generation — entries are otherwise assumed to
+    /// describe an immutable snapshot. Hit/miss/eviction counters survive the
+    /// clear; they describe the cache, not one generation.
+    pub fn set_generation(&self, generation: u64) {
+        let mut inner = self.lock();
+        if inner.generation != generation {
+            inner.generation = generation;
+            inner.clear_entries();
+        }
+    }
+
+    /// Drops every cached MI estimate but keeps the joined sketches (used by
+    /// the benchmark harness to isolate the level-1 hit path).
+    pub fn clear_estimates(&self) {
+        let mut inner = self.lock();
+        let freed = inner.estimates.len() * estimate_entry_bytes();
+        inner.estimates.clear();
+        inner.bytes -= freed;
+    }
+
+    /// A view of the cache that namespaces candidate indices by
+    /// `sketch_id_base`. The serving daemon passes each shard's global
+    /// candidate offset so shard-local indices cannot collide inside the one
+    /// shared cache; single-repository callers use `scope(0)`.
+    #[must_use]
+    pub fn scope(&self, sketch_id_base: u64) -> CacheScope<'_> {
+        CacheScope {
+            cache: self,
+            base: sketch_id_base,
+        }
+    }
+
+    /// A coherent snapshot of counters and occupancy.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            join_hits: inner.join_hits,
+            join_misses: inner.join_misses,
+            estimate_hits: inner.estimate_hits,
+            estimate_misses: inner.estimate_misses,
+            evictions: inner.evictions,
+            entries: inner.entries(),
+            resident_bytes: inner.bytes,
+            generation: inner.generation,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding the lock can only leave stale-but-valid
+        // entries behind; recovering keeps every other worker serving.
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn get_join(&self, key: JoinKey) -> Option<Arc<JoinedSketch>> {
+        if self.is_disabled() {
+            return None;
+        }
+        let mut inner = self.lock();
+        let tick = inner.next_tick();
+        match inner.joins.get_mut(&key) {
+            Some(entry) => {
+                entry.tick = tick;
+                let joined = Arc::clone(&entry.joined);
+                inner.join_hits += 1;
+                Some(joined)
+            }
+            None => {
+                inner.join_misses += 1;
+                None
+            }
+        }
+    }
+
+    fn put_join(&self, key: JoinKey, joined: Arc<JoinedSketch>) {
+        if self.is_disabled() {
+            return;
+        }
+        let bytes = joined.resident_bytes() + std::mem::size_of::<JoinEntry>() + ENTRY_OVERHEAD;
+        if self.config.max_bytes > 0 && bytes > self.config.max_bytes {
+            return; // would immediately evict the whole cache, then itself
+        }
+        let mut inner = self.lock();
+        let tick = inner.next_tick();
+        let previous = inner.joins.insert(
+            key,
+            JoinEntry {
+                tick,
+                joined,
+                bytes,
+            },
+        );
+        inner.bytes += bytes;
+        if let Some(previous) = previous {
+            inner.bytes -= previous.bytes;
+        }
+        inner.evict_to_fit(&self.config);
+    }
+
+    fn get_estimate(&self, key: EstimateKey) -> Option<CachedEstimate> {
+        if self.is_disabled() {
+            return None;
+        }
+        let mut inner = self.lock();
+        let tick = inner.next_tick();
+        match inner.estimates.get_mut(&key) {
+            Some(entry) => {
+                entry.tick = tick;
+                let estimate = entry.estimate;
+                inner.estimate_hits += 1;
+                Some(estimate)
+            }
+            None => {
+                inner.estimate_misses += 1;
+                None
+            }
+        }
+    }
+
+    fn put_estimate(&self, key: EstimateKey, estimate: CachedEstimate) {
+        if self.is_disabled() {
+            return;
+        }
+        let bytes = estimate_entry_bytes();
+        if self.config.max_bytes > 0 && bytes > self.config.max_bytes {
+            return;
+        }
+        let mut inner = self.lock();
+        let tick = inner.next_tick();
+        if inner
+            .estimates
+            .insert(key, EstimateEntry { tick, estimate })
+            .is_none()
+        {
+            inner.bytes += bytes;
+        }
+        inner.evict_to_fit(&self.config);
+    }
+}
+
+/// A [`QueryStageCache`] view whose candidate indices are offset by a fixed
+/// base, produced by [`QueryStageCache::scope`]. Copyable and `Sync`, so the
+/// parallel scoring fan-out shares one scope across workers.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheScope<'a> {
+    cache: &'a QueryStageCache,
+    base: u64,
+}
+
+impl CacheScope<'_> {
+    /// The underlying cache.
+    #[must_use]
+    pub fn cache(&self) -> &QueryStageCache {
+        self.cache
+    }
+
+    fn sketch_id(&self, candidate_index: usize) -> u64 {
+        self.base + candidate_index as u64
+    }
+
+    /// Level-1 lookup: the joined sketch for (left fingerprint, candidate).
+    #[must_use]
+    pub fn get_join(
+        &self,
+        left_fp: (u64, u64),
+        candidate_index: usize,
+    ) -> Option<Arc<JoinedSketch>> {
+        self.cache
+            .get_join((left_fp.0, left_fp.1, self.sketch_id(candidate_index)))
+    }
+
+    /// Level-1 insert.
+    pub fn put_join(&self, left_fp: (u64, u64), candidate_index: usize, joined: Arc<JoinedSketch>) {
+        self.cache.put_join(
+            (left_fp.0, left_fp.1, self.sketch_id(candidate_index)),
+            joined,
+        );
+    }
+
+    /// Level-2 lookup: the MI estimate for (left fingerprint, candidate, `k`).
+    #[must_use]
+    pub fn get_estimate(
+        &self,
+        left_fp: (u64, u64),
+        candidate_index: usize,
+        k: usize,
+    ) -> Option<CachedEstimate> {
+        self.cache.get_estimate((
+            left_fp.0,
+            left_fp.1,
+            self.sketch_id(candidate_index),
+            k as u64,
+        ))
+    }
+
+    /// Level-2 insert.
+    pub fn put_estimate(
+        &self,
+        left_fp: (u64, u64),
+        candidate_index: usize,
+        k: usize,
+        estimate: CachedEstimate,
+    ) {
+        self.cache.put_estimate(
+            (
+                left_fp.0,
+                left_fp.1,
+                self.sketch_id(candidate_index),
+                k as u64,
+            ),
+            estimate,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinmi_table::{DataType, Value};
+
+    fn joined(n: usize) -> Arc<JoinedSketch> {
+        let xs: Vec<Value> = (0..n as i64).map(Value::Int).collect();
+        let ys = xs.clone();
+        Arc::new(JoinedSketch::from_pairs(
+            xs,
+            ys,
+            DataType::Int,
+            DataType::Int,
+        ))
+    }
+
+    fn estimate(mi: f64) -> CachedEstimate {
+        CachedEstimate {
+            mi,
+            estimator: EstimatorKind::Mle,
+            n: 32,
+            join_size: 32,
+        }
+    }
+
+    fn unbounded_bytes(max_entries: usize) -> StageCacheConfig {
+        StageCacheConfig {
+            max_entries,
+            max_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counters_move() {
+        let cache = QueryStageCache::new(StageCacheConfig::default());
+        let scope = cache.scope(0);
+        let fp = (1, 2);
+
+        assert!(scope.get_join(fp, 0).is_none());
+        scope.put_join(fp, 0, joined(8));
+        assert!(scope.get_join(fp, 0).is_some());
+
+        assert!(scope.get_estimate(fp, 0, 3).is_none());
+        scope.put_estimate(fp, 0, 3, estimate(0.5));
+        assert_eq!(scope.get_estimate(fp, 0, 3).unwrap().mi, 0.5);
+        // A different k is a different level-2 key.
+        assert!(scope.get_estimate(fp, 0, 4).is_none());
+
+        let stats = cache.stats();
+        assert_eq!(stats.join_hits, 1);
+        assert_eq!(stats.join_misses, 1);
+        assert_eq!(stats.estimate_hits, 1);
+        assert_eq!(stats.estimate_misses, 2);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.resident_bytes > 0);
+    }
+
+    #[test]
+    fn scopes_namespace_candidate_indices() {
+        let cache = QueryStageCache::new(StageCacheConfig::default());
+        let fp = (7, 7);
+        cache.scope(0).put_join(fp, 1, joined(4));
+        // base 1 + index 0 aliases base 0 + index 1 by construction; bases in
+        // real use are shard candidate offsets, which cannot overlap.
+        assert!(cache.scope(100).get_join(fp, 1).is_none());
+        assert!(cache.scope(0).get_join(fp, 1).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        let cache = QueryStageCache::new(unbounded_bytes(2));
+        let scope = cache.scope(0);
+        let fp = (0, 0);
+        scope.put_join(fp, 0, joined(4));
+        scope.put_join(fp, 1, joined(4));
+        // Touch entry 0 so entry 1 is the LRU victim.
+        assert!(scope.get_join(fp, 0).is_some());
+        scope.put_join(fp, 2, joined(4));
+
+        assert!(scope.get_join(fp, 0).is_some());
+        assert!(scope.get_join(fp, 1).is_none());
+        assert!(scope.get_join(fp, 2).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn eviction_spans_both_levels() {
+        let cache = QueryStageCache::new(unbounded_bytes(2));
+        let scope = cache.scope(0);
+        let fp = (0, 0);
+        scope.put_estimate(fp, 0, 3, estimate(0.1));
+        scope.put_join(fp, 1, joined(4));
+        // The estimate is oldest, so it goes first.
+        scope.put_join(fp, 2, joined(4));
+        assert!(scope.get_estimate(fp, 0, 3).is_none());
+        assert!(scope.get_join(fp, 1).is_some());
+        assert!(scope.get_join(fp, 2).is_some());
+    }
+
+    #[test]
+    fn byte_bound_evicts_and_rejects_oversized() {
+        let small = joined(4);
+        let budget = small.resident_bytes() * 3;
+        let cache = QueryStageCache::new(StageCacheConfig {
+            max_entries: 1024,
+            max_bytes: budget,
+        });
+        let scope = cache.scope(0);
+        let fp = (0, 0);
+        scope.put_join(fp, 0, Arc::clone(&small));
+        scope.put_join(fp, 1, joined(4));
+        // Third entry pushes resident bytes past the budget → LRU eviction.
+        scope.put_join(fp, 2, joined(4));
+        let stats = cache.stats();
+        assert!(stats.evictions >= 1, "byte bound never evicted");
+        assert!(stats.resident_bytes <= budget);
+
+        // An entry larger than the whole budget is never admitted.
+        scope.put_join(fp, 3, joined(4096));
+        assert!(scope.get_join(fp, 3).is_none());
+        assert!(cache.stats().resident_bytes <= budget);
+    }
+
+    #[test]
+    fn generation_bump_clears_entries_but_keeps_counters() {
+        let cache = QueryStageCache::with_generation(StageCacheConfig::default(), 10);
+        let scope = cache.scope(0);
+        scope.put_join((1, 1), 0, joined(4));
+        scope.put_estimate((1, 1), 0, 3, estimate(0.2));
+        assert!(scope.get_join((1, 1), 0).is_some());
+
+        cache.set_generation(10); // same generation: no-op
+        assert_eq!(cache.stats().entries, 2);
+
+        cache.set_generation(11);
+        let stats = cache.stats();
+        assert_eq!(stats.generation, 11);
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.resident_bytes, 0);
+        assert_eq!(stats.join_hits, 1); // counters survive
+        assert!(scope.get_join((1, 1), 0).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_everything() {
+        let cache = QueryStageCache::new(unbounded_bytes(0));
+        assert!(cache.is_disabled());
+        let scope = cache.scope(0);
+        scope.put_join((1, 1), 0, joined(4));
+        scope.put_estimate((1, 1), 0, 3, estimate(0.2));
+        assert!(scope.get_join((1, 1), 0).is_none());
+        assert!(scope.get_estimate((1, 1), 0, 3).is_none());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn clear_estimates_keeps_joins() {
+        let cache = QueryStageCache::new(StageCacheConfig::default());
+        let scope = cache.scope(0);
+        scope.put_join((1, 1), 0, joined(4));
+        scope.put_estimate((1, 1), 0, 3, estimate(0.2));
+        cache.clear_estimates();
+        assert!(scope.get_join((1, 1), 0).is_some());
+        assert!(scope.get_estimate((1, 1), 0, 3).is_none());
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting_bytes() {
+        let cache = QueryStageCache::new(StageCacheConfig::default());
+        let scope = cache.scope(0);
+        scope.put_join((1, 1), 0, joined(4));
+        let once = cache.stats().resident_bytes;
+        scope.put_join((1, 1), 0, joined(4));
+        assert_eq!(cache.stats().resident_bytes, once);
+        assert_eq!(cache.stats().entries, 1);
+
+        scope.put_estimate((1, 1), 0, 3, estimate(0.2));
+        let with_est = cache.stats().resident_bytes;
+        scope.put_estimate((1, 1), 0, 3, estimate(0.3));
+        assert_eq!(cache.stats().resident_bytes, with_est);
+        assert_eq!(scope.get_estimate((1, 1), 0, 3).unwrap().mi, 0.3);
+    }
+}

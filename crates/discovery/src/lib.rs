@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod augment;
+pub mod cache;
 pub mod index;
 pub mod persist;
 pub mod profile;
@@ -38,10 +39,11 @@ pub mod query;
 pub mod repository;
 
 pub use augment::AugmentationPlan;
+pub use cache::{CacheScope, CacheStats, CachedEstimate, QueryStageCache, StageCacheConfig};
 pub use index::{IndexDelta, JoinabilityIndex};
 pub use persist::RepositorySnapshot;
 pub use profile::{ColumnProfile, TableProfile};
-pub use query::{RankedCandidate, RelationshipQuery};
+pub use query::{sort_by_mi_desc, RankedCandidate, RelationshipQuery};
 pub use repository::{CandidateColumn, CandidateSource, RepositoryConfig, TableRepository};
 
 /// Result alias reusing the table error type.

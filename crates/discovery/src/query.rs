@@ -2,11 +2,13 @@
 //! MI with the query table's target column, without materializing any join.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use joinmi_estimators::{EstimatorKind, EstimatorWorkspace, DEFAULT_K};
-use joinmi_sketch::{Aggregation, ColumnSketch, SketchConfig, SketchKind};
+use joinmi_sketch::{Aggregation, ColumnSketch, JoinedSketch, SketchConfig, SketchKind};
 use joinmi_table::Table;
 
+use crate::cache::{CacheScope, CachedEstimate};
 use crate::repository::CandidateSource;
 use crate::Result;
 
@@ -70,6 +72,9 @@ pub struct RelationshipQuery {
     pub sketch_kind: SketchKind,
     /// Sketch configuration for the query table (should match the repository's).
     pub sketch: SketchConfig,
+    /// Neighbour count for the KSG-family estimators (part of the estimator
+    /// configuration, and therefore of the level-2 cache key).
+    pub k: usize,
 }
 
 impl RelationshipQuery {
@@ -86,6 +91,7 @@ impl RelationshipQuery {
             min_key_overlap: 1,
             sketch_kind: SketchKind::Tupsk,
             sketch: SketchConfig::new(1024, 0),
+            k: DEFAULT_K,
         }
     }
 
@@ -111,6 +117,15 @@ impl RelationshipQuery {
         self
     }
 
+    /// Sets the neighbour count `k` for the KSG-family estimators (default
+    /// [`DEFAULT_K`]). Discrete estimators (MLE) ignore it, but it is always
+    /// part of the estimator configuration for caching purposes.
+    #[must_use]
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
     /// Builds the query-side sketch.
     pub fn build_query_sketch(&self) -> Result<ColumnSketch> {
         self.sketch_kind.build_left(
@@ -119,6 +134,23 @@ impl RelationshipQuery {
             &self.target_column,
             &self.sketch,
         )
+    }
+
+    /// Stage 1 — **probe**: builds the query-side sketch and runs the
+    /// joinability pre-filter, returning the sketch together with the
+    /// surviving `(candidate_index, key_overlap)` hits in their fixed
+    /// pre-filter order. The later stages (join, estimate) consume this;
+    /// exposing it separately lets callers inspect or cache the candidate
+    /// set without scoring it.
+    pub fn probe<S: CandidateSource>(
+        &self,
+        repository: &S,
+    ) -> Result<(ColumnSketch, Vec<(usize, usize)>)> {
+        let query_sketch = self.build_query_sketch()?;
+        let hits = repository
+            .joinability()
+            .query(&query_sketch, self.min_key_overlap.max(1));
+        Ok((query_sketch, hits))
     }
 
     /// Executes the query: prune by key overlap, join sketches, estimate MI,
@@ -142,11 +174,21 @@ impl RelationshipQuery {
         &self,
         repository: &S,
     ) -> Result<Vec<RankedCandidate>> {
-        let query_sketch = self.build_query_sketch()?;
+        self.execute_cached(repository, None)
+    }
 
-        let hits = repository
-            .joinability()
-            .query(&query_sketch, self.min_key_overlap.max(1));
+    /// [`Self::execute`] with an optional cross-query stage cache.
+    ///
+    /// With a [`CacheScope`], the join and estimate stages consult the cache
+    /// before computing (see [`crate::cache`]); the ranking is bit-for-bit
+    /// identical to an uncached run against the same (immutable) repository.
+    pub fn execute_cached<S: CandidateSource + Sync>(
+        &self,
+        repository: &S,
+        cache: Option<&CacheScope<'_>>,
+    ) -> Result<Vec<RankedCandidate>> {
+        let (query_sketch, hits) = self.probe(repository)?;
+        let left_fp = left_fingerprint(&query_sketch, cache);
 
         // One estimator workspace per worker: candidates scored on the same
         // worker share the sort-once buffers of the KSG-family estimators.
@@ -154,12 +196,19 @@ impl RelationshipQuery {
             &hits,
             EstimatorWorkspace::new,
             |ws, &(candidate_index, key_overlap)| {
-                self.score_hit(repository, &query_sketch, ws, candidate_index, key_overlap)
+                self.score_hit(
+                    repository,
+                    &query_sketch,
+                    left_fp,
+                    cache,
+                    ws,
+                    candidate_index,
+                    key_overlap,
+                )
             },
         );
         let mut results: Vec<RankedCandidate> = scored.into_iter().flatten().collect();
-
-        results.sort_by(|a, b| b.mi.partial_cmp(&a.mi).expect("MI estimates are finite"));
+        sort_by_mi_desc(&mut results);
         if self.top_k > 0 {
             results.truncate(self.top_k);
         }
@@ -179,43 +228,120 @@ impl RelationshipQuery {
         repository: &S,
         ws: &mut EstimatorWorkspace,
     ) -> Result<Vec<RankedCandidate>> {
-        let query_sketch = self.build_query_sketch()?;
+        self.execute_in_cached(repository, ws, None)
+    }
 
-        let hits = repository
-            .joinability()
-            .query(&query_sketch, self.min_key_overlap.max(1));
+    /// [`Self::execute_in`] with an optional cross-query stage cache — the
+    /// serving daemon's hot path (one shared cache, one workspace per
+    /// worker). Bit-for-bit identical to the uncached run against the same
+    /// (immutable) repository.
+    pub fn execute_in_cached<S: CandidateSource>(
+        &self,
+        repository: &S,
+        ws: &mut EstimatorWorkspace,
+        cache: Option<&CacheScope<'_>>,
+    ) -> Result<Vec<RankedCandidate>> {
+        let (query_sketch, hits) = self.probe(repository)?;
+        let left_fp = left_fingerprint(&query_sketch, cache);
 
         let mut results: Vec<RankedCandidate> = hits
             .iter()
             .filter_map(|&(candidate_index, key_overlap)| {
-                self.score_hit(repository, &query_sketch, ws, candidate_index, key_overlap)
+                self.score_hit(
+                    repository,
+                    &query_sketch,
+                    left_fp,
+                    cache,
+                    ws,
+                    candidate_index,
+                    key_overlap,
+                )
             })
             .collect();
-
-        results.sort_by(|a, b| b.mi.partial_cmp(&a.mi).expect("MI estimates are finite"));
+        sort_by_mi_desc(&mut results);
         if self.top_k > 0 {
             results.truncate(self.top_k);
         }
         Ok(results)
     }
 
-    /// Scores one pre-filter hit: sketch join, minimum-join-size gate, MI
-    /// estimate. Shared by the parallel and sequential execution paths so
-    /// they cannot drift.
+    /// Stages 2–3 — **join** and **estimate** for one pre-filter hit: sketch
+    /// join, minimum-join-size gate, MI estimate. Shared by the parallel and
+    /// sequential execution paths so they cannot drift.
+    ///
+    /// Cache interaction, in order:
+    /// * **Level-2 hit** (same left sketch, candidate, and `k`): the stored
+    ///   estimate is replayed — no join, no estimator. The `min_join_size`
+    ///   gate is re-applied to the stored join size, so a query with a
+    ///   stricter threshold still drops the candidate exactly as its cold
+    ///   run would.
+    /// * **Level-1 hit**: the cached [`JoinedSketch`] feeds the estimator
+    ///   directly — estimation is deterministic and workspace-independent,
+    ///   so the result is bit-identical to re-joining.
+    /// * **Miss**: compute both stages and populate both levels. The join is
+    ///   cached even when it fails the size gate (a later query with a lower
+    ///   threshold can still reuse it); failed estimates are never cached.
+    #[allow(clippy::too_many_arguments)] // internal: the staged pipeline's plumbing
     fn score_hit<S: CandidateSource>(
         &self,
         repository: &S,
         query_sketch: &ColumnSketch,
+        left_fp: (u64, u64),
+        cache: Option<&CacheScope<'_>>,
         ws: &mut EstimatorWorkspace,
         candidate_index: usize,
         key_overlap: usize,
     ) -> Option<RankedCandidate> {
+        if let Some(scope) = cache {
+            if let Some(hit) = scope.get_estimate(left_fp, candidate_index, self.k) {
+                if hit.join_size < self.min_join_size {
+                    return None;
+                }
+                let candidate = repository.candidate(candidate_index);
+                return Some(RankedCandidate {
+                    candidate_index,
+                    table_index: candidate.table_index,
+                    table_name: candidate.table_name.clone(),
+                    key_column: candidate.key_column.clone(),
+                    feature_column: candidate.feature_column.clone(),
+                    aggregation: candidate.aggregation,
+                    mi: hit.mi,
+                    estimator: hit.estimator,
+                    sketch_join_size: hit.join_size,
+                    key_overlap,
+                });
+            }
+        }
+
         let candidate = repository.candidate(candidate_index);
-        let joined = query_sketch.join(&candidate.sketch);
+        let joined: Arc<JoinedSketch> =
+            match cache.and_then(|scope| scope.get_join(left_fp, candidate_index)) {
+                Some(joined) => joined,
+                None => {
+                    let joined = Arc::new(query_sketch.join(&candidate.sketch));
+                    if let Some(scope) = cache {
+                        scope.put_join(left_fp, candidate_index, Arc::clone(&joined));
+                    }
+                    joined
+                }
+            };
         if joined.len() < self.min_join_size {
             return None;
         }
-        let estimate = joined.estimate_mi_in(ws, DEFAULT_K).ok()?;
+        let estimate = joined.estimate_mi_in(ws, self.k).ok()?;
+        if let Some(scope) = cache {
+            scope.put_estimate(
+                left_fp,
+                candidate_index,
+                self.k,
+                CachedEstimate {
+                    mi: estimate.mi,
+                    estimator: estimate.estimator,
+                    n: estimate.n,
+                    join_size: joined.len(),
+                },
+            );
+        }
         Some(RankedCandidate {
             candidate_index,
             table_index: candidate.table_index,
@@ -247,7 +373,7 @@ impl RelationshipQuery {
                 .push(candidate);
         }
         for ranking in grouped.values_mut() {
-            ranking.sort_by(|a, b| b.mi.partial_cmp(&a.mi).expect("finite"));
+            sort_by_mi_desc(ranking);
             if self.top_k > 0 {
                 ranking.truncate(self.top_k);
             }
@@ -259,6 +385,25 @@ impl RelationshipQuery {
         let mut q = self.clone();
         q.top_k = 0;
         q
+    }
+}
+
+/// Sorts a ranking by MI, highest first, with [`f64::total_cmp`]: a total
+/// order with no panic path, matching the kernel-sort convention of the
+/// estimator crate. The sort is stable, so equal-MI ties keep the pre-filter
+/// hit order; a NaN estimate (which no shipped estimator produces) would
+/// sort deterministically instead of aborting the query.
+pub fn sort_by_mi_desc(results: &mut [RankedCandidate]) {
+    results.sort_by(|a, b| b.mi.total_cmp(&a.mi));
+}
+
+/// The level-1/level-2 cache key component identifying the query-side
+/// sketch. Only computed when a cache is actually in play — the fingerprint
+/// walks every sketch row.
+fn left_fingerprint(query_sketch: &ColumnSketch, cache: Option<&CacheScope<'_>>) -> (u64, u64) {
+    match cache {
+        Some(_) => query_sketch.content_fingerprint(),
+        None => (0, 0),
     }
 }
 
@@ -360,5 +505,166 @@ mod tests {
         let mut bad = query;
         bad.key_column = "nope".to_owned();
         assert!(bad.execute(&repo).is_err());
+    }
+
+    fn fingerprint(results: &[RankedCandidate]) -> Vec<(usize, u64, usize, usize)> {
+        results
+            .iter()
+            .map(|r| {
+                (
+                    r.candidate_index,
+                    r.mi.to_bits(),
+                    r.sketch_join_size,
+                    r.key_overlap,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cached_execution_is_bit_identical_and_skips_the_estimator() {
+        let (repo, query) = repo_and_query();
+        let query = query.with_top_k(0);
+        let cold = query.execute(&repo).unwrap();
+        assert!(!cold.is_empty());
+
+        let cache = crate::QueryStageCache::new(crate::StageCacheConfig::default());
+        let scope = cache.scope(0);
+        let mut ws = EstimatorWorkspace::new();
+
+        // First cached run: all misses, cache populated.
+        let first = query
+            .execute_in_cached(&repo, &mut ws, Some(&scope))
+            .unwrap();
+        assert_eq!(fingerprint(&cold), fingerprint(&first));
+        let after_first = cache.stats();
+        assert_eq!(after_first.estimate_hits, 0);
+        assert_eq!(after_first.estimate_misses as usize, cold.len());
+
+        // Second run: every scored candidate is a level-2 hit — the join and
+        // the estimator never run — and the ranking replays bit-for-bit.
+        let second = query
+            .execute_in_cached(&repo, &mut ws, Some(&scope))
+            .unwrap();
+        assert_eq!(fingerprint(&cold), fingerprint(&second));
+        let after_second = cache.stats();
+        assert_eq!(after_second.estimate_hits as usize, cold.len());
+        assert_eq!(after_second.estimate_misses, after_first.estimate_misses);
+        assert_eq!(after_second.join_misses, after_first.join_misses);
+
+        // The parallel path shares the same cache plumbing.
+        let parallel = query.execute_cached(&repo, Some(&scope)).unwrap();
+        assert_eq!(fingerprint(&cold), fingerprint(&parallel));
+    }
+
+    #[test]
+    fn join_level_hit_re_estimates_bit_identically() {
+        let (repo, query) = repo_and_query();
+        let query = query.with_top_k(0);
+        let cold = query.execute(&repo).unwrap();
+
+        let cache = crate::QueryStageCache::new(crate::StageCacheConfig::default());
+        let scope = cache.scope(0);
+        let mut ws = EstimatorWorkspace::new();
+        query
+            .execute_in_cached(&repo, &mut ws, Some(&scope))
+            .unwrap();
+
+        // Drop level 2, keep level 1: the next run re-estimates from the
+        // cached joins and must still agree bit-for-bit.
+        cache.clear_estimates();
+        let joins_before = cache.stats().join_hits;
+        let warm = query
+            .execute_in_cached(&repo, &mut ws, Some(&scope))
+            .unwrap();
+        assert_eq!(fingerprint(&cold), fingerprint(&warm));
+        assert!(cache.stats().join_hits > joins_before);
+    }
+
+    #[test]
+    fn stricter_min_join_size_gates_cached_estimates() {
+        let (repo, query) = repo_and_query();
+        let query = query.with_top_k(0);
+        let cache = crate::QueryStageCache::new(crate::StageCacheConfig::default());
+        let scope = cache.scope(0);
+        let mut ws = EstimatorWorkspace::new();
+        query
+            .execute_in_cached(&repo, &mut ws, Some(&scope))
+            .unwrap();
+
+        // A stricter gate over a warm cache must agree with its own cold run.
+        let strict = query.clone().with_min_join_size(200);
+        let cold = strict.execute(&repo).unwrap();
+        let cached = strict
+            .execute_in_cached(&repo, &mut ws, Some(&scope))
+            .unwrap();
+        assert_eq!(fingerprint(&cold), fingerprint(&cached));
+    }
+
+    #[test]
+    fn with_k_changes_the_estimate_and_the_cache_key() {
+        let (repo, query) = repo_and_query();
+        let base = query.clone().with_top_k(0);
+        let k7 = query.with_top_k(0).with_k(7);
+        assert_eq!(base.k, DEFAULT_K);
+        assert_eq!(k7.k, 7);
+
+        let default_ranking = base.execute(&repo).unwrap();
+        let k7_ranking = k7.execute(&repo).unwrap();
+        // KSG-family estimates move with k; MLE-scored candidates do not.
+        let moved = default_ranking.iter().any(|a| {
+            k7_ranking
+                .iter()
+                .any(|b| b.candidate_index == a.candidate_index && b.mi.to_bits() != a.mi.to_bits())
+        });
+        assert!(moved, "k had no effect on any continuous candidate");
+
+        // Different k populates distinct level-2 entries for the same pairs.
+        let cache = crate::QueryStageCache::new(crate::StageCacheConfig::default());
+        let scope = cache.scope(0);
+        let mut ws = EstimatorWorkspace::new();
+        base.execute_in_cached(&repo, &mut ws, Some(&scope))
+            .unwrap();
+        let misses_after_base = cache.stats().estimate_misses;
+        k7.execute_in_cached(&repo, &mut ws, Some(&scope)).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.estimate_hits, 0);
+        assert!(stats.estimate_misses > misses_after_base);
+
+        // And each replays bit-for-bit from its own entries.
+        let base_cached = base
+            .execute_in_cached(&repo, &mut ws, Some(&scope))
+            .unwrap();
+        let k7_cached = k7.execute_in_cached(&repo, &mut ws, Some(&scope)).unwrap();
+        assert_eq!(fingerprint(&default_ranking), fingerprint(&base_cached));
+        assert_eq!(fingerprint(&k7_ranking), fingerprint(&k7_cached));
+    }
+
+    #[test]
+    fn nan_estimates_sort_deterministically_without_panicking() {
+        let ranked = |mi: f64, idx: usize| RankedCandidate {
+            candidate_index: idx,
+            table_index: 0,
+            table_name: "t".to_owned(),
+            key_column: "k".to_owned(),
+            feature_column: "f".to_owned(),
+            aggregation: Aggregation::First,
+            mi,
+            estimator: EstimatorKind::Mle,
+            sketch_join_size: 10,
+            key_overlap: 1,
+        };
+        let mut results = vec![
+            ranked(0.5, 0),
+            ranked(f64::NAN, 1),
+            ranked(1.5, 2),
+            ranked(-f64::NAN, 3),
+            ranked(f64::NEG_INFINITY, 4),
+        ];
+        // The old partial_cmp sort aborted the whole query here; total_cmp
+        // gives NaN a fixed place in the order instead.
+        sort_by_mi_desc(&mut results);
+        let order: Vec<usize> = results.iter().map(|r| r.candidate_index).collect();
+        assert_eq!(order, vec![1, 2, 0, 4, 3]);
     }
 }

@@ -11,6 +11,8 @@
 //! * `--timeout-ms N` — per-query wall-clock budget, 0 = none (10000)
 //! * `--max-inflight N` — admission limit, 0 = unlimited (32)
 //! * `--cache N` — result-cache entries, 0 = disabled (128)
+//! * `--cache-entries N` — cross-query stage-cache entries, 0 = disabled (4096)
+//! * `--cache-bytes N` — cross-query stage-cache resident-byte bound, 0 = unbounded (64 MiB)
 //! * `--repair` — repair torn append tails at open instead of refusing them
 //!
 //! The full protocol and operator runbook live in `docs/SERVING.md`.
@@ -58,6 +60,8 @@ fn run() -> Result<ExitCode, String> {
             "--timeout-ms" => config.timeout_ms = parse_num(arg, &take_value(&mut i)?)?,
             "--max-inflight" => config.max_inflight = parse_num(arg, &take_value(&mut i)?)?,
             "--cache" => config.cache_capacity = parse_num(arg, &take_value(&mut i)?)?,
+            "--cache-entries" => config.stage_cache_entries = parse_num(arg, &take_value(&mut i)?)?,
+            "--cache-bytes" => config.stage_cache_bytes = parse_num(arg, &take_value(&mut i)?)?,
             "--repair" => repair = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             path => shard_paths.push(path.to_owned()),
@@ -116,7 +120,8 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String>
 fn print_help() {
     eprintln!(
         "usage: joinmi_serve [--addr HOST:PORT] [--workers N] [--timeout-ms N] \
-         [--max-inflight N] [--cache N] [--repair] SHARD.jmi [SHARD.jmi ...]\n\
+         [--max-inflight N] [--cache N] [--cache-entries N] [--cache-bytes N] \
+         [--repair] SHARD.jmi [SHARD.jmi ...]\n\
          Serves POST /v1/query, GET /v1/shards, GET /v1/healthz. \
          Protocol spec and runbook: docs/SERVING.md"
     );

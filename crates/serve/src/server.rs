@@ -17,7 +17,7 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
-use joinmi_discovery::CandidateSource;
+use joinmi_discovery::{CandidateSource, QueryStageCache, StageCacheConfig};
 use joinmi_estimators::EstimatorWorkspace;
 
 use crate::guard::{AdmissionGate, CachedResult, Deadline, QueryCache};
@@ -40,16 +40,25 @@ pub struct ServerConfig {
     pub max_inflight: usize,
     /// Result-cache capacity in entries; 0 disables caching.
     pub cache_capacity: usize,
+    /// Cross-query stage-cache capacity in entries (joined sketches + MI
+    /// estimates, shared across the worker pool); 0 disables the stage cache.
+    pub stage_cache_entries: usize,
+    /// Cross-query stage-cache bound in resident bytes; 0 means unbounded by
+    /// bytes (the entry bound still applies).
+    pub stage_cache_bytes: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let stage = StageCacheConfig::default();
         Self {
             addr: "127.0.0.1:0".to_owned(),
             workers: 2,
             timeout_ms: 10_000,
             max_inflight: 32,
             cache_capacity: 128,
+            stage_cache_entries: stage.max_entries,
+            stage_cache_bytes: stage.max_bytes,
         }
     }
 }
@@ -65,6 +74,9 @@ struct Shared {
     config: ServerConfig,
     gate: AdmissionGate,
     cache: Mutex<QueryCache>,
+    /// Cross-query join/estimate cache, shared by every worker and bound to
+    /// the shard set's snapshot generation (internally synchronized).
+    stage_cache: QueryStageCache,
     jobs: Mutex<Option<Sender<Job>>>,
     shutdown: AtomicBool,
 }
@@ -90,6 +102,13 @@ impl Server {
         let shared = Arc::new(Shared {
             gate: AdmissionGate::new(config.max_inflight),
             cache: Mutex::new(QueryCache::new(config.cache_capacity)),
+            stage_cache: QueryStageCache::with_generation(
+                StageCacheConfig {
+                    max_entries: config.stage_cache_entries,
+                    max_bytes: config.stage_cache_bytes,
+                },
+                shards.generation(),
+            ),
             jobs: Mutex::new(Some(job_tx)),
             shutdown: AtomicBool::new(false),
             shards,
@@ -181,6 +200,7 @@ fn worker_loop(shared: &Arc<Shared>, jobs: &Mutex<Receiver<Job>>) {
                     .execute(
                         &job.request,
                         &mut ws,
+                        Some(&shared.stage_cache),
                         job.deadline,
                         shared.config.timeout_ms,
                     )
@@ -253,6 +273,25 @@ fn healthz(shared: &Shared) -> Json {
             Json::Str(format!("0x{:016x}", shared.shards.generation())),
         ),
         ("inflight", Json::Int(shared.gate.inflight() as i64)),
+        ("stage_cache", stage_cache_json(shared)),
+    ])
+}
+
+/// The stage cache's counters and occupancy, embedded verbatim in both the
+/// healthz payload and `GET /v1/shards`.
+fn stage_cache_json(shared: &Shared) -> Json {
+    let stats = shared.stage_cache.stats();
+    let config = shared.stage_cache.config();
+    obj([
+        ("max_entries", Json::Int(config.max_entries as i64)),
+        ("max_bytes", Json::Int(config.max_bytes as i64)),
+        ("entries", Json::Int(stats.entries as i64)),
+        ("resident_bytes", Json::Int(stats.resident_bytes as i64)),
+        ("join_hits", Json::Int(stats.join_hits as i64)),
+        ("join_misses", Json::Int(stats.join_misses as i64)),
+        ("estimate_hits", Json::Int(stats.estimate_hits as i64)),
+        ("estimate_misses", Json::Int(stats.estimate_misses as i64)),
+        ("evictions", Json::Int(stats.evictions as i64)),
     ])
 }
 
@@ -300,6 +339,7 @@ fn shards_info(shared: &Shared) -> Json {
         ),
         ("cache_hits", Json::Int(hits as i64)),
         ("cache_misses", Json::Int(misses as i64)),
+        ("stage_cache", stage_cache_json(shared)),
     ])
 }
 

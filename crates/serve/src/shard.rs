@@ -22,7 +22,7 @@ use std::path::{Path, PathBuf};
 
 use joinmi_discovery::persist::RepositorySnapshot;
 use joinmi_discovery::repository::CandidateSource;
-use joinmi_discovery::TableRepository;
+use joinmi_discovery::{QueryStageCache, TableRepository};
 use joinmi_estimators::EstimatorWorkspace;
 use joinmi_hash::murmur3_x64_128;
 use joinmi_store::RecoveryReport;
@@ -174,12 +174,19 @@ impl ShardSet {
     /// Runs one query against every shard with the caller's workspace and
     /// merges the per-shard rankings deterministically (see module docs).
     ///
+    /// With a [`QueryStageCache`], each shard's scoring consults the shared
+    /// cross-query cache, scoped by the shard's global candidate offset so
+    /// shard-local indices cannot collide. The cache must belong to this
+    /// `ShardSet`'s generation; the ranking is bit-for-bit identical either
+    /// way.
+    ///
     /// The deadline is checked cooperatively before each shard; expiry
     /// surfaces as [`ServeError::Timeout`] with the elapsed budget.
     pub fn execute(
         &self,
         request: &QueryRequest,
         ws: &mut EstimatorWorkspace,
+        cache: Option<&QueryStageCache>,
         deadline: Deadline,
         timeout_ms: u64,
     ) -> Result<Vec<ShardedResult>, ServeError> {
@@ -189,8 +196,9 @@ impl ShardSet {
             if deadline.expired() {
                 return Err(ServeError::Timeout { timeout_ms });
             }
+            let scope = cache.map(|c| c.scope(shard.candidate_offset as u64));
             let ranked = query
-                .execute_in(&shard.snapshot, ws)
+                .execute_in_cached(&shard.snapshot, ws, scope.as_ref())
                 .map_err(|e| ServeError::Internal(e.to_string()))?;
             merged.extend(ranked.into_iter().map(|candidate| ShardedResult {
                 shard: shard_index,
@@ -212,13 +220,15 @@ impl ShardSet {
     /// Sorts merged per-shard results into the global ranking order:
     /// MI descending, then key overlap descending, then shard, then local
     /// candidate index — a total order equal to the single-repository order
-    /// under contiguous table partitioning.
+    /// under contiguous table partitioning. MI compares with
+    /// [`f64::total_cmp`], the same panic-free total order the per-shard
+    /// ranking sort uses — the two comparators must agree for the merge to
+    /// stay exact.
     pub fn merge_rank(results: &mut [ShardedResult]) {
         results.sort_by(|a, b| {
             b.candidate
                 .mi
-                .partial_cmp(&a.candidate.mi)
-                .expect("MI estimates are finite")
+                .total_cmp(&a.candidate.mi)
                 .then(b.candidate.key_overlap.cmp(&a.candidate.key_overlap))
                 .then(a.shard.cmp(&b.shard))
                 .then(a.shard_candidate_index.cmp(&b.shard_candidate_index))

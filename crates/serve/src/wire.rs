@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 
 use joinmi_discovery::{RankedCandidate, RelationshipQuery};
+use joinmi_estimators::DEFAULT_K;
 use joinmi_hash::murmur3_x64_128;
 use joinmi_sketch::{SketchConfig, SketchKind};
 use joinmi_table::Table;
@@ -36,6 +37,9 @@ pub struct QueryRequest {
     pub sketch_size: usize,
     /// Query-side sketch seed (must match the shards').
     pub sketch_seed: u64,
+    /// Neighbour count for the KSG-family estimators (optional on the wire;
+    /// defaults to the library's `DEFAULT_K`).
+    pub k: usize,
 }
 
 /// A target cell: JSON integers become `Int` columns, JSON floats `Float`
@@ -163,6 +167,11 @@ impl QueryRequest {
             rows.push((key.to_owned(), target));
         }
 
+        let k = field_usize("k", DEFAULT_K)?;
+        if k == 0 {
+            return Err(bad("field 'k' must be at least 1"));
+        }
+
         Ok(Self {
             key_column,
             target_column,
@@ -173,6 +182,7 @@ impl QueryRequest {
             sketch_kind,
             sketch_size: field_usize("sketch_size", 1024)?,
             sketch_seed,
+            k,
         })
     }
 
@@ -202,6 +212,7 @@ impl QueryRequest {
             ("sketch_kind", Json::Str(self.sketch_kind.name().to_owned())),
             ("sketch_size", Json::Int(self.sketch_size as i64)),
             ("sketch_seed", Json::Int(self.sketch_seed as i64)),
+            ("k", Json::Int(self.k as i64)),
         ])
         .encode()
     }
@@ -244,7 +255,8 @@ impl QueryRequest {
             .with_sketch(
                 self.sketch_kind,
                 SketchConfig::new(self.sketch_size, self.sketch_seed),
-            );
+            )
+            .with_k(self.k);
         query.min_key_overlap = self.min_key_overlap;
         Ok(query)
     }
@@ -424,8 +436,41 @@ mod tests {
         assert_eq!(req.sketch_kind, SketchKind::Tupsk);
         assert_eq!(req.sketch_size, 1024);
         assert_eq!(req.sketch_seed, 0);
+        assert_eq!(req.k, DEFAULT_K);
         assert_eq!(req.rows.len(), 2);
         assert_eq!(req.rows[0], ("10001".to_owned(), TargetValue::Int(3)));
+    }
+
+    #[test]
+    fn k_is_optional_threaded_and_fingerprinted() {
+        let body = r#"{
+            "key_column": "zip", "target_column": "trips",
+            "rows": [["10001", 3]], "k": 7
+        }"#;
+        let req = QueryRequest::from_json(body).unwrap();
+        assert_eq!(req.k, 7);
+        assert_eq!(req.to_query().unwrap().k, 7);
+
+        // Different k means a different query — the fingerprint must move.
+        let default_k = QueryRequest::from_json(
+            r#"{"key_column": "zip", "target_column": "trips", "rows": [["10001", 3]]}"#,
+        )
+        .unwrap();
+        assert_ne!(req.fingerprint(), default_k.fingerprint());
+
+        // Explicit default k fingerprints the same as omitting it.
+        let explicit = QueryRequest::from_json(
+            r#"{"key_column": "zip", "target_column": "trips", "rows": [["10001", 3]], "k": 3}"#,
+        )
+        .unwrap();
+        assert_eq!(explicit.fingerprint(), default_k.fingerprint());
+
+        for bad in [
+            r#"{"key_column": "k", "target_column": "t", "rows": [["a", 1]], "k": 0}"#,
+            r#"{"key_column": "k", "target_column": "t", "rows": [["a", 1]], "k": -2}"#,
+        ] {
+            assert!(QueryRequest::from_json(bad).is_err(), "{bad} should fail");
+        }
     }
 
     #[test]

@@ -186,7 +186,7 @@ fn shard_set_merge_matches_single_repository_without_http() {
     let request = QueryRequest::from_json(&request_body(&train, 0)).unwrap();
     let mut ws = EstimatorWorkspace::new();
     let merged = shards
-        .execute(&request, &mut ws, Deadline::unlimited(), 0)
+        .execute(&request, &mut ws, None, Deadline::unlimited(), 0)
         .unwrap();
     let got: Vec<_> = merged
         .iter()
@@ -214,7 +214,7 @@ fn expired_deadline_is_a_typed_timeout() {
     std::thread::sleep(Duration::from_millis(5));
     let mut ws = EstimatorWorkspace::new();
     let err = shards
-        .execute(&request, &mut ws, deadline, 1)
+        .execute(&request, &mut ws, None, deadline, 1)
         .expect_err("expired deadline must not run");
     assert_eq!(err, ServeError::Timeout { timeout_ms: 1 });
     cleanup(&paths);
@@ -257,6 +257,94 @@ fn repeated_query_hits_the_cache_bit_identically() {
     assert_eq!(
         Json::parse(&third).unwrap().get("cached"),
         Some(&Json::Bool(true))
+    );
+
+    server.shutdown();
+    cleanup(&paths);
+}
+
+#[test]
+fn stage_cache_counters_move_on_hit_and_miss_over_rest() {
+    let (tables, train) = corpus();
+    let paths = save_shards(&tables, 2, "stagecache");
+    let shards = ShardSet::open(&paths).unwrap();
+    // Result cache OFF so every POST re-scores and exercises the stage
+    // cache; the stage cache itself keeps its defaults.
+    let mut server = Server::start(
+        ServerConfig {
+            workers: 2,
+            timeout_ms: 0,
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        },
+        shards,
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    wait_healthy(&addr, Duration::from_secs(5)).unwrap();
+
+    let stage_stat = |doc: &Json, field: &str| -> i64 {
+        doc.get("stage_cache")
+            .and_then(|s| s.get(field))
+            .and_then(Json::as_i64)
+            .unwrap_or_else(|| panic!("stage_cache.{field} missing"))
+    };
+    let fetch_stats = || {
+        let (status, body) = client_request(&addr, "GET", "/v1/shards", "").unwrap();
+        assert_eq!(status, 200);
+        Json::parse(&body).unwrap()
+    };
+
+    let before = fetch_stats();
+    assert_eq!(stage_stat(&before, "estimate_hits"), 0);
+    assert_eq!(stage_stat(&before, "estimate_misses"), 0);
+    assert_eq!(stage_stat(&before, "entries"), 0);
+
+    // Cold query: misses recorded, entries resident.
+    let body = request_body(&train, 0);
+    let (status, first) = client_request(&addr, "POST", "/v1/query", &body).unwrap();
+    assert_eq!(status, 200, "{first}");
+    let after_cold = fetch_stats();
+    let cold_misses = stage_stat(&after_cold, "estimate_misses");
+    assert!(cold_misses > 0);
+    assert_eq!(stage_stat(&after_cold, "estimate_hits"), 0);
+    assert!(stage_stat(&after_cold, "entries") > 0);
+    assert!(stage_stat(&after_cold, "resident_bytes") > 0);
+
+    // Identical repeat: level-2 hits, no new misses, bit-identical results —
+    // and `cached: false` shows the response was re-ranked, not replayed
+    // from the result cache.
+    let (status, second) = client_request(&addr, "POST", "/v1/query", &body).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        Json::parse(&second).unwrap().get("cached"),
+        Some(&Json::Bool(false))
+    );
+    assert_eq!(wire_fingerprint(&first), wire_fingerprint(&second));
+    let after_hit = fetch_stats();
+    assert!(stage_stat(&after_hit, "estimate_hits") > 0);
+    assert_eq!(stage_stat(&after_hit, "estimate_misses"), cold_misses);
+
+    // A *different* request (other top_k) over the same rows still hits the
+    // stage cache: its ranking is a prefix of the unlimited one, bit-for-bit.
+    let hits_before_prefix = stage_stat(&after_hit, "estimate_hits");
+    let (status, truncated) =
+        client_request(&addr, "POST", "/v1/query", &request_body(&train, 2)).unwrap();
+    assert_eq!(status, 200);
+    let full = wire_fingerprint(&first);
+    assert_eq!(wire_fingerprint(&truncated), full[..2.min(full.len())]);
+    let after_prefix = fetch_stats();
+    assert!(stage_stat(&after_prefix, "estimate_hits") > hits_before_prefix);
+    assert_eq!(stage_stat(&after_prefix, "estimate_misses"), cold_misses);
+
+    // The healthz payload carries the same stats block.
+    let (status, health) = client_request(&addr, "GET", "/v1/healthz", "").unwrap();
+    assert_eq!(status, 200);
+    let health = Json::parse(&health).unwrap();
+    assert_eq!(
+        stage_stat(&health, "estimate_misses"),
+        cold_misses,
+        "healthz stage_cache stats disagree with /v1/shards"
     );
 
     server.shutdown();
