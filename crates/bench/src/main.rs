@@ -5,15 +5,16 @@
 //! joinmi_bench ingest  --out repo.jmi [--quick]     # offline: build + save a repository
 //! joinmi_bench query   --repo repo.jmi [--verify-in-memory]
 //!                                                   # online: load + query (separate process)
+//! joinmi_bench compact --repo repo.jmi [--seal]     # fold the append log; --seal drops state
 //! joinmi_bench compare --baseline A.json --current B.json [--max-regression 0.25]
 //!                                                   # CI bench-regression gate
 //! ```
 //!
 //! Benchmark mode runs a compressed version of the six criterion bench
 //! targets, the parallel ingest-and-query pipeline workload, the repository
-//! save/load workload, and the cross-query stage-cache workload, and emits a
-//! machine-readable JSON (bench name → median wall nanoseconds; default
-//! `BENCH_PR7.json`) that seeds the perf trajectory for future PRs. Unlike
+//! save/load/compact workload, and the cross-query stage-cache workload, and
+//! emits a machine-readable JSON (bench name → median wall nanoseconds;
+//! default `BENCH_PR8.json`) that seeds the perf trajectory for future PRs. Unlike
 //! the criterion benches (minutes), quick mode finishes in seconds, so CI
 //! runs it on every push.
 //!
@@ -46,6 +47,7 @@ fn main() {
     let exit = match args.first().map(String::as_str) {
         Some("ingest") => cmd_ingest(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
         Some("serve-check") => cmd_serve_check(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         // A non-flag first argument that is not a known subcommand is a typo
@@ -66,13 +68,15 @@ fn print_usage() {
     eprintln!("       joinmi_bench ingest  --out REPO [--quick] [--base | --append]");
     eprintln!("       joinmi_bench ingest  --out PREFIX --shards N [--quick]");
     eprintln!("       joinmi_bench query   --repo REPO [--verify-in-memory]");
+    eprintln!("       joinmi_bench compact --repo REPO [--seal]");
     eprintln!("       joinmi_bench serve-check --url HOST:PORT [--quick]");
     eprintln!("       joinmi_bench compare --baseline JSON --current JSON [--max-regression R]");
     eprintln!();
     eprintln!("  --quick   small iteration counts / workloads (seconds, not minutes)");
-    eprintln!("  --json    write benchmark results to PATH (default BENCH_PR7.json)");
+    eprintln!("  --json    write benchmark results to PATH (default BENCH_PR8.json)");
     eprintln!("  --base    ingest the corpus minus its append tail (the daemon's day-0 state)");
     eprintln!("  --append  load REPO, append the corpus tail rows, extend the file in place");
+    eprintln!("  --seal    also drop builder state; the compacted file rejects future appends");
     eprintln!("  --shards  split the corpus contiguously into PREFIX-shard-I.jmi files");
     eprintln!("  --url     address of a running joinmi_serve daemon to check against");
 }
@@ -339,6 +343,44 @@ fn cmd_query(args: &[String]) -> i32 {
         );
     }
     0
+}
+
+// ---------------------------------------------------------------------------
+// compact: fold a repository's append log in place.
+// ---------------------------------------------------------------------------
+
+/// Rewrites a repository file with accumulated append groups into a fresh
+/// flat base (atomic write-new-then-rename; see `docs/FORMAT.md`). With
+/// `--seal` the rewrite also drops builder state: the file gets smaller and
+/// permanently rejects appends. Prints the compaction report as JSON so
+/// scripts (and the CI persistence-roundtrip leg) can assert on it.
+fn cmd_compact(args: &[String]) -> i32 {
+    let Some(repo_path) = flag_value(args, "--repo") else {
+        eprintln!("compact: --repo PATH is required");
+        return 2;
+    };
+    let seal = args.iter().any(|a| a == "--seal");
+    let mode = if seal {
+        joinmi_discovery::CompactMode::Seal
+    } else {
+        joinmi_discovery::CompactMode::Preserve
+    };
+    let start = Instant::now();
+    match TableRepository::compact(repo_path, mode) {
+        Ok(report) => {
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "{{\"groups_folded\": {}, \"bytes_before\": {}, \"bytes_after\": {}, \
+                 \"sealed\": {}, \"ms\": {ms:.1}}}",
+                report.groups_folded, report.bytes_before, report.bytes_after, report.sealed
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("compact: failed on `{repo_path}`: {e}");
+            1
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -611,7 +653,7 @@ fn cmd_compare(args: &[String]) -> i32 {
 fn cmd_bench(args: &[String]) -> i32 {
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let out_path = flag_value(args, "--out").unwrap_or("BENCH_PR7.json");
+    let out_path = flag_value(args, "--out").unwrap_or("BENCH_PR8.json");
 
     // Quick mode: smaller tables and fewer repetitions; default mode uses the
     // criterion-bench sizes for closer comparability.
@@ -937,6 +979,67 @@ fn store_workload(quick: bool, results: &mut Vec<(String, f64)>) {
         "incremental append diverged from one-shot ingest"
     );
 
+    // Compaction: an on-disk file carrying the corpus-tail append group,
+    // folded into a fresh flat base. `store/compacted_load_speedup` — the
+    // eager-load median of the appended file over that of its
+    // compacted+sealed rewrite — is the gated headline: what a restart gains
+    // when the append log was folded before reopening.
+    let appended_path =
+        std::env::temp_dir().join(format!("joinmi-bench-appended-{}.jmi", std::process::id()));
+    base_repo.save(&appended_path).expect("save base repo");
+    {
+        let mut extender = TableRepository::load(&appended_path).expect("load for append");
+        extender.append_tables(&tail).expect("append tail");
+        extender.append_to(&appended_path).expect("extend file");
+    }
+    let appended_file = std::fs::read(&appended_path).expect("read appended file");
+    let load_appended_ns = median_ns(reps, || {
+        TableRepository::load(&appended_path).expect("load appended repo")
+    });
+
+    // compact_repo: compaction mutates the file, so each rep stages a fresh
+    // copy outside the timed region.
+    let scratch_path =
+        std::env::temp_dir().join(format!("joinmi-bench-compact-{}.jmi", std::process::id()));
+    let compact_ns = {
+        let mut samples: Vec<u128> = (0..reps.max(1))
+            .map(|_| {
+                std::fs::write(&scratch_path, &appended_file).expect("stage scratch copy");
+                let start = Instant::now();
+                std::hint::black_box(
+                    TableRepository::compact(
+                        &scratch_path,
+                        joinmi_discovery::CompactMode::Preserve,
+                    )
+                    .expect("compact"),
+                );
+                start.elapsed().as_nanos()
+            })
+            .collect();
+        samples.sort_unstable();
+        samples[samples.len() / 2] as f64
+    };
+
+    // The sealed rewrite: the smallest on-disk form a repository can take.
+    std::fs::write(&scratch_path, &appended_file).expect("stage scratch copy");
+    let report = TableRepository::compact(&scratch_path, joinmi_discovery::CompactMode::Seal)
+        .expect("seal compact");
+    assert!(
+        report.sealed && report.groups_folded > 0,
+        "seal compaction must fold the staged append group"
+    );
+    let load_compacted_ns = median_ns(reps, || {
+        TableRepository::load(&scratch_path).expect("load compacted repo")
+    });
+
+    // Guard: the sealed, compacted artifact still ranks bit-for-bit
+    // identically to the in-memory build.
+    let compacted = TableRepository::load(&scratch_path).expect("load compacted repo");
+    let compacted_fp = corpus::ranking_fingerprint(&query.execute(&compacted).expect("query"));
+    assert_eq!(in_memory_fp, compacted_fp, "compaction changed the ranking");
+    let _ = std::fs::remove_file(&appended_path);
+    let _ = std::fs::remove_file(&scratch_path);
+
     results.push(("store/save_repo".to_owned(), save_ns));
     results.push(("store/load_repo".to_owned(), load_ns));
     results.push(("store/open_mmap_like".to_owned(), open_ns));
@@ -954,6 +1057,17 @@ fn store_workload(quick: bool, results: &mut Vec<(String, f64)>) {
         "store/append_vs_reingest".to_owned(),
         if append_ns > 0.0 {
             reingest_ns / append_ns
+        } else {
+            0.0
+        },
+    ));
+    results.push(("store/load_appended".to_owned(), load_appended_ns));
+    results.push(("store/compact_repo".to_owned(), compact_ns));
+    results.push(("store/load_compacted".to_owned(), load_compacted_ns));
+    results.push((
+        "store/compacted_load_speedup".to_owned(),
+        if load_compacted_ns > 0.0 {
+            load_appended_ns / load_compacted_ns
         } else {
             0.0
         },

@@ -11,16 +11,19 @@ use std::fmt::Write as _;
 /// Bench medians gated unconditionally by [`compare_quick_bench`]: the
 /// sketch-path hot loops whose regressions the paper's efficiency claim
 /// cannot absorb, the PR 4 estimator-kernel medians (the blocked Chebyshev
-/// k-NN kernel and the KSG estimate built on it), and the PR 7 cross-query
+/// k-NN kernel and the KSG estimate built on it), the PR 7 cross-query
 /// stage-cache speedups (warm hit path vs. cold execution — gated so the
-/// cache never silently degrades into re-doing the work it claims to skip).
-pub const GATED_MEDIANS: [&str; 6] = [
+/// cache never silently degrades into re-doing the work it claims to skip),
+/// and the PR 8 compacted-load speedup (loading a compacted+sealed file vs.
+/// replaying its append log — gated so compaction keeps paying for itself).
+pub const GATED_MEDIANS: [&str; 7] = [
     "sketch_join/tupsk_n256",
     "estimators/mle_on_sketch_join",
     "knn/chebyshev_n4096",
     "estimators/ksg_n4096",
     "cache/estimate_hit_speedup",
     "cache/join_hit_speedup",
+    "store/compacted_load_speedup",
 ];
 
 /// Returns `true` for medians where *larger is better* (speedup ratios, not

@@ -53,6 +53,7 @@
 
 pub mod config;
 pub mod csk;
+pub mod distinct;
 pub mod incremental;
 pub mod indsk;
 pub mod join;
@@ -66,6 +67,7 @@ pub mod row;
 pub mod tupsk;
 
 pub use config::{Side, SketchConfig};
+pub use distinct::DistinctSketch;
 pub use incremental::RightSketchBuilder;
 pub use join::JoinedSketch;
 pub use kind::SketchKind;

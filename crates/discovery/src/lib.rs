@@ -41,7 +41,7 @@ pub mod repository;
 pub use augment::AugmentationPlan;
 pub use cache::{CacheScope, CacheStats, CachedEstimate, QueryStageCache, StageCacheConfig};
 pub use index::{IndexDelta, JoinabilityIndex};
-pub use persist::RepositorySnapshot;
+pub use persist::{CompactMode, CompactionReport, RepositorySnapshot};
 pub use profile::{ColumnProfile, TableProfile};
 pub use query::{sort_by_mi_desc, RankedCandidate, RelationshipQuery};
 pub use repository::{CandidateColumn, CandidateSource, RepositoryConfig, TableRepository};

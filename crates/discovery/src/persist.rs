@@ -26,29 +26,50 @@
 //!   surfaces as a typed [`StoreError`] at the next open, never as silent
 //!   corruption of the base artifact.
 //!
-//! # Repository file layout (format v2)
+//! Accumulated append groups cost read time (every group is re-validated and
+//! replayed at open), so two maintenance operations complete the lifecycle:
+//!
+//! * [`TableRepository::compact`] folds a file's append groups back into a
+//!   fresh flat base — written to a sibling temp file, fsynced, then atomically
+//!   renamed over the original — restoring the flat-save read profile while
+//!   answering queries bit-identically.
+//! * **Seal mode** ([`CompactMode::Seal`]) additionally drops all
+//!   incremental-builder state for frozen corpora: the file shrinks to the
+//!   lean pre-append layout and further appends are rejected with a typed
+//!   [`StoreError::Sealed`] / [`TableError`](joinmi_table::TableError)
+//!   `::Sealed`.
+//!
+//! # Repository file layout (format v3)
 //!
 //! ```text
-//! header      magic b"JMIS" | version = 2 | artifact = Repository
-//! REPO_META   sketch kind/size/seed, max pairs, table + candidate counts
-//! PROFILES    per table: name, rows, per-column stats
-//! INDEX       joinability postings (digest → candidate ids) + digest counts
+//! header            magic b"JMIS" | version = 3 | artifact = Repository
+//! REPO_META         sketch kind/size/seed, max pairs, table + candidate
+//!                   counts, distinct-sketch capacity, flags (bit 0 = sealed)
+//! PROFILES          per table: name, rows, per-column stats
+//! FEATURE_DISTINCT  per table, per column: bounded KMV distinct sketch
+//! INDEX             joinability postings (digest → candidate ids) + counts
 //! per candidate:
 //!   CANDIDATE        identity fields + embedded sketch
 //!   CANDIDATE_STATE  incremental-builder state (seen keys, KMV selection
-//!                    entries with aggregation states)
-//! zero or more append groups, each:
-//!   APPEND_META       updated-candidate count + refreshed profiles
+//!                    entries with aggregation states) — omitted when sealed
+//! zero or more append groups (none when sealed), each:
+//!   APPEND_META       updated-candidate count + refreshed profiles +
+//!                     refreshed distinct sketches
 //!   per updated candidate:
 //!     CANDIDATE_UPDATE  candidate id + identity + refreshed sketch
 //!     CANDIDATE_STATE   refreshed builder state
 //!   INDEX_DELTA       ordered postings deltas (removed / added / sizes)
 //! ```
 //!
-//! v1 files (pre-append format) still load; their candidates carry no builder
-//! state, so further ingest into them stays rejected. v1 *readers* reject v2
-//! files cleanly via the version check — the bump exists precisely so an old
-//! binary never misparses an append group as trailing garbage.
+//! v1 files (pre-append format) and v2 files (appendable, but without
+//! distinct sketches or the sealed flag) still load; appending *to* them on
+//! disk is rejected with a typed error until a re-save or
+//! [`TableRepository::compact`] upgrades them to v3. Earlier readers reject
+//! v3 files cleanly via the version check — the bump exists precisely so an
+//! old binary never misparses a new section as trailing garbage.
+//!
+//! The byte-level specification of all of the above lives in
+//! `docs/FORMAT.md` at the repository root.
 
 use std::io::{Read, Write};
 use std::ops::Range;
@@ -56,7 +77,7 @@ use std::path::Path;
 use std::sync::OnceLock;
 
 use joinmi_sketch::persist::{aggregation_from_tag, aggregation_tag, dtype_from_tag, dtype_tag};
-use joinmi_sketch::{incremental, ColumnSketch, RightSketchBuilder, SketchConfig};
+use joinmi_sketch::{incremental, ColumnSketch, DistinctSketch, RightSketchBuilder, SketchConfig};
 use joinmi_store::{
     read_header, scan_section, write_header, ArtifactKind, GroupGrammar, Reader, RecoveryReport,
     Result, SectionBuilder, StoreError, Writer,
@@ -82,6 +103,8 @@ pub const SECTION_APPEND_META: u8 = 0x15;
 pub const SECTION_CANDIDATE_UPDATE: u8 = 0x16;
 /// Section tag: the ordered index deltas of one append group (v2).
 pub const SECTION_INDEX_DELTA: u8 = 0x17;
+/// Section tag: per-column bounded distinct sketches (v3).
+pub const SECTION_FEATURE_DISTINCT: u8 = 0x18;
 
 /// The v2 repository append-group grammar for the structural repair scanner
 /// in [`joinmi_store::repair`]: a group opens with APPEND_META and commits
@@ -95,11 +118,15 @@ pub const REPOSITORY_GROUP_GRAMMAR: GroupGrammar = GroupGrammar {
 // Encoding
 // ---------------------------------------------------------------------------
 
+/// Flag bit in the v3 REPO_META flags byte: the repository is sealed.
+const META_FLAG_SEALED: u8 = 0x01;
+
 fn write_repo_meta<W: Write>(
     w: &mut Writer<W>,
     config: &RepositoryConfig,
     num_tables: usize,
     num_candidates: usize,
+    sealed: bool,
 ) -> Result<()> {
     let mut meta = SectionBuilder::new();
     {
@@ -110,6 +137,9 @@ fn write_repo_meta<W: Write>(
         m.write_len(config.max_pairs_per_table)?;
         m.write_len(num_tables)?;
         m.write_len(num_candidates)?;
+        // v3 trailer: distinct-sketch capacity + flags byte.
+        m.write_len(config.distinct_sketch_size)?;
+        m.write_u8(if sealed { META_FLAG_SEALED } else { 0 })?;
     }
     meta.finish(SECTION_REPO_META, w)
 }
@@ -137,6 +167,118 @@ fn write_profiles<W: Write>(w: &mut Writer<W>, profiles: &[TableProfile]) -> Res
     let mut section = SectionBuilder::new();
     encode_profiles(section.writer(), profiles)?;
     section.finish(SECTION_PROFILES, w)
+}
+
+/// Encodes the per-column distinct sketches (shared by the FEATURE_DISTINCT
+/// section and the refreshed block inside v3 APPEND_META payloads). Each
+/// column carries a presence byte so columns loaded from pre-v3 files (no
+/// sketch) survive a re-save.
+fn encode_distincts(
+    p: &mut Writer<Vec<u8>>,
+    distincts: &[Vec<Option<DistinctSketch>>],
+) -> Result<()> {
+    p.write_len(distincts.len())?;
+    for table in distincts {
+        p.write_len(table.len())?;
+        for sketch in table {
+            match sketch {
+                None => p.write_u8(0)?,
+                Some(sketch) => {
+                    p.write_u8(1)?;
+                    p.write_len(sketch.capacity())?;
+                    p.write_len(sketch.len())?;
+                    for digest in sketch.digests() {
+                        p.write_u64(digest)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn write_distincts<W: Write>(
+    w: &mut Writer<W>,
+    distincts: &[Vec<Option<DistinctSketch>>],
+) -> Result<()> {
+    let mut section = SectionBuilder::new();
+    encode_distincts(section.writer(), distincts)?;
+    section.finish(SECTION_FEATURE_DISTINCT, w)
+}
+
+/// Decodes a distinct-sketch block, validating its shape against the decoded
+/// profiles (one entry per table, one per column) and each sketch's
+/// invariants (count ≤ capacity, digests strictly increasing).
+fn decode_distincts<R: Read>(
+    p: &mut Reader<R>,
+    profiles: &[TableProfile],
+) -> Result<Vec<Vec<Option<DistinctSketch>>>> {
+    let table_count = p.read_len("distinct sketch table count")?;
+    if table_count != profiles.len() {
+        return Err(StoreError::corrupt(format!(
+            "distinct sketch block covers {table_count} tables, profiles cover {}",
+            profiles.len()
+        )));
+    }
+    let mut distincts = Vec::with_capacity(table_count);
+    for profile in profiles {
+        let column_count = p.read_len("distinct sketch column count")?;
+        if column_count != profile.columns.len() {
+            return Err(StoreError::corrupt(format!(
+                "distinct sketch block covers {column_count} columns of table `{}`, \
+                 its profile covers {}",
+                profile.table,
+                profile.columns.len()
+            )));
+        }
+        let mut table = Vec::with_capacity(column_count);
+        for _ in 0..column_count {
+            match p.read_u8("distinct sketch presence flag")? {
+                0 => table.push(None),
+                1 => {
+                    let capacity = p.read_len("distinct sketch capacity")?;
+                    if capacity == 0 {
+                        return Err(StoreError::corrupt("distinct sketch capacity of zero"));
+                    }
+                    let count = p.read_len("distinct sketch digest count")?;
+                    if count > capacity {
+                        return Err(StoreError::corrupt(format!(
+                            "distinct sketch holds {count} digests over capacity {capacity}"
+                        )));
+                    }
+                    let mut digests = std::collections::BTreeSet::new();
+                    let mut previous: Option<u64> = None;
+                    for _ in 0..count {
+                        let digest = p.read_u64("distinct sketch digest")?;
+                        if previous.is_some_and(|prev| digest <= prev) {
+                            return Err(StoreError::corrupt(
+                                "distinct sketch digests are not strictly increasing",
+                            ));
+                        }
+                        previous = Some(digest);
+                        digests.insert(digest);
+                    }
+                    table.push(Some(DistinctSketch::from_parts(capacity, digests)));
+                }
+                other => {
+                    return Err(StoreError::corrupt(format!(
+                        "invalid distinct sketch presence flag {other}"
+                    )))
+                }
+            }
+        }
+        distincts.push(table);
+    }
+    Ok(distincts)
+}
+
+/// The all-`None` distinct-sketch shape for pre-v3 files: counts stay at
+/// their last fully-profiled values.
+fn absent_distincts(profiles: &[TableProfile]) -> Vec<Vec<Option<DistinctSketch>>> {
+    profiles
+        .iter()
+        .map(|profile| vec![None; profile.columns.len()])
+        .collect()
 }
 
 fn write_index<W: Write>(w: &mut Writer<W>, index: &JoinabilityIndex) -> Result<()> {
@@ -233,9 +375,10 @@ struct RepoMeta {
     config: RepositoryConfig,
     num_tables: usize,
     num_candidates: usize,
+    sealed: bool,
 }
 
-fn read_repo_meta(payload: &[u8]) -> Result<RepoMeta> {
+fn read_repo_meta(payload: &[u8], version: u16) -> Result<RepoMeta> {
     let mut m = Reader::new(payload);
     let sketch_kind = joinmi_sketch::persist::sketch_kind_from_tag(m.read_u8("repo sketch kind")?)?;
     let size = m.read_len("repo sketch size")?;
@@ -243,6 +386,19 @@ fn read_repo_meta(payload: &[u8]) -> Result<RepoMeta> {
     let max_pairs_per_table = m.read_len("repo max pairs per table")?;
     let num_tables = m.read_len("repo table count")?;
     let num_candidates = m.read_len("repo candidate count")?;
+    // v3 trailer; pre-v3 files had no distinct sketches and cannot be sealed.
+    let (distinct_sketch_size, sealed) = if version >= 3 {
+        let capacity = m.read_len("repo distinct sketch size")?;
+        let flags = m.read_u8("repo flags")?;
+        if flags & !META_FLAG_SEALED != 0 {
+            return Err(StoreError::corrupt(format!(
+                "unknown repository flag bits {flags:#04x}"
+            )));
+        }
+        (capacity, flags & META_FLAG_SEALED != 0)
+    } else {
+        (RepositoryConfig::default().distinct_sketch_size, false)
+    };
     if !m.into_inner().is_empty() {
         return Err(StoreError::corrupt("trailing bytes in REPO_META section"));
     }
@@ -251,9 +407,11 @@ fn read_repo_meta(payload: &[u8]) -> Result<RepoMeta> {
             sketch_kind,
             sketch: SketchConfig::new(size, seed),
             max_pairs_per_table,
+            distinct_sketch_size,
         },
         num_tables,
         num_candidates,
+        sealed,
     })
 }
 
@@ -468,10 +626,11 @@ fn check_candidate_id(id: usize, num_candidates: usize) -> Result<()> {
 // ---------------------------------------------------------------------------
 
 impl TableRepository {
-    /// Serializes the repository (config, profiles, index postings, candidate
-    /// sketches and builder states — not the raw tables) to any
-    /// `std::io::Write`, as a flat (append-group-free) v2 artifact covering
-    /// the repository's *current* state.
+    /// Serializes the repository (config, profiles, distinct sketches, index
+    /// postings, candidate sketches and builder states — not the raw tables)
+    /// to any `std::io::Write`, as a flat (append-group-free) v3 artifact
+    /// covering the repository's *current* state. A sealed repository writes
+    /// the lean sealed layout: no `CANDIDATE_STATE` sections at all.
     pub fn save_to<W: Write>(&self, out: W) -> Result<()> {
         let mut w = Writer::new(out);
         write_header(&mut w, ArtifactKind::Repository)?;
@@ -480,12 +639,16 @@ impl TableRepository {
             &self.config(),
             self.num_tables(),
             self.candidates().len(),
+            self.is_sealed(),
         )?;
         write_profiles(&mut w, self.profiles())?;
+        write_distincts(&mut w, self.distinct_sketches())?;
         write_index(&mut w, self.joinability())?;
         for (candidate, builder) in self.candidates().iter().zip(self.builders()) {
             write_candidate(&mut w, candidate)?;
-            write_candidate_state(&mut w, builder.as_ref())?;
+            if !self.is_sealed() {
+                write_candidate_state(&mut w, builder.as_ref())?;
+            }
         }
         Ok(())
     }
@@ -505,9 +668,10 @@ impl TableRepository {
     /// appended — the [`Self::append_rows`] log — to an existing repository
     /// file as one append group, without rewriting any existing bytes.
     ///
-    /// The target must be the v2 artifact this repository's base state came
-    /// from (header and REPO_META are verified; appending to a mismatched
-    /// file is rejected before any byte is written). A no-op when nothing
+    /// The target must be the v3 artifact this repository's base state came
+    /// from (header and REPO_META are verified; appending to a mismatched,
+    /// pre-v3, or sealed file is rejected before any byte is written — with
+    /// [`StoreError::Sealed`] for the sealed case). A no-op when nothing
     /// changed. On success the pending log is cleared, so consecutive
     /// appends produce consecutive groups.
     ///
@@ -528,13 +692,19 @@ impl TableRepository {
             let file = std::fs::File::open(&path)?;
             let mut r = Reader::new(std::io::BufReader::new(file));
             let version = read_header(&mut r, ArtifactKind::Repository)?;
-            if version < 2 {
-                return Err(StoreError::corrupt(
-                    "cannot append to a v1 repository file (no builder state); re-save it first",
-                ));
+            if version < 3 {
+                return Err(StoreError::corrupt(format!(
+                    "cannot append to a v{version} repository file (append groups need the v3 \
+                     distinct-sketch layout); re-save or compact it to upgrade"
+                )));
             }
             let meta_payload = joinmi_store::read_section(&mut r, SECTION_REPO_META)?;
-            let meta = read_repo_meta(&meta_payload)?;
+            let meta = read_repo_meta(&meta_payload, version)?;
+            if meta.sealed {
+                return Err(StoreError::Sealed {
+                    operation: "appending a group to a sealed repository file",
+                });
+            }
             let config = self.config();
             if meta.num_tables != self.num_tables()
                 || meta.num_candidates != self.candidates().len()
@@ -557,6 +727,7 @@ impl TableRepository {
             let p = meta.writer();
             p.write_len(dirty.len())?;
             encode_profiles(p, self.profiles())?;
+            encode_distincts(p, self.distinct_sketches())?;
         }
         meta.finish(SECTION_APPEND_META, &mut w)?;
 
@@ -649,6 +820,91 @@ impl TableRepository {
         }
         Ok(report)
     }
+
+    /// Rewrites a repository file in place, folding all accumulated append
+    /// groups back into a fresh flat v3 base — the read-time cost of replayed
+    /// groups goes to zero while queries stay bit-for-bit identical. With
+    /// [`CompactMode::Seal`] the rewrite additionally drops every candidate's
+    /// incremental-builder state and marks the file sealed: the lean
+    /// pre-append read profile, at the price that further appends are
+    /// rejected with typed `Sealed` errors. Compacting an already-sealed or
+    /// already-flat file is a valid no-op-shaped rewrite (it reproduces the
+    /// canonical bytes); pre-v3 files are upgraded to v3.
+    ///
+    /// Crash semantics: the new image is written to a sibling temp file,
+    /// fsynced, then atomically renamed over the original — at every instant
+    /// the path holds either the complete old file or the complete new one,
+    /// so a crash mid-compaction never needs repair. Do not run concurrently
+    /// with [`Self::append_to`] on the same path: the rename would discard a
+    /// group appended after the compaction read its input.
+    pub fn compact<P: AsRef<Path>>(path: P, mode: CompactMode) -> Result<CompactionReport> {
+        let path = path.as_ref();
+        let buf = std::fs::read(path)?;
+        let bytes_before = buf.len() as u64;
+        let snapshot = RepositorySnapshot::from_bytes(buf)?;
+        let groups_folded = snapshot.append_groups();
+        let mut repo = snapshot.into_repository();
+        if matches!(mode, CompactMode::Seal) {
+            repo.seal();
+        }
+
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".compact-tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let write_result = (|| -> Result<u64> {
+            let file = std::fs::File::create(&tmp)?;
+            let mut buffered = std::io::BufWriter::new(file);
+            repo.save_to(&mut buffered)?;
+            use std::io::Write as _;
+            buffered.flush()?;
+            let file = buffered
+                .into_inner()
+                .map_err(|e| StoreError::Io(e.into_error()))?;
+            file.sync_all()?;
+            Ok(file.metadata()?.len())
+        })();
+        let bytes_after = match write_result {
+            Ok(len) => len,
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+        };
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(StoreError::Io(e));
+        }
+        Ok(CompactionReport {
+            groups_folded,
+            bytes_before,
+            bytes_after,
+            sealed: repo.is_sealed(),
+        })
+    }
+}
+
+/// How [`TableRepository::compact`] rewrites the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactMode {
+    /// Fold append groups into a fresh base but keep every candidate's
+    /// builder state: the file stays appendable.
+    Preserve,
+    /// Fold append groups *and* drop all builder state, marking the file
+    /// sealed: the leanest read profile, no further appends.
+    Seal,
+}
+
+/// What a [`TableRepository::compact`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Append groups folded into the new base.
+    pub groups_folded: usize,
+    /// File size before the rewrite, in bytes.
+    pub bytes_before: u64,
+    /// File size after the rewrite, in bytes.
+    pub bytes_after: u64,
+    /// `true` when the rewritten file is sealed.
+    pub sealed: bool,
 }
 
 /// A candidate section that decodes its [`CandidateColumn`] on first access.
@@ -678,10 +934,16 @@ pub struct RepositorySnapshot {
     config: RepositoryConfig,
     num_tables: usize,
     profiles: Vec<TableProfile>,
+    distincts: Vec<Vec<Option<DistinctSketch>>>,
     index: JoinabilityIndex,
     candidates: Vec<LazyCandidate>,
     /// Number of append groups the artifact carried.
     append_groups: usize,
+    /// Byte length of the base image (everything before the first append
+    /// group); `buf.len() - base_len` is the appended-history weight.
+    base_len: usize,
+    /// `true` when the artifact is sealed (v3 flag).
+    sealed: bool,
 }
 
 impl RepositorySnapshot {
@@ -694,9 +956,22 @@ impl RepositorySnapshot {
         let mut pos = 8usize;
 
         let meta_range = scan_section(&buf, &mut pos, SECTION_REPO_META)?;
-        let meta = read_repo_meta(&buf[meta_range])?;
+        let meta = read_repo_meta(&buf[meta_range], version)?;
         let profiles_range = scan_section(&buf, &mut pos, SECTION_PROFILES)?;
         let mut profiles = read_profiles(&buf[profiles_range], meta.num_tables)?;
+        let mut distincts = if version >= 3 {
+            let distincts_range = scan_section(&buf, &mut pos, SECTION_FEATURE_DISTINCT)?;
+            let mut p = Reader::new(&buf[distincts_range]);
+            let decoded = decode_distincts(&mut p, &profiles)?;
+            if !p.into_inner().is_empty() {
+                return Err(StoreError::corrupt(
+                    "trailing bytes in FEATURE_DISTINCT section",
+                ));
+            }
+            decoded
+        } else {
+            absent_distincts(&profiles)
+        };
         let index_range = scan_section(&buf, &mut pos, SECTION_INDEX)?;
         let mut index = read_index(&buf[index_range], meta.num_candidates)?;
 
@@ -708,7 +983,9 @@ impl RepositorySnapshot {
             // malformed payload is rejected here with a typed error instead
             // of panicking at first access.
             validate_candidate_body(&buf[payload.clone()], meta.num_tables)?;
-            let state = if version >= 2 {
+            // Sealed files carry no builder state at all (that is the point
+            // of sealing); appendable v2+ files carry one per candidate.
+            let state = if version >= 2 && !meta.sealed {
                 let state_payload = scan_section(&buf, &mut pos, SECTION_CANDIDATE_STATE)?;
                 validate_state_payload(&buf[state_payload.clone()])?
                     .then(|| state_payload.start + 1..state_payload.end)
@@ -721,20 +998,32 @@ impl RepositorySnapshot {
                 cell: OnceLock::new(),
             });
         }
+        let base_len = pos;
+        if meta.sealed && pos < buf.len() {
+            return Err(StoreError::corrupt(
+                "sealed repository file carries trailing bytes (append groups are not \
+                 allowed after a seal)",
+            ));
+        }
 
-        // Append groups (v2): replace updated candidates' payload ranges,
-        // replay index deltas, adopt refreshed profiles.
+        // Append groups (v2+): replace updated candidates' payload ranges,
+        // replay index deltas, adopt refreshed profiles + distinct sketches.
         let mut append_groups = 0usize;
         while version >= 2 && pos < buf.len() {
             let meta_payload = scan_section(&buf, &mut pos, SECTION_APPEND_META)?;
-            let (updated_count, new_profiles) = {
+            let (updated_count, new_profiles, new_distincts) = {
                 let mut p = Reader::new(&buf[meta_payload.clone()]);
                 let updated = p.read_len("append group update count")?;
                 let profiles = decode_profiles(&mut p, meta.num_tables, meta_payload.len())?;
+                let distincts = if version >= 3 {
+                    Some(decode_distincts(&mut p, &profiles)?)
+                } else {
+                    None
+                };
                 if !p.into_inner().is_empty() {
                     return Err(StoreError::corrupt("trailing bytes in APPEND_META section"));
                 }
-                (updated, profiles)
+                (updated, profiles, distincts)
             };
             for _ in 0..updated_count {
                 let update_payload = scan_section(&buf, &mut pos, SECTION_CANDIDATE_UPDATE)?;
@@ -757,6 +1046,9 @@ impl RepositorySnapshot {
                 index.apply_delta(&delta);
             }
             profiles = new_profiles;
+            if let Some(new_distincts) = new_distincts {
+                distincts = new_distincts;
+            }
             append_groups += 1;
         }
         if pos != buf.len() {
@@ -771,9 +1063,12 @@ impl RepositorySnapshot {
             config: meta.config,
             num_tables: meta.num_tables,
             profiles,
+            distincts,
             index,
             candidates,
             append_groups,
+            base_len,
+            sealed: meta.sealed,
         })
     }
 
@@ -799,6 +1094,20 @@ impl RepositorySnapshot {
     #[must_use]
     pub fn append_groups(&self) -> usize {
         self.append_groups
+    }
+
+    /// Bytes of appended history after the base image (0 for a flat save) —
+    /// the weight [`TableRepository::compact`] would fold away.
+    #[must_use]
+    pub fn appended_bytes(&self) -> usize {
+        self.buf.len() - self.base_len
+    }
+
+    /// `true` when the artifact is sealed: no builder state on disk, and
+    /// further on-disk appends are rejected with [`StoreError::Sealed`].
+    #[must_use]
+    pub fn sealed(&self) -> bool {
+        self.sealed
     }
 
     /// Number of candidate sketches already decoded (observability for the
@@ -841,6 +1150,8 @@ impl RepositorySnapshot {
             candidates,
             self.index,
             builders,
+            self.distincts,
+            self.sealed,
         )
     }
 
@@ -1063,7 +1374,12 @@ mod tests {
         let mut bytes = save_bytes(&repo);
 
         let mut pos = 8usize;
-        for tag in [SECTION_REPO_META, SECTION_PROFILES, SECTION_INDEX] {
+        for tag in [
+            SECTION_REPO_META,
+            SECTION_PROFILES,
+            SECTION_FEATURE_DISTINCT,
+            SECTION_INDEX,
+        ] {
             joinmi_store::scan_section(&bytes, &mut pos, tag).unwrap();
         }
         let payload = joinmi_store::scan_section(&bytes, &mut pos, SECTION_CANDIDATE).unwrap();
@@ -1354,6 +1670,267 @@ mod tests {
         assert_eq!(std::fs::read(&path).unwrap(), bytes);
 
         std::fs::remove_file(&path).unwrap();
+    }
+
+    // -- compaction + sealing ---------------------------------------------
+
+    #[test]
+    fn compact_folds_append_groups_bit_for_bit() {
+        let (bytes, _, query) = appended_repo_bytes();
+        let path =
+            std::env::temp_dir().join(format!("joinmi-compact-fold-{}.jmi", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let before = RepositorySnapshot::from_bytes(bytes.clone()).unwrap();
+        let expected = fingerprint(&query.execute(&before).unwrap());
+        assert_eq!(before.append_groups(), 2);
+        assert!(before.appended_bytes() > 0);
+
+        let report = TableRepository::compact(&path, CompactMode::Preserve).unwrap();
+        assert_eq!(report.groups_folded, 2);
+        assert_eq!(report.bytes_before, bytes.len() as u64);
+        assert!(!report.sealed);
+
+        let snap = TableRepository::load_mmap_like(&path).unwrap();
+        assert_eq!(snap.append_groups(), 0);
+        assert_eq!(snap.appended_bytes(), 0);
+        assert!(!snap.sealed());
+        assert_eq!(fingerprint(&query.execute(&snap).unwrap()), expected);
+
+        // Preserve mode keeps the file appendable: a load → append → append_to
+        // cycle still works against the compacted file.
+        let mut reloaded = TableRepository::load(&path).unwrap();
+        assert!(reloaded.is_appendable());
+        let extra = joinmi_synth::TaxiScenario::generate(40, 15, 3)
+            .demographics
+            .slice_rows(0..3);
+        reloaded.append_rows(&extra).unwrap();
+        reloaded.append_to(&path).unwrap();
+        assert_eq!(
+            TableRepository::load_mmap_like(&path)
+                .unwrap()
+                .append_groups(),
+            1
+        );
+
+        // Compaction is idempotent and canonical: compacting the compacted
+        // file again reproduces its exact bytes.
+        TableRepository::compact(&path, CompactMode::Preserve).unwrap();
+        let first = std::fs::read(&path).unwrap();
+        let report = TableRepository::compact(&path, CompactMode::Preserve).unwrap();
+        assert_eq!(report.groups_folded, 0);
+        assert_eq!(std::fs::read(&path).unwrap(), first);
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn seal_compaction_drops_state_and_rejects_appends() {
+        let (bytes, _, query) = appended_repo_bytes();
+        let path =
+            std::env::temp_dir().join(format!("joinmi-compact-seal-{}.jmi", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let expected = {
+            let snap = RepositorySnapshot::from_bytes(bytes.clone()).unwrap();
+            fingerprint(&query.execute(&snap).unwrap())
+        };
+
+        let report = TableRepository::compact(&path, CompactMode::Seal).unwrap();
+        assert_eq!(report.groups_folded, 2);
+        assert!(report.sealed);
+        assert!(
+            report.bytes_after < report.bytes_before,
+            "sealing must shed appended history and builder state \
+             ({} -> {})",
+            report.bytes_before,
+            report.bytes_after
+        );
+
+        // Queries against the sealed file are bit-identical.
+        let snap = TableRepository::load_mmap_like(&path).unwrap();
+        assert!(snap.sealed());
+        assert_eq!(snap.append_groups(), 0);
+        assert_eq!(fingerprint(&query.execute(&snap).unwrap()), expected);
+
+        // In-memory: a loaded sealed repository rejects all ingest, typed.
+        let mut sealed = TableRepository::load(&path).unwrap();
+        assert!(sealed.is_sealed());
+        assert!(!sealed.is_appendable());
+        let chunk = joinmi_synth::TaxiScenario::generate(40, 15, 3)
+            .demographics
+            .slice_rows(0..3);
+        let err = sealed.append_rows(&chunk).expect_err("sealed repo");
+        assert!(matches!(err, joinmi_table::TableError::Sealed(_)));
+
+        // On disk: appending a group to the sealed file is typed too, and
+        // leaves the file untouched.
+        let (mut other, _, tail) = scenario_with_split(8);
+        other.append_rows(&tail).unwrap();
+        let file_before = std::fs::read(&path).unwrap();
+        let err = other.append_to(&path).expect_err("sealed file");
+        assert!(matches!(err, StoreError::Sealed { .. }));
+        assert_eq!(std::fs::read(&path).unwrap(), file_before);
+
+        // Sealing is sticky through another compaction.
+        let report = TableRepository::compact(&path, CompactMode::Preserve).unwrap();
+        assert!(report.sealed);
+        assert!(TableRepository::load_mmap_like(&path).unwrap().sealed());
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sealing_in_memory_rejects_ingest_and_saves_lean() {
+        let (mut repo, query) = sample_repo();
+        let expected = fingerprint(&query.execute(&repo).unwrap());
+        let unsealed_len = save_bytes(&repo).len();
+        repo.seal();
+        assert!(repo.is_sealed());
+        let err = repo
+            .add_table(demo_sealed_table())
+            .expect_err("sealed repo rejects new tables");
+        assert!(matches!(err, joinmi_table::TableError::Sealed(_)));
+
+        let sealed_bytes = save_bytes(&repo);
+        assert!(
+            sealed_bytes.len() < unsealed_len,
+            "sealed save must drop builder state ({unsealed_len} -> {})",
+            sealed_bytes.len()
+        );
+        let loaded = TableRepository::load_from(sealed_bytes.as_slice()).unwrap();
+        assert!(loaded.is_sealed());
+        assert_eq!(fingerprint(&query.execute(&loaded).unwrap()), expected);
+    }
+
+    fn demo_sealed_table() -> joinmi_table::Table {
+        joinmi_table::Table::builder("late")
+            .push_str_column("k", vec!["a", "b"])
+            .push_int_column("v", vec![1, 2])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn compact_composes_with_recover_truncated() {
+        let (bytes, boundaries, query) = appended_repo_bytes();
+        let path =
+            std::env::temp_dir().join(format!("joinmi-compact-recover-{}.jmi", std::process::id()));
+
+        // Tear the file mid-second-group, repair, then compact: the result
+        // must rank exactly as the surviving one-group prefix.
+        let cut = (boundaries[1] + boundaries[2]) / 2;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let report = TableRepository::recover_truncated(&path).unwrap();
+        assert!(report.is_torn());
+        assert_eq!(report.complete_groups, 1);
+        let expected = {
+            let snap = RepositorySnapshot::from_bytes(bytes[..boundaries[1]].to_vec()).unwrap();
+            fingerprint(&query.execute(&snap).unwrap())
+        };
+
+        let compaction = TableRepository::compact(&path, CompactMode::Preserve).unwrap();
+        assert_eq!(compaction.groups_folded, 1);
+        let snap = TableRepository::load_mmap_like(&path).unwrap();
+        assert_eq!(snap.append_groups(), 0);
+        assert_eq!(fingerprint(&query.execute(&snap).unwrap()), expected);
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_compacted_files_are_typed_errors() {
+        // The compacted (sealed) writer produces a new layout — sweep
+        // truncation offsets over it like the original corrupt-input suite.
+        let (bytes, _, _) = appended_repo_bytes();
+        let path = std::env::temp_dir().join(format!(
+            "joinmi-compact-truncate-{}.jmi",
+            std::process::id()
+        ));
+        std::fs::write(&path, &bytes).unwrap();
+        TableRepository::compact(&path, CompactMode::Seal).unwrap();
+        let sealed = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        assert!(RepositorySnapshot::from_bytes(sealed.clone()).is_ok());
+        for cut in (0..sealed.len()).step_by(61).chain([sealed.len() - 1]) {
+            match RepositorySnapshot::from_bytes(sealed[..cut].to_vec()) {
+                Err(
+                    StoreError::Truncated { .. }
+                    | StoreError::UnexpectedSection { .. }
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::Corrupt(_),
+                ) => {}
+                other => panic!("cut at {cut}: expected typed error, got {other:?}"),
+            }
+        }
+
+        // A sealed file with trailing bytes (a smuggled append group) is
+        // rejected outright.
+        let mut trailing = sealed;
+        trailing.extend_from_slice(&bytes[bytes.len() - 64..]);
+        assert!(matches!(
+            RepositorySnapshot::from_bytes(trailing),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn append_to_rejects_pre_v3_targets() {
+        // A v2 target (no distinct sketches) must be rejected with the
+        // upgrade hint, not extended with mixed-format groups.
+        let (mut repo, _, tail) = scenario_with_split(8);
+        let path =
+            std::env::temp_dir().join(format!("joinmi-append-v2-{}.jmi", std::process::id()));
+        repo.save(&path).unwrap();
+
+        // Downgrade the header to v2 in place (the payload difference does
+        // not matter: the version gate fires before the meta is decoded).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..6].copy_from_slice(&2u16.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        repo.append_rows(&tail).unwrap();
+        let err = repo.append_to(&path).expect_err("v2 target");
+        match err {
+            StoreError::Corrupt(msg) => assert!(msg.contains("compact"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn appended_distinct_counts_stay_fresh() {
+        // Regression for the PR 5 trade-off: feature-column distinct counts
+        // used to freeze at their base-ingest values under appends.
+        let (mut repo, _, tail) = scenario_with_split(8);
+        let table_index = repo
+            .profiles()
+            .iter()
+            .position(|p| p.table == tail.name())
+            .unwrap();
+        let before: Vec<usize> = repo.profiles()[table_index]
+            .columns
+            .iter()
+            .map(|c| c.distinct)
+            .collect();
+        repo.append_rows(&tail).unwrap();
+        let after: Vec<usize> = repo.profiles()[table_index]
+            .columns
+            .iter()
+            .map(|c| c.distinct)
+            .collect();
+        assert!(
+            after.iter().zip(&before).any(|(a, b)| a > b),
+            "appending fresh rows must raise at least one distinct count \
+             (before {before:?}, after {after:?})"
+        );
+        // And the freshened counts survive a persistence round-trip.
+        let reloaded = TableRepository::load_from(save_bytes(&repo).as_slice()).unwrap();
+        let persisted: Vec<usize> = reloaded.profiles()[table_index]
+            .columns
+            .iter()
+            .map(|c| c.distinct)
+            .collect();
+        assert_eq!(after, persisted);
     }
 
     #[test]

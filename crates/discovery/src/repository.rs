@@ -15,7 +15,9 @@
 
 use std::collections::BTreeSet;
 
-use joinmi_sketch::{Aggregation, ColumnSketch, RightSketchBuilder, SketchConfig, SketchKind};
+use joinmi_sketch::{
+    Aggregation, ColumnSketch, DistinctSketch, RightSketchBuilder, SketchConfig, SketchKind,
+};
 use joinmi_table::{DataType, Table, TableError};
 
 use crate::index::{IndexDelta, JoinabilityIndex};
@@ -65,6 +67,10 @@ pub struct RepositoryConfig {
     /// Maximum number of `(key, feature)` pairs ingested per table (guards
     /// against very wide tables exploding the index).
     pub max_pairs_per_table: usize,
+    /// Capacity (`k`) of the bounded KMV distinct sketch kept per profiled
+    /// column so that distinct counts stay fresh under appends in `O(k)`
+    /// space. At `k = 256` the standard error is ~6%.
+    pub distinct_sketch_size: usize,
 }
 
 impl Default for RepositoryConfig {
@@ -73,6 +79,7 @@ impl Default for RepositoryConfig {
             sketch_kind: SketchKind::Tupsk,
             sketch: SketchConfig::new(1024, 0),
             max_pairs_per_table: 64,
+            distinct_sketch_size: 256,
         }
     }
 }
@@ -130,8 +137,17 @@ pub struct TableRepository {
     sketch_only: bool,
     /// One appendable sketch builder per candidate. `None` only for
     /// candidates loaded from a pre-append-format (v1) file, which cannot
-    /// absorb further rows.
+    /// absorb further rows — or after [`TableRepository::seal`] dropped them.
     builders: Vec<Option<RightSketchBuilder>>,
+    /// One bounded distinct sketch per profiled column (`distincts[t][c]`
+    /// parallels `profiles[t].columns[c]`), keeping feature-column distinct
+    /// counts fresh under appends. `None` only for columns loaded from a
+    /// pre-v3 file, whose counts stay at their last fully-profiled value.
+    distincts: Vec<Vec<Option<DistinctSketch>>>,
+    /// `true` once the repository was frozen by [`TableRepository::seal`]
+    /// (directly or via a seal-mode compaction): all ingest is rejected with
+    /// [`TableError::Sealed`] and builder state is dropped.
+    sealed: bool,
     /// Changes accumulated since the repository was last persisted, consumed
     /// by the on-disk append path in [`crate::persist`].
     pending: PendingAppend,
@@ -172,6 +188,8 @@ impl TableRepository {
         candidates: Vec<CandidateColumn>,
         index: JoinabilityIndex,
         mut builders: Vec<Option<RightSketchBuilder>>,
+        distincts: Vec<Vec<Option<DistinctSketch>>>,
+        sealed: bool,
     ) -> Self {
         // The persisted sketch is the canonical finished form of the
         // persisted builder state: prime the finish cache from it so the
@@ -189,6 +207,8 @@ impl TableRepository {
             index,
             sketch_only: true,
             builders,
+            distincts,
+            sealed,
             pending: PendingAppend::default(),
         }
     }
@@ -218,6 +238,11 @@ impl TableRepository {
     /// a single work queue spanning the batch, so small and wide tables load-
     /// balance against each other. On error the repository is left unchanged.
     pub fn add_tables(&mut self, tables: Vec<Table>) -> Result<usize> {
+        if self.sealed {
+            return Err(TableError::Sealed(
+                "cannot ingest tables into a sealed repository".to_owned(),
+            ));
+        }
         if self.sketch_only {
             return Err(TableError::Unsupported(
                 "cannot ingest new tables into a sketch-only repository loaded from disk; \
@@ -228,9 +253,11 @@ impl TableRepository {
         let config = self.config();
 
         let mut profiles = Vec::with_capacity(tables.len());
+        let mut distincts = Vec::with_capacity(tables.len());
         let mut planned: Vec<PlannedPair> = Vec::new();
         for (batch_index, table) in tables.iter().enumerate() {
             let profile = TableProfile::profile(table)?;
+            distincts.push(profile_distinct_sketches(&config, table, &profile)?);
             planned.extend(plan_pairs(
                 &profile,
                 batch_index,
@@ -284,6 +311,7 @@ impl TableRepository {
         self.candidates.extend(candidates);
         self.builders.extend(builders);
         self.profiles.extend(profiles);
+        self.distincts.extend(distincts);
         self.tables.extend(tables);
         Ok(added)
     }
@@ -305,10 +333,12 @@ impl TableRepository {
     /// repository is left unchanged.
     ///
     /// Profile bookkeeping: table and per-column row/NULL counts are exact,
-    /// and join-key distinct counts come from the builders' seen-key sets;
-    /// distinct counts of *other* columns keep their last fully-profiled
-    /// value (tracking them exactly would mean retaining every value ever
-    /// seen, which the bounded-state design deliberately avoids).
+    /// join-key distinct counts come from the builders' seen-key sets, and
+    /// every other column's distinct count is maintained through its bounded
+    /// KMV [`DistinctSketch`] — exact while under
+    /// [`RepositoryConfig::distinct_sketch_size`] distincts, then a fresh
+    /// approximation (the sketch replaces the pre-v3 behaviour of freezing
+    /// those counts at their base-ingest values).
     pub fn append_rows(&mut self, chunk: &Table) -> Result<usize> {
         self.append_tables(std::slice::from_ref(chunk))
     }
@@ -316,6 +346,11 @@ impl TableRepository {
     /// Appends several row chunks (see [`Self::append_rows`]), validating all
     /// of them before mutating anything. Returns the total appended rows.
     pub fn append_tables(&mut self, chunks: &[Table]) -> Result<usize> {
+        if self.sealed {
+            return Err(TableError::Sealed(
+                "cannot append rows to a sealed repository".to_owned(),
+            ));
+        }
         // Validation pass: resolve every chunk to a table and check schemas
         // and builder availability, so the mutation pass cannot fail midway.
         let mut resolved = Vec::with_capacity(chunks.len());
@@ -400,14 +435,24 @@ impl TableRepository {
             }
             appended_total += chunk.num_rows();
 
-            // Exact row/NULL bookkeeping; key-column distinct counts come
-            // from the builders (see `append_rows` docs).
+            // Exact row/NULL bookkeeping; distinct counts route through the
+            // bounded sketches, then key columns are overridden with the
+            // builders' exact seen-key counts (see `append_rows` docs).
+            let hasher = self.config().sketch.key_hasher();
             let profile = &mut self.profiles[table_index];
             profile.rows += chunk.num_rows();
-            for column in &mut profile.columns {
+            for (column_index, column) in profile.columns.iter_mut().enumerate() {
                 column.rows += chunk.num_rows();
                 if let Ok(col) = chunk.column(&column.name) {
                     column.nulls += col.null_count();
+                    if let Some(sketch) = self.distincts[table_index][column_index].as_mut() {
+                        for value in col.iter() {
+                            if !value.is_null() {
+                                sketch.observe(value.key_hash(&hasher).raw());
+                            }
+                        }
+                        column.distinct = sketch.estimate();
+                    }
                 }
             }
             for (candidate_index, candidate) in self.candidates.iter().enumerate() {
@@ -436,10 +481,37 @@ impl TableRepository {
 
     /// Returns `true` when every candidate carries the appendable builder
     /// state required by [`Self::append_rows`] (always true for in-memory
-    /// ingests and v2 files; false for repositories loaded from v1 files).
+    /// ingests and v2+ files; false for repositories loaded from v1 files
+    /// and for sealed repositories).
     #[must_use]
     pub fn is_appendable(&self) -> bool {
-        self.builders.iter().all(Option::is_some)
+        !self.sealed && self.builders.iter().all(Option::is_some)
+    }
+
+    /// Freezes the repository: drops all incremental builder state, discards
+    /// the unpersisted append log, and rejects every further
+    /// [`Self::add_table`] / [`Self::append_rows`] with
+    /// [`TableError::Sealed`]. Saving a sealed repository produces a lean
+    /// flat file without `CANDIDATE_STATE` sections — the pre-append read
+    /// profile. Irreversible (re-ingest from source data to unfreeze).
+    pub fn seal(&mut self) {
+        self.sealed = true;
+        for builder in &mut self.builders {
+            *builder = None;
+        }
+        self.pending = PendingAppend::default();
+    }
+
+    /// Returns `true` once the repository was frozen by [`Self::seal`].
+    #[must_use]
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Per-table, per-column bounded distinct sketches, parallel to
+    /// [`Self::profiles`] (persistence internals).
+    pub(crate) fn distinct_sketches(&self) -> &[Vec<Option<DistinctSketch>>] {
+        &self.distincts
     }
 
     /// Per-candidate builders, parallel to [`Self::candidates`] (persistence
@@ -548,6 +620,31 @@ impl CandidateSource for TableRepository {
     fn joinability(&self) -> &JoinabilityIndex {
         &self.index
     }
+}
+
+/// Builds one bounded distinct sketch per column of a freshly profiled table,
+/// seeded with every non-NULL value the base ingest saw — so a later
+/// `append_rows` continues from exactly the state a bulk ingest of the
+/// concatenated rows would have produced (the sketch state is a pure function
+/// of the observed value set).
+fn profile_distinct_sketches(
+    config: &RepositoryConfig,
+    table: &Table,
+    profile: &TableProfile,
+) -> Result<Vec<Option<DistinctSketch>>> {
+    let hasher = config.sketch.key_hasher();
+    let mut sketches = Vec::with_capacity(profile.columns.len());
+    for column in &profile.columns {
+        let col = table.column(&column.name)?;
+        let mut sketch = DistinctSketch::new(config.distinct_sketch_size);
+        for value in col.iter() {
+            if !value.is_null() {
+                sketch.observe(value.key_hash(&hasher).raw());
+            }
+        }
+        sketches.push(Some(sketch));
+    }
+    Ok(sketches)
 }
 
 /// The default featurization function for a feature type: `AVG` for numeric

@@ -14,6 +14,11 @@
 //! * `--cache-entries N` — cross-query stage-cache entries, 0 = disabled (4096)
 //! * `--cache-bytes N` — cross-query stage-cache resident-byte bound, 0 = unbounded (64 MiB)
 //! * `--repair` — repair torn append tails at open instead of refusing them
+//! * `--compact-after N` — background-compact a shard once it carries ≥ N
+//!   append groups, 0 = off (0)
+//! * `--compact-bytes N` — background-compact a shard once its on-disk append
+//!   log reaches N bytes, 0 = off (0)
+//! * `--compact-poll-ms N` — compactor trigger-check interval (500)
 //!
 //! The full protocol and operator runbook live in `docs/SERVING.md`.
 
@@ -62,6 +67,15 @@ fn run() -> Result<ExitCode, String> {
             "--cache" => config.cache_capacity = parse_num(arg, &take_value(&mut i)?)?,
             "--cache-entries" => config.stage_cache_entries = parse_num(arg, &take_value(&mut i)?)?,
             "--cache-bytes" => config.stage_cache_bytes = parse_num(arg, &take_value(&mut i)?)?,
+            "--compact-after" => {
+                config.compact_after_groups = parse_num(arg, &take_value(&mut i)?)?;
+            }
+            "--compact-bytes" => {
+                config.compact_after_bytes = parse_num(arg, &take_value(&mut i)?)?;
+            }
+            "--compact-poll-ms" => {
+                config.compact_poll_ms = parse_num(arg, &take_value(&mut i)?)?;
+            }
             "--repair" => repair = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             path => shard_paths.push(path.to_owned()),
@@ -121,6 +135,7 @@ fn print_help() {
     eprintln!(
         "usage: joinmi_serve [--addr HOST:PORT] [--workers N] [--timeout-ms N] \
          [--max-inflight N] [--cache N] [--cache-entries N] [--cache-bytes N] \
+         [--compact-after N] [--compact-bytes N] [--compact-poll-ms N] \
          [--repair] SHARD.jmi [SHARD.jmi ...]\n\
          Serves POST /v1/query, GET /v1/shards, GET /v1/healthz. \
          Protocol spec and runbook: docs/SERVING.md"

@@ -10,14 +10,23 @@
 //! expensive scoring always runs on a worker that has warmed up its
 //! estimator workspace. The admission gate bounds queries *admitted*, not
 //! connections, so health checks keep answering while the pool is saturated.
+//!
+//! Shard state lives in an [`Epoch`] — one immutable `ShardSet` paired with
+//! the stage cache bound to its generation — behind a `RwLock`. Queries
+//! clone the current epoch (two `Arc` bumps) and score against it for their
+//! whole lifetime; the background compactor installs a new epoch after
+//! rewriting a shard file, so in-flight queries keep their consistent
+//! snapshot while new queries see the compacted one.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::Duration;
 
-use joinmi_discovery::{CandidateSource, QueryStageCache, StageCacheConfig};
+use joinmi_discovery::{
+    CandidateSource, CompactMode, QueryStageCache, StageCacheConfig, TableRepository,
+};
 use joinmi_estimators::EstimatorWorkspace;
 
 use crate::guard::{AdmissionGate, CachedResult, Deadline, QueryCache};
@@ -46,6 +55,17 @@ pub struct ServerConfig {
     /// Cross-query stage-cache bound in resident bytes; 0 means unbounded by
     /// bytes (the entry bound still applies).
     pub stage_cache_bytes: usize,
+    /// Background compaction: fold a shard's append log once it carries at
+    /// least this many append groups; 0 disables the group trigger.
+    pub compact_after_groups: usize,
+    /// Background compaction: fold a shard's append log once its appended
+    /// history reaches this many bytes (measured against the file on disk,
+    /// so external appends count); 0 disables the byte trigger. The
+    /// compactor thread runs only when at least one trigger is set.
+    pub compact_after_bytes: usize,
+    /// How often the compactor re-checks the triggers, in milliseconds.
+    /// Clamped to at least 10.
+    pub compact_poll_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +79,35 @@ impl Default for ServerConfig {
             cache_capacity: 128,
             stage_cache_entries: stage.max_entries,
             stage_cache_bytes: stage.max_bytes,
+            compact_after_groups: 0,
+            compact_after_bytes: 0,
+            compact_poll_ms: 500,
+        }
+    }
+}
+
+/// One immutable serving epoch: a shard set plus the cross-query stage cache
+/// bound to its generation. Cloning is two `Arc` bumps; a query holds its
+/// epoch for its whole lifetime, so an epoch swap never mixes snapshots
+/// within one ranking.
+#[derive(Clone)]
+struct Epoch {
+    shards: Arc<ShardSet>,
+    stage_cache: Arc<QueryStageCache>,
+}
+
+impl Epoch {
+    fn new(shards: ShardSet, config: &ServerConfig) -> Self {
+        let stage_cache = QueryStageCache::with_generation(
+            StageCacheConfig {
+                max_entries: config.stage_cache_entries,
+                max_bytes: config.stage_cache_bytes,
+            },
+            shards.generation(),
+        );
+        Self {
+            shards: Arc::new(shards),
+            stage_cache: Arc::new(stage_cache),
         }
     }
 }
@@ -66,19 +115,28 @@ impl Default for ServerConfig {
 struct Job {
     request: QueryRequest,
     deadline: Deadline,
+    /// The epoch the connection thread admitted the query under; the worker
+    /// scores against exactly this snapshot set and cache.
+    epoch: Epoch,
     reply: Sender<Result<Arc<Vec<crate::wire::ShardedResult>>, ServeError>>,
 }
 
 struct Shared {
-    shards: ShardSet,
+    /// The current epoch; read by every query, replaced by the compactor.
+    epoch: RwLock<Epoch>,
     config: ServerConfig,
     gate: AdmissionGate,
     cache: Mutex<QueryCache>,
-    /// Cross-query join/estimate cache, shared by every worker and bound to
-    /// the shard set's snapshot generation (internally synchronized).
-    stage_cache: QueryStageCache,
     jobs: Mutex<Option<Sender<Job>>>,
     shutdown: AtomicBool,
+    /// Shard files rewritten by the background compactor since startup.
+    compactions: AtomicU64,
+}
+
+impl Shared {
+    fn epoch(&self) -> Epoch {
+        self.epoch.read().expect("epoch lock").clone()
+    }
 }
 
 /// A running daemon. Dropping it (or calling [`Server::shutdown`]) stops the
@@ -102,16 +160,10 @@ impl Server {
         let shared = Arc::new(Shared {
             gate: AdmissionGate::new(config.max_inflight),
             cache: Mutex::new(QueryCache::new(config.cache_capacity)),
-            stage_cache: QueryStageCache::with_generation(
-                StageCacheConfig {
-                    max_entries: config.stage_cache_entries,
-                    max_bytes: config.stage_cache_bytes,
-                },
-                shards.generation(),
-            ),
+            epoch: RwLock::new(Epoch::new(shards, &config)),
             jobs: Mutex::new(Some(job_tx)),
             shutdown: AtomicBool::new(false),
-            shards,
+            compactions: AtomicU64::new(0),
             config,
         });
 
@@ -120,6 +172,10 @@ impl Server {
             let shared = Arc::clone(&shared);
             let job_rx = Arc::clone(&job_rx);
             threads.push(std::thread::spawn(move || worker_loop(&shared, &job_rx)));
+        }
+        if shared.config.compact_after_groups > 0 || shared.config.compact_after_bytes > 0 {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || compactor_loop(&shared)));
         }
         {
             let shared = Arc::clone(&shared);
@@ -195,12 +251,13 @@ fn worker_loop(shared: &Arc<Shared>, jobs: &Mutex<Receiver<Job>>) {
         };
         match job {
             Ok(job) => {
-                let result = shared
+                let result = job
+                    .epoch
                     .shards
                     .execute(
                         &job.request,
                         &mut ws,
-                        Some(&shared.stage_cache),
+                        Some(&job.epoch.stage_cache),
                         job.deadline,
                         shared.config.timeout_ms,
                     )
@@ -217,6 +274,96 @@ fn worker_loop(shared: &Arc<Shared>, jobs: &Mutex<Receiver<Job>>) {
             Err(RecvTimeoutError::Disconnected) => return,
         }
     }
+}
+
+/// The background compactor: every `compact_poll_ms` it checks each unsealed
+/// shard against the configured triggers and, for each shard due, folds the
+/// on-disk append log with [`TableRepository::compact`] (atomic
+/// write-new-then-rename), re-reads that one file, and installs a fresh
+/// [`Epoch`] — new shard set, new generation, new stage cache. In-flight
+/// queries finish on the epoch they started with.
+///
+/// Triggers:
+///
+/// * group trigger — the *served snapshot* carries at least
+///   `compact_after_groups` append groups;
+/// * byte trigger — the *file on disk* carries at least
+///   `compact_after_bytes` bytes past the base payload. The on-disk length
+///   is re-statted every pass, so append groups written by an external
+///   ingester eventually trip this trigger, and the post-compaction reload
+///   folds them into the served snapshot — this is the daemon's freshness
+///   bound. (Do not append concurrently with a compaction pass itself; see
+///   `docs/SERVING.md`.)
+///
+/// Failures (a torn tail mid-append, a vanished file) are logged and
+/// retried on a later pass — the previous epoch keeps serving either way.
+fn compactor_loop(shared: &Arc<Shared>) {
+    loop {
+        // Sleep one poll interval in short slices so shutdown stays prompt.
+        let poll = Duration::from_millis(shared.config.compact_poll_ms.max(10));
+        let deadline = std::time::Instant::now() + poll;
+        while std::time::Instant::now() < deadline {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10).min(poll));
+        }
+
+        let epoch = shared.epoch();
+        for (index, shard) in epoch.shards.shards().iter().enumerate() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if shard.sealed() || !compaction_due(shared, shard) {
+                continue;
+            }
+            match compact_and_swap(shared, index) {
+                Ok(()) => {
+                    shared.compactions.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(message) => {
+                    eprintln!(
+                        "joinmi_serve: compacting {}: {message} (will retry)",
+                        shard.path().display()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Whether either compaction trigger fires for `shard` right now.
+fn compaction_due(shared: &Shared, shard: &crate::shard::Shard) -> bool {
+    let groups = shared.config.compact_after_groups;
+    if groups > 0 && shard.snapshot().append_groups() >= groups {
+        return true;
+    }
+    let bytes = shared.config.compact_after_bytes;
+    if bytes > 0 {
+        // Measure against the file on disk so externally appended groups
+        // count; the served snapshot's base length anchors the computation.
+        let base_len = shard.file_len() - shard.appended_bytes() as u64;
+        if let Ok(meta) = std::fs::metadata(shard.path()) {
+            return meta.len().saturating_sub(base_len) >= bytes as u64;
+        }
+    }
+    false
+}
+
+/// Compacts shard `index`'s file in place, then swaps in a new epoch with
+/// that shard re-read. The result-cache needs no flush: its keys carry the
+/// generation, and the reload changes it.
+fn compact_and_swap(shared: &Shared, index: usize) -> Result<(), String> {
+    let epoch = shared.epoch();
+    let shard = &epoch.shards.shards()[index];
+    TableRepository::compact(shard.path(), CompactMode::Preserve).map_err(|e| e.to_string())?;
+    let reloaded = epoch
+        .shards
+        .with_reloaded_shard(index)
+        .map_err(|e| e.to_string())?;
+    let next = Epoch::new(reloaded, &shared.config);
+    *shared.epoch.write().expect("epoch lock") = next;
+    Ok(())
 }
 
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
@@ -265,23 +412,29 @@ fn route(shared: &Shared, request: &Request) -> (u16, &'static str, String) {
 }
 
 fn healthz(shared: &Shared) -> Json {
+    let epoch = shared.epoch();
     obj([
         ("status", Json::Str("ok".into())),
-        ("shards", Json::Int(shared.shards.shards().len() as i64)),
+        ("shards", Json::Int(epoch.shards.shards().len() as i64)),
         (
             "generation",
-            Json::Str(format!("0x{:016x}", shared.shards.generation())),
+            Json::Str(format!("0x{:016x}", epoch.shards.generation())),
         ),
         ("inflight", Json::Int(shared.gate.inflight() as i64)),
-        ("stage_cache", stage_cache_json(shared)),
+        (
+            "compactions",
+            Json::Int(shared.compactions.load(Ordering::SeqCst) as i64),
+        ),
+        ("stage_cache", stage_cache_json(&epoch)),
     ])
 }
 
 /// The stage cache's counters and occupancy, embedded verbatim in both the
-/// healthz payload and `GET /v1/shards`.
-fn stage_cache_json(shared: &Shared) -> Json {
-    let stats = shared.stage_cache.stats();
-    let config = shared.stage_cache.config();
+/// healthz payload and `GET /v1/shards`. Counters are per epoch: an epoch
+/// swap installs a fresh cache, so they restart at zero after a compaction.
+fn stage_cache_json(epoch: &Epoch) -> Json {
+    let stats = epoch.stage_cache.stats();
+    let config = epoch.stage_cache.config();
     obj([
         ("max_entries", Json::Int(config.max_entries as i64)),
         ("max_bytes", Json::Int(config.max_bytes as i64)),
@@ -296,7 +449,8 @@ fn stage_cache_json(shared: &Shared) -> Json {
 }
 
 fn shards_info(shared: &Shared) -> Json {
-    let shards: Vec<Json> = shared
+    let epoch = shared.epoch();
+    let shards: Vec<Json> = epoch
         .shards
         .shards()
         .iter()
@@ -316,6 +470,8 @@ fn shards_info(shared: &Shared) -> Json {
                     "append_groups",
                     Json::Int(shard.snapshot().append_groups() as i64),
                 ),
+                ("appended_bytes", Json::Int(shard.appended_bytes() as i64)),
+                ("sealed", Json::Bool(shard.sealed())),
                 (
                     "candidate_offset",
                     Json::Int(shard.candidate_offset() as i64),
@@ -328,7 +484,7 @@ fn shards_info(shared: &Shared) -> Json {
         ("shards", Json::Arr(shards)),
         (
             "generation",
-            Json::Str(format!("0x{:016x}", shared.shards.generation())),
+            Json::Str(format!("0x{:016x}", epoch.shards.generation())),
         ),
         ("workers", Json::Int(shared.config.workers.max(1) as i64)),
         ("timeout_ms", Json::Int(shared.config.timeout_ms as i64)),
@@ -339,7 +495,19 @@ fn shards_info(shared: &Shared) -> Json {
         ),
         ("cache_hits", Json::Int(hits as i64)),
         ("cache_misses", Json::Int(misses as i64)),
-        ("stage_cache", stage_cache_json(shared)),
+        (
+            "compactions",
+            Json::Int(shared.compactions.load(Ordering::SeqCst) as i64),
+        ),
+        (
+            "compact_after_groups",
+            Json::Int(shared.config.compact_after_groups as i64),
+        ),
+        (
+            "compact_after_bytes",
+            Json::Int(shared.config.compact_after_bytes as i64),
+        ),
+        ("stage_cache", stage_cache_json(&epoch)),
     ])
 }
 
@@ -355,16 +523,22 @@ fn query(shared: &Shared, body: &str) -> Result<QueryResponse, ServeError> {
     };
     let deadline = Deadline::starting_now(shared.config.timeout_ms);
 
-    // Cache: keyed by (query fingerprint, snapshot generation). An append
-    // epoch (reload after append_to) changes the generation, so stale
-    // entries stop matching without any flush.
+    // One epoch per query: the snapshot set, generation and stage cache stay
+    // consistent for this request even if the compactor swaps mid-flight.
+    let epoch = shared.epoch();
+    let generation = epoch.shards.generation();
+    let shards_queried = epoch.shards.shards().len();
+
+    // Cache: keyed by (query fingerprint, snapshot generation). An epoch
+    // swap — a compaction, or a reload after append_to — changes the
+    // generation, so stale entries stop matching without any flush.
     let fingerprint = request.fingerprint();
-    let key = (fingerprint.0, fingerprint.1, shared.shards.generation());
+    let key = (fingerprint.0, fingerprint.1, generation);
     if let Some(hit) = shared.cache.lock().expect("cache lock").get(&key) {
         return Ok(QueryResponse {
             results: hit.results.as_ref().clone(),
             shards_queried: hit.shards_queried,
-            generation: shared.shards.generation(),
+            generation,
             cached: true,
         });
     }
@@ -380,6 +554,7 @@ fn query(shared: &Shared, body: &str) -> Result<QueryResponse, ServeError> {
         tx.send(Job {
             request,
             deadline,
+            epoch,
             reply: reply_tx,
         })
         .map_err(|_| ServeError::Internal("worker pool is gone".into()))?;
@@ -407,13 +582,13 @@ fn query(shared: &Shared, body: &str) -> Result<QueryResponse, ServeError> {
         key,
         Arc::new(CachedResult {
             results: Arc::clone(&results),
-            shards_queried: shared.shards.shards().len(),
+            shards_queried,
         }),
     );
     Ok(QueryResponse {
         results: results.as_ref().clone(),
-        shards_queried: shared.shards.shards().len(),
-        generation: shared.shards.generation(),
+        shards_queried,
+        generation,
         cached: false,
     })
 }

@@ -19,6 +19,7 @@
 //! with the global order restricted to that shard.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use joinmi_discovery::persist::RepositorySnapshot;
 use joinmi_discovery::repository::CandidateSource;
@@ -67,6 +68,21 @@ impl Shard {
     pub fn candidate_offset(&self) -> usize {
         self.candidate_offset
     }
+
+    /// Bytes of appended history past the base payload (0 for a freshly
+    /// ingested or freshly compacted file). This is what the background
+    /// compactor's `--compact-bytes` threshold measures.
+    #[must_use]
+    pub fn appended_bytes(&self) -> usize {
+        self.snapshot.appended_bytes()
+    }
+
+    /// Whether the file was sealed (compacted with builder state dropped).
+    /// Sealed shards are never compacted again and reject appends.
+    #[must_use]
+    pub fn sealed(&self) -> bool {
+        self.snapshot.sealed()
+    }
 }
 
 /// What happened to one shard file during a repairing open.
@@ -79,10 +95,12 @@ pub struct ShardRepair {
 }
 
 /// An ordered set of opened shards plus the generation stamp their snapshots
-/// carry. Immutable once opened; reloads build a new `ShardSet`.
+/// carry. Immutable once opened; reloads build a new `ShardSet` (sharing the
+/// untouched shards, so [`ShardSet::with_reloaded_shard`] re-reads one file,
+/// not all of them).
 #[derive(Debug)]
 pub struct ShardSet {
-    shards: Vec<Shard>,
+    shards: Vec<Arc<Shard>>,
     generation: u64,
 }
 
@@ -122,12 +140,12 @@ impl ShardSet {
             let snapshot = TableRepository::load_mmap_like(&path)?;
             let file_len = std::fs::metadata(&path)?.len();
             let count = snapshot.candidate_count();
-            shards.push(Shard {
+            shards.push(Arc::new(Shard {
                 path,
                 snapshot,
                 file_len,
                 candidate_offset,
-            });
+            }));
             candidate_offset += count;
         }
         let generation = Self::generation_of(&shards);
@@ -138,7 +156,7 @@ impl ShardSet {
     /// file length and append-group count, in shard order. Appending to a
     /// shard (and reloading) changes it; reopening unchanged files does not,
     /// so cached results stay valid across a no-op reload.
-    fn generation_of(shards: &[Shard]) -> u64 {
+    fn generation_of(shards: &[Arc<Shard>]) -> u64 {
         let mut material = Vec::new();
         for shard in shards {
             material.extend_from_slice(shard.path.to_string_lossy().as_bytes());
@@ -152,8 +170,48 @@ impl ShardSet {
 
     /// The opened shards, in order.
     #[must_use]
-    pub fn shards(&self) -> &[Shard] {
+    pub fn shards(&self) -> &[Arc<Shard>] {
         &self.shards
+    }
+
+    /// Builds a new `ShardSet` in which shard `index` has been re-read from
+    /// its file while every other shard keeps its existing snapshot. This is
+    /// the daemon's post-compaction swap step: compaction rewrites one file
+    /// in place (atomic rename), then the server installs the set returned
+    /// here as the new epoch.
+    ///
+    /// The reloaded file must hold the same tables in the same order — its
+    /// candidate count must not change, or the global candidate offsets of
+    /// later shards would shift. A mismatch (someone replaced the file with a
+    /// different corpus) is a typed [`StoreError::Corrupt`], never a silently
+    /// re-numbered ranking. Compaction always preserves candidate counts.
+    pub fn with_reloaded_shard(&self, index: usize) -> Result<Self, joinmi_store::StoreError> {
+        let old = self.shards.get(index).ok_or_else(|| {
+            joinmi_store::StoreError::Corrupt(format!(
+                "shard index {index} out of range ({} shards)",
+                self.shards.len()
+            ))
+        })?;
+        let snapshot = TableRepository::load_mmap_like(&old.path)?;
+        if snapshot.candidate_count() != old.snapshot.candidate_count() {
+            return Err(joinmi_store::StoreError::Corrupt(format!(
+                "reloaded shard {} holds {} candidates where {} were served; \
+                 refusing to renumber the global ranking",
+                old.path.display(),
+                snapshot.candidate_count(),
+                old.snapshot.candidate_count(),
+            )));
+        }
+        let file_len = std::fs::metadata(&old.path)?.len();
+        let mut shards = self.shards.clone();
+        shards[index] = Arc::new(Shard {
+            path: old.path.clone(),
+            snapshot,
+            file_len,
+            candidate_offset: old.candidate_offset,
+        });
+        let generation = Self::generation_of(&shards);
+        Ok(Self { shards, generation })
     }
 
     /// The generation stamp of this snapshot set.

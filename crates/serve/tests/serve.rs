@@ -5,7 +5,9 @@
 
 use std::time::Duration;
 
-use joinmi_discovery::{RankedCandidate, RelationshipQuery, RepositoryConfig, TableRepository};
+use joinmi_discovery::{
+    CompactMode, RankedCandidate, RelationshipQuery, RepositoryConfig, TableRepository,
+};
 use joinmi_estimators::EstimatorWorkspace;
 use joinmi_serve::json::Json;
 use joinmi_serve::{
@@ -346,6 +348,115 @@ fn stage_cache_counters_move_on_hit_and_miss_over_rest() {
         cold_misses,
         "healthz stage_cache stats disagree with /v1/shards"
     );
+
+    server.shutdown();
+    cleanup(&paths);
+}
+
+#[test]
+fn background_compaction_folds_append_logs_and_swaps_epochs_bit_identically() {
+    // One shard per table; each file is built as prefix-ingest + one append
+    // group, so its *content* equals the full table while its on-disk shape
+    // carries an append log for the compactor to fold. Shard 0 is sealed up
+    // front: the compactor must skip it, and it must serve normally.
+    let (tables, train) = corpus();
+    let single = single_repo(&tables);
+    let expected = fingerprint(&in_process_query(&train, 0).execute(&single).unwrap());
+
+    let paths: Vec<std::path::PathBuf> = tables
+        .iter()
+        .enumerate()
+        .map(|(s, table)| {
+            let rows = table.num_rows();
+            let mut repo = TableRepository::new(repo_config());
+            repo.add_table(table.slice_rows(0..rows - 5)).unwrap();
+            let path = std::env::temp_dir().join(format!(
+                "joinmi-serve-compact-{}-{s}.jmi",
+                std::process::id()
+            ));
+            repo.save(&path).unwrap();
+            let mut appender = TableRepository::load(&path).unwrap();
+            appender
+                .append_rows(&table.slice_rows(rows - 5..rows))
+                .unwrap();
+            appender.append_to(&path).unwrap();
+            path
+        })
+        .collect();
+    let report = TableRepository::compact(&paths[0], CompactMode::Seal).unwrap();
+    assert_eq!((report.groups_folded, report.sealed), (1, true));
+
+    let shards = ShardSet::open(&paths).unwrap();
+    let opened_generation = shards.generation();
+    let mut server = Server::start(
+        ServerConfig {
+            workers: 2,
+            timeout_ms: 0,
+            compact_after_groups: 1,
+            compact_poll_ms: 25,
+            ..ServerConfig::default()
+        },
+        shards,
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    wait_healthy(&addr, Duration::from_secs(5)).unwrap();
+
+    // Serving starts on the appended epoch; the ranking is already exact.
+    let (status, before) =
+        client_request(&addr, "POST", "/v1/query", &request_body(&train, 0)).unwrap();
+    assert_eq!(status, 200, "{before}");
+    assert_eq!(wire_fingerprint(&before), expected);
+
+    // Wait for the compactor to fold the two unsealed shards.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let stats = loop {
+        let (status, body) = client_request(&addr, "GET", "/v1/shards", "").unwrap();
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).unwrap();
+        if doc.get("compactions").and_then(Json::as_i64) == Some(2) {
+            break doc;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "compactor never folded both shards: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+
+    // The swap installed a new generation; every shard is flat; only shard 0
+    // is sealed; the threshold echo matches the config.
+    assert_ne!(
+        stats.get("generation").and_then(Json::as_str).unwrap(),
+        format!("0x{opened_generation:016x}"),
+        "compaction must bump the served generation"
+    );
+    assert_eq!(
+        stats.get("compact_after_groups").and_then(Json::as_i64),
+        Some(1)
+    );
+    let shard_rows = stats.get("shards").and_then(Json::as_arr).unwrap();
+    assert_eq!(shard_rows.len(), 3);
+    for (s, row) in shard_rows.iter().enumerate() {
+        assert_eq!(row.get("append_groups").and_then(Json::as_i64), Some(0));
+        assert_eq!(row.get("appended_bytes").and_then(Json::as_i64), Some(0));
+        assert_eq!(
+            row.get("sealed"),
+            Some(&Json::Bool(s == 0)),
+            "only shard 0 was sealed"
+        );
+    }
+
+    // Post-swap queries still rank bit-for-bit identically, and the on-disk
+    // files really were rewritten flat (a fresh strict open agrees).
+    let (status, after) =
+        client_request(&addr, "POST", "/v1/query", &request_body(&train, 0)).unwrap();
+    assert_eq!(status, 200, "{after}");
+    assert_eq!(wire_fingerprint(&after), expected);
+    let reopened = ShardSet::open(&paths).unwrap();
+    for shard in reopened.shards() {
+        assert_eq!(shard.snapshot().append_groups(), 0);
+    }
 
     server.shutdown();
     cleanup(&paths);

@@ -57,6 +57,14 @@ pub enum StoreError {
     /// A structurally invalid encoding: unknown enum tag, impossible length,
     /// non-UTF-8 string bytes, and similar.
     Corrupt(String),
+    /// The target artifact is sealed (frozen by a seal-mode compaction) and
+    /// rejects the attempted mutation — appending to a sealed repository
+    /// file, for example. Distinct from [`StoreError::Corrupt`]: the file is
+    /// perfectly valid, the *operation* is what is disallowed.
+    Sealed {
+        /// What was attempted against the sealed artifact.
+        operation: &'static str,
+    },
 }
 
 impl StoreError {
@@ -98,6 +106,9 @@ impl fmt::Display for StoreError {
                 "unexpected section tag {found} (expected {expected})"
             ),
             Self::Corrupt(message) => write!(f, "corrupt store data: {message}"),
+            Self::Sealed { operation } => {
+                write!(f, "artifact is sealed: {operation} is not allowed")
+            }
         }
     }
 }

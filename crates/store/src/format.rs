@@ -32,10 +32,24 @@ pub const MAGIC: [u8; 4] = *b"JMIS";
 ///   without rewriting the file. v1 readers reject v2 files cleanly with
 ///   [`StoreError::UnsupportedVersion`]; v2 readers still accept v1 files
 ///   (whose candidates are simply not appendable).
-pub const FORMAT_VERSION: u16 = 2;
+/// * **v3** — the compactable layout: REPO_META gains the per-column
+///   distinct-sketch capacity and a flags byte (bit 0 = **sealed**), a
+///   FEATURE_DISTINCT section after PROFILES carries one bounded KMV
+///   distinct sketch per profiled column, and every APPEND_META payload
+///   carries the refreshed sketches alongside the refreshed profiles.
+///   Sealed files are flat (no append groups, no builder state) and reject
+///   appends with [`StoreError::Sealed`]. Earlier readers reject v3 files
+///   via the version check; v3 readers still accept v1 and v2 files.
+///
+/// The full byte-level specification lives in `docs/FORMAT.md`.
+pub const FORMAT_VERSION: u16 = 3;
 
 /// The last pre-append format version (see [`FORMAT_VERSION`]).
 pub const FORMAT_VERSION_V1: u16 = 1;
+
+/// The last pre-compaction format version — appendable, but without
+/// per-column distinct sketches or the sealed flag (see [`FORMAT_VERSION`]).
+pub const FORMAT_VERSION_V2: u16 = 2;
 
 /// What a store file holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -47,6 +47,12 @@ pub enum TableError {
     /// ingesting into, or materializing a full join from, a sketch-only
     /// repository loaded from disk (which holds no raw tables).
     Unsupported(String),
+    /// The target repository has been sealed (frozen, its incremental state
+    /// dropped) and rejects further ingest. Distinct from
+    /// [`TableError::Unsupported`] so callers can tell "this repository was
+    /// deliberately frozen" from "this repository never supported the
+    /// operation".
+    Sealed(String),
 }
 
 impl fmt::Display for TableError {
@@ -84,6 +90,7 @@ impl fmt::Display for TableError {
                 )
             }
             Self::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            Self::Sealed(msg) => write!(f, "repository is sealed: {msg}"),
         }
     }
 }

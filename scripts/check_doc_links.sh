@@ -3,10 +3,13 @@
 #
 # Scans every tracked *.md file for relative markdown links — `[text](path)`,
 # optionally with a `#fragment` — and fails if the target file or directory
-# does not exist. External links (http/https/mailto) and pure in-page
-# fragments (`#section`) are skipped: this gate is about files moving out
-# from under the docs, which is the failure mode a refactor-heavy repo
-# actually hits.
+# does not exist, or if a `#fragment` names no heading in the target file.
+# Fragments are resolved the way GitHub slugs headings: lowercase, punctuation
+# stripped (keeping alphanumerics, spaces, hyphens, underscores), spaces to
+# hyphens, and `-N` suffixes for duplicate headings. External links
+# (http/https/mailto) are skipped: this gate is about files and sections
+# moving out from under the docs, which is the failure mode a refactor-heavy
+# repo actually hits.
 #
 # Usage: scripts/check_doc_links.sh   (from the repo root; CI's docs job runs it)
 set -euo pipefail
@@ -15,9 +18,31 @@ cd "$(dirname "$0")/.."
 
 status=0
 checked=0
+anchors_checked=0
 
 # Tracked markdown only: temp files and build output are not docs.
 files=$(git ls-files '*.md')
+
+# GitHub-style heading slugs of a markdown file, one per line. Headings
+# inside fenced code blocks do not anchor; duplicate headings get -1, -2, …
+heading_slugs() {
+    awk '
+        /^(```|~~~)/ { fence = !fence; next }
+        fence { next }
+        /^#+[ \t]/ {
+            depth = match($0, /[^#]/) - 1
+            if (depth < 1 || depth > 6) next
+            sub(/^#+[ \t]+/, "")
+            sub(/[ \t]+#*[ \t]*$/, "")
+            slug = tolower($0)
+            gsub(/`/, "", slug)
+            gsub(/[^a-z0-9 _-]/, "", slug)
+            gsub(/ /, "-", slug)
+            if (seen[slug]++) slug = slug "-" (seen[slug] - 1)
+            print slug
+        }
+    ' "$1"
+}
 
 for file in $files; do
     dir=$(dirname "$file")
@@ -27,18 +52,44 @@ for file in $files; do
         sed -E 's/^\[[^][]*\]\(//; s/\)$//') || true
     for link in $links; do
         case "$link" in
-        http://* | https://* | mailto:* | \#*) continue ;;
+        http://* | https://* | mailto:*) continue ;;
         esac
         target=${link%%#*}
-        [ -n "$target" ] || continue
-        # Relative to the containing file, like a markdown renderer resolves it.
-        if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+        fragment=""
+        case "$link" in
+        *\#*) fragment=${link#*#} ;;
+        esac
+
+        # Resolve the target file: an in-page fragment anchors the containing
+        # file; a path resolves relative to it (or the repo root).
+        if [ -z "$target" ]; then
+            resolved=$file
+        elif [ -e "$dir/$target" ]; then
+            resolved="$dir/$target"
+        elif [ -e "$target" ]; then
+            resolved=$target
+        else
             echo "dead link in $file: ($link)" >&2
             status=1
+            checked=$((checked + 1))
+            continue
         fi
         checked=$((checked + 1))
+
+        # Validate the fragment against the target's heading slugs.
+        if [ -n "$fragment" ] && [ -f "$resolved" ]; then
+            case "$resolved" in
+            *.md)
+                if ! heading_slugs "$resolved" | grep -qxF "$fragment"; then
+                    echo "dead anchor in $file: ($link) — no heading slugs to #$fragment in $resolved" >&2
+                    status=1
+                fi
+                anchors_checked=$((anchors_checked + 1))
+                ;;
+            esac
+        fi
     done
 done
 
-echo "check_doc_links: $checked relative link(s) checked across $(echo "$files" | wc -w) markdown file(s)"
+echo "check_doc_links: $checked relative link(s) ($anchors_checked anchor(s)) checked across $(echo "$files" | wc -w) markdown file(s)"
 exit $status

@@ -160,31 +160,46 @@ fn corrupt_append_section_is_a_typed_error_never_a_panic() {
 
 #[test]
 fn v1_files_still_load_but_reject_appends() {
-    // Synthesize a v1 artifact from a v2 one: drop the CANDIDATE_STATE
-    // sections and patch the header version. This is byte-for-byte what the
-    // PR 3 format wrote.
+    // Synthesize a v1 artifact from a v3 one: strip the v3 REPO_META trailer
+    // (distinct-sketch capacity + flags byte), drop the FEATURE_DISTINCT and
+    // CANDIDATE_STATE sections, and patch the header version. This is
+    // byte-for-byte what the PR 3 format wrote.
     let full = corpus_table("cand", 200);
     let repo = repo_with(SketchKind::Tupsk, vec![full.clone()]);
-    let mut v2 = Vec::new();
-    repo.save_to(&mut v2).unwrap();
+    let mut v3 = Vec::new();
+    repo.save_to(&mut v3).unwrap();
 
-    let mut v1 = v2[..8].to_vec();
+    let mut v1 = v3[..8].to_vec();
     v1[4..6].copy_from_slice(&1u16.to_le_bytes());
     let mut pos = 8usize;
     use joinmi::discovery::persist::{
-        SECTION_CANDIDATE, SECTION_CANDIDATE_STATE, SECTION_INDEX, SECTION_PROFILES,
-        SECTION_REPO_META,
+        SECTION_CANDIDATE, SECTION_CANDIDATE_STATE, SECTION_FEATURE_DISTINCT, SECTION_INDEX,
+        SECTION_PROFILES, SECTION_REPO_META,
     };
-    for tag in [SECTION_REPO_META, SECTION_PROFILES, SECTION_INDEX] {
-        let start = pos;
-        joinmi::store::scan_section(&v2, &mut pos, tag).unwrap();
-        v1.extend_from_slice(&v2[start..pos]);
+    // REPO_META: re-encode the payload without the 9-byte v3 trailer
+    // (u64 distinct-sketch capacity + u8 flags).
+    {
+        let payload = joinmi::store::scan_section(&v3, &mut pos, SECTION_REPO_META).unwrap();
+        let stripped = &v3[payload.start..payload.end - 9];
+        let mut section = joinmi::store::SectionBuilder::new();
+        section.writer().write_raw(stripped).unwrap();
+        let mut w = joinmi::store::Writer::new(&mut v1);
+        section.finish(SECTION_REPO_META, &mut w).unwrap();
     }
-    while pos < v2.len() {
+    {
         let start = pos;
-        joinmi::store::scan_section(&v2, &mut pos, SECTION_CANDIDATE).unwrap();
-        v1.extend_from_slice(&v2[start..pos]);
-        joinmi::store::scan_section(&v2, &mut pos, SECTION_CANDIDATE_STATE).unwrap();
+        joinmi::store::scan_section(&v3, &mut pos, SECTION_PROFILES).unwrap();
+        v1.extend_from_slice(&v3[start..pos]);
+        joinmi::store::scan_section(&v3, &mut pos, SECTION_FEATURE_DISTINCT).unwrap();
+        let start = pos;
+        joinmi::store::scan_section(&v3, &mut pos, SECTION_INDEX).unwrap();
+        v1.extend_from_slice(&v3[start..pos]);
+    }
+    while pos < v3.len() {
+        let start = pos;
+        joinmi::store::scan_section(&v3, &mut pos, SECTION_CANDIDATE).unwrap();
+        v1.extend_from_slice(&v3[start..pos]);
+        joinmi::store::scan_section(&v3, &mut pos, SECTION_CANDIDATE_STATE).unwrap();
     }
 
     let mut loaded = TableRepository::load_from(v1.as_slice()).unwrap();

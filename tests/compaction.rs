@@ -1,0 +1,129 @@
+//! Compaction equivalence, end to end: folding append groups into a fresh
+//! base — at any point of an arbitrary append history, in either mode — must
+//! never change a query ranking by a single bit, and sealing must turn every
+//! further ingest into a typed error.
+
+use joinmi::discovery::persist::{CompactMode, CompactionReport};
+use joinmi::discovery::RepositoryConfig;
+use joinmi::prelude::*;
+use joinmi::store::StoreError;
+use joinmi::synth::TaxiScenario;
+use proptest::prelude::*;
+
+fn scenario_query(scenario: &TaxiScenario) -> RelationshipQuery {
+    RelationshipQuery::new(scenario.taxi.clone(), "zipcode", "num_trips")
+        .with_sketch(SketchKind::Tupsk, SketchConfig::new(128, 3))
+        .with_min_join_size(8)
+}
+
+fn fingerprint(results: &[joinmi::discovery::RankedCandidate]) -> Vec<(usize, u64, usize, usize)> {
+    results
+        .iter()
+        .map(|r| {
+            (
+                r.candidate_index,
+                r.mi.to_bits(),
+                r.sketch_join_size,
+                r.key_overlap,
+            )
+        })
+        .collect()
+}
+
+fn rank_file(path: &std::path::Path, query: &RelationshipQuery) -> Vec<(usize, u64, usize, usize)> {
+    let snapshot = TableRepository::load_mmap_like(path).unwrap();
+    fingerprint(&query.execute(&snapshot).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole invariant: `compact(append*(repo))` answers queries
+    /// bit-for-bit identically to the uncompacted append history, for
+    /// arbitrary interleavings of appends and compactions.
+    #[test]
+    fn compact_is_invisible_to_queries_under_arbitrary_interleavings(
+        base_frac in 20usize..70,
+        cuts in proptest::collection::vec(0usize..100, 1..4),
+        compact_after in proptest::collection::vec(any::<bool>(), 4),
+        seal_at_end in any::<bool>(),
+    ) {
+        let scenario = TaxiScenario::generate(30, 12, 3);
+        let query = scenario_query(&scenario);
+        let config = RepositoryConfig {
+            sketch: SketchConfig::new(128, 3),
+            ..RepositoryConfig::default()
+        };
+
+        // Split the demographics table into a base prefix plus 1–3 chunks.
+        let demo = scenario.demographics.clone();
+        let rows = demo.num_rows();
+        let mut offsets: Vec<usize> = cuts.iter().map(|c| {
+            let base = rows * base_frac / 100;
+            base + (rows - base) * (c % 100) / 100
+        }).collect();
+        offsets.push(rows * base_frac / 100);
+        offsets.push(rows);
+        offsets.sort_unstable();
+
+        let dir = std::env::temp_dir();
+        let tag = format!("{}-{:?}", std::process::id(), std::thread::current().id());
+        let plain = dir.join(format!("joinmi-ct-plain-{tag}.jmi"));
+        let compacted = dir.join(format!("joinmi-ct-compacted-{tag}.jmi"));
+
+        // Ingest the base corpus and persist it twice: one file is left to
+        // accumulate append groups, the other is compacted mid-history.
+        let mut repo = TableRepository::new(config);
+        repo.add_table(scenario.weather.clone()).unwrap();
+        repo.add_table(demo.slice_rows(0..offsets[0])).unwrap();
+        repo.add_table(scenario.inspections.clone()).unwrap();
+        repo.save(&plain).unwrap();
+        repo.save(&compacted).unwrap();
+
+        let mut on_plain = TableRepository::load(&plain).unwrap();
+        let mut on_compacted = TableRepository::load(&compacted).unwrap();
+        for (step, window) in offsets.windows(2).enumerate() {
+            let chunk = demo.slice_rows(window[0]..window[1]);
+            if chunk.num_rows() > 0 {
+                on_plain.append_rows(&chunk).unwrap();
+                on_plain.append_to(&plain).unwrap();
+                on_compacted.append_rows(&chunk).unwrap();
+                on_compacted.append_to(&compacted).unwrap();
+            }
+            if compact_after[step.min(compact_after.len() - 1)] {
+                let report: CompactionReport =
+                    TableRepository::compact(&compacted, CompactMode::Preserve).unwrap();
+                prop_assert!(!report.sealed);
+                // The in-memory handle predates the rewrite; re-open it the
+                // way a daemon would after a swap.
+                on_compacted = TableRepository::load(&compacted).unwrap();
+            }
+        }
+
+        let expected = rank_file(&plain, &query);
+        prop_assert_eq!(&rank_file(&compacted, &query), &expected);
+
+        // A final compaction — optionally sealing — still changes nothing.
+        let mode = if seal_at_end { CompactMode::Seal } else { CompactMode::Preserve };
+        let report = TableRepository::compact(&compacted, mode).unwrap();
+        prop_assert_eq!(report.sealed, seal_at_end);
+        prop_assert_eq!(&rank_file(&compacted, &query), &expected);
+
+        if seal_at_end {
+            // Sealed repositories reject appends with typed errors, in
+            // memory and on disk.
+            let mut sealed = TableRepository::load(&compacted).unwrap();
+            let chunk = demo.slice_rows(0..1);
+            let err = sealed.append_rows(&chunk).unwrap_err();
+            prop_assert!(matches!(err, joinmi::table::TableError::Sealed(_)));
+            // A stale unsealed handle can still append in memory, but the
+            // on-disk append against the sealed file is refused.
+            on_compacted.append_rows(&chunk).unwrap();
+            let err = on_compacted.append_to(&compacted).unwrap_err();
+            prop_assert!(matches!(err, StoreError::Sealed { .. }));
+        }
+
+        std::fs::remove_file(&plain).unwrap();
+        std::fs::remove_file(&compacted).unwrap();
+    }
+}
