@@ -8,6 +8,8 @@
 //! joinmi_bench compact --repo repo.jmi [--seal]     # fold the append log; --seal drops state
 //! joinmi_bench compare --baseline A.json --current B.json [--max-regression 0.25]
 //!                                                   # CI bench-regression gate
+//! joinmi_bench chaos   [--rows N] [--seed N] [--max-cases N]
+//!                                                   # fault-injection durability sweep
 //! ```
 //!
 //! Benchmark mode runs a compressed version of the six criterion bench
@@ -50,6 +52,7 @@ fn main() {
         Some("compact") => cmd_compact(&args[1..]),
         Some("serve-check") => cmd_serve_check(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         // A non-flag first argument that is not a known subcommand is a typo
         // (e.g. `ingets`): error out instead of silently running the full
         // benchmark suite and exiting 0 with the real work undone.
@@ -71,6 +74,7 @@ fn print_usage() {
     eprintln!("       joinmi_bench compact --repo REPO [--seal]");
     eprintln!("       joinmi_bench serve-check --url HOST:PORT [--quick]");
     eprintln!("       joinmi_bench compare --baseline JSON --current JSON [--max-regression R]");
+    eprintln!("       joinmi_bench chaos [--rows N] [--seed N] [--max-cases N]");
     eprintln!();
     eprintln!("  --quick   small iteration counts / workloads (seconds, not minutes)");
     eprintln!("  --json    write benchmark results to PATH (default BENCH_PR8.json)");
@@ -79,6 +83,8 @@ fn print_usage() {
     eprintln!("  --seal    also drop builder state; the compacted file rejects future appends");
     eprintln!("  --shards  split the corpus contiguously into PREFIX-shard-I.jmi files");
     eprintln!("  --url     address of a running joinmi_serve daemon to check against");
+    eprintln!("  chaos     fault-injection sweep: fail/corrupt every IO site of append_to");
+    eprintln!("            and compact, asserting recovery to a pre- or post-op ranking");
 }
 
 /// Value of `--flag VALUE` in an argument list.
@@ -1175,4 +1181,292 @@ fn cache_workload(quick: bool, results: &mut Vec<(String, f64)>) {
             0.0
         },
     ));
+}
+
+// ---------------------------------------------------------------------------
+// chaos: the deterministic fault-injection sweep.
+// ---------------------------------------------------------------------------
+
+/// Ranking fingerprint type shared by the chaos legs.
+type Fp = Vec<(usize, u64, usize, usize)>;
+
+/// The mutation under chaos: extend in place, or fold the append log.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ChaosOp {
+    Append,
+    Compact,
+}
+
+impl ChaosOp {
+    fn name(self) -> &'static str {
+        match self {
+            ChaosOp::Append => "append_to",
+            ChaosOp::Compact => "compact",
+        }
+    }
+}
+
+/// Sweeps every injectable IO site of `append_to` and `compact` — failing
+/// the Nth create/write/fsync/rename/set-len/read, and silently flipping a
+/// bit of the Nth written or read buffer — and asserts the durability
+/// contract from `docs/FORMAT.md`: after the fault, reopening the file
+/// (running `recover_truncated` first if the plain open refuses it) yields a
+/// ranking bit-for-bit equal to either the pre-operation or post-operation
+/// state. Never a hybrid, never silent corruption.
+///
+/// The sweep is deterministic: an observe pass counts the IO sites each
+/// operation performs, then every site (sampled evenly above `--max-cases`
+/// per site class, with the drop logged) is failed in its own run against a
+/// pristine copy. `--seed` varies only which bit the flip legs corrupt.
+/// This is the chaos leg of the `persistence-roundtrip` CI job.
+fn cmd_chaos(args: &[String]) -> i32 {
+    use joinmi_store::fault::{self, FaultAction, FaultKind, FaultPlan, Trigger};
+
+    let rows: usize = match flag_value(args, "--rows").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(400),
+        Err(_) => {
+            eprintln!("chaos: --rows must be a number");
+            return 2;
+        }
+    };
+    let seed: u64 = match flag_value(args, "--seed").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(0xC4A0_5EED),
+        Err(_) => {
+            eprintln!("chaos: --seed must be a number");
+            return 2;
+        }
+    };
+    let max_cases: usize = match flag_value(args, "--max-cases").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(6).max(2),
+        Err(_) => {
+            eprintln!("chaos: --max-cases must be a number");
+            return 2;
+        }
+    };
+
+    let dir = std::env::temp_dir().join(format!("joinmi-chaos-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("chaos: cannot create workspace {}: {e}", dir.display());
+        return 1;
+    }
+    let base_path = dir.join("base.jmi");
+    let appended_path = dir.join("appended.jmi");
+    let work_path = dir.join("work.jmi");
+    let query = corpus::standard_query(rows);
+    let tail = corpus::tail_tables(rows);
+
+    let fingerprint_of = |path: &std::path::Path| -> Result<Fp, String> {
+        let snapshot = TableRepository::load_mmap_like(path)
+            .map_err(|e| format!("open {}: {e}", path.display()))?;
+        let ranking = query
+            .execute(&snapshot)
+            .map_err(|e| format!("query {}: {e}", path.display()))?;
+        Ok(corpus::ranking_fingerprint(&ranking))
+    };
+
+    // Pristine pre/post states for both operations, built with no faults
+    // armed. Compaction preserves the ranking, so its pre and post
+    // fingerprints coincide — the sweep still checks membership so a hybrid
+    // (partially folded) file cannot hide behind that coincidence.
+    let mut base = TableRepository::new(corpus::repo_config());
+    if let Err(e) = base.add_tables(corpus::base_tables(rows)) {
+        eprintln!("chaos: building the base state failed: {e}");
+        return 1;
+    }
+    if let Err(e) = base.save(&base_path) {
+        eprintln!("chaos: saving the base state failed: {e}");
+        return 1;
+    }
+    let fp_base = match fingerprint_of(&base_path) {
+        Ok(fp) => fp,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = std::fs::copy(&base_path, &appended_path) {
+        eprintln!("chaos: staging the appended state failed: {e}");
+        return 1;
+    }
+    let append_once = |path: &std::path::Path| -> Result<(), String> {
+        let mut repo = TableRepository::load(path).map_err(|e| e.to_string())?;
+        repo.append_tables(&tail).map_err(|e| e.to_string())?;
+        repo.append_to(path).map_err(|e| e.to_string())
+    };
+    if let Err(e) = append_once(&appended_path) {
+        eprintln!("chaos: building the appended state failed: {e}");
+        return 1;
+    }
+    let fp_appended = match fingerprint_of(&appended_path) {
+        Ok(fp) => fp,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "chaos: corpus {rows} rows/table, base {} results, appended {} results, seed {seed:#x}",
+        fp_base.len(),
+        fp_appended.len()
+    );
+
+    // One faulted run: copy the pristine pre-state, do the unfaulted setup
+    // (loading must not eat the injected fault), arm, mutate, disarm.
+    let run_op = |op: ChaosOp, plan: FaultPlan| -> (Result<(), String>, fault::FaultStats) {
+        let _ = std::fs::remove_file(&work_path);
+        match op {
+            ChaosOp::Append => {
+                std::fs::copy(&base_path, &work_path).expect("staging the work file");
+                let mut repo = TableRepository::load(&work_path).expect("pristine base must load");
+                repo.append_tables(&tail).expect("in-memory append");
+                let guard = fault::arm(plan);
+                let result = repo.append_to(&work_path).map_err(|e| e.to_string());
+                (result, guard.stats())
+            }
+            ChaosOp::Compact => {
+                std::fs::copy(&appended_path, &work_path).expect("staging the work file");
+                let guard = fault::arm(plan);
+                let result =
+                    TableRepository::compact(&work_path, joinmi_discovery::CompactMode::Preserve)
+                        .map(|_| ())
+                        .map_err(|e| e.to_string());
+                (result, guard.stats())
+            }
+        }
+    };
+
+    // The invariant: the file reopens — directly, or after one
+    // `recover_truncated` pass — to exactly the pre- or post-op ranking.
+    let recovered_fingerprint = |op: ChaosOp| -> Result<Fp, String> {
+        if let Ok(fp) = fingerprint_of(&work_path) {
+            return Ok(fp);
+        }
+        TableRepository::recover_truncated(&work_path)
+            .map_err(|e| format!("{}: recover_truncated failed: {e}", op.name()))?;
+        fingerprint_of(&work_path)
+            .map_err(|e| format!("{}: reopen after recovery failed: {e}", op.name()))
+    };
+
+    let sample = |count: u64| -> Vec<u64> {
+        if count as usize <= max_cases {
+            (0..count).collect()
+        } else {
+            let mut picked: Vec<u64> = (0..max_cases)
+                .map(|i| (i as u64) * (count - 1) / (max_cases as u64 - 1))
+                .collect();
+            picked.dedup();
+            picked
+        }
+    };
+
+    let mut cases = 0usize;
+    let mut failures = 0usize;
+    for op in [ChaosOp::Append, ChaosOp::Compact] {
+        let (pre, post) = match op {
+            ChaosOp::Append => (&fp_base, &fp_appended),
+            ChaosOp::Compact => (&fp_appended, &fp_appended),
+        };
+
+        // Observe pass: count the operation's IO sites with an empty plan.
+        let (result, stats) = run_op(op, FaultPlan::observe());
+        if let Err(e) = result {
+            eprintln!("chaos: {} observe pass failed: {e}", op.name());
+            return 1;
+        }
+        let kinds = [
+            FaultKind::Create,
+            FaultKind::Write,
+            FaultKind::Fsync,
+            FaultKind::Rename,
+            FaultKind::SetLen,
+            FaultKind::Read,
+        ];
+        if stats.count(FaultKind::Write) == 0 || stats.count(FaultKind::Fsync) == 0 {
+            eprintln!(
+                "chaos: {} observe pass saw no writes or no fsyncs — the fault seam is \
+                 not wired through this path",
+                op.name()
+            );
+            return 1;
+        }
+
+        for kind in kinds {
+            let count = stats.count(kind);
+            if count == 0 {
+                continue;
+            }
+            // Error legs for every kind; silent-corruption legs where the
+            // operation carries a buffer to flip.
+            let mut legs: Vec<(&str, FaultAction)> = vec![("fail", FaultAction::Error)];
+            if matches!(kind, FaultKind::Write | FaultKind::Read) {
+                legs.push(("flip", FaultAction::FlipBit(0)));
+            }
+            for (label, action) in legs {
+                let picked = sample(count);
+                if (picked.len() as u64) < count {
+                    println!(
+                        "chaos: {} {kind:?}/{label}: {count} sites, sampling {} \
+                         (cap --max-cases {max_cases})",
+                        op.name(),
+                        picked.len()
+                    );
+                }
+                for nth in picked {
+                    let action = match action {
+                        // Which bit the flip corrupts is the only seeded
+                        // choice: everything else in the sweep is exhaustive.
+                        FaultAction::FlipBit(_) => FaultAction::FlipBit(
+                            joinmi_hash::SplitMix64::mix(seed ^ nth.wrapping_mul(0x9E37_79B9)),
+                        ),
+                        other => other,
+                    };
+                    let plan = FaultPlan::observe().with(Trigger {
+                        kind,
+                        name: None,
+                        nth,
+                        action,
+                    });
+                    let (result, _) = run_op(op, plan);
+                    cases += 1;
+                    if matches!(action, FaultAction::Error) && result.is_ok() {
+                        eprintln!(
+                            "chaos: FAIL {} {kind:?}/fail #{nth}: the injected error was \
+                             swallowed (operation reported success)",
+                            op.name()
+                        );
+                        failures += 1;
+                        continue;
+                    }
+                    match recovered_fingerprint(op) {
+                        Ok(fp) if &fp == pre || &fp == post => {}
+                        Ok(fp) => {
+                            eprintln!(
+                                "chaos: FAIL {} {kind:?}/{label} #{nth}: reopened to a hybrid \
+                                 ranking ({} results; pre {} / post {})",
+                                op.name(),
+                                fp.len(),
+                                pre.len(),
+                                post.len()
+                            );
+                            failures += 1;
+                        }
+                        Err(e) => {
+                            eprintln!("chaos: FAIL {} {kind:?}/{label} #{nth}: {e}", op.name());
+                            failures += 1;
+                        }
+                    }
+                }
+            }
+        }
+        println!("chaos: {} sweep complete", op.name());
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    if failures > 0 {
+        eprintln!("chaos: {failures} of {cases} cases violated the pre-or-post contract");
+        1
+    } else {
+        println!("chaos: OK — {cases} injected faults, every reopen was pre- or post-op exactly");
+        0
+    }
 }

@@ -653,14 +653,21 @@ impl TableRepository {
         Ok(())
     }
 
-    /// Saves the repository to a file (see [`Self::save_to`]). The encoding
-    /// is canonical: saving a loaded repository reproduces the bytes.
+    /// Saves the repository to a file (see [`Self::save_to`]), flushed and
+    /// fsynced before returning. The encoding is canonical: saving a loaded
+    /// repository reproduces the bytes. All filesystem operations route
+    /// through the [`joinmi_store::fault`] seam, so chaos sweeps can fail or
+    /// corrupt any individual write.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
-        let file = std::fs::File::create(path)?;
+        let file = joinmi_store::fault::create(path)?;
         let mut buffered = std::io::BufWriter::new(file);
         self.save_to(&mut buffered)?;
         use std::io::Write as _;
         buffered.flush()?;
+        let file = buffered
+            .into_inner()
+            .map_err(|e| StoreError::Io(e.into_error()))?;
+        file.sync_all()?;
         Ok(())
     }
 
@@ -675,7 +682,9 @@ impl TableRepository {
     /// changed. On success the pending log is cleared, so consecutive
     /// appends produce consecutive groups.
     ///
-    /// Crash semantics: a write torn mid-group leaves the base artifact and
+    /// Crash semantics: the group is flushed **and fsynced** before the
+    /// pending log is cleared, so a successful return means the group is
+    /// durable. A write torn mid-group leaves the base artifact and
     /// all previously completed groups byte-identical on disk, and the next
     /// open reports a typed error for the torn tail rather than silently
     /// dropping it — open cannot distinguish "crash mid-append" from
@@ -689,7 +698,7 @@ impl TableRepository {
 
         // Light compatibility check against the target's header + meta.
         {
-            let file = std::fs::File::open(&path)?;
+            let file = joinmi_store::fault::open_read(&path)?;
             let mut r = Reader::new(std::io::BufReader::new(file));
             let version = read_header(&mut r, ArtifactKind::Repository)?;
             if version < 3 {
@@ -718,7 +727,7 @@ impl TableRepository {
             }
         }
 
-        let file = std::fs::OpenOptions::new().append(true).open(&path)?;
+        let file = joinmi_store::fault::open_append(&path)?;
         let mut w = Writer::new(std::io::BufWriter::new(file));
 
         let dirty: Vec<usize> = self.pending().dirty.iter().copied().collect();
@@ -746,6 +755,12 @@ impl TableRepository {
         let mut buffered = w.into_inner();
         use std::io::Write as _;
         buffered.flush()?;
+        // Fsync before declaring the group durable: the closing INDEX_DELTA
+        // section is the commit point only once it is actually on disk.
+        let file = buffered
+            .into_inner()
+            .map_err(|e| StoreError::Io(e.into_error()))?;
+        file.sync_all()?;
         self.clear_pending();
         Ok(())
     }
@@ -773,7 +788,7 @@ impl TableRepository {
     /// verified immediately, and candidate sketches are decoded lazily on
     /// first access.
     pub fn load_mmap_like<P: AsRef<Path>>(path: P) -> Result<RepositorySnapshot> {
-        RepositorySnapshot::from_bytes(std::fs::read(path)?)
+        RepositorySnapshot::from_bytes(joinmi_store::fault::read(path)?)
     }
 
     /// Repairs a repository file whose last append group was torn by a crash
@@ -787,38 +802,95 @@ impl TableRepository {
     /// daemon bringing a shard online) calls this to resolve the ambiguity
     /// in favour of "crash" and shed the tail.
     ///
-    /// Two safety properties beyond the structural scan in
+    /// Safety properties beyond the structural scan in
     /// [`joinmi_store::recover_truncated`]:
     ///
     /// * the recovered prefix is fully **opened as a repository snapshot**
-    ///   before the file is touched — a structurally plausible boundary whose
-    ///   payload does not decode leaves the file unmodified and returns the
-    ///   open error;
+    ///   before the file is touched — the boundary the truncation commits to
+    ///   always decodes, never just "looks structurally plausible";
+    /// * the structural scan is not trusted to declare *health* either: the
+    ///   section payload checksum does not cover the frame (tag + length), so
+    ///   a bit flipped in a section **tag** leaves a file the scan walks
+    ///   cleanly but the strict open refuses. When that happens the repair
+    ///   falls back to a semantic search — every section end is a candidate
+    ///   boundary (framing survives tag damage), and only real durable
+    ///   boundaries (end of base, end of a complete group) actually open —
+    ///   and truncates to the longest prefix that opens;
     /// * damage in the base payload (before any append group) is never
-    ///   repairable and returns the underlying scan error — repair can only
-    ///   shed appended history, never base data.
+    ///   repairable and returns a typed error — repair can only shed
+    ///   appended history, never base data.
     ///
     /// Idempotent: repairing an already-valid file is a no-op reporting zero
     /// dropped bytes.
     pub fn recover_truncated<P: AsRef<Path>>(path: P) -> Result<RecoveryReport> {
-        let buf = std::fs::read(&path)?;
+        let buf = joinmi_store::fault::read(&path)?;
         let report = joinmi_store::scan_recoverable(
             &buf,
             ArtifactKind::Repository,
             REPOSITORY_GROUP_GRAMMAR,
         )?;
-        if report.is_torn() {
-            let prefix_len =
-                usize::try_from(report.recovered_len).expect("recovered_len came from a usize");
-            // Verify-before-truncate: the boundary is structural; make sure
-            // the prefix also decodes as a repository before shrinking the
-            // file.
-            RepositorySnapshot::from_bytes(buf[..prefix_len].to_vec())?;
-            let file = std::fs::OpenOptions::new().write(true).open(&path)?;
-            file.set_len(report.recovered_len)?;
+        let truncate_to = |len: u64| -> Result<()> {
+            let file = joinmi_store::fault::open_rw(&path)?;
+            file.set_len(len)?;
             file.sync_all()?;
+            Ok(())
+        };
+
+        // Verify-before-trust: whatever boundary the structural scan chose
+        // must decode as a repository before the file is shrunk to it — and
+        // a "healthy" verdict must decode too, or it is not healthy.
+        let prefix_len =
+            usize::try_from(report.recovered_len).expect("recovered_len came from a usize");
+        if RepositorySnapshot::from_bytes(buf[..prefix_len].to_vec()).is_ok() {
+            if report.is_torn() {
+                truncate_to(report.recovered_len)?;
+            }
+            return Ok(report);
         }
-        Ok(report)
+
+        // Semantic fallback: the structural boundary does not open (e.g. a
+        // checksum-valid flip in a section tag). Collect every section-end
+        // offset — framing (length + payload checksum) survives tag damage —
+        // and truncate to the longest prefix that opens. Prefixes ending
+        // mid-group refuse to open by construction, so only durable
+        // boundaries can win.
+        let mut section_ends = Vec::new();
+        let mut pos = 8usize;
+        while pos < buf.len() && joinmi_store::scan_section_any(&buf, &mut pos).is_ok() {
+            section_ends.push(pos);
+        }
+        for &end in section_ends.iter().rev() {
+            if end as u64 == report.recovered_len
+                || RepositorySnapshot::from_bytes(buf[..end].to_vec()).is_err()
+            {
+                continue;
+            }
+            truncate_to(end as u64)?;
+            // Rescan the surviving prefix so the report's group count is
+            // exact; the prefix opens, so the clean scan cannot fail.
+            let prefix = joinmi_store::scan_recoverable(
+                &buf[..end],
+                ArtifactKind::Repository,
+                REPOSITORY_GROUP_GRAMMAR,
+            )?;
+            return Ok(RecoveryReport {
+                file_len: buf.len() as u64,
+                recovered_len: end as u64,
+                complete_groups: prefix.complete_groups,
+                dropped_bytes: buf.len() as u64 - end as u64,
+                dropped_sections: section_ends.iter().filter(|&&e| e > end).count(),
+                torn_error: Some(
+                    "section stream is structurally clean but does not decode \
+                     (frame damage, e.g. a flipped section tag); recovered to the \
+                     longest prefix that opens"
+                        .to_owned(),
+                ),
+            });
+        }
+        Err(StoreError::corrupt(
+            "no prefix of the file opens as a repository; the damage precedes the last \
+             durable boundary",
+        ))
     }
 
     /// Rewrites a repository file in place, folding all accumulated append
@@ -832,14 +904,17 @@ impl TableRepository {
     /// canonical bytes); pre-v3 files are upgraded to v3.
     ///
     /// Crash semantics: the new image is written to a sibling temp file,
-    /// fsynced, then atomically renamed over the original — at every instant
-    /// the path holds either the complete old file or the complete new one,
-    /// so a crash mid-compaction never needs repair. Do not run concurrently
-    /// with [`Self::append_to`] on the same path: the rename would discard a
-    /// group appended after the compaction read its input.
+    /// fsynced, **read back and verified to open**, then atomically renamed
+    /// over the original — at every instant the path holds either the
+    /// complete old file or the complete new one, so a crash mid-compaction
+    /// never needs repair, and a write corrupted in flight (a flipped bit on
+    /// the way to the temp file) is caught before the rename and leaves the
+    /// original serving. Do not run concurrently with [`Self::append_to`] on
+    /// the same path: the rename would discard a group appended after the
+    /// compaction read its input.
     pub fn compact<P: AsRef<Path>>(path: P, mode: CompactMode) -> Result<CompactionReport> {
         let path = path.as_ref();
-        let buf = std::fs::read(path)?;
+        let buf = joinmi_store::fault::read(path)?;
         let bytes_before = buf.len() as u64;
         let snapshot = RepositorySnapshot::from_bytes(buf)?;
         let groups_folded = snapshot.append_groups();
@@ -852,7 +927,7 @@ impl TableRepository {
         tmp.push(".compact-tmp");
         let tmp = std::path::PathBuf::from(tmp);
         let write_result = (|| -> Result<u64> {
-            let file = std::fs::File::create(&tmp)?;
+            let file = joinmi_store::fault::create(&tmp)?;
             let mut buffered = std::io::BufWriter::new(file);
             repo.save_to(&mut buffered)?;
             use std::io::Write as _;
@@ -861,6 +936,12 @@ impl TableRepository {
                 .into_inner()
                 .map_err(|e| StoreError::Io(e.into_error()))?;
             file.sync_all()?;
+            // Verify-before-rename: re-read the temp image and require it to
+            // open as a repository. Corruption introduced between the
+            // in-memory encoding and the platters never replaces a healthy
+            // live file.
+            let written = joinmi_store::fault::read(&tmp)?;
+            RepositorySnapshot::from_bytes(written)?;
             Ok(file.metadata()?.len())
         })();
         let bytes_after = match write_result {
@@ -870,7 +951,7 @@ impl TableRepository {
                 return Err(e);
             }
         };
-        if let Err(e) = std::fs::rename(&tmp, path) {
+        if let Err(e) = joinmi_store::fault::rename(&tmp, path) {
             let _ = std::fs::remove_file(&tmp);
             return Err(StoreError::Io(e));
         }

@@ -1,12 +1,17 @@
 //! Production guardrails: per-query deadlines, an admission gate bounding
-//! in-flight queries, and a bounded LRU result cache keyed by query
-//! fingerprint **and** shard snapshot generation (so append epochs invalidate
-//! stale entries without any explicit flush).
+//! in-flight queries, a bounded LRU result cache keyed by query fingerprint
+//! **and** shard snapshot generation (so append epochs invalidate stale
+//! entries without any explicit flush), plus the failure-handling primitives
+//! — capped jittered exponential [`Backoff`] and the per-shard
+//! [`ShardHealth`] circuit breaker the daemon's quarantine/reopen loop runs
+//! on.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+use joinmi_hash::SplitMix64;
 
 use crate::wire::ShardedResult;
 
@@ -234,6 +239,210 @@ impl QueryCache {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Backoff
+// ---------------------------------------------------------------------------
+
+/// Capped, jittered, counted exponential backoff for background retries
+/// (quarantine reopens, failed compactions). The jitter is **deterministic**
+/// — a [`SplitMix64`] mix of the seed and the failure count — so tests and
+/// the chaos sweep replay identical schedules, while distinct seeds (one per
+/// shard) still de-correlate retry storms.
+#[derive(Debug)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    seed: u64,
+    failures: u64,
+    not_before: Option<Instant>,
+}
+
+impl Backoff {
+    /// Creates a backoff starting at `base_ms` (clamped to ≥ 1) and capped at
+    /// `cap_ms` per wait; `seed` keys the deterministic jitter.
+    #[must_use]
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Self {
+        let base_ms = base_ms.max(1);
+        Self {
+            base_ms,
+            cap_ms: cap_ms.max(base_ms),
+            seed,
+            failures: 0,
+            not_before: None,
+        }
+    }
+
+    /// Consecutive failures since the last [`Backoff::reset`].
+    #[must_use]
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Whether enough time has passed to try again. `true` before the first
+    /// failure.
+    #[must_use]
+    pub fn ready(&self) -> bool {
+        !self.not_before.is_some_and(|at| Instant::now() < at)
+    }
+
+    /// Records a failure: bumps the counter and pushes the next retry out by
+    /// [`Backoff::delay_ms`].
+    pub fn record_failure(&mut self) {
+        self.failures += 1;
+        self.not_before = Some(Instant::now() + Duration::from_millis(self.delay_ms()));
+    }
+
+    /// The wait imposed by the current failure count: `base · 2^(n−1)` capped
+    /// at `cap_ms`, plus up to 25% deterministic jitter (also capped). Pure —
+    /// the same counter and seed always produce the same delay.
+    #[must_use]
+    pub fn delay_ms(&self) -> u64 {
+        if self.failures == 0 {
+            return 0;
+        }
+        let exponent = (self.failures - 1).min(32) as u32;
+        let raw = self
+            .base_ms
+            .saturating_mul(1u64 << exponent)
+            .min(self.cap_ms);
+        // Jitter in [0, raw/4): mix(seed, failures) keeps it reproducible.
+        let mix = SplitMix64::mix(self.seed ^ SplitMix64::mix(self.failures));
+        let jitter = (raw / 4).saturating_mul(mix % 1024) / 1024;
+        raw.saturating_add(jitter).min(self.cap_ms)
+    }
+
+    /// Clears the failure count and the wait after a success.
+    pub fn reset(&mut self) {
+        self.failures = 0;
+        self.not_before = None;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard health (circuit breaker)
+// ---------------------------------------------------------------------------
+
+/// Per-shard circuit breaker: a quarantine flag the query path checks
+/// lock-free, lifetime failure counters surfaced on `GET /v1/shards`, and
+/// the two backoff schedules the guardian thread consults (reopening a
+/// quarantined shard, retrying a failed compaction).
+///
+/// Lifecycle: a decode/IO failure while scoring trips
+/// [`ShardHealth::quarantine`]; queries then skip the shard (partial or
+/// strict-500 per `allow_partial`); the guardian retries
+/// [`crate::shard::ShardSet::with_reloaded_shard`] on the reopen schedule and
+/// [`ShardHealth::restore`] puts the shard back in rotation.
+#[derive(Debug)]
+pub struct ShardHealth {
+    quarantined: AtomicBool,
+    failures: AtomicU64,
+    reopen_attempts: AtomicU64,
+    compact_failures: AtomicU64,
+    reopen: Mutex<Backoff>,
+    compact: Mutex<Backoff>,
+}
+
+impl ShardHealth {
+    /// Creates a healthy shard's breaker with both backoff schedules keyed by
+    /// `seed` (derive one seed per shard index).
+    #[must_use]
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Self {
+        Self {
+            quarantined: AtomicBool::new(false),
+            failures: AtomicU64::new(0),
+            reopen_attempts: AtomicU64::new(0),
+            compact_failures: AtomicU64::new(0),
+            reopen: Mutex::new(Backoff::new(base_ms, cap_ms, seed)),
+            compact: Mutex::new(Backoff::new(base_ms, cap_ms, SplitMix64::mix(seed))),
+        }
+    }
+
+    /// Whether the shard is currently out of rotation.
+    #[must_use]
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::SeqCst)
+    }
+
+    /// Trips the breaker: the shard leaves rotation and the first reopen
+    /// attempt is scheduled one backoff step out. Idempotent; every call
+    /// counts a failure.
+    pub fn quarantine(&self) {
+        self.failures.fetch_add(1, Ordering::SeqCst);
+        self.quarantined.store(true, Ordering::SeqCst);
+        self.lock_reopen().record_failure();
+    }
+
+    /// Puts the shard back in rotation and clears the reopen schedule.
+    pub fn restore(&self) {
+        self.quarantined.store(false, Ordering::SeqCst);
+        self.lock_reopen().reset();
+    }
+
+    /// Whether the reopen schedule allows an attempt right now.
+    #[must_use]
+    pub fn reopen_ready(&self) -> bool {
+        self.lock_reopen().ready()
+    }
+
+    /// Counts a reopen attempt (before trying, so `/v1/shards` shows stuck
+    /// reopens climbing).
+    pub fn record_reopen_attempt(&self) {
+        self.reopen_attempts.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records a failed reopen: the next attempt moves out exponentially.
+    pub fn reopen_failed(&self) {
+        self.lock_reopen().record_failure();
+    }
+
+    /// Whether the compaction-retry schedule allows an attempt right now.
+    #[must_use]
+    pub fn compact_ready(&self) -> bool {
+        self.lock_compact().ready()
+    }
+
+    /// Records a failed compaction; retries back off exponentially instead
+    /// of re-firing every poll.
+    pub fn compact_failed(&self) {
+        self.compact_failures.fetch_add(1, Ordering::SeqCst);
+        self.lock_compact().record_failure();
+    }
+
+    /// Clears the compaction-retry schedule after a successful compaction.
+    pub fn compact_succeeded(&self) {
+        self.lock_compact().reset();
+    }
+
+    /// Lifetime scoring/decode failures that tripped (or re-tripped) the
+    /// breaker.
+    #[must_use]
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::SeqCst)
+    }
+
+    /// Lifetime reopen attempts the guardian has made.
+    #[must_use]
+    pub fn reopen_attempts(&self) -> u64 {
+        self.reopen_attempts.load(Ordering::SeqCst)
+    }
+
+    /// Lifetime failed compactions of this shard.
+    #[must_use]
+    pub fn compact_failures(&self) -> u64 {
+        self.compact_failures.load(Ordering::SeqCst)
+    }
+
+    fn lock_reopen(&self) -> std::sync::MutexGuard<'_, Backoff> {
+        // A Backoff is a plain value; a panicked peer cannot leave it in a
+        // broken intermediate state, so poison is safe to strip.
+        self.reopen.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_compact(&self) -> std::sync::MutexGuard<'_, Backoff> {
+        self.compact.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,5 +532,80 @@ mod tests {
         cache.insert((1, 1, 0), entry());
         assert_eq!(cache.len(), 2);
         assert!(cache.get(&(2, 2, 0)).is_some());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_caps_and_jitters_deterministically() {
+        let mut b = Backoff::new(100, 2_000, 42);
+        assert!(b.ready(), "ready before any failure");
+        assert_eq!(b.delay_ms(), 0);
+
+        let mut delays = Vec::new();
+        for _ in 0..8 {
+            b.record_failure();
+            delays.push(b.delay_ms());
+        }
+        // Exponential base doubles until the cap; jitter adds at most 25%.
+        for (i, &d) in delays.iter().enumerate() {
+            let raw = (100u64 << i.min(32)).min(2_000);
+            assert!(d >= raw, "failure {i}: {d} below raw {raw}");
+            assert!(
+                d <= (raw + raw / 4).min(2_000),
+                "failure {i}: {d} over jitter bound"
+            );
+        }
+        assert!(
+            delays[5..].iter().all(|&d| d == 2_000),
+            "cap reached: {delays:?}"
+        );
+        assert!(!b.ready(), "a 2s wait is pending");
+        assert_eq!(b.failures(), 8);
+
+        // Deterministic: a fresh backoff with the same seed replays the
+        // exact same schedule; a different seed jitters differently.
+        let mut same = Backoff::new(100, 2_000, 42);
+        let mut other = Backoff::new(100, 2_000, 43);
+        let mut same_delays = Vec::new();
+        let mut other_delays = Vec::new();
+        for _ in 0..8 {
+            same.record_failure();
+            other.record_failure();
+            same_delays.push(same.delay_ms());
+            other_delays.push(other.delay_ms());
+        }
+        assert_eq!(delays, same_delays);
+        assert_ne!(delays, other_delays, "different seeds must de-correlate");
+
+        b.reset();
+        assert!(b.ready());
+        assert_eq!(b.failures(), 0);
+        assert_eq!(b.delay_ms(), 0);
+    }
+
+    #[test]
+    fn shard_health_quarantine_lifecycle() {
+        let health = ShardHealth::new(1, 10, 7);
+        assert!(!health.is_quarantined());
+        assert!(health.reopen_ready());
+
+        health.quarantine();
+        assert!(health.is_quarantined());
+        assert_eq!(health.failures(), 1);
+        // The first reopen is one backoff step out, not immediate.
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(health.reopen_ready(), "1ms base elapsed");
+        health.record_reopen_attempt();
+        health.reopen_failed();
+        assert_eq!(health.reopen_attempts(), 1);
+
+        health.restore();
+        assert!(!health.is_quarantined());
+        assert!(health.reopen_ready(), "restore clears the schedule");
+        assert_eq!(health.failures(), 1, "lifetime counter survives restore");
+
+        health.compact_failed();
+        assert_eq!(health.compact_failures(), 1);
+        health.compact_succeeded();
+        assert!(health.compact_ready());
     }
 }

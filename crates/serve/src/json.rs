@@ -327,6 +327,9 @@ impl Parser<'_> {
         }
     }
 
+    // Infallible expects below: the input arrived as a &str, so any
+    // non-ASCII tail is valid UTF-8 and non-empty at this point.
+    #[allow(clippy::expect_used)]
     fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -415,6 +418,8 @@ impl Parser<'_> {
         Ok(value)
     }
 
+    // Infallible expect: the consumed span holds only ASCII number bytes.
+    #[allow(clippy::expect_used)]
     fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {

@@ -36,9 +36,17 @@
 //!   `docs/SERVING.md`.
 //! * [`guard`] holds the production guardrails: a per-query wall-clock
 //!   [`guard::Deadline`], an [`guard::AdmissionGate`] bounding in-flight
-//!   queries (typed 429 rejection, never an unbounded queue), and a bounded
+//!   queries (typed 429 rejection, never an unbounded queue), a bounded
 //!   LRU [`guard::QueryCache`] keyed by (query fingerprint, snapshot
-//!   generation) so append epochs invalidate cached rankings implicitly.
+//!   generation) so append epochs invalidate cached rankings implicitly,
+//!   plus the failure-handling primitives — capped jittered [`guard::Backoff`]
+//!   and the per-shard [`guard::ShardHealth`] circuit breaker.
+//! * The daemon **degrades instead of dying**: workers isolate query panics
+//!   behind `catch_unwind` (typed 500, counter on `/v1/shards`), failing
+//!   shards are quarantined and served around (`allow_partial` opts into a
+//!   partial ranking; default is a strict 500) while a backoff loop reopens
+//!   them, and SIGTERM drains in-flight queries before exit. See
+//!   "Failure modes & degraded serving" in `docs/SERVING.md`.
 //! * [`json`] and [`http`] are hand-rolled minimal implementations over
 //!   `std`, like the rest of the workspace: the build is offline, so no
 //!   serde, no hyper — and nothing this protocol does not need.
@@ -53,6 +61,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// A daemon must not die on a recoverable edge: every unwrap/expect in this
+// crate is either converted to a typed error, poison-stripped
+// (`unwrap_or_else(PoisonError::into_inner)`), or explicitly allow-listed as
+// infallible at the call site. CI runs clippy with `-D warnings`, so these
+// are errors in practice.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod guard;
 pub mod http;
@@ -61,8 +76,8 @@ pub mod server;
 pub mod shard;
 pub mod wire;
 
-pub use guard::{AdmissionGate, Deadline, QueryCache};
+pub use guard::{AdmissionGate, Backoff, Deadline, QueryCache, ShardHealth};
 pub use http::client_request;
 pub use server::{wait_healthy, Server, ServerConfig};
-pub use shard::{Shard, ShardRepair, ShardSet};
+pub use shard::{ExecuteOutcome, Shard, ShardRepair, ShardSet};
 pub use wire::{QueryRequest, QueryResponse, ServeError, ShardedResult, TargetValue};

@@ -18,13 +18,72 @@
 //!   append groups, 0 = off (0)
 //! * `--compact-bytes N` — background-compact a shard once its on-disk append
 //!   log reaches N bytes, 0 = off (0)
-//! * `--compact-poll-ms N` — compactor trigger-check interval (500)
+//! * `--compact-poll-ms N` — guardian trigger-check interval (500)
+//! * `--retry-backoff-ms N` — base delay for background retries
+//!   (quarantine reopens, failed compactions); doubles per failure (1000)
+//! * `--retry-backoff-cap-ms N` — cap on any single retry delay (60000)
+//! * `--drain-ms N` — SIGTERM drain budget for in-flight queries (5000)
+//!
+//! On SIGTERM (or SIGINT) the daemon drains gracefully: `/v1/healthz` flips
+//! to 503, new queries get a typed 503, in-flight queries finish within the
+//! `--drain-ms` budget, then the process exits 0.
 //!
 //! The full protocol and operator runbook live in `docs/SERVING.md`.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use std::process::ExitCode;
+use std::time::Duration;
 
 use joinmi_serve::{Server, ServerConfig, ShardSet};
+
+/// SIGTERM/SIGINT → one atomic flag, polled by the main loop. Hand-rolled
+/// FFI because the workspace builds offline (no `libc`/`signal-hook`): the
+/// handler does nothing but an atomic store, which is async-signal-safe, and
+/// this module is the only unsafe code in the workspace — the serve library
+/// itself still forbids unsafe.
+#[cfg(unix)]
+mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // POSIX `signal(2)` from the libc that std already links. Handlers
+        // are passed and returned as raw addresses (`sighandler_t`).
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_terminate(_signum: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handler for SIGTERM and SIGINT.
+    pub fn install() {
+        let handler = on_terminate as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    /// Whether a termination signal has arrived.
+    pub fn should_terminate() -> bool {
+        TERMINATE.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signal {
+    pub fn install() {}
+
+    pub fn should_terminate() -> bool {
+        false
+    }
+}
 
 fn main() -> ExitCode {
     match run() {
@@ -76,6 +135,13 @@ fn run() -> Result<ExitCode, String> {
             "--compact-poll-ms" => {
                 config.compact_poll_ms = parse_num(arg, &take_value(&mut i)?)?;
             }
+            "--retry-backoff-ms" => {
+                config.retry_backoff_ms = parse_num(arg, &take_value(&mut i)?)?;
+            }
+            "--retry-backoff-cap-ms" => {
+                config.retry_backoff_cap_ms = parse_num(arg, &take_value(&mut i)?)?;
+            }
+            "--drain-ms" => config.drain_ms = parse_num(arg, &take_value(&mut i)?)?,
             "--repair" => repair = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             path => shard_paths.push(path.to_owned()),
@@ -115,13 +181,29 @@ fn run() -> Result<ExitCode, String> {
         shards.total_candidates(),
         shards.generation(),
     );
-    let server = Server::start(config, shards).map_err(|e| format!("starting server: {e}"))?;
+    let drain_ms = config.drain_ms;
+    signal::install();
+    let mut server = Server::start(config, shards).map_err(|e| format!("starting server: {e}"))?;
     eprintln!("joinmi_serve: listening on http://{}", server.local_addr());
 
-    // Serve until killed: the daemon has no privileged control endpoint, so
-    // stop/restart is process lifecycle (see the runbook in docs/SERVING.md).
+    // Serve until signalled: the daemon has no privileged control endpoint,
+    // so stop/restart is process lifecycle (see the runbook in
+    // docs/SERVING.md). SIGTERM/SIGINT drains gracefully.
     loop {
-        std::thread::park();
+        if signal::should_terminate() {
+            eprintln!("joinmi_serve: termination signal; draining (budget {drain_ms} ms)");
+            let drained = server.drain(Duration::from_millis(drain_ms));
+            eprintln!(
+                "joinmi_serve: {}; exiting",
+                if drained {
+                    "drained cleanly"
+                } else {
+                    "drain budget elapsed with queries still in flight"
+                }
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+        std::thread::sleep(Duration::from_millis(50));
     }
 }
 
@@ -136,8 +218,9 @@ fn print_help() {
         "usage: joinmi_serve [--addr HOST:PORT] [--workers N] [--timeout-ms N] \
          [--max-inflight N] [--cache N] [--cache-entries N] [--cache-bytes N] \
          [--compact-after N] [--compact-bytes N] [--compact-poll-ms N] \
+         [--retry-backoff-ms N] [--retry-backoff-cap-ms N] [--drain-ms N] \
          [--repair] SHARD.jmi [SHARD.jmi ...]\n\
-         Serves POST /v1/query, GET /v1/shards, GET /v1/healthz. \
-         Protocol spec and runbook: docs/SERVING.md"
+         Serves POST /v1/query, GET /v1/shards, GET /v1/healthz; SIGTERM \
+         drains gracefully. Protocol spec and runbook: docs/SERVING.md"
     );
 }

@@ -14,26 +14,43 @@
 //! Shard state lives in an [`Epoch`] — one immutable `ShardSet` paired with
 //! the stage cache bound to its generation — behind a `RwLock`. Queries
 //! clone the current epoch (two `Arc` bumps) and score against it for their
-//! whole lifetime; the background compactor installs a new epoch after
+//! whole lifetime; the background guardian installs a new epoch after
 //! rewriting a shard file, so in-flight queries keep their consistent
 //! snapshot while new queries see the compacted one.
+//!
+//! # Robustness
+//!
+//! The daemon degrades instead of dying:
+//!
+//! * **Worker panic isolation** — every query runs under `catch_unwind`; a
+//!   panicking query becomes a typed 500 (`"code": "panic"`), the worker
+//!   rebuilds its workspace and keeps serving, and the panic counter shows
+//!   on `GET /v1/shards`.
+//! * **Per-shard circuit breaker** — a shard that fails while scoring is
+//!   quarantined ([`crate::guard::ShardHealth`]); queries skip it (partial
+//!   ranking with `allow_partial`, strict 500 otherwise) while the guardian
+//!   retries reopening it on a capped, jittered backoff.
+//! * **Graceful drain** — [`Server::begin_drain`] flips `/v1/healthz` to 503
+//!   and rejects new queries with a typed 503 while in-flight ones finish;
+//!   the `joinmi_serve` binary wires this to SIGTERM.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, PoisonError, RwLock};
 use std::time::Duration;
 
 use joinmi_discovery::{
     CandidateSource, CompactMode, QueryStageCache, StageCacheConfig, TableRepository,
 };
 use joinmi_estimators::EstimatorWorkspace;
+use joinmi_hash::SplitMix64;
 
-use crate::guard::{AdmissionGate, CachedResult, Deadline, QueryCache};
+use crate::guard::{AdmissionGate, CachedResult, Deadline, QueryCache, ShardHealth};
 use crate::http::{client_request, read_request, write_response, Request};
 use crate::json::{obj, Json};
 use crate::shard::ShardSet;
-use crate::wire::{QueryRequest, QueryResponse, ServeError};
+use crate::wire::{QueryRequest, QueryResponse, ServeError, ShardedResult};
 
 /// Daemon configuration; every knob is documented in `docs/SERVING.md`.
 #[derive(Debug, Clone)]
@@ -63,9 +80,19 @@ pub struct ServerConfig {
     /// so external appends count); 0 disables the byte trigger. The
     /// compactor thread runs only when at least one trigger is set.
     pub compact_after_bytes: usize,
-    /// How often the compactor re-checks the triggers, in milliseconds.
-    /// Clamped to at least 10.
+    /// How often the guardian thread re-checks the compaction triggers and
+    /// quarantined shards, in milliseconds. Clamped to at least 10.
     pub compact_poll_ms: u64,
+    /// Base delay for background retries (quarantine reopens, failed
+    /// compactions), in milliseconds; doubles per consecutive failure with
+    /// deterministic jitter. Clamped to at least 1.
+    pub retry_backoff_ms: u64,
+    /// Cap on any single background-retry delay, in milliseconds.
+    pub retry_backoff_cap_ms: u64,
+    /// Budget for [`Server::drain`] to wait for in-flight queries, in
+    /// milliseconds. Only the `joinmi_serve` binary's SIGTERM path reads
+    /// this; embedders pass their own deadline.
+    pub drain_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +109,9 @@ impl Default for ServerConfig {
             compact_after_groups: 0,
             compact_after_bytes: 0,
             compact_poll_ms: 500,
+            retry_backoff_ms: 1_000,
+            retry_backoff_cap_ms: 60_000,
+            drain_ms: 5_000,
         }
     }
 }
@@ -112,30 +142,57 @@ impl Epoch {
     }
 }
 
+/// What a worker hands back for one successfully executed query.
+struct WorkerOutput {
+    results: Arc<Vec<ShardedResult>>,
+    /// Shard indices that did not contribute; non-empty only when the
+    /// request opted in with `allow_partial` (strict requests fail instead).
+    degraded: Vec<usize>,
+}
+
 struct Job {
     request: QueryRequest,
     deadline: Deadline,
     /// The epoch the connection thread admitted the query under; the worker
     /// scores against exactly this snapshot set and cache.
     epoch: Epoch,
-    reply: Sender<Result<Arc<Vec<crate::wire::ShardedResult>>, ServeError>>,
+    reply: Sender<Result<WorkerOutput, ServeError>>,
 }
 
 struct Shared {
-    /// The current epoch; read by every query, replaced by the compactor.
+    /// The current epoch; read by every query, replaced by the guardian.
     epoch: RwLock<Epoch>,
     config: ServerConfig,
     gate: AdmissionGate,
     cache: Mutex<QueryCache>,
     jobs: Mutex<Option<Sender<Job>>>,
     shutdown: AtomicBool,
-    /// Shard files rewritten by the background compactor since startup.
+    /// Draining: `/v1/healthz` answers 503 and new queries are rejected
+    /// while in-flight ones finish.
+    draining: AtomicBool,
+    /// Shard files rewritten by the background guardian since startup.
     compactions: AtomicU64,
+    /// Queries that panicked inside a worker (each became a typed 500 and
+    /// the worker survived).
+    worker_panics: AtomicU64,
+    /// One circuit breaker per shard, indexed like the shard list. The
+    /// shard *count* is fixed for the daemon's lifetime (epoch swaps reload
+    /// files in place), so this vector never resizes.
+    health: Vec<ShardHealth>,
+    /// The bound port; scopes this daemon's fault-injection checkpoints so
+    /// concurrent test daemons in one process do not trip each other.
+    port: u16,
 }
 
 impl Shared {
     fn epoch(&self) -> Epoch {
-        self.epoch.read().expect("epoch lock").clone()
+        // An Epoch is a plain pair of Arcs swapped atomically under the
+        // lock; a panicked peer cannot leave it half-updated, so poison is
+        // safe to strip — one crashed thread must not take the daemon down.
+        self.epoch
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -157,13 +214,28 @@ impl Server {
 
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
+        // One breaker per shard, each with its own jitter stream so retry
+        // storms across shards de-correlate.
+        let health = (0..shards.shards().len())
+            .map(|index| {
+                ShardHealth::new(
+                    config.retry_backoff_ms,
+                    config.retry_backoff_cap_ms,
+                    SplitMix64::derive_seed(u64::from(local_addr.port()), index as u64),
+                )
+            })
+            .collect();
         let shared = Arc::new(Shared {
             gate: AdmissionGate::new(config.max_inflight),
             cache: Mutex::new(QueryCache::new(config.cache_capacity)),
             epoch: RwLock::new(Epoch::new(shards, &config)),
             jobs: Mutex::new(Some(job_tx)),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             compactions: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            health,
+            port: local_addr.port(),
             config,
         });
 
@@ -173,9 +245,11 @@ impl Server {
             let job_rx = Arc::clone(&job_rx);
             threads.push(std::thread::spawn(move || worker_loop(&shared, &job_rx)));
         }
-        if shared.config.compact_after_groups > 0 || shared.config.compact_after_bytes > 0 {
+        {
+            // The guardian always runs: even with compaction off it owns
+            // reopening quarantined shards.
             let shared = Arc::clone(&shared);
-            threads.push(std::thread::spawn(move || compactor_loop(&shared)));
+            threads.push(std::thread::spawn(move || guardian_loop(&shared)));
         }
         {
             let shared = Arc::clone(&shared);
@@ -202,12 +276,49 @@ impl Server {
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Closing the job channel wakes blocked workers…
-        *self.shared.jobs.lock().expect("jobs lock") = None;
+        *self
+            .shared
+            .jobs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = None;
         // …and a dummy connection wakes the blocking accept().
         let _ = TcpStream::connect(self.local_addr);
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
+    }
+
+    /// Flips the daemon into draining mode: `/v1/healthz` starts answering
+    /// 503 (so load balancers stop routing here) and new queries are
+    /// rejected with a typed 503, while queries already admitted keep
+    /// running to completion. Irreversible; the daemon's next step is
+    /// [`Server::drain`] or [`Server::shutdown`].
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`Server::begin_drain`] has been called.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: begins draining, waits up to `deadline` for
+    /// in-flight queries to finish, then stops every thread. Returns whether
+    /// the pool emptied before the deadline (queries still running at the
+    /// deadline are abandoned by the hard stop). In-flight tracking uses the
+    /// admission gate, so with `max_inflight = 0` (an uncounting gate) the
+    /// wait degrades to the deadline-free fast path.
+    pub fn drain(&mut self, deadline: Duration) -> bool {
+        self.begin_drain();
+        let until = std::time::Instant::now() + deadline;
+        let mut drained = self.shared.gate.inflight() == 0;
+        while !drained && std::time::Instant::now() < until {
+            std::thread::sleep(Duration::from_millis(10));
+            drained = self.shared.gate.inflight() == 0;
+        }
+        self.shutdown();
+        drained
     }
 }
 
@@ -246,22 +357,30 @@ fn worker_loop(shared: &Arc<Shared>, jobs: &Mutex<Receiver<Job>>) {
     let mut ws = EstimatorWorkspace::new();
     loop {
         let job = {
-            let rx = jobs.lock().expect("jobs lock");
+            // A panicking sibling poisons this mutex while holding nothing
+            // but the receiver handle — plain handoff state, safe to strip
+            // the poison; the pool must outlive any one worker's crash.
+            let rx = jobs.lock().unwrap_or_else(PoisonError::into_inner);
             rx.recv_timeout(Duration::from_millis(100))
         };
         match job {
             Ok(job) => {
-                let result = job
-                    .epoch
-                    .shards
-                    .execute(
-                        &job.request,
-                        &mut ws,
-                        Some(&job.epoch.stage_cache),
-                        job.deadline,
-                        shared.config.timeout_ms,
-                    )
-                    .map(Arc::new);
+                // Panic isolation: a query that panics inside the scoring
+                // engine becomes a typed 500 and this worker keeps serving.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute_job(shared, &job, &mut ws)
+                }));
+                let result = match outcome {
+                    Ok(result) => result,
+                    Err(_) => {
+                        shared.worker_panics.fetch_add(1, Ordering::SeqCst);
+                        // The workspace's scratch buffers may be mid-mutation
+                        // from the unwound query; rebuild rather than trust
+                        // them for the next one.
+                        ws = EstimatorWorkspace::new();
+                        Err(ServeError::QueryPanicked)
+                    }
+                };
                 // The connection thread may have timed out and gone away;
                 // that is fine, the result is simply dropped.
                 let _ = job.reply.send(result);
@@ -276,14 +395,72 @@ fn worker_loop(shared: &Arc<Shared>, jobs: &Mutex<Receiver<Job>>) {
     }
 }
 
-/// The background compactor: every `compact_poll_ms` it checks each unsealed
-/// shard against the configured triggers and, for each shard due, folds the
-/// on-disk append log with [`TableRepository::compact`] (atomic
-/// write-new-then-rename), re-reads that one file, and installs a fresh
-/// [`Epoch`] — new shard set, new generation, new stage cache. In-flight
-/// queries finish on the epoch they started with.
+/// One query, on a worker thread: fault-injection checkpoints, quarantine
+/// skips, scoring, breaker updates, and the strict-vs-partial policy.
+fn execute_job(
+    shared: &Shared,
+    job: &Job,
+    ws: &mut EstimatorWorkspace,
+) -> Result<WorkerOutput, ServeError> {
+    // Chaos checkpoints: one global, one scoped to this daemon's port so a
+    // test arming the process-wide plan only hits its own server. An `Error`
+    // action models an engine failure; a `Panic` action exercises the
+    // catch_unwind path above.
+    joinmi_store::fault::failpoint("serve.worker.query")
+        .and_then(|()| {
+            joinmi_store::fault::failpoint(&format!("serve.worker.query:{}", shared.port))
+        })
+        .map_err(|e| ServeError::Internal(e.to_string()))?;
+
+    let quarantined: Vec<usize> = shared
+        .health
+        .iter()
+        .enumerate()
+        .filter(|(_, health)| health.is_quarantined())
+        .map(|(index, _)| index)
+        .collect();
+    let outcome = job.epoch.shards.execute(
+        &job.request,
+        ws,
+        Some(&job.epoch.stage_cache),
+        job.deadline,
+        shared.config.timeout_ms,
+        &quarantined,
+    )?;
+
+    // Trip the breaker for shards that failed mid-query; the guardian will
+    // try to bring them back on the reopen schedule.
+    for (index, message) in &outcome.failed {
+        if let Some(health) = shared.health.get(*index) {
+            if !health.is_quarantined() {
+                eprintln!(
+                    "joinmi_serve: shard {index} failed while scoring and is quarantined: \
+                     {message}"
+                );
+            }
+            health.quarantine();
+        }
+    }
+
+    let degraded = outcome.degraded();
+    if !degraded.is_empty() && !job.request.allow_partial {
+        return Err(ServeError::Degraded { shards: degraded });
+    }
+    Ok(WorkerOutput {
+        results: Arc::new(outcome.results),
+        degraded,
+    })
+}
+
+/// The background guardian: every `compact_poll_ms` it (1) tries to restore
+/// quarantined shards whose reopen backoff has elapsed, and (2) checks each
+/// healthy unsealed shard against the compaction triggers and, for each
+/// shard due, folds the on-disk append log with [`TableRepository::compact`]
+/// (atomic write-new-then-rename), re-reads that one file, and installs a
+/// fresh [`Epoch`] — new shard set, new generation, new stage cache.
+/// In-flight queries finish on the epoch they started with.
 ///
-/// Triggers:
+/// Compaction triggers:
 ///
 /// * group trigger — the *served snapshot* carries at least
 ///   `compact_after_groups` append groups;
@@ -295,9 +472,11 @@ fn worker_loop(shared: &Arc<Shared>, jobs: &Mutex<Receiver<Job>>) {
 ///   bound. (Do not append concurrently with a compaction pass itself; see
 ///   `docs/SERVING.md`.)
 ///
-/// Failures (a torn tail mid-append, a vanished file) are logged and
-/// retried on a later pass — the previous epoch keeps serving either way.
-fn compactor_loop(shared: &Arc<Shared>) {
+/// Failures never stop the loop: the previous epoch keeps serving, and each
+/// shard's retries (reopen and compaction alike) back off exponentially with
+/// deterministic jitter on that shard's [`ShardHealth`] schedule instead of
+/// re-firing every poll.
+fn guardian_loop(shared: &Arc<Shared>) {
     loop {
         // Sleep one poll interval in short slices so shutdown stays prompt.
         let poll = Duration::from_millis(shared.config.compact_poll_ms.max(10));
@@ -309,24 +488,86 @@ fn compactor_loop(shared: &Arc<Shared>) {
             std::thread::sleep(Duration::from_millis(10).min(poll));
         }
 
-        let epoch = shared.epoch();
-        for (index, shard) in epoch.shards.shards().iter().enumerate() {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return;
+        reopen_quarantined(shared);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.config.compact_after_groups > 0 || shared.config.compact_after_bytes > 0 {
+            run_compactions(shared);
+        }
+    }
+}
+
+/// One guardian pass over quarantined shards: for each whose backoff has
+/// elapsed, re-read its file and, on success, restore it to rotation with a
+/// fresh epoch. Failure pushes the next attempt out exponentially.
+fn reopen_quarantined(shared: &Arc<Shared>) {
+    for (index, health) in shared.health.iter().enumerate() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if !health.is_quarantined() || !health.reopen_ready() {
+            continue;
+        }
+        health.record_reopen_attempt();
+        match reopen_and_swap(shared, index) {
+            Ok(()) => {
+                health.restore();
+                eprintln!("joinmi_serve: shard {index} reopened; back in rotation");
             }
-            if shard.sealed() || !compaction_due(shared, shard) {
-                continue;
+            Err(message) => {
+                health.reopen_failed();
+                eprintln!(
+                    "joinmi_serve: reopening quarantined shard {index}: {message} (backing off)"
+                );
             }
-            match compact_and_swap(shared, index) {
-                Ok(()) => {
-                    shared.compactions.fetch_add(1, Ordering::SeqCst);
-                }
-                Err(message) => {
-                    eprintln!(
-                        "joinmi_serve: compacting {}: {message} (will retry)",
-                        shard.path().display()
-                    );
-                }
+        }
+    }
+}
+
+/// Re-reads shard `index` from disk and installs a fresh epoch. Shared by
+/// the quarantine-reopen path; the file must still decode and hold the same
+/// candidate count, or the error leaves the shard quarantined.
+fn reopen_and_swap(shared: &Shared, index: usize) -> Result<(), String> {
+    let epoch = shared.epoch();
+    let reloaded = epoch
+        .shards
+        .with_reloaded_shard(index)
+        .map_err(|e| e.to_string())?;
+    let next = Epoch::new(reloaded, &shared.config);
+    *shared.epoch.write().unwrap_or_else(PoisonError::into_inner) = next;
+    Ok(())
+}
+
+/// One guardian pass over the compaction triggers.
+fn run_compactions(shared: &Arc<Shared>) {
+    let epoch = shared.epoch();
+    for (index, shard) in epoch.shards.shards().iter().enumerate() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(health) = shared.health.get(index) else {
+            continue;
+        };
+        if shard.sealed()
+            || health.is_quarantined()
+            || !health.compact_ready()
+            || !compaction_due(shared, shard)
+        {
+            continue;
+        }
+        match compact_and_swap(shared, index) {
+            Ok(()) => {
+                shared.compactions.fetch_add(1, Ordering::SeqCst);
+                health.compact_succeeded();
+            }
+            Err(message) => {
+                health.compact_failed();
+                eprintln!(
+                    "joinmi_serve: compacting {}: {message} (failure {}, backing off)",
+                    shard.path().display(),
+                    health.compact_failures(),
+                );
             }
         }
     }
@@ -342,12 +583,26 @@ fn compaction_due(shared: &Shared, shard: &crate::shard::Shard) -> bool {
     if bytes > 0 {
         // Measure against the file on disk so externally appended groups
         // count; the served snapshot's base length anchors the computation.
-        let base_len = shard.file_len() - shard.appended_bytes() as u64;
         if let Ok(meta) = std::fs::metadata(shard.path()) {
-            return meta.len().saturating_sub(base_len) >= bytes as u64;
+            return byte_trigger_due(bytes, shard.file_len(), shard.appended_bytes(), meta.len());
         }
     }
     false
+}
+
+/// The byte trigger as a pure predicate: the file on disk has grown at least
+/// `threshold` bytes past the served snapshot's base payload. Everything
+/// saturates — the file may have *shrunk* since the snapshot was taken (an
+/// external compaction), and served-length bookkeeping must never be able to
+/// underflow this into a debug panic or a wrapped always-true trigger.
+fn byte_trigger_due(
+    threshold: usize,
+    served_len: u64,
+    appended_bytes: usize,
+    disk_len: u64,
+) -> bool {
+    let base_len = served_len.saturating_sub(appended_bytes as u64);
+    disk_len.saturating_sub(base_len) >= threshold as u64
 }
 
 /// Compacts shard `index`'s file in place, then swaps in a new epoch with
@@ -362,7 +617,7 @@ fn compact_and_swap(shared: &Shared, index: usize) -> Result<(), String> {
         .with_reloaded_shard(index)
         .map_err(|e| e.to_string())?;
     let next = Epoch::new(reloaded, &shared.config);
-    *shared.epoch.write().expect("epoch lock") = next;
+    *shared.epoch.write().unwrap_or_else(PoisonError::into_inner) = next;
     Ok(())
 }
 
@@ -389,7 +644,15 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
 
 fn route(shared: &Shared, request: &Request) -> (u16, &'static str, String) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/v1/healthz") => (200, "OK", healthz(shared).encode()),
+        ("GET", "/v1/healthz") => {
+            let (status, body) = healthz(shared);
+            let reason = if status == 200 {
+                "OK"
+            } else {
+                "Service Unavailable"
+            };
+            (status, reason, body.encode())
+        }
         ("GET", "/v1/shards") => (200, "OK", shards_info(shared).encode()),
         ("POST", "/v1/query") => match query(shared, &request.body) {
             Ok(response) => (200, "OK", response.to_json().encode()),
@@ -411,11 +674,25 @@ fn route(shared: &Shared, request: &Request) -> (u16, &'static str, String) {
     }
 }
 
-fn healthz(shared: &Shared) -> Json {
+/// Readiness: 200 while serving (status `"ok"`, or `"degraded"` with shards
+/// quarantined — the daemon still answers), 503 with status `"draining"`
+/// once a drain began, so load balancers stop routing here before the
+/// process exits.
+fn healthz(shared: &Shared) -> (u16, Json) {
     let epoch = shared.epoch();
-    obj([
-        ("status", Json::Str("ok".into())),
+    let draining = shared.draining.load(Ordering::SeqCst);
+    let quarantined = shared.health.iter().filter(|h| h.is_quarantined()).count();
+    let status = if draining {
+        "draining"
+    } else if quarantined > 0 {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let body = obj([
+        ("status", Json::Str(status.into())),
         ("shards", Json::Int(epoch.shards.shards().len() as i64)),
+        ("quarantined_shards", Json::Int(quarantined as i64)),
         (
             "generation",
             Json::Str(format!("0x{:016x}", epoch.shards.generation())),
@@ -425,8 +702,13 @@ fn healthz(shared: &Shared) -> Json {
             "compactions",
             Json::Int(shared.compactions.load(Ordering::SeqCst) as i64),
         ),
+        (
+            "worker_panics",
+            Json::Int(shared.worker_panics.load(Ordering::SeqCst) as i64),
+        ),
         ("stage_cache", stage_cache_json(&epoch)),
-    ])
+    ]);
+    (if draining { 503 } else { 200 }, body)
 }
 
 /// The stage cache's counters and occupancy, embedded verbatim in both the
@@ -454,7 +736,9 @@ fn shards_info(shared: &Shared) -> Json {
         .shards
         .shards()
         .iter()
-        .map(|shard| {
+        .enumerate()
+        .map(|(index, shard)| {
+            let health = shared.health.get(index);
             obj([
                 (
                     "path",
@@ -476,10 +760,30 @@ fn shards_info(shared: &Shared) -> Json {
                     "candidate_offset",
                     Json::Int(shard.candidate_offset() as i64),
                 ),
+                (
+                    "quarantined",
+                    Json::Bool(health.is_some_and(ShardHealth::is_quarantined)),
+                ),
+                (
+                    "failures",
+                    Json::Int(health.map_or(0, ShardHealth::failures) as i64),
+                ),
+                (
+                    "reopen_attempts",
+                    Json::Int(health.map_or(0, ShardHealth::reopen_attempts) as i64),
+                ),
+                (
+                    "compact_failures",
+                    Json::Int(health.map_or(0, ShardHealth::compact_failures) as i64),
+                ),
             ])
         })
         .collect();
-    let (hits, misses) = shared.cache.lock().expect("cache lock").stats();
+    let (hits, misses) = shared
+        .cache
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .stats();
     obj([
         ("shards", Json::Arr(shards)),
         (
@@ -507,11 +811,28 @@ fn shards_info(shared: &Shared) -> Json {
             "compact_after_bytes",
             Json::Int(shared.config.compact_after_bytes as i64),
         ),
+        (
+            "worker_panics",
+            Json::Int(shared.worker_panics.load(Ordering::SeqCst) as i64),
+        ),
+        (
+            "draining",
+            Json::Bool(shared.draining.load(Ordering::SeqCst)),
+        ),
+        (
+            "retry_backoff_ms",
+            Json::Int(shared.config.retry_backoff_ms as i64),
+        ),
         ("stage_cache", stage_cache_json(&epoch)),
     ])
 }
 
 fn query(shared: &Shared, body: &str) -> Result<QueryResponse, ServeError> {
+    // A draining daemon admits nothing new; in-flight queries (already past
+    // this check) keep running to the drain deadline.
+    if shared.draining.load(Ordering::SeqCst) {
+        return Err(ServeError::Draining);
+    }
     let request = QueryRequest::from_json(body)?;
 
     // Admission first: a rejected query does zero parsing beyond this point
@@ -534,12 +855,21 @@ fn query(shared: &Shared, body: &str) -> Result<QueryResponse, ServeError> {
     // generation, so stale entries stop matching without any flush.
     let fingerprint = request.fingerprint();
     let key = (fingerprint.0, fingerprint.1, generation);
-    if let Some(hit) = shared.cache.lock().expect("cache lock").get(&key) {
+    if let Some(hit) = shared
+        .cache
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&key)
+    {
+        // Only complete rankings are ever cached, so a hit is never partial
+        // — and is a valid answer whatever the request's `allow_partial`.
         return Ok(QueryResponse {
             results: hit.results.as_ref().clone(),
             shards_queried: hit.shards_queried,
             generation,
             cached: true,
+            partial: false,
+            degraded_shards: Vec::new(),
         });
     }
 
@@ -547,7 +877,7 @@ fn query(shared: &Shared, body: &str) -> Result<QueryResponse, ServeError> {
     // (workers also check it cooperatively between shards).
     let (reply_tx, reply_rx) = mpsc::channel();
     {
-        let jobs = shared.jobs.lock().expect("jobs lock");
+        let jobs = shared.jobs.lock().unwrap_or_else(PoisonError::into_inner);
         let Some(tx) = jobs.as_ref() else {
             return Err(ServeError::Internal("server is shutting down".into()));
         };
@@ -559,7 +889,7 @@ fn query(shared: &Shared, body: &str) -> Result<QueryResponse, ServeError> {
         })
         .map_err(|_| ServeError::Internal("worker pool is gone".into()))?;
     }
-    let results = match deadline.remaining() {
+    let output = match deadline.remaining() {
         None => reply_rx
             .recv()
             .map_err(|_| ServeError::Internal("worker dropped the query".into()))?,
@@ -578,18 +908,30 @@ fn query(shared: &Shared, body: &str) -> Result<QueryResponse, ServeError> {
         }
     }?;
 
-    shared.cache.lock().expect("cache lock").insert(
-        key,
-        Arc::new(CachedResult {
-            results: Arc::clone(&results),
-            shards_queried,
-        }),
-    );
+    let partial = !output.degraded.is_empty();
+    if !partial {
+        // Never cache a partial ranking: the quarantined shard may be back
+        // for the very next query under the same generation, and a cached
+        // partial answer would silently shadow the complete one.
+        shared
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(
+                key,
+                Arc::new(CachedResult {
+                    results: Arc::clone(&output.results),
+                    shards_queried,
+                }),
+            );
+    }
     Ok(QueryResponse {
-        results: results.as_ref().clone(),
+        results: output.results.as_ref().clone(),
         shards_queried,
         generation,
         cached: false,
+        partial,
+        degraded_shards: output.degraded,
     })
 }
 
@@ -609,5 +951,29 @@ pub fn wait_healthy(addr: &str, wait: Duration) -> std::io::Result<()> {
             }
             Err(e) => return Err(e),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::byte_trigger_due;
+
+    /// Regression: the byte trigger used `file_len - appended_bytes`
+    /// unchecked, which panicked in debug (wrapped in release) whenever the
+    /// on-disk file shrank below the served snapshot's bookkeeping — e.g. an
+    /// external compaction between polls.
+    #[test]
+    fn byte_trigger_survives_externally_shrunk_files() {
+        // Served 120 bytes of which 20 appended → base 100; disk grew to
+        // 160: 60 new bytes, due at threshold 50, not at 70.
+        assert!(byte_trigger_due(50, 120, 20, 160));
+        assert!(!byte_trigger_due(70, 120, 20, 160));
+        // Disk shrank to 90 (below the served base): nothing new, not due —
+        // and no underflow.
+        assert!(!byte_trigger_due(50, 120, 20, 90));
+        // Inconsistent bookkeeping (appended > served length) saturates the
+        // base to 0 instead of wrapping to u64::MAX.
+        assert!(byte_trigger_due(50, 10, 30, 60));
+        assert!(!byte_trigger_due(70, 10, 30, 60));
     }
 }

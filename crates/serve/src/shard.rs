@@ -85,6 +85,42 @@ impl Shard {
     }
 }
 
+/// What one call to [`ShardSet::execute`] produced: the merged ranking from
+/// every healthy shard, plus exactly which shards did not contribute and
+/// why. A fully healthy run has empty `skipped` and `failed`.
+#[derive(Debug)]
+pub struct ExecuteOutcome {
+    /// Merged, globally ranked results from the contributing shards.
+    pub results: Vec<ShardedResult>,
+    /// Shards skipped up front because the caller quarantined them.
+    pub skipped: Vec<usize>,
+    /// Shards that failed while scoring this query, with the failure text.
+    pub failed: Vec<(usize, String)>,
+}
+
+impl ExecuteOutcome {
+    /// Every shard index that did not contribute, ascending and deduplicated
+    /// — the wire's `degraded_shards` field.
+    #[must_use]
+    pub fn degraded(&self) -> Vec<usize> {
+        let mut all: Vec<usize> = self
+            .skipped
+            .iter()
+            .copied()
+            .chain(self.failed.iter().map(|(i, _)| *i))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// Whether every shard contributed.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.skipped.is_empty() && self.failed.is_empty()
+    }
+}
+
 /// What happened to one shard file during a repairing open.
 #[derive(Debug)]
 pub struct ShardRepair {
@@ -238,8 +274,17 @@ impl ShardSet {
     /// `ShardSet`'s generation; the ranking is bit-for-bit identical either
     /// way.
     ///
+    /// Shard failures are **isolated**, not fatal: indices in `skip`
+    /// (quarantined by the daemon's circuit breaker) are not scored at all,
+    /// and a shard whose scoring fails mid-query lands in
+    /// [`ExecuteOutcome::failed`] while the remaining shards still
+    /// contribute. Deciding whether a degraded outcome is acceptable
+    /// (`allow_partial`) is the caller's policy, not this layer's.
+    ///
     /// The deadline is checked cooperatively before each shard; expiry
-    /// surfaces as [`ServeError::Timeout`] with the elapsed budget.
+    /// surfaces as [`ServeError::Timeout`] with the elapsed budget. Request
+    /// parsing failures are likewise still hard errors — with no query there
+    /// is nothing partial to return.
     pub fn execute(
         &self,
         request: &QueryRequest,
@@ -247,23 +292,42 @@ impl ShardSet {
         cache: Option<&QueryStageCache>,
         deadline: Deadline,
         timeout_ms: u64,
-    ) -> Result<Vec<ShardedResult>, ServeError> {
+        skip: &[usize],
+    ) -> Result<ExecuteOutcome, ServeError> {
         let query = request.to_query()?;
         let mut merged: Vec<ShardedResult> = Vec::new();
+        let mut skipped: Vec<usize> = Vec::new();
+        let mut failed: Vec<(usize, String)> = Vec::new();
         for (shard_index, shard) in self.shards.iter().enumerate() {
             if deadline.expired() {
                 return Err(ServeError::Timeout { timeout_ms });
             }
+            if skip.contains(&shard_index) {
+                skipped.push(shard_index);
+                continue;
+            }
+            // Fault-injection checkpoints for the chaos tests: one global,
+            // one scoped to this shard's file so a single test process can
+            // target one daemon's shard without touching its neighbours.
+            let scoped = format!("serve.shard.score:{}", shard.path.display());
+            if let Err(e) = joinmi_store::fault::failpoint("serve.shard.score")
+                .and_then(|()| joinmi_store::fault::failpoint(&scoped))
+            {
+                failed.push((shard_index, e.to_string()));
+                continue;
+            }
             let scope = cache.map(|c| c.scope(shard.candidate_offset as u64));
-            let ranked = query
-                .execute_in_cached(&shard.snapshot, ws, scope.as_ref())
-                .map_err(|e| ServeError::Internal(e.to_string()))?;
-            merged.extend(ranked.into_iter().map(|candidate| ShardedResult {
-                shard: shard_index,
-                shard_candidate_index: candidate.candidate_index,
-                global_candidate_index: shard.candidate_offset + candidate.candidate_index,
-                candidate,
-            }));
+            match query.execute_in_cached(&shard.snapshot, ws, scope.as_ref()) {
+                Ok(ranked) => {
+                    merged.extend(ranked.into_iter().map(|candidate| ShardedResult {
+                        shard: shard_index,
+                        shard_candidate_index: candidate.candidate_index,
+                        global_candidate_index: shard.candidate_offset + candidate.candidate_index,
+                        candidate,
+                    }));
+                }
+                Err(e) => failed.push((shard_index, e.to_string())),
+            }
         }
         if deadline.expired() {
             return Err(ServeError::Timeout { timeout_ms });
@@ -272,7 +336,11 @@ impl ShardSet {
         if request.top_k > 0 {
             merged.truncate(request.top_k);
         }
-        Ok(merged)
+        Ok(ExecuteOutcome {
+            results: merged,
+            skipped,
+            failed,
+        })
     }
 
     /// Sorts merged per-shard results into the global ranking order:

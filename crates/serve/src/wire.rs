@@ -40,6 +40,16 @@ pub struct QueryRequest {
     /// Neighbour count for the KSG-family estimators (optional on the wire;
     /// defaults to the library's `DEFAULT_K`).
     pub k: usize,
+    /// Whether the caller accepts a partial ranking when some shards are
+    /// quarantined (`"partial": true` + `degraded_shards` in the response).
+    /// Defaults to `false`: with a degraded shard the query fails with a
+    /// typed 500 rather than silently returning fewer candidates.
+    ///
+    /// This is a delivery preference, not part of the query's identity — it
+    /// is deliberately excluded from [`QueryRequest::canonical_json`] and the
+    /// fingerprint, because only *complete* rankings are ever cached and a
+    /// complete ranking is the same answer under either setting.
+    pub allow_partial: bool,
 }
 
 /// A target cell: JSON integers become `Int` columns, JSON floats `Float`
@@ -94,6 +104,13 @@ impl QueryRequest {
                     .as_i64()
                     .and_then(|i| usize::try_from(i).ok())
                     .ok_or_else(|| bad(format!("field '{key}' must be a non-negative integer"))),
+            }
+        };
+        let field_bool = |key: &str| -> Result<bool, BadRequest> {
+            match doc.get(key) {
+                None => Ok(false),
+                Some(Json::Bool(b)) => Ok(*b),
+                Some(_) => Err(bad(format!("field '{key}' must be a boolean"))),
             }
         };
 
@@ -183,12 +200,15 @@ impl QueryRequest {
             sketch_size: field_usize("sketch_size", 1024)?,
             sketch_seed,
             k,
+            allow_partial: field_bool("allow_partial")?,
         })
     }
 
-    /// Canonical JSON encoding of the request — every field explicit, keys
-    /// sorted. Two requests that mean the same query encode identically,
-    /// which is what the result cache fingerprints.
+    /// Canonical JSON encoding of the request — every query-identity field
+    /// explicit, keys sorted. Two requests that mean the same query encode
+    /// identically, which is what the result cache fingerprints.
+    /// `allow_partial` is excluded (see its field docs): it changes how a
+    /// degraded answer is delivered, not what the answer is.
     #[must_use]
     pub fn canonical_json(&self) -> String {
         let rows: Vec<Json> = self
@@ -316,6 +336,13 @@ pub struct QueryResponse {
     pub generation: u64,
     /// Whether the response came from the result cache.
     pub cached: bool,
+    /// Whether any shard was skipped; `true` only ever reaches the wire when
+    /// the request opted in with `allow_partial`. Partial rankings are never
+    /// cached.
+    pub partial: bool,
+    /// Indices of the shards that did not contribute (quarantined before the
+    /// query, or failed while scoring it). Empty when `partial` is `false`.
+    pub degraded_shards: Vec<usize>,
 }
 
 impl QueryResponse {
@@ -333,6 +360,16 @@ impl QueryResponse {
                 Json::Str(format!("0x{:016x}", self.generation)),
             ),
             ("cached", Json::Bool(self.cached)),
+            ("partial", Json::Bool(self.partial)),
+            (
+                "degraded_shards",
+                Json::Arr(
+                    self.degraded_shards
+                        .iter()
+                        .map(|s| Json::Int(*s as i64))
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -356,6 +393,19 @@ pub enum ServeError {
         /// The budget that elapsed, in milliseconds.
         timeout_ms: u64,
     },
+    /// 500 — the query panicked inside the scoring engine. The worker that
+    /// ran it survived (panic isolation) and rebuilt its workspace; the
+    /// daemon keeps serving.
+    QueryPanicked,
+    /// 500 — one or more shards are degraded and the request did not opt in
+    /// to a partial ranking with `allow_partial`.
+    Degraded {
+        /// Indices of the shards that could not contribute.
+        shards: Vec<usize>,
+    },
+    /// 503 — the daemon is draining for shutdown and no longer admits
+    /// queries.
+    Draining,
     /// 500 — the query failed inside the engine.
     Internal(String),
 }
@@ -370,7 +420,10 @@ impl ServeError {
             Self::MethodNotAllowed => (405, "Method Not Allowed"),
             Self::Overloaded { .. } => (429, "Too Many Requests"),
             Self::Timeout { .. } => (504, "Gateway Timeout"),
-            Self::Internal(_) => (500, "Internal Server Error"),
+            Self::QueryPanicked | Self::Degraded { .. } | Self::Internal(_) => {
+                (500, "Internal Server Error")
+            }
+            Self::Draining => (503, "Service Unavailable"),
         }
     }
 
@@ -383,6 +436,9 @@ impl ServeError {
             Self::MethodNotAllowed => "method_not_allowed",
             Self::Overloaded { .. } => "overloaded",
             Self::Timeout { .. } => "timeout",
+            Self::QueryPanicked => "panic",
+            Self::Degraded { .. } => "degraded",
+            Self::Draining => "draining",
             Self::Internal(_) => "internal",
         }
     }
@@ -400,6 +456,20 @@ impl ServeError {
             Self::Timeout { timeout_ms } => {
                 format!("query exceeded its {timeout_ms} ms wall-clock budget")
             }
+            Self::QueryPanicked => {
+                "the query panicked inside the scoring engine; the worker recovered and \
+                 the daemon keeps serving"
+                    .to_owned()
+            }
+            Self::Degraded { shards } => {
+                let list: Vec<String> = shards.iter().map(ToString::to_string).collect();
+                format!(
+                    "shard(s) [{}] are degraded; retry once restored, or resend with \
+                     \"allow_partial\": true to accept a partial ranking",
+                    list.join(", ")
+                )
+            }
+            Self::Draining => "the daemon is draining for shutdown".to_owned(),
         };
         let mut err = BTreeMap::new();
         err.insert("code".to_owned(), Json::Str(self.code().to_owned()));
@@ -550,5 +620,70 @@ mod tests {
         let e = ServeError::Timeout { timeout_ms: 50 };
         assert_eq!(e.status().0, 504);
         assert!(e.to_json().encode().contains("timeout"));
+
+        let e = ServeError::QueryPanicked;
+        assert_eq!(e.status().0, 500);
+        assert!(e.to_json().encode().contains("\"code\":\"panic\""));
+        let e = ServeError::Degraded { shards: vec![1, 2] };
+        assert_eq!(e.status().0, 500);
+        let encoded = e.to_json().encode();
+        assert!(encoded.contains("\"code\":\"degraded\""));
+        assert!(
+            encoded.contains("[1, 2]"),
+            "message lists the shards: {encoded}"
+        );
+        assert!(
+            encoded.contains("allow_partial"),
+            "message names the opt-in"
+        );
+        let e = ServeError::Draining;
+        assert_eq!(e.status().0, 503);
+        assert!(e.to_json().encode().contains("\"code\":\"draining\""));
+    }
+
+    #[test]
+    fn allow_partial_parses_but_does_not_move_the_fingerprint() {
+        let strict = QueryRequest::from_json(&minimal_body()).unwrap();
+        assert!(!strict.allow_partial, "defaults to strict");
+
+        let body = r#"{
+            "key_column": "zip", "target_column": "trips",
+            "rows": [["10001", 3], ["10002", 9]], "allow_partial": true
+        }"#;
+        let partial = QueryRequest::from_json(body).unwrap();
+        assert!(partial.allow_partial);
+        // A delivery preference, not query identity: cached complete
+        // rankings must serve both settings.
+        assert_eq!(strict.fingerprint(), partial.fingerprint());
+
+        let bad = r#"{
+            "key_column": "zip", "target_column": "trips",
+            "rows": [["10001", 3]], "allow_partial": "yes"
+        }"#;
+        assert!(QueryRequest::from_json(bad).is_err(), "non-bool rejected");
+    }
+
+    #[test]
+    fn responses_carry_partial_and_degraded_shards() {
+        let full = QueryResponse {
+            results: Vec::new(),
+            shards_queried: 3,
+            generation: 7,
+            cached: false,
+            partial: false,
+            degraded_shards: Vec::new(),
+        };
+        let encoded = full.to_json().encode();
+        assert!(encoded.contains("\"partial\":false"));
+        assert!(encoded.contains("\"degraded_shards\":[]"));
+
+        let partial = QueryResponse {
+            degraded_shards: vec![0, 2],
+            partial: true,
+            ..full
+        };
+        let encoded = partial.to_json().encode();
+        assert!(encoded.contains("\"partial\":true"));
+        assert!(encoded.contains("\"degraded_shards\":[0,2]"));
     }
 }

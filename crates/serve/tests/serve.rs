@@ -187,10 +187,12 @@ fn shard_set_merge_matches_single_repository_without_http() {
     let expected = fingerprint(&in_process_query(&train, 0).execute(&single).unwrap());
     let request = QueryRequest::from_json(&request_body(&train, 0)).unwrap();
     let mut ws = EstimatorWorkspace::new();
-    let merged = shards
-        .execute(&request, &mut ws, None, Deadline::unlimited(), 0)
+    let outcome = shards
+        .execute(&request, &mut ws, None, Deadline::unlimited(), 0, &[])
         .unwrap();
-    let got: Vec<_> = merged
+    assert!(outcome.complete(), "no shard skipped or failed");
+    let got: Vec<_> = outcome
+        .results
         .iter()
         .map(|r| {
             (
@@ -216,7 +218,7 @@ fn expired_deadline_is_a_typed_timeout() {
     std::thread::sleep(Duration::from_millis(5));
     let mut ws = EstimatorWorkspace::new();
     let err = shards
-        .execute(&request, &mut ws, None, deadline, 1)
+        .execute(&request, &mut ws, None, deadline, 1, &[])
         .expect_err("expired deadline must not run");
     assert_eq!(err, ServeError::Timeout { timeout_ms: 1 });
     cleanup(&paths);
@@ -639,5 +641,328 @@ fn saturated_admission_gate_rejects_with_429() {
     assert_eq!(status, 200);
 
     server.shutdown();
+    cleanup(&paths);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: panic isolation, quarantine/degraded serving, drain
+// ---------------------------------------------------------------------------
+
+use joinmi_store::fault::{self, FaultAction, FaultPlan};
+
+/// Serializes tests that arm the process-global fault plan: `arm_global`
+/// replaces the whole plan, so two such tests running concurrently would
+/// clobber each other's triggers.
+static GLOBAL_FAULTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn lock_global_faults() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_FAULTS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn shard_failure_is_isolated_not_fatal() {
+    // Library level: a shard failing mid-query lands in `failed` while the
+    // other shards still contribute, and quarantined indices are skipped
+    // without being scored. Thread-local arming keeps this test hermetic.
+    let (tables, train) = corpus();
+    let paths = save_shards(&tables, 3, "isolate");
+    let shards = ShardSet::open(&paths).unwrap();
+    let request = QueryRequest::from_json(&request_body(&train, 0)).unwrap();
+    let mut ws = EstimatorWorkspace::new();
+
+    let scoped = format!("serve.shard.score:{}", paths[1].display());
+    {
+        let _guard = fault::arm(FaultPlan::at_failpoint(&scoped, 0, FaultAction::Error));
+        let outcome = shards
+            .execute(&request, &mut ws, None, Deadline::unlimited(), 0, &[])
+            .unwrap();
+        assert_eq!(outcome.degraded(), vec![1]);
+        assert_eq!(outcome.failed.len(), 1);
+        assert_eq!(outcome.failed[0].0, 1);
+        assert!(
+            outcome.failed[0].1.contains("joinmi fault injection"),
+            "failure text carries the injected error: {}",
+            outcome.failed[0].1
+        );
+        assert!(outcome.skipped.is_empty());
+        assert!(
+            outcome.results.iter().all(|r| r.shard != 1),
+            "the failed shard contributed nothing"
+        );
+        assert!(
+            !outcome.results.is_empty(),
+            "healthy shards still contributed"
+        );
+    }
+
+    // Quarantine skip: the shard is not scored at all (the armed failpoint
+    // is gone, so a non-skipped shard would succeed).
+    let outcome = shards
+        .execute(&request, &mut ws, None, Deadline::unlimited(), 0, &[2])
+        .unwrap();
+    assert_eq!(outcome.skipped, vec![2]);
+    assert!(outcome.failed.is_empty());
+    assert_eq!(outcome.degraded(), vec![2]);
+    assert!(!outcome.complete());
+    cleanup(&paths);
+}
+
+#[test]
+fn worker_panic_is_a_typed_500_and_the_daemon_survives() {
+    let _serial = lock_global_faults();
+    let (tables, train) = corpus();
+    let paths = save_shards(&tables, 3, "panic");
+    let shards = ShardSet::open(&paths).unwrap();
+    let mut server = Server::start(
+        ServerConfig {
+            workers: 2,
+            timeout_ms: 0,
+            ..ServerConfig::default()
+        },
+        shards,
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    wait_healthy(&addr, Duration::from_secs(5)).unwrap();
+
+    // Arm: the FIRST query on THIS daemon (port-scoped checkpoint) panics
+    // inside the worker. The fault must fire on a pool thread the test does
+    // not own, hence the process-global plan.
+    let checkpoint = format!("serve.worker.query:{}", server.local_addr().port());
+    let body = request_body(&train, 3);
+    {
+        let _guard = fault::arm_global(FaultPlan::at_failpoint(&checkpoint, 0, FaultAction::Panic));
+        let (status, response) = client_request(&addr, "POST", "/v1/query", &body).unwrap();
+        assert_eq!(status, 500, "{response}");
+        assert!(response.contains("\"code\":\"panic\""), "{response}");
+    }
+
+    // The daemon survived: the worker recovered, the panic is counted, and
+    // the very same query now succeeds end to end.
+    let (status, shards_body) = client_request(&addr, "GET", "/v1/shards", "").unwrap();
+    assert_eq!(status, 200);
+    let doc = Json::parse(&shards_body).unwrap();
+    assert_eq!(doc.get("worker_panics").and_then(Json::as_i64), Some(1));
+
+    let (status, response) = client_request(&addr, "POST", "/v1/query", &body).unwrap();
+    assert_eq!(status, 200, "{response}");
+    let doc = Json::parse(&response).unwrap();
+    assert_eq!(doc.get("partial"), Some(&Json::Bool(false)));
+
+    server.shutdown();
+    cleanup(&paths);
+}
+
+#[test]
+fn quarantined_shard_degrades_and_the_guardian_restores_it() {
+    let _serial = lock_global_faults();
+    let (tables, train) = corpus();
+    let paths = save_shards(&tables, 3, "quarantine");
+    let single = single_repo(&tables);
+    let expected = fingerprint(&in_process_query(&train, 0).execute(&single).unwrap());
+    let shards = ShardSet::open(&paths).unwrap();
+    let mut server = Server::start(
+        ServerConfig {
+            workers: 1,
+            timeout_ms: 0,
+            compact_poll_ms: 20,
+            retry_backoff_ms: 5,
+            retry_backoff_cap_ms: 50,
+            ..ServerConfig::default()
+        },
+        shards,
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    wait_healthy(&addr, Duration::from_secs(5)).unwrap();
+
+    // Corrupt shard 1's file on disk (the served snapshot is in memory, so
+    // serving is unaffected) and inject one scoring failure: the breaker
+    // trips, and the guardian's reopens now FAIL against the corrupt file,
+    // so the shard stays quarantined instead of bouncing straight back.
+    let original = std::fs::read(&paths[1]).unwrap();
+    std::fs::write(&paths[1], b"garbage, not a repository").unwrap();
+    let scoped = format!("serve.shard.score:{}", paths[1].display());
+    let _guard = fault::arm_global(FaultPlan::at_failpoint(&scoped, 0, FaultAction::Error));
+
+    // Strict request (the default): degraded shard => typed 500.
+    let body = request_body(&train, 0);
+    let (status, response) = client_request(&addr, "POST", "/v1/query", &body).unwrap();
+    assert_eq!(status, 500, "{response}");
+    assert!(response.contains("\"code\":\"degraded\""), "{response}");
+    assert!(response.contains("allow_partial"), "{response}");
+
+    // Opt-in partial: 200 with the healthy shards' merged ranking.
+    let partial_body = body.replacen('{', "{\"allow_partial\": true, ", 1);
+    let (status, response) = client_request(&addr, "POST", "/v1/query", &partial_body).unwrap();
+    assert_eq!(status, 200, "{response}");
+    let doc = Json::parse(&response).unwrap();
+    assert_eq!(doc.get("partial"), Some(&Json::Bool(true)));
+    assert_eq!(
+        doc.get("degraded_shards")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(1)
+    );
+    assert!(
+        !doc.get("results")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .is_empty(),
+        "healthy shards still answer"
+    );
+
+    // healthz stays 200 but reports degraded; /v1/shards shows the breaker
+    // counters and climbing (failing) reopen attempts.
+    let (status, health) = client_request(&addr, "GET", "/v1/healthz", "").unwrap();
+    assert_eq!(status, 200);
+    let doc = Json::parse(&health).unwrap();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("degraded"));
+    assert_eq!(
+        doc.get("quarantined_shards").and_then(Json::as_i64),
+        Some(1)
+    );
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut saw_reopen_attempt = false;
+    while std::time::Instant::now() < deadline && !saw_reopen_attempt {
+        let (_, shards_body) = client_request(&addr, "GET", "/v1/shards", "").unwrap();
+        let doc = Json::parse(&shards_body).unwrap();
+        let shard1 = &doc.get("shards").and_then(Json::as_arr).unwrap()[1];
+        assert_eq!(shard1.get("quarantined"), Some(&Json::Bool(true)));
+        saw_reopen_attempt = shard1
+            .get("reopen_attempts")
+            .and_then(Json::as_i64)
+            .is_some_and(|n| n >= 1);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(saw_reopen_attempt, "guardian must be retrying the reopen");
+
+    // Heal the file: the next reopen succeeds and the shard re-enters
+    // rotation.
+    std::fs::write(&paths[1], &original).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut restored = false;
+    while std::time::Instant::now() < deadline && !restored {
+        let (_, health) = client_request(&addr, "GET", "/v1/healthz", "").unwrap();
+        restored = Json::parse(&health)
+            .unwrap()
+            .get("quarantined_shards")
+            .and_then(Json::as_i64)
+            == Some(0);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(restored, "guardian must restore the healed shard");
+
+    // Fully healed: a strict query answers 200 with the bit-exact complete
+    // ranking again.
+    let (status, response) = client_request(&addr, "POST", "/v1/query", &body).unwrap();
+    assert_eq!(status, 200, "{response}");
+    assert_eq!(wire_fingerprint(&response), expected);
+    let doc = Json::parse(&response).unwrap();
+    assert_eq!(doc.get("partial"), Some(&Json::Bool(false)));
+
+    server.shutdown();
+    cleanup(&paths);
+}
+
+#[test]
+fn drain_flips_healthz_and_rejects_new_queries() {
+    let (tables, train) = corpus();
+    let paths = save_shards(&tables, 2, "drain");
+    let shards = ShardSet::open(&paths).unwrap();
+    let mut server = Server::start(
+        ServerConfig {
+            workers: 1,
+            timeout_ms: 0,
+            ..ServerConfig::default()
+        },
+        shards,
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    wait_healthy(&addr, Duration::from_secs(5)).unwrap();
+
+    server.begin_drain();
+    assert!(server.is_draining());
+
+    // Readiness flips so load balancers stop routing here...
+    let (status, health) = client_request(&addr, "GET", "/v1/healthz", "").unwrap();
+    assert_eq!(status, 503);
+    let doc = Json::parse(&health).unwrap();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("draining"));
+
+    // ...and new queries get a typed 503 instead of scoring work.
+    let (status, response) =
+        client_request(&addr, "POST", "/v1/query", &request_body(&train, 3)).unwrap();
+    assert_eq!(status, 503, "{response}");
+    assert!(response.contains("\"code\":\"draining\""), "{response}");
+
+    // Nothing in flight: the drain completes immediately and shuts down.
+    assert!(server.drain(Duration::from_secs(1)));
+    cleanup(&paths);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_the_daemon_process_gracefully() {
+    let (tables, _train) = corpus();
+    let paths = save_shards(&tables, 2, "sigterm");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_joinmi_serve"))
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--drain-ms")
+        .arg("2000")
+        .args(&paths)
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // The daemon prints its bound address on stderr; read lines until then.
+    use std::io::BufRead;
+    let stderr = child.stderr.take().unwrap();
+    let mut reader = std::io::BufReader::new(stderr);
+    let mut addr = None;
+    let mut line = String::new();
+    while reader.read_line(&mut line).unwrap() > 0 {
+        if let Some(rest) = line
+            .trim()
+            .strip_prefix("joinmi_serve: listening on http://")
+        {
+            addr = Some(rest.to_owned());
+            break;
+        }
+        line.clear();
+    }
+    let addr = addr.expect("daemon must announce its address");
+    wait_healthy(&addr, Duration::from_secs(10)).unwrap();
+
+    // SIGTERM → graceful drain → clean exit 0.
+    let status = std::process::Command::new("kill")
+        .arg("-TERM")
+        .arg(child.id().to_string())
+        .status()
+        .unwrap();
+    assert!(status.success(), "kill -TERM must be delivered");
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let exit = loop {
+        if let Some(exit) = child.try_wait().unwrap() {
+            break exit;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon must exit after SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(exit.success(), "graceful drain exits 0, got {exit:?}");
+
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut rest).unwrap();
+    assert!(
+        rest.contains("draining"),
+        "drain must be announced on stderr: {rest}"
+    );
     cleanup(&paths);
 }

@@ -61,12 +61,14 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod format;
 pub mod repair;
 pub mod section;
 pub mod wire;
 
 pub use error::{Result, StoreError};
+pub use fault::{FaultAction, FaultKind, FaultPlan};
 pub use format::{
     read_header, write_header, write_header_with_version, ArtifactKind, FORMAT_VERSION,
     FORMAT_VERSION_V1, MAGIC,

@@ -1,0 +1,336 @@
+//! The deterministic fault matrix: every fsync, rename, and write of
+//! `append_to` and `compact` is failed (or silently corrupted) in its own
+//! run, and the file must then reopen — directly, or after one
+//! `recover_truncated` pass — to a ranking bit-for-bit equal to either the
+//! pre-operation or the post-operation state. Never a hybrid.
+//!
+//! This is the same contract `joinmi_bench chaos` sweeps over the full
+//! pipeline corpus in CI; here it is pinned as a test over the taxi
+//! scenario, plus a proptest over random append histories × random faults.
+
+use joinmi::discovery::persist::CompactMode;
+use joinmi::discovery::RepositoryConfig;
+use joinmi::prelude::*;
+use joinmi::store::fault::{self, FaultAction, FaultKind, FaultPlan, Trigger};
+use joinmi::synth::TaxiScenario;
+use proptest::prelude::*;
+
+fn scenario_query(scenario: &TaxiScenario) -> RelationshipQuery {
+    RelationshipQuery::new(scenario.taxi.clone(), "zipcode", "num_trips")
+        .with_sketch(SketchKind::Tupsk, SketchConfig::new(128, 3))
+        .with_min_join_size(8)
+}
+
+type Fp = Vec<(usize, u64, usize, usize)>;
+
+fn fingerprint(results: &[joinmi::discovery::RankedCandidate]) -> Fp {
+    results
+        .iter()
+        .map(|r| {
+            (
+                r.candidate_index,
+                r.mi.to_bits(),
+                r.sketch_join_size,
+                r.key_overlap,
+            )
+        })
+        .collect()
+}
+
+fn rank_file(path: &std::path::Path, query: &RelationshipQuery) -> Fp {
+    let snapshot = TableRepository::load_mmap_like(path).unwrap();
+    fingerprint(&query.execute(&snapshot).unwrap())
+}
+
+/// Reopen after a fault: a plain open, or `recover_truncated` then open.
+/// Panics if the file is unrecoverable — that is itself a contract failure.
+fn recovered_rank(path: &std::path::Path, query: &RelationshipQuery) -> Fp {
+    if let Ok(snapshot) = TableRepository::load_mmap_like(path) {
+        return fingerprint(&query.execute(&snapshot).unwrap());
+    }
+    TableRepository::recover_truncated(path).expect("recover_truncated after an injected fault");
+    rank_file(path, query)
+}
+
+fn temp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "joinmi-faultmx-{tag}-{}-{:?}.jmi",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// Base state on disk plus the chunk an append run would ingest.
+struct Harness {
+    scenario: TaxiScenario,
+    query: RelationshipQuery,
+    path: std::path::PathBuf,
+    base_bytes: Vec<u8>,
+    split: usize,
+}
+
+impl Harness {
+    fn new(tag: &str, split_pct: usize) -> Self {
+        let scenario = TaxiScenario::generate(30, 12, 3);
+        let query = scenario_query(&scenario);
+        let config = RepositoryConfig {
+            sketch: SketchConfig::new(128, 3),
+            ..RepositoryConfig::default()
+        };
+        let demo = scenario.demographics.clone();
+        let split = demo.num_rows() * split_pct / 100;
+        let path = temp(tag);
+        let mut repo = TableRepository::new(config);
+        repo.add_table(scenario.weather.clone()).unwrap();
+        repo.add_table(demo.slice_rows(0..split)).unwrap();
+        repo.add_table(scenario.inspections.clone()).unwrap();
+        repo.save(&path).unwrap();
+        let base_bytes = std::fs::read(&path).unwrap();
+        Harness {
+            scenario,
+            query,
+            path,
+            base_bytes,
+            split,
+        }
+    }
+
+    fn tail(&self) -> Table {
+        let demo = &self.scenario.demographics;
+        demo.slice_rows(self.split..demo.num_rows())
+    }
+
+    fn reset(&self) {
+        std::fs::write(&self.path, &self.base_bytes).unwrap();
+    }
+
+    /// Run `append_to` under `plan` against a pristine base file. The load
+    /// and the in-memory append happen before arming, so the injected fault
+    /// lands in the durability path itself.
+    fn append_under(&self, plan: FaultPlan) -> (Result<(), StoreError>, fault::FaultStats) {
+        self.reset();
+        let mut repo = TableRepository::load(&self.path).unwrap();
+        repo.append_rows(&self.tail()).unwrap();
+        let guard = fault::arm(plan);
+        let result = repo.append_to(&self.path);
+        (result, guard.stats())
+    }
+
+    /// Run `compact` under `plan` against a base + one-append-group file.
+    fn compact_under(
+        &self,
+        appended_bytes: &[u8],
+        plan: FaultPlan,
+    ) -> (Result<(), StoreError>, fault::FaultStats) {
+        std::fs::write(&self.path, appended_bytes).unwrap();
+        let guard = fault::arm(plan);
+        let result = TableRepository::compact(&self.path, CompactMode::Preserve).map(|_| ());
+        (result, guard.stats())
+    }
+
+    fn cleanup(&self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn fail_nth(kind: FaultKind, nth: u64) -> FaultPlan {
+    FaultPlan::observe().with(Trigger {
+        kind,
+        name: None,
+        nth,
+        action: FaultAction::Error,
+    })
+}
+
+/// Satellite leg 1: every fsync of `append_to` fails in its own run; the
+/// append reports the error and the file reopens to exactly the base or the
+/// appended ranking.
+#[test]
+fn every_append_fsync_failure_recovers_to_pre_or_post() {
+    let h = Harness::new("append-fsync", 60);
+    let pre = rank_file(&h.path, &h.query);
+
+    let (ok, stats) = h.append_under(FaultPlan::observe());
+    ok.unwrap();
+    let post = rank_file(&h.path, &h.query);
+    assert_ne!(pre, post, "the append tail must move the ranking");
+    let fsyncs = stats.count(FaultKind::Fsync);
+    assert!(fsyncs >= 1, "append_to must fsync its commit");
+
+    for nth in 0..fsyncs {
+        let (result, _) = h.append_under(fail_nth(FaultKind::Fsync, nth));
+        let err = result.unwrap_err();
+        assert!(
+            err.to_string().contains(fault::INJECTED_PREFIX),
+            "fsync #{nth}: the injected failure must surface, got: {err}"
+        );
+        let reopened = recovered_rank(&h.path, &h.query);
+        assert!(
+            reopened == pre || reopened == post,
+            "fsync #{nth}: reopened to a hybrid ranking"
+        );
+    }
+    h.cleanup();
+}
+
+/// Satellite leg 2: every fsync and the rename of `compact` fail in their
+/// own runs; the original file stays bit-for-bit readable (compaction never
+/// touches it before the atomic swap), and a retry then succeeds — the
+/// guardian's backoff-and-retry loop composes with these failures.
+#[test]
+fn every_compact_fsync_and_rename_failure_leaves_the_original_and_retries() {
+    let h = Harness::new("compact-fault", 60);
+    let (ok, _) = h.append_under(FaultPlan::observe());
+    ok.unwrap();
+    let appended_bytes = std::fs::read(&h.path).unwrap();
+    let expected = rank_file(&h.path, &h.query);
+
+    let (ok, stats) = h.compact_under(&appended_bytes, FaultPlan::observe());
+    ok.unwrap();
+    assert_eq!(
+        rank_file(&h.path, &h.query),
+        expected,
+        "compaction must not move the ranking"
+    );
+    let fsyncs = stats.count(FaultKind::Fsync);
+    let renames = stats.count(FaultKind::Rename);
+    assert!(fsyncs >= 1, "compact must fsync before the swap");
+    assert_eq!(renames, 1, "compact commits through exactly one rename");
+
+    let legs: Vec<(FaultKind, u64)> = (0..fsyncs)
+        .map(|n| (FaultKind::Fsync, n))
+        .chain(std::iter::once((FaultKind::Rename, 0)))
+        .collect();
+    for (kind, nth) in legs {
+        let (result, _) = h.compact_under(&appended_bytes, fail_nth(kind, nth));
+        let err = result.unwrap_err();
+        assert!(
+            err.to_string().contains(fault::INJECTED_PREFIX),
+            "{kind:?} #{nth}: the injected failure must surface, got: {err}"
+        );
+        // The served file is untouched: same bytes, same ranking, no
+        // recovery pass needed.
+        assert_eq!(
+            std::fs::read(&h.path).unwrap(),
+            appended_bytes,
+            "{kind:?} #{nth}: a failed compaction must leave the original bytes"
+        );
+        // And the operation is retryable: the next attempt (no faults)
+        // completes the fold.
+        TableRepository::compact(&h.path, CompactMode::Preserve).unwrap();
+        assert_eq!(rank_file(&h.path, &h.query), expected);
+    }
+    h.cleanup();
+}
+
+/// Satellite leg 3: a bit flipped inside any of `append_to`'s writes is
+/// either detected at reopen (and `recover_truncated` restores the base
+/// state exactly) or landed in the appended section without changing its
+/// decoded meaning — the reopened ranking is pre or post, never a third
+/// value.
+#[test]
+fn flipped_append_writes_never_yield_a_hybrid() {
+    let h = Harness::new("append-flip", 60);
+    let pre = rank_file(&h.path, &h.query);
+    let (ok, stats) = h.append_under(FaultPlan::observe());
+    ok.unwrap();
+    let post = rank_file(&h.path, &h.query);
+    let writes = stats.count(FaultKind::Write);
+    assert!(
+        writes >= 2,
+        "append_to must write the group and its trailer"
+    );
+
+    // Exhaustive over write sites (small corpus), three bit positions each.
+    for nth in 0..writes {
+        for bit in [0u64, 13, 7777] {
+            let plan = FaultPlan::observe().with(Trigger {
+                kind: FaultKind::Write,
+                name: None,
+                nth,
+                action: FaultAction::FlipBit(bit),
+            });
+            // The flip is silent: the append itself usually succeeds.
+            let (_, _) = h.append_under(plan);
+            let reopened = recovered_rank(&h.path, &h.query);
+            assert!(
+                reopened == pre || reopened == post,
+                "write #{nth} bit {bit}: reopened to a hybrid ranking"
+            );
+        }
+    }
+    h.cleanup();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random append split × random fault site × random action: the
+    /// pre-or-post contract holds across the whole matrix, not just the
+    /// hand-picked legs above.
+    #[test]
+    fn any_single_fault_during_append_or_compact_recovers_exactly(
+        split_pct in 30usize..80,
+        against_compact in any::<bool>(),
+        site in 0u64..10_000,
+        flip in any::<bool>(),
+        bit in 0u64..1_000_000,
+    ) {
+        let h = Harness::new("prop", split_pct);
+        let pre_append = rank_file(&h.path, &h.query);
+        let (ok, append_stats) = h.append_under(FaultPlan::observe());
+        ok.unwrap();
+        let post_append = rank_file(&h.path, &h.query);
+        let appended_bytes = std::fs::read(&h.path).unwrap();
+
+        // Pick the faulted operation and its (pre, post) states.
+        let (stats, pre, post) = if against_compact {
+            let (ok, stats) = h.compact_under(&appended_bytes, FaultPlan::observe());
+            ok.unwrap();
+            (stats, post_append.clone(), post_append.clone())
+        } else {
+            (append_stats, pre_append, post_append)
+        };
+
+        // Map the random site onto the op's real fault points: writes and
+        // fsyncs for flips-or-errors; creates/renames/reads error-only.
+        let error_kinds = [
+            FaultKind::Create, FaultKind::Write, FaultKind::Fsync,
+            FaultKind::Rename, FaultKind::Read,
+        ];
+        let kinds: &[FaultKind] = if flip { &[FaultKind::Write] } else { &error_kinds };
+        let total: u64 = kinds.iter().map(|&k| stats.count(k)).sum();
+        prop_assert!(total > 0, "every op writes and fsyncs, so the pool is never empty");
+        let mut index = site % total;
+        let mut chosen = (FaultKind::Write, 0u64);
+        for &kind in kinds {
+            let n = stats.count(kind);
+            if index < n {
+                chosen = (kind, index);
+                break;
+            }
+            index -= n;
+        }
+        let action = if flip { FaultAction::FlipBit(bit) } else { FaultAction::Error };
+        let plan = FaultPlan::observe().with(Trigger {
+            kind: chosen.0, name: None, nth: chosen.1, action,
+        });
+
+        let (result, _) = if against_compact {
+            h.compact_under(&appended_bytes, plan)
+        } else {
+            h.append_under(plan)
+        };
+        if !flip {
+            prop_assert!(result.is_err(), "an injected error must fail the operation");
+        }
+        let reopened = recovered_rank(&h.path, &h.query);
+        prop_assert!(
+            reopened == pre || reopened == post,
+            "{:?} #{} {:?} on {}: hybrid ranking after recovery",
+            chosen.0, chosen.1, action,
+            if against_compact { "compact" } else { "append_to" }
+        );
+        h.cleanup();
+    }
+}
