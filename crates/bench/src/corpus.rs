@@ -160,6 +160,95 @@ pub fn standard_query(rows: usize) -> RelationshipQuery {
         .with_top_k(0)
 }
 
+/// Key universe of the skewed uncertainty corpus (see [`skewed_tables`]).
+pub const SKEWED_KEYS: usize = 64;
+/// Strong candidate tables in the skewed uncertainty corpus.
+pub const SKEWED_STRONG: usize = 3;
+/// Shared keys per weak-tail table in the skewed uncertainty corpus.
+pub const SKEWED_WEAK_OVERLAP: usize = 8;
+
+/// Weak-tail tables for quick (CI) vs. full benchmark runs.
+#[must_use]
+pub fn skewed_weak_for(quick: bool) -> usize {
+    if quick {
+        120
+    } else {
+        300
+    }
+}
+
+/// The corpus of the uncertainty-ranking workload: a strong tie group —
+/// [`SKEWED_STRONG`] tables with full key overlap and one-to-one string
+/// features, every MI exactly `ln SKEWED_KEYS` — ahead of a long weak tail
+/// whose tables share only [`SKEWED_WEAK_OVERLAP`] keys each. The tail's
+/// cheap MI upper bound (`ln(overlap + 1) + γ` ≈ 2.77 nats) sits below the
+/// strong group's credible lower bound (≈ 3.7 nats), so an interval top-k
+/// query early-terminates the entire tail after the first screening chunk
+/// while an exhaustive query must join and estimate every table.
+#[must_use]
+pub fn skewed_tables(weak: usize) -> Vec<Table> {
+    fn strs(v: &[String]) -> Vec<&str> {
+        v.iter().map(String::as_str).collect()
+    }
+    let keys: Vec<String> = (0..SKEWED_KEYS).map(|i| format!("key-{i:02}")).collect();
+    let mut tables = Vec::with_capacity(SKEWED_STRONG + weak);
+    for t in 0..SKEWED_STRONG {
+        let feature: Vec<String> = (0..SKEWED_KEYS).map(|i| format!("f{t}-{i}")).collect();
+        tables.push(
+            Table::builder(format!("strong{t}"))
+                .push_str_column("key", strs(&keys))
+                .push_str_column("feat", strs(&feature))
+                .build()
+                .expect("strong table"),
+        );
+    }
+    for t in 0..weak {
+        let mut weak_keys: Vec<String> = (0..SKEWED_WEAK_OVERLAP)
+            .map(|i| format!("key-{i:02}"))
+            .collect();
+        weak_keys.extend((0..40).map(|j| format!("weak{t}-{j}")));
+        let feature: Vec<String> = (0..weak_keys.len()).map(|i| format!("w{t}-{i}")).collect();
+        tables.push(
+            Table::builder(format!("weak{t}"))
+                .push_str_column("key", strs(&weak_keys))
+                .push_str_column("feat", strs(&feature))
+                .build()
+                .expect("weak table"),
+        );
+    }
+    tables
+}
+
+/// Repository configuration for the skewed uncertainty corpus.
+#[must_use]
+pub fn skewed_config() -> RepositoryConfig {
+    RepositoryConfig {
+        sketch: SketchConfig::new(256, 5),
+        ..RepositoryConfig::default()
+    }
+}
+
+/// The base query of the uncertainty-ranking workload: interval scoring at
+/// the 95% level over the full skewed key universe. Callers pick `top_k`
+/// (0 = exhaustive baseline, small k = early-terminating run).
+#[must_use]
+pub fn skewed_query() -> RelationshipQuery {
+    let keys: Vec<String> = (0..SKEWED_KEYS).map(|i| format!("key-{i:02}")).collect();
+    let target: Vec<String> = (0..SKEWED_KEYS).map(|i| format!("t{i}")).collect();
+    let train = Table::builder("train")
+        .push_str_column("key", keys.iter().map(String::as_str).collect::<Vec<_>>())
+        .push_str_column(
+            "target",
+            target.iter().map(String::as_str).collect::<Vec<_>>(),
+        )
+        .build()
+        .expect("skewed train table");
+    RelationshipQuery::new(train, "key", "target")
+        .with_sketch(SketchKind::Tupsk, SketchConfig::new(256, 5))
+        .with_min_join_size(3)
+        .with_confidence(0.95)
+}
+
 /// Fingerprint of a ranking for bit-for-bit identity checks across
 /// processes: candidate index, exact MI bits, join size, key overlap.
 #[must_use]

@@ -16,7 +16,7 @@
 //! targets, the parallel ingest-and-query pipeline workload, the repository
 //! save/load/compact workload, and the cross-query stage-cache workload, and
 //! emits a machine-readable JSON (bench name → median wall nanoseconds;
-//! default `BENCH_PR8.json`) that seeds the perf trajectory for future PRs. Unlike
+//! default `BENCH_PR10.json`) that seeds the perf trajectory for future PRs. Unlike
 //! the criterion benches (minutes), quick mode finishes in seconds, so CI
 //! runs it on every push.
 //!
@@ -77,7 +77,7 @@ fn print_usage() {
     eprintln!("       joinmi_bench chaos [--rows N] [--seed N] [--max-cases N]");
     eprintln!();
     eprintln!("  --quick   small iteration counts / workloads (seconds, not minutes)");
-    eprintln!("  --json    write benchmark results to PATH (default BENCH_PR8.json)");
+    eprintln!("  --json    write benchmark results to PATH (default BENCH_PR10.json)");
     eprintln!("  --base    ingest the corpus minus its append tail (the daemon's day-0 state)");
     eprintln!("  --append  load REPO, append the corpus tail rows, extend the file in place");
     eprintln!("  --seal    also drop builder state; the compacted file rejects future appends");
@@ -560,6 +560,71 @@ fn cmd_serve_check(args: &[String]) -> i32 {
             "serve-check: stage-cache estimate_hits {hits_before} -> {hits_after} \
              across the re-ranked variant"
         );
+
+        // An interval variant: `confidence` is part of the query identity
+        // (its own result-cache entry), every result gains credible-interval
+        // fields bracketing the point estimate, and the ranking stays the
+        // bit-for-bit point ranking — intervals are decoration, not a
+        // different order.
+        let interval_body = body.replace(r#""top_k": 0"#, r#""confidence": 0.95, "top_k": 0"#);
+        let start = Instant::now();
+        let (status, text) = joinmi_serve::client_request(url, "POST", "/v1/query", &interval_body)
+            .map_err(|e| format!("interval variant: request failed: {e}"))?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if status != 200 {
+            return Err(format!("interval variant: status {status}: {text}"));
+        }
+        let fourth = Json::parse(&text).map_err(|e| format!("interval variant: bad JSON: {e}"))?;
+        println!(
+            "serve-check: interval variant answered in {ms:.1} ms (cached: {:?})",
+            fourth.get("cached")
+        );
+        if fourth.get("cached") == Some(&Json::Bool(true)) {
+            return Err("interval variant unexpectedly hit the result cache".to_owned());
+        }
+        if wire_fingerprint(&fourth)? != expected {
+            return Err("interval ranking diverges from the point ranking".to_owned());
+        }
+        let rows = fourth
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "interval response has no results array".to_owned())?;
+        for row in rows {
+            let field = |name: &str| {
+                row.get(name)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("interval result row missing `{name}`"))
+            };
+            let (mi, var, lo, hi) = (
+                field("mi")?,
+                field("mi_var")?,
+                field("ci_lo")?,
+                field("ci_hi")?,
+            );
+            if !(var >= 0.0 && lo <= mi && mi <= hi) {
+                return Err(format!(
+                    "interval result violates 0 ≤ var, ci_lo ≤ mi ≤ ci_hi: \
+                     mi={mi}, var={var}, ci_lo={lo}, ci_hi={hi}"
+                ));
+            }
+        }
+        println!(
+            "serve-check: interval variant decorated {} results (ci_lo ≤ mi ≤ ci_hi verified)",
+            rows.len()
+        );
+
+        // The early-termination / pruning counters must be surfaced.
+        let (status, text) = joinmi_serve::client_request(url, "GET", "/v1/shards", "")
+            .map_err(|e| format!("GET /v1/shards failed: {e}"))?;
+        if status != 200 {
+            return Err(format!("GET /v1/shards: status {status}: {text}"));
+        }
+        let doc = Json::parse(&text).map_err(|e| format!("bad /v1/shards JSON: {e}"))?;
+        for counter in ["early_stopped", "pruned"] {
+            if doc.get(counter).and_then(Json::as_i64).is_none() {
+                return Err(format!("/v1/shards is missing the `{counter}` counter"));
+            }
+        }
         Ok(())
     };
     match check() {
@@ -659,7 +724,7 @@ fn cmd_compare(args: &[String]) -> i32 {
 fn cmd_bench(args: &[String]) -> i32 {
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let out_path = flag_value(args, "--out").unwrap_or("BENCH_PR8.json");
+    let out_path = flag_value(args, "--out").unwrap_or("BENCH_PR10.json");
 
     // Quick mode: smaller tables and fewer repetitions; default mode uses the
     // criterion-bench sizes for closer comparability.
@@ -670,6 +735,8 @@ fn cmd_bench(args: &[String]) -> i32 {
     pipeline_workload(quick, &mut results);
     store_workload(quick, &mut results);
     cache_workload(quick, &mut results);
+    query_workload(quick, &mut results);
+    calibration_smoke(&mut results);
     results.push((
         quickjson::HOST_PARALLELISM_KEY.to_owned(),
         std::thread::available_parallelism().map_or(1.0, |n| n.get() as f64),
@@ -1180,6 +1247,92 @@ fn cache_workload(quick: bool, results: &mut Vec<(String, f64)>) {
         } else {
             0.0
         },
+    ));
+}
+
+/// The PR 10 uncertainty-ranking workload: interval top-k with early
+/// termination vs. exhaustive interval scoring over the skewed corpus
+/// (strong tie group + long weak tail — see [`corpus::skewed_tables`]).
+/// Verifies before timing that the early-terminating top-k is bit-for-bit
+/// the truncated exhaustive ranking and that termination actually fired.
+fn query_workload(quick: bool, results: &mut Vec<(String, f64)>) {
+    let reps = if quick { 5 } else { 9 };
+    let weak = corpus::skewed_weak_for(quick);
+    let mut repo = TableRepository::new(corpus::skewed_config());
+    repo.add_tables(corpus::skewed_tables(weak))
+        .expect("ingest");
+
+    let exhaustive = corpus::skewed_query().with_top_k(0);
+    let topk = corpus::skewed_query().with_top_k(3);
+
+    let (mut ex, _) = exhaustive
+        .execute_cached_stats(&repo, None)
+        .expect("exhaustive interval query");
+    let (tk, stats) = topk
+        .execute_cached_stats(&repo, None)
+        .expect("top-k interval query");
+    assert!(
+        stats.early_stopped > 0,
+        "interval top-k never early-terminated (stats: {stats:?})"
+    );
+    ex.truncate(tk.len());
+    assert_eq!(
+        corpus::ranking_fingerprint(&ex),
+        corpus::ranking_fingerprint(&tk),
+        "early-terminated top-k diverged from the exhaustive ranking"
+    );
+
+    let exhaustive_ns = median_ns(reps, || {
+        exhaustive.execute(&repo).expect("exhaustive").len()
+    });
+    let early_ns = median_ns(reps, || topk.execute(&repo).expect("top-k").len());
+
+    results.push(("query/exhaustive_interval".to_owned(), exhaustive_ns));
+    results.push(("query/early_term_topk".to_owned(), early_ns));
+    results.push((
+        "query/early_term_speedup".to_owned(),
+        if early_ns > 0.0 {
+            exhaustive_ns / early_ns
+        } else {
+            0.0
+        },
+    ));
+}
+
+/// Calibration smoke: the credible intervals that drive early termination
+/// must stay calibrated. Runs a small sweep of the eval crate's calibration
+/// experiment and records the worst per-cell coverage (percent) in the JSON;
+/// fails loudly if any cell drops below half of nominal.
+fn calibration_smoke(results: &mut Vec<(String, f64)>) {
+    use joinmi_eval::experiments::calibration;
+
+    let cfg = calibration::Config {
+        trials: 8,
+        corpus_rows: vec![1_000],
+        null_fractions: vec![0.0, 0.3],
+        reference_rows: 8_000,
+        level: 0.9,
+        seed: 42,
+    };
+    let series = calibration::run(&cfg);
+    let mut worst = 1.0f64;
+    for ((rows, nf), trials) in &series {
+        assert!(
+            !trials.is_empty(),
+            "calibration cell {rows}/{nf} produced no trials"
+        );
+        let coverage = trials.iter().filter(|t| t.covered()).count() as f64 / trials.len() as f64;
+        assert!(
+            coverage >= cfg.level / 2.0,
+            "calibration collapsed at {rows} rows / {nf}‰ NULLs: coverage {coverage:.2} \
+             under nominal {}",
+            cfg.level
+        );
+        worst = worst.min(coverage);
+    }
+    results.push((
+        "calibration/worst_cell_coverage_pct".to_owned(),
+        worst * 100.0,
     ));
 }
 

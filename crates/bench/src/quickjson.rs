@@ -14,9 +14,12 @@ use std::fmt::Write as _;
 /// k-NN kernel and the KSG estimate built on it), the PR 7 cross-query
 /// stage-cache speedups (warm hit path vs. cold execution — gated so the
 /// cache never silently degrades into re-doing the work it claims to skip),
-/// and the PR 8 compacted-load speedup (loading a compacted+sealed file vs.
-/// replaying its append log — gated so compaction keeps paying for itself).
-pub const GATED_MEDIANS: [&str; 7] = [
+/// the PR 8 compacted-load speedup (loading a compacted+sealed file vs.
+/// replaying its append log — gated so compaction keeps paying for itself),
+/// and the PR 10 early-termination speedup (interval top-k vs. exhaustive
+/// interval scoring on the skewed corpus — gated so the screening bound
+/// keeps actually skipping the weak tail).
+pub const GATED_MEDIANS: [&str; 8] = [
     "sketch_join/tupsk_n256",
     "estimators/mle_on_sketch_join",
     "knn/chebyshev_n4096",
@@ -24,6 +27,7 @@ pub const GATED_MEDIANS: [&str; 7] = [
     "cache/estimate_hit_speedup",
     "cache/join_hit_speedup",
     "store/compacted_load_speedup",
+    "query/early_term_speedup",
 ];
 
 /// Returns `true` for medians where *larger is better* (speedup ratios, not

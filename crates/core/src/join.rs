@@ -6,8 +6,8 @@
 //! selected from the value data types exactly as in the paper's experiments.
 
 use joinmi_estimators::{
-    pearson, select_estimator, spearman, EstimatorError, EstimatorKind, EstimatorWorkspace,
-    MiEstimate, Variable, DEFAULT_K,
+    mi_interval, pearson, select_estimator, spearman, EstimatorError, EstimatorKind,
+    EstimatorWorkspace, MiEstimate, MiInterval, Variable, DEFAULT_K,
 };
 use joinmi_hash::{digest_map_with_capacity, DigestHashMap};
 use joinmi_table::{DataType, Value};
@@ -186,6 +186,28 @@ impl JoinedSketch {
         let (x, y) = self.variables()?;
         let kind = select_estimator(&x, &y);
         joinmi_estimators::estimate_mi_with_workspace(ws, &x, &y, kind, k)
+    }
+
+    /// Estimates MI like [`Self::estimate_mi_in`] and additionally computes a
+    /// Hutter–Zaffalon posterior credible interval around the point estimate
+    /// at the given two-sided `level`.
+    ///
+    /// The point estimate is produced by exactly the same code path as
+    /// [`Self::estimate_mi_in`] — same estimator selection, same workspace
+    /// reuse — so its value is bit-for-bit identical to the point-only call;
+    /// the interval is pure decoration computed from the contingency table of
+    /// the same sample (continuous sides grouped by exact equality).
+    pub fn estimate_mi_interval_in(
+        &self,
+        ws: &mut EstimatorWorkspace,
+        k: usize,
+        level: f64,
+    ) -> Result<(MiEstimate, MiInterval), EstimatorError> {
+        let (x, y) = self.variables()?;
+        let kind = select_estimator(&x, &y);
+        let est = joinmi_estimators::estimate_mi_with_workspace(ws, &x, &y, kind, k)?;
+        let interval = mi_interval(&x, &y, est.mi, level)?;
+        Ok((est, interval))
     }
 
     /// Estimates MI with an explicitly chosen estimator.
@@ -378,6 +400,31 @@ mod tests {
         assert!(ints.resident_bytes() > empty.resident_bytes());
         // Same pair count, but string payloads add heap bytes.
         assert!(strs.resident_bytes() > ints.resident_bytes());
+    }
+
+    #[test]
+    fn interval_estimate_reproduces_point_estimate_bit_for_bit() {
+        let n = 64u64;
+        let left_rows: Vec<(u64, Value)> =
+            (0..n).map(|i| (i, Value::Int((i % 8) as i64))).collect();
+        let right_rows: Vec<(u64, Value)> = (0..n)
+            .map(|i| (i, Value::Float((i % 8) as f64 * 2.0)))
+            .collect();
+        let joined = sketch(Side::Left, DataType::Int, left_rows).join(&sketch(
+            Side::Right,
+            DataType::Float,
+            right_rows,
+        ));
+        let mut ws = EstimatorWorkspace::new();
+        let point = joined.estimate_mi_in(&mut ws, 3).unwrap();
+        let (est, iv) = joined.estimate_mi_interval_in(&mut ws, 3, 0.95).unwrap();
+        assert_eq!(point.mi.to_bits(), est.mi.to_bits());
+        assert_eq!(point.estimator, est.estimator);
+        assert!(iv.ci_lo >= 0.0);
+        assert!(iv.ci_lo <= est.mi && est.mi <= iv.ci_hi);
+        assert!(iv.variance >= 0.0);
+        // A bad confidence level is rejected.
+        assert!(joined.estimate_mi_interval_in(&mut ws, 3, 1.5).is_err());
     }
 
     #[test]

@@ -67,8 +67,8 @@ impl Default for StageCacheConfig {
     }
 }
 
-/// A memoized level-2 result: everything `score_hit` needs to rebuild a
-/// ranked candidate without touching the join or the estimator.
+/// A memoized level-2 result: everything the scoring engine needs to rebuild
+/// a ranked candidate without touching the join or the estimator.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CachedEstimate {
     /// Estimated mutual information (nats), bit-exact as first computed.
@@ -79,6 +79,22 @@ pub struct CachedEstimate {
     pub n: usize,
     /// Sketch-join size (needed to re-apply the `min_join_size` gate).
     pub join_size: usize,
+    /// Credible interval around `mi`, present only for entries written under
+    /// an interval scoring policy. Point entries store `None`; the policy
+    /// component of the level-2 key keeps the two from ever aliasing.
+    pub interval: Option<CachedInterval>,
+}
+
+/// The interval decoration of a cached interval-policy estimate, bit-exact as
+/// first computed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedInterval {
+    /// Posterior variance of the estimate.
+    pub variance: f64,
+    /// Lower credible bound.
+    pub ci_lo: f64,
+    /// Upper credible bound.
+    pub ci_hi: f64,
 }
 
 /// Counters and occupancy of a [`QueryStageCache`], as one coherent snapshot.
@@ -104,8 +120,10 @@ pub struct CacheStats {
 
 /// Level-1 key: (left fingerprint hi, left fingerprint lo, candidate sketch id).
 type JoinKey = (u64, u64, u64);
-/// Level-2 key: the level-1 key plus the estimator neighbour count `k`.
-type EstimateKey = (u64, u64, u64, u64);
+/// Level-2 key: the level-1 key plus the estimator neighbour count `k` and
+/// the scoring-policy code (0 for point scoring, the confidence level's bit
+/// pattern for interval scoring), so point and interval results never alias.
+type EstimateKey = (u64, u64, u64, u64, u64);
 
 #[derive(Debug)]
 struct JoinEntry {
@@ -437,19 +455,23 @@ impl CacheScope<'_> {
         );
     }
 
-    /// Level-2 lookup: the MI estimate for (left fingerprint, candidate, `k`).
+    /// Level-2 lookup: the MI estimate for (left fingerprint, candidate, `k`,
+    /// scoring policy). `policy` is the policy code — `0` for point scoring,
+    /// the confidence level's bit pattern for interval scoring.
     #[must_use]
     pub fn get_estimate(
         &self,
         left_fp: (u64, u64),
         candidate_index: usize,
         k: usize,
+        policy: u64,
     ) -> Option<CachedEstimate> {
         self.cache.get_estimate((
             left_fp.0,
             left_fp.1,
             self.sketch_id(candidate_index),
             k as u64,
+            policy,
         ))
     }
 
@@ -459,6 +481,7 @@ impl CacheScope<'_> {
         left_fp: (u64, u64),
         candidate_index: usize,
         k: usize,
+        policy: u64,
         estimate: CachedEstimate,
     ) {
         self.cache.put_estimate(
@@ -467,6 +490,7 @@ impl CacheScope<'_> {
                 left_fp.1,
                 self.sketch_id(candidate_index),
                 k as u64,
+                policy,
             ),
             estimate,
         );
@@ -495,6 +519,7 @@ mod tests {
             estimator: EstimatorKind::Mle,
             n: 32,
             join_size: 32,
+            interval: None,
         }
     }
 
@@ -515,18 +540,36 @@ mod tests {
         scope.put_join(fp, 0, joined(8));
         assert!(scope.get_join(fp, 0).is_some());
 
-        assert!(scope.get_estimate(fp, 0, 3).is_none());
-        scope.put_estimate(fp, 0, 3, estimate(0.5));
-        assert_eq!(scope.get_estimate(fp, 0, 3).unwrap().mi, 0.5);
+        assert!(scope.get_estimate(fp, 0, 3, 0).is_none());
+        scope.put_estimate(fp, 0, 3, 0, estimate(0.5));
+        assert_eq!(scope.get_estimate(fp, 0, 3, 0).unwrap().mi, 0.5);
         // A different k is a different level-2 key.
-        assert!(scope.get_estimate(fp, 0, 4).is_none());
+        assert!(scope.get_estimate(fp, 0, 4, 0).is_none());
+        // A different scoring policy is a different level-2 key: point (code
+        // 0) and interval (level bit pattern) results never alias.
+        let level_code = 0.95f64.to_bits();
+        assert!(scope.get_estimate(fp, 0, 3, level_code).is_none());
+        let with_interval = CachedEstimate {
+            interval: Some(CachedInterval {
+                variance: 0.01,
+                ci_lo: 0.4,
+                ci_hi: 0.6,
+            }),
+            ..estimate(0.5)
+        };
+        scope.put_estimate(fp, 0, 3, level_code, with_interval);
+        assert_eq!(
+            scope.get_estimate(fp, 0, 3, level_code).unwrap(),
+            with_interval
+        );
+        assert_eq!(scope.get_estimate(fp, 0, 3, 0).unwrap(), estimate(0.5));
 
         let stats = cache.stats();
         assert_eq!(stats.join_hits, 1);
         assert_eq!(stats.join_misses, 1);
-        assert_eq!(stats.estimate_hits, 1);
-        assert_eq!(stats.estimate_misses, 2);
-        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.estimate_hits, 3);
+        assert_eq!(stats.estimate_misses, 3);
+        assert_eq!(stats.entries, 3);
         assert!(stats.resident_bytes > 0);
     }
 
@@ -565,11 +608,11 @@ mod tests {
         let cache = QueryStageCache::new(unbounded_bytes(2));
         let scope = cache.scope(0);
         let fp = (0, 0);
-        scope.put_estimate(fp, 0, 3, estimate(0.1));
+        scope.put_estimate(fp, 0, 3, 0, estimate(0.1));
         scope.put_join(fp, 1, joined(4));
         // The estimate is oldest, so it goes first.
         scope.put_join(fp, 2, joined(4));
-        assert!(scope.get_estimate(fp, 0, 3).is_none());
+        assert!(scope.get_estimate(fp, 0, 3, 0).is_none());
         assert!(scope.get_join(fp, 1).is_some());
         assert!(scope.get_join(fp, 2).is_some());
     }
@@ -603,7 +646,7 @@ mod tests {
         let cache = QueryStageCache::with_generation(StageCacheConfig::default(), 10);
         let scope = cache.scope(0);
         scope.put_join((1, 1), 0, joined(4));
-        scope.put_estimate((1, 1), 0, 3, estimate(0.2));
+        scope.put_estimate((1, 1), 0, 3, 0, estimate(0.2));
         assert!(scope.get_join((1, 1), 0).is_some());
 
         cache.set_generation(10); // same generation: no-op
@@ -624,9 +667,9 @@ mod tests {
         assert!(cache.is_disabled());
         let scope = cache.scope(0);
         scope.put_join((1, 1), 0, joined(4));
-        scope.put_estimate((1, 1), 0, 3, estimate(0.2));
+        scope.put_estimate((1, 1), 0, 3, 0, estimate(0.2));
         assert!(scope.get_join((1, 1), 0).is_none());
-        assert!(scope.get_estimate((1, 1), 0, 3).is_none());
+        assert!(scope.get_estimate((1, 1), 0, 3, 0).is_none());
         assert_eq!(cache.stats(), CacheStats::default());
     }
 
@@ -635,10 +678,10 @@ mod tests {
         let cache = QueryStageCache::new(StageCacheConfig::default());
         let scope = cache.scope(0);
         scope.put_join((1, 1), 0, joined(4));
-        scope.put_estimate((1, 1), 0, 3, estimate(0.2));
+        scope.put_estimate((1, 1), 0, 3, 0, estimate(0.2));
         cache.clear_estimates();
         assert!(scope.get_join((1, 1), 0).is_some());
-        assert!(scope.get_estimate((1, 1), 0, 3).is_none());
+        assert!(scope.get_estimate((1, 1), 0, 3, 0).is_none());
         assert_eq!(cache.stats().entries, 1);
     }
 
@@ -652,10 +695,10 @@ mod tests {
         assert_eq!(cache.stats().resident_bytes, once);
         assert_eq!(cache.stats().entries, 1);
 
-        scope.put_estimate((1, 1), 0, 3, estimate(0.2));
+        scope.put_estimate((1, 1), 0, 3, 0, estimate(0.2));
         let with_est = cache.stats().resident_bytes;
-        scope.put_estimate((1, 1), 0, 3, estimate(0.3));
+        scope.put_estimate((1, 1), 0, 3, 0, estimate(0.3));
         assert_eq!(cache.stats().resident_bytes, with_est);
-        assert_eq!(scope.get_estimate((1, 1), 0, 3).unwrap().mi, 0.3);
+        assert_eq!(scope.get_estimate((1, 1), 0, 3, 0).unwrap().mi, 0.3);
     }
 }

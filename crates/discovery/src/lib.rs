@@ -39,11 +39,13 @@ pub mod query;
 pub mod repository;
 
 pub use augment::AugmentationPlan;
-pub use cache::{CacheScope, CacheStats, CachedEstimate, QueryStageCache, StageCacheConfig};
+pub use cache::{
+    CacheScope, CacheStats, CachedEstimate, CachedInterval, QueryStageCache, StageCacheConfig,
+};
 pub use index::{IndexDelta, JoinabilityIndex};
 pub use persist::{CompactMode, CompactionReport, RepositorySnapshot};
 pub use profile::{ColumnProfile, TableProfile};
-pub use query::{sort_by_mi_desc, RankedCandidate, RelationshipQuery};
+pub use query::{sort_by_mi_desc, QueryStats, RankedCandidate, RelationshipQuery, ScoringPolicy};
 pub use repository::{CandidateColumn, CandidateSource, RepositoryConfig, TableRepository};
 
 /// Result alias reusing the table error type.

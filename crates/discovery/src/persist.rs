@@ -1261,6 +1261,17 @@ impl CandidateSource for RepositorySnapshot {
     fn joinability(&self) -> &JoinabilityIndex {
         &self.index
     }
+
+    fn key_distinct_bound(&self, index: usize) -> Option<usize> {
+        // Resolving the bound decodes the candidate (key-column name), which
+        // the scoring path was about to do anyway for any candidate it joins;
+        // pruned candidates pay one decode but skip the join and estimate.
+        crate::repository::key_distinct_bound_from(
+            self.candidate(index),
+            &self.profiles,
+            &self.distincts,
+        )
+    }
 }
 
 #[cfg(test)]

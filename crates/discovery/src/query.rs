@@ -1,16 +1,105 @@
 //! Relationship-discovery queries: rank candidate augmentations by estimated
 //! MI with the query table's target column, without materializing any join.
+//!
+//! Scoring runs through **one** internal engine ([`RelationshipQuery`]'s
+//! `run_engine`) parameterized on three axes:
+//!
+//! * **strategy** — parallel fan-out across `JOINMI_THREADS` workers or
+//!   sequential scoring with a caller-owned workspace (the serving daemon's
+//!   per-worker hot path);
+//! * **cache** — an optional cross-query [`CacheScope`] consulted before the
+//!   join and estimate stages;
+//! * **policy** — [`ScoringPolicy::Point`] (today's behaviour, bit-for-bit)
+//!   or [`ScoringPolicy::Interval`], which decorates every estimate with a
+//!   Hutter–Zaffalon posterior credible interval and **early-terminates**
+//!   candidates whose cheap upper bound cannot reach the running top-k lower
+//!   bound.
+//!
+//! The four public `execute*` entry points are thin delegating wrappers over
+//! this engine, so the parallel/sequential × cached/uncached combinations
+//! cannot drift apart.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use joinmi_estimators::{EstimatorKind, EstimatorWorkspace, DEFAULT_K};
+use joinmi_estimators::special::EULER_MASCHERONI;
+use joinmi_estimators::{EstimatorKind, EstimatorWorkspace, MiInterval, DEFAULT_K};
+use joinmi_hash::{digest_map_with_capacity, DigestHashMap};
 use joinmi_sketch::{Aggregation, ColumnSketch, JoinedSketch, SketchConfig, SketchKind};
-use joinmi_table::Table;
+use joinmi_table::{Table, TableError};
 
-use crate::cache::{CacheScope, CachedEstimate};
+use crate::cache::{CacheScope, CachedEstimate, CachedInterval};
 use crate::repository::CandidateSource;
 use crate::Result;
+
+/// How candidate estimates are scored and ranked.
+///
+/// Both policies rank by the point estimate `mi` with the same stable sort,
+/// so the interval policy returns the **same candidates in the same order**
+/// as the point policy — the interval is decoration plus a license to skip
+/// candidates that provably cannot reach the top-k. The policy is part of the
+/// level-2 cache key (via [`Self::cache_code`]), so point and interval
+/// results never alias.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScoringPolicy {
+    /// Rank by the point MI estimate alone (the default).
+    Point,
+    /// Attach a posterior credible interval to every estimate and
+    /// early-terminate candidates whose upper bound falls below the running
+    /// top-k lower bound.
+    Interval {
+        /// Two-sided confidence level in `(0, 1)`, e.g. `0.95`.
+        level: f64,
+    },
+}
+
+impl ScoringPolicy {
+    /// The level-2 cache-key component for this policy: `0` for point
+    /// scoring, the confidence level's bit pattern (never `0` for a valid
+    /// level) for interval scoring.
+    #[must_use]
+    pub fn cache_code(self) -> u64 {
+        match self {
+            Self::Point => 0,
+            Self::Interval { level } => level.to_bits(),
+        }
+    }
+
+    /// The confidence level, when interval scoring is requested.
+    #[must_use]
+    pub fn level(self) -> Option<f64> {
+        match self {
+            Self::Point => None,
+            Self::Interval { level } => Some(level),
+        }
+    }
+}
+
+/// Execution counters of one query run, reported by the `*_stats` entry
+/// points (and surfaced per shard by the serving daemon).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Candidates skipped by interval early termination: their cheap MI
+    /// upper bound fell below the running top-k lower bound before the join
+    /// stage ran.
+    pub early_stopped: usize,
+    /// Candidates skipped by the distinct-sketch join-size bound: no
+    /// plausible join could reach `min_join_size`, so the join stage was
+    /// never entered.
+    pub pruned: usize,
+    /// Candidates that produced a ranked result (before top-k truncation).
+    pub scored: usize,
+}
+
+impl QueryStats {
+    /// Accumulates another run's counters into this one (used by the serving
+    /// daemon to aggregate across shards).
+    pub fn merge(&mut self, other: QueryStats) {
+        self.early_stopped += other.early_stopped;
+        self.pruned += other.pruned;
+        self.scored += other.scored;
+    }
+}
 
 /// One ranked candidate augmentation.
 #[derive(Debug, Clone)]
@@ -35,6 +124,9 @@ pub struct RankedCandidate {
     pub sketch_join_size: usize,
     /// Number of overlapping sampled keys found by the joinability index.
     pub key_overlap: usize,
+    /// Posterior credible interval around `mi`, present iff the query ran
+    /// under [`ScoringPolicy::Interval`]. Satisfies `ci_lo ≤ mi ≤ ci_hi`.
+    pub interval: Option<MiInterval>,
 }
 
 impl RankedCandidate {
@@ -75,11 +167,19 @@ pub struct RelationshipQuery {
     /// Neighbour count for the KSG-family estimators (part of the estimator
     /// configuration, and therefore of the level-2 cache key).
     pub k: usize,
+    /// How estimates are scored and ranked (part of the level-2 cache key).
+    pub policy: ScoringPolicy,
+    /// Skip candidates whose join-size upper bound — from the key-overlap
+    /// count and the repository's per-column distinct sketches — cannot reach
+    /// `min_join_size`, before the join stage runs. The bound is sound, so
+    /// rankings are bit-for-bit identical with pruning on or off; the knob
+    /// exists so tests can pin that equivalence.
+    pub prune_by_distinct: bool,
 }
 
 impl RelationshipQuery {
     /// Creates a query with default parameters (top 10, minimum join size 20,
-    /// TUPSK sketches of size 1024).
+    /// TUPSK sketches of size 1024, point scoring, pruning enabled).
     #[must_use]
     pub fn new(train: Table, key_column: &str, target_column: &str) -> Self {
         Self {
@@ -92,6 +192,8 @@ impl RelationshipQuery {
             sketch_kind: SketchKind::Tupsk,
             sketch: SketchConfig::new(1024, 0),
             k: DEFAULT_K,
+            policy: ScoringPolicy::Point,
+            prune_by_distinct: true,
         }
     }
 
@@ -123,6 +225,31 @@ impl RelationshipQuery {
     #[must_use]
     pub fn with_k(mut self, k: usize) -> Self {
         self.k = k;
+        self
+    }
+
+    /// Sets the scoring policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ScoringPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Requests interval scoring at the given two-sided confidence level
+    /// (e.g. `0.95`) — shorthand for
+    /// `with_policy(ScoringPolicy::Interval { level })`. The level is
+    /// validated at execution time; values outside `(0, 1)` fail the query.
+    #[must_use]
+    pub fn with_confidence(mut self, level: f64) -> Self {
+        self.policy = ScoringPolicy::Interval { level };
+        self
+    }
+
+    /// Enables or disables the distinct-sketch join-size pruning stage
+    /// (enabled by default; the ranking is identical either way).
+    #[must_use]
+    pub fn with_distinct_pruning(mut self, enabled: bool) -> Self {
+        self.prune_by_distinct = enabled;
         self
     }
 
@@ -187,32 +314,35 @@ impl RelationshipQuery {
         repository: &S,
         cache: Option<&CacheScope<'_>>,
     ) -> Result<Vec<RankedCandidate>> {
-        let (query_sketch, hits) = self.probe(repository)?;
-        let left_fp = left_fingerprint(&query_sketch, cache);
+        Ok(self.execute_cached_stats(repository, cache)?.0)
+    }
 
+    /// [`Self::execute_cached`], additionally reporting the run's
+    /// [`QueryStats`].
+    pub fn execute_cached_stats<S: CandidateSource + Sync>(
+        &self,
+        repository: &S,
+        cache: Option<&CacheScope<'_>>,
+    ) -> Result<(Vec<RankedCandidate>, QueryStats)> {
         // One estimator workspace per worker: candidates scored on the same
         // worker share the sort-once buffers of the KSG-family estimators.
-        let scored: Vec<Option<RankedCandidate>> = joinmi_par::par_map_with(
-            &hits,
-            EstimatorWorkspace::new,
-            |ws, &(candidate_index, key_overlap)| {
-                self.score_hit(
-                    repository,
-                    &query_sketch,
-                    left_fp,
-                    cache,
-                    ws,
-                    candidate_index,
-                    key_overlap,
-                )
-            },
-        );
-        let mut results: Vec<RankedCandidate> = scored.into_iter().flatten().collect();
-        sort_by_mi_desc(&mut results);
-        if self.top_k > 0 {
-            results.truncate(self.top_k);
-        }
-        Ok(results)
+        self.run_engine(repository, cache, |query_sketch, left_fp, batch| {
+            joinmi_par::par_map_with(
+                batch,
+                EstimatorWorkspace::new,
+                |ws, &(candidate_index, key_overlap)| {
+                    self.score_hit(
+                        repository,
+                        query_sketch,
+                        left_fp,
+                        cache,
+                        ws,
+                        candidate_index,
+                        key_overlap,
+                    )
+                },
+            )
+        })
     }
 
     /// Executes the query sequentially, scoring every surviving candidate
@@ -241,40 +371,147 @@ impl RelationshipQuery {
         ws: &mut EstimatorWorkspace,
         cache: Option<&CacheScope<'_>>,
     ) -> Result<Vec<RankedCandidate>> {
+        Ok(self.execute_in_cached_stats(repository, ws, cache)?.0)
+    }
+
+    /// [`Self::execute_in_cached`], additionally reporting the run's
+    /// [`QueryStats`].
+    pub fn execute_in_cached_stats<S: CandidateSource>(
+        &self,
+        repository: &S,
+        ws: &mut EstimatorWorkspace,
+        cache: Option<&CacheScope<'_>>,
+    ) -> Result<(Vec<RankedCandidate>, QueryStats)> {
+        self.run_engine(repository, cache, |query_sketch, left_fp, batch| {
+            batch
+                .iter()
+                .map(|&(candidate_index, key_overlap)| {
+                    self.score_hit(
+                        repository,
+                        query_sketch,
+                        left_fp,
+                        cache,
+                        ws,
+                        candidate_index,
+                        key_overlap,
+                    )
+                })
+                .collect()
+        })
+    }
+
+    /// The one scoring engine behind every `execute*` entry point.
+    ///
+    /// `score_batch` abstracts the parallel-vs-sequential strategy: it maps
+    /// `score_hit` over a batch of pre-filter hits and returns the results in
+    /// batch order. Everything else — probing, the cheap pre-join screens,
+    /// the running top-k lower bound, ranking, truncation — lives here, once.
+    ///
+    /// **Early termination** (interval policy with `top_k > 0`): candidates
+    /// are processed in chunks; between chunks the tracker knows the k-th
+    /// largest credible lower bound `L` among scored candidates, and any
+    /// later candidate whose cheap upper bound (from the join-size bound,
+    /// valid for every shipped estimator) is strictly below `L` is skipped.
+    /// Its point estimate could be at most that upper bound `< L ≤` the k-th
+    /// largest final MI, so it can never enter the top-k — even on ties —
+    /// under any processing order. Hence parallel, sequential, cached, and
+    /// exhaustive runs all return the identical top-k.
+    ///
+    /// **Distinct pruning** (`prune_by_distinct`, any policy): a candidate
+    /// whose join-size upper bound is below `min_join_size` is skipped before
+    /// the join; the bound is sound, so the gate would have dropped it anyway.
+    fn run_engine<S, F>(
+        &self,
+        repository: &S,
+        cache: Option<&CacheScope<'_>>,
+        mut score_batch: F,
+    ) -> Result<(Vec<RankedCandidate>, QueryStats)>
+    where
+        S: CandidateSource,
+        F: FnMut(&ColumnSketch, (u64, u64), &[(usize, usize)]) -> Vec<Option<RankedCandidate>>,
+    {
+        if let ScoringPolicy::Interval { level } = self.policy {
+            if !(level > 0.0 && level < 1.0) {
+                return Err(TableError::Unsupported(format!(
+                    "interval scoring requires a confidence level in (0, 1), got {level}"
+                )));
+            }
+        }
         let (query_sketch, hits) = self.probe(repository)?;
         let left_fp = left_fingerprint(&query_sketch, cache);
+        let mut stats = QueryStats::default();
 
-        let mut results: Vec<RankedCandidate> = hits
-            .iter()
-            .filter_map(|&(candidate_index, key_overlap)| {
-                self.score_hit(
-                    repository,
-                    &query_sketch,
-                    left_fp,
-                    cache,
-                    ws,
-                    candidate_index,
-                    key_overlap,
-                )
-            })
-            .collect();
+        let early_term = matches!(self.policy, ScoringPolicy::Interval { .. }) && self.top_k > 0;
+        let prune = self.prune_by_distinct && self.min_join_size > 0;
+        // Both cheap screens consume the same join-size upper bound; the
+        // query-side multiplicity profile is computed once, and only when a
+        // screen is active.
+        let multiplicity =
+            (prune || early_term).then(|| KeyMultiplicity::from_sketch(&query_sketch));
+
+        // Point scoring processes all hits as one batch (identical to the
+        // historical fan-out); early termination needs chunk boundaries to
+        // refresh the top-k lower bound between batches.
+        let chunk_size = if early_term {
+            EARLY_TERM_CHUNK
+        } else {
+            usize::MAX
+        };
+        let mut tracker = TopKLowerBound::new(if early_term { self.top_k } else { 0 });
+        let mut results: Vec<RankedCandidate> = Vec::new();
+        let mut batch: Vec<(usize, usize)> = Vec::new();
+
+        for chunk in hits.chunks(chunk_size) {
+            batch.clear();
+            for &(candidate_index, key_overlap) in chunk {
+                if let Some(mult) = &multiplicity {
+                    let bound =
+                        join_size_upper_bound(repository, mult, candidate_index, key_overlap);
+                    if prune && bound < self.min_join_size {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                    if let Some(threshold) = tracker.threshold() {
+                        if cheap_mi_upper(bound) < threshold {
+                            stats.early_stopped += 1;
+                            continue;
+                        }
+                    }
+                }
+                batch.push((candidate_index, key_overlap));
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            for ranked in score_batch(&query_sketch, left_fp, &batch)
+                .into_iter()
+                .flatten()
+            {
+                if let Some(interval) = &ranked.interval {
+                    tracker.push(interval.ci_lo);
+                }
+                results.push(ranked);
+            }
+        }
+        stats.scored = results.len();
         sort_by_mi_desc(&mut results);
         if self.top_k > 0 {
             results.truncate(self.top_k);
         }
-        Ok(results)
+        Ok((results, stats))
     }
 
     /// Stages 2–3 — **join** and **estimate** for one pre-filter hit: sketch
-    /// join, minimum-join-size gate, MI estimate. Shared by the parallel and
+    /// join, minimum-join-size gate, MI estimate (with interval decoration
+    /// under [`ScoringPolicy::Interval`]). Shared by the parallel and
     /// sequential execution paths so they cannot drift.
     ///
     /// Cache interaction, in order:
-    /// * **Level-2 hit** (same left sketch, candidate, and `k`): the stored
-    ///   estimate is replayed — no join, no estimator. The `min_join_size`
-    ///   gate is re-applied to the stored join size, so a query with a
-    ///   stricter threshold still drops the candidate exactly as its cold
-    ///   run would.
+    /// * **Level-2 hit** (same left sketch, candidate, `k`, and policy): the
+    ///   stored estimate — interval included — is replayed; no join, no
+    ///   estimator. The `min_join_size` gate is re-applied to the stored join
+    ///   size, so a query with a stricter threshold still drops the candidate
+    ///   exactly as its cold run would.
     /// * **Level-1 hit**: the cached [`JoinedSketch`] feeds the estimator
     ///   directly — estimation is deterministic and workspace-independent,
     ///   so the result is bit-identical to re-joining.
@@ -292,11 +529,21 @@ impl RelationshipQuery {
         candidate_index: usize,
         key_overlap: usize,
     ) -> Option<RankedCandidate> {
+        let policy_code = self.policy.cache_code();
         if let Some(scope) = cache {
-            if let Some(hit) = scope.get_estimate(left_fp, candidate_index, self.k) {
+            if let Some(hit) = scope.get_estimate(left_fp, candidate_index, self.k, policy_code) {
                 if hit.join_size < self.min_join_size {
                     return None;
                 }
+                let interval = match (self.policy, hit.interval) {
+                    (ScoringPolicy::Interval { level }, Some(iv)) => Some(MiInterval {
+                        variance: iv.variance,
+                        ci_lo: iv.ci_lo,
+                        ci_hi: iv.ci_hi,
+                        level,
+                    }),
+                    _ => None,
+                };
                 let candidate = repository.candidate(candidate_index);
                 return Some(RankedCandidate {
                     candidate_index,
@@ -309,6 +556,7 @@ impl RelationshipQuery {
                     estimator: hit.estimator,
                     sketch_join_size: hit.join_size,
                     key_overlap,
+                    interval,
                 });
             }
         }
@@ -328,17 +576,29 @@ impl RelationshipQuery {
         if joined.len() < self.min_join_size {
             return None;
         }
-        let estimate = joined.estimate_mi_in(ws, self.k).ok()?;
+        let (estimate, interval) = match self.policy {
+            ScoringPolicy::Point => (joined.estimate_mi_in(ws, self.k).ok()?, None),
+            ScoringPolicy::Interval { level } => {
+                let (est, iv) = joined.estimate_mi_interval_in(ws, self.k, level).ok()?;
+                (est, Some(iv))
+            }
+        };
         if let Some(scope) = cache {
             scope.put_estimate(
                 left_fp,
                 candidate_index,
                 self.k,
+                policy_code,
                 CachedEstimate {
                     mi: estimate.mi,
                     estimator: estimate.estimator,
                     n: estimate.n,
                     join_size: joined.len(),
+                    interval: interval.map(|iv| CachedInterval {
+                        variance: iv.variance,
+                        ci_lo: iv.ci_lo,
+                        ci_hi: iv.ci_hi,
+                    }),
                 },
             );
         }
@@ -353,6 +613,7 @@ impl RelationshipQuery {
             estimator: estimate.estimator,
             sketch_join_size: joined.len(),
             key_overlap,
+            interval,
         })
     }
 
@@ -385,6 +646,122 @@ impl RelationshipQuery {
         let mut q = self.clone();
         q.top_k = 0;
         q
+    }
+}
+
+/// Chunk size of the early-terminating interval scan: small enough that the
+/// top-k lower bound tightens quickly, large enough that the parallel
+/// strategy still has a worthwhile fan-out per batch.
+const EARLY_TERM_CHUNK: usize = 32;
+
+/// A universal upper bound (in nats) on any shipped estimator's MI estimate
+/// computed from at most `join_size_bound` pairs:
+///
+/// * MLE / smoothed MLE: `Î ≤ ln n` exactly (bounded by the sample entropy);
+/// * KSG: `Î ≤ ψ(n) < ln n`;
+/// * Mixed-KSG: every sample term is `≤ ln n − ln kᵢ ≤ ln n`;
+/// * DC-KSG (Ross): `Î ≤ ψ(n) + γ < ln(n + 1) + γ`.
+///
+/// `ln(n + 1) + γ` covers all of them. Intentionally loose — it only needs
+/// to be *sound*; it bites exactly on the long tail of candidates whose
+/// plausible join is a handful of rows.
+fn cheap_mi_upper(join_size_bound: usize) -> f64 {
+    ((join_size_bound + 1) as f64).ln() + EULER_MASCHERONI
+}
+
+/// An upper bound on the sketch-join size of one candidate.
+///
+/// The joinability index reports `key_overlap` — the exact number of distinct
+/// key digests shared by the query sketch and the candidate sketch — and the
+/// join emits at most one pair per left row whose digest matches, so the join
+/// size is at most the sum of the `key_overlap` largest per-digest row
+/// multiplicities on the query side. The candidate's key-column distinct
+/// sketch caps the number of matchable digests as well (binding only while
+/// the KMV sketch is exact, i.e. under capacity — a belt-and-braces cap, the
+/// overlap term is the one that usually bites). NULL-valued rows are excluded
+/// from the multiplicities because the join drops NULL pairs.
+fn join_size_upper_bound<S: CandidateSource>(
+    repository: &S,
+    mult: &KeyMultiplicity,
+    candidate_index: usize,
+    key_overlap: usize,
+) -> usize {
+    let m = match repository.key_distinct_bound(candidate_index) {
+        Some(distinct) => key_overlap.min(distinct),
+        None => key_overlap,
+    };
+    mult.top_m_sum(m)
+}
+
+/// Per-digest row multiplicities of the query sketch, preprocessed into
+/// descending-order prefix sums so `top_m_sum(m)` — the largest number of
+/// left rows any `m` distinct digests can match — is O(1) per candidate.
+struct KeyMultiplicity {
+    /// `prefix[m]` = sum of the `m` largest per-digest multiplicities.
+    prefix: Vec<usize>,
+}
+
+impl KeyMultiplicity {
+    fn from_sketch(sketch: &ColumnSketch) -> Self {
+        let mut counts: DigestHashMap<usize> = digest_map_with_capacity(sketch.len());
+        for row in sketch.rows() {
+            if row.value.is_null() {
+                continue; // NULL pairs are dropped by the join
+            }
+            *counts.entry(row.key.raw()).or_default() += 1;
+        }
+        let mut mult: Vec<usize> = counts.into_values().collect();
+        mult.sort_unstable_by(|a, b| b.cmp(a));
+        let mut prefix = Vec::with_capacity(mult.len() + 1);
+        prefix.push(0);
+        let mut acc = 0usize;
+        for m in mult {
+            acc += m;
+            prefix.push(acc);
+        }
+        Self { prefix }
+    }
+
+    fn top_m_sum(&self, m: usize) -> usize {
+        self.prefix[m.min(self.prefix.len() - 1)]
+    }
+}
+
+/// Running tracker of the k-th largest credible lower bound among scored
+/// candidates. The threshold is only defined once `k` candidates have
+/// contributed — before that, nothing may be skipped.
+struct TopKLowerBound {
+    k: usize,
+    /// The `k` largest lower bounds seen so far, sorted ascending.
+    best: Vec<f64>,
+}
+
+impl TopKLowerBound {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            best: Vec::with_capacity(k.min(1024)),
+        }
+    }
+
+    fn push(&mut self, lo: f64) {
+        if self.k == 0 {
+            return;
+        }
+        if self.best.len() == self.k {
+            if lo.total_cmp(&self.best[0]) != std::cmp::Ordering::Greater {
+                return;
+            }
+            self.best.remove(0);
+        }
+        let pos = self
+            .best
+            .partition_point(|b| b.total_cmp(&lo) == std::cmp::Ordering::Less);
+        self.best.insert(pos, lo);
+    }
+
+    fn threshold(&self) -> Option<f64> {
+        (self.k > 0 && self.best.len() == self.k).then(|| self.best[0])
     }
 }
 
@@ -429,6 +806,62 @@ mod tests {
         (repo, query)
     }
 
+    /// A corpus where interval early termination actually fires: a few
+    /// strong candidates whose keys fully overlap the query (near-functional
+    /// features, so credible lower bounds are high) and a tail of weak
+    /// candidates sharing only three sampled keys each (so their cheap MI
+    /// upper bound is tiny).
+    fn skewed_repo_and_query() -> (TableRepository, RelationshipQuery) {
+        let keys: Vec<String> = (0..64).map(|i| format!("key-{i:02}")).collect();
+        fn key_refs(v: &[String]) -> Vec<&str> {
+            v.iter().map(String::as_str).collect()
+        }
+
+        let target: Vec<String> = (0..64).map(|i| format!("t{i}")).collect();
+        let train = Table::builder("train")
+            .push_str_column("key", key_refs(&keys))
+            .push_str_column("target", key_refs(&target))
+            .build()
+            .unwrap();
+
+        let config = RepositoryConfig {
+            sketch: SketchConfig::new(256, 5),
+            ..RepositoryConfig::default()
+        };
+        let mut repo = TableRepository::new(config);
+        // Strong candidates: same key universe, feature = function of key —
+        // MLE scores them at ln 64 with a near-zero posterior variance, so
+        // the top-k credible lower bound lands high.
+        for t in 0..3 {
+            let feature: Vec<String> = (0..64).map(|i| format!("f{t}-{i}")).collect();
+            let table = Table::builder(format!("strong{t}"))
+                .push_str_column("key", key_refs(&keys))
+                .push_str_column("feat", key_refs(&feature))
+                .build()
+                .unwrap();
+            repo.add_table(table).unwrap();
+        }
+        // Weak candidates: eight shared keys, the rest disjoint — so their
+        // cheap MI upper bound is ln 9 + γ ≈ 2.8 nats, below the strong
+        // candidates' lower bound. Forty of them spill past the first
+        // early-termination chunk.
+        for t in 0..40 {
+            let mut weak_keys: Vec<String> = (0..8).map(|i| format!("key-{i:02}")).collect();
+            weak_keys.extend((0..40).map(|j| format!("weak{t}-{j}")));
+            let feature: Vec<String> = (0..weak_keys.len()).map(|i| format!("w{t}-{i}")).collect();
+            let table = Table::builder(format!("weak{t}"))
+                .push_str_column("key", key_refs(&weak_keys))
+                .push_str_column("feat", key_refs(&feature))
+                .build()
+                .unwrap();
+            repo.add_table(table).unwrap();
+        }
+        let query = RelationshipQuery::new(train, "key", "target")
+            .with_sketch(SketchKind::Tupsk, SketchConfig::new(256, 5))
+            .with_min_join_size(3);
+        (repo, query)
+    }
+
     #[test]
     fn ranking_is_sorted_and_respects_top_k() {
         let (repo, query) = repo_and_query();
@@ -440,6 +873,7 @@ mod tests {
             assert!(r.sketch_join_size >= 10);
             assert!(r.mi >= 0.0);
             assert!(!r.label().is_empty());
+            assert!(r.interval.is_none(), "point policy must not decorate");
         }
     }
 
@@ -516,6 +950,23 @@ mod tests {
                     r.mi.to_bits(),
                     r.sketch_join_size,
                     r.key_overlap,
+                )
+            })
+            .collect()
+    }
+
+    /// Fingerprint including the interval decoration bits.
+    fn interval_fingerprint(results: &[RankedCandidate]) -> Vec<(usize, u64, u64, u64, u64)> {
+        results
+            .iter()
+            .map(|r| {
+                let iv = r.interval.as_ref().expect("interval missing");
+                (
+                    r.candidate_index,
+                    r.mi.to_bits(),
+                    iv.variance.to_bits(),
+                    iv.ci_lo.to_bits(),
+                    iv.ci_hi.to_bits(),
                 )
             })
             .collect()
@@ -641,6 +1092,133 @@ mod tests {
     }
 
     #[test]
+    fn interval_scoring_decorates_without_changing_the_ranking() {
+        let (repo, query) = repo_and_query();
+        let point = query.clone().with_top_k(0).execute(&repo).unwrap();
+        let interval = query
+            .clone()
+            .with_top_k(0)
+            .with_confidence(0.95)
+            .execute(&repo)
+            .unwrap();
+        // Same candidates, same order, same point estimates to the last bit.
+        assert_eq!(fingerprint(&point), fingerprint(&interval));
+        for r in &interval {
+            let iv = r.interval.as_ref().expect("interval policy must decorate");
+            assert_eq!(iv.level, 0.95);
+            assert!(iv.ci_lo >= 0.0);
+            assert!(iv.ci_lo <= r.mi && r.mi <= iv.ci_hi);
+            assert!(iv.variance >= 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_confidence_level_fails_the_query() {
+        let (repo, query) = repo_and_query();
+        assert!(query.clone().with_confidence(0.0).execute(&repo).is_err());
+        assert!(query.clone().with_confidence(1.0).execute(&repo).is_err());
+        assert!(query.with_confidence(f64::NAN).execute(&repo).is_err());
+    }
+
+    #[test]
+    fn early_termination_matches_exhaustive_scoring_and_fires() {
+        let (repo, query) = skewed_repo_and_query();
+        let query = query.with_confidence(0.9);
+
+        // Exhaustive interval ranking (top_k = 0 disables early termination),
+        // truncated by hand to the top 2.
+        let mut exhaustive = query.clone().with_top_k(0).execute(&repo).unwrap();
+        assert!(
+            exhaustive.len() > 5,
+            "corpus too small to exercise the tail"
+        );
+        exhaustive.truncate(2);
+
+        // Early-terminating run, parallel and sequential, with stats.
+        let early = query.clone().with_top_k(2);
+        let (parallel, stats) = early.execute_cached_stats(&repo, None).unwrap();
+        assert_eq!(
+            interval_fingerprint(&exhaustive),
+            interval_fingerprint(&parallel)
+        );
+        assert!(
+            stats.early_stopped > 0,
+            "early termination never fired: {stats:?}"
+        );
+
+        let mut ws = EstimatorWorkspace::new();
+        let (sequential, seq_stats) = early.execute_in_cached_stats(&repo, &mut ws, None).unwrap();
+        assert_eq!(
+            interval_fingerprint(&parallel),
+            interval_fingerprint(&sequential)
+        );
+        assert!(seq_stats.early_stopped > 0);
+    }
+
+    #[test]
+    fn distinct_pruning_is_bit_identical_and_skips_joins() {
+        let (repo, query) = skewed_repo_and_query();
+        // min_join_size 10 > the weak candidates' 3-row join bound: pruning
+        // must skip them before the join without changing the ranking.
+        let query = query.with_min_join_size(10).with_top_k(0);
+        let (pruned, stats) = query.execute_cached_stats(&repo, None).unwrap();
+        assert!(stats.pruned > 0, "pruning never fired: {stats:?}");
+
+        let unpruned = query
+            .clone()
+            .with_distinct_pruning(false)
+            .execute(&repo)
+            .unwrap();
+        assert_eq!(fingerprint(&unpruned), fingerprint(&pruned));
+
+        // Pruned candidates are exactly the ones the join-size gate would
+        // have dropped, so the scored count matches the result count.
+        assert_eq!(stats.scored, pruned.len());
+    }
+
+    #[test]
+    fn point_and_interval_cache_entries_never_alias() {
+        let (repo, query) = repo_and_query();
+        let point = query.clone().with_top_k(0);
+        let interval = query.with_top_k(0).with_confidence(0.95);
+
+        let cache = crate::QueryStageCache::new(crate::StageCacheConfig::default());
+        let scope = cache.scope(0);
+        let mut ws = EstimatorWorkspace::new();
+
+        let point_cold = point
+            .execute_in_cached(&repo, &mut ws, Some(&scope))
+            .unwrap();
+        assert!(!point_cold.is_empty());
+        let after_point = cache.stats();
+        assert_eq!(after_point.estimate_hits, 0);
+
+        // The interval run must not hit the point entries...
+        let interval_cold = interval
+            .execute_in_cached(&repo, &mut ws, Some(&scope))
+            .unwrap();
+        assert_eq!(cache.stats().estimate_hits, 0);
+        // ...but replays bit-for-bit from its own, interval included.
+        let interval_warm = interval
+            .execute_in_cached(&repo, &mut ws, Some(&scope))
+            .unwrap();
+        assert_eq!(
+            interval_fingerprint(&interval_cold),
+            interval_fingerprint(&interval_warm)
+        );
+        assert_eq!(
+            cache.stats().estimate_hits as usize,
+            interval_cold.len(),
+            "interval replay missed its own entries"
+        );
+        // The point ranking still replays from the point entries.
+        let point_warm = point
+            .execute_in_cached(&repo, &mut ws, Some(&scope))
+            .unwrap();
+        assert_eq!(fingerprint(&point_cold), fingerprint(&point_warm));
+    }
+
+    #[test]
     fn nan_estimates_sort_deterministically_without_panicking() {
         let ranked = |mi: f64, idx: usize| RankedCandidate {
             candidate_index: idx,
@@ -653,6 +1231,7 @@ mod tests {
             estimator: EstimatorKind::Mle,
             sketch_join_size: 10,
             key_overlap: 1,
+            interval: None,
         };
         let mut results = vec![
             ranked(0.5, 0),
@@ -666,5 +1245,23 @@ mod tests {
         sort_by_mi_desc(&mut results);
         let order: Vec<usize> = results.iter().map(|r| r.candidate_index).collect();
         assert_eq!(order, vec![1, 2, 0, 4, 3]);
+    }
+
+    #[test]
+    fn top_k_lower_bound_tracker_tracks_the_kth_largest() {
+        let mut t = TopKLowerBound::new(2);
+        assert_eq!(t.threshold(), None);
+        t.push(0.5);
+        assert_eq!(t.threshold(), None);
+        t.push(0.2);
+        assert_eq!(t.threshold(), Some(0.2));
+        t.push(0.9); // displaces 0.2
+        assert_eq!(t.threshold(), Some(0.5));
+        t.push(0.1); // below the floor: ignored
+        assert_eq!(t.threshold(), Some(0.5));
+        // k = 0 never defines a threshold.
+        let mut z = TopKLowerBound::new(0);
+        z.push(1.0);
+        assert_eq!(z.threshold(), None);
     }
 }

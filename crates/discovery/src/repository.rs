@@ -606,6 +606,35 @@ pub trait CandidateSource {
 
     /// The joinability index over all candidates.
     fn joinability(&self) -> &JoinabilityIndex;
+
+    /// An upper bound on the number of distinct values of the candidate's
+    /// key column, when the source can prove one — i.e. while the column's
+    /// bounded [`DistinctSketch`] is still exact (under capacity). `None`
+    /// means "no bound available"; callers must treat it as unbounded.
+    fn key_distinct_bound(&self, _index: usize) -> Option<usize> {
+        None
+    }
+}
+
+/// Shared [`CandidateSource::key_distinct_bound`] lookup: resolve the
+/// candidate's key column inside its table profile and read the parallel
+/// distinct sketch, which is exact (and therefore a sound bound) until it
+/// reaches capacity.
+pub(crate) fn key_distinct_bound_from(
+    candidate: &CandidateColumn,
+    profiles: &[TableProfile],
+    distincts: &[Vec<Option<DistinctSketch>>],
+) -> Option<usize> {
+    let profile = profiles.get(candidate.table_index)?;
+    let position = profile
+        .columns
+        .iter()
+        .position(|c| c.name == candidate.key_column)?;
+    let sketch = distincts
+        .get(candidate.table_index)?
+        .get(position)?
+        .as_ref()?;
+    (!sketch.is_full()).then(|| sketch.estimate())
 }
 
 impl CandidateSource for TableRepository {
@@ -619,6 +648,10 @@ impl CandidateSource for TableRepository {
 
     fn joinability(&self) -> &JoinabilityIndex {
         &self.index
+    }
+
+    fn key_distinct_bound(&self, index: usize) -> Option<usize> {
+        key_distinct_bound_from(&self.candidates[index], &self.profiles, &self.distincts)
     }
 }
 

@@ -31,6 +31,7 @@ pub mod ksg;
 pub mod mixed_ksg;
 pub mod mle;
 pub mod perturb;
+pub mod posterior;
 pub mod select;
 pub mod special;
 pub mod variable;
@@ -44,6 +45,10 @@ pub use ksg::{ksg_mi, ksg_mi_with};
 pub use mixed_ksg::{mixed_ksg_mi, mixed_ksg_mi_with};
 pub use mle::{mle_mi, mle_mi_bias, smoothed_mle_mi};
 pub use perturb::{perturb_ties, perturb_ties_with};
+pub use posterior::{
+    credible_interval, mi_interval, mi_posterior, mi_posterior_vars, normal_quantile, MiInterval,
+    MiPosterior,
+};
 pub use select::{
     estimate_mi, estimate_mi_with_workspace, select_estimator, EstimatorKind, MiEstimate,
 };

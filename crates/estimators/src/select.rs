@@ -160,7 +160,7 @@ pub fn estimate_mi_default(x: &Variable, y: &Variable) -> Result<MiEstimate> {
     estimate_mi(x, y, DEFAULT_K)
 }
 
-fn force_codes(v: &Variable) -> Vec<u32> {
+pub(crate) fn force_codes(v: &Variable) -> Vec<u32> {
     match v {
         Variable::Discrete(codes) => codes.clone(),
         Variable::Continuous(values) => {

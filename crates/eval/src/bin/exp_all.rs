@@ -2,7 +2,9 @@
 //!
 //! Usage: `cargo run -p joinmi-eval --bin exp_all --release [-- --quick]`
 
-use joinmi_eval::experiments::{ablation, fig2, fig3, fig4, fig5, fulljoin, perf, table1, table2};
+use joinmi_eval::experiments::{
+    ablation, calibration, fig2, fig3, fig4, fig5, fulljoin, perf, table1, table2,
+};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -80,4 +82,11 @@ fn main() {
     for report in ablation::report(&cfg) {
         report.print();
     }
+
+    let cfg = if quick {
+        calibration::Config::quick()
+    } else {
+        calibration::Config::default()
+    };
+    calibration::report(&calibration::run(&cfg), cfg.level).print();
 }

@@ -1,0 +1,18 @@
+//! Credible-interval calibration: coverage of the exact full-join MI swept
+//! over corpus size and NULL fraction.
+//!
+//! Usage: `cargo run -p joinmi-eval --bin exp_calibration --release [-- --quick]`
+
+use joinmi_eval::experiments::calibration;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        calibration::Config::quick()
+    } else {
+        calibration::Config::default()
+    };
+    eprintln!("running interval calibration with {cfg:?}");
+    let series = calibration::run(&cfg);
+    calibration::report(&series, cfg.level).print();
+}

@@ -6,6 +6,7 @@
 //! that renders the paper-style rows.
 
 pub mod ablation;
+pub mod calibration;
 pub mod collection;
 pub mod fig2;
 pub mod fig3;

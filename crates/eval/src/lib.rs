@@ -15,6 +15,7 @@
 //! | `exp_fig5` | Figure 5 — estimates vs full join by sketch-join size |
 //! | `exp_perf` | §V-D performance numbers |
 //! | `exp_ablation` | ablations: sketch size, aggregation choice, coordination |
+//! | `exp_calibration` | credible-interval coverage of the exact full-join MI |
 //! | `exp_all` | runs everything above in sequence |
 //!
 //! The library part exposes the building blocks (metrics, the

@@ -11,7 +11,7 @@
 //! estimator workspace. The admission gate bounds queries *admitted*, not
 //! connections, so health checks keep answering while the pool is saturated.
 //!
-//! Shard state lives in an [`Epoch`] — one immutable `ShardSet` paired with
+//! Shard state lives in an `Epoch` — one immutable `ShardSet` paired with
 //! the stage cache bound to its generation — behind a `RwLock`. Queries
 //! clone the current epoch (two `Arc` bumps) and score against it for their
 //! whole lifetime; the background guardian installs a new epoch after
@@ -175,6 +175,12 @@ struct Shared {
     /// Queries that panicked inside a worker (each became a typed 500 and
     /// the worker survived).
     worker_panics: AtomicU64,
+    /// Candidates skipped by interval early termination across all queries
+    /// since startup (see `QueryStats::early_stopped`).
+    early_stopped: AtomicU64,
+    /// Candidates skipped by the distinct-sketch join-size bound across all
+    /// queries since startup (see `QueryStats::pruned`).
+    pruned: AtomicU64,
     /// One circuit breaker per shard, indexed like the shard list. The
     /// shard *count* is fixed for the daemon's lifetime (epoch swaps reload
     /// files in place), so this vector never resizes.
@@ -234,6 +240,8 @@ impl Server {
             draining: AtomicBool::new(false),
             compactions: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
+            early_stopped: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
             health,
             port: local_addr.port(),
             config,
@@ -427,6 +435,13 @@ fn execute_job(
         shared.config.timeout_ms,
         &quarantined,
     )?;
+
+    shared
+        .early_stopped
+        .fetch_add(outcome.stats.early_stopped as u64, Ordering::SeqCst);
+    shared
+        .pruned
+        .fetch_add(outcome.stats.pruned as u64, Ordering::SeqCst);
 
     // Trip the breaker for shards that failed mid-query; the guardian will
     // try to bring them back on the reopen schedule.
@@ -799,6 +814,14 @@ fn shards_info(shared: &Shared) -> Json {
         ),
         ("cache_hits", Json::Int(hits as i64)),
         ("cache_misses", Json::Int(misses as i64)),
+        (
+            "early_stopped",
+            Json::Int(shared.early_stopped.load(Ordering::SeqCst) as i64),
+        ),
+        (
+            "pruned",
+            Json::Int(shared.pruned.load(Ordering::SeqCst) as i64),
+        ),
         (
             "compactions",
             Json::Int(shared.compactions.load(Ordering::SeqCst) as i64),

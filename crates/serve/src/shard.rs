@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use joinmi_discovery::persist::RepositorySnapshot;
 use joinmi_discovery::repository::CandidateSource;
-use joinmi_discovery::{QueryStageCache, TableRepository};
+use joinmi_discovery::{QueryStageCache, QueryStats, TableRepository};
 use joinmi_estimators::EstimatorWorkspace;
 use joinmi_hash::murmur3_x64_128;
 use joinmi_store::RecoveryReport;
@@ -96,6 +96,10 @@ pub struct ExecuteOutcome {
     pub skipped: Vec<usize>,
     /// Shards that failed while scoring this query, with the failure text.
     pub failed: Vec<(usize, String)>,
+    /// Scoring counters aggregated across the contributing shards
+    /// (early-terminated and distinct-pruned candidates; see
+    /// [`QueryStats`]).
+    pub stats: QueryStats,
 }
 
 impl ExecuteOutcome {
@@ -219,7 +223,7 @@ impl ShardSet {
     /// The reloaded file must hold the same tables in the same order — its
     /// candidate count must not change, or the global candidate offsets of
     /// later shards would shift. A mismatch (someone replaced the file with a
-    /// different corpus) is a typed [`StoreError::Corrupt`], never a silently
+    /// different corpus) is a typed [`joinmi_store::StoreError::Corrupt`], never a silently
     /// re-numbered ranking. Compaction always preserves candidate counts.
     pub fn with_reloaded_shard(&self, index: usize) -> Result<Self, joinmi_store::StoreError> {
         let old = self.shards.get(index).ok_or_else(|| {
@@ -298,6 +302,7 @@ impl ShardSet {
         let mut merged: Vec<ShardedResult> = Vec::new();
         let mut skipped: Vec<usize> = Vec::new();
         let mut failed: Vec<(usize, String)> = Vec::new();
+        let mut stats = QueryStats::default();
         for (shard_index, shard) in self.shards.iter().enumerate() {
             if deadline.expired() {
                 return Err(ServeError::Timeout { timeout_ms });
@@ -317,8 +322,9 @@ impl ShardSet {
                 continue;
             }
             let scope = cache.map(|c| c.scope(shard.candidate_offset as u64));
-            match query.execute_in_cached(&shard.snapshot, ws, scope.as_ref()) {
-                Ok(ranked) => {
+            match query.execute_in_cached_stats(&shard.snapshot, ws, scope.as_ref()) {
+                Ok((ranked, shard_stats)) => {
+                    stats.merge(shard_stats);
                     merged.extend(ranked.into_iter().map(|candidate| ShardedResult {
                         shard: shard_index,
                         shard_candidate_index: candidate.candidate_index,
@@ -340,6 +346,7 @@ impl ShardSet {
             results: merged,
             skipped,
             failed,
+            stats,
         })
     }
 

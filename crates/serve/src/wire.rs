@@ -50,6 +50,13 @@ pub struct QueryRequest {
     /// fingerprint, because only *complete* rankings are ever cached and a
     /// complete ranking is the same answer under either setting.
     pub allow_partial: bool,
+    /// Two-sided credible-interval level in `(0, 1)`; `Some` switches the
+    /// scoring engine to interval mode (`mi_var`/`ci_lo`/`ci_hi` on every
+    /// result, early-terminating top-k). Unlike `allow_partial` this IS part
+    /// of the query's identity — interval results carry fields point results
+    /// do not — so it participates in [`QueryRequest::canonical_json`] and
+    /// the fingerprint, and cached point and interval rankings never alias.
+    pub confidence: Option<f64>,
 }
 
 /// A target cell: JSON integers become `Int` columns, JSON floats `Float`
@@ -189,6 +196,21 @@ impl QueryRequest {
             return Err(bad("field 'k' must be at least 1"));
         }
 
+        let confidence = match doc.get("confidence") {
+            None => None,
+            Some(v) => {
+                let level = v
+                    .as_f64()
+                    .ok_or_else(|| bad("field 'confidence' must be a number"))?;
+                if !(level > 0.0 && level < 1.0) {
+                    return Err(bad(format!(
+                        "field 'confidence' must be strictly between 0 and 1, got {level}"
+                    )));
+                }
+                Some(level)
+            }
+        };
+
         Ok(Self {
             key_column,
             target_column,
@@ -201,6 +223,7 @@ impl QueryRequest {
             sketch_seed,
             k,
             allow_partial: field_bool("allow_partial")?,
+            confidence,
         })
     }
 
@@ -222,7 +245,7 @@ impl QueryRequest {
                 Json::Arr(vec![Json::Str(key.clone()), t])
             })
             .collect();
-        obj([
+        let mut doc = obj([
             ("key_column", Json::Str(self.key_column.clone())),
             ("target_column", Json::Str(self.target_column.clone())),
             ("rows", Json::Arr(rows)),
@@ -233,8 +256,14 @@ impl QueryRequest {
             ("sketch_size", Json::Int(self.sketch_size as i64)),
             ("sketch_seed", Json::Int(self.sketch_seed as i64)),
             ("k", Json::Int(self.k as i64)),
-        ])
-        .encode()
+        ]);
+        // Interval scoring changes what the results contain, so the level is
+        // part of the query's identity; an absent field means point scoring
+        // (the canonical spelling — there is no explicit "point" value).
+        if let (Json::Obj(map), Some(level)) = (&mut doc, self.confidence) {
+            map.insert("confidence".to_owned(), Json::Float(level));
+        }
+        doc.encode()
     }
 
     /// 128-bit fingerprint of the canonical encoding, for cache keys.
@@ -277,6 +306,9 @@ impl QueryRequest {
                 SketchConfig::new(self.sketch_size, self.sketch_seed),
             )
             .with_k(self.k);
+        if let Some(level) = self.confidence {
+            query = query.with_confidence(level);
+        }
         query.min_key_overlap = self.min_key_overlap;
         Ok(query)
     }
@@ -298,11 +330,13 @@ pub struct ShardedResult {
 }
 
 impl ShardedResult {
-    /// Encodes one result row.
+    /// Encodes one result row. Interval-scored results additionally carry
+    /// `mi_var`, `ci_lo`, `ci_hi` (plus `ci_lo_bits`/`ci_hi_bits` hex
+    /// spellings, the exactness companions of `mi_bits`).
     #[must_use]
     pub fn to_json(&self) -> Json {
         let c = &self.candidate;
-        obj([
+        let mut doc = obj([
             ("shard", Json::Int(self.shard as i64)),
             (
                 "shard_candidate_index",
@@ -321,7 +355,21 @@ impl ShardedResult {
             ("mi_bits", Json::Str(format!("0x{:016x}", c.mi.to_bits()))),
             ("join_size", Json::Int(c.sketch_join_size as i64)),
             ("key_overlap", Json::Int(c.key_overlap as i64)),
-        ])
+        ]);
+        if let (Json::Obj(map), Some(iv)) = (&mut doc, &c.interval) {
+            map.insert("mi_var".to_owned(), Json::Float(iv.variance));
+            map.insert("ci_lo".to_owned(), Json::Float(iv.ci_lo));
+            map.insert("ci_hi".to_owned(), Json::Float(iv.ci_hi));
+            map.insert(
+                "ci_lo_bits".to_owned(),
+                Json::Str(format!("0x{:016x}", iv.ci_lo.to_bits())),
+            );
+            map.insert(
+                "ci_hi_bits".to_owned(),
+                Json::Str(format!("0x{:016x}", iv.ci_hi.to_bits())),
+            );
+        }
+        doc
     }
 }
 
@@ -661,6 +709,39 @@ mod tests {
             "rows": [["10001", 3]], "allow_partial": "yes"
         }"#;
         assert!(QueryRequest::from_json(bad).is_err(), "non-bool rejected");
+    }
+
+    #[test]
+    fn confidence_parses_validates_and_moves_the_fingerprint() {
+        let point = QueryRequest::from_json(&minimal_body()).unwrap();
+        assert!(point.confidence.is_none(), "defaults to point scoring");
+
+        let body = r#"{
+            "key_column": "zip", "target_column": "trips",
+            "rows": [["10001", 3], ["10002", 9]], "confidence": 0.9
+        }"#;
+        let interval = QueryRequest::from_json(body).unwrap();
+        assert_eq!(interval.confidence, Some(0.9));
+        // Unlike allow_partial, interval scoring IS query identity: point
+        // and interval results must never share a cache slot.
+        assert_ne!(point.fingerprint(), interval.fingerprint());
+        assert!(matches!(
+            interval.to_query().unwrap().policy,
+            joinmi_discovery::ScoringPolicy::Interval { level } if level == 0.9
+        ));
+        assert!(matches!(
+            point.to_query().unwrap().policy,
+            joinmi_discovery::ScoringPolicy::Point
+        ));
+
+        for bad in [
+            r#"{"key_column": "k", "target_column": "t", "rows": [["a", 1]], "confidence": 0.0}"#,
+            r#"{"key_column": "k", "target_column": "t", "rows": [["a", 1]], "confidence": 1.0}"#,
+            r#"{"key_column": "k", "target_column": "t", "rows": [["a", 1]], "confidence": -0.5}"#,
+            r#"{"key_column": "k", "target_column": "t", "rows": [["a", 1]], "confidence": "high"}"#,
+        ] {
+            assert!(QueryRequest::from_json(bad).is_err(), "{bad} should fail");
+        }
     }
 
     #[test]

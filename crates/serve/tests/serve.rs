@@ -966,3 +966,104 @@ fn sigterm_drains_the_daemon_process_gracefully() {
     );
     cleanup(&paths);
 }
+
+/// Interval fingerprint of an in-process ranking: global index, exact MI
+/// bits, and exact credible-bound bits.
+fn interval_fingerprint(results: &[RankedCandidate]) -> Vec<(usize, u64, u64, u64)> {
+    results
+        .iter()
+        .map(|r| {
+            let iv = r.interval.as_ref().expect("interval missing");
+            (
+                r.candidate_index,
+                r.mi.to_bits(),
+                iv.ci_lo.to_bits(),
+                iv.ci_hi.to_bits(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn interval_rest_query_reproduces_single_repository_interval_ranking() {
+    let (tables, train) = corpus();
+    let paths = save_shards(&tables, 3, "interval");
+    let single = single_repo(&tables);
+
+    let mut server = Server::start(
+        ServerConfig {
+            workers: 2,
+            timeout_ms: 0,
+            ..ServerConfig::default()
+        },
+        ShardSet::open(&paths).unwrap(),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    wait_healthy(&addr, Duration::from_secs(5)).unwrap();
+
+    for top_k in [0, 3] {
+        let expected = interval_fingerprint(
+            &in_process_query(&train, top_k)
+                .with_confidence(0.95)
+                .execute(&single)
+                .unwrap(),
+        );
+        assert!(top_k != 0 || !expected.is_empty());
+
+        // Same query over the wire with the confidence field set.
+        let body =
+            request_body(&train, top_k).replacen("\"top_k\"", "\"confidence\": 0.95, \"top_k\"", 1);
+        let (status, response) = client_request(&addr, "POST", "/v1/query", &body).unwrap();
+        assert_eq!(status, 200, "{response}");
+        let doc = Json::parse(&response).unwrap();
+        let got: Vec<(usize, u64, u64, u64)> = doc
+            .get("results")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|row| {
+                let bits = |field: &str| {
+                    let hex = row.get(field).and_then(Json::as_str).unwrap();
+                    u64::from_str_radix(hex.trim_start_matches("0x"), 16).unwrap()
+                };
+                // The plain float fields must round-trip to the same bits the
+                // hex spellings pin down.
+                let ci_lo = row.get("ci_lo").and_then(Json::as_f64).unwrap();
+                let ci_hi = row.get("ci_hi").and_then(Json::as_f64).unwrap();
+                assert_eq!(ci_lo.to_bits(), bits("ci_lo_bits"));
+                assert_eq!(ci_hi.to_bits(), bits("ci_hi_bits"));
+                assert!(row.get("mi_var").and_then(Json::as_f64).unwrap() >= 0.0);
+                (
+                    row.get("candidate_index").and_then(Json::as_i64).unwrap() as usize,
+                    bits("mi_bits"),
+                    bits("ci_lo_bits"),
+                    bits("ci_hi_bits"),
+                )
+            })
+            .collect();
+        assert_eq!(got, expected, "top_k={top_k}");
+    }
+
+    // A point query must not carry interval fields.
+    let (status, response) =
+        client_request(&addr, "POST", "/v1/query", &request_body(&train, 3)).unwrap();
+    assert_eq!(status, 200, "{response}");
+    assert!(!response.contains("ci_lo"), "point results must stay bare");
+
+    // The shards endpoint surfaces the new scoring counters.
+    let (status, shards_body) = client_request(&addr, "GET", "/v1/shards", "").unwrap();
+    assert_eq!(status, 200);
+    let doc = Json::parse(&shards_body).unwrap();
+    assert!(doc.get("early_stopped").and_then(Json::as_i64).is_some());
+    assert!(doc.get("pruned").and_then(Json::as_i64).is_some());
+
+    // An out-of-range confidence is a typed 400.
+    let bad = request_body(&train, 3).replacen("\"top_k\"", "\"confidence\": 1.5, \"top_k\"", 1);
+    let (status, response) = client_request(&addr, "POST", "/v1/query", &bad).unwrap();
+    assert_eq!(status, 400, "{response}");
+    assert!(response.contains("confidence"));
+
+    server.shutdown();
+    cleanup(&paths);
+}

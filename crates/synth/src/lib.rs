@@ -49,3 +49,76 @@ pub struct GeneratedPair {
     /// `X` (the paper's `m` parameter).
     pub m: u32,
 }
+
+impl GeneratedPair {
+    /// Returns the pair with approximately `null_fraction` of the `X` and
+    /// `Y` entries independently replaced by NULL, deterministically in
+    /// `seed` — the NULL-heavy-corpus knob of the calibration experiments.
+    ///
+    /// `true_mi` is left untouched: it remains the MI of the generating
+    /// distribution, which is also the MI of the complete (both-sides
+    /// non-NULL) pairs because nulling is independent of the values. A
+    /// downstream join or estimator is expected to drop incomplete pairs,
+    /// exactly as the sketch-join path does.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ null_fraction < 1`.
+    #[must_use]
+    pub fn with_null_fraction(mut self, null_fraction: f64, seed: u64) -> Self {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        assert!(
+            (0.0..1.0).contains(&null_fraction),
+            "null_fraction must be in [0, 1), got {null_fraction}"
+        );
+        if null_fraction == 0.0 {
+            return self;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for v in self.xs.iter_mut().chain(self.ys.iter_mut()) {
+            if rng.gen::<f64>() < null_fraction {
+                *v = joinmi_table::Value::Null;
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinmi_table::Value;
+
+    #[test]
+    fn null_fraction_nulls_roughly_the_requested_share() {
+        let cfg = TrinomialConfig::new(16, 0.3, 0.3);
+        let pair = cfg.generate(4000, 1).with_null_fraction(0.25, 9);
+        let nulls = |vs: &[Value]| vs.iter().filter(|v| v.is_null()).count();
+        let x_nulls = nulls(&pair.xs) as f64 / pair.xs.len() as f64;
+        let y_nulls = nulls(&pair.ys) as f64 / pair.ys.len() as f64;
+        assert!((x_nulls - 0.25).abs() < 0.03, "x null share {x_nulls}");
+        assert!((y_nulls - 0.25).abs() < 0.03, "y null share {y_nulls}");
+        // The analytical MI is untouched.
+        assert_eq!(pair.true_mi, cfg.true_mi());
+    }
+
+    #[test]
+    fn null_fraction_is_deterministic_and_zero_is_identity() {
+        let cfg = TrinomialConfig::new(8, 0.3, 0.4);
+        let a = cfg.generate(500, 2).with_null_fraction(0.4, 11);
+        let b = cfg.generate(500, 2).with_null_fraction(0.4, 11);
+        assert_eq!(a.xs, b.xs);
+        assert_eq!(a.ys, b.ys);
+        let clean = cfg.generate(500, 2);
+        let same = cfg.generate(500, 2).with_null_fraction(0.0, 11);
+        assert_eq!(clean.xs, same.xs);
+    }
+
+    #[test]
+    #[should_panic(expected = "null_fraction")]
+    fn null_fraction_rejects_out_of_range() {
+        let _ = TrinomialConfig::new(8, 0.3, 0.4)
+            .generate(10, 0)
+            .with_null_fraction(1.0, 0);
+    }
+}
